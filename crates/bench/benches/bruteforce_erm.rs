@@ -1,0 +1,38 @@
+//! Criterion bench for E3: brute-force ERM (Proposition 11) across
+//! parameter counts ℓ = 0, 1, 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use folearn::bruteforce::brute_force_erm;
+use folearn::fit::TypeMode;
+use folearn::problem::{ErmInstance, TrainingSequence};
+use folearn::shared_arena;
+use folearn_graph::V;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bruteforce_erm");
+    group.sample_size(10);
+    for ell in [0usize, 1, 2] {
+        for n in [16usize, 32] {
+            let g = folearn_bench::red_tree(n, 4, 11);
+            let examples = TrainingSequence::label_all_tuples(&g, 1, |t: &[V]| {
+                (t[0].0 * 2654435761) % 7 < 3
+            });
+            group.bench_with_input(
+                BenchmarkId::new(format!("ell{ell}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let inst =
+                            ErmInstance::new(&g, examples.clone(), 1, ell, 1, 0.0);
+                        let arena = shared_arena(&g);
+                        brute_force_erm(&inst, TypeMode::Local { r: 1 }, &arena)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

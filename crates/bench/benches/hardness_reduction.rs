@@ -1,0 +1,32 @@
+//! Criterion bench for E1: model checking through the ERM oracle vs
+//! directly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use folearn_hardness::{model_check_via_erm, BruteForceOracle};
+use folearn_logic::{eval, parse};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hardness_reduction");
+    group.sample_size(10);
+    for n in [6usize, 8, 10] {
+        let g = folearn_bench::red_tree(n, 3, 7);
+        let phi = parse(
+            "exists x0. Red(x0) & exists x1. E(x0, x1) & Red(x1)",
+            g.vocab(),
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("via_erm_oracle", n), &n, |b, _| {
+            b.iter(|| {
+                let mut oracle = BruteForceOracle::new();
+                model_check_via_erm(&g, &phi, &mut oracle)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("direct", n), &n, |b, _| {
+            b.iter(|| eval::models(&g, &phi))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench: the two model-checking code paths (naive recursive
+//! vs type-based) on the same formulas.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use folearn::shared_arena;
+use folearn_logic::{eval, parse};
+use folearn_types::satisfies::satisfies_via_types;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_checking");
+    for n in [16usize, 32, 64] {
+        let g = folearn_bench::red_path(n, 3);
+        let phi = parse(
+            "exists x1. E(x0, x1) & Red(x1) & exists x2. E(x1, x2) & !Red(x2)",
+            g.vocab(),
+        )
+        .unwrap();
+        let v = folearn_graph::V(n as u32 / 2);
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| eval::satisfies(&g, &phi, &[v]))
+        });
+        group.bench_with_input(BenchmarkId::new("type_based", n), &n, |b, _| {
+            b.iter(|| {
+                let arena = shared_arena(&g);
+                let mut a = arena.lock();
+                satisfies_via_types(&g, &mut a, &phi, &[v])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

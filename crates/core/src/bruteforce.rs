@@ -1,0 +1,214 @@
+//! Brute-force ERM — Proposition 11 / Algorithm 1.
+//!
+//! For constant `ℓ`, trying all `n^ℓ` parameter tuples and, for each,
+//! minimising over formulas is fixed-parameter tractable whenever model
+//! checking is. Our inner minimisation is the exact type-majority fit (see
+//! [`crate::fit`]), so this solver computes the *true optimum* `ε*` over
+//! `H_{k,ℓ,q}(G)` — which is also how every other learner in this
+//! workspace is validated.
+
+use std::sync::Arc;
+
+use folearn_graph::V;
+use folearn_types::TypeArena;
+use parking_lot::Mutex;
+
+use crate::fit::{fit_with_params, optimal_error_given_params, TypeMode};
+use crate::hypothesis::Hypothesis;
+use crate::problem::ErmInstance;
+
+/// Outcome of a brute-force search.
+#[derive(Debug)]
+pub struct BruteForceResult {
+    /// The best hypothesis found.
+    pub hypothesis: Hypothesis,
+    /// Its training error (`= ε*` for exhaustive search in global mode).
+    pub error: f64,
+    /// Number of parameter tuples evaluated.
+    pub evaluated_params: usize,
+}
+
+/// Exhaustive ERM over all parameter tuples `w̄ ∈ V(G)^ℓ` (Algorithm 1).
+/// Runs in `O(n^ℓ · m · type-cost)`; stops early on a perfect fit.
+pub fn brute_force_erm(
+    inst: &ErmInstance<'_>,
+    mode: TypeMode,
+    arena: &Arc<Mutex<TypeArena>>,
+) -> BruteForceResult {
+    let g = inst.graph;
+    let mut best: Option<(f64, Vec<V>)> = None;
+    let mut evaluated = 0usize;
+    for params in ParamTuples::new(g.num_vertices(), inst.ell) {
+        evaluated += 1;
+        let err =
+            optimal_error_given_params(g, &inst.examples, &params, inst.q, mode, arena);
+        let better = match &best {
+            None => true,
+            Some((e, _)) => err < *e,
+        };
+        if better {
+            best = Some((err, params.clone()));
+            if err == 0.0 {
+                break;
+            }
+        }
+    }
+    let (error, params) = best.expect("parameter enumeration is never empty");
+    let (hypothesis, err2) =
+        fit_with_params(g, &inst.examples, &params, inst.q, mode, arena);
+    debug_assert_eq!(error, err2);
+    BruteForceResult {
+        hypothesis,
+        error,
+        evaluated_params: evaluated,
+    }
+}
+
+/// The exact class optimum `ε* = min_{h ∈ H_{k,ℓ,q}(G)} err_Λ(h)`,
+/// used as ground truth when validating approximate learners.
+pub fn optimal_error(inst: &ErmInstance<'_>, arena: &Arc<Mutex<TypeArena>>) -> f64 {
+    brute_force_erm(inst, TypeMode::Global, arena).error
+}
+
+/// Iterator over all `ℓ`-tuples of vertices (odometer order). Yields the
+/// empty tuple exactly once when `ℓ = 0`.
+pub struct ParamTuples {
+    n: usize,
+    current: Vec<u32>,
+    done: bool,
+}
+
+impl ParamTuples {
+    /// All `ℓ`-tuples over `0..n`.
+    pub fn new(n: usize, ell: usize) -> Self {
+        Self {
+            n,
+            current: vec![0; ell],
+            done: n == 0 && ell > 0,
+        }
+    }
+}
+
+impl Iterator for ParamTuples {
+    type Item = Vec<V>;
+
+    fn next(&mut self) -> Option<Vec<V>> {
+        if self.done {
+            return None;
+        }
+        let out: Vec<V> = self.current.iter().map(|&i| V(i)).collect();
+        // Advance the odometer.
+        let mut pos = self.current.len();
+        loop {
+            if pos == 0 {
+                self.done = true;
+                break;
+            }
+            pos -= 1;
+            self.current[pos] += 1;
+            if (self.current[pos] as usize) < self.n {
+                break;
+            }
+            self.current[pos] = 0;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use folearn_graph::{generators, ColorId, Vocabulary};
+
+    use crate::problem::TrainingSequence;
+
+    use super::*;
+
+    fn arena_for(g: &folearn_graph::Graph) -> Arc<Mutex<TypeArena>> {
+        Arc::new(Mutex::new(TypeArena::new(Arc::clone(g.vocab()))))
+    }
+
+    #[test]
+    fn param_tuples_enumerate_all() {
+        let all: Vec<_> = ParamTuples::new(3, 2).collect();
+        assert_eq!(all.len(), 9);
+        assert_eq!(all[0], vec![V(0), V(0)]);
+        assert_eq!(all[8], vec![V(2), V(2)]);
+        let empty: Vec<_> = ParamTuples::new(5, 0).collect();
+        assert_eq!(empty, vec![Vec::<V>::new()]);
+    }
+
+    #[test]
+    fn finds_needed_parameter() {
+        // Target "dist(x, w) ≤ 1" for a hidden w: zero error requires
+        // choosing w (or a type-equivalent vertex) as parameter.
+        let g = generators::path(9, Vocabulary::empty());
+        let w = V(4);
+        let target = |t: &[V]| t[0] == w || g.has_edge(t[0], w);
+        let examples = TrainingSequence::label_all_tuples(&g, 1, target);
+        let inst = ErmInstance::new(&g, examples, 1, 1, 1, 0.0);
+        let arena = arena_for(&g);
+        let res = brute_force_erm(&inst, TypeMode::Global, &arena);
+        assert_eq!(res.error, 0.0);
+        for v in g.vertices() {
+            assert_eq!(res.hypothesis.predict(&g, &[v]), target(&[v]));
+        }
+    }
+
+    #[test]
+    fn zero_params_cannot_point() {
+        let g = generators::path(9, Vocabulary::empty());
+        let w = V(4);
+        let target = |t: &[V]| t[0] == w;
+        let examples = TrainingSequence::label_all_tuples(&g, 1, target);
+        let inst = ErmInstance::new(&g, examples, 1, 0, 1, 0.0);
+        let arena = arena_for(&g);
+        let res = brute_force_erm(&inst, TypeMode::Global, &arena);
+        // V(4) shares its 1-type with other interior vertices, so some
+        // error is unavoidable without parameters.
+        assert!(res.error > 0.0);
+    }
+
+    #[test]
+    fn early_exit_on_perfect_fit() {
+        let g = generators::path(6, Vocabulary::empty());
+        let examples = TrainingSequence::label_all_tuples(&g, 1, |_| true);
+        let inst = ErmInstance::new(&g, examples, 1, 1, 0, 0.0);
+        let arena = arena_for(&g);
+        let res = brute_force_erm(&inst, TypeMode::Global, &arena);
+        assert_eq!(res.error, 0.0);
+        assert_eq!(res.evaluated_params, 1); // the very first tuple fits
+    }
+
+    #[test]
+    fn pair_query_with_color() {
+        // k = 2: learn "x0 and x1 are both red" exactly.
+        let vocab = Vocabulary::new(["Red"]);
+        let g = generators::periodically_colored(
+            &generators::path(5, vocab),
+            ColorId(0),
+            2,
+        );
+        let target = |t: &[V]| {
+            g.has_color(t[0], ColorId(0)) && g.has_color(t[1], ColorId(0))
+        };
+        let examples = TrainingSequence::label_all_tuples(&g, 2, target);
+        let inst = ErmInstance::new(&g, examples, 2, 0, 0, 0.0);
+        let arena = arena_for(&g);
+        let res = brute_force_erm(&inst, TypeMode::Global, &arena);
+        assert_eq!(res.error, 0.0);
+        assert!(!res.hypothesis.predict(&g, &[V(0), V(1)]));
+        assert!(res.hypothesis.predict(&g, &[V(0), V(2)]));
+    }
+
+    #[test]
+    fn optimal_error_is_a_lower_bound() {
+        let g = generators::random_tree(12, Vocabulary::empty(), 3);
+        let examples = TrainingSequence::label_all_tuples(&g, 1, |t| t[0].0 % 3 == 0);
+        let inst = ErmInstance::new(&g, examples.clone(), 1, 1, 1, 0.0);
+        let arena = arena_for(&g);
+        let eps_star = optimal_error(&inst, &arena);
+        // Any fixed-parameter fit is at least as bad.
+        let e0 = optimal_error_given_params(&g, &examples, &[V(0)], 1, TypeMode::Global, &arena);
+        assert!(eps_star <= e0 + 1e-12);
+    }
+}

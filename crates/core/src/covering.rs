@@ -1,0 +1,171 @@
+//! The Vitali-style covering of Lemma 3.
+//!
+//! Given `X ⊆ V(G)` and `r ≥ 1`, Lemma 3 produces `Z ⊆ X` and
+//! `R = 3^i r` with `i ≤ |X| − 1` such that
+//!
+//! 1. the `R`-balls around distinct `z, z' ∈ Z` are disjoint, and
+//! 2. `N_r(X) ⊆ N_R(Z)`.
+//!
+//! The learner (Theorem 13) applies this to the guessed centre set `Y`
+//! with `r = (k+2)(2r_loc+1)` to obtain the disjoint neighbourhoods whose
+//! union becomes the next graph `G^{i+1}`; disjointness is what lets each
+//! neighbourhood play its own branch of the splitter game.
+
+use folearn_graph::{bfs, Graph, V};
+
+/// Result of the Lemma 3 construction.
+#[derive(Debug, Clone)]
+pub struct Covering {
+    /// The selected centres `Z ⊆ X`.
+    pub centers: Vec<V>,
+    /// The final radius `R = 3^i · r`.
+    pub radius: usize,
+    /// The number of tripling steps `i` performed.
+    pub steps: usize,
+}
+
+/// Compute `(Z, R)` per Lemma 3.
+///
+/// Exactly the proof's construction: start with `Z_0 = X, R_0 = r`; while
+/// some pair of `R_i`-balls intersects, keep an inclusion-maximal
+/// sub-family with pairwise disjoint `R_i`-balls (greedy) and triple the
+/// radius. Terminates after at most `|X| − 1` steps because each step
+/// drops at least one centre.
+///
+/// # Panics
+/// Panics if `r == 0` or `X` is empty.
+pub fn vitali_cover(g: &Graph, x: &[V], r: usize) -> Covering {
+    assert!(r >= 1, "Lemma 3 requires r ≥ 1");
+    assert!(!x.is_empty(), "Lemma 3 requires a non-empty X");
+    let mut centers: Vec<V> = {
+        // Deduplicate while keeping order.
+        let mut seen = std::collections::HashSet::new();
+        x.iter().copied().filter(|v| seen.insert(*v)).collect()
+    };
+    let mut radius = r;
+    let mut steps = 0usize;
+    loop {
+        if balls_pairwise_disjoint(g, &centers, radius) {
+            return Covering {
+                centers,
+                radius,
+                steps,
+            };
+        }
+        // Greedy inclusion-maximal sub-family with disjoint radius-balls.
+        let mut kept: Vec<V> = Vec::with_capacity(centers.len());
+        for &z in &centers {
+            let clash = kept
+                .iter()
+                .any(|&z2| bfs::distance_to_tuple(g, z, &[z2], 2 * radius).is_some());
+            if !clash {
+                kept.push(z);
+            }
+        }
+        debug_assert!(kept.len() < centers.len(), "no progress in Lemma 3 loop");
+        centers = kept;
+        radius *= 3;
+        steps += 1;
+    }
+}
+
+fn balls_pairwise_disjoint(g: &Graph, centers: &[V], radius: usize) -> bool {
+    for (i, &a) in centers.iter().enumerate() {
+        let dist = bfs::bounded_distances(g, &[a], 2 * radius);
+        for &b in &centers[i + 1..] {
+            if dist[b.index()] != u32::MAX {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Verify the two Lemma 3 guarantees (used by tests and the experiment
+/// harness): disjointness of the `R`-balls of `Z` and coverage
+/// `N_r(X) ⊆ N_R(Z)`.
+pub fn verify_covering(g: &Graph, x: &[V], r: usize, c: &Covering) -> bool {
+    if !balls_pairwise_disjoint(g, &c.centers, c.radius) {
+        return false;
+    }
+    let n_r_x = bfs::ball(g, x, r);
+    let covered = bfs::bounded_distances(g, &c.centers, c.radius);
+    n_r_x.iter().all(|v| covered[v.index()] != u32::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use folearn_graph::{generators, Vocabulary};
+
+    use super::*;
+
+    #[test]
+    fn trivial_when_far_apart() {
+        let g = generators::path(30, Vocabulary::empty());
+        let x = vec![V(0), V(15), V(29)];
+        let c = vitali_cover(&g, &x, 2);
+        assert_eq!(c.centers, x);
+        assert_eq!(c.radius, 2);
+        assert_eq!(c.steps, 0);
+        assert!(verify_covering(&g, &x, 2, &c));
+    }
+
+    #[test]
+    fn merges_close_centres() {
+        let g = generators::path(30, Vocabulary::empty());
+        let x = vec![V(10), V(11), V(12)];
+        let c = vitali_cover(&g, &x, 2);
+        assert!(c.centers.len() < 3);
+        assert!(verify_covering(&g, &x, 2, &c));
+        assert!(c.radius >= 6);
+    }
+
+    #[test]
+    fn radius_is_power_of_three_times_r() {
+        let g = generators::path(60, Vocabulary::empty());
+        let x: Vec<V> = (0..10).map(|i| V(i * 3)).collect();
+        let r = 2;
+        let c = vitali_cover(&g, &x, r);
+        let mut expected = r;
+        for _ in 0..c.steps {
+            expected *= 3;
+        }
+        assert_eq!(c.radius, expected);
+        assert!(c.steps < x.len());
+        assert!(verify_covering(&g, &x, r, &c));
+    }
+
+    #[test]
+    fn worst_case_geometric_spacing() {
+        // The proof's worst case: x_i at position ~3^i r on a path forces
+        // repeated merging.
+        let r = 1;
+        let positions = [0usize, 1, 3, 9, 27];
+        let g = generators::path(82, Vocabulary::empty());
+        let x: Vec<V> = positions.iter().map(|&p| V(p as u32)).collect();
+        let c = vitali_cover(&g, &x, r);
+        assert!(verify_covering(&g, &x, r, &c));
+        assert!(c.steps >= 2, "expected several merge rounds, got {}", c.steps);
+        assert!(c.steps < x.len());
+    }
+
+    #[test]
+    fn random_trees_always_verify() {
+        for seed in 0..6 {
+            let g = generators::random_tree(60, Vocabulary::empty(), seed);
+            let x: Vec<V> = (0..8).map(|i| V(i * 7 % 60)).collect();
+            for r in [1usize, 2, 4] {
+                let c = vitali_cover(&g, &x, r);
+                assert!(verify_covering(&g, &x, r, &c), "seed={seed} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_in_x_are_tolerated() {
+        let g = generators::path(10, Vocabulary::empty());
+        let c = vitali_cover(&g, &[V(2), V(2), V(2)], 1);
+        assert_eq!(c.centers, vec![V(2)]);
+        assert_eq!(c.radius, 1);
+    }
+}

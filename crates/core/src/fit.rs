@@ -1,0 +1,303 @@
+//! Exact ERM given a fixed parameter tuple, by type-class majority.
+//!
+//! For fixed parameters `w̄`, the hypotheses
+//! `{ h_{φ,w̄} : φ(x̄;ȳ) of quantifier rank ≤ q }` classify `v̄` purely by
+//! `tp_q(G, v̄w̄)` (Section 2), and *every* union of realised type classes
+//! is achievable (as a disjunction of Hintikka formulas). The empirical
+//! risk minimiser over this family is therefore the majority vote per type
+//! class:
+//!
+//! ```text
+//! err*(w̄) = (1/m) Σ_θ min(pos_θ, neg_θ)
+//! ```
+//!
+//! This replaces the paper's "step through all possible formulas" (proof
+//! of Theorem 13; Algorithm 1) with an *equivalent exact* minimisation —
+//! see DESIGN.md §4. Ties inside a class break towards negative, matching
+//! the materialised formula's "unknown type ⇒ false" semantics.
+
+pub use crate::hypothesis::TypeMode;
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use folearn_graph::{Graph, V};
+use folearn_types::{TypeArena, TypeId};
+use parking_lot::Mutex;
+
+use crate::hypothesis::Hypothesis;
+use crate::problem::TrainingSequence;
+
+/// Fit the optimal type-majority hypothesis for fixed parameters.
+/// Returns the hypothesis and its training error.
+///
+/// ```
+/// use folearn::{fit_with_params, TypeMode, TrainingSequence, shared_arena};
+/// use folearn_graph::{generators, Vocabulary, V};
+///
+/// let g = generators::path(8, Vocabulary::empty());
+/// // Target: "is an endpoint" — expressible at quantifier rank 2.
+/// let examples = TrainingSequence::label_all_tuples(&g, 1, |t| g.degree(t[0]) == 1);
+/// let arena = shared_arena(&g);
+/// let (h, err) = fit_with_params(&g, &examples, &[], 2, TypeMode::Global, &arena);
+/// assert_eq!(err, 0.0);
+/// assert!(h.predict(&g, &[V(0)]));
+/// assert!(!h.predict(&g, &[V(3)]));
+/// ```
+pub fn fit_with_params(
+    g: &Graph,
+    examples: &TrainingSequence,
+    params: &[V],
+    q: usize,
+    mode: TypeMode,
+    arena: &Arc<Mutex<TypeArena>>,
+) -> (Hypothesis, f64) {
+    let (positive, wrong) = tally(g, examples, params, q, mode, arena);
+    let error = if examples.is_empty() {
+        0.0
+    } else {
+        wrong as f64 / examples.len() as f64
+    };
+    (
+        Hypothesis::new(params.to_vec(), q, mode, positive, Arc::clone(arena)),
+        error,
+    )
+}
+
+/// The optimal training error achievable with the given parameters,
+/// without building the hypothesis (used by parameter search loops).
+pub fn optimal_error_given_params(
+    g: &Graph,
+    examples: &TrainingSequence,
+    params: &[V],
+    q: usize,
+    mode: TypeMode,
+    arena: &Arc<Mutex<TypeArena>>,
+) -> f64 {
+    let (_, wrong) = tally(g, examples, params, q, mode, arena);
+    if examples.is_empty() {
+        0.0
+    } else {
+        wrong as f64 / examples.len() as f64
+    }
+}
+
+fn tally(
+    g: &Graph,
+    examples: &TrainingSequence,
+    params: &[V],
+    q: usize,
+    mode: TypeMode,
+    arena: &Arc<Mutex<TypeArena>>,
+) -> (BTreeSet<TypeId>, usize) {
+    let mut counts: HashMap<TypeId, (usize, usize)> = HashMap::new();
+    {
+        let mut arena = arena.lock();
+        let mut combined: Vec<V> = Vec::with_capacity(examples.arity() + params.len());
+        for e in examples.iter() {
+            combined.clear();
+            combined.extend_from_slice(&e.tuple);
+            combined.extend_from_slice(params);
+            let t = match mode.radius() {
+                None => folearn_types::compute::counting_type_of(
+                    g,
+                    &mut arena,
+                    &combined,
+                    q,
+                    mode.cap(),
+                ),
+                Some(r) => folearn_types::local::counting_local_type(
+                    g,
+                    &mut arena,
+                    &combined,
+                    q,
+                    r,
+                    mode.cap(),
+                ),
+            };
+            let entry = counts.entry(t).or_insert((0, 0));
+            if e.label {
+                entry.0 += 1;
+            } else {
+                entry.1 += 1;
+            }
+        }
+    }
+    let mut positive = BTreeSet::new();
+    let mut wrong = 0usize;
+    for (t, (pos, neg)) in counts {
+        if pos > neg {
+            positive.insert(t);
+            wrong += neg;
+        } else {
+            wrong += pos;
+        }
+    }
+    (positive, wrong)
+}
+
+#[cfg(test)]
+mod tests {
+    use folearn_graph::{generators, ColorId, Vocabulary};
+
+    use super::*;
+
+    fn arena_for(g: &Graph) -> Arc<Mutex<TypeArena>> {
+        Arc::new(Mutex::new(TypeArena::new(Arc::clone(g.vocab()))))
+    }
+
+    #[test]
+    fn majority_is_minimal() {
+        // Force an unrealisable workload: one type class, mixed labels.
+        let g = generators::clique(4, Vocabulary::empty());
+        let arena = arena_for(&g);
+        let examples = TrainingSequence::from_pairs([
+            (vec![V(0)], true),
+            (vec![V(1)], true),
+            (vec![V(2)], true),
+            (vec![V(3)], false),
+        ]);
+        // All clique vertices share every q-type, so err* = 1/4.
+        let (h, err) = fit_with_params(&g, &examples, &[], 2, TypeMode::Global, &arena);
+        assert_eq!(err, 0.25);
+        // The majority is positive, so the lone negative is the error.
+        assert!(h.predict(&g, &[V(3)]));
+    }
+
+    #[test]
+    fn ties_break_negative() {
+        let g = generators::clique(2, Vocabulary::empty());
+        let arena = arena_for(&g);
+        let examples =
+            TrainingSequence::from_pairs([(vec![V(0)], true), (vec![V(1)], false)]);
+        let (h, err) = fit_with_params(&g, &examples, &[], 1, TypeMode::Global, &arena);
+        assert_eq!(err, 0.5);
+        assert!(!h.predict(&g, &[V(0)]));
+    }
+
+    #[test]
+    fn richer_types_fit_better() {
+        // Labels = "is an endpoint" on a path: q=1 cannot express it
+        // (single unary 1-type), q=2 can.
+        let g = generators::path(8, Vocabulary::empty());
+        let arena = arena_for(&g);
+        let target = |t: &[V]| g.degree(t[0]) == 1;
+        let examples = TrainingSequence::label_all_tuples(&g, 1, target);
+        let (_, err1) = fit_with_params(&g, &examples, &[], 1, TypeMode::Global, &arena);
+        let (_, err2) = fit_with_params(&g, &examples, &[], 2, TypeMode::Global, &arena);
+        assert!(err1 > 0.0, "q=1 unexpectedly fits endpoints");
+        assert_eq!(err2, 0.0);
+    }
+
+    #[test]
+    fn local_mode_matches_global_for_local_targets() {
+        let vocab = Vocabulary::new(["Red"]);
+        let g = generators::periodically_colored(
+            &generators::path(10, vocab),
+            ColorId(0),
+            4,
+        );
+        let arena = arena_for(&g);
+        let target = |t: &[V]| g.has_color(t[0], ColorId(0));
+        let examples = TrainingSequence::label_all_tuples(&g, 1, target);
+        let (_, eg) = fit_with_params(&g, &examples, &[], 1, TypeMode::Global, &arena);
+        let (_, el) = fit_with_params(&g, &examples, &[], 1, TypeMode::Local { r: 1 }, &arena);
+        assert_eq!(eg, 0.0);
+        assert_eq!(el, 0.0);
+    }
+
+    #[test]
+    fn counting_mode_learns_degree_thresholds() {
+        // Target: "x has at least 2 red neighbours" — inexpressible with
+        // one FO quantifier, but one *counting* quantifier (cap 2) fits it.
+        let vocab = Vocabulary::new(["Red"]);
+        let mut b = folearn_graph::GraphBuilder::with_vertices(vocab, 7);
+        // Star-ish: V0 adjacent to V1..V4; V5 adjacent to V4, V6.
+        for i in 1..=4 {
+            b.add_edge(V(0), V(i));
+        }
+        b.add_edge(V(5), V(4));
+        b.add_edge(V(5), V(6));
+        for i in [1u32, 2, 6] {
+            b.set_color(V(i), ColorId(0)); // reds: V1, V2, V6
+        }
+        let g = b.build();
+        let arena = arena_for(&g);
+        let target = |t: &[V]| {
+            g.neighbors(t[0])
+                .iter()
+                .filter(|&&w| g.has_color(V(w), ColorId(0)))
+                .count()
+                >= 2
+        };
+        let examples = TrainingSequence::label_all_tuples(&g, 1, target);
+        let (_, fo_err) = fit_with_params(&g, &examples, &[], 1, TypeMode::Global, &arena);
+        let (ch, c_err) = fit_with_params(
+            &g,
+            &examples,
+            &[],
+            1,
+            TypeMode::GlobalCounting { cap: 2 },
+            &arena,
+        );
+        assert!(fo_err > 0.0, "FO q=1 should not fit a degree-2 threshold");
+        assert_eq!(c_err, 0.0);
+        for v in g.vertices() {
+            assert_eq!(ch.predict(&g, &[v]), target(&[v]), "at {v}");
+        }
+    }
+
+    #[test]
+    fn counting_hypothesis_materialises_to_counting_formula() {
+        let g = generators::star(5, Vocabulary::empty());
+        let arena = arena_for(&g);
+        // "x has ≥ 3 neighbours" — only the centre.
+        let target = |t: &[V]| g.degree(t[0]) >= 3;
+        let examples = TrainingSequence::label_all_tuples(&g, 1, target);
+        let (h, err) = fit_with_params(
+            &g,
+            &examples,
+            &[],
+            1,
+            TypeMode::GlobalCounting { cap: 3 },
+            &arena,
+        );
+        assert_eq!(err, 0.0);
+        let phi = h.to_formula();
+        assert_eq!(phi.quantifier_rank(), 1);
+        for v in g.vertices() {
+            assert_eq!(
+                folearn_logic::eval::satisfies(&g, &phi, &[v]),
+                target(&[v]),
+                "formula at {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn local_counting_mode_works() {
+        let g = generators::star(6, Vocabulary::empty());
+        let arena = arena_for(&g);
+        let target = |t: &[V]| g.degree(t[0]) >= 2;
+        let examples = TrainingSequence::label_all_tuples(&g, 1, target);
+        let (_, err) = fit_with_params(
+            &g,
+            &examples,
+            &[],
+            1,
+            TypeMode::LocalCounting { r: 1, cap: 2 },
+            &arena,
+        );
+        assert_eq!(err, 0.0);
+    }
+
+    #[test]
+    fn optimal_error_matches_fit() {
+        let g = generators::path(6, Vocabulary::empty());
+        let arena = arena_for(&g);
+        let examples = TrainingSequence::label_all_tuples(&g, 1, |t| t[0].0 % 2 == 0);
+        let a = optimal_error_given_params(&g, &examples, &[], 1, TypeMode::Global, &arena);
+        let (_, b) = fit_with_params(&g, &examples, &[], 1, TypeMode::Global, &arena);
+        assert_eq!(a, b);
+    }
+}

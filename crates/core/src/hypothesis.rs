@@ -1,0 +1,347 @@
+//! Learned hypotheses `h_{φ,w̄}`.
+//!
+//! A hypothesis is a parameter tuple `w̄ ∈ V(G)^ℓ` together with a set of
+//! `(k+ℓ)`-ary types: it classifies `v̄` positively iff the type of the
+//! combined tuple `v̄w̄` lies in the set. By Section 2 of the paper this is
+//! *exactly* the expressive power of `h_{φ,w̄}` for FO formulas `φ(x̄; ȳ)`
+//! of the corresponding quantifier rank:
+//!
+//! * with **global** `q`-types, the hypothesis equals `h_{φ,w̄}` for the
+//!   disjunction `φ` of the Hintikka formulas of the chosen types
+//!   (quantifier rank exactly `q`);
+//! * with **local** `(q, r)`-types, the materialised formula relativises
+//!   each Hintikka formula to the `r`-ball of `x̄ȳ` and has quantifier rank
+//!   `q + O(log r)` — precisely the `(L,Q)`-relaxation the paper's
+//!   Theorem 13 produces.
+//!
+//! [`Hypothesis::to_formula`] performs that materialisation, so users who
+//! need a real FO query get one; prediction itself stays on types, which
+//! is exponentially cheaper.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use folearn_graph::{Graph, V};
+use folearn_logic::transform::localize_multi;
+use folearn_logic::{Formula, Var};
+use folearn_types::hintikka::hintikka;
+use folearn_types::{TypeArena, TypeId};
+use parking_lot::Mutex;
+
+use crate::problem::TrainingSequence;
+
+/// Which notion of type a hypothesis classifies by.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TypeMode {
+    /// Global `q`-types `tp_q(G, v̄w̄)` — exact `H_{k,ℓ,q}` semantics.
+    Global,
+    /// Local `(q, r)`-types `ltp_{q,r}(G, v̄w̄)` — the `(L,Q)`-relaxed
+    /// semantics with quantifier rank `q + O(log r)` after
+    /// materialisation.
+    Local {
+        /// Ball radius.
+        r: usize,
+    },
+    /// Global FO+C types with counting quantifiers up to the cap — the
+    /// richer-logic extension named in the paper's conclusion.
+    GlobalCounting {
+        /// Counting saturation threshold (1 = classical FO).
+        cap: u32,
+    },
+    /// Local FO+C types.
+    LocalCounting {
+        /// Ball radius.
+        r: usize,
+        /// Counting saturation threshold.
+        cap: u32,
+    },
+}
+
+impl TypeMode {
+    /// The counting cap of the mode (1 for classical FO modes).
+    pub fn cap(&self) -> u32 {
+        match self {
+            TypeMode::Global | TypeMode::Local { .. } => 1,
+            TypeMode::GlobalCounting { cap } | TypeMode::LocalCounting { cap, .. } => *cap,
+        }
+    }
+
+    /// The locality radius, if the mode is local.
+    pub fn radius(&self) -> Option<usize> {
+        match self {
+            TypeMode::Global | TypeMode::GlobalCounting { .. } => None,
+            TypeMode::Local { r } | TypeMode::LocalCounting { r, .. } => Some(*r),
+        }
+    }
+}
+
+/// A learned first-order hypothesis.
+#[derive(Clone)]
+pub struct Hypothesis {
+    /// The parameter tuple `w̄`.
+    pub params: Vec<V>,
+    /// Quantifier rank of the type layer.
+    pub q: usize,
+    /// Global or local types.
+    pub mode: TypeMode,
+    positive: BTreeSet<TypeId>,
+    arena: Arc<Mutex<TypeArena>>,
+}
+
+impl Hypothesis {
+    /// Assemble a hypothesis from parts (used by the fitting routines).
+    pub fn new(
+        params: Vec<V>,
+        q: usize,
+        mode: TypeMode,
+        positive: BTreeSet<TypeId>,
+        arena: Arc<Mutex<TypeArena>>,
+    ) -> Self {
+        Self {
+            params,
+            q,
+            mode,
+            positive,
+            arena,
+        }
+    }
+
+    /// The constantly-false hypothesis (no parameters, empty type set).
+    pub fn always_false(q: usize, mode: TypeMode, arena: Arc<Mutex<TypeArena>>) -> Self {
+        Self::new(Vec::new(), q, mode, BTreeSet::new(), arena)
+    }
+
+    /// The positive type set.
+    pub fn positive_types(&self) -> &BTreeSet<TypeId> {
+        &self.positive
+    }
+
+    /// The shared arena (for callers that want to inspect types).
+    pub fn arena(&self) -> &Arc<Mutex<TypeArena>> {
+        &self.arena
+    }
+
+    /// The type of `v̄w̄` in `g` under this hypothesis's mode.
+    pub fn type_of(&self, g: &Graph, tuple: &[V]) -> TypeId {
+        let mut combined = Vec::with_capacity(tuple.len() + self.params.len());
+        combined.extend_from_slice(tuple);
+        combined.extend_from_slice(&self.params);
+        let mut arena = self.arena.lock();
+        match self.mode.radius() {
+            None => folearn_types::compute::counting_type_of(
+                g,
+                &mut arena,
+                &combined,
+                self.q,
+                self.mode.cap(),
+            ),
+            Some(r) => folearn_types::local::counting_local_type(
+                g,
+                &mut arena,
+                &combined,
+                self.q,
+                r,
+                self.mode.cap(),
+            ),
+        }
+    }
+
+    /// Classify a `k`-tuple: positive iff the type of `v̄w̄` is in the
+    /// positive set. Types never seen during fitting classify negative —
+    /// the same semantics as the materialised formula.
+    pub fn predict(&self, g: &Graph, tuple: &[V]) -> bool {
+        self.positive.contains(&self.type_of(g, tuple))
+    }
+
+    /// `err_Λ(h)` on a training sequence over `g`.
+    pub fn training_error(&self, g: &Graph, examples: &TrainingSequence) -> f64 {
+        examples.error_of(|t| self.predict(g, t))
+    }
+
+    /// A stable identity for comparing hypotheses (used by the hardness
+    /// reduction's Ramsey step, which groups oracle answers by the
+    /// *formula* returned): two hypotheses over the same arena with equal
+    /// keys classify identically.
+    pub fn canonical_key(&self) -> (Vec<TypeId>, Vec<V>, usize, Option<usize>) {
+        (
+            self.positive.iter().copied().collect(),
+            self.params.clone(),
+            self.q,
+            self.mode.radius(),
+        )
+    }
+
+    /// Materialise the hypothesis as an FO formula `φ(x̄; ȳ)` with
+    /// instance variables `x_0 … x_{k−1}` and parameter variables
+    /// `x_k … x_{k+ℓ−1}` (the paper's `ȳ`), where `k` is inferred from the
+    /// stored types' arity.
+    ///
+    /// Global mode yields quantifier rank exactly `q`; local mode
+    /// relativises to the `r`-ball of all `k+ℓ` variables, adding
+    /// `O(log r)` quantifier rank. Formula size is exponential in `q` —
+    /// materialise for presentation, predict with [`Self::predict`].
+    pub fn to_formula(&self) -> Formula {
+        let arena = self.arena.lock();
+        let disjuncts: Vec<Formula> = self
+            .positive
+            .iter()
+            .map(|&t| {
+                let hin = hintikka(&arena, t);
+                match self.mode.radius() {
+                    None => hin,
+                    Some(r) => {
+                        let arity = arena.node(t).arity as usize;
+                        let centers: Vec<Var> = (0..arity as u16).collect();
+                        localize_multi(&hin, &centers, r)
+                    }
+                }
+            })
+            .collect();
+        Formula::or(disjuncts)
+    }
+
+    /// Human-readable summary.
+    pub fn describe(&self) -> String {
+        let mode = match (self.mode.radius(), self.mode.cap()) {
+            (None, 1) => format!("global q={}", self.q),
+            (Some(r), 1) => format!("local q={} r={}", self.q, r),
+            (None, cap) => format!("global counting q={} cap={cap}", self.q),
+            (Some(r), cap) => format!("local counting q={} r={r} cap={cap}", self.q),
+        };
+        format!(
+            "Hypothesis({} positive types, params={:?}, {mode})",
+            self.positive.len(),
+            self.params
+        )
+    }
+}
+
+impl std::fmt::Debug for Hypothesis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use folearn_graph::{generators, ColorId, Vocabulary};
+    use folearn_logic::eval;
+
+    use crate::fit::fit_with_params;
+
+    use super::*;
+
+    fn shared_arena(g: &Graph) -> Arc<Mutex<TypeArena>> {
+        Arc::new(Mutex::new(TypeArena::new(Arc::clone(g.vocab()))))
+    }
+
+    fn red_path() -> Graph {
+        let g = generators::path(8, Vocabulary::new(["Red"]));
+        generators::periodically_colored(&g, ColorId(0), 3) // V0, V3, V6
+    }
+
+    #[test]
+    fn predict_matches_fit_labels() {
+        let g = red_path();
+        let arena = shared_arena(&g);
+        // Target: "is red".
+        let examples = TrainingSequence::label_all_tuples(&g, 1, |t| {
+            g.has_color(t[0], ColorId(0))
+        });
+        let (h, err) = fit_with_params(&g, &examples, &[], 0, TypeMode::Global, &arena);
+        assert_eq!(err, 0.0);
+        for v in g.vertices() {
+            assert_eq!(h.predict(&g, &[v]), g.has_color(v, ColorId(0)));
+        }
+        assert_eq!(h.training_error(&g, &examples), 0.0);
+    }
+
+    #[test]
+    fn global_formula_agrees_with_predict() {
+        let g = red_path();
+        let arena = shared_arena(&g);
+        // Target: "adjacent to a red vertex", needs q = 1.
+        let target = |t: &[V]| {
+            g.neighbors(t[0])
+                .iter()
+                .any(|&w| g.has_color(V(w), ColorId(0)))
+        };
+        let examples = TrainingSequence::label_all_tuples(&g, 1, target);
+        let (h, err) = fit_with_params(&g, &examples, &[], 1, TypeMode::Global, &arena);
+        assert_eq!(err, 0.0);
+        let phi = h.to_formula();
+        assert!(phi.quantifier_rank() <= 1);
+        for v in g.vertices() {
+            assert_eq!(
+                eval::satisfies(&g, &phi, &[v]),
+                h.predict(&g, &[v]),
+                "at {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn local_formula_agrees_with_predict() {
+        let g = red_path();
+        let arena = shared_arena(&g);
+        let target = |t: &[V]| {
+            g.neighbors(t[0])
+                .iter()
+                .any(|&w| g.has_color(V(w), ColorId(0)))
+        };
+        let examples = TrainingSequence::label_all_tuples(&g, 1, target);
+        let (h, err) =
+            fit_with_params(&g, &examples, &[], 1, TypeMode::Local { r: 1 }, &arena);
+        assert_eq!(err, 0.0);
+        let phi = h.to_formula();
+        for v in g.vertices() {
+            assert_eq!(
+                eval::satisfies(&g, &phi, &[v]),
+                h.predict(&g, &[v]),
+                "at {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn parameters_enter_the_type() {
+        let g = generators::path(7, Vocabulary::empty());
+        let arena = shared_arena(&g);
+        // Target: "is adjacent to w" for w = V(3) — inexpressible without
+        // parameters (q=0), trivial with the parameter.
+        let target = |t: &[V]| g.has_edge(t[0], V(3));
+        let examples = TrainingSequence::label_all_tuples(&g, 1, target);
+        let (h, err) = fit_with_params(&g, &examples, &[V(3)], 0, TypeMode::Global, &arena);
+        assert_eq!(err, 0.0);
+        let (_, err_no_params) =
+            fit_with_params(&g, &examples, &[], 0, TypeMode::Global, &arena);
+        assert!(err_no_params > 0.0);
+        assert_eq!(h.params, vec![V(3)]);
+    }
+
+    #[test]
+    fn always_false_predicts_false() {
+        let g = red_path();
+        let arena = shared_arena(&g);
+        let h = Hypothesis::always_false(1, TypeMode::Global, arena);
+        assert!(!h.predict(&g, &[V(0)]));
+        assert_eq!(h.to_formula(), Formula::FALSE);
+    }
+
+    #[test]
+    fn canonical_keys_distinguish() {
+        let g = red_path();
+        let arena = shared_arena(&g);
+        let examples = TrainingSequence::label_all_tuples(&g, 1, |t| {
+            g.has_color(t[0], ColorId(0))
+        });
+        let (h1, _) = fit_with_params(&g, &examples, &[], 0, TypeMode::Global, &arena);
+        let (h2, _) = fit_with_params(&g, &examples, &[], 0, TypeMode::Global, &arena);
+        let flipped = TrainingSequence::label_all_tuples(&g, 1, |t| {
+            !g.has_color(t[0], ColorId(0))
+        });
+        let (h3, _) = fit_with_params(&g, &flipped, &[], 0, TypeMode::Global, &arena);
+        assert_eq!(h1.canonical_key(), h2.canonical_key());
+        assert_ne!(h1.canonical_key(), h3.canonical_key());
+    }
+}

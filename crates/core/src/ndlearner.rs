@@ -1,0 +1,907 @@
+//! The fixed-parameter tractable learner on nowhere dense classes —
+//! Theorem 13 (= Theorem 2), with Lemmas 14, 15 and 16.
+//!
+//! Pipeline, following Section 5 of the paper:
+//!
+//! 1. Derive the constants: the locality radius `r = r(q*)` (Fact 5), the
+//!    splitter-game radius `R = 3^{ℓ*−1}·(k+2)(2r+1)`, the round count
+//!    `s` from the class's splitter bound, and the output hyper-parameters
+//!    `ℓ = ℓ*·s`, `q = q* + ⌈log₂ R⌉` — the `(L,Q)`-relaxation.
+//! 2. Per round `i` on the derived graph `G^i`:
+//!    * compute local types `ltp_{q*,r}` of all examples; *conflicts* are
+//!      positive/negative pairs with equal local type, *critical* examples
+//!      those involved in conflicts;
+//!    * **Lemma 14**: greedily select a small set `X` of pairwise
+//!      `>4r+2`-separated centres maximising the number of critical tuples
+//!      they affect — outside `N_{4r+2}(X)` no vertex affects more than an
+//!      `ε/(ℓ*s)` fraction of conflicts;
+//!    * guess `Y ⊆ X`, `|Y| ≤ ℓ*` (exhaustively or greedily — simulating
+//!      the paper's non-deterministic guess);
+//!    * **Lemma 3**: a Vitali cover turns `Y` into centres `Z` with
+//!      pairwise-disjoint `R'`-balls covering `N_{(k+2)(2r+1)}(Y)`;
+//!    * play the splitter game: Connector (the learner) picks each `z_j`
+//!      with radius `R'`; Splitter's answers `w_j` become this round's
+//!      parameters;
+//!    * **Lemma 16**: the next graph `G^{i+1}` is the union of the
+//!      `R'`-neighbourhoods of `Z` with the answers cut out (isolated,
+//!      marked by fresh `B`/`C` colours; distances to `Y` recorded in `D`
+//!      colours), plus isolated *type vertices* `t_{I,θ}` standing in for
+//!      far-away fragments of surviving critical examples.
+//! 3. Finally, all collected answers `w̄` parameterise a type-majority fit
+//!    (see [`crate::fit`]) on the *original* graph — the paper's "test all
+//!    formulas of rank q" step, done exactly on types.
+//!
+//! The guarantee `err ≤ ε* + ε` is asserted against brute force in tests
+//! and measured in experiment E5; DESIGN.md §4 documents the two
+//! engineering modes (greedy guessing, local final rule).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use folearn_graph::splitter::GraphClass;
+use folearn_graph::{bfs, ops, Graph, V};
+use folearn_types::{gaifman_radius, local::local_type, TypeArena, TypeId};
+use parking_lot::Mutex;
+
+use crate::fit::{fit_with_params, TypeMode};
+use crate::hypothesis::Hypothesis;
+use crate::problem::ErmInstance;
+
+/// How the non-deterministic guess of `Y ⊆ X` is simulated.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SearchMode {
+    /// Enumerate all `Y ⊆ X` with `|Y| ≤ ℓ*` in every round (the paper's
+    /// deterministic simulation; branch count bounded by
+    /// [`NdConfig::max_branches`]).
+    Exhaustive,
+    /// One branch per round: `Y` = the `ℓ*` centres affecting the most
+    /// critical tuples. Linear work; quality validated empirically (E11).
+    Greedy,
+}
+
+/// How the final hypothesis classifies on the original graph.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FinalRule {
+    /// Exact `q`-type partition with `q = q_out` — matches the theorem's
+    /// hypothesis space exactly; `O(n^q)` cost (small graphs only).
+    Global,
+    /// Local `(q*, ρ)`-types with `ρ = 2r + 1` — FPT on sparse graphs;
+    /// the engineering default (DESIGN.md §4).
+    LocalAuto,
+    /// Local `(q*, ρ)`-types with an explicit radius `ρ`.
+    Local(usize),
+}
+
+/// Configuration of the nowhere-dense learner.
+#[derive(Clone, Debug)]
+pub struct NdConfig {
+    /// The (effectively) nowhere dense class of the background graph —
+    /// supplies the splitter round bound and strategy (Fact 4).
+    pub class: GraphClass,
+    /// Guessing mode for `Y ⊆ X`.
+    pub search: SearchMode,
+    /// Final classification rule.
+    pub final_rule: FinalRule,
+    /// Override the locality radius `r(q*)` (Gaifman's bound is already
+    /// huge for `q* = 2`; experiment E11 sweeps this).
+    pub locality_radius: Option<usize>,
+    /// Cap on learner rounds (the theoretical `s` is astronomically safe;
+    /// the learner always stops early once conflicts vanish).
+    pub max_rounds: Option<usize>,
+    /// Cap on explored guess branches in exhaustive mode.
+    pub max_branches: usize,
+}
+
+impl Default for NdConfig {
+    fn default() -> Self {
+        Self {
+            class: GraphClass::Forest,
+            search: SearchMode::Exhaustive,
+            final_rule: FinalRule::LocalAuto,
+            locality_radius: None,
+            max_rounds: Some(4),
+            max_branches: 64,
+        }
+    }
+}
+
+/// The derived constants of a run (reported by the experiments).
+#[derive(Clone, Copy, Debug)]
+pub struct DerivedParams {
+    /// Locality radius `r` for conflict detection.
+    pub r: usize,
+    /// Splitter-game radius `R = 3^{ℓ*−1}·(k+2)(2r+1)`.
+    pub big_r: usize,
+    /// Round budget `s` (after the practical cap).
+    pub s: usize,
+    /// Theoretical round budget `s(R)` from the class.
+    pub s_theory: usize,
+    /// Output parameter bound `ℓ = ℓ*·s` (`L(k,ℓ*,q*)`).
+    pub ell_out: usize,
+    /// Output quantifier rank `q = q* + ⌈log₂ R⌉` (`Q(k,ℓ*,q*)`).
+    pub q_out: usize,
+}
+
+/// Outcome of a learner run.
+#[derive(Debug)]
+pub struct NdReport {
+    /// The learned hypothesis.
+    pub hypothesis: Hypothesis,
+    /// Its training error on the input sequence.
+    pub error: f64,
+    /// Rounds used on the winning branch.
+    pub rounds_used: usize,
+    /// Derived constants.
+    pub derived: DerivedParams,
+    /// Guess branches (leaf evaluations) explored.
+    pub branches_explored: usize,
+}
+
+/// Run the Theorem 13 learner on an `(L,Q)-FO-ERM` instance: `inst.ell`
+/// is `ℓ*` and `inst.q` is `q*`; the returned hypothesis may use up to
+/// `ℓ*·s` parameters and (materialised) quantifier rank up to `q_out`.
+pub fn nd_learn(
+    inst: &ErmInstance<'_>,
+    config: &NdConfig,
+    arena: &Arc<Mutex<TypeArena>>,
+) -> NdReport {
+    let k = inst.k.max(1);
+    let ell_star = inst.ell;
+    let q_star = inst.q;
+    let eps = if inst.epsilon > 0.0 { inst.epsilon } else { 0.1 };
+
+    let r = config
+        .locality_radius
+        .unwrap_or_else(|| gaifman_radius(q_star))
+        .max(1);
+    let base = (k + 2) * (2 * r + 1);
+    let big_r = 3usize.saturating_pow(ell_star.saturating_sub(1) as u32) * base;
+    let s_theory = config.class.splitter_rounds(big_r);
+    let s = config
+        .max_rounds
+        .map_or(s_theory, |m| m.min(s_theory))
+        .max(1);
+    let q_out = q_star + (usize::BITS - big_r.max(2).leading_zeros()) as usize;
+    let derived = DerivedParams {
+        r,
+        big_r,
+        s,
+        s_theory,
+        ell_out: ell_star * s,
+        q_out,
+    };
+
+    let final_mode = match config.final_rule {
+        FinalRule::Global => TypeMode::Global,
+        FinalRule::LocalAuto => TypeMode::Local { r: 2 * r + 1 },
+        FinalRule::Local(rho) => TypeMode::Local { r: rho },
+    };
+    // In global mode the fit may use the full output rank; locally we keep
+    // rank q* and lean on the radius (see module docs).
+    let fit_q = match final_mode.radius() {
+        None => q_out.min(q_star + 2),
+        Some(_) => q_star,
+    };
+
+    // Baseline branch: no parameters (covers ℓ* = 0, conflict-free inputs,
+    // and Remark 17's non-critical examples).
+    let (mut best_h, mut best_err) =
+        fit_with_params(inst.graph, &inst.examples, &[], fit_q, final_mode, arena);
+    let mut best_rounds = 0usize;
+    let mut branches = 1usize;
+
+    if ell_star > 0 && best_err > 0.0 && !inst.examples.is_empty() {
+        let root = RoundState::initial(inst);
+        let mut ctx = SearchCtx {
+            inst,
+            config,
+            derived,
+            eps,
+            final_mode,
+            fit_q,
+            arena,
+            branches: &mut branches,
+            best_h: &mut best_h,
+            best_err: &mut best_err,
+            best_rounds: &mut best_rounds,
+        };
+        explore(&mut ctx, &root, Vec::new(), 0);
+    }
+
+    NdReport {
+        error: best_err,
+        hypothesis: best_h,
+        rounds_used: best_rounds,
+        derived,
+        branches_explored: branches,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Search driver
+// ---------------------------------------------------------------------------
+
+struct SearchCtx<'a, 'g> {
+    inst: &'a ErmInstance<'g>,
+    config: &'a NdConfig,
+    derived: DerivedParams,
+    eps: f64,
+    final_mode: TypeMode,
+    fit_q: usize,
+    arena: &'a Arc<Mutex<TypeArena>>,
+    branches: &'a mut usize,
+    best_h: &'a mut Hypothesis,
+    best_err: &'a mut f64,
+    best_rounds: &'a mut usize,
+}
+
+fn evaluate_leaf(ctx: &mut SearchCtx<'_, '_>, params: &[V], rounds: usize) {
+    *ctx.branches += 1;
+    let (h, err) = fit_with_params(
+        ctx.inst.graph,
+        &ctx.inst.examples,
+        params,
+        ctx.fit_q,
+        ctx.final_mode,
+        ctx.arena,
+    );
+    if err < *ctx.best_err {
+        *ctx.best_h = h;
+        *ctx.best_err = err;
+        *ctx.best_rounds = rounds;
+    }
+}
+
+fn explore(ctx: &mut SearchCtx<'_, '_>, state: &RoundState, params: Vec<V>, round: usize) {
+    if *ctx.best_err == 0.0 || *ctx.branches >= ctx.config.max_branches {
+        return;
+    }
+    // Every parameter prefix is a candidate hypothesis: stopping early is
+    // always allowed (later rounds only refine the remaining conflicts).
+    if !params.is_empty() {
+        evaluate_leaf(ctx, &params, round);
+        if *ctx.best_err == 0.0 {
+            return;
+        }
+    }
+    if round >= ctx.derived.s {
+        return;
+    }
+    let critical = critical_tuples(state, ctx.derived.r, ctx.inst.q);
+    if critical.is_empty() {
+        return; // conflict-free: nothing left to resolve
+    }
+    let cap_theory = ((ctx.inst.k.max(1) * ctx.inst.ell.max(1) * ctx.derived.s) as f64
+        / ctx.eps)
+        .ceil() as usize;
+    let critical_refs: Vec<&[V]> = critical
+        .iter()
+        .map(|&i| state.examples[i].tuple.as_slice())
+        .collect();
+    let x = select_centers(
+        &state.graph,
+        &critical_refs,
+        ctx.derived.r,
+        cap_theory.clamp(1, 12),
+    );
+    if x.is_empty() {
+        return;
+    }
+    let y_choices: Vec<Vec<V>> = match ctx.config.search {
+        SearchMode::Greedy => {
+            vec![x.iter().copied().take(ctx.inst.ell.max(1)).collect()]
+        }
+        SearchMode::Exhaustive => subsets_up_to(&x, ctx.inst.ell.max(1)),
+    };
+    for y in y_choices {
+        if *ctx.best_err == 0.0 || *ctx.branches >= ctx.config.max_branches {
+            return;
+        }
+        let step = advance_round(state, &y, ctx.derived.r, ctx.inst, ctx.derived.big_r, ctx.config);
+        if step.new_params.is_empty() {
+            continue;
+        }
+        let mut next_params = params.clone();
+        next_params.extend(step.new_params.iter().copied());
+        explore(ctx, &step.next, next_params, round + 1);
+    }
+}
+
+fn subsets_up_to(x: &[V], max_size: usize) -> Vec<Vec<V>> {
+    let cap = x.len().min(16);
+    let mut out: Vec<Vec<V>> = (1u32..(1u32 << cap))
+        .filter(|m| (m.count_ones() as usize) <= max_size)
+        .map(|mask| {
+            (0..cap)
+                .filter(|i| mask >> i & 1 == 1)
+                .map(|i| x[i])
+                .collect()
+        })
+        .collect();
+    // Larger guesses first: they tend to resolve more conflicts per round.
+    out.sort_by_key(|s: &Vec<V>| std::cmp::Reverse(s.len()));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Round state: the derived graphs G^i and training sequences Λ^i
+// ---------------------------------------------------------------------------
+
+/// Provenance of a vertex of a derived graph `G^i`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Origin {
+    /// Corresponds to this vertex of the original graph.
+    Real(V),
+    /// A cut-out splitter answer (kept isolated, `B`-coloured).
+    Marker(V),
+    /// A type vertex `t_{I,θ}` standing in for a far example fragment.
+    TypeVertex,
+}
+
+#[derive(Clone, Debug)]
+struct RoundExample {
+    tuple: Vec<V>,
+    label: bool,
+}
+
+struct RoundState {
+    graph: Graph,
+    origin: Vec<Origin>,
+    examples: Vec<RoundExample>,
+}
+
+impl RoundState {
+    fn initial(inst: &ErmInstance<'_>) -> Self {
+        Self {
+            graph: inst.graph.clone(),
+            origin: inst.graph.vertices().map(Origin::Real).collect(),
+            examples: inst
+                .examples
+                .iter()
+                .map(|e| RoundExample {
+                    tuple: e.tuple.clone(),
+                    label: e.label,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Indices of examples whose local `(q*, r)`-type is realised with both
+/// labels — the critical examples `Γ^i`.
+fn critical_tuples(state: &RoundState, r: usize, q_star: usize) -> Vec<usize> {
+    if state.examples.is_empty() {
+        return Vec::new();
+    }
+    let mut round_arena = TypeArena::new(Arc::clone(state.graph.vocab()));
+    let types: Vec<TypeId> = state
+        .examples
+        .iter()
+        .map(|e| local_type(&state.graph, &mut round_arena, &e.tuple, q_star, r))
+        .collect();
+    let mut seen: HashMap<TypeId, (bool, bool)> = HashMap::new();
+    for (e, &t) in state.examples.iter().zip(&types) {
+        let entry = seen.entry(t).or_insert((false, false));
+        if e.label {
+            entry.0 = true;
+        } else {
+            entry.1 = true;
+        }
+    }
+    state
+        .examples
+        .iter()
+        .zip(&types)
+        .enumerate()
+        .filter(|(_, (_, t))| {
+            let (p, n) = seen[*t];
+            p && n
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Lemma 14: greedily pick pairwise `>4r+2`-separated centres maximising
+/// `|Γ^i(x)|` (the number of critical tuples whose `(2r+1)`-ball contains
+/// the centre), capped at `cap ≈ ⌈kℓ*s/ε⌉`.
+pub(crate) fn select_centers(
+    g: &Graph,
+    critical_tuples: &[&[V]],
+    r: usize,
+    cap: usize,
+) -> Vec<V> {
+    let n = g.num_vertices();
+    let mut gamma = vec![0u32; n];
+    for t in critical_tuples {
+        let dist = bfs::bounded_distances(g, t, 2 * r + 1);
+        for v in g.vertices() {
+            if dist[v.index()] != u32::MAX {
+                gamma[v.index()] += 1;
+            }
+        }
+    }
+    let mut chosen: Vec<V> = Vec::new();
+    let mut blocked = vec![false; n];
+    while chosen.len() < cap {
+        let Some(best) = g
+            .vertices()
+            .filter(|v| !blocked[v.index()] && gamma[v.index()] > 0)
+            .max_by_key(|v| gamma[v.index()])
+        else {
+            break;
+        };
+        chosen.push(best);
+        let near = bfs::bounded_distances(g, &[best], 4 * r + 2);
+        for v in g.vertices() {
+            if near[v.index()] != u32::MAX {
+                blocked[v.index()] = true;
+            }
+        }
+    }
+    chosen
+}
+
+/// One learner round's outputs.
+struct RoundStep {
+    /// Splitter answers mapped back to *original-graph* vertices.
+    new_params: Vec<V>,
+    /// The next state `(G^{i+1}, Λ^{i+1})`.
+    next: RoundState,
+}
+
+#[derive(Clone, Copy)]
+enum Slot {
+    Mapped(V),
+    TypeVertex(usize),
+    Unassigned,
+}
+
+/// Lemma 3 + splitter answers + the Lemma 16 construction.
+fn advance_round(
+    state: &RoundState,
+    y: &[V],
+    r: usize,
+    inst: &ErmInstance<'_>,
+    big_r: usize,
+    config: &NdConfig,
+) -> RoundStep {
+    let g = &state.graph;
+    let k = inst.k.max(1);
+    let base = (k + 2) * (2 * r + 1);
+    let cover = crate::covering::vitali_cover(g, y, base);
+    let r_prime = cover.radius.min(big_r);
+    let z = &cover.centers;
+
+    // Splitter answers to the Connector picks (z_j, R').
+    let mut strategy = config.class.make_splitter(g);
+    let answers: Vec<V> = z.iter().map(|&zj| strategy.answer(g, zj, r_prime)).collect();
+    let new_params: Vec<V> = answers
+        .iter()
+        .filter_map(|&w| match state.origin[w.index()] {
+            Origin::Real(orig) => Some(orig),
+            _ => None,
+        })
+        .collect();
+
+    // --- Lemma 16 construction -------------------------------------------
+    // Vertex set: N_{R'}(Z) plus the previously isolated vertices U*.
+    let covered = bfs::bounded_distances(g, z, r_prime);
+    let keep: Vec<V> = g
+        .vertices()
+        .filter(|&v| covered[v.index()] != u32::MAX || g.is_isolated(v))
+        .collect();
+
+    let sub = ops::induced_subgraph(g, &keep);
+    // Step 3: cut out the splitter answers.
+    let answers_in_sub: Vec<V> = answers.iter().filter_map(|&w| sub.to_new(w)).collect();
+    let cut = ops::delete_incident_edges(&sub.graph, &answers_in_sub);
+
+    // Steps 1–3 colours: D (distance to each y_j up to (k+2)(2r+1)),
+    // C (old neighbourhoods of the answers), B (the answers). The current
+    // vocabulary size tags the names so successive rounds never collide.
+    let tag = g.vocab().num_colors();
+    let mut new_colors: Vec<(String, Vec<V>)> = Vec::new();
+    for (j, &yj) in y.iter().enumerate() {
+        let dj = bfs::bounded_distances(g, &[yj], base);
+        for d in 0..=base {
+            let marked: Vec<V> = keep
+                .iter()
+                .filter(|&&v| dj[v.index()] != u32::MAX && dj[v.index()] as usize == d)
+                .filter_map(|&v| sub.to_new(v))
+                .collect();
+            if !marked.is_empty() {
+                new_colors.push((format!("__D{tag}_{j}_{d}"), marked));
+            }
+        }
+    }
+    for (j, &w) in answers.iter().enumerate() {
+        let neigh: Vec<V> = g
+            .neighbors(w)
+            .iter()
+            .filter_map(|&u| sub.to_new(V(u)))
+            .collect();
+        new_colors.push((format!("__C{tag}_{j}"), neigh));
+        if let Some(wn) = sub.to_new(w) {
+            new_colors.push((format!("__B{tag}_{j}"), vec![wn]));
+        }
+    }
+    let colored = {
+        let refs: Vec<(&str, Vec<V>)> = new_colors
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.clone()))
+            .collect();
+        ops::expand_colors(&cut, &refs)
+    };
+
+    // Step 4 + example projection (Λ^{i+1}): keep critical examples
+    // touching N_{6r+3}(Y); replace far-away fragments by type vertices.
+    let horizon = (6 * r + 3).min(base);
+    let dist_y = bfs::bounded_distances(g, y, base);
+    let mut round_arena = TypeArena::new(Arc::clone(g.vocab()));
+    let mut registry: HashMap<(Vec<usize>, TypeId), usize> = HashMap::new();
+    let mut planned: Vec<(Vec<Slot>, bool)> = Vec::new();
+    for e in &state.examples {
+        let touches = e
+            .tuple
+            .iter()
+            .any(|v| (dist_y[v.index()] as usize).le(&horizon) && dist_y[v.index()] != u32::MAX);
+        if !touches {
+            continue;
+        }
+        let comps = linkage_components(g, &e.tuple, 2 * r + 1);
+        let mut slots = vec![Slot::Unassigned; e.tuple.len()];
+        let mut ok = true;
+        for comp in comps {
+            let near = comp.iter().any(|&a| {
+                let d = dist_y[e.tuple[a].index()];
+                d != u32::MAX && (d as usize) <= horizon
+            });
+            if near {
+                for &a in &comp {
+                    match sub.to_new(e.tuple[a]) {
+                        Some(nv) => slots[a] = Slot::Mapped(nv),
+                        None => ok = false,
+                    }
+                }
+            } else {
+                let restricted: Vec<V> = comp.iter().map(|&a| e.tuple[a]).collect();
+                let theta = local_type(g, &mut round_arena, &restricted, inst.q, r);
+                let next_id = registry.len();
+                let tv = *registry.entry((comp.clone(), theta)).or_insert(next_id);
+                for &a in &comp {
+                    slots[a] = Slot::TypeVertex(tv);
+                }
+            }
+        }
+        if ok {
+            planned.push((slots, e.label));
+        }
+    }
+
+    // Materialise the type vertices as fresh isolated coloured vertices
+    // (each colour `A_{I,θ}` encodes which fragment-type it represents).
+    let (with_tv, first_tv) = ops::add_isolated_vertices(&colored, registry.len());
+    let tv_colors: Vec<(String, Vec<V>)> = registry
+        .iter()
+        .map(|((comp, theta), idx)| {
+            (
+                format!("__A{tag}_{}_{}", fmt_comp(comp), theta.0),
+                vec![V(first_tv.0 + *idx as u32)],
+            )
+        })
+        .collect();
+    let final_graph = {
+        let refs: Vec<(&str, Vec<V>)> = tv_colors
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.clone()))
+            .collect();
+        ops::expand_colors(&with_tv, &refs)
+    };
+
+    // Provenance of the new graph's vertices.
+    let mut origin: Vec<Origin> = sub
+        .to_old
+        .iter()
+        .map(|&old| match state.origin[old.index()] {
+            Origin::Real(v) => {
+                if answers.contains(&old) {
+                    Origin::Marker(v)
+                } else {
+                    Origin::Real(v)
+                }
+            }
+            other => other,
+        })
+        .collect();
+    origin.extend(std::iter::repeat_n(Origin::TypeVertex, registry.len()));
+
+    let examples = planned
+        .into_iter()
+        .map(|(slots, label)| RoundExample {
+            tuple: slots
+                .into_iter()
+                .map(|s| match s {
+                    Slot::Mapped(v) => v,
+                    Slot::TypeVertex(i) => V(first_tv.0 + i as u32),
+                    Slot::Unassigned => unreachable!("all slots are assigned"),
+                })
+                .collect(),
+            label,
+        })
+        .collect();
+
+    RoundStep {
+        new_params,
+        next: RoundState {
+            graph: final_graph,
+            origin,
+            examples,
+        },
+    }
+}
+
+fn fmt_comp(comp: &[usize]) -> String {
+    comp.iter()
+        .map(usize::to_string)
+        .collect::<Vec<_>>()
+        .join("-")
+}
+
+/// The linkage graph `H_v̄` of Lemma 16: positions `a, b` are linked when
+/// `dist(v_a, v_b) ≤ 2r+1` (equal vertices are distance 0 and must
+/// project together); returns connected components as sorted index lists.
+fn linkage_components(g: &Graph, tuple: &[V], threshold: usize) -> Vec<Vec<usize>> {
+    let k = tuple.len();
+    let mut adj = vec![Vec::new(); k];
+    for a in 0..k {
+        let dist = bfs::bounded_distances(g, &[tuple[a]], threshold);
+        for b in (a + 1)..k {
+            if dist[tuple[b].index()] != u32::MAX {
+                adj[a].push(b);
+                adj[b].push(a);
+            }
+        }
+    }
+    let mut comp_id = vec![usize::MAX; k];
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+    for start in 0..k {
+        if comp_id[start] != usize::MAX {
+            continue;
+        }
+        let id = comps.len();
+        comp_id[start] = id;
+        let mut stack = vec![start];
+        let mut members = Vec::new();
+        while let Some(a) = stack.pop() {
+            members.push(a);
+            for &b in &adj[a] {
+                if comp_id[b] == usize::MAX {
+                    comp_id[b] = id;
+                    stack.push(b);
+                }
+            }
+        }
+        members.sort_unstable();
+        comps.push(members);
+    }
+    comps
+}
+
+#[cfg(test)]
+mod tests {
+    use folearn_graph::{generators, ColorId, Vocabulary};
+
+    use crate::bruteforce::optimal_error;
+    use crate::problem::TrainingSequence;
+
+    use super::*;
+
+    fn arena_for(g: &Graph) -> Arc<Mutex<TypeArena>> {
+        Arc::new(Mutex::new(TypeArena::new(Arc::clone(g.vocab()))))
+    }
+
+    fn config() -> NdConfig {
+        NdConfig {
+            class: GraphClass::Forest,
+            search: SearchMode::Exhaustive,
+            final_rule: FinalRule::LocalAuto,
+            locality_radius: Some(1),
+            max_rounds: Some(3),
+            max_branches: 200,
+        }
+    }
+
+    #[test]
+    fn linkage_components_split_far_positions() {
+        let g = generators::path(20, Vocabulary::empty());
+        let comps = linkage_components(&g, &[V(0), V(1), V(15)], 3);
+        assert_eq!(comps, vec![vec![0, 1], vec![2]]);
+        let comps2 = linkage_components(&g, &[V(0), V(0)], 3);
+        assert_eq!(comps2, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn center_selection_is_separated() {
+        let g = generators::path(40, Vocabulary::empty());
+        let t1: &[V] = &[V(5)];
+        let t2: &[V] = &[V(30)];
+        let r = 1;
+        let centers = select_centers(&g, &[t1, t2], r, 8);
+        assert!(!centers.is_empty());
+        for (i, &a) in centers.iter().enumerate() {
+            for &b in &centers[i + 1..] {
+                let d = bfs::distance(&g, a, b).unwrap_or(usize::MAX);
+                assert!(d > 4 * r + 2, "centres too close: {a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_free_input_needs_no_parameters() {
+        let vocab = Vocabulary::new(["Red"]);
+        let g = generators::periodically_colored(
+            &generators::path(12, vocab),
+            ColorId(0),
+            3,
+        );
+        let examples = TrainingSequence::label_all_tuples(&g, 1, |t| {
+            g.has_color(t[0], ColorId(0))
+        });
+        let inst = ErmInstance::new(&g, examples, 1, 1, 1, 0.05);
+        let arena = arena_for(&g);
+        let report = nd_learn(&inst, &config(), &arena);
+        assert_eq!(report.error, 0.0);
+        assert_eq!(report.rounds_used, 0);
+        assert!(report.hypothesis.params.is_empty());
+    }
+
+    #[test]
+    fn learns_hidden_vertex_target_within_bound() {
+        // Target "x is adjacent to w or equals w" for a hidden w — needs a
+        // parameter; ε* = 0 with ℓ* = 1, q* = 1.
+        let g = generators::path(16, Vocabulary::empty());
+        let w = V(8);
+        let target = |t: &[V]| t[0] == w || g.has_edge(t[0], w);
+        let examples = TrainingSequence::label_all_tuples(&g, 1, target);
+        let inst = ErmInstance::new(&g, examples, 1, 1, 1, 0.2);
+        let arena = arena_for(&g);
+        let eps_star = optimal_error(&inst, &arena);
+        assert_eq!(eps_star, 0.0);
+        let report = nd_learn(&inst, &config(), &arena);
+        assert!(
+            report.error <= eps_star + inst.epsilon + 1e-9,
+            "err {} > ε* {} + ε {}",
+            report.error,
+            eps_star,
+            inst.epsilon
+        );
+        assert!(!report.hypothesis.params.is_empty());
+    }
+
+    #[test]
+    fn learns_on_random_tree() {
+        let g = generators::random_tree(24, Vocabulary::empty(), 5);
+        let w = V(11);
+        let target = |t: &[V]| t[0] == w || g.has_edge(t[0], w);
+        let examples = TrainingSequence::label_all_tuples(&g, 1, target);
+        let inst = ErmInstance::new(&g, examples, 1, 1, 1, 0.2);
+        let arena = arena_for(&g);
+        let eps_star = optimal_error(&inst, &arena);
+        let report = nd_learn(&inst, &config(), &arena);
+        assert!(
+            report.error <= eps_star + inst.epsilon + 1e-9,
+            "err {} > ε* {} + ε",
+            report.error,
+            eps_star
+        );
+    }
+
+    #[test]
+    fn agnostic_noise_is_tolerated() {
+        // Flip a few labels: ε* > 0; the learner must stay within ε.
+        let g = generators::path(14, Vocabulary::empty());
+        let w = V(7);
+        let mut examples = TrainingSequence::new();
+        for v in g.vertices() {
+            let mut label = v == w || g.has_edge(v, w);
+            if v == V(0) {
+                label = !label; // adversarial noise
+            }
+            examples.push(crate::problem::Example::new(vec![v], label));
+        }
+        let inst = ErmInstance::new(&g, examples, 1, 1, 1, 0.25);
+        let arena = arena_for(&g);
+        let eps_star = optimal_error(&inst, &arena);
+        let report = nd_learn(&inst, &config(), &arena);
+        assert!(
+            report.error <= eps_star + inst.epsilon + 1e-9,
+            "err {} > ε* {} + ε",
+            report.error,
+            eps_star
+        );
+    }
+
+    #[test]
+    fn greedy_mode_close_to_exhaustive() {
+        let g = generators::random_tree(20, Vocabulary::empty(), 9);
+        let w = V(10);
+        let target = |t: &[V]| t[0] == w || g.has_edge(t[0], w);
+        let examples = TrainingSequence::label_all_tuples(&g, 1, target);
+        let inst = ErmInstance::new(&g, examples, 1, 1, 1, 0.25);
+        let arena = arena_for(&g);
+        let mut cfg = config();
+        cfg.search = SearchMode::Greedy;
+        let greedy = nd_learn(&inst, &cfg, &arena);
+        let exhaustive = nd_learn(&inst, &config(), &arena);
+        assert!(greedy.error + 1e-9 >= exhaustive.error);
+        assert!(greedy.branches_explored <= exhaustive.branches_explored);
+    }
+
+    #[test]
+    fn learns_pair_query_with_parameter() {
+        // k = 2: "x0 and x1 are both within distance 1 of w" — exercises
+        // the Lemma 16 projection with genuine tuple linkage components
+        // (positions can fall in different fragments).
+        let g = generators::path(12, Vocabulary::empty());
+        let w = V(6);
+        let near = |v: V| v == w || g.has_edge(v, w);
+        let target = |t: &[V]| near(t[0]) && near(t[1]);
+        let examples = TrainingSequence::label_all_tuples(&g, 2, target);
+        let inst = ErmInstance::new(&g, examples, 2, 1, 1, 0.2);
+        let arena = arena_for(&g);
+        let eps_star = optimal_error(&inst, &arena);
+        let mut cfg = config();
+        cfg.max_branches = 120;
+        let report = nd_learn(&inst, &cfg, &arena);
+        assert!(
+            report.error <= eps_star + inst.epsilon + 1e-9,
+            "err {} > ε* {} + ε",
+            report.error,
+            eps_star
+        );
+    }
+
+    #[test]
+    fn somewhere_dense_heuristic_degrades_gracefully() {
+        // On a clique (not nowhere dense) with the heuristic class the
+        // learner must still return *some* hypothesis no worse than the
+        // parameterless baseline.
+        let g = generators::clique(8, Vocabulary::empty());
+        let examples = TrainingSequence::label_all_tuples(&g, 1, |t| t[0].0 < 4);
+        let inst = ErmInstance::new(&g, examples.clone(), 1, 1, 1, 0.2);
+        let arena = arena_for(&g);
+        let cfg = NdConfig {
+            class: GraphClass::Heuristic { assumed_rounds: 3 },
+            ..config()
+        };
+        let report = nd_learn(&inst, &cfg, &arena);
+        let (_, baseline) = crate::fit::fit_with_params(
+            &g,
+            &examples,
+            &[],
+            1,
+            crate::fit::TypeMode::Local { r: 3 },
+            &arena,
+        );
+        assert!(report.error <= baseline + 1e-9);
+    }
+
+    #[test]
+    fn derived_constants_follow_the_paper() {
+        let g = generators::path(6, Vocabulary::empty());
+        let examples = TrainingSequence::label_all_tuples(&g, 1, |_| true);
+        let inst = ErmInstance::new(&g, examples, 1, 2, 1, 0.1);
+        let arena = arena_for(&g);
+        let cfg = NdConfig {
+            locality_radius: None, // use Gaifman's r(1) = 1
+            ..config()
+        };
+        let report = nd_learn(&inst, &cfg, &arena);
+        // r(1) = 4, base = (k+2)(2r+1) = 27, R = 3^{ℓ*−1}·27 = 81.
+        assert_eq!(report.derived.r, 4);
+        assert_eq!(report.derived.big_r, 81);
+        assert_eq!(report.derived.s_theory, 81 + 2); // forest bound r+2
+        assert_eq!(report.derived.ell_out, 2 * report.derived.s);
+        assert!(report.derived.q_out > 7); // q* + ⌈log₂ 81⌉
+    }
+}

@@ -1,0 +1,289 @@
+//! The (agnostic) PAC layer of Section 3.
+//!
+//! The paper frames learning statistically: examples are drawn i.i.d.
+//! from an unknown distribution `D` on `V(G)^k × {0,1}`, and by uniform
+//! convergence an (approximate) empirical risk minimiser is an (agnostic)
+//! PAC learner once `m = O(log |H_{k,ℓ,q}(G)|) = O(ℓ · log n)` examples
+//! are seen. This module provides the distributions, sampling, and risk
+//! estimation that the E6 experiments use to *measure* that convergence.
+
+use folearn_graph::{Graph, V};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::problem::{Example, TrainingSequence};
+
+/// A data-generating distribution on `V(G)^k × {0,1}`.
+pub trait ExampleDistribution {
+    /// Tuple arity `k`.
+    fn arity(&self) -> usize;
+    /// Draw one labelled example.
+    fn sample(&self, rng: &mut StdRng) -> (Vec<V>, bool);
+}
+
+/// Uniform tuples labelled by a target query, with optional symmetric
+/// label noise `η` (making the problem agnostic for `η > 0`).
+pub struct QueryDistribution<'g, F> {
+    graph: &'g Graph,
+    k: usize,
+    target: F,
+    noise: f64,
+}
+
+impl<'g, F: Fn(&[V]) -> bool> QueryDistribution<'g, F> {
+    /// Uniform-over-tuples distribution labelled by `target`, flipping
+    /// each label independently with probability `noise`.
+    ///
+    /// # Panics
+    /// Panics if the graph is empty or `noise ∉ [0, 1]`.
+    pub fn new(graph: &'g Graph, k: usize, target: F, noise: f64) -> Self {
+        assert!(graph.num_vertices() > 0, "cannot sample an empty graph");
+        assert!((0.0..=1.0).contains(&noise));
+        Self {
+            graph,
+            k,
+            target,
+            noise,
+        }
+    }
+
+    /// The noiseless target label of a tuple.
+    pub fn clean_label(&self, tuple: &[V]) -> bool {
+        (self.target)(tuple)
+    }
+
+    /// The Bayes-optimal risk of this distribution (= `η`).
+    pub fn bayes_risk(&self) -> f64 {
+        self.noise.min(1.0 - self.noise)
+    }
+
+    /// The exact generalisation error of a predictor under this
+    /// distribution: with disagreement rate `d` against the clean target
+    /// over uniform tuples, the risk is `d(1−η) + (1−d)η`.
+    pub fn exact_risk(&self, mut predict: impl FnMut(&[V]) -> bool) -> f64 {
+        let mut tuple = vec![V(0); self.k];
+        let mut total = 0usize;
+        let mut disagree = 0usize;
+        count_disagreements(
+            self.graph,
+            &mut tuple,
+            0,
+            &mut |t| (self.target)(t),
+            &mut predict,
+            &mut total,
+            &mut disagree,
+        );
+        let d = disagree as f64 / total.max(1) as f64;
+        d * (1.0 - self.noise) + (1.0 - d) * self.noise
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn count_disagreements(
+    g: &Graph,
+    tuple: &mut Vec<V>,
+    pos: usize,
+    target: &mut impl FnMut(&[V]) -> bool,
+    predict: &mut impl FnMut(&[V]) -> bool,
+    total: &mut usize,
+    disagree: &mut usize,
+) {
+    if pos == tuple.len() {
+        *total += 1;
+        if target(tuple) != predict(tuple) {
+            *disagree += 1;
+        }
+        return;
+    }
+    for v in g.vertices() {
+        tuple[pos] = v;
+        count_disagreements(g, tuple, pos + 1, target, predict, total, disagree);
+    }
+}
+
+impl<F: Fn(&[V]) -> bool> ExampleDistribution for QueryDistribution<'_, F> {
+    fn arity(&self) -> usize {
+        self.k
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> (Vec<V>, bool) {
+        let n = self.graph.num_vertices() as u32;
+        let tuple: Vec<V> = (0..self.k).map(|_| V(rng.random_range(0..n))).collect();
+        let mut label = (self.target)(&tuple);
+        if self.noise > 0.0 && rng.random_bool(self.noise) {
+            label = !label;
+        }
+        (tuple, label)
+    }
+}
+
+/// An explicit finite distribution (arbitrary `D`, fully agnostic):
+/// weighted atoms on `(tuple, label)` pairs.
+pub struct TableDistribution {
+    atoms: Vec<(Vec<V>, bool, f64)>,
+    total: f64,
+}
+
+impl TableDistribution {
+    /// Build from weighted atoms.
+    ///
+    /// # Panics
+    /// Panics on empty input, non-positive weights, or mixed arities.
+    pub fn new(atoms: Vec<(Vec<V>, bool, f64)>) -> Self {
+        assert!(!atoms.is_empty());
+        let k = atoms[0].0.len();
+        assert!(atoms.iter().all(|(t, _, w)| t.len() == k && *w > 0.0));
+        let total = atoms.iter().map(|(_, _, w)| w).sum();
+        Self { atoms, total }
+    }
+
+    /// Exact risk of a predictor under the table.
+    pub fn exact_risk(&self, mut predict: impl FnMut(&[V]) -> bool) -> f64 {
+        self.atoms
+            .iter()
+            .filter(|(t, l, _)| predict(t) != *l)
+            .map(|(_, _, w)| w)
+            .sum::<f64>()
+            / self.total
+    }
+}
+
+impl ExampleDistribution for TableDistribution {
+    fn arity(&self) -> usize {
+        self.atoms[0].0.len()
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> (Vec<V>, bool) {
+        let mut x = rng.random_range(0.0..self.total);
+        for (t, l, w) in &self.atoms {
+            if x < *w {
+                return (t.clone(), *l);
+            }
+            x -= w;
+        }
+        let last = self.atoms.last().unwrap();
+        (last.0.clone(), last.1)
+    }
+}
+
+/// Draw an i.i.d. training sequence of length `m`.
+pub fn sample_sequence(
+    dist: &dyn ExampleDistribution,
+    m: usize,
+    seed: u64,
+) -> TrainingSequence {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..m)
+        .map(|_| {
+            let (t, l) = dist.sample(&mut rng);
+            Example::new(t, l)
+        })
+        .collect()
+}
+
+/// Monte-Carlo estimate of the generalisation error of a predictor.
+pub fn estimate_risk(
+    dist: &dyn ExampleDistribution,
+    mut predict: impl FnMut(&[V]) -> bool,
+    n_test: usize,
+    seed: u64,
+) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut wrong = 0usize;
+    for _ in 0..n_test {
+        let (t, l) = dist.sample(&mut rng);
+        if predict(&t) != l {
+            wrong += 1;
+        }
+    }
+    wrong as f64 / n_test.max(1) as f64
+}
+
+/// The sample-size heuristic from Section 3 for finite classes:
+/// `m = ⌈(ln |H| + ln(1/δ)) / (2ε²)⌉` with
+/// `|H_{k,ℓ,q}(G)| ≤ f · n^ℓ` — callers supply `ln f` (a type-count
+/// census gives it empirically).
+pub fn uniform_convergence_sample_size(
+    ln_f: f64,
+    ell: usize,
+    n: usize,
+    epsilon: f64,
+    delta: f64,
+) -> usize {
+    let ln_h = ln_f + ell as f64 * (n as f64).ln();
+    ((ln_h + (1.0 / delta).ln()) / (2.0 * epsilon * epsilon)).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use folearn_graph::{generators, Vocabulary};
+
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let g = generators::path(10, Vocabulary::empty());
+        let d = QueryDistribution::new(&g, 1, |t: &[V]| t[0].0 < 5, 0.0);
+        let a = sample_sequence(&d, 20, 7);
+        let b = sample_sequence(&d, 20, 7);
+        assert_eq!(a.examples(), b.examples());
+    }
+
+    #[test]
+    fn clean_labels_match_target() {
+        let g = generators::path(10, Vocabulary::empty());
+        let d = QueryDistribution::new(&g, 1, |t: &[V]| t[0].0 % 2 == 0, 0.0);
+        let s = sample_sequence(&d, 50, 3);
+        for e in s.iter() {
+            assert_eq!(e.label, e.tuple[0].0 % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn noise_flips_some_labels() {
+        let g = generators::path(10, Vocabulary::empty());
+        let d = QueryDistribution::new(&g, 1, |_: &[V]| true, 0.3);
+        let s = sample_sequence(&d, 300, 5);
+        let flipped = s.iter().filter(|e| !e.label).count();
+        assert!((50..130).contains(&flipped), "flipped = {flipped}");
+    }
+
+    #[test]
+    fn exact_risk_of_target_is_noise() {
+        let g = generators::path(8, Vocabulary::empty());
+        let target = |t: &[V]| t[0].0 < 4;
+        let d = QueryDistribution::new(&g, 1, target, 0.1);
+        let r = d.exact_risk(target);
+        assert!((r - 0.1).abs() < 1e-12);
+        assert!((d.exact_risk(|_| true) - (0.5 * 0.9 + 0.5 * 0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_converges_to_exact() {
+        let g = generators::path(8, Vocabulary::empty());
+        let target = |t: &[V]| t[0].0 < 4;
+        let d = QueryDistribution::new(&g, 1, target, 0.0);
+        let est = estimate_risk(&d, |_| false, 20_000, 11);
+        assert!((est - 0.5).abs() < 0.02, "est = {est}");
+    }
+
+    #[test]
+    fn table_distribution_weights() {
+        let t = TableDistribution::new(vec![
+            (vec![V(0)], true, 3.0),
+            (vec![V(1)], false, 1.0),
+        ]);
+        // Predicting constantly true errs on the weight-1 atom: risk 0.25.
+        assert!((t.exact_risk(|_| true) - 0.25).abs() < 1e-12);
+        let est = estimate_risk(&t, |_| true, 40_000, 2);
+        assert!((est - 0.25).abs() < 0.02, "est = {est}");
+    }
+
+    #[test]
+    fn sample_size_grows_logarithmically_in_n() {
+        let m1 = uniform_convergence_sample_size(2.0, 1, 100, 0.1, 0.05);
+        let m2 = uniform_convergence_sample_size(2.0, 1, 10_000, 0.1, 0.05);
+        assert!(m2 < 2 * m1, "m1={m1} m2={m2}");
+        assert!(m2 > m1);
+    }
+}

@@ -1,0 +1,280 @@
+//! The learning problem: training sequences and ERM instances.
+//!
+//! Section 3 of the paper: a training sequence
+//! `Λ = ((v̄_1, λ_1), …, (v̄_m, λ_m)) ∈ (V(G)^k × {0,1})^m`, the training
+//! error `err_Λ(h) = |{i : h(v̄_i) ≠ λ_i}| / m`, and the `FO-ERM` problem:
+//! given `G, Λ, k, ℓ, q, ε`, return `h_{φ,w̄} ∈ H_{k,ℓ,q}(G)` with
+//! `err_Λ(h) ≤ ε* + ε` where `ε*` is the class optimum.
+
+use folearn_graph::{Graph, V};
+
+/// One labelled example `(v̄, λ)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Example {
+    /// The `k`-tuple of vertices.
+    pub tuple: Vec<V>,
+    /// The Boolean label.
+    pub label: bool,
+}
+
+impl Example {
+    /// Construct an example.
+    pub fn new(tuple: impl Into<Vec<V>>, label: bool) -> Self {
+        Self {
+            tuple: tuple.into(),
+            label,
+        }
+    }
+}
+
+/// A training sequence `Λ` of `k`-tuples with Boolean labels.
+#[derive(Clone, Debug, Default)]
+pub struct TrainingSequence {
+    examples: Vec<Example>,
+}
+
+impl TrainingSequence {
+    /// An empty sequence.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from `(tuple, label)` pairs.
+    ///
+    /// # Panics
+    /// Panics if the tuples do not all have the same arity.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Vec<V>, bool)>) -> Self {
+        let mut s = Self::new();
+        for (t, l) in pairs {
+            s.push(Example::new(t, l));
+        }
+        s
+    }
+
+    /// Append an example.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch with existing examples.
+    pub fn push(&mut self, e: Example) {
+        if let Some(first) = self.examples.first() {
+            assert_eq!(
+                first.tuple.len(),
+                e.tuple.len(),
+                "all examples must have the same arity"
+            );
+        }
+        self.examples.push(e);
+    }
+
+    /// Number of examples `m`.
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+
+    /// The arity `k` (0 for an empty sequence).
+    pub fn arity(&self) -> usize {
+        self.examples.first().map_or(0, |e| e.tuple.len())
+    }
+
+    /// Iterate over examples.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &Example> {
+        self.examples.iter()
+    }
+
+    /// The examples slice.
+    pub fn examples(&self) -> &[Example] {
+        &self.examples
+    }
+
+    /// The positive examples `Λ⁺` (tuples only).
+    pub fn positives(&self) -> impl Iterator<Item = &Example> {
+        self.examples.iter().filter(|e| e.label)
+    }
+
+    /// The negative examples `Λ⁻` (tuples only).
+    pub fn negatives(&self) -> impl Iterator<Item = &Example> {
+        self.examples.iter().filter(|e| !e.label)
+    }
+
+    /// Training error of an arbitrary predictor: the fraction of examples
+    /// it misclassifies.
+    pub fn error_of(&self, mut predict: impl FnMut(&[V]) -> bool) -> f64 {
+        if self.examples.is_empty() {
+            return 0.0;
+        }
+        let wrong = self
+            .examples
+            .iter()
+            .filter(|e| predict(&e.tuple) != e.label)
+            .count();
+        wrong as f64 / self.examples.len() as f64
+    }
+
+    /// Label all `k`-tuples of `g` by a target predicate — the canonical
+    /// way to build realisable workloads.
+    pub fn label_all_tuples(g: &Graph, k: usize, mut target: impl FnMut(&[V]) -> bool) -> Self {
+        let mut s = Self::new();
+        let mut tuple = vec![V(0); k];
+        fn rec(
+            g: &Graph,
+            tuple: &mut Vec<V>,
+            pos: usize,
+            target: &mut impl FnMut(&[V]) -> bool,
+            s: &mut TrainingSequence,
+        ) {
+            if pos == tuple.len() {
+                let label = target(tuple);
+                s.push(Example::new(tuple.clone(), label));
+                return;
+            }
+            for v in g.vertices() {
+                tuple[pos] = v;
+                rec(g, tuple, pos + 1, target, s);
+            }
+        }
+        rec(g, &mut tuple, 0, &mut target, &mut s);
+        s
+    }
+}
+
+impl FromIterator<Example> for TrainingSequence {
+    fn from_iter<I: IntoIterator<Item = Example>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for e in iter {
+            s.push(e);
+        }
+        s
+    }
+}
+
+/// A complete `FO-ERM` instance: background graph, training sequence, and
+/// the hyper-parameters `k, ℓ, q, ε`.
+#[derive(Clone, Debug)]
+pub struct ErmInstance<'g> {
+    /// The background graph `G`.
+    pub graph: &'g Graph,
+    /// The training sequence `Λ`.
+    pub examples: TrainingSequence,
+    /// Arity of the target query.
+    pub k: usize,
+    /// Number of parameters allowed.
+    pub ell: usize,
+    /// Quantifier-rank bound.
+    pub q: usize,
+    /// Additive approximation slack `ε`.
+    pub epsilon: f64,
+}
+
+impl<'g> ErmInstance<'g> {
+    /// Construct and validate an instance.
+    ///
+    /// # Panics
+    /// Panics if the example arity differs from `k`, a tuple mentions an
+    /// out-of-range vertex, or `ε < 0`.
+    pub fn new(
+        graph: &'g Graph,
+        examples: TrainingSequence,
+        k: usize,
+        ell: usize,
+        q: usize,
+        epsilon: f64,
+    ) -> Self {
+        assert!(epsilon >= 0.0, "epsilon must be non-negative");
+        assert!(
+            examples.is_empty() || examples.arity() == k,
+            "example arity {} does not match k = {k}",
+            examples.arity()
+        );
+        for e in examples.iter() {
+            for &v in &e.tuple {
+                assert!(
+                    v.index() < graph.num_vertices(),
+                    "example vertex {v} out of range"
+                );
+            }
+        }
+        Self {
+            graph,
+            examples,
+            k,
+            ell,
+            q,
+            epsilon,
+        }
+    }
+
+    /// The number of training examples `m`.
+    pub fn m(&self) -> usize {
+        self.examples.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use folearn_graph::{generators, Vocabulary};
+
+    use super::*;
+
+    #[test]
+    fn error_counts_mismatches() {
+        let s = TrainingSequence::from_pairs([
+            (vec![V(0)], true),
+            (vec![V(1)], false),
+            (vec![V(2)], true),
+            (vec![V(3)], false),
+        ]);
+        // Predictor: index even => true.
+        let err = s.error_of(|t| t[0].0 % 2 == 0);
+        assert_eq!(err, 0.0);
+        let err = s.error_of(|_| true);
+        assert_eq!(err, 0.5);
+        assert_eq!(s.positives().count(), 2);
+        assert_eq!(s.negatives().count(), 2);
+    }
+
+    #[test]
+    fn empty_sequence_error_zero() {
+        let s = TrainingSequence::new();
+        assert_eq!(s.error_of(|_| true), 0.0);
+        assert_eq!(s.arity(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "same arity")]
+    fn arity_mismatch_panics() {
+        let mut s = TrainingSequence::new();
+        s.push(Example::new(vec![V(0)], true));
+        s.push(Example::new(vec![V(0), V(1)], false));
+    }
+
+    #[test]
+    fn label_all_tuples_covers_domain() {
+        let g = generators::path(3, Vocabulary::empty());
+        let s = TrainingSequence::label_all_tuples(&g, 2, |t| t[0] == t[1]);
+        assert_eq!(s.len(), 9);
+        assert_eq!(s.positives().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn instance_validates_vertices() {
+        let g = generators::path(2, Vocabulary::empty());
+        let s = TrainingSequence::from_pairs([(vec![V(7)], true)]);
+        ErmInstance::new(&g, s, 1, 0, 1, 0.1);
+    }
+
+    #[test]
+    fn instance_accessors() {
+        let g = generators::path(4, Vocabulary::empty());
+        let s = TrainingSequence::from_pairs([(vec![V(0)], true), (vec![V(1)], false)]);
+        let inst = ErmInstance::new(&g, s, 1, 1, 2, 0.25);
+        assert_eq!(inst.m(), 2);
+        assert_eq!(inst.k, 1);
+    }
+}

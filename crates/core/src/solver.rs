@@ -1,0 +1,166 @@
+//! The top-level `FO-ERM` solver facade.
+//!
+//! One entry point, [`solve_fo_erm`], dispatching to the workspace's three
+//! learners — the exact brute force of Proposition 11, the
+//! fixed-parameter-tractable nowhere-dense learner of Theorem 13, and the
+//! sublinear local-access learner of reference \[22\] — with a uniform
+//! report. Downstream users pick a solver by what they know about their
+//! background structure:
+//!
+//! | you know…                            | pick                      |
+//! |--------------------------------------|---------------------------|
+//! | nothing (small graph)                | `Solver::BruteForce`      |
+//! | a nowhere dense class (e.g. forest)  | `Solver::NowhereDense`    |
+//! | bounded degree + few examples        | `Solver::LocalAccess`     |
+
+use crate::bruteforce::brute_force_erm;
+use crate::fit::TypeMode;
+use crate::hypothesis::Hypothesis;
+use crate::ndlearner::{nd_learn, NdConfig};
+use crate::problem::ErmInstance;
+use crate::sublinear::local_access_learn;
+use crate::SharedArena;
+
+/// Which learning algorithm to run.
+#[derive(Debug, Clone)]
+pub enum Solver {
+    /// Proposition 11: exhaustive over parameter tuples; exact.
+    BruteForce {
+        /// Type notion used by the inner fit.
+        mode: TypeMode,
+    },
+    /// Theorem 13: the FPT learner for a nowhere dense class.
+    NowhereDense(NdConfig),
+    /// Reference \[22\]: parameters restricted to the examples'
+    /// neighbourhoods; sublinear access on bounded degree.
+    LocalAccess {
+        /// Radius of the candidate-parameter balls around examples.
+        param_radius: usize,
+        /// Radius of the local types used for classification.
+        type_radius: usize,
+    },
+}
+
+/// Uniform result of [`solve_fo_erm`].
+#[derive(Debug)]
+pub struct SolveReport {
+    /// The learned hypothesis.
+    pub hypothesis: Hypothesis,
+    /// Training error achieved.
+    pub error: f64,
+    /// Solver-specific work measure (parameter tuples tried, branches
+    /// explored, or vertices touched).
+    pub work: usize,
+    /// Which solver produced this.
+    pub solver_name: &'static str,
+}
+
+/// Solve an `FO-ERM` instance with the chosen algorithm.
+pub fn solve_fo_erm(
+    inst: &ErmInstance<'_>,
+    solver: &Solver,
+    arena: &SharedArena,
+) -> SolveReport {
+    match solver {
+        Solver::BruteForce { mode } => {
+            let res = brute_force_erm(inst, *mode, arena);
+            SolveReport {
+                hypothesis: res.hypothesis,
+                error: res.error,
+                work: res.evaluated_params,
+                solver_name: "brute-force (Prop 11)",
+            }
+        }
+        Solver::NowhereDense(config) => {
+            let res = nd_learn(inst, config, arena);
+            SolveReport {
+                hypothesis: res.hypothesis,
+                error: res.error,
+                work: res.branches_explored,
+                solver_name: "nowhere-dense (Thm 13)",
+            }
+        }
+        Solver::LocalAccess {
+            param_radius,
+            type_radius,
+        } => {
+            let res = local_access_learn(inst, *param_radius, *type_radius, arena);
+            SolveReport {
+                hypothesis: res.hypothesis,
+                error: res.error,
+                work: res.vertices_touched,
+                solver_name: "local-access ([22])",
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use folearn_graph::{generators, Vocabulary, V};
+
+    use crate::ndlearner::{FinalRule, SearchMode};
+    use crate::problem::TrainingSequence;
+    use crate::shared_arena;
+
+    use super::*;
+
+    #[test]
+    fn all_solvers_meet_the_bound_on_a_shared_workload() {
+        let g = generators::random_tree(24, Vocabulary::empty(), 7);
+        let w = V(12);
+        let target = |t: &[V]| t[0] == w || g.has_edge(t[0], w);
+        let examples = TrainingSequence::label_all_tuples(&g, 1, target);
+        let inst = ErmInstance::new(&g, examples, 1, 1, 1, 0.2);
+        let arena = shared_arena(&g);
+        let eps_star = crate::bruteforce::optimal_error(&inst, &arena);
+
+        let solvers = [
+            Solver::BruteForce {
+                mode: TypeMode::Global,
+            },
+            Solver::NowhereDense(NdConfig {
+                class: folearn_graph::splitter::GraphClass::Forest,
+                search: SearchMode::Exhaustive,
+                final_rule: FinalRule::LocalAuto,
+                locality_radius: Some(1),
+                max_rounds: Some(3),
+                max_branches: 150,
+            }),
+            Solver::LocalAccess {
+                param_radius: 2,
+                type_radius: 1,
+            },
+        ];
+        for solver in &solvers {
+            let report = solve_fo_erm(&inst, solver, &arena);
+            assert!(
+                report.error <= eps_star + inst.epsilon + 1e-9,
+                "{}: err {} > ε* {} + ε",
+                report.solver_name,
+                report.error,
+                eps_star
+            );
+            assert!(report.work >= 1);
+        }
+    }
+
+    #[test]
+    fn brute_force_is_exact() {
+        let g = generators::path(10, Vocabulary::empty());
+        let examples = TrainingSequence::label_all_tuples(&g, 1, |t| t[0].0 < 5);
+        let inst = ErmInstance::new(&g, examples, 1, 1, 1, 0.0);
+        let arena = shared_arena(&g);
+        let report = solve_fo_erm(
+            &inst,
+            &Solver::BruteForce {
+                mode: TypeMode::Global,
+            },
+            &arena,
+        );
+        assert_eq!(
+            report.error,
+            crate::bruteforce::optimal_error(&inst, &arena)
+        );
+    }
+}

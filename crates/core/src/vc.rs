@@ -1,0 +1,202 @@
+//! Exact VC-dimension search for hypothesis classes `H_{k,ℓ,q}(G)`.
+//!
+//! Section 3 of the paper: on nowhere dense classes the VC dimension of
+//! `H_{k,ℓ,q}(G)` is uniformly bounded by a constant `d(C, k, ℓ, q)`
+//! (Adler–Adler), so ERM needs only `O(d)` examples. Experiment E7
+//! *measures* this: VC stays flat as `n` grows on trees, but climbs on
+//! cliques with many colours.
+//!
+//! The search is exact and exponential (`O(binom(n^k, d) · 2^d · n^ℓ)`):
+//! a set `S` of `k`-tuples is shattered iff **every** labelling of `S` is
+//! realised by some hypothesis — i.e. for every labelling there exists a
+//! parameter tuple `w̄` such that no `q`-type class of `{v̄w̄ : v̄ ∈ S}`
+//! mixes labels (type-constant labellings are exactly the realisable ones,
+//! by the type-majority characterisation in [`crate::fit`]).
+
+use std::sync::Arc;
+
+use folearn_graph::{Graph, V};
+use folearn_types::{TypeArena, TypeId};
+use parking_lot::Mutex;
+
+use crate::bruteforce::ParamTuples;
+
+/// Compute the exact VC dimension of `H_{k,ℓ,q}(G)`, capped at `cap`
+/// (returns `cap` if some `cap`-sized set is shattered).
+pub fn vc_dimension(
+    g: &Graph,
+    k: usize,
+    ell: usize,
+    q: usize,
+    cap: usize,
+    arena: &Arc<Mutex<TypeArena>>,
+) -> usize {
+    let points = all_tuples(g, k);
+    let mut best = 0usize;
+    for d in 1..=cap.min(points.len()) {
+        if exists_shattered_subset(g, &points, d, ell, q, arena) {
+            best = d;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+/// Whether the specific set `s` of `k`-tuples is shattered by
+/// `H_{k,ℓ,q}(G)`.
+pub fn is_shattered(
+    g: &Graph,
+    s: &[Vec<V>],
+    ell: usize,
+    q: usize,
+    arena: &Arc<Mutex<TypeArena>>,
+) -> bool {
+    let d = s.len();
+    // Pre-compute, for each parameter tuple, the type partition of s.
+    // A labelling is realisable iff *some* partition is label-constant.
+    let mut partitions: Vec<Vec<TypeId>> = Vec::new();
+    for params in ParamTuples::new(g.num_vertices(), ell) {
+        let mut arena = arena.lock();
+        let part: Vec<TypeId> = s
+            .iter()
+            .map(|t| {
+                let mut combined = t.clone();
+                combined.extend_from_slice(&params);
+                folearn_types::compute::type_of(g, &mut arena, &combined, q)
+            })
+            .collect();
+        partitions.push(part);
+    }
+    // Deduplicate partitions (many parameter tuples induce the same one).
+    partitions.sort_unstable();
+    partitions.dedup();
+    'labelings: for bits in 0..(1u32 << d) {
+        for part in &partitions {
+            if labeling_constant_on_classes(part, bits, d) {
+                continue 'labelings;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+fn labeling_constant_on_classes(part: &[TypeId], bits: u32, d: usize) -> bool {
+    for i in 0..d {
+        for j in (i + 1)..d {
+            if part[i] == part[j] && (bits >> i & 1) != (bits >> j & 1) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn exists_shattered_subset(
+    g: &Graph,
+    points: &[Vec<V>],
+    d: usize,
+    ell: usize,
+    q: usize,
+    arena: &Arc<Mutex<TypeArena>>,
+) -> bool {
+    let mut idx: Vec<usize> = (0..d).collect();
+    loop {
+        let subset: Vec<Vec<V>> = idx.iter().map(|&i| points[i].clone()).collect();
+        if is_shattered(g, &subset, ell, q, arena) {
+            return true;
+        }
+        // Next combination.
+        let mut i = d;
+        loop {
+            if i == 0 {
+                return false;
+            }
+            i -= 1;
+            if idx[i] + (d - i) < points.len() {
+                idx[i] += 1;
+                for j in (i + 1)..d {
+                    idx[j] = idx[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+fn all_tuples(g: &Graph, k: usize) -> Vec<Vec<V>> {
+    let mut out = Vec::new();
+    let mut tuple = vec![V(0); k];
+    fn rec(g: &Graph, tuple: &mut Vec<V>, pos: usize, out: &mut Vec<Vec<V>>) {
+        if pos == tuple.len() {
+            out.push(tuple.clone());
+            return;
+        }
+        for v in g.vertices() {
+            tuple[pos] = v;
+            rec(g, tuple, pos + 1, out);
+        }
+    }
+    rec(g, &mut tuple, 0, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use folearn_graph::{generators, Vocabulary};
+
+    use super::*;
+
+    fn arena_for(g: &Graph) -> Arc<Mutex<TypeArena>> {
+        Arc::new(Mutex::new(TypeArena::new(Arc::clone(g.vocab()))))
+    }
+
+    #[test]
+    fn clique_without_colors_has_tiny_vc() {
+        // All clique vertices share every q-type; with ℓ = 0 only the two
+        // constant hypotheses exist on K_n, so VC = 1.
+        let g = generators::clique(5, Vocabulary::empty());
+        let arena = arena_for(&g);
+        assert_eq!(vc_dimension(&g, 1, 0, 1, 3, &arena), 1);
+    }
+
+    #[test]
+    fn parameters_add_capacity() {
+        // With one parameter on a path, "x = w" style hypotheses let us
+        // shatter pairs: VC ≥ 2.
+        let g = generators::path(6, Vocabulary::empty());
+        let arena = arena_for(&g);
+        let vc0 = vc_dimension(&g, 1, 0, 1, 3, &arena);
+        let vc1 = vc_dimension(&g, 1, 1, 1, 3, &arena);
+        assert!(vc1 >= vc0, "vc0={vc0} vc1={vc1}");
+        assert!(vc1 >= 2, "vc1={vc1}");
+    }
+
+    #[test]
+    fn shattering_specific_set() {
+        let g = generators::path(6, Vocabulary::empty());
+        let arena = arena_for(&g);
+        // {V0 (endpoint), V2 (inner)} with q = 2, ℓ = 0: endpoint vs inner
+        // types differ, so both singleton labellings are realisable —
+        // shattered.
+        let s = vec![vec![V(0)], vec![V(2)]];
+        assert!(is_shattered(&g, &s, 0, 2, &arena));
+        // Two symmetric endpoints share a type: not shatterable without
+        // parameters.
+        let s2 = vec![vec![V(0)], vec![V(5)]];
+        assert!(!is_shattered(&g, &s2, 0, 2, &arena));
+        // ...but one parameter separates them.
+        assert!(is_shattered(&g, &s2, 1, 1, &arena));
+    }
+
+    #[test]
+    fn vc_stable_across_path_length() {
+        // Nowhere dense stability: growing the path does not grow VC
+        // (ℓ = 0, q = 1 ⇒ at most the type count bounds it).
+        let arena = arena_for(&generators::path(4, Vocabulary::empty()));
+        let v4 = vc_dimension(&generators::path(4, Vocabulary::empty()), 1, 0, 1, 3, &arena);
+        let v8 = vc_dimension(&generators::path(8, Vocabulary::empty()), 1, 0, 1, 3, &arena);
+        assert_eq!(v4, v8);
+    }
+}

@@ -1,0 +1,224 @@
+//! Breadth-first search, distances, and `r`-neighbourhoods.
+//!
+//! The paper's constructions are all *local*: Gaifman locality (Fact 5)
+//! speaks about `r`-neighbourhoods `N_r^G(v̄)` of tuples, Lemma 3 covers
+//! `N_r(X)` by disjoint larger balls, and Lemma 16 cuts the graph down to
+//! `N_{R'}(Z)`. Everything here is bounded-radius BFS over the CSR graph.
+
+use std::collections::VecDeque;
+
+use crate::graph::{Graph, V};
+
+/// Distance `≤ cap` from a set of sources to every vertex; `u32::MAX`
+/// denotes "further than `cap`" (or unreachable).
+///
+/// This is the workhorse: one allocation, bounded BFS.
+pub fn bounded_distances(g: &Graph, sources: &[V], cap: usize) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.num_vertices()];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        if dist[s.index()] != 0 {
+            dist[s.index()] = 0;
+            queue.push_back(s);
+        }
+    }
+    // Ensure sources listed twice are only enqueued once.
+    queue.retain({
+        let mut seen = vec![false; g.num_vertices()];
+        move |v: &V| {
+            let fresh = !seen[v.index()];
+            seen[v.index()] = true;
+            fresh
+        }
+    });
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()];
+        if d as usize >= cap {
+            continue;
+        }
+        for &w in g.neighbors(v) {
+            if dist[w as usize] == u32::MAX {
+                dist[w as usize] = d + 1;
+                queue.push_back(V(w));
+            }
+        }
+    }
+    dist
+}
+
+/// The distance between two vertices, or `None` if disconnected.
+pub fn distance(g: &Graph, u: V, v: V) -> Option<usize> {
+    let d = bounded_distances(g, &[u], g.num_vertices())[v.index()];
+    (d != u32::MAX).then_some(d as usize)
+}
+
+/// `dist(u, v̄) = min_{v ∈ v̄} dist(u, v)` capped at `cap`.
+pub fn distance_to_tuple(g: &Graph, u: V, tuple: &[V], cap: usize) -> Option<usize> {
+    let d = bounded_distances(g, tuple, cap)[u.index()];
+    (d != u32::MAX).then_some(d as usize)
+}
+
+/// The ball `N_r^G(v̄) = { u : dist(u, v̄) ≤ r }`, sorted by vertex index.
+pub fn ball(g: &Graph, centers: &[V], r: usize) -> Vec<V> {
+    let dist = bounded_distances(g, centers, r);
+    g.vertices()
+        .filter(|v| dist[v.index()] != u32::MAX)
+        .collect()
+}
+
+/// Whether two tuples are within distance `≤ r` of each other
+/// (`dist(ū, v̄) ≤ r` in the paper's notation).
+pub fn tuples_within(g: &Graph, a: &[V], b: &[V], r: usize) -> bool {
+    let dist = bounded_distances(g, a, r);
+    b.iter().any(|v| dist[v.index()] != u32::MAX)
+}
+
+/// Connected components; returns `(component_id_per_vertex, count)`.
+pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
+    let n = g.num_vertices();
+    let mut comp = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut queue = VecDeque::new();
+    for s in g.vertices() {
+        if comp[s.index()] != u32::MAX {
+            continue;
+        }
+        comp[s.index()] = next;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for &w in g.neighbors(v) {
+                if comp[w as usize] == u32::MAX {
+                    comp[w as usize] = next;
+                    queue.push_back(V(w));
+                }
+            }
+        }
+        next += 1;
+    }
+    (comp, next as usize)
+}
+
+/// Eccentricity of `v` within its connected component.
+pub fn eccentricity(g: &Graph, v: V) -> usize {
+    bounded_distances(g, &[v], g.num_vertices())
+        .into_iter()
+        .filter(|&d| d != u32::MAX)
+        .max()
+        .unwrap_or(0) as usize
+}
+
+/// A vertex of minimum eccentricity in the component of `v` (a *centre*),
+/// computed by the classic two-BFS heuristic followed by exact check on
+/// small components, or exactly when `exact` is set.
+///
+/// Used by the forest Splitter strategy, where the centre of a ball is the
+/// root that bounds the remaining game length.
+pub fn component_center(g: &Graph, v: V) -> V {
+    // For trees the midpoint of a longest path is exact; for general graphs
+    // this is a good heuristic and only used heuristically there.
+    let d1 = bounded_distances(g, &[v], g.num_vertices());
+    let a = g
+        .vertices()
+        .filter(|u| d1[u.index()] != u32::MAX)
+        .max_by_key(|u| d1[u.index()])
+        .unwrap_or(v);
+    let d2 = bounded_distances(g, &[a], g.num_vertices());
+    let b = g
+        .vertices()
+        .filter(|u| d2[u.index()] != u32::MAX)
+        .max_by_key(|u| d2[u.index()])
+        .unwrap_or(a);
+    // Walk from b halfway towards a along a shortest path.
+    let d3 = bounded_distances(g, &[b], g.num_vertices());
+    let diam = d2[b.index()] as usize;
+    let half = diam.div_ceil(2);
+    // Find a vertex on a shortest a-b path at distance `half` from b:
+    // dist(b, x) == half and dist(a, x) == diam - half.
+    g.vertices()
+        .find(|x| {
+            d3[x.index()] as usize == half && d2[x.index()] as usize == diam - half
+        })
+        .unwrap_or(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GraphBuilder;
+    use crate::generators;
+    use crate::vocab::Vocabulary;
+
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        generators::path(n, Vocabulary::empty())
+    }
+
+    #[test]
+    fn distances_on_path() {
+        let g = path(5);
+        assert_eq!(distance(&g, V(0), V(4)), Some(4));
+        assert_eq!(distance(&g, V(2), V(2)), Some(0));
+    }
+
+    #[test]
+    fn bounded_cap_cuts_off() {
+        let g = path(10);
+        let d = bounded_distances(&g, &[V(0)], 3);
+        assert_eq!(d[3], 3);
+        assert_eq!(d[4], u32::MAX);
+    }
+
+    #[test]
+    fn ball_of_tuple() {
+        let g = path(10);
+        let b = ball(&g, &[V(0), V(9)], 1);
+        assert_eq!(b, vec![V(0), V(1), V(8), V(9)]);
+    }
+
+    #[test]
+    fn disconnected_distance_is_none() {
+        let mut b = GraphBuilder::with_vertices(Vocabulary::empty(), 2);
+        b.add_edge(V(0), V(1));
+        let mut b2 = GraphBuilder::with_vertices(Vocabulary::empty(), 3);
+        b2.add_edge(V(0), V(1));
+        let g = b2.build();
+        assert_eq!(distance(&g, V(0), V(2)), None);
+        drop(b);
+    }
+
+    #[test]
+    fn components_counted() {
+        let mut b = GraphBuilder::with_vertices(Vocabulary::empty(), 5);
+        b.add_edge(V(0), V(1));
+        b.add_edge(V(2), V(3));
+        let g = b.build();
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[4], comp[0]);
+    }
+
+    #[test]
+    fn center_of_path_is_middle() {
+        let g = path(9);
+        let c = component_center(&g, V(0));
+        assert_eq!(c, V(4));
+    }
+
+    #[test]
+    fn tuples_within_works() {
+        let g = path(10);
+        assert!(tuples_within(&g, &[V(0)], &[V(3)], 3));
+        assert!(!tuples_within(&g, &[V(0)], &[V(4)], 3));
+        assert!(tuples_within(&g, &[V(0), V(8)], &[V(9)], 1));
+    }
+
+    #[test]
+    fn eccentricity_on_path() {
+        let g = path(5);
+        assert_eq!(eccentricity(&g, V(0)), 4);
+        assert_eq!(eccentricity(&g, V(2)), 2);
+    }
+}

@@ -1,0 +1,220 @@
+//! Mutable construction of coloured graphs.
+
+use std::sync::Arc;
+
+use crate::graph::{Graph, V};
+use crate::vocab::{ColorId, Vocabulary};
+
+/// A mutable graph under construction.
+///
+/// The builder accepts edges in any order, ignores duplicates and rejects
+/// self-loops (the paper's graphs are simple and irreflexive). [`build`]
+/// produces an immutable CSR [`Graph`].
+///
+/// ```
+/// use folearn_graph::{GraphBuilder, Vocabulary, ColorId, V};
+///
+/// let mut b = GraphBuilder::with_vertices(Vocabulary::new(["Red"]), 3);
+/// b.add_edge(V(0), V(1));
+/// b.add_edge(V(1), V(2));
+/// b.set_color(V(0), ColorId(0));
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 2);
+/// assert!(g.has_color(V(0), ColorId(0)));
+/// ```
+///
+/// [`build`]: GraphBuilder::build
+pub struct GraphBuilder {
+    vocab: Arc<Vocabulary>,
+    n: usize,
+    edges: Vec<(u32, u32)>,
+    colors: Vec<u64>,
+    words_per_vertex: usize,
+}
+
+impl GraphBuilder {
+    /// Start building a graph over the given vocabulary.
+    pub fn new(vocab: Vocabulary) -> Self {
+        Self::with_shared_vocab(Arc::new(vocab))
+    }
+
+    /// Start building a graph that shares an existing vocabulary.
+    pub fn with_shared_vocab(vocab: Arc<Vocabulary>) -> Self {
+        let words_per_vertex = vocab.words_per_vertex();
+        Self {
+            vocab,
+            n: 0,
+            edges: Vec::new(),
+            colors: Vec::new(),
+            words_per_vertex,
+        }
+    }
+
+    /// Convenience: a builder with `n` vertices already added.
+    pub fn with_vertices(vocab: Vocabulary, n: usize) -> Self {
+        let mut b = Self::new(vocab);
+        b.add_vertices(n);
+        b
+    }
+
+    /// The vocabulary being built against.
+    pub fn vocab(&self) -> &Arc<Vocabulary> {
+        &self.vocab
+    }
+
+    /// Number of vertices added so far.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Add a single vertex and return its handle.
+    pub fn add_vertex(&mut self) -> V {
+        let v = V(u32::try_from(self.n).expect("too many vertices"));
+        self.n += 1;
+        self.colors.extend(std::iter::repeat_n(0, self.words_per_vertex));
+        v
+    }
+
+    /// Add `count` vertices; returns the first new handle.
+    pub fn add_vertices(&mut self, count: usize) -> V {
+        let first = V(u32::try_from(self.n).expect("too many vertices"));
+        self.n += count;
+        self.colors
+            .extend(std::iter::repeat_n(0, self.words_per_vertex * count));
+        first
+    }
+
+    /// Add the undirected edge `{u, v}`.
+    ///
+    /// # Panics
+    /// Panics on self-loops or out-of-range endpoints.
+    pub fn add_edge(&mut self, u: V, v: V) {
+        assert!(u != v, "self-loops are not allowed (E is irreflexive)");
+        assert!(
+            u.index() < self.n && v.index() < self.n,
+            "edge endpoint out of range"
+        );
+        self.edges.push((u.0, v.0));
+    }
+
+    /// Give vertex `v` colour `c`.
+    ///
+    /// # Panics
+    /// Panics if `v` or `c` is out of range.
+    pub fn set_color(&mut self, v: V, c: ColorId) {
+        assert!(v.index() < self.n, "vertex out of range");
+        assert!(c.index() < self.vocab.num_colors(), "colour out of range");
+        self.colors[v.index() * self.words_per_vertex + c.index() / 64] |=
+            1u64 << (c.index() % 64);
+    }
+
+    /// Overwrite the raw colour words of `v` (used by graph surgery in
+    /// [`crate::ops`]; word layout must match the vocabulary).
+    pub fn set_color_words(&mut self, v: V, words: &[u64]) {
+        assert_eq!(words.len(), self.words_per_vertex);
+        let s = self.words_per_vertex;
+        self.colors[v.index() * s..(v.index() + 1) * s].copy_from_slice(words);
+    }
+
+    /// Finish: sort and deduplicate adjacency, produce the CSR graph.
+    pub fn build(self) -> Graph {
+        let n = self.n;
+        let mut deg = vec![0u32; n];
+        for &(u, v) in &self.edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut acc = 0u32;
+        for &d in &deg {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut targets = vec![0u32; acc as usize];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        for &(u, v) in &self.edges {
+            targets[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+        // Sort and deduplicate each row; rebuild offsets if dedup removed entries.
+        let mut new_targets = Vec::with_capacity(targets.len());
+        let mut new_offsets = Vec::with_capacity(n + 1);
+        new_offsets.push(0u32);
+        for v in 0..n {
+            let lo = offsets[v] as usize;
+            let hi = offsets[v + 1] as usize;
+            let row = &mut targets[lo..hi];
+            row.sort_unstable();
+            let start = new_targets.len();
+            for &t in row.iter() {
+                if new_targets.len() == start || *new_targets.last().unwrap() != t {
+                    new_targets.push(t);
+                }
+            }
+            new_offsets.push(new_targets.len() as u32);
+        }
+        Graph::from_parts(
+            self.vocab,
+            new_offsets,
+            new_targets,
+            self.colors,
+            self.words_per_vertex,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let mut b = GraphBuilder::with_vertices(Vocabulary::empty(), 2);
+        b.add_edge(V(0), V(1));
+        b.add_edge(V(1), V(0));
+        b.add_edge(V(0), V(1));
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(V(0)), &[1]);
+        assert_eq!(g.neighbors(V(1)), &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        let mut b = GraphBuilder::with_vertices(Vocabulary::empty(), 1);
+        b.add_edge(V(0), V(0));
+    }
+
+    #[test]
+    fn colors_across_word_boundary() {
+        let vocab = Vocabulary::new((0..70).map(|i| format!("C{i}")));
+        let mut b = GraphBuilder::with_vertices(vocab, 1);
+        b.set_color(V(0), ColorId(3));
+        b.set_color(V(0), ColorId(69));
+        let g = b.build();
+        assert!(g.has_color(V(0), ColorId(3)));
+        assert!(g.has_color(V(0), ColorId(69)));
+        assert!(!g.has_color(V(0), ColorId(68)));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(Vocabulary::empty()).build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn add_vertices_bulk() {
+        let mut b = GraphBuilder::new(Vocabulary::empty());
+        let first = b.add_vertices(5);
+        assert_eq!(first, V(0));
+        assert_eq!(b.num_vertices(), 5);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 5);
+    }
+}

@@ -1,0 +1,276 @@
+//! Workload generators.
+//!
+//! Experiments need graphs from (effectively) nowhere dense classes —
+//! forests, bounded-degree graphs, grids — as well as dense controls
+//! (cliques, dense random graphs) that sit *outside* every nowhere dense
+//! class, so that the tractability boundary of Theorem 2 is visible. All
+//! random generators are deterministic given a seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, V};
+use crate::vocab::{ColorId, Vocabulary};
+
+/// The path `P_n` (vertices `0 — 1 — … — n−1`).
+pub fn path(n: usize, vocab: Vocabulary) -> Graph {
+    let mut b = GraphBuilder::with_vertices(vocab, n);
+    for i in 1..n {
+        b.add_edge(V(i as u32 - 1), V(i as u32));
+    }
+    b.build()
+}
+
+/// The cycle `C_n` (requires `n ≥ 3`).
+pub fn cycle(n: usize, vocab: Vocabulary) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    let mut b = GraphBuilder::with_vertices(vocab, n);
+    for i in 1..n {
+        b.add_edge(V(i as u32 - 1), V(i as u32));
+    }
+    b.add_edge(V(n as u32 - 1), V(0));
+    b.build()
+}
+
+/// The complete graph `K_n` — the canonical *somewhere dense* control.
+pub fn clique(n: usize, vocab: Vocabulary) -> Graph {
+    let mut b = GraphBuilder::with_vertices(vocab, n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_edge(V(i as u32), V(j as u32));
+        }
+    }
+    b.build()
+}
+
+/// The star `K_{1,n−1}` with centre `V(0)`.
+pub fn star(n: usize, vocab: Vocabulary) -> Graph {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::with_vertices(vocab, n);
+    for i in 1..n {
+        b.add_edge(V(0), V(i as u32));
+    }
+    b.build()
+}
+
+/// The `w × h` grid (planar, bounded degree 4, nowhere dense).
+pub fn grid(w: usize, h: usize, vocab: Vocabulary) -> Graph {
+    let mut b = GraphBuilder::with_vertices(vocab, w * h);
+    let at = |x: usize, y: usize| V((y * w + x) as u32);
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                b.add_edge(at(x, y), at(x + 1, y));
+            }
+            if y + 1 < h {
+                b.add_edge(at(x, y), at(x, y + 1));
+            }
+        }
+    }
+    b.build()
+}
+
+/// The complete binary tree with `depth` levels below the root
+/// (`2^{depth+1} − 1` vertices).
+pub fn binary_tree(depth: usize, vocab: Vocabulary) -> Graph {
+    let n = (1usize << (depth + 1)) - 1;
+    let mut b = GraphBuilder::with_vertices(vocab, n);
+    for i in 1..n {
+        b.add_edge(V(((i - 1) / 2) as u32), V(i as u32));
+    }
+    b.build()
+}
+
+/// A uniformly random labelled tree on `n` vertices (random attachment:
+/// vertex `i` attaches to a uniform earlier vertex — a random recursive
+/// tree; seeded, deterministic).
+pub fn random_tree(n: usize, vocab: Vocabulary, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_vertices(vocab, n);
+    for i in 1..n {
+        let p = rng.random_range(0..i);
+        b.add_edge(V(p as u32), V(i as u32));
+    }
+    b.build()
+}
+
+/// A caterpillar: a spine path of length `spine` with `legs` pendant
+/// vertices attached to each spine vertex. Treedepth-ish and very sparse.
+pub fn caterpillar(spine: usize, legs: usize, vocab: Vocabulary) -> Graph {
+    let mut b = GraphBuilder::with_vertices(vocab, spine * (1 + legs));
+    for i in 1..spine {
+        b.add_edge(V(i as u32 - 1), V(i as u32));
+    }
+    for i in 0..spine {
+        for l in 0..legs {
+            b.add_edge(V(i as u32), V((spine + i * legs + l) as u32));
+        }
+    }
+    b.build()
+}
+
+/// A random graph of maximum degree `≤ d`: repeatedly sample vertex pairs
+/// and keep an edge if both endpoints still have spare degree. Produces
+/// `≈ n·d/2 · fill` edges; bounded degree `d` puts it in a nowhere dense
+/// class with concrete Splitter bounds.
+pub fn bounded_degree_random(n: usize, d: usize, fill: f64, vocab: Vocabulary, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_vertices(vocab, n);
+    let mut deg = vec![0usize; n];
+    let mut present = std::collections::HashSet::new();
+    let target = ((n * d) as f64 / 2.0 * fill) as usize;
+    let mut placed = 0usize;
+    let mut attempts = 0usize;
+    while placed < target && attempts < 20 * target.max(1) {
+        attempts += 1;
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u == v || deg[u] >= d || deg[v] >= d {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if present.insert(key) {
+            b.add_edge(V(u as u32), V(v as u32));
+            deg[u] += 1;
+            deg[v] += 1;
+            placed += 1;
+        }
+    }
+    b.build()
+}
+
+/// The Erdős–Rényi graph `G(n, p)` (dense control when `p` is constant).
+pub fn gnp(n: usize, p: f64, vocab: Vocabulary, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_vertices(vocab, n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.random_bool(p) {
+                b.add_edge(V(i as u32), V(j as u32));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Assign each vertex each colour of the vocabulary independently with the
+/// given probability (seeded). Returns a recoloured copy.
+pub fn randomly_colored(g: &Graph, prob: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_shared_vocab(std::sync::Arc::clone(g.vocab()));
+    for _ in g.vertices() {
+        b.add_vertex();
+    }
+    for (u, v) in g.edges() {
+        b.add_edge(u, v);
+    }
+    for v in g.vertices() {
+        for (c, _) in g.vocab().colors() {
+            if rng.random_bool(prob) {
+                b.set_color(v, c);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Colour every `stride`-th vertex with `c` (deterministic marker pattern,
+/// handy in tests and examples).
+pub fn periodically_colored(g: &Graph, c: ColorId, stride: usize) -> Graph {
+    let mut b = GraphBuilder::with_shared_vocab(std::sync::Arc::clone(g.vocab()));
+    for v in g.vertices() {
+        let nv = b.add_vertex();
+        b.set_color_words(nv, g.color_words(v));
+    }
+    for (u, v) in g.edges() {
+        b.add_edge(u, v);
+    }
+    for v in g.vertices().step_by(stride.max(1)) {
+        b.set_color(v, c);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::bfs;
+
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let g = path(4, Vocabulary::empty());
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(5, Vocabulary::empty());
+        assert_eq!(g.num_edges(), 5);
+        assert!(g.vertices().all(|v| g.degree(v) == 2));
+    }
+
+    #[test]
+    fn clique_shape() {
+        let g = clique(6, Vocabulary::empty());
+        assert_eq!(g.num_edges(), 15);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4, Vocabulary::empty());
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4);
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        let g = random_tree(50, Vocabulary::empty(), 7);
+        assert_eq!(g.num_edges(), 49);
+        let (_, comps) = bfs::connected_components(&g);
+        assert_eq!(comps, 1);
+    }
+
+    #[test]
+    fn random_tree_deterministic() {
+        let a = random_tree(30, Vocabulary::empty(), 42);
+        let b = random_tree(30, Vocabulary::empty(), 42);
+        assert!(crate::ops::graphs_equal(&a, &b));
+    }
+
+    #[test]
+    fn bounded_degree_respected() {
+        let g = bounded_degree_random(100, 3, 1.0, Vocabulary::empty(), 1);
+        assert!(g.max_degree() <= 3);
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_tree(3, Vocabulary::empty());
+        assert_eq!(g.num_vertices(), 15);
+        assert_eq!(g.num_edges(), 14);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(4, 2, Vocabulary::empty());
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 3 + 8);
+    }
+
+    #[test]
+    fn coloring_helpers() {
+        let vocab = Vocabulary::new(["A"]);
+        let g = path(10, vocab);
+        let c = g.vocab().color_by_name("A").unwrap();
+        let g2 = periodically_colored(&g, c, 3);
+        assert!(g2.has_color(V(0), c));
+        assert!(g2.has_color(V(3), c));
+        assert!(!g2.has_color(V(1), c));
+        let g3 = randomly_colored(&g, 1.0, 0);
+        assert!(g3.vertices().all(|v| g3.has_color(v, c)));
+    }
+}

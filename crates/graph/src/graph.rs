@@ -1,0 +1,216 @@
+//! Immutable coloured graphs in compressed-sparse-row form.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::vocab::{ColorId, Vocabulary};
+
+/// A vertex handle. Vertices of an `n`-vertex graph are `V(0) … V(n-1)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct V(pub u32);
+
+impl V {
+    /// The vertex's index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for V {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// An undirected, simple, vertex-coloured graph, stored in CSR form.
+///
+/// This is the paper's background structure: a relational structure
+/// `(V, E, P_1, …, P_c)` with symmetric irreflexive `E` and unary `P_j`.
+/// Graphs are immutable after construction (build them with
+/// [`crate::GraphBuilder`]); all derived graphs (induced subgraphs,
+/// unions, expansions) are produced by the functions in [`crate::ops`].
+#[derive(Clone)]
+pub struct Graph {
+    vocab: Arc<Vocabulary>,
+    /// CSR row offsets, length `n + 1`.
+    offsets: Vec<u32>,
+    /// CSR column indices (sorted within each row), length `2|E|`.
+    targets: Vec<u32>,
+    /// Per-vertex colour bitsets, `words_per_vertex` words each.
+    colors: Vec<u64>,
+    words_per_vertex: usize,
+}
+
+impl Graph {
+    pub(crate) fn from_parts(
+        vocab: Arc<Vocabulary>,
+        offsets: Vec<u32>,
+        targets: Vec<u32>,
+        colors: Vec<u64>,
+        words_per_vertex: usize,
+    ) -> Self {
+        debug_assert_eq!(colors.len(), (offsets.len() - 1) * words_per_vertex);
+        Self {
+            vocab,
+            offsets,
+            targets,
+            colors,
+            words_per_vertex,
+        }
+    }
+
+    /// The graph's vocabulary.
+    #[inline]
+    pub fn vocab(&self) -> &Arc<Vocabulary> {
+        &self.vocab
+    }
+
+    /// Number of vertices (the *order* of the graph).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Iterate over all vertices.
+    pub fn vertices(&self) -> impl ExactSizeIterator<Item = V> + Clone {
+        (0..self.num_vertices() as u32).map(V)
+    }
+
+    /// The sorted neighbour list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: V) -> &[u32] {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: V) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Whether `{u, v}` is an edge. `O(log deg(u))`.
+    #[inline]
+    pub fn has_edge(&self, u: V, v: V) -> bool {
+        u != v && self.neighbors(u).binary_search(&v.0).is_ok()
+    }
+
+    /// Whether vertex `v` has colour `c`.
+    #[inline]
+    pub fn has_color(&self, v: V, c: ColorId) -> bool {
+        let w = self.colors[v.index() * self.words_per_vertex + c.index() / 64];
+        w >> (c.index() % 64) & 1 == 1
+    }
+
+    /// The raw colour bitset of `v` (`words_per_vertex` words).
+    #[inline]
+    pub fn color_words(&self, v: V) -> &[u64] {
+        let s = self.words_per_vertex;
+        &self.colors[v.index() * s..(v.index() + 1) * s]
+    }
+
+    /// Words per per-vertex colour bitset.
+    #[inline]
+    pub fn words_per_vertex(&self) -> usize {
+        self.words_per_vertex
+    }
+
+    /// All vertices carrying colour `c`.
+    pub fn vertices_with_color(&self, c: ColorId) -> Vec<V> {
+        self.vertices().filter(|&v| self.has_color(v, c)).collect()
+    }
+
+    /// All edges as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (V, V)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .filter(move |&&w| w > u.0)
+                .map(move |&w| (u, V(w)))
+        })
+    }
+
+    /// Whether `v` is isolated (degree 0).
+    #[inline]
+    pub fn is_isolated(&self, v: V) -> bool {
+        self.degree(v) == 0
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Graph(n={}, m={}, colours={})",
+            self.num_vertices(),
+            self.num_edges(),
+            self.vocab.num_colors()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GraphBuilder;
+    use crate::vocab::Vocabulary;
+
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new(Vocabulary::new(["Red"]));
+        let a = b.add_vertex();
+        let c = b.add_vertex();
+        let d = b.add_vertex();
+        b.add_edge(a, c);
+        b.add_edge(c, d);
+        b.add_edge(d, a);
+        b.set_color(a, ColorId(0));
+        b.build()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.max_degree(), 2);
+        assert!(g.has_edge(V(0), V(1)));
+        assert!(g.has_edge(V(1), V(0)));
+        assert!(!g.has_edge(V(0), V(0)));
+        assert!(g.has_color(V(0), ColorId(0)));
+        assert!(!g.has_color(V(1), ColorId(0)));
+        assert_eq!(g.vertices_with_color(ColorId(0)), vec![V(0)]);
+    }
+
+    #[test]
+    fn edges_listed_once() {
+        let g = triangle();
+        let e: Vec<_> = g.edges().collect();
+        assert_eq!(e.len(), 3);
+        for (u, v) in e {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn neighbor_lists_sorted() {
+        let g = triangle();
+        for v in g.vertices() {
+            let ns = g.neighbors(v);
+            assert!(ns.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Graph surgery: induced subgraphs, disjoint unions, colour expansions.
+//!
+//! These are the graph-level operations the paper's proofs perform:
+//!
+//! * `G[S]` induced subgraphs (neighbourhood graphs `𝒩_r^G(v̄)`, Lemma 16's
+//!   `G^{i+1}`),
+//! * disjoint unions (`Ĝ` = `2ℓ` copies of `G` in the generalised Claim 8),
+//! * colour expansions `τ ⊆ τ'` (the `P_t, Q_t` relations of Lemma 7, the
+//!   `A/B/C/D` colours of Lemma 16),
+//! * deletion of edges incident to chosen vertices (step 3 of Lemma 16's
+//!   construction, which isolates the Splitter answers `w_j`).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, V};
+use crate::vocab::Vocabulary;
+
+/// An induced subgraph `G[S]` together with the vertex correspondence.
+pub struct InducedSubgraph {
+    /// The induced graph; vertex `V(i)` corresponds to `to_old[i]` in the
+    /// original graph.
+    pub graph: Graph,
+    /// New-vertex → old-vertex map.
+    pub to_old: Vec<V>,
+    /// Old-vertex → new-vertex map (`u32::MAX` = not in `S`).
+    from_old: Vec<u32>,
+}
+
+impl InducedSubgraph {
+    /// Map an original vertex into the subgraph, if present.
+    #[inline]
+    pub fn to_new(&self, old: V) -> Option<V> {
+        let x = self.from_old[old.index()];
+        (x != u32::MAX).then_some(V(x))
+    }
+
+    /// Map a tuple of original vertices; `None` if any is missing.
+    pub fn map_tuple(&self, tuple: &[V]) -> Option<Vec<V>> {
+        tuple.iter().map(|&v| self.to_new(v)).collect()
+    }
+}
+
+/// Build `G[S]`. `S` may be in any order and may contain duplicates
+/// (duplicates are ignored); vertex order in the result follows first
+/// occurrence in `S`.
+pub fn induced_subgraph(g: &Graph, s: &[V]) -> InducedSubgraph {
+    let mut from_old = vec![u32::MAX; g.num_vertices()];
+    let mut to_old = Vec::with_capacity(s.len());
+    for &v in s {
+        if from_old[v.index()] == u32::MAX {
+            from_old[v.index()] = to_old.len() as u32;
+            to_old.push(v);
+        }
+    }
+    let mut b = GraphBuilder::with_shared_vocab(Arc::clone(g.vocab()));
+    for &old in &to_old {
+        let nv = b.add_vertex();
+        b.set_color_words(nv, g.color_words(old));
+    }
+    for (new_idx, &old) in to_old.iter().enumerate() {
+        for &w in g.neighbors(old) {
+            let nw = from_old[w as usize];
+            if nw != u32::MAX && (nw as usize) > new_idx {
+                b.add_edge(V(new_idx as u32), V(nw));
+            }
+        }
+    }
+    InducedSubgraph {
+        graph: b.build(),
+        to_old,
+        from_old,
+    }
+}
+
+/// Disjoint union of `copies` graphs over the same vocabulary.
+///
+/// Returns the union and the vertex-offset of each part: vertex `v` of part
+/// `i` becomes `V(offsets[i] + v.0)`.
+///
+/// # Panics
+/// Panics if the vocabularies differ.
+pub fn disjoint_union(parts: &[&Graph]) -> (Graph, Vec<u32>) {
+    assert!(!parts.is_empty(), "disjoint union of zero graphs");
+    let vocab = Arc::clone(parts[0].vocab());
+    for p in parts {
+        assert_eq!(
+            p.vocab().as_ref(),
+            vocab.as_ref(),
+            "disjoint union requires identical vocabularies"
+        );
+    }
+    let mut b = GraphBuilder::with_shared_vocab(vocab);
+    let mut offsets = Vec::with_capacity(parts.len());
+    for p in parts {
+        let off = b.num_vertices() as u32;
+        offsets.push(off);
+        for v in p.vertices() {
+            let nv = b.add_vertex();
+            b.set_color_words(nv, p.color_words(v));
+        }
+        for (u, v) in p.edges() {
+            b.add_edge(V(off + u.0), V(off + v.0));
+        }
+    }
+    (b.build(), offsets)
+}
+
+/// `n` disjoint copies of `g`; returns the union and per-copy offsets.
+pub fn disjoint_copies(g: &Graph, n: usize) -> (Graph, Vec<u32>) {
+    let parts: Vec<&Graph> = std::iter::repeat_n(g, n).collect();
+    disjoint_union(&parts)
+}
+
+/// A colour expansion: the same graph over `τ' ⊇ τ`, where each entry of
+/// `new_colors` is a fresh colour name together with the vertices carrying
+/// it.
+///
+/// # Panics
+/// Panics if a name already exists in the vocabulary.
+pub fn expand_colors(g: &Graph, new_colors: &[(&str, Vec<V>)]) -> Graph {
+    let mut vocab = g.vocab().as_ref().clone();
+    let ids: Vec<_> = new_colors
+        .iter()
+        .map(|(name, _)| vocab.add_color(name))
+        .collect();
+    let vocab = Arc::new(vocab);
+    let mut b = GraphBuilder::with_shared_vocab(Arc::clone(&vocab));
+    let new_words = vocab.words_per_vertex();
+    let old_words = g.words_per_vertex();
+    for v in g.vertices() {
+        let nv = b.add_vertex();
+        let mut words = vec![0u64; new_words];
+        words[..old_words].copy_from_slice(g.color_words(v));
+        b.set_color_words(nv, &words);
+    }
+    for (u, v) in g.edges() {
+        b.add_edge(u, v);
+    }
+    for ((_, verts), &id) in new_colors.iter().zip(&ids) {
+        for &v in verts {
+            b.set_color(v, id);
+        }
+    }
+    b.build()
+}
+
+/// Reinterpret `g` over an extended vocabulary `target ⊇ g.vocab()`, with
+/// the new colours empty. Needed to compare graphs built at different
+/// expansion stages.
+///
+/// # Panics
+/// Panics if `g.vocab()` is not a prefix of `target`.
+pub fn pad_vocabulary(g: &Graph, target: &Arc<Vocabulary>) -> Graph {
+    assert!(
+        g.vocab().is_prefix_of(target),
+        "target vocabulary must extend the graph's vocabulary"
+    );
+    let mut b = GraphBuilder::with_shared_vocab(Arc::clone(target));
+    let new_words = target.words_per_vertex();
+    let old_words = g.words_per_vertex();
+    for v in g.vertices() {
+        let nv = b.add_vertex();
+        let mut words = vec![0u64; new_words];
+        words[..old_words].copy_from_slice(g.color_words(v));
+        b.set_color_words(nv, &words);
+    }
+    for (u, v) in g.edges() {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+/// A copy of `g` with every edge incident to a vertex of `isolate` removed
+/// (the vertices stay, now isolated) — step 3 of Lemma 16's construction.
+pub fn delete_incident_edges(g: &Graph, isolate: &[V]) -> Graph {
+    let mut is_cut = vec![false; g.num_vertices()];
+    for &v in isolate {
+        is_cut[v.index()] = true;
+    }
+    let mut b = GraphBuilder::with_shared_vocab(Arc::clone(g.vocab()));
+    for v in g.vertices() {
+        let nv = b.add_vertex();
+        b.set_color_words(nv, g.color_words(v));
+    }
+    for (u, v) in g.edges() {
+        if !is_cut[u.index()] && !is_cut[v.index()] {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Append `count` fresh isolated colourless vertices; returns the new graph
+/// and the handle of the first appended vertex.
+pub fn add_isolated_vertices(g: &Graph, count: usize) -> (Graph, V) {
+    let mut b = GraphBuilder::with_shared_vocab(Arc::clone(g.vocab()));
+    for v in g.vertices() {
+        let nv = b.add_vertex();
+        b.set_color_words(nv, g.color_words(v));
+    }
+    let first = b.add_vertices(count);
+    for (u, v) in g.edges() {
+        b.add_edge(u, v);
+    }
+    (b.build(), first)
+}
+
+/// Check structural equality of two graphs over the same vocabulary
+/// (identical vertex sets, edges and colours — not isomorphism).
+pub fn graphs_equal(a: &Graph, b: &Graph) -> bool {
+    if a.vocab().as_ref() != b.vocab().as_ref() || a.num_vertices() != b.num_vertices() {
+        return false;
+    }
+    a.vertices().all(|v| {
+        a.neighbors(v) == b.neighbors(v) && a.color_words(v) == b.color_words(v)
+    })
+}
+
+/// A renaming of vertices given by an explicit bijection; used by
+/// isomorphism-invariance property tests.
+pub fn permute(g: &Graph, perm: &[V]) -> Graph {
+    assert_eq!(perm.len(), g.num_vertices());
+    let mut b = GraphBuilder::with_shared_vocab(Arc::clone(g.vocab()));
+    let mut inv: HashMap<V, V> = HashMap::with_capacity(perm.len());
+    for (i, &p) in perm.iter().enumerate() {
+        inv.insert(p, V(i as u32));
+    }
+    assert_eq!(inv.len(), perm.len(), "permutation must be a bijection");
+    for &p in perm {
+        // New vertex i holds the data of old vertex perm[i].
+        let nv = b.add_vertex();
+        b.set_color_words(nv, g.color_words(p));
+    }
+    for (u, v) in g.edges() {
+        b.add_edge(inv[&u], inv[&v]);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::generators;
+
+    use super::*;
+
+    #[test]
+    fn induced_subgraph_keeps_structure() {
+        let g = generators::path(5, Vocabulary::new(["A"]));
+        let sub = induced_subgraph(&g, &[V(1), V(2), V(4)]);
+        assert_eq!(sub.graph.num_vertices(), 3);
+        assert_eq!(sub.graph.num_edges(), 1); // only 1-2 survives
+        assert_eq!(sub.to_new(V(2)), Some(V(1)));
+        assert_eq!(sub.to_new(V(0)), None);
+        assert_eq!(sub.map_tuple(&[V(1), V(4)]), Some(vec![V(0), V(2)]));
+        assert_eq!(sub.map_tuple(&[V(0)]), None);
+    }
+
+    #[test]
+    fn induced_subgraph_dedups() {
+        let g = generators::path(3, Vocabulary::empty());
+        let sub = induced_subgraph(&g, &[V(1), V(1), V(0)]);
+        assert_eq!(sub.graph.num_vertices(), 2);
+        assert_eq!(sub.to_old, vec![V(1), V(0)]);
+    }
+
+    #[test]
+    fn union_offsets() {
+        let g = generators::path(3, Vocabulary::empty());
+        let (u, off) = disjoint_copies(&g, 3);
+        assert_eq!(u.num_vertices(), 9);
+        assert_eq!(u.num_edges(), 6);
+        assert_eq!(off, vec![0, 3, 6]);
+        assert!(u.has_edge(V(3), V(4)));
+        assert!(!u.has_edge(V(2), V(3)));
+    }
+
+    #[test]
+    fn expansion_adds_colors() {
+        let g = generators::path(3, Vocabulary::empty());
+        let g2 = expand_colors(&g, &[("Mark", vec![V(1)])]);
+        let c = g2.vocab().color_by_name("Mark").unwrap();
+        assert!(g2.has_color(V(1), c));
+        assert!(!g2.has_color(V(0), c));
+        assert_eq!(g2.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn pad_keeps_old_colors() {
+        let g = generators::path(2, Vocabulary::new(["A"]));
+        let g1 = expand_colors(&g, &[("B", vec![])]);
+        let padded = pad_vocabulary(&g, g1.vocab());
+        assert!(graphs_equal(&padded, &g1));
+    }
+
+    #[test]
+    fn isolation_removes_edges() {
+        let g = generators::path(4, Vocabulary::empty());
+        let g2 = delete_incident_edges(&g, &[V(1)]);
+        assert_eq!(g2.num_vertices(), 4);
+        assert_eq!(g2.num_edges(), 1); // only 2-3 survives
+        assert!(g2.is_isolated(V(1)));
+    }
+
+    #[test]
+    fn add_isolated() {
+        let g = generators::path(2, Vocabulary::empty());
+        let (g2, first) = add_isolated_vertices(&g, 3);
+        assert_eq!(first, V(2));
+        assert_eq!(g2.num_vertices(), 5);
+        assert!(g2.is_isolated(V(4)));
+        assert!(g2.has_edge(V(0), V(1)));
+    }
+
+    #[test]
+    fn permutation_preserves_counts() {
+        let g = generators::cycle(5, Vocabulary::empty());
+        let p = permute(&g, &[V(4), V(3), V(2), V(1), V(0)]);
+        assert_eq!(p.num_edges(), g.num_edges());
+        assert!(p.has_edge(V(0), V(1)));
+    }
+}

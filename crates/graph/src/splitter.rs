@@ -1,0 +1,735 @@
+//! The splitter game (the paper's Fact 4, from Grohe–Kreutzer–Siebertz).
+//!
+//! The `(r, s)`-splitter game on `G` is played by *Connector* and
+//! *Splitter*. Starting from `G_0 = G`, in round `i+1` Connector picks a
+//! vertex `v` of the current arena `G_i` (in the *modified* game also a
+//! radius `r' ≤ r`), Splitter answers with `w ∈ N_{r'}^{G_i}(v)`, and the
+//! arena becomes `G_{i+1} = G_i[N_{r'}^{G_i}(v) \ {w}]`. Splitter wins when
+//! the arena is empty. A class is nowhere dense iff for every `r` there is
+//! an `s` such that Splitter wins the `(r, s)` game on every member
+//! (Fact 4); *effectively* nowhere dense classes have a computable `s(r)`.
+//!
+//! The FPT learner of Theorem 13 consumes exactly two things from a class:
+//! the bound `s(r)` and Splitter's answers `w_j` to the picks `z_j` — those
+//! answers become the *parameters* of the learned query. This module
+//! provides both, for the concrete classes used in the experiments:
+//!
+//! * forests — the top-of-ball strategy wins in `s(r) ≤ r + 2` rounds;
+//! * graphs of treedepth `≤ d` — the minimal-elimination-depth rule wins in
+//!   `s(r) ≤ d` rounds (independent of `r`);
+//! * graphs of maximum degree `≤ d` — balls have at most
+//!   `1 + d·Σ_{i<r}(d−1)^i` vertices and any answer wins within one more
+//!   than that bound;
+//! * a greedy heuristic for classes without an implemented certificate
+//!   (e.g. planar), with the achieved round count *measured*, not promised.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::bfs;
+use crate::graph::{Graph, V};
+use crate::ops::{self, InducedSubgraph};
+
+/// Splitter's side of the game: pick `w ∈ N_r(v)` given the current arena.
+///
+/// Implementations may keep state across rounds of one game; the learner
+/// creates a fresh strategy per derived graph, which is sound because each
+/// derived graph is itself a member of the class.
+pub trait SplitterStrategy {
+    /// Splitter's answer to Connector picking `v` with radius `r` in
+    /// `arena`. Must return a vertex of `N_r^{arena}(v)`.
+    fn answer(&mut self, arena: &Graph, v: V, r: usize) -> V;
+
+    /// An upper bound on the number of rounds Splitter needs for radius
+    /// `r`, independent of the graph's order; `None` if the strategy is
+    /// heuristic and offers no guarantee.
+    fn round_bound(&self, r: usize) -> Option<usize>;
+
+    /// Human-readable strategy name.
+    fn name(&self) -> &'static str;
+}
+
+/// Connector's side: pick a vertex and a radius `≤ r_max`, or concede when
+/// the arena is empty.
+pub trait ConnectorStrategy {
+    /// Pick `(vertex, radius)` in the arena; `None` concedes.
+    fn pick(&mut self, arena: &Graph, r_max: usize) -> Option<(V, usize)>;
+}
+
+// ---------------------------------------------------------------------------
+// Splitter strategies
+// ---------------------------------------------------------------------------
+
+/// Winning strategy on forests: answer the *top* of the picked ball.
+///
+/// The ball `N_r(v)` in a tree is a subtree; relative to a root of the
+/// component it has a unique vertex of minimal depth (its *top*) through
+/// which every path into the ball passes. Removing the top splits the
+/// remaining ball into subtrees of strictly larger minimal depth, so the
+/// depth spread — at most `r − 1` after the first round — shrinks every
+/// round: Splitter wins within `r + 2` rounds.
+///
+/// Roots are chosen lazily per component as BFS centres, which both keeps
+/// the strategy stateless across games and gives the tightest spread.
+#[derive(Default, Clone)]
+pub struct ForestSplitter;
+
+impl SplitterStrategy for ForestSplitter {
+    fn answer(&mut self, arena: &Graph, v: V, r: usize) -> V {
+        // Root the component at its centre, then return the min-depth
+        // vertex of the ball.
+        let center = bfs::component_center(arena, v);
+        let depth = bfs::bounded_distances(arena, &[center], arena.num_vertices());
+        let ball = bfs::ball(arena, &[v], r);
+        ball.into_iter()
+            .min_by_key(|u| depth[u.index()])
+            .expect("ball always contains its centre")
+    }
+
+    fn round_bound(&self, r: usize) -> Option<usize> {
+        Some(r + 2)
+    }
+
+    fn name(&self) -> &'static str {
+        "forest-top-of-ball"
+    }
+}
+
+/// An elimination forest (treedepth decomposition): a rooted forest on
+/// `V(G)` such that every edge of `G` connects an ancestor–descendant pair.
+#[derive(Clone, Debug)]
+pub struct EliminationForest {
+    /// Parent of each vertex (`None` for roots).
+    pub parent: Vec<Option<V>>,
+    /// Depth of each vertex (roots have depth 1).
+    pub depth: Vec<u32>,
+}
+
+impl EliminationForest {
+    /// Height = treedepth witnessed by this forest.
+    pub fn height(&self) -> usize {
+        self.depth.iter().copied().max().unwrap_or(0) as usize
+    }
+
+    /// Verify the ancestor property against `g` (used in tests).
+    pub fn is_valid_for(&self, g: &Graph) -> bool {
+        if self.parent.len() != g.num_vertices() {
+            return false;
+        }
+        let ancestor = |mut a: V, b: V| -> bool {
+            loop {
+                if a == b {
+                    return true;
+                }
+                match self.parent[a.index()] {
+                    Some(p) => a = p,
+                    None => return false,
+                }
+            }
+        };
+        g.edges().all(|(u, v)| ancestor(u, v) || ancestor(v, u))
+    }
+}
+
+/// Compute an elimination forest of a *forest* graph by recursive centroid
+/// decomposition; the resulting height is `O(log n)` — and for balls of a
+/// tree, `O(log ball-size)`.
+///
+/// # Panics
+/// Panics if `g` contains a cycle.
+pub fn centroid_elimination_forest(g: &Graph) -> EliminationForest {
+    assert!(
+        g.num_edges() + count_components(g) == g.num_vertices(),
+        "centroid elimination forests require acyclic input"
+    );
+    let n = g.num_vertices();
+    let mut parent = vec![None; n];
+    let mut depth = vec![0u32; n];
+    let mut removed = vec![false; n];
+    // Recursive centroid decomposition, iteratively with an explicit stack
+    // of (component representative, parent-in-forest, depth).
+    let mut stack: Vec<(V, Option<V>, u32)> = Vec::new();
+    let mut seen = vec![false; n];
+    for s in g.vertices() {
+        if !seen[s.index()] {
+            // mark component
+            let comp = component_of(g, s, &removed);
+            for &c in &comp {
+                seen[c.index()] = true;
+            }
+            stack.push((s, None, 1));
+        }
+    }
+    while let Some((rep, par, d)) = stack.pop() {
+        let comp = component_of(g, rep, &removed);
+        let centroid = tree_centroid(g, &comp, &removed);
+        parent[centroid.index()] = par;
+        depth[centroid.index()] = d;
+        removed[centroid.index()] = true;
+        let mut handled = vec![false; n];
+        for &u in g.neighbors(centroid) {
+            let u = V(u);
+            if !removed[u.index()] && !handled[u.index()] {
+                let sub = component_of(g, u, &removed);
+                for &x in &sub {
+                    handled[x.index()] = true;
+                }
+                stack.push((u, Some(centroid), d + 1));
+            }
+        }
+    }
+    EliminationForest { parent, depth }
+}
+
+fn count_components(g: &Graph) -> usize {
+    bfs::connected_components(g).1
+}
+
+fn component_of(g: &Graph, s: V, removed: &[bool]) -> Vec<V> {
+    let mut out = Vec::new();
+    let mut stack = vec![s];
+    let mut seen = HashMap::new();
+    seen.insert(s, ());
+    while let Some(v) = stack.pop() {
+        out.push(v);
+        for &w in g.neighbors(v) {
+            let w = V(w);
+            if !removed[w.index()] && !seen.contains_key(&w) {
+                seen.insert(w, ());
+                stack.push(w);
+            }
+        }
+    }
+    out
+}
+
+/// The centroid of a tree component: a vertex whose removal leaves
+/// components of size `≤ |comp|/2`.
+fn tree_centroid(g: &Graph, comp: &[V], removed: &[bool]) -> V {
+    let total = comp.len();
+    let in_comp: HashMap<V, usize> = comp.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    // Subtree sizes via iterative post-order from comp[0].
+    let root = comp[0];
+    let mut order = Vec::with_capacity(total);
+    let mut parent: HashMap<V, V> = HashMap::new();
+    let mut stack = vec![root];
+    let mut seen = vec![false; total];
+    seen[in_comp[&root]] = true;
+    while let Some(v) = stack.pop() {
+        order.push(v);
+        for &w in g.neighbors(v) {
+            let w = V(w);
+            if removed[w.index()] {
+                continue;
+            }
+            if let Some(&wi) = in_comp.get(&w) {
+                if !seen[wi] {
+                    seen[wi] = true;
+                    parent.insert(w, v);
+                    stack.push(w);
+                }
+            }
+        }
+    }
+    let mut size: HashMap<V, usize> = comp.iter().map(|&v| (v, 1)).collect();
+    for &v in order.iter().rev() {
+        if let Some(&p) = parent.get(&v) {
+            *size.get_mut(&p).unwrap() += size[&v];
+        }
+    }
+    // Walk down from the root towards the heavy side.
+    let mut cur = root;
+    loop {
+        let heavy = g
+            .neighbors(cur)
+            .iter()
+            .map(|&w| V(w))
+            .filter(|w| !removed[w.index()] && in_comp.contains_key(w) && parent.get(w) == Some(&cur))
+            .max_by_key(|w| size[w]);
+        match heavy {
+            Some(h) if size[&h] > total / 2 => cur = h,
+            _ => return cur,
+        }
+    }
+}
+
+/// Winning strategy for graphs with a known elimination forest: answer the
+/// vertex of minimal elimination depth in the ball.
+///
+/// The ball is connected, and a connected subgraph has a unique
+/// minimal-depth vertex in an elimination forest which is an ancestor of
+/// the whole subgraph; removing it pushes the minimal depth strictly down,
+/// so Splitter wins within `height` rounds regardless of `r`.
+pub struct TreedepthSplitter {
+    forest: EliminationForest,
+}
+
+impl TreedepthSplitter {
+    /// Build from an explicit elimination forest of the *arena* graph.
+    pub fn new(forest: EliminationForest) -> Self {
+        Self { forest }
+    }
+
+    /// Build by centroid-decomposing an acyclic arena.
+    pub fn for_forest_graph(g: &Graph) -> Self {
+        Self::new(centroid_elimination_forest(g))
+    }
+}
+
+impl SplitterStrategy for TreedepthSplitter {
+    fn answer(&mut self, arena: &Graph, v: V, r: usize) -> V {
+        let ball = bfs::ball(arena, &[v], r);
+        ball.into_iter()
+            .min_by_key(|u| self.forest.depth[u.index()])
+            .expect("ball always contains its centre")
+    }
+
+    fn round_bound(&self, _r: usize) -> Option<usize> {
+        Some(self.forest.height())
+    }
+
+    fn name(&self) -> &'static str {
+        "treedepth-elimination"
+    }
+}
+
+/// Strategy for bounded-degree graphs: balls are small, so *any* answer
+/// wins; we answer the pick itself.
+pub struct BoundedDegreeSplitter {
+    /// The degree bound `d` of the class.
+    pub degree: usize,
+}
+
+/// `1 + d·Σ_{i<r}(d−1)^i`, the maximum ball size in a graph of maximum
+/// degree `d`, saturating on overflow.
+pub fn ball_size_bound(d: usize, r: usize) -> usize {
+    if d == 0 || r == 0 {
+        return 1;
+    }
+    let mut total = 1usize;
+    let mut layer = d;
+    for _ in 0..r {
+        total = total.saturating_add(layer);
+        layer = layer.saturating_mul(d.saturating_sub(1).max(1));
+    }
+    total
+}
+
+impl SplitterStrategy for BoundedDegreeSplitter {
+    fn answer(&mut self, _arena: &Graph, v: V, _r: usize) -> V {
+        v
+    }
+
+    fn round_bound(&self, r: usize) -> Option<usize> {
+        Some(ball_size_bound(self.degree, r).saturating_add(1))
+    }
+
+    fn name(&self) -> &'static str {
+        "bounded-degree-any"
+    }
+}
+
+/// Heuristic strategy with no guarantee: answer the highest-degree vertex
+/// of the ball (ties by index). Performs well on planar-ish classes; its
+/// achieved round counts are an experiment, not a theorem.
+#[derive(Default, Clone)]
+pub struct GreedySplitter;
+
+impl SplitterStrategy for GreedySplitter {
+    fn answer(&mut self, arena: &Graph, v: V, r: usize) -> V {
+        let ball = bfs::ball(arena, &[v], r);
+        ball.into_iter()
+            .max_by_key(|u| (arena.degree(*u), std::cmp::Reverse(u.0)))
+            .expect("ball always contains its centre")
+    }
+
+    fn round_bound(&self, _r: usize) -> Option<usize> {
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "greedy-max-degree"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connector strategies
+// ---------------------------------------------------------------------------
+
+/// Adversarial Connector: pick the vertex whose `r`-ball is largest
+/// (always with the full radius).
+pub struct MaxBallConnector;
+
+impl ConnectorStrategy for MaxBallConnector {
+    fn pick(&mut self, arena: &Graph, r_max: usize) -> Option<(V, usize)> {
+        arena
+            .vertices()
+            .max_by_key(|&v| bfs::ball(arena, &[v], r_max).len())
+            .map(|v| (v, r_max))
+    }
+}
+
+/// Random Connector (seeded).
+pub struct RandomConnector {
+    rng: StdRng,
+}
+
+impl RandomConnector {
+    /// A seeded random Connector.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl ConnectorStrategy for RandomConnector {
+    fn pick(&mut self, arena: &Graph, r_max: usize) -> Option<(V, usize)> {
+        if arena.num_vertices() == 0 {
+            return None;
+        }
+        let v = V(self.rng.random_range(0..arena.num_vertices() as u32));
+        let r = self.rng.random_range(1..=r_max.max(1));
+        Some((v, r))
+    }
+}
+
+/// Connector picking the maximum-degree vertex with full radius.
+pub struct MaxDegreeConnector;
+
+impl ConnectorStrategy for MaxDegreeConnector {
+    fn pick(&mut self, arena: &Graph, r_max: usize) -> Option<(V, usize)> {
+        arena
+            .vertices()
+            .max_by_key(|&v| arena.degree(v))
+            .map(|v| (v, r_max))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Game runner
+// ---------------------------------------------------------------------------
+
+/// Outcome of a finished splitter game.
+#[derive(Debug, Clone)]
+pub struct GameResult {
+    /// Rounds actually played.
+    pub rounds: usize,
+    /// Whether Splitter emptied the arena within the round cap.
+    pub splitter_won: bool,
+    /// The trace of `(connector pick, radius, splitter answer)` in
+    /// *original-graph* vertex ids.
+    pub trace: Vec<(V, usize, V)>,
+}
+
+/// The evolving arena of a splitter game, tracked against the original
+/// graph so traces stay meaningful.
+pub struct SplitterGame {
+    arena: Graph,
+    /// Arena vertex → original vertex.
+    to_original: Vec<V>,
+    r_max: usize,
+    rounds: usize,
+}
+
+impl SplitterGame {
+    /// Start the `(r, ·)` game on `g`.
+    pub fn new(g: &Graph, r_max: usize) -> Self {
+        Self {
+            arena: g.clone(),
+            to_original: g.vertices().collect(),
+            r_max,
+            rounds: 0,
+        }
+    }
+
+    /// Current arena.
+    pub fn arena(&self) -> &Graph {
+        &self.arena
+    }
+
+    /// Rounds played so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Whether Splitter has already won.
+    pub fn is_over(&self) -> bool {
+        self.arena.num_vertices() == 0
+    }
+
+    /// Map an arena vertex to the original graph.
+    pub fn original_vertex(&self, v: V) -> V {
+        self.to_original[v.index()]
+    }
+
+    /// Play one round: Connector has picked arena vertex `v` with radius
+    /// `radius ≤ r_max`; Splitter answers `w ∈ N_radius(v)`. Returns the
+    /// answer in original-vertex coordinates.
+    ///
+    /// # Panics
+    /// Panics if the radius exceeds the game radius or the answer is not
+    /// in the picked ball (rule violations).
+    pub fn play_round(
+        &mut self,
+        v: V,
+        radius: usize,
+        splitter: &mut dyn SplitterStrategy,
+    ) -> V {
+        assert!(radius <= self.r_max, "Connector radius exceeds game radius");
+        assert!(v.index() < self.arena.num_vertices(), "pick out of arena");
+        let w = splitter.answer(&self.arena, v, radius);
+        let ball = bfs::ball(&self.arena, &[v], radius);
+        assert!(ball.contains(&w), "Splitter answer must lie in the ball");
+        let remaining: Vec<V> = ball.into_iter().filter(|&u| u != w).collect();
+        let sub: InducedSubgraph = ops::induced_subgraph(&self.arena, &remaining);
+        let new_to_original = sub
+            .to_old
+            .iter()
+            .map(|&u| self.to_original[u.index()])
+            .collect();
+        let original_answer = self.to_original[w.index()];
+        self.arena = sub.graph;
+        self.to_original = new_to_original;
+        self.rounds += 1;
+        original_answer
+    }
+}
+
+/// Play a full game between the given strategies, capped at `max_rounds`.
+///
+/// ```
+/// use folearn_graph::{generators, Vocabulary};
+/// use folearn_graph::splitter::{play_game, ForestSplitter, MaxBallConnector};
+///
+/// let g = generators::random_tree(100, Vocabulary::empty(), 1);
+/// let result = play_game(&g, 2, &mut ForestSplitter, &mut MaxBallConnector, 10);
+/// assert!(result.splitter_won);
+/// assert!(result.rounds <= 4); // forests: s(r) = r + 2
+/// ```
+pub fn play_game(
+    g: &Graph,
+    r: usize,
+    splitter: &mut dyn SplitterStrategy,
+    connector: &mut dyn ConnectorStrategy,
+    max_rounds: usize,
+) -> GameResult {
+    let mut game = SplitterGame::new(g, r);
+    let mut trace = Vec::new();
+    while !game.is_over() && game.rounds() < max_rounds {
+        let Some((v, radius)) = connector.pick(game.arena(), r) else {
+            break;
+        };
+        let orig_pick = game.original_vertex(v);
+        let answer = game.play_round(v, radius, splitter);
+        trace.push((orig_pick, radius, answer));
+    }
+    GameResult {
+        rounds: game.rounds(),
+        splitter_won: game.is_over(),
+        trace,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Class descriptors
+// ---------------------------------------------------------------------------
+
+/// A certified (or heuristic) graph class, bundling the Splitter round
+/// bound `s(r)` with a strategy factory — exactly what Theorem 13's learner
+/// consumes.
+#[derive(Clone, Debug)]
+pub enum GraphClass {
+    /// Acyclic graphs; `s(r) = r + 2`.
+    Forest,
+    /// Maximum degree `≤ d`; `s(r) = ball_size_bound(d, r) + 1`.
+    BoundedDegree(usize),
+    /// Treedepth `≤ d` (elimination forest recomputed per arena via
+    /// centroid decomposition, valid when arenas stay acyclic);
+    /// `s(r) = d`.
+    Treedepth(usize),
+    /// No certificate: greedy strategy with a caller-chosen round budget.
+    Heuristic {
+        /// Assumed round bound used in place of a certified `s(r)`.
+        assumed_rounds: usize,
+    },
+}
+
+impl GraphClass {
+    /// The (claimed) Splitter round bound `s(r)`.
+    pub fn splitter_rounds(&self, r: usize) -> usize {
+        match self {
+            GraphClass::Forest => r + 2,
+            GraphClass::BoundedDegree(d) => ball_size_bound(*d, r).saturating_add(1),
+            GraphClass::Treedepth(d) => *d,
+            GraphClass::Heuristic { assumed_rounds } => *assumed_rounds,
+        }
+    }
+
+    /// A fresh Splitter strategy for an arena from this class.
+    pub fn make_splitter(&self, arena: &Graph) -> Box<dyn SplitterStrategy> {
+        match self {
+            GraphClass::Forest => Box::new(ForestSplitter),
+            GraphClass::BoundedDegree(d) => Box::new(BoundedDegreeSplitter { degree: *d }),
+            GraphClass::Treedepth(_) => {
+                if arena.num_edges() + count_components(arena) == arena.num_vertices() {
+                    Box::new(TreedepthSplitter::for_forest_graph(arena))
+                } else {
+                    Box::new(GreedySplitter)
+                }
+            }
+            GraphClass::Heuristic { .. } => Box::new(GreedySplitter),
+        }
+    }
+
+    /// Class name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            GraphClass::Forest => "forest".into(),
+            GraphClass::BoundedDegree(d) => format!("max-degree-{d}"),
+            GraphClass::Treedepth(d) => format!("treedepth-{d}"),
+            GraphClass::Heuristic { assumed_rounds } => {
+                format!("heuristic(s={assumed_rounds})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::generators;
+    use crate::vocab::Vocabulary;
+
+    use super::*;
+
+    #[test]
+    fn forest_splitter_wins_on_paths_within_bound() {
+        for n in [5usize, 20, 60] {
+            for r in [1usize, 2, 3] {
+                let g = generators::path(n, Vocabulary::empty());
+                let mut s = ForestSplitter;
+                let mut c = MaxBallConnector;
+                let result = play_game(&g, r, &mut s, &mut c, 10 * (r + 2));
+                assert!(result.splitter_won, "n={n} r={r}");
+                assert!(
+                    result.rounds <= r + 2,
+                    "n={n} r={r} rounds={}",
+                    result.rounds
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forest_splitter_wins_on_random_trees() {
+        for seed in 0..5 {
+            let g = generators::random_tree(80, Vocabulary::empty(), seed);
+            let mut s = ForestSplitter;
+            let mut c = RandomConnector::new(seed);
+            let r = 3;
+            let result = play_game(&g, r, &mut s, &mut c, 10 * (r + 2));
+            assert!(result.splitter_won);
+            assert!(result.rounds <= r + 2, "rounds={}", result.rounds);
+        }
+    }
+
+    #[test]
+    fn bounded_degree_splitter_terminates() {
+        let g = generators::bounded_degree_random(60, 3, 1.0, Vocabulary::empty(), 3);
+        let mut s = BoundedDegreeSplitter { degree: 3 };
+        let mut c = MaxDegreeConnector;
+        let r = 2;
+        let bound = s.round_bound(r).unwrap();
+        let result = play_game(&g, r, &mut s, &mut c, bound + 1);
+        assert!(result.splitter_won);
+        assert!(result.rounds <= bound);
+    }
+
+    #[test]
+    fn clique_resists_splitter() {
+        // On K_n with r ≥ 1 the arena shrinks by exactly one vertex per
+        // round, so Splitter needs n rounds — witnessing somewhere-density.
+        let n = 12;
+        let g = generators::clique(n, Vocabulary::empty());
+        let mut s = GreedySplitter;
+        let mut c = MaxBallConnector;
+        let result = play_game(&g, 1, &mut s, &mut c, n + 5);
+        assert!(result.splitter_won);
+        assert_eq!(result.rounds, n);
+    }
+
+    #[test]
+    fn centroid_forest_is_valid_and_shallow() {
+        let g = generators::random_tree(127, Vocabulary::empty(), 11);
+        let f = centroid_elimination_forest(&g);
+        assert!(f.is_valid_for(&g));
+        // Centroid decomposition height ≤ log2(n) + 1.
+        assert!(f.height() <= 8, "height={}", f.height());
+    }
+
+    #[test]
+    fn treedepth_splitter_wins_within_height() {
+        let g = generators::binary_tree(5, Vocabulary::empty());
+        let f = centroid_elimination_forest(&g);
+        let h = f.height();
+        let mut s = TreedepthSplitter::new(f);
+        let mut c = MaxBallConnector;
+        let result = play_game(&g, 4, &mut s, &mut c, h + 1);
+        assert!(result.splitter_won);
+        assert!(result.rounds <= h, "rounds={} height={h}", result.rounds);
+    }
+
+    #[test]
+    fn modified_game_smaller_radius_allowed() {
+        let g = generators::path(30, Vocabulary::empty());
+        let mut game = SplitterGame::new(&g, 5);
+        let mut s = ForestSplitter;
+        // Connector shrinks the radius to 2.
+        let answer = game.play_round(V(10), 2, &mut s);
+        assert!(answer.index() < 30);
+        assert!(game.arena().num_vertices() <= 5 - 1 + 1); // ball of radius 2 minus answer, ≤ 4
+    }
+
+    #[test]
+    #[should_panic(expected = "radius exceeds")]
+    fn radius_violation_panics() {
+        let g = generators::path(10, Vocabulary::empty());
+        let mut game = SplitterGame::new(&g, 2);
+        let mut s = ForestSplitter;
+        game.play_round(V(0), 3, &mut s);
+    }
+
+    #[test]
+    fn ball_size_bound_values() {
+        assert_eq!(ball_size_bound(3, 1), 4);
+        assert_eq!(ball_size_bound(3, 2), 10);
+        assert_eq!(ball_size_bound(2, 3), 7); // path-like: 1 + 2 + 2 + 2
+        assert_eq!(ball_size_bound(0, 5), 1);
+    }
+
+    #[test]
+    fn class_descriptor_round_bounds() {
+        assert_eq!(GraphClass::Forest.splitter_rounds(3), 5);
+        assert_eq!(GraphClass::Treedepth(4).splitter_rounds(100), 4);
+        assert_eq!(
+            GraphClass::BoundedDegree(3).splitter_rounds(2),
+            ball_size_bound(3, 2) + 1
+        );
+    }
+
+    #[test]
+    fn game_trace_uses_original_ids() {
+        let g = generators::path(9, Vocabulary::empty());
+        let mut s = ForestSplitter;
+        let mut c = MaxBallConnector;
+        let result = play_game(&g, 2, &mut s, &mut c, 20);
+        assert!(result.splitter_won);
+        for (pick, radius, answer) in result.trace {
+            assert!(pick.index() < 9);
+            assert!(answer.index() < 9);
+            assert!(radius <= 2);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Vocabularies of coloured graphs.
+//!
+//! A vocabulary `τ = {E, P_1, …, P_c}` is identified with its ordered list
+//! of unary colour symbols; the binary edge symbol `E` is implicit. The
+//! paper's constructions repeatedly *expand* vocabularies with fresh colours
+//! (the `P_t, Q_t` relations of Lemma 7, the `A/B/C/D` colours of Lemma 16),
+//! so vocabularies support cheap extension while keeping colour identities
+//! stable: a [`ColorId`] minted for a colour of `τ` denotes the same colour
+//! in every `τ' ⊇ τ` expansion.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Index of a unary colour symbol within a [`Vocabulary`].
+///
+/// Colour ids are stable under vocabulary expansion: expansions only append.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ColorId(pub u16);
+
+impl ColorId {
+    /// The colour's position in the vocabulary's colour list.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ColorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// An ordered set of unary colour symbols (the vocabulary `τ` minus the
+/// implicit edge relation).
+///
+/// Vocabularies are cheaply clonable and shared between graphs, formulas and
+/// type arenas via [`Arc`]; two graphs are *compatible* (comparable by
+/// formulas and types) when their vocabularies agree as lists.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Vocabulary {
+    names: Vec<Arc<str>>,
+}
+
+impl Vocabulary {
+    /// The empty vocabulary (plain graphs, no colours).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// A vocabulary with the given colour names, in order.
+    ///
+    /// # Panics
+    /// Panics if two names coincide or more than `u16::MAX` colours are given.
+    pub fn new<S: AsRef<str>>(names: impl IntoIterator<Item = S>) -> Self {
+        let mut v = Self::empty();
+        for n in names {
+            v.add_color(n.as_ref());
+        }
+        v
+    }
+
+    /// Number of colour symbols.
+    #[inline]
+    pub fn num_colors(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of 64-bit words needed for a per-vertex colour bitset.
+    #[inline]
+    pub fn words_per_vertex(&self) -> usize {
+        self.names.len().div_ceil(64).max(1)
+    }
+
+    /// Name of a colour.
+    ///
+    /// # Panics
+    /// Panics if `c` is out of range.
+    pub fn color_name(&self, c: ColorId) -> &str {
+        &self.names[c.index()]
+    }
+
+    /// Look up a colour by name.
+    pub fn color_by_name(&self, name: &str) -> Option<ColorId> {
+        self.names
+            .iter()
+            .position(|n| &**n == name)
+            .map(|i| ColorId(i as u16))
+    }
+
+    /// Append a fresh colour and return its id.
+    ///
+    /// # Panics
+    /// Panics on a duplicate name or on overflowing the `u16` id space.
+    pub fn add_color(&mut self, name: &str) -> ColorId {
+        assert!(
+            self.color_by_name(name).is_none(),
+            "duplicate colour name {name:?}"
+        );
+        let id = u16::try_from(self.names.len()).expect("too many colours");
+        self.names.push(Arc::from(name));
+        ColorId(id)
+    }
+
+    /// Iterate over `(id, name)` pairs.
+    pub fn colors(&self) -> impl Iterator<Item = (ColorId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (ColorId(i as u16), &**n))
+    }
+
+    /// Whether `self` is a prefix of `other`, i.e. `other` is a colour
+    /// expansion of `self` in the paper's sense (same colours, possibly
+    /// more appended).
+    pub fn is_prefix_of(&self, other: &Vocabulary) -> bool {
+        self.names.len() <= other.names.len()
+            && self.names.iter().zip(&other.names).all(|(a, b)| a == b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut v = Vocabulary::empty();
+        let red = v.add_color("Red");
+        let blue = v.add_color("Blue");
+        assert_eq!(v.num_colors(), 2);
+        assert_eq!(v.color_name(red), "Red");
+        assert_eq!(v.color_by_name("Blue"), Some(blue));
+        assert_eq!(v.color_by_name("Green"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate colour")]
+    fn duplicate_name_panics() {
+        let mut v = Vocabulary::empty();
+        v.add_color("Red");
+        v.add_color("Red");
+    }
+
+    #[test]
+    fn prefix_expansion() {
+        let base = Vocabulary::new(["A", "B"]);
+        let mut ext = base.clone();
+        ext.add_color("C");
+        assert!(base.is_prefix_of(&ext));
+        assert!(!ext.is_prefix_of(&base));
+        assert!(base.is_prefix_of(&base));
+    }
+
+    #[test]
+    fn words_per_vertex_rounds_up() {
+        assert_eq!(Vocabulary::empty().words_per_vertex(), 1);
+        let v = Vocabulary::new((0..65).map(|i| format!("C{i}")));
+        assert_eq!(v.words_per_vertex(), 2);
+    }
+
+    #[test]
+    fn colors_iterates_in_order() {
+        let v = Vocabulary::new(["X", "Y"]);
+        let got: Vec<_> = v.colors().map(|(c, n)| (c.0, n.to_string())).collect();
+        assert_eq!(got, vec![(0, "X".into()), (1, "Y".into())]);
+    }
+}

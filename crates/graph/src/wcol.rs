@@ -1,0 +1,158 @@
+//! Weak colouring numbers — the quantitative face of nowhere-denseness.
+//!
+//! A class `C` is nowhere dense iff for every `r` the weak `r`-colouring
+//! number `wcol_r(G)` is `n^{o(1)}` over `G ∈ C` (and bounded for bounded
+//! expansion). This gives a second, order-based certificate of the
+//! learnability boundary of Theorem 2, complementing the splitter game:
+//! experiment E14 measures `wcol_r` flat on trees and grids but growing
+//! on cliques.
+//!
+//! For a linear order `L` on `V(G)`, a vertex `u` is *weakly r-reachable*
+//! from `v` if `u ≤_L v` and there is a path `v = x_0, …, x_j = u` of
+//! length `j ≤ r` whose every vertex satisfies `x_i ≥_L u`. Then
+//! `wcol_r(G, L) = max_v |WReach_r(v)|` and `wcol_r(G)` is the minimum
+//! over orders; we use the degeneracy order, the standard heuristic.
+
+use std::collections::VecDeque;
+
+use crate::graph::{Graph, V};
+
+/// A degeneracy ordering (smallest-last): repeatedly remove a
+/// minimum-degree vertex; earlier removed = *larger* in the order, so the
+/// returned vector lists vertices from smallest to largest `L`-position.
+pub fn degeneracy_order(g: &Graph) -> Vec<V> {
+    let n = g.num_vertices();
+    let mut degree: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+    let mut removed = vec![false; n];
+    let mut order_rev = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = g
+            .vertices()
+            .filter(|v| !removed[v.index()])
+            .min_by_key(|v| degree[v.index()])
+            .expect("vertices remain");
+        removed[v.index()] = true;
+        order_rev.push(v);
+        for &w in g.neighbors(v) {
+            if !removed[w as usize] {
+                degree[w as usize] -= 1;
+            }
+        }
+    }
+    // Smallest-last: the first removed vertex is the largest in L.
+    order_rev.reverse();
+    order_rev
+}
+
+/// `WReach_r(G, L, v)` for every `v`: the sets of weakly `r`-reachable
+/// vertices. `order[i]` is the vertex at `L`-position `i`.
+pub fn weak_reach_sets(g: &Graph, order: &[V], r: usize) -> Vec<Vec<V>> {
+    let n = g.num_vertices();
+    let mut pos = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v.index()] = i;
+    }
+    let mut wreach: Vec<Vec<V>> = vec![Vec::new(); n];
+    // For each u (as the reached, L-minimal endpoint): BFS from u of depth
+    // ≤ r inside {w : pos(w) ≥ pos(u)}; every reached v gets u in
+    // WReach_r(v).
+    let mut dist = vec![u32::MAX; n];
+    for &u in order {
+        let pu = pos[u.index()];
+        dist.iter_mut().for_each(|d| *d = u32::MAX);
+        let mut queue = VecDeque::new();
+        dist[u.index()] = 0;
+        queue.push_back(u);
+        while let Some(x) = queue.pop_front() {
+            let d = dist[x.index()];
+            wreach[x.index()].push(u);
+            if d as usize >= r {
+                continue;
+            }
+            for &w in g.neighbors(x) {
+                if dist[w as usize] == u32::MAX && pos[w as usize] >= pu {
+                    dist[w as usize] = d + 1;
+                    queue.push_back(V(w));
+                }
+            }
+        }
+    }
+    wreach
+}
+
+/// `wcol_r(G, L) = max_v |WReach_r(v)|` under the given order.
+pub fn weak_coloring_number(g: &Graph, order: &[V], r: usize) -> usize {
+    weak_reach_sets(g, order, r)
+        .iter()
+        .map(Vec::len)
+        .max()
+        .unwrap_or(0)
+}
+
+/// `wcol_r` under the degeneracy-order heuristic.
+pub fn wcol(g: &Graph, r: usize) -> usize {
+    weak_coloring_number(g, &degeneracy_order(g), r)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::generators;
+    use crate::vocab::Vocabulary;
+
+    use super::*;
+
+    #[test]
+    fn wcol_includes_self() {
+        let g = generators::path(5, Vocabulary::empty());
+        // wcol_0 counts only the vertex itself.
+        assert_eq!(wcol(&g, 0), 1);
+    }
+
+    #[test]
+    fn wcol1_is_degeneracy_plus_one_on_trees() {
+        // Trees are 1-degenerate: wcol_1 = 2 under a degeneracy order.
+        for seed in 0..3 {
+            let g = generators::random_tree(40, Vocabulary::empty(), seed);
+            assert_eq!(wcol(&g, 1), 2, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn wcol_flat_on_growing_trees() {
+        let a = wcol(&generators::random_tree(50, Vocabulary::empty(), 1), 3);
+        let b = wcol(&generators::random_tree(400, Vocabulary::empty(), 1), 3);
+        // Sublinear growth: far below proportional scaling.
+        assert!(b <= a * 3, "a={a} b={b}");
+    }
+
+    #[test]
+    fn wcol_linear_on_cliques() {
+        // On K_n every vertex weakly reaches all smaller ones already at
+        // r = 1: wcol_1(K_n) = n.
+        let g = generators::clique(10, Vocabulary::empty());
+        assert_eq!(wcol(&g, 1), 10);
+    }
+
+    #[test]
+    fn wreach_respects_order_constraint() {
+        // Path a-b-c with order a < b < c: WReach_1(a) = {a} despite the
+        // edge to b (b > a can't be weakly reached... b is reachable from
+        // a only if b ≤ a). Check the definition directly.
+        let g = generators::path(3, Vocabulary::empty());
+        let order = vec![V(0), V(1), V(2)];
+        let wr = weak_reach_sets(&g, &order, 1);
+        assert_eq!(wr[0], vec![V(0)]);
+        assert!(wr[1].contains(&V(0)) && wr[1].contains(&V(1)));
+        assert_eq!(wr[2].len(), 2); // {V(2), V(1)}
+    }
+
+    #[test]
+    fn monotone_in_radius() {
+        let g = generators::grid(6, 6, Vocabulary::empty());
+        let order = degeneracy_order(&g);
+        let w1 = weak_coloring_number(&g, &order, 1);
+        let w2 = weak_coloring_number(&g, &order, 2);
+        let w3 = weak_coloring_number(&g, &order, 3);
+        assert!(w1 <= w2 && w2 <= w3);
+    }
+}

@@ -1,0 +1,27 @@
+//! The AW[\*]-hardness reduction of Theorem 1.
+//!
+//! Lemma 7 of the paper: first-order model checking `FO-MC` is
+//! fpt-Turing-reducible to `(L,Q)-FO-ERM`. Since `FO-MC` is AW[\*]-complete,
+//! learning first-order queries is AW[\*]-hard. The proof is an explicit
+//! algorithm, and this crate runs it:
+//!
+//! * [`oracle`] — the ERM-oracle interface the reduction consumes,
+//!   instantiated with the workspace's brute-force learner, plus an
+//!   adversarial wrapper that corrupts every *non-realisable* answer to
+//!   demonstrate Remark 10 (the reduction only relies on answers for
+//!   instances with `ε* = 0`);
+//! * [`reduction`] — the model-checking algorithm: pairwise
+//!   distinguishing hypotheses `γ_{u,v}` from oracle calls, the
+//!   Ramsey-style elimination building a bounded set `T` of `(q−1)`-type
+//!   representatives (Claims 8 and 9), and the `P_t`/`Q_t` relativised
+//!   recursion;
+//! * [`copies`] — the generalised Claim 8 for oracles that insist on
+//!   returning parameters (`L(1,0,q) > 0`): the `2ℓ` disjoint-copies
+//!   construction that extracts a parameter-free distinguisher anyway.
+
+pub mod copies;
+pub mod oracle;
+pub mod reduction;
+
+pub use oracle::{BruteForceOracle, ErmOracle, OracleAnswer};
+pub use reduction::{model_check_via_erm, ReductionReport};

@@ -1,0 +1,324 @@
+//! `FO-MC ≤fpt-T (L,Q)-FO-ERM` — the Lemma 7 algorithm.
+//!
+//! To decide `G ⊨ ∃x ψ(x)` with an ERM oracle:
+//!
+//! 1. For every pair `u < v`, query the oracle on `Λ = ((u,0),(v,1))`
+//!    with `k=1, ℓ*=0, q* = q−1, ε = 1/4`. By Claim 8, whenever
+//!    `tp_{q−1}(u) ≠ tp_{q−1}(v)` the answer `γ_{u,v}` rejects `u` and
+//!    accepts `v`; when the types agree we know nothing — and cannot tell
+//!    which case we are in.
+//! 2. Shrink `V(G)` to a set `T` of type representatives: while three
+//!    vertices `v₁ < v₂ < v₃` are *monochromatic* (all three pairwise
+//!    answers equal), drop `v₂` — by Claim 9 two of them share a type, and
+//!    dropping the middle one always preserves property (i) ("every type
+//!    keeps a representative"). Ramsey's theorem bounds the exhausted set
+//!    by `R(2, s, 3)` where `s` counts possible oracle answers, i.e.
+//!    independently of `n`.
+//! 3. For each `t ∈ T`, recurse on `ψ_t` over `G_t`: the colour expansion
+//!    marking `{t}` with `P_t` and `N(t)` with `Q_t`, with the free
+//!    variable eliminated by atom substitution
+//!    (`folearn_logic::transform::specialize_var`).
+//!
+//! Boolean structure is decomposed first; `∀x ψ` is handled as
+//! `¬∃x ¬ψ`. Everything is instrumented for experiment E1.
+
+use folearn::{ErmInstance, TrainingSequence};
+use folearn_graph::{ops, Graph, V};
+use folearn_logic::transform::{simplify, specialize_var};
+use folearn_logic::{eval, Formula};
+
+use crate::oracle::ErmOracle;
+
+/// Instrumentation of one reduction run.
+#[derive(Debug, Clone, Default)]
+pub struct ReductionReport {
+    /// The model-checking answer.
+    pub result: bool,
+    /// Total oracle calls.
+    pub oracle_calls: usize,
+    /// Oracle calls whose instance was realisable (Remark 10).
+    pub realizable_calls: usize,
+    /// `|T|` at every ∃-recursion node, in visit order.
+    pub representative_set_sizes: Vec<usize>,
+    /// Maximum recursion depth reached.
+    pub max_depth: usize,
+}
+
+/// Decide `G ⊨ φ` (a sentence) using only the ERM oracle for the
+/// quantifier steps. Returns the answer plus instrumentation.
+///
+/// # Panics
+/// Panics if `φ` has free variables.
+pub fn model_check_via_erm(
+    g: &Graph,
+    phi: &Formula,
+    oracle: &mut dyn ErmOracle,
+) -> ReductionReport {
+    assert!(phi.is_sentence(), "model checking needs a sentence");
+    let mut report = ReductionReport::default();
+    let calls_before = oracle.calls();
+    let realizable_before = oracle.realizable_calls();
+    report.result = check(g, &simplify(phi), oracle, 0, &mut report);
+    report.oracle_calls = oracle.calls() - calls_before;
+    report.realizable_calls = oracle.realizable_calls() - realizable_before;
+    report
+}
+
+fn check(
+    g: &Graph,
+    phi: &Formula,
+    oracle: &mut dyn ErmOracle,
+    depth: usize,
+    report: &mut ReductionReport,
+) -> bool {
+    report.max_depth = report.max_depth.max(depth);
+    match phi {
+        Formula::Bool(b) => *b,
+        Formula::Not(f) => !check(g, f, oracle, depth, report),
+        Formula::And(fs) => fs.iter().all(|f| check(g, f, oracle, depth, report)),
+        Formula::Or(fs) => fs.iter().any(|f| check(g, f, oracle, depth, report)),
+        Formula::Forall(v, f) => {
+            let flipped = Formula::exists(*v, f.clone().not());
+            !check(g, &flipped, oracle, depth, report)
+        }
+        Formula::Exists(x, psi) => {
+            if g.num_vertices() == 0 {
+                return false;
+            }
+            let q = phi.quantifier_rank();
+            let t_set = representatives(g, q - 1, oracle, report);
+            report.representative_set_sizes.push(t_set.len());
+            for t in t_set {
+                let (g_t, psi_t) = relativize(g, psi, *x, t);
+                if check(&g_t, &simplify(&psi_t), oracle, depth + 1, report) {
+                    return true;
+                }
+            }
+            false
+        }
+        // Quantifier-free sentences have no atoms over variables at all
+        // (no free variables exist), but equality/edge atoms cannot occur
+        // in a sentence without quantifiers — evaluate directly for
+        // robustness.
+        atom => eval::models(g, atom),
+    }
+}
+
+/// Compute the representative set `T` via pairwise oracle answers and
+/// monochromatic-triple elimination (Claims 8 & 9).
+///
+/// Exposed for experiment E1, which tracks `|T|` against `n`.
+pub fn representatives(
+    g: &Graph,
+    q_star: usize,
+    oracle: &mut dyn ErmOracle,
+    _report: &mut ReductionReport,
+) -> Vec<V> {
+    let n = g.num_vertices();
+    if n <= 2 {
+        return g.vertices().collect();
+    }
+    // γ keys for each unordered pair (indexed by (min, max)).
+    let mut gamma: std::collections::HashMap<(u32, u32), u64> =
+        std::collections::HashMap::new();
+    for u in g.vertices() {
+        for v in g.vertices() {
+            if u < v {
+                let examples = TrainingSequence::from_pairs([
+                    (vec![u], false),
+                    (vec![v], true),
+                ]);
+                let inst = ErmInstance::new(g, examples, 1, 0, q_star, 0.25);
+                let ans = oracle.solve(&inst);
+                gamma.insert((u.0, v.0), ans.key);
+            }
+        }
+    }
+    let mut t: Vec<V> = g.vertices().collect();
+    // While a monochromatic triple exists, drop its middle vertex. The
+    // loop exhausts within |V| iterations; the exhausted set is no larger
+    // than the Ramsey bound R(2, s, 3).
+    'outer: loop {
+        for i in 0..t.len() {
+            for j in (i + 1)..t.len() {
+                let gij = gamma[&(t[i].0, t[j].0)];
+                for l in (j + 1)..t.len() {
+                    if gamma[&(t[i].0, t[l].0)] == gij && gamma[&(t[j].0, t[l].0)] == gij {
+                        t.remove(j);
+                        continue 'outer;
+                    }
+                }
+            }
+        }
+        break;
+    }
+    t
+}
+
+/// Build `(G_t, ψ_t)`: expand `G` with fresh colours `P_t = {t}` and
+/// `Q_t = N(t)` and substitute the free variable `x` away.
+pub fn relativize(g: &Graph, psi: &Formula, x: folearn_logic::Var, t: V) -> (Graph, Formula) {
+    let level = g.vocab().num_colors();
+    let p_name = format!("__P{level}");
+    let q_name = format!("__Q{level}");
+    let neighbors: Vec<V> = g.neighbors(t).iter().map(|&w| V(w)).collect();
+    let g_t = ops::expand_colors(g, &[(&p_name, vec![t]), (&q_name, neighbors)]);
+    let p_t = g_t.vocab().color_by_name(&p_name).expect("just added");
+    let q_t = g_t.vocab().color_by_name(&q_name).expect("just added");
+    let psi_t = specialize_var(psi, x, p_t, q_t, &|c| g.has_color(t, c));
+    (g_t, psi_t)
+}
+
+#[cfg(test)]
+mod tests {
+    use folearn_graph::{generators, ColorId, Vocabulary};
+    use folearn_logic::parse;
+
+    use crate::oracle::{AdversarialOnUnrealizable, BruteForceOracle};
+
+    use super::*;
+
+    fn colored_path(n: usize, stride: usize) -> Graph {
+        let g = generators::path(n, Vocabulary::new(["Red"]));
+        generators::periodically_colored(&g, ColorId(0), stride)
+    }
+
+    fn check_agreement(g: &Graph, sentences: &[&str]) {
+        let vocab = g.vocab().as_ref().clone();
+        for s in sentences {
+            let phi = parse(s, &vocab).unwrap();
+            let direct = eval::models(g, &phi);
+            let mut oracle = BruteForceOracle::new();
+            let report = model_check_via_erm(g, &phi, &mut oracle);
+            assert_eq!(report.result, direct, "disagreement on {s}");
+            assert!(report.oracle_calls > 0 || phi.quantifier_rank() == 0);
+        }
+    }
+
+    #[test]
+    fn agrees_with_direct_mc_on_colored_paths() {
+        let g = colored_path(7, 3);
+        check_agreement(
+            &g,
+            &[
+                "exists x0. Red(x0)",
+                "forall x0. Red(x0)",
+                "exists x0. Red(x0) & exists x1. E(x0, x1) & Red(x1)",
+                "exists x0. exists x1. E(x0, x1) & Red(x0) & Red(x1)",
+                "forall x0. Red(x0) -> exists x1. E(x0, x1) & !Red(x1)",
+            ],
+        );
+    }
+
+    #[test]
+    fn agrees_on_trees_and_cycles() {
+        let t = generators::random_tree(9, Vocabulary::new(["Red"]), 2);
+        let t = generators::periodically_colored(&t, ColorId(0), 2);
+        check_agreement(
+            &t,
+            &[
+                "exists x0. !Red(x0) & forall x1. E(x0, x1) -> Red(x1)",
+                "exists x0. exists x1. exists x2. E(x0, x1) & E(x1, x2) & x0 != x2",
+            ],
+        );
+        let c = generators::cycle(6, Vocabulary::new(["Red"]));
+        let c = generators::periodically_colored(&c, ColorId(0), 2);
+        check_agreement(&c, &["forall x0. exists x1. E(x0, x1) & Red(x1)"]);
+    }
+
+    #[test]
+    fn boolean_structure_is_decomposed() {
+        let g = colored_path(6, 2);
+        check_agreement(
+            &g,
+            &[
+                "(exists x0. Red(x0)) & !(forall x0. Red(x0))",
+                "(forall x0. Red(x0)) | (exists x0. !Red(x0))",
+                "true",
+                "false",
+            ],
+        );
+    }
+
+    #[test]
+    fn representative_set_is_small_and_covering() {
+        // On a long coloured path the (q−1)-types are few; T must stay
+        // small and contain a representative of each unary type.
+        let g = colored_path(14, 3);
+        let mut oracle = BruteForceOracle::new();
+        let mut report = ReductionReport::default();
+        let t = representatives(&g, 1, &mut oracle, &mut report);
+        assert!(t.len() < g.num_vertices(), "T did not shrink: {t:?}");
+        // Coverage: every vertex shares a 1-type with some representative.
+        let mut arena = folearn_types::TypeArena::new(std::sync::Arc::clone(g.vocab()));
+        let reps: std::collections::HashSet<_> = t
+            .iter()
+            .map(|&v| folearn_types::compute::type_of(&g, &mut arena, &[v], 1))
+            .collect();
+        for v in g.vertices() {
+            let tv = folearn_types::compute::type_of(&g, &mut arena, &[v], 1);
+            assert!(reps.contains(&tv), "type of {v} lost from T");
+        }
+    }
+
+    #[test]
+    fn representative_count_stabilises_with_n() {
+        let sizes: Vec<usize> = [8usize, 12, 16]
+            .into_iter()
+            .map(|n| {
+                let g = colored_path(n, 3);
+                let mut oracle = BruteForceOracle::new();
+                let mut report = ReductionReport::default();
+                representatives(&g, 1, &mut oracle, &mut report).len()
+            })
+            .collect();
+        // Bounded independently of n (allowing slack for boundary types).
+        assert!(sizes.iter().all(|&s| s <= sizes[0] + 2), "{sizes:?}");
+    }
+
+    #[test]
+    fn remark_10_adversarial_oracle_still_correct() {
+        // Corrupt every non-realisable oracle answer: the reduction must
+        // still model-check correctly (it only relies on realisable ones).
+        let g = colored_path(6, 2);
+        let vocab = g.vocab().as_ref().clone();
+        for s in [
+            "exists x0. Red(x0) & exists x1. E(x0, x1) & Red(x1)",
+            "forall x0. Red(x0) -> exists x1. E(x0, x1)",
+        ] {
+            let phi = parse(s, &vocab).unwrap();
+            let mut oracle = AdversarialOnUnrealizable::new(BruteForceOracle::new());
+            let report = model_check_via_erm(&g, &phi, &mut oracle);
+            assert_eq!(report.result, eval::models(&g, &phi), "{s}");
+            assert!(oracle.corrupted() > 0, "adversary never triggered on {s}");
+        }
+    }
+
+    #[test]
+    fn relativization_preserves_semantics() {
+        let g = colored_path(6, 2);
+        let vocab = g.vocab().as_ref().clone();
+        let psi = parse("exists x1. E(x0, x1) & Red(x1)", &vocab).unwrap();
+        for t in g.vertices() {
+            let (g_t, psi_t) = relativize(&g, &psi, 0, t);
+            assert!(psi_t.is_sentence());
+            assert_eq!(
+                eval::models(&g_t, &psi_t),
+                eval::satisfies(&g, &psi, &[t]),
+                "t = {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_call_count_is_quadratic_per_level() {
+        let g = colored_path(8, 3);
+        let vocab = g.vocab().as_ref().clone();
+        let phi = parse("exists x0. Red(x0)", &vocab).unwrap();
+        let mut oracle = BruteForceOracle::new();
+        let report = model_check_via_erm(&g, &phi, &mut oracle);
+        let n = g.num_vertices();
+        assert_eq!(report.oracle_calls, n * (n - 1) / 2);
+        assert_eq!(report.representative_set_sizes.len(), 1);
+    }
+}

@@ -1,0 +1,274 @@
+//! Naive recursive model checking.
+//!
+//! This is the `O(|φ| · n^{qr})`-time evaluator — polynomial for fixed
+//! formula, i.e. the `XP` algorithm that witnesses `FO-MC ∈ XP`. It is the
+//! subroutine Propositions 11 and 12 reduce learning to, the target of the
+//! Theorem 1 reduction, and the ground truth the type-based evaluator in
+//! `folearn-types` is cross-checked against.
+
+use folearn_graph::{Graph, V};
+
+use crate::formula::{Formula, Var};
+
+/// A partial assignment of variables to vertices.
+#[derive(Clone, Debug, Default)]
+pub struct Assignment {
+    slots: Vec<Option<V>>,
+}
+
+impl Assignment {
+    /// The empty assignment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assign variables `x0 … x{k-1}` to the tuple, in order.
+    pub fn from_tuple(tuple: &[V]) -> Self {
+        Self {
+            slots: tuple.iter().map(|&v| Some(v)).collect(),
+        }
+    }
+
+    /// The value of a variable, if assigned.
+    #[inline]
+    pub fn get(&self, var: Var) -> Option<V> {
+        self.slots.get(var as usize).copied().flatten()
+    }
+
+    /// Bind `var` to `v`, returning the previous binding.
+    pub fn set(&mut self, var: Var, v: V) -> Option<V> {
+        let idx = var as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+        }
+        self.slots[idx].replace(v)
+    }
+
+    /// Remove a binding.
+    pub fn unset(&mut self, var: Var) -> Option<V> {
+        self.slots
+            .get_mut(var as usize)
+            .and_then(std::option::Option::take)
+    }
+
+    fn require(&self, var: Var) -> V {
+        self.get(var)
+            .unwrap_or_else(|| panic!("free variable x{var} is unassigned"))
+    }
+}
+
+/// Evaluate `φ` under a (total-on-free-variables) assignment.
+///
+/// # Panics
+/// Panics if a free variable of `φ` is unassigned or a colour atom refers
+/// to a colour outside the graph's vocabulary.
+pub fn eval(g: &Graph, phi: &Formula, assignment: &mut Assignment) -> bool {
+    match phi {
+        Formula::Bool(b) => *b,
+        Formula::Eq(a, b) => assignment.require(*a) == assignment.require(*b),
+        Formula::Edge(a, b) => g.has_edge(assignment.require(*a), assignment.require(*b)),
+        Formula::Color(c, v) => {
+            assert!(
+                c.index() < g.vocab().num_colors(),
+                "colour {c} outside the graph's vocabulary"
+            );
+            g.has_color(assignment.require(*v), *c)
+        }
+        Formula::Not(f) => !eval(g, f, assignment),
+        Formula::And(fs) => fs.iter().all(|f| eval(g, f, assignment)),
+        Formula::Or(fs) => fs.iter().any(|f| eval(g, f, assignment)),
+        Formula::Exists(var, body) => {
+            let saved = assignment.get(*var);
+            let mut found = false;
+            for v in g.vertices() {
+                assignment.set(*var, v);
+                if eval(g, body, assignment) {
+                    found = true;
+                    break;
+                }
+            }
+            restore(assignment, *var, saved);
+            found
+        }
+        Formula::Forall(var, body) => {
+            let saved = assignment.get(*var);
+            let mut holds = true;
+            for v in g.vertices() {
+                assignment.set(*var, v);
+                if !eval(g, body, assignment) {
+                    holds = false;
+                    break;
+                }
+            }
+            restore(assignment, *var, saved);
+            holds
+        }
+        Formula::CountingExists(t, var, body) => {
+            let saved = assignment.get(*var);
+            let mut count = 0u32;
+            for v in g.vertices() {
+                assignment.set(*var, v);
+                if eval(g, body, assignment) {
+                    count += 1;
+                    if count >= *t {
+                        break;
+                    }
+                }
+            }
+            restore(assignment, *var, saved);
+            count >= *t
+        }
+    }
+}
+
+fn restore(assignment: &mut Assignment, var: Var, saved: Option<V>) {
+    match saved {
+        Some(v) => {
+            assignment.set(var, v);
+        }
+        None => {
+            assignment.unset(var);
+        }
+    }
+}
+
+/// `G ⊨ φ(v̄)`: evaluate with `x0 … x{k−1}` bound to `tuple`.
+///
+/// ```
+/// use folearn_graph::{generators, Vocabulary, V};
+/// use folearn_logic::{parse, eval};
+///
+/// let g = generators::path(4, Vocabulary::empty());
+/// let phi = parse("exists x1. E(x0, x1) & exists x2. E(x1, x2) & x2 != x0",
+///                 g.vocab()).unwrap();
+/// assert!(eval::satisfies(&g, &phi, &[V(0)]));
+/// ```
+pub fn satisfies(g: &Graph, phi: &Formula, tuple: &[V]) -> bool {
+    eval(g, phi, &mut Assignment::from_tuple(tuple))
+}
+
+/// `G ⊨ φ` for a sentence.
+///
+/// # Panics
+/// Panics if `φ` has free variables.
+pub fn models(g: &Graph, phi: &Formula) -> bool {
+    assert!(phi.is_sentence(), "models() requires a sentence");
+    eval(g, phi, &mut Assignment::new())
+}
+
+/// All `k`-tuples satisfying `φ(x0, …, x{k−1})` — the query answer.
+/// Exponential in `k`; intended for small `k` and tests.
+pub fn query_answer(g: &Graph, phi: &Formula, k: usize) -> Vec<Vec<V>> {
+    let mut out = Vec::new();
+    let mut tuple = vec![V(0); k];
+    fill(g, phi, &mut tuple, 0, &mut out);
+    out
+}
+
+fn fill(g: &Graph, phi: &Formula, tuple: &mut Vec<V>, pos: usize, out: &mut Vec<Vec<V>>) {
+    if pos == tuple.len() {
+        if satisfies(g, phi, tuple) {
+            out.push(tuple.clone());
+        }
+        return;
+    }
+    for v in g.vertices() {
+        tuple[pos] = v;
+        fill(g, phi, tuple, pos + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use folearn_graph::{generators, ColorId, Vocabulary};
+
+    use crate::parser::parse;
+
+    use super::*;
+
+    fn colored_path() -> Graph {
+        // Path of 6 vertices, every 3rd is Red (v0, v3).
+        let g = generators::path(6, Vocabulary::new(["Red"]));
+        generators::periodically_colored(&g, ColorId(0), 3)
+    }
+
+    #[test]
+    fn atoms_eval() {
+        let g = colored_path();
+        assert!(satisfies(&g, &Formula::Edge(0, 1), &[V(0), V(1)]));
+        assert!(!satisfies(&g, &Formula::Edge(0, 1), &[V(0), V(2)]));
+        assert!(satisfies(&g, &Formula::Eq(0, 1), &[V(2), V(2)]));
+        assert!(satisfies(&g, &Formula::Color(ColorId(0), 0), &[V(3)]));
+        assert!(!satisfies(&g, &Formula::Color(ColorId(0), 0), &[V(1)]));
+    }
+
+    #[test]
+    fn sentences() {
+        let g = colored_path();
+        let v = g.vocab().as_ref().clone();
+        // "Some vertex is red" holds.
+        assert!(models(&g, &parse("exists x0. Red(x0)", &v).unwrap()));
+        // "Every vertex is red" does not.
+        assert!(!models(&g, &parse("forall x0. Red(x0)", &v).unwrap()));
+        // "Some red vertex has a red neighbour" fails on this colouring.
+        assert!(!models(
+            &g,
+            &parse("exists x0. Red(x0) & exists x1. E(x0, x1) & Red(x1)", &v).unwrap()
+        ));
+    }
+
+    #[test]
+    fn quantifier_scoping_restores_bindings() {
+        let g = colored_path();
+        // x0 is free; the inner ∃x0 shadows it and must restore afterwards.
+        let phi = Formula::and([
+            Formula::exists(0, Formula::Color(ColorId(0), 0)),
+            Formula::Color(ColorId(0), 0),
+        ]);
+        assert!(satisfies(&g, &phi, &[V(3)]));
+        assert!(!satisfies(&g, &phi, &[V(1)]));
+    }
+
+    #[test]
+    fn query_answers() {
+        let g = generators::path(4, Vocabulary::empty());
+        let phi = Formula::Edge(0, 1);
+        let ans = query_answer(&g, &phi, 2);
+        assert_eq!(ans.len(), 6); // 3 edges, both orientations
+    }
+
+    #[test]
+    fn degree_two_query() {
+        let g = generators::path(5, Vocabulary::empty());
+        let v = Vocabulary::empty();
+        // "x0 has two distinct neighbours" = internal path vertices.
+        let phi = parse(
+            "exists x1. exists x2. E(x0, x1) & E(x0, x2) & x1 != x2",
+            &v,
+        )
+        .unwrap();
+        let sat: Vec<_> = g.vertices().filter(|&u| satisfies(&g, &phi, &[u])).collect();
+        assert_eq!(sat, vec![V(1), V(2), V(3)]);
+    }
+
+    #[test]
+    fn counting_quantifier_semantics() {
+        let g = generators::star(5, Vocabulary::empty());
+        let v = Vocabulary::empty();
+        // The centre has 4 neighbours, leaves have 1.
+        let ge2 = parse("exists^2 x1. E(x0, x1)", &v).unwrap();
+        let ge5 = parse("exists^5 x1. E(x0, x1)", &v).unwrap();
+        assert!(satisfies(&g, &ge2, &[V(0)]));
+        assert!(!satisfies(&g, &ge2, &[V(1)]));
+        assert!(!satisfies(&g, &ge5, &[V(0)]));
+        // ∃^{≥0} is ⊤ by the smart constructor.
+        assert_eq!(Formula::counting_exists(0, 1, Formula::FALSE), Formula::TRUE);
+    }
+
+    #[test]
+    #[should_panic(expected = "unassigned")]
+    fn unassigned_variable_panics() {
+        let g = colored_path();
+        satisfies(&g, &Formula::Eq(0, 5), &[V(0)]);
+    }
+}

@@ -1,0 +1,444 @@
+//! The first-order formula AST.
+//!
+//! Formulas are over the vocabulary of coloured graphs: the binary edge
+//! relation `E`, equality, and unary colour predicates. Variables are
+//! plain indices `x0, x1, …`; the paper's split `φ(x̄; ȳ)` into instance
+//! variables `x̄` and parameter variables `ȳ` is a convention on indices
+//! (instance variables come first), enforced by the learner crate rather
+//! than the AST.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use folearn_graph::ColorId;
+
+/// A variable, identified by index (`x{n}` in the text syntax).
+pub type Var = u16;
+
+/// A first-order formula over coloured graphs.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Formula {
+    /// `⊤` / `⊥`.
+    Bool(bool),
+    /// `x = y`.
+    Eq(Var, Var),
+    /// `E(x, y)`.
+    Edge(Var, Var),
+    /// `P(x)` for colour `P`.
+    Color(ColorId, Var),
+    /// Negation.
+    Not(Box<Formula>),
+    /// n-ary conjunction (empty = `⊤`).
+    And(Vec<Formula>),
+    /// n-ary disjunction (empty = `⊥`).
+    Or(Vec<Formula>),
+    /// `∃x φ`.
+    Exists(Var, Box<Formula>),
+    /// `∀x φ`.
+    Forall(Var, Box<Formula>),
+    /// `∃^{≥t} x φ` — the counting quantifier of FO+C ("at least `t`
+    /// witnesses"), the extension named in the paper's conclusion
+    /// (van Bergerem, LICS 2019). `t = 1` is plain `∃`.
+    CountingExists(u32, Var, Box<Formula>),
+}
+
+impl Formula {
+    /// `⊤`.
+    pub const TRUE: Formula = Formula::Bool(true);
+    /// `⊥`.
+    pub const FALSE: Formula = Formula::Bool(false);
+
+    /// Smart negation: collapses double negation and constants.
+    /// (Deliberately named like `std::ops::Not::not`; it is the DSL's
+    /// negation and behaves identically to a `Not` impl would.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Formula {
+        match self {
+            Formula::Bool(b) => Formula::Bool(!b),
+            Formula::Not(inner) => *inner,
+            other => Formula::Not(Box::new(other)),
+        }
+    }
+
+    /// Smart conjunction: flattens nested `And`s, drops `⊤`, shortcuts `⊥`.
+    pub fn and(parts: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                Formula::Bool(true) => {}
+                Formula::Bool(false) => return Formula::FALSE,
+                Formula::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::TRUE,
+            1 => out.pop().unwrap(),
+            _ => Formula::And(out),
+        }
+    }
+
+    /// Smart disjunction: flattens nested `Or`s, drops `⊥`, shortcuts `⊤`.
+    pub fn or(parts: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                Formula::Bool(false) => {}
+                Formula::Bool(true) => return Formula::TRUE,
+                Formula::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::FALSE,
+            1 => out.pop().unwrap(),
+            _ => Formula::Or(out),
+        }
+    }
+
+    /// `φ → ψ` as `¬φ ∨ ψ`.
+    pub fn implies(self, other: Formula) -> Formula {
+        Formula::or([self.not(), other])
+    }
+
+    /// `φ ↔ ψ`.
+    pub fn iff(self, other: Formula) -> Formula {
+        Formula::and([
+            self.clone().implies(other.clone()),
+            other.implies(self),
+        ])
+    }
+
+    /// `∃x φ`.
+    pub fn exists(v: Var, body: Formula) -> Formula {
+        Formula::Exists(v, Box::new(body))
+    }
+
+    /// `∀x φ`.
+    pub fn forall(v: Var, body: Formula) -> Formula {
+        Formula::Forall(v, Box::new(body))
+    }
+
+    /// `∃^{≥t} x φ`; `t = 0` is `⊤`, `t = 1` collapses to plain `∃`.
+    pub fn counting_exists(t: u32, v: Var, body: Formula) -> Formula {
+        match t {
+            0 => Formula::TRUE,
+            1 => Formula::exists(v, body),
+            _ => Formula::CountingExists(t, v, Box::new(body)),
+        }
+    }
+
+    /// The quantifier rank (maximum quantifier nesting depth).
+    pub fn quantifier_rank(&self) -> usize {
+        match self {
+            Formula::Bool(_) | Formula::Eq(..) | Formula::Edge(..) | Formula::Color(..) => 0,
+            Formula::Not(f) => f.quantifier_rank(),
+            Formula::And(fs) | Formula::Or(fs) => {
+                fs.iter().map(Formula::quantifier_rank).max().unwrap_or(0)
+            }
+            Formula::Exists(_, f)
+            | Formula::Forall(_, f)
+            | Formula::CountingExists(_, _, f) => 1 + f.quantifier_rank(),
+        }
+    }
+
+    /// The set of free variables, sorted.
+    pub fn free_vars(&self) -> Vec<Var> {
+        let mut out = BTreeSet::new();
+        self.collect_free(&mut BTreeSet::new(), &mut out);
+        out.into_iter().collect()
+    }
+
+    fn collect_free(&self, bound: &mut BTreeSet<Var>, out: &mut BTreeSet<Var>) {
+        match self {
+            Formula::Bool(_) => {}
+            Formula::Eq(a, b) | Formula::Edge(a, b) => {
+                for v in [a, b] {
+                    if !bound.contains(v) {
+                        out.insert(*v);
+                    }
+                }
+            }
+            Formula::Color(_, v) => {
+                if !bound.contains(v) {
+                    out.insert(*v);
+                }
+            }
+            Formula::Not(f) => f.collect_free(bound, out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_free(bound, out);
+                }
+            }
+            Formula::Exists(v, f)
+            | Formula::Forall(v, f)
+            | Formula::CountingExists(_, v, f) => {
+                let fresh = bound.insert(*v);
+                f.collect_free(bound, out);
+                if fresh {
+                    bound.remove(v);
+                }
+            }
+        }
+    }
+
+    /// Whether the formula is a sentence (no free variables).
+    pub fn is_sentence(&self) -> bool {
+        self.free_vars().is_empty()
+    }
+
+    /// The largest variable index mentioned anywhere (free or bound);
+    /// `None` for variable-free formulas. Useful when minting fresh
+    /// variables during transforms.
+    pub fn max_var(&self) -> Option<Var> {
+        match self {
+            Formula::Bool(_) => None,
+            Formula::Eq(a, b) | Formula::Edge(a, b) => Some(*a.max(b)),
+            Formula::Color(_, v) => Some(*v),
+            Formula::Not(f) => f.max_var(),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().filter_map(Formula::max_var).max(),
+            Formula::Exists(v, f)
+            | Formula::Forall(v, f)
+            | Formula::CountingExists(_, v, f) => {
+                Some(f.max_var().map_or(*v, |m| m.max(*v)))
+            }
+        }
+    }
+
+    /// Total number of AST nodes — the `|φ|` of the parameterization.
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::Bool(_) | Formula::Eq(..) | Formula::Edge(..) | Formula::Color(..) => 1,
+            Formula::Not(f) => 1 + f.size(),
+            Formula::And(fs) | Formula::Or(fs) => {
+                1 + fs.iter().map(Formula::size).sum::<usize>()
+            }
+            Formula::Exists(_, f)
+            | Formula::Forall(_, f)
+            | Formula::CountingExists(_, _, f) => 1 + f.size(),
+        }
+    }
+
+    /// Rename every occurrence (free and bound) of variables via the map.
+    /// The map must be injective on the variables that occur.
+    pub fn rename_vars(&self, map: &dyn Fn(Var) -> Var) -> Formula {
+        match self {
+            Formula::Bool(b) => Formula::Bool(*b),
+            Formula::Eq(a, b) => Formula::Eq(map(*a), map(*b)),
+            Formula::Edge(a, b) => Formula::Edge(map(*a), map(*b)),
+            Formula::Color(c, v) => Formula::Color(*c, map(*v)),
+            Formula::Not(f) => Formula::Not(Box::new(f.rename_vars(map))),
+            Formula::And(fs) => Formula::And(fs.iter().map(|f| f.rename_vars(map)).collect()),
+            Formula::Or(fs) => Formula::Or(fs.iter().map(|f| f.rename_vars(map)).collect()),
+            Formula::Exists(v, f) => Formula::Exists(map(*v), Box::new(f.rename_vars(map))),
+            Formula::Forall(v, f) => Formula::Forall(map(*v), Box::new(f.rename_vars(map))),
+            Formula::CountingExists(t, v, f) => {
+                Formula::CountingExists(*t, map(*v), Box::new(f.rename_vars(map)))
+            }
+        }
+    }
+}
+
+/// Display renders the round-trippable text syntax (colours printed as
+/// `P{index}`; use [`crate::parser::render`] to print with colour names).
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0, &|c, out| write!(out, "P{}", c.0))
+    }
+}
+
+impl Formula {
+    /// Precedence-aware printer; `color_name` renders colour atoms.
+    pub(crate) fn fmt_prec(
+        &self,
+        f: &mut fmt::Formatter<'_>,
+        prec: u8,
+        color_name: &dyn Fn(ColorId, &mut fmt::Formatter<'_>) -> fmt::Result,
+    ) -> fmt::Result {
+        // Precedence levels: 0 = quantifier body, 1 = or, 2 = and, 3 = unary.
+        match self {
+            Formula::Bool(true) => write!(f, "true"),
+            Formula::Bool(false) => write!(f, "false"),
+            Formula::Eq(a, b) => write!(f, "x{a} = x{b}"),
+            Formula::Edge(a, b) => write!(f, "E(x{a}, x{b})"),
+            Formula::Color(c, v) => {
+                color_name(*c, f)?;
+                write!(f, "(x{v})")
+            }
+            Formula::Not(inner) => {
+                write!(f, "!")?;
+                inner.fmt_prec(f, 3, color_name)
+            }
+            Formula::And(fs) => {
+                let need_parens = prec > 2;
+                if need_parens {
+                    write!(f, "(")?;
+                }
+                for (i, p) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " & ")?;
+                    }
+                    p.fmt_prec(f, 3, color_name)?;
+                }
+                if need_parens {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Formula::Or(fs) => {
+                let need_parens = prec > 1;
+                if need_parens {
+                    write!(f, "(")?;
+                }
+                for (i, p) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    p.fmt_prec(f, 2, color_name)?;
+                }
+                if need_parens {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Formula::Exists(v, body) => {
+                let need_parens = prec > 0;
+                if need_parens {
+                    write!(f, "(")?;
+                }
+                write!(f, "exists x{v}. ")?;
+                body.fmt_prec(f, 0, color_name)?;
+                if need_parens {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Formula::Forall(v, body) => {
+                let need_parens = prec > 0;
+                if need_parens {
+                    write!(f, "(")?;
+                }
+                write!(f, "forall x{v}. ")?;
+                body.fmt_prec(f, 0, color_name)?;
+                if need_parens {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Formula::CountingExists(t, v, body) => {
+                let need_parens = prec > 0;
+                if need_parens {
+                    write!(f, "(")?;
+                }
+                write!(f, "exists^{t} x{v}. ")?;
+                body.fmt_prec(f, 0, color_name)?;
+                if need_parens {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantifier_rank_nested() {
+        // ∃x0 ((∀x1 E(x0,x1)) ∧ ∃x1 ∃x2 x1 = x2) has rank 3.
+        let phi = Formula::exists(
+            0,
+            Formula::and([
+                Formula::forall(1, Formula::Edge(0, 1)),
+                Formula::exists(1, Formula::exists(2, Formula::Eq(1, 2))),
+            ]),
+        );
+        assert_eq!(phi.quantifier_rank(), 3);
+    }
+
+    #[test]
+    fn free_vars_respect_binding() {
+        // ∃x1 (E(x0, x1) ∧ x2 = x1): free = {x0, x2}.
+        let phi = Formula::exists(
+            1,
+            Formula::and([Formula::Edge(0, 1), Formula::Eq(2, 1)]),
+        );
+        assert_eq!(phi.free_vars(), vec![0, 2]);
+        assert!(!phi.is_sentence());
+    }
+
+    #[test]
+    fn rebinding_shadows() {
+        // E(x0, x1) ∧ ∃x0 E(x0, x0'): the outer x0 is free in the left
+        // conjunct only.
+        let phi = Formula::and([
+            Formula::Edge(0, 1),
+            Formula::exists(0, Formula::Color(ColorId(0), 0)),
+        ]);
+        assert_eq!(phi.free_vars(), vec![0, 1]);
+    }
+
+    #[test]
+    fn smart_constructors_fold_constants() {
+        assert_eq!(
+            Formula::and([Formula::TRUE, Formula::Eq(0, 1)]),
+            Formula::Eq(0, 1)
+        );
+        assert_eq!(
+            Formula::and([Formula::FALSE, Formula::Eq(0, 1)]),
+            Formula::FALSE
+        );
+        assert_eq!(Formula::or([]), Formula::FALSE);
+        assert_eq!(Formula::and([]), Formula::TRUE);
+        assert_eq!(Formula::TRUE.not(), Formula::FALSE);
+        assert_eq!(Formula::Eq(0, 1).not().not(), Formula::Eq(0, 1));
+    }
+
+    #[test]
+    fn flattening() {
+        let phi = Formula::and([
+            Formula::and([Formula::Eq(0, 1), Formula::Eq(1, 2)]),
+            Formula::Eq(2, 3),
+        ]);
+        assert_eq!(
+            phi,
+            Formula::And(vec![
+                Formula::Eq(0, 1),
+                Formula::Eq(1, 2),
+                Formula::Eq(2, 3)
+            ])
+        );
+    }
+
+    #[test]
+    fn display_round_structure() {
+        let phi = Formula::exists(
+            0,
+            Formula::or([
+                Formula::and([Formula::Edge(0, 1), Formula::Eq(0, 1).not()]),
+                Formula::Color(ColorId(2), 0),
+            ]),
+        );
+        assert_eq!(
+            phi.to_string(),
+            "exists x0. E(x0, x1) & !x0 = x1 | P2(x0)"
+        );
+    }
+
+    #[test]
+    fn size_and_max_var() {
+        let phi = Formula::exists(5, Formula::Edge(5, 2));
+        assert_eq!(phi.size(), 2);
+        assert_eq!(phi.max_var(), Some(5));
+        assert_eq!(Formula::TRUE.max_var(), None);
+    }
+
+    #[test]
+    fn rename() {
+        let phi = Formula::exists(1, Formula::Edge(0, 1));
+        let renamed = phi.rename_vars(&|v| v + 10);
+        assert_eq!(renamed, Formula::exists(11, Formula::Edge(10, 11)));
+    }
+}

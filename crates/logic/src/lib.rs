@@ -1,0 +1,29 @@
+//! First-order logic over coloured graphs.
+//!
+//! The hypothesis language of the paper is first-order logic `FO[τ]` over
+//! vocabularies `τ = {E, P_1, …, P_c}` of coloured graphs. This crate
+//! provides:
+//!
+//! * the formula AST with quantifier rank, free variables and smart
+//!   constructors ([`formula`]);
+//! * a text syntax with a recursive-descent parser and a round-tripping
+//!   pretty-printer ([`parser`]);
+//! * the naive recursive model-checking evaluator — the `XP` algorithm
+//!   that both the reduction of Theorem 1 targets and the learners use as
+//!   a subroutine ([`eval`]);
+//! * the formula surgeries performed inside the paper's proofs:
+//!   specialising a free variable to a marked vertex (`P_t`/`Q_t`
+//!   relativisation from Lemma 7), erasing colour atoms (`P_i(z) ↦ ⊥`),
+//!   bounded-distance formulas via doubling, `r`-localisation of
+//!   quantifiers, and boolean simplification ([`transform`]);
+//! * seeded random formula generation for tests and benchmarks
+//!   ([`random`]).
+
+pub mod eval;
+pub mod formula;
+pub mod parser;
+pub mod random;
+pub mod transform;
+
+pub use formula::{Formula, Var};
+pub use parser::{parse, ParseError};

@@ -1,0 +1,186 @@
+//! Seeded random formula generation, for tests and benchmarks.
+//!
+//! The generator produces syntactically well-formed formulas with a target
+//! quantifier rank and a bounded set of free variables; it is biased
+//! towards "interesting" formulas (quantifiers near the root, a mix of
+//! atom kinds) so that evaluator cross-checks exercise real structure.
+
+use folearn_graph::{ColorId, Vocabulary};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::formula::{Formula, Var};
+
+/// Configuration for [`random_formula`].
+#[derive(Clone, Debug)]
+pub struct RandomFormulaConfig {
+    /// Free variables are drawn from `x0 … x{free_vars−1}`.
+    pub free_vars: Var,
+    /// Exact quantifier rank budget (the result has rank ≤ this, usually =).
+    pub quantifier_rank: usize,
+    /// Maximum boolean fan-in at each node.
+    pub max_fanout: usize,
+    /// Recursion depth budget for boolean structure.
+    pub bool_depth: usize,
+    /// When set, counting quantifiers `∃^{≥t}` with `2 ≤ t ≤ cap` are
+    /// generated alongside plain quantifiers (FO+C formulas).
+    pub counting_cap: Option<u32>,
+}
+
+impl Default for RandomFormulaConfig {
+    fn default() -> Self {
+        Self {
+            free_vars: 1,
+            quantifier_rank: 2,
+            max_fanout: 3,
+            bool_depth: 2,
+            counting_cap: None,
+        }
+    }
+}
+
+/// Generate a pseudo-random formula over `vocab` from a seed.
+pub fn random_formula(vocab: &Vocabulary, config: &RandomFormulaConfig, seed: u64) -> Formula {
+    let mut rng = StdRng::seed_from_u64(seed);
+    gen(
+        vocab,
+        &mut rng,
+        config.free_vars,
+        config.quantifier_rank,
+        config.bool_depth,
+        config.max_fanout,
+        config.counting_cap,
+    )
+}
+
+fn gen(
+    vocab: &Vocabulary,
+    rng: &mut StdRng,
+    in_scope: Var,
+    qr: usize,
+    depth: usize,
+    fanout: usize,
+    counting_cap: Option<u32>,
+) -> Formula {
+    if qr == 0 && depth == 0 {
+        return atom(vocab, rng, in_scope);
+    }
+    let choice = rng.random_range(0..10);
+    match choice {
+        0..=3 if qr > 0 => {
+            // Quantify a fresh variable.
+            let v = in_scope;
+            let body = gen(vocab, rng, in_scope + 1, qr - 1, depth, fanout, counting_cap);
+            match counting_cap {
+                Some(cap) if rng.random_bool(0.4) => {
+                    Formula::counting_exists(rng.random_range(2..=cap.max(2)), v, body)
+                }
+                _ if rng.random_bool(0.5) => Formula::exists(v, body),
+                _ => Formula::forall(v, body),
+            }
+        }
+        4..=6 if depth > 0 => {
+            let n = rng.random_range(2..=fanout.max(2));
+            // Spend the qr budget on one random child so the target rank is hit.
+            let lucky = rng.random_range(0..n);
+            let parts: Vec<Formula> = (0..n)
+                .map(|i| {
+                    let child_qr = if i == lucky { qr } else { rng.random_range(0..=qr) };
+                    gen(vocab, rng, in_scope, child_qr, depth - 1, fanout, counting_cap)
+                })
+                .collect();
+            if rng.random_bool(0.5) {
+                Formula::and(parts)
+            } else {
+                Formula::or(parts)
+            }
+        }
+        7 => gen(vocab, rng, in_scope, qr, depth.saturating_sub(1), fanout, counting_cap)
+            .not(),
+        _ if qr > 0 => {
+            let v = in_scope;
+            let body = gen(vocab, rng, in_scope + 1, qr - 1, depth, fanout, counting_cap);
+            Formula::exists(v, body)
+        }
+        _ => atom(vocab, rng, in_scope),
+    }
+}
+
+fn atom(vocab: &Vocabulary, rng: &mut StdRng, in_scope: Var) -> Formula {
+    let scope = in_scope.max(1);
+    let v1 = rng.random_range(0..scope);
+    let v2 = rng.random_range(0..scope);
+    let kinds = if vocab.num_colors() > 0 { 3 } else { 2 };
+    match rng.random_range(0..kinds) {
+        0 => Formula::Edge(v1, v2),
+        1 => Formula::Eq(v1, v2),
+        _ => {
+            let c = ColorId(rng.random_range(0..vocab.num_colors() as u16));
+            Formula::Color(c, v1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_free_variable_scope() {
+        let vocab = Vocabulary::new(["A"]);
+        for seed in 0..50 {
+            let cfg = RandomFormulaConfig {
+                free_vars: 2,
+                quantifier_rank: 2,
+                ..Default::default()
+            };
+            let phi = random_formula(&vocab, &cfg, seed);
+            assert!(phi.quantifier_rank() <= 2, "seed={seed}");
+            for v in phi.free_vars() {
+                assert!(v < 2, "seed={seed} leaked free variable x{v} in {phi}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let vocab = Vocabulary::new(["A", "B"]);
+        let cfg = RandomFormulaConfig::default();
+        assert_eq!(
+            random_formula(&vocab, &cfg, 9),
+            random_formula(&vocab, &cfg, 9)
+        );
+    }
+
+    #[test]
+    fn counting_mode_emits_counting_quantifiers() {
+        let vocab = Vocabulary::new(["A"]);
+        let cfg = RandomFormulaConfig {
+            free_vars: 1,
+            quantifier_rank: 2,
+            counting_cap: Some(3),
+            ..Default::default()
+        };
+        let any_counting = (0..60).any(|s| {
+            let phi = random_formula(&vocab, &cfg, s);
+            phi.to_string().contains("exists^")
+        });
+        assert!(any_counting);
+    }
+
+    #[test]
+    fn produces_varied_shapes() {
+        let vocab = Vocabulary::new(["A"]);
+        let cfg = RandomFormulaConfig {
+            free_vars: 1,
+            quantifier_rank: 2,
+            max_fanout: 3,
+            bool_depth: 2,
+            counting_cap: None,
+        };
+        let shapes: std::collections::HashSet<String> = (0..30)
+            .map(|s| random_formula(&vocab, &cfg, s).to_string())
+            .collect();
+        assert!(shapes.len() > 10, "only {} distinct shapes", shapes.len());
+    }
+}

@@ -1,0 +1,539 @@
+//! Formula surgeries used inside the paper's proofs.
+//!
+//! * [`specialize_var`] — Lemma 7's `ψ_t` construction: eliminate a free
+//!   variable `x` in favour of fresh unary relations `P_t` (marking `t`)
+//!   and `Q_t` (marking `N(t)`), replacing `x = y ↦ P_t(y)` and
+//!   `E(x, y) ↦ Q_t(y)`.
+//! * [`erase_colors`] — the final step of the generalised Claim 8:
+//!   replace colour atoms `P_i(z)` by `⊥` to return to the original
+//!   vocabulary.
+//! * [`dist_at_most`] — `dist(x, y) ≤ r` as a formula of quantifier rank
+//!   `⌈log₂ r⌉` via the doubling trick, the reason Theorem 13's output
+//!   quantifier rank is `q* + log R`.
+//! * [`localize`] — relativise every quantifier to the `r`-ball of a free
+//!   variable, producing an `r`-local formula (quantifier rank grows by
+//!   `O(log r)`), as in the generalised Claim 8.
+//! * [`bind_params_with_colors`] — Algorithm 2's `φ_i`: existentially
+//!   re-bind designated parameter variables, guarded by singleton colours.
+//! * [`simplify`] — bottom-up boolean simplification.
+
+use std::collections::BTreeSet;
+
+use folearn_graph::ColorId;
+
+use crate::formula::{Formula, Var};
+
+/// Eliminate the free variable `x`, given that it denotes a fixed vertex
+/// `t` marked by colour `p_t` with neighbourhood marked by `q_t`
+/// (Lemma 7's construction of `ψ_t` from `ψ(x)`).
+///
+/// Replacements on *free* occurrences of `x`:
+/// `x = x ↦ ⊤`, `x = y / y = x ↦ P_t(y)`, `E(x, x) ↦ ⊥`,
+/// `E(x, y) / E(y, x) ↦ Q_t(y)`, and `C(x) ↦ colors_at_t(C)` (the paper
+/// assumes w.l.o.g. no atoms `x = x` / `E(x, x)`; we handle them anyway).
+pub fn specialize_var(
+    phi: &Formula,
+    x: Var,
+    p_t: ColorId,
+    q_t: ColorId,
+    colors_at_t: &dyn Fn(ColorId) -> bool,
+) -> Formula {
+    fn go(
+        phi: &Formula,
+        x: Var,
+        p_t: ColorId,
+        q_t: ColorId,
+        colors_at_t: &dyn Fn(ColorId) -> bool,
+        shadowed: bool,
+    ) -> Formula {
+        if shadowed {
+            return phi.clone();
+        }
+        match phi {
+            Formula::Eq(a, b) if *a == x && *b == x => Formula::TRUE,
+            Formula::Eq(a, b) if *a == x => Formula::Color(p_t, *b),
+            Formula::Eq(a, b) if *b == x => Formula::Color(p_t, *a),
+            Formula::Edge(a, b) if *a == x && *b == x => Formula::FALSE,
+            Formula::Edge(a, b) if *a == x => Formula::Color(q_t, *b),
+            Formula::Edge(a, b) if *b == x => Formula::Color(q_t, *a),
+            Formula::Color(c, v) if *v == x => Formula::Bool(colors_at_t(*c)),
+            Formula::Bool(_) | Formula::Eq(..) | Formula::Edge(..) | Formula::Color(..) => {
+                phi.clone()
+            }
+            Formula::Not(f) => go(f, x, p_t, q_t, colors_at_t, false).not(),
+            Formula::And(fs) => Formula::and(
+                fs.iter()
+                    .map(|f| go(f, x, p_t, q_t, colors_at_t, false)),
+            ),
+            Formula::Or(fs) => Formula::or(
+                fs.iter()
+                    .map(|f| go(f, x, p_t, q_t, colors_at_t, false)),
+            ),
+            Formula::Exists(v, f) => Formula::exists(
+                *v,
+                go(f, x, p_t, q_t, colors_at_t, *v == x),
+            ),
+            Formula::Forall(v, f) => Formula::forall(
+                *v,
+                go(f, x, p_t, q_t, colors_at_t, *v == x),
+            ),
+            Formula::CountingExists(t, v, f) => Formula::counting_exists(
+                *t,
+                *v,
+                go(f, x, p_t, q_t, colors_at_t, *v == x),
+            ),
+        }
+    }
+    go(phi, x, p_t, q_t, colors_at_t, false)
+}
+
+/// Replace every atom `C(z)` with `⊥` for each colour `C` in `colors`
+/// (the `φ'''` step of the generalised Claim 8: drop marker colours once
+/// locality guarantees they cannot occur).
+pub fn erase_colors(phi: &Formula, colors: &BTreeSet<ColorId>) -> Formula {
+    match phi {
+        Formula::Color(c, _) if colors.contains(c) => Formula::FALSE,
+        Formula::Bool(_) | Formula::Eq(..) | Formula::Edge(..) | Formula::Color(..) => {
+            phi.clone()
+        }
+        Formula::Not(f) => erase_colors(f, colors).not(),
+        Formula::And(fs) => Formula::and(fs.iter().map(|f| erase_colors(f, colors))),
+        Formula::Or(fs) => Formula::or(fs.iter().map(|f| erase_colors(f, colors))),
+        Formula::Exists(v, f) => Formula::exists(*v, erase_colors(f, colors)),
+        Formula::Forall(v, f) => Formula::forall(*v, erase_colors(f, colors)),
+        Formula::CountingExists(t, v, f) => {
+            Formula::counting_exists(*t, *v, erase_colors(f, colors))
+        }
+    }
+}
+
+/// `dist(a, b) ≤ r` as a formula of quantifier rank `⌈log₂ r⌉` (0 for
+/// `r ≤ 1`), using midpoint doubling. Auxiliary variables are drawn from
+/// `fresh_base, fresh_base + 1, …`; the caller must pick `fresh_base`
+/// above every variable in scope.
+pub fn dist_at_most(a: Var, b: Var, r: usize, fresh_base: Var) -> Formula {
+    match r {
+        0 => Formula::Eq(a, b),
+        1 => Formula::or([Formula::Eq(a, b), Formula::Edge(a, b)]),
+        _ => {
+            let half = r.div_ceil(2);
+            let z = fresh_base;
+            Formula::exists(
+                z,
+                Formula::and([
+                    dist_at_most(a, z, half, fresh_base + 1),
+                    dist_at_most(z, b, r - half, fresh_base + 1),
+                ]),
+            )
+        }
+    }
+}
+
+/// Relativise every quantifier of `φ` to the `r`-ball of the free variable
+/// `center`: `∃y ψ ↦ ∃y (dist(y, center) ≤ r ∧ ψ)` and
+/// `∀y ψ ↦ ∀y (dist(y, center) ≤ r → ψ)`.
+///
+/// The result is an `r`-local formula around `center` whenever every free
+/// variable of `φ` is `center` itself; its quantifier rank is
+/// `qr(φ) + ⌈log₂ r⌉`.
+///
+/// # Panics
+/// Panics if `center` is quantified inside `φ` (the ball's centre must
+/// stay fixed).
+pub fn localize(phi: &Formula, center: Var, r: usize) -> Formula {
+    let fresh_base = phi
+        .max_var()
+        .map_or(center, |m| m.max(center))
+        .checked_add(1)
+        .expect("variable space exhausted");
+    fn go(phi: &Formula, center: Var, r: usize, fresh: Var) -> Formula {
+        match phi {
+            Formula::Bool(_) | Formula::Eq(..) | Formula::Edge(..) | Formula::Color(..) => {
+                phi.clone()
+            }
+            Formula::Not(f) => go(f, center, r, fresh).not(),
+            Formula::And(fs) => Formula::and(fs.iter().map(|f| go(f, center, r, fresh))),
+            Formula::Or(fs) => Formula::or(fs.iter().map(|f| go(f, center, r, fresh))),
+            Formula::Exists(v, f) => {
+                assert!(*v != center, "cannot localize around a bound variable");
+                let guard = dist_at_most(*v, center, r, fresh);
+                Formula::exists(*v, Formula::and([guard, go(f, center, r, fresh)]))
+            }
+            Formula::Forall(v, f) => {
+                assert!(*v != center, "cannot localize around a bound variable");
+                let guard = dist_at_most(*v, center, r, fresh);
+                Formula::forall(*v, guard.implies(go(f, center, r, fresh)))
+            }
+            Formula::CountingExists(t, v, f) => {
+                assert!(*v != center, "cannot localize around a bound variable");
+                let guard = dist_at_most(*v, center, r, fresh);
+                Formula::counting_exists(
+                    *t,
+                    *v,
+                    Formula::and([guard, go(f, center, r, fresh)]),
+                )
+            }
+        }
+    }
+    go(phi, center, r, fresh_base)
+}
+
+/// Relativise every quantifier of `φ` to the union of `r`-balls of several
+/// free variables (the neighbourhood `N_r(x̄ȳ)` of a tuple):
+/// `∃y ψ ↦ ∃y (⋁_c dist(y, c) ≤ r ∧ ψ)` and dually for `∀`.
+///
+/// Evaluating the result on `G` equals evaluating `φ` on the induced
+/// neighbourhood graph `𝒩_r^G(centers)` — this is how a local-type
+/// hypothesis materialises as a formula over the *original* graph.
+///
+/// # Panics
+/// Panics if any centre is quantified inside `φ`.
+pub fn localize_multi(phi: &Formula, centers: &[Var], r: usize) -> Formula {
+    let fresh_base = phi
+        .max_var()
+        .into_iter()
+        .chain(centers.iter().copied())
+        .max()
+        .map_or(0, |m| m.checked_add(1).expect("variable space exhausted"));
+    fn guard(v: Var, centers: &[Var], r: usize, fresh: Var) -> Formula {
+        Formula::or(centers.iter().map(|&c| dist_at_most(v, c, r, fresh)))
+    }
+    fn go(phi: &Formula, centers: &[Var], r: usize, fresh: Var) -> Formula {
+        match phi {
+            Formula::Bool(_) | Formula::Eq(..) | Formula::Edge(..) | Formula::Color(..) => {
+                phi.clone()
+            }
+            Formula::Not(f) => go(f, centers, r, fresh).not(),
+            Formula::And(fs) => Formula::and(fs.iter().map(|f| go(f, centers, r, fresh))),
+            Formula::Or(fs) => Formula::or(fs.iter().map(|f| go(f, centers, r, fresh))),
+            Formula::Exists(v, f) => {
+                assert!(!centers.contains(v), "cannot localize around a bound variable");
+                Formula::exists(
+                    *v,
+                    Formula::and([guard(*v, centers, r, fresh), go(f, centers, r, fresh)]),
+                )
+            }
+            Formula::Forall(v, f) => {
+                assert!(!centers.contains(v), "cannot localize around a bound variable");
+                Formula::forall(
+                    *v,
+                    guard(*v, centers, r, fresh).implies(go(f, centers, r, fresh)),
+                )
+            }
+            Formula::CountingExists(t, v, f) => {
+                assert!(!centers.contains(v), "cannot localize around a bound variable");
+                Formula::counting_exists(
+                    *t,
+                    *v,
+                    Formula::and([guard(*v, centers, r, fresh), go(f, centers, r, fresh)]),
+                )
+            }
+        }
+    }
+    go(phi, centers, r, fresh_base)
+}
+
+/// Algorithm 2's `φ_i` builder: existentially close the variables in
+/// `params`, each guarded by its singleton colour —
+/// `∃y_1 … ∃y_j (⋀ S_j(y_j) ∧ φ)`.
+pub fn bind_params_with_colors(phi: &Formula, params: &[(Var, ColorId)]) -> Formula {
+    let mut body = Formula::and(
+        params
+            .iter()
+            .map(|&(v, c)| Formula::Color(c, v))
+            .chain([phi.clone()]),
+    );
+    for &(v, _) in params.iter().rev() {
+        body = Formula::exists(v, body);
+    }
+    body
+}
+
+/// Negation normal form: push negations down to atoms (and counting
+/// quantifiers, which stay as negated leaves — FO+C has no dual counting
+/// quantifier in this syntax). Preserves semantics and quantifier rank.
+pub fn nnf(phi: &Formula) -> Formula {
+    fn pos(phi: &Formula) -> Formula {
+        match phi {
+            Formula::Bool(_) | Formula::Eq(..) | Formula::Edge(..) | Formula::Color(..) => {
+                phi.clone()
+            }
+            Formula::Not(f) => neg(f),
+            Formula::And(fs) => Formula::and(fs.iter().map(pos)),
+            Formula::Or(fs) => Formula::or(fs.iter().map(pos)),
+            Formula::Exists(v, f) => Formula::exists(*v, pos(f)),
+            Formula::Forall(v, f) => Formula::forall(*v, pos(f)),
+            Formula::CountingExists(t, v, f) => Formula::counting_exists(*t, *v, pos(f)),
+        }
+    }
+    fn neg(phi: &Formula) -> Formula {
+        match phi {
+            Formula::Bool(b) => Formula::Bool(!b),
+            Formula::Eq(..) | Formula::Edge(..) | Formula::Color(..) => phi.clone().not(),
+            Formula::Not(f) => pos(f),
+            Formula::And(fs) => Formula::or(fs.iter().map(neg)),
+            Formula::Or(fs) => Formula::and(fs.iter().map(neg)),
+            Formula::Exists(v, f) => Formula::forall(*v, neg(f)),
+            Formula::Forall(v, f) => Formula::exists(*v, neg(f)),
+            // ¬∃^{≥t}: no dual in the syntax; keep as a negated leaf with
+            // an NNF body.
+            Formula::CountingExists(t, v, f) => {
+                Formula::counting_exists(*t, *v, pos(f)).not()
+            }
+        }
+    }
+    pos(phi)
+}
+
+/// Bottom-up simplification: constant folding via the smart constructors,
+/// `x = x ↦ ⊤`, `E(x, x) ↦ ⊥`, duplicate removal in conjunctions and
+/// disjunctions. Preserves logical equivalence and never increases
+/// quantifier rank.
+pub fn simplify(phi: &Formula) -> Formula {
+    match phi {
+        Formula::Eq(a, b) if a == b => Formula::TRUE,
+        Formula::Edge(a, b) if a == b => Formula::FALSE,
+        Formula::Bool(_) | Formula::Eq(..) | Formula::Edge(..) | Formula::Color(..) => {
+            phi.clone()
+        }
+        Formula::Not(f) => simplify(f).not(),
+        Formula::And(fs) => {
+            let mut seen = Vec::new();
+            for f in fs {
+                let s = simplify(f);
+                if !seen.contains(&s) {
+                    seen.push(s);
+                }
+            }
+            Formula::and(seen)
+        }
+        Formula::Or(fs) => {
+            let mut seen = Vec::new();
+            for f in fs {
+                let s = simplify(f);
+                if !seen.contains(&s) {
+                    seen.push(s);
+                }
+            }
+            Formula::or(seen)
+        }
+        Formula::Exists(v, f) => match simplify(f) {
+            Formula::Bool(b) => Formula::Bool(b), // nonempty domain assumed
+            body => Formula::exists(*v, body),
+        },
+        Formula::Forall(v, f) => match simplify(f) {
+            Formula::Bool(b) => Formula::Bool(b),
+            body => Formula::forall(*v, body),
+        },
+        Formula::CountingExists(t, v, f) => match simplify(f) {
+            // ∃^{≥t} x ⊥ is false for t ≥ 1; ∃^{≥t} x ⊤ means "the domain
+            // has ≥ t elements", which simplification must not decide.
+            Formula::Bool(false) => Formula::FALSE,
+            body => Formula::counting_exists(*t, *v, body),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use folearn_graph::{generators, ops, GraphBuilder, Vocabulary, V};
+
+    use crate::eval::{models, satisfies};
+    use crate::parser::parse;
+
+    use super::*;
+
+    #[test]
+    fn dist_formula_matches_bfs() {
+        let g = generators::path(8, Vocabulary::empty());
+        for r in 0..=5 {
+            let phi = dist_at_most(0, 1, r, 2);
+            assert!(
+                phi.quantifier_rank() <= (usize::BITS - r.max(1).leading_zeros()) as usize,
+                "qr too large for r={r}"
+            );
+            for u in g.vertices() {
+                for v in g.vertices() {
+                    let expected = folearn_graph::bfs::distance(&g, u, v)
+                        .is_some_and(|d| d <= r);
+                    assert_eq!(
+                        satisfies(&g, &phi, &[u, v]),
+                        expected,
+                        "r={r} u={u} v={v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dist_qr_is_logarithmic() {
+        assert_eq!(dist_at_most(0, 1, 1, 2).quantifier_rank(), 0);
+        assert_eq!(dist_at_most(0, 1, 2, 2).quantifier_rank(), 1);
+        assert_eq!(dist_at_most(0, 1, 4, 2).quantifier_rank(), 2);
+        assert_eq!(dist_at_most(0, 1, 8, 2).quantifier_rank(), 3);
+        assert!(dist_at_most(0, 1, 100, 2).quantifier_rank() <= 7);
+    }
+
+    #[test]
+    fn localized_formula_ignores_far_structure() {
+        // φ(x0) = ∃x1 Red(x1) localized to radius 1: "a red vertex within
+        // distance 1 of x0".
+        let vocab = Vocabulary::new(["Red"]);
+        let mut b = GraphBuilder::with_vertices(vocab, 4);
+        b.add_edge(V(0), V(1));
+        b.add_edge(V(1), V(2));
+        b.add_edge(V(2), V(3));
+        b.set_color(V(3), folearn_graph::ColorId(0));
+        let g = b.build();
+        let phi = parse("exists x1. Red(x1)", g.vocab()).unwrap();
+        let local = localize(&phi, 0, 1);
+        assert!(!satisfies(&g, &local, &[V(0)])); // red vertex is 3 away
+        assert!(satisfies(&g, &local, &[V(2)]));
+        assert!(satisfies(&g, &local, &[V(3)]));
+        // Unlocalized: true everywhere.
+        assert!(satisfies(&g, &phi, &[V(0)]));
+    }
+
+    #[test]
+    fn localize_forall_uses_implication() {
+        // ∀x1 Red(x1) localized to radius 1 at x0: all of N_1(x0) red.
+        let vocab = Vocabulary::new(["Red"]);
+        let mut b = GraphBuilder::with_vertices(vocab, 3);
+        b.add_edge(V(0), V(1));
+        b.add_edge(V(1), V(2));
+        b.set_color(V(0), folearn_graph::ColorId(0));
+        b.set_color(V(1), folearn_graph::ColorId(0));
+        let g = b.build();
+        let phi = parse("forall x1. Red(x1)", g.vocab()).unwrap();
+        let local = localize(&phi, 0, 1);
+        assert!(satisfies(&g, &local, &[V(0)])); // N_1(0) = {0,1}, both red
+        assert!(!satisfies(&g, &local, &[V(1)])); // N_1(1) contains 2
+        assert!(!models(&g, &Formula::forall(0, phi.clone())));
+    }
+
+    #[test]
+    fn specialize_matches_direct_binding() {
+        // ψ(x0) over a coloured path; t = V(2). The specialised sentence on
+        // the expanded graph must agree with ψ(t) on the original graph.
+        let vocab = Vocabulary::new(["Red"]);
+        let g = generators::periodically_colored(
+            &generators::path(6, vocab),
+            folearn_graph::ColorId(0),
+            2,
+        );
+        let psi = parse(
+            "exists x1. E(x0, x1) & (Red(x1) | x1 = x0)",
+            g.vocab(),
+        )
+        .unwrap();
+        for t in g.vertices() {
+            let expanded = ops::expand_colors(
+                &g,
+                &[
+                    ("Pt", vec![t]),
+                    ("Qt", g.neighbors(t).iter().map(|&w| V(w)).collect()),
+                ],
+            );
+            let p_t = expanded.vocab().color_by_name("Pt").unwrap();
+            let q_t = expanded.vocab().color_by_name("Qt").unwrap();
+            let sentence = specialize_var(&psi, 0, p_t, q_t, &|c| g.has_color(t, c));
+            assert!(sentence.free_vars().is_empty());
+            assert!(
+                models(&expanded, &Formula::exists(0, Formula::and([
+                    Formula::Color(p_t, 0),
+                    // sanity: the marker is unique
+                ])))
+            );
+            assert_eq!(
+                models(&expanded, &sentence),
+                satisfies(&g, &psi, &[t]),
+                "t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn erase_colors_replaces_with_false() {
+        let vocab = Vocabulary::new(["A", "B"]);
+        let phi = parse("A(x0) | B(x0)", &vocab).unwrap();
+        let mut set = BTreeSet::new();
+        set.insert(vocab.color_by_name("A").unwrap());
+        let erased = erase_colors(&phi, &set);
+        assert_eq!(erased, parse("B(x0)", &vocab).unwrap());
+    }
+
+    #[test]
+    fn bind_params_builds_guarded_prefix() {
+        let vocab = Vocabulary::new(["S1", "S2"]);
+        let phi = parse("E(x0, x1) & E(x1, x2)", &vocab).unwrap();
+        let s1 = vocab.color_by_name("S1").unwrap();
+        let s2 = vocab.color_by_name("S2").unwrap();
+        let bound = bind_params_with_colors(&phi, &[(1, s1), (2, s2)]);
+        assert_eq!(bound.free_vars(), vec![0]);
+        assert_eq!(bound.quantifier_rank(), 2);
+    }
+
+    #[test]
+    fn nnf_pushes_negations_to_atoms() {
+        fn no_structural_not(phi: &Formula) -> bool {
+            match phi {
+                Formula::Not(inner) => matches!(
+                    **inner,
+                    Formula::Eq(..)
+                        | Formula::Edge(..)
+                        | Formula::Color(..)
+                        | Formula::CountingExists(..)
+                ),
+                Formula::Bool(_)
+                | Formula::Eq(..)
+                | Formula::Edge(..)
+                | Formula::Color(..) => true,
+                Formula::And(fs) | Formula::Or(fs) => fs.iter().all(no_structural_not),
+                Formula::Exists(_, f)
+                | Formula::Forall(_, f)
+                | Formula::CountingExists(_, _, f) => no_structural_not(f),
+            }
+        }
+        let g = generators::path(5, Vocabulary::empty());
+        let vocab = Vocabulary::empty();
+        let samples = [
+            "!(exists x1. E(x0, x1) & !(forall x2. x2 = x0))",
+            "!(x0 = x1 | !E(x0, x1))",
+            "!exists^2 x1. E(x0, x1)",
+        ];
+        for s in samples {
+            let phi = parse(s, &vocab).unwrap();
+            let n = nnf(&phi);
+            assert!(no_structural_not(&n), "not in NNF: {n}");
+            assert_eq!(n.quantifier_rank(), phi.quantifier_rank());
+            for u in g.vertices() {
+                for v in g.vertices() {
+                    assert_eq!(
+                        satisfies(&g, &phi, &[u, v]),
+                        satisfies(&g, &n, &[u, v]),
+                        "{s} at {u},{v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simplify_preserves_semantics() {
+        let g = generators::path(5, Vocabulary::empty());
+        let vocab = Vocabulary::empty();
+        let phi = parse(
+            "exists x1. (E(x0, x1) & true & E(x0, x1)) | (x1 = x1 & false)",
+            &vocab,
+        )
+        .unwrap();
+        let s = simplify(&phi);
+        assert!(s.size() < phi.size());
+        for v in g.vertices() {
+            assert_eq!(satisfies(&g, &phi, &[v]), satisfies(&g, &s, &[v]));
+        }
+        assert_eq!(simplify(&parse("x0 = x0", &vocab).unwrap()), Formula::TRUE);
+        assert_eq!(simplify(&Formula::Edge(3, 3)), Formula::FALSE);
+    }
+}

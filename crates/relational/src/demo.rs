@@ -1,0 +1,71 @@
+//! A small employees/departments instance used by tests and examples.
+
+use crate::schema::{Elem, Instance, RelId, Schema};
+
+/// Relation handles of the demo schema.
+pub struct DemoRels {
+    /// `WorksIn(employee, department)`.
+    pub works_in: RelId,
+    /// `Senior(employee)`.
+    pub senior: RelId,
+    /// `Manages(manager, employee)`.
+    pub manages: RelId,
+}
+
+/// Build the demo instance: three departments, eight employees, a
+/// management chain, and a few senior staff.
+pub fn employees() -> (Instance, DemoRels) {
+    let mut schema = Schema::new();
+    let works_in = schema.add_relation("WorksIn", 2);
+    let senior = schema.add_relation("Senior", 1);
+    let manages = schema.add_relation("Manages", 2);
+    let mut inst = Instance::new(schema);
+
+    let depts: Vec<Elem> = ["sales", "eng", "hr"]
+        .iter()
+        .map(|d| inst.add_element(d))
+        .collect();
+    let people: Vec<Elem> = [
+        "alice", "bob", "carol", "dave", "erin", "frank", "grace", "henry",
+    ]
+    .iter()
+    .map(|p| inst.add_element(p))
+    .collect();
+
+    // Department membership.
+    for (i, &p) in people.iter().enumerate() {
+        inst.add_fact(works_in, &[p, depts[i % 3]]);
+    }
+    // Seniors: alice, dave.
+    inst.add_fact(senior, &[people[0]]);
+    inst.add_fact(senior, &[people[3]]);
+    // Management chain: alice → bob → carol, dave → erin.
+    inst.add_fact(manages, &[people[0], people[1]]);
+    inst.add_fact(manages, &[people[1], people[2]]);
+    inst.add_fact(manages, &[people[3], people[4]]);
+
+    (
+        inst,
+        DemoRels {
+            works_in,
+            senior,
+            manages,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_is_well_formed() {
+        let (inst, rels) = employees();
+        assert_eq!(inst.domain_size(), 11);
+        assert_eq!(inst.facts(rels.works_in).len(), 8);
+        assert_eq!(inst.facts(rels.senior).len(), 2);
+        assert_eq!(inst.facts(rels.manages).len(), 3);
+        let alice = inst.element_by_name("alice").unwrap();
+        assert!(inst.holds(rels.senior, &[alice]));
+    }
+}

@@ -1,0 +1,251 @@
+//! The incidence encoding of relational instances as coloured graphs,
+//! with the matching query translation.
+//!
+//! Encoding of an instance `D` over schema `σ`:
+//!
+//! * one *element vertex* per domain element, coloured `__Elem`;
+//! * one *fact vertex* per fact `R(ē)`, coloured `__Rel_R`;
+//! * one *position vertex* per (fact, argument position `i`), coloured
+//!   `__Pos{i}`, adjacent to its fact vertex and to the element filling
+//!   the position.
+//!
+//! The encoding is linear in `|D|`, degree-bounded by
+//! `max(arity, #facts per element)`, and preserves sparsity: instances
+//! whose incidence structure is tree-like/bounded-degree encode into
+//! nowhere dense graph classes, which is what lets the Theorem 13 learner
+//! run over databases.
+//!
+//! [`translate_query`] maps a relational FO query `φ` to a graph query
+//! `φ'` with `qr(φ') ≤ qr(φ) + 2` such that
+//! `D ⊨ φ(ē) ⟺ enc(D) ⊨ φ'(enc(ē))` — property (verified in tests) that
+//! makes learning over `enc(D)` equivalent to learning over `D`.
+
+use folearn::problem::{Example, TrainingSequence};
+use folearn_graph::{ColorId, Graph, GraphBuilder, Vocabulary, V};
+use folearn_logic::{Formula, Var};
+
+use crate::schema::{Elem, Instance, RelFormula, RelId};
+
+/// A relational instance encoded as a coloured graph.
+pub struct EncodedInstance {
+    /// The incidence graph.
+    pub graph: Graph,
+    /// Colour of element vertices.
+    pub elem_color: ColorId,
+    /// Colour per relation (indexed by `RelId`).
+    pub rel_colors: Vec<ColorId>,
+    /// Colour per argument position `0 … max_arity−1`.
+    pub pos_colors: Vec<ColorId>,
+    domain_size: usize,
+}
+
+impl EncodedInstance {
+    /// The vertex representing a domain element (elements occupy the
+    /// first `|dom|` vertex ids).
+    pub fn element_vertex(&self, e: Elem) -> V {
+        assert!((e.0 as usize) < self.domain_size, "element out of domain");
+        V(e.0)
+    }
+
+    /// Map an element tuple into the graph.
+    pub fn map_tuple(&self, tuple: &[Elem]) -> Vec<V> {
+        tuple.iter().map(|&e| self.element_vertex(e)).collect()
+    }
+
+    /// Convert labelled element-tuples into a graph training sequence.
+    pub fn to_training_sequence(
+        &self,
+        pairs: impl IntoIterator<Item = (Vec<Elem>, bool)>,
+    ) -> TrainingSequence {
+        pairs
+            .into_iter()
+            .map(|(t, l)| Example::new(self.map_tuple(&t), l))
+            .collect()
+    }
+}
+
+/// Encode an instance.
+pub fn encode_instance(inst: &Instance) -> EncodedInstance {
+    let mut vocab = Vocabulary::empty();
+    let elem_color = vocab.add_color("__Elem");
+    let rel_colors: Vec<ColorId> = inst
+        .schema()
+        .relations()
+        .map(|(_, d)| vocab.add_color(&format!("__Rel_{}", d.name)))
+        .collect();
+    let pos_colors: Vec<ColorId> = (0..inst.schema().max_arity())
+        .map(|i| vocab.add_color(&format!("__Pos{i}")))
+        .collect();
+
+    let mut b = GraphBuilder::new(vocab);
+    for _ in inst.elements() {
+        let v = b.add_vertex();
+        b.set_color(v, elem_color);
+    }
+    for (rel, _) in inst.schema().relations() {
+        for fact in inst.facts(rel) {
+            let f = b.add_vertex();
+            b.set_color(f, rel_colors[rel.0 as usize]);
+            for (i, &e) in fact.iter().enumerate() {
+                let p = b.add_vertex();
+                b.set_color(p, pos_colors[i]);
+                b.add_edge(f, p);
+                b.add_edge(p, V(e.0));
+            }
+        }
+    }
+    EncodedInstance {
+        graph: b.build(),
+        elem_color,
+        rel_colors,
+        pos_colors,
+        domain_size: inst.domain_size(),
+    }
+}
+
+/// Translate a relational query into a graph query over the encoding.
+///
+/// Quantifiers are relativised to element vertices; each relational atom
+/// `R(x̄)` becomes
+/// `∃f (Rel_R(f) ∧ ⋀_i ∃p (Pos_i(p) ∧ E(f,p) ∧ E(p,x_i)))`.
+pub fn translate_query(phi: &RelFormula, enc: &EncodedInstance) -> Formula {
+    let fresh = (max_var(phi).map_or(0, |m| m + 1)).max(1);
+    go(phi, enc, fresh)
+}
+
+fn max_var(phi: &RelFormula) -> Option<Var> {
+    match phi {
+        RelFormula::Bool(_) => None,
+        RelFormula::Eq(a, b) => Some(*a.max(b)),
+        RelFormula::Atom(_, vars) => vars.iter().copied().max(),
+        RelFormula::Not(f) => max_var(f),
+        RelFormula::And(fs) | RelFormula::Or(fs) => fs.iter().filter_map(max_var).max(),
+        RelFormula::Exists(v, f) | RelFormula::Forall(v, f) => {
+            Some(max_var(f).map_or(*v, |m| m.max(*v)))
+        }
+    }
+}
+
+fn go(phi: &RelFormula, enc: &EncodedInstance, fresh: Var) -> Formula {
+    match phi {
+        RelFormula::Bool(b) => Formula::Bool(*b),
+        RelFormula::Eq(a, b) => Formula::Eq(*a, *b),
+        RelFormula::Atom(rel, vars) => atom_formula(*rel, vars, enc, fresh),
+        RelFormula::Not(f) => go(f, enc, fresh).not(),
+        RelFormula::And(fs) => Formula::and(fs.iter().map(|f| go(f, enc, fresh))),
+        RelFormula::Or(fs) => Formula::or(fs.iter().map(|f| go(f, enc, fresh))),
+        RelFormula::Exists(v, f) => Formula::exists(
+            *v,
+            Formula::and([Formula::Color(enc.elem_color, *v), go(f, enc, fresh)]),
+        ),
+        RelFormula::Forall(v, f) => Formula::forall(
+            *v,
+            Formula::Color(enc.elem_color, *v).implies(go(f, enc, fresh)),
+        ),
+    }
+}
+
+fn atom_formula(rel: RelId, vars: &[Var], enc: &EncodedInstance, fresh: Var) -> Formula {
+    let f_var = fresh;
+    let p_var = fresh + 1;
+    let rel_color = enc.rel_colors[rel.0 as usize];
+    let mut parts = vec![Formula::Color(rel_color, f_var)];
+    for (i, &x) in vars.iter().enumerate() {
+        parts.push(Formula::exists(
+            p_var,
+            Formula::and([
+                Formula::Color(enc.pos_colors[i], p_var),
+                Formula::Edge(f_var, p_var),
+                Formula::Edge(p_var, x),
+            ]),
+        ));
+    }
+    Formula::exists(f_var, Formula::and(parts))
+}
+
+#[cfg(test)]
+mod tests {
+    use folearn_logic::eval;
+
+    use crate::demo;
+    use crate::schema::{RelFormula, Schema};
+
+    use super::*;
+
+    #[test]
+    fn encoding_shape() {
+        let mut schema = Schema::new();
+        let r = schema.add_relation("R", 2);
+        let mut inst = Instance::new(schema);
+        let a = inst.add_element("a");
+        let b2 = inst.add_element("b");
+        inst.add_fact(r, &[a, b2]);
+        let enc = encode_instance(&inst);
+        // 2 elements + 1 fact + 2 positions.
+        assert_eq!(enc.graph.num_vertices(), 5);
+        assert_eq!(enc.graph.num_edges(), 4);
+        assert!(enc.graph.has_color(enc.element_vertex(a), enc.elem_color));
+    }
+
+    #[test]
+    fn translation_preserves_satisfaction() {
+        let (inst, rels) = demo::employees();
+        let enc = encode_instance(&inst);
+        let works_in = rels.works_in;
+        let senior = rels.senior;
+        let queries = vec![
+            // "x0 is senior"
+            RelFormula::Atom(senior, vec![0]),
+            // "x0 works somewhere"
+            RelFormula::Exists(1, Box::new(RelFormula::Atom(works_in, vec![0, 1]))),
+            // "x0 shares a department with a senior employee"
+            RelFormula::Exists(
+                1,
+                Box::new(RelFormula::And(vec![
+                    RelFormula::Atom(works_in, vec![0, 1]),
+                    RelFormula::Exists(
+                        2,
+                        Box::new(RelFormula::And(vec![
+                            RelFormula::Atom(works_in, vec![2, 1]),
+                            RelFormula::Atom(senior, vec![2]),
+                        ])),
+                    ),
+                ])),
+            ),
+            // "everything equals x0" (false on multi-element domains)
+            RelFormula::Forall(1, Box::new(RelFormula::Eq(0, 1))),
+        ];
+        for phi in queries {
+            let translated = translate_query(&phi, &enc);
+            for e in inst.elements() {
+                assert_eq!(
+                    phi.satisfies(&inst, &[e]),
+                    eval::satisfies(&enc.graph, &translated, &[enc.element_vertex(e)]),
+                    "query {phi:?} at {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantifier_rank_grows_by_at_most_two() {
+        let (inst, rels) = demo::employees();
+        let enc = encode_instance(&inst);
+        let phi = RelFormula::Exists(
+            1,
+            Box::new(RelFormula::Atom(rels.works_in, vec![0, 1])),
+        );
+        let translated = translate_query(&phi, &enc);
+        assert!(translated.quantifier_rank() <= phi.quantifier_rank() + 2);
+    }
+
+    #[test]
+    fn training_sequence_maps_elements() {
+        let (inst, rels) = demo::employees();
+        let enc = encode_instance(&inst);
+        let e0 = inst.elements().next().unwrap();
+        let seq = enc.to_training_sequence([(vec![e0], inst.holds(rels.senior, &[e0]))]);
+        assert_eq!(seq.len(), 1);
+        assert_eq!(seq.examples()[0].tuple, vec![enc.element_vertex(e0)]);
+    }
+}

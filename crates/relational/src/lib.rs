@@ -1,0 +1,25 @@
+//! Relational databases as coloured graphs.
+//!
+//! The paper states its results for coloured graphs and notes that "all
+//! results can easily be extended to arbitrary relational structures …
+//! by coding relational structures as graphs" (Section 2). This crate
+//! implements that coding, so `folearn` learns first-order queries over
+//! honest relational database instances:
+//!
+//! * [`schema`] — relational schemas, instances (facts over a finite
+//!   domain), and a first-order query language `RelFormula` over them,
+//!   with a direct evaluator;
+//! * [`encode`] — the incidence encoding into coloured graphs: one vertex
+//!   per domain element, one per fact, one per (fact, position) pair,
+//!   with colours identifying relations and positions; plus the matching
+//!   query translation `RelFormula → Formula` whose satisfaction is
+//!   preserved (cross-checked by tests);
+//! * [`demo`] — a small employees/departments instance used by the
+//!   examples.
+
+pub mod demo;
+pub mod encode;
+pub mod schema;
+
+pub use encode::{encode_instance, translate_query, EncodedInstance};
+pub use schema::{Instance, RelFormula, Schema};

@@ -1,0 +1,449 @@
+//! Relational schemas, instances, and first-order queries over them.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A relation symbol with its arity.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RelationDecl {
+    /// Relation name (unique within the schema).
+    pub name: String,
+    /// Arity (≥ 1).
+    pub arity: usize,
+}
+
+/// A relational schema: an ordered list of relation symbols.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Schema {
+    relations: Vec<RelationDecl>,
+}
+
+/// Index of a relation within a schema.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct RelId(pub u16);
+
+impl Schema {
+    /// An empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a relation symbol.
+    ///
+    /// # Panics
+    /// Panics on duplicate names or zero arity.
+    pub fn add_relation(&mut self, name: &str, arity: usize) -> RelId {
+        assert!(arity >= 1, "relations must have arity ≥ 1");
+        assert!(
+            self.relation_by_name(name).is_none(),
+            "duplicate relation {name:?}"
+        );
+        let id = RelId(self.relations.len() as u16);
+        self.relations.push(RelationDecl {
+            name: name.to_string(),
+            arity,
+        });
+        id
+    }
+
+    /// Look up a relation by name.
+    pub fn relation_by_name(&self, name: &str) -> Option<RelId> {
+        self.relations
+            .iter()
+            .position(|r| r.name == name)
+            .map(|i| RelId(i as u16))
+    }
+
+    /// The declaration of a relation.
+    pub fn decl(&self, id: RelId) -> &RelationDecl {
+        &self.relations[id.0 as usize]
+    }
+
+    /// All relations, in declaration order.
+    pub fn relations(&self) -> impl Iterator<Item = (RelId, &RelationDecl)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (RelId(i as u16), d))
+    }
+
+    /// Maximum arity over the schema (0 if empty).
+    pub fn max_arity(&self) -> usize {
+        self.relations.iter().map(|r| r.arity).max().unwrap_or(0)
+    }
+}
+
+/// A domain element of an instance.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Elem(pub u32);
+
+impl fmt::Display for Elem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A database instance: a finite domain with named elements and a set of
+/// facts per relation.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    schema: Schema,
+    element_names: Vec<String>,
+    facts: Vec<Vec<Vec<Elem>>>,
+    fact_index: HashMap<(RelId, Vec<Elem>), ()>,
+}
+
+impl Instance {
+    /// An empty instance over a schema.
+    pub fn new(schema: Schema) -> Self {
+        let nrel = schema.relations().count();
+        Self {
+            schema,
+            element_names: Vec::new(),
+            facts: vec![Vec::new(); nrel],
+            fact_index: HashMap::new(),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Add a named domain element.
+    pub fn add_element(&mut self, name: &str) -> Elem {
+        let e = Elem(self.element_names.len() as u32);
+        self.element_names.push(name.to_string());
+        e
+    }
+
+    /// The number of domain elements.
+    pub fn domain_size(&self) -> usize {
+        self.element_names.len()
+    }
+
+    /// Iterate over the domain.
+    pub fn elements(&self) -> impl ExactSizeIterator<Item = Elem> {
+        (0..self.element_names.len() as u32).map(Elem)
+    }
+
+    /// Name of an element.
+    pub fn element_name(&self, e: Elem) -> &str {
+        &self.element_names[e.0 as usize]
+    }
+
+    /// Look up an element by name.
+    pub fn element_by_name(&self, name: &str) -> Option<Elem> {
+        self.element_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| Elem(i as u32))
+    }
+
+    /// Assert a fact `R(ē)`. Duplicate facts are ignored.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch or out-of-domain elements.
+    pub fn add_fact(&mut self, rel: RelId, tuple: &[Elem]) {
+        assert_eq!(
+            tuple.len(),
+            self.schema.decl(rel).arity,
+            "arity mismatch for {}",
+            self.schema.decl(rel).name
+        );
+        for e in tuple {
+            assert!((e.0 as usize) < self.domain_size(), "element out of domain");
+        }
+        if self
+            .fact_index
+            .insert((rel, tuple.to_vec()), ())
+            .is_none()
+        {
+            self.facts[rel.0 as usize].push(tuple.to_vec());
+        }
+    }
+
+    /// Whether `R(ē)` holds.
+    pub fn holds(&self, rel: RelId, tuple: &[Elem]) -> bool {
+        self.fact_index.contains_key(&(rel, tuple.to_vec()))
+    }
+
+    /// All facts of a relation.
+    pub fn facts(&self, rel: RelId) -> &[Vec<Elem>] {
+        &self.facts[rel.0 as usize]
+    }
+
+    /// Bulk-load facts by element *names*, creating unseen elements on
+    /// the fly — the convenient path for loading CSV-ish data.
+    ///
+    /// # Panics
+    /// Panics if the relation name is unknown or a row has wrong arity.
+    pub fn add_facts_by_name<'a>(
+        &mut self,
+        relation: &str,
+        rows: impl IntoIterator<Item = &'a [&'a str]>,
+    ) {
+        let rel = self
+            .schema
+            .relation_by_name(relation)
+            .unwrap_or_else(|| panic!("unknown relation {relation:?}"));
+        for row in rows {
+            let tuple: Vec<Elem> = row
+                .iter()
+                .map(|name| {
+                    self.element_by_name(name)
+                        .unwrap_or_else(|| self.add_element(name))
+                })
+                .collect();
+            self.add_fact(rel, &tuple);
+        }
+    }
+
+    /// Total number of facts.
+    pub fn num_facts(&self) -> usize {
+        self.facts.iter().map(Vec::len).sum()
+    }
+}
+
+/// First-order formulas over a relational schema (relational atoms and
+/// equality; variables are indices, as in `folearn-logic`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RelFormula {
+    /// `⊤` / `⊥`.
+    Bool(bool),
+    /// `x = y`.
+    Eq(u16, u16),
+    /// `R(x̄)`.
+    Atom(RelId, Vec<u16>),
+    /// Negation.
+    Not(Box<RelFormula>),
+    /// Conjunction.
+    And(Vec<RelFormula>),
+    /// Disjunction.
+    Or(Vec<RelFormula>),
+    /// `∃x φ`.
+    Exists(u16, Box<RelFormula>),
+    /// `∀x φ`.
+    Forall(u16, Box<RelFormula>),
+}
+
+impl RelFormula {
+    /// Quantifier rank.
+    pub fn quantifier_rank(&self) -> usize {
+        match self {
+            RelFormula::Bool(_) | RelFormula::Eq(..) | RelFormula::Atom(..) => 0,
+            RelFormula::Not(f) => f.quantifier_rank(),
+            RelFormula::And(fs) | RelFormula::Or(fs) => fs
+                .iter()
+                .map(RelFormula::quantifier_rank)
+                .max()
+                .unwrap_or(0),
+            RelFormula::Exists(_, f) | RelFormula::Forall(_, f) => 1 + f.quantifier_rank(),
+        }
+    }
+
+    /// Evaluate under an assignment (indexed by variable).
+    pub fn eval(&self, inst: &Instance, assignment: &mut Vec<Option<Elem>>) -> bool {
+        match self {
+            RelFormula::Bool(b) => *b,
+            RelFormula::Eq(a, b) => {
+                let (x, y) = (require(assignment, *a), require(assignment, *b));
+                x == y
+            }
+            RelFormula::Atom(rel, vars) => {
+                let tuple: Vec<Elem> = vars.iter().map(|v| require(assignment, *v)).collect();
+                inst.holds(*rel, &tuple)
+            }
+            RelFormula::Not(f) => !f.eval(inst, assignment),
+            RelFormula::And(fs) => fs.iter().all(|f| f.eval(inst, assignment)),
+            RelFormula::Or(fs) => fs.iter().any(|f| f.eval(inst, assignment)),
+            RelFormula::Exists(v, f) => {
+                quantify(inst, *v, f, assignment, true)
+            }
+            RelFormula::Forall(v, f) => {
+                quantify(inst, *v, f, assignment, false)
+            }
+        }
+    }
+
+    /// Evaluate with `x0 … x{k−1}` bound to `tuple`.
+    pub fn satisfies(&self, inst: &Instance, tuple: &[Elem]) -> bool {
+        let mut a: Vec<Option<Elem>> = tuple.iter().map(|&e| Some(e)).collect();
+        self.eval(inst, &mut a)
+    }
+
+    /// Render with relation names from a schema.
+    pub fn render(&self, schema: &Schema) -> String {
+        match self {
+            RelFormula::Bool(true) => "true".into(),
+            RelFormula::Bool(false) => "false".into(),
+            RelFormula::Eq(a, b) => format!("x{a} = x{b}"),
+            RelFormula::Atom(rel, vars) => {
+                let args: Vec<String> = vars.iter().map(|v| format!("x{v}")).collect();
+                format!("{}({})", schema.decl(*rel).name, args.join(", "))
+            }
+            RelFormula::Not(f) => format!("!({})", f.render(schema)),
+            RelFormula::And(fs) => fs
+                .iter()
+                .map(|f| format!("({})", f.render(schema)))
+                .collect::<Vec<_>>()
+                .join(" & "),
+            RelFormula::Or(fs) => fs
+                .iter()
+                .map(|f| format!("({})", f.render(schema)))
+                .collect::<Vec<_>>()
+                .join(" | "),
+            RelFormula::Exists(v, f) => format!("exists x{v}. {}", f.render(schema)),
+            RelFormula::Forall(v, f) => format!("forall x{v}. {}", f.render(schema)),
+        }
+    }
+}
+
+fn require(assignment: &[Option<Elem>], var: u16) -> Elem {
+    assignment
+        .get(var as usize)
+        .copied()
+        .flatten()
+        .unwrap_or_else(|| panic!("variable x{var} unassigned"))
+}
+
+fn quantify(
+    inst: &Instance,
+    var: u16,
+    body: &RelFormula,
+    assignment: &mut Vec<Option<Elem>>,
+    existential: bool,
+) -> bool {
+    let idx = var as usize;
+    if idx >= assignment.len() {
+        assignment.resize(idx + 1, None);
+    }
+    let saved = assignment[idx];
+    let mut result = !existential;
+    for e in inst.elements() {
+        assignment[idx] = Some(e);
+        let holds = body.eval(inst, assignment);
+        if existential && holds {
+            result = true;
+            break;
+        }
+        if !existential && !holds {
+            result = false;
+            break;
+        }
+    }
+    assignment[idx] = saved;
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_instance() -> (Instance, RelId, RelId) {
+        let mut schema = Schema::new();
+        let works_in = schema.add_relation("WorksIn", 2);
+        let senior = schema.add_relation("Senior", 1);
+        let mut inst = Instance::new(schema);
+        let a = inst.add_element("alice");
+        let b = inst.add_element("bob");
+        let d = inst.add_element("dept");
+        inst.add_fact(works_in, &[a, d]);
+        inst.add_fact(works_in, &[b, d]);
+        inst.add_fact(senior, &[a]);
+        (inst, works_in, senior)
+    }
+
+    #[test]
+    fn facts_dedup_and_hold() {
+        let (mut inst, works_in, senior) = small_instance();
+        let a = inst.element_by_name("alice").unwrap();
+        let d = inst.element_by_name("dept").unwrap();
+        inst.add_fact(works_in, &[a, d]); // duplicate
+        assert_eq!(inst.num_facts(), 3);
+        assert!(inst.holds(works_in, &[a, d]));
+        assert!(!inst.holds(senior, &[d]));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        let (mut inst, works_in, _) = small_instance();
+        let a = inst.element_by_name("alice").unwrap();
+        inst.add_fact(works_in, &[a]);
+    }
+
+    #[test]
+    fn query_evaluation() {
+        let (inst, works_in, senior) = small_instance();
+        // "x0 works in some department with a senior member"
+        let phi = RelFormula::Exists(
+            1,
+            Box::new(RelFormula::And(vec![
+                RelFormula::Atom(works_in, vec![0, 1]),
+                RelFormula::Exists(
+                    2,
+                    Box::new(RelFormula::And(vec![
+                        RelFormula::Atom(works_in, vec![2, 1]),
+                        RelFormula::Atom(senior, vec![2]),
+                    ])),
+                ),
+            ])),
+        );
+        let a = inst.element_by_name("alice").unwrap();
+        let b = inst.element_by_name("bob").unwrap();
+        let d = inst.element_by_name("dept").unwrap();
+        assert!(phi.satisfies(&inst, &[a]));
+        assert!(phi.satisfies(&inst, &[b]));
+        assert!(!phi.satisfies(&inst, &[d]));
+        assert_eq!(phi.quantifier_rank(), 2);
+    }
+
+    #[test]
+    fn bulk_loading_by_name() {
+        let mut schema = Schema::new();
+        schema.add_relation("Likes", 2);
+        let mut inst = Instance::new(schema);
+        inst.add_facts_by_name(
+            "Likes",
+            [&["ann", "bob"][..], &["bob", "cat"][..], &["ann", "bob"][..]],
+        );
+        assert_eq!(inst.domain_size(), 3);
+        assert_eq!(inst.num_facts(), 2);
+        let likes = inst.schema().relation_by_name("Likes").unwrap();
+        let ann = inst.element_by_name("ann").unwrap();
+        let bob = inst.element_by_name("bob").unwrap();
+        assert!(inst.holds(likes, &[ann, bob]));
+    }
+
+    #[test]
+    fn rendering_uses_relation_names() {
+        let mut schema = Schema::new();
+        let r = schema.add_relation("Likes", 2);
+        let phi = RelFormula::Exists(
+            1,
+            Box::new(RelFormula::And(vec![
+                RelFormula::Atom(r, vec![0, 1]),
+                RelFormula::Not(Box::new(RelFormula::Eq(0, 1))),
+            ])),
+        );
+        let s = phi.render(&schema);
+        assert!(s.contains("Likes(x0, x1)"));
+        assert!(s.contains("exists x1."));
+    }
+
+    #[test]
+    fn forall_and_equality() {
+        let (inst, _, senior) = small_instance();
+        let all_senior = RelFormula::Forall(0, Box::new(RelFormula::Atom(senior, vec![0])));
+        assert!(!all_senior.eval(&inst, &mut Vec::new()));
+        let some_eq = RelFormula::Exists(
+            0,
+            Box::new(RelFormula::Exists(
+                1,
+                Box::new(RelFormula::Not(Box::new(RelFormula::Eq(0, 1)))),
+            )),
+        );
+        assert!(some_eq.eval(&inst, &mut Vec::new()));
+    }
+}

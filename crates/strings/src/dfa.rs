@@ -1,0 +1,356 @@
+//! Deterministic finite automata over small alphabets.
+//!
+//! The substrate for regular position queries: complete DFAs with a
+//! transition table, products (intersection/union), complement,
+//! Moore-style partition-refinement minimisation, and language-equivalence
+//! checking. Alphabets are `0..sigma` (for queries, `sigma = 2·|Σ|`:
+//! letters paired with a mark bit).
+
+use std::collections::HashMap;
+
+/// A complete deterministic finite automaton.
+#[derive(Clone, Debug)]
+pub struct Dfa {
+    /// Alphabet size.
+    sigma: usize,
+    /// `delta[state * sigma + letter]` = successor state.
+    delta: Vec<u32>,
+    /// Accepting states.
+    accepting: Vec<bool>,
+    /// Start state.
+    start: u32,
+}
+
+impl Dfa {
+    /// Build from an explicit transition table (`delta[s][a]`).
+    ///
+    /// # Panics
+    /// Panics on malformed tables or out-of-range entries.
+    pub fn new(delta: Vec<Vec<u32>>, accepting: Vec<bool>, start: u32) -> Self {
+        let states = delta.len();
+        assert!(states >= 1, "a DFA needs at least one state");
+        assert_eq!(accepting.len(), states);
+        let sigma = delta[0].len();
+        assert!(sigma >= 1, "alphabet must be non-empty");
+        let mut flat = Vec::with_capacity(states * sigma);
+        for row in &delta {
+            assert_eq!(row.len(), sigma, "ragged transition table");
+            for &t in row {
+                assert!((t as usize) < states, "transition out of range");
+                flat.push(t);
+            }
+        }
+        assert!((start as usize) < states);
+        Self {
+            sigma,
+            delta: flat,
+            accepting,
+            start,
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.accepting.len()
+    }
+
+    /// Alphabet size.
+    pub fn sigma(&self) -> usize {
+        self.sigma
+    }
+
+    /// The start state.
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// One transition step.
+    #[inline]
+    pub fn step(&self, state: u32, letter: u8) -> u32 {
+        debug_assert!((letter as usize) < self.sigma);
+        self.delta[state as usize * self.sigma + letter as usize]
+    }
+
+    /// Whether a state accepts.
+    #[inline]
+    pub fn accepts_state(&self, state: u32) -> bool {
+        self.accepting[state as usize]
+    }
+
+    /// Run on a word (letters in `0..sigma`), returning the final state.
+    pub fn run(&self, word: &[u8]) -> u32 {
+        word.iter().fold(self.start, |s, &a| self.step(s, a))
+    }
+
+    /// Language membership.
+    pub fn accepts(&self, word: &[u8]) -> bool {
+        self.accepts_state(self.run(word))
+    }
+
+    /// The complement automaton.
+    pub fn complement(&self) -> Dfa {
+        let mut out = self.clone();
+        for a in &mut out.accepting {
+            *a = !*a;
+        }
+        out
+    }
+
+    /// Product construction; `both` combines acceptance
+    /// (`&&` = intersection, `||` = union).
+    pub fn product(&self, other: &Dfa, both: impl Fn(bool, bool) -> bool) -> Dfa {
+        assert_eq!(self.sigma, other.sigma, "alphabet mismatch");
+        let sigma = self.sigma;
+        let mut index: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut order: Vec<(u32, u32)> = Vec::new();
+        let mut delta: Vec<Vec<u32>> = Vec::new();
+        let start_pair = (self.start, other.start);
+        index.insert(start_pair, 0);
+        order.push(start_pair);
+        let mut next = 0usize;
+        while next < order.len() {
+            let (p, q) = order[next];
+            let mut row = Vec::with_capacity(sigma);
+            for a in 0..sigma {
+                let succ = (self.step(p, a as u8), other.step(q, a as u8));
+                let id = *index.entry(succ).or_insert_with(|| {
+                    order.push(succ);
+                    (order.len() - 1) as u32
+                });
+                row.push(id);
+            }
+            delta.push(row);
+            next += 1;
+        }
+        let accepting = order
+            .iter()
+            .map(|&(p, q)| both(self.accepts_state(p), other.accepts_state(q)))
+            .collect();
+        Dfa::new(delta, accepting, 0)
+    }
+
+    /// Intersection `L(self) ∩ L(other)`.
+    pub fn intersect(&self, other: &Dfa) -> Dfa {
+        self.product(other, |a, b| a && b)
+    }
+
+    /// Union `L(self) ∪ L(other)`.
+    pub fn union(&self, other: &Dfa) -> Dfa {
+        self.product(other, |a, b| a || b)
+    }
+
+    /// Minimise by Moore's partition refinement (reachable part only).
+    pub fn minimize(&self) -> Dfa {
+        // Restrict to reachable states first.
+        let mut reach: Vec<u32> = vec![self.start];
+        let mut seen = vec![false; self.num_states()];
+        seen[self.start as usize] = true;
+        let mut i = 0;
+        while i < reach.len() {
+            let s = reach[i];
+            for a in 0..self.sigma {
+                let t = self.step(s, a as u8);
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    reach.push(t);
+                }
+            }
+            i += 1;
+        }
+        // Block id per reachable state; start from accept/reject split.
+        // Moore iteration: refine by (block, successor-block signature)
+        // until the block count stops growing — refinement is monotone, so
+        // a stable count is a fixed point.
+        let mut block: HashMap<u32, u32> = reach
+            .iter()
+            .map(|&s| (s, u32::from(self.accepts_state(s))))
+            .collect();
+        let mut num_blocks = block
+            .values()
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        loop {
+            let mut sig_ids: HashMap<(u32, Vec<u32>), u32> = HashMap::new();
+            let mut next_block: HashMap<u32, u32> = HashMap::new();
+            for &s in &reach {
+                let sig: Vec<u32> = (0..self.sigma)
+                    .map(|a| block[&self.step(s, a as u8)])
+                    .collect();
+                let key = (block[&s], sig);
+                let fresh = sig_ids.len() as u32;
+                let id = *sig_ids.entry(key).or_insert(fresh);
+                next_block.insert(s, id);
+            }
+            let new_count = sig_ids.len();
+            block = next_block;
+            if new_count == num_blocks {
+                break;
+            }
+            num_blocks = new_count;
+        }
+        let num_blocks = block.values().copied().max().unwrap_or(0) as usize + 1;
+        let mut delta = vec![vec![0u32; self.sigma]; num_blocks];
+        let mut accepting = vec![false; num_blocks];
+        for &s in &reach {
+            let b = block[&s] as usize;
+            accepting[b] = self.accepts_state(s);
+            for a in 0..self.sigma {
+                delta[b][a] = block[&self.step(s, a as u8)];
+            }
+        }
+        Dfa::new(delta, accepting, block[&self.start])
+    }
+
+    /// Language equivalence via product emptiness of the symmetric
+    /// difference.
+    pub fn equivalent(&self, other: &Dfa) -> bool {
+        let diff = self.product(other, |a, b| a != b);
+        // Empty iff no accepting state is reachable (product is built from
+        // reachable states only).
+        !diff.accepting.iter().any(|&a| a)
+    }
+
+    /// A shortest accepted word, or `None` if the language is empty
+    /// (BFS from the start state). Used as the counterexample oracle in
+    /// equivalence queries.
+    pub fn find_accepted_word(&self) -> Option<Vec<u8>> {
+        if self.accepts_state(self.start) {
+            return Some(Vec::new());
+        }
+        let mut parent: Vec<Option<(u32, u8)>> = vec![None; self.num_states()];
+        let mut seen = vec![false; self.num_states()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[self.start as usize] = true;
+        queue.push_back(self.start);
+        while let Some(s) = queue.pop_front() {
+            for a in 0..self.sigma {
+                let t = self.step(s, a as u8);
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    parent[t as usize] = Some((s, a as u8));
+                    if self.accepts_state(t) {
+                        // Reconstruct the word.
+                        let mut word = Vec::new();
+                        let mut cur = t;
+                        while let Some((p, letter)) = parent[cur as usize] {
+                            word.push(letter);
+                            cur = p;
+                        }
+                        word.reverse();
+                        return Some(word);
+                    }
+                    queue.push_back(t);
+                }
+            }
+        }
+        None
+    }
+
+    // -- small standard automata used to assemble query classes ----------
+
+    /// Accepts every word.
+    pub fn all(sigma: usize) -> Dfa {
+        Dfa::new(vec![vec![0; sigma]], vec![true], 0)
+    }
+
+    /// Accepts words containing at least one occurrence of `letter`.
+    pub fn contains(sigma: usize, letter: u8) -> Dfa {
+        let mut d0: Vec<u32> = (0..sigma).map(|_| 0).collect();
+        d0[letter as usize] = 1;
+        Dfa::new(vec![d0, vec![1; sigma]], vec![false, true], 0)
+    }
+
+    /// Accepts words whose number of occurrences of `letter` is
+    /// `≡ residue (mod m)`.
+    pub fn count_mod(sigma: usize, letter: u8, m: u32, residue: u32) -> Dfa {
+        assert!(m >= 1 && residue < m);
+        let mut delta = Vec::with_capacity(m as usize);
+        for s in 0..m {
+            let mut row: Vec<u32> = (0..sigma).map(|_| s).collect();
+            row[letter as usize] = (s + 1) % m;
+            delta.push(row);
+        }
+        let accepting = (0..m).map(|s| s == residue).collect();
+        Dfa::new(delta, accepting, 0)
+    }
+
+    /// Accepts words ending in `letter` (rejects the empty word).
+    pub fn ends_with(sigma: usize, letter: u8) -> Dfa {
+        // State 0: last letter ≠ target (or none); state 1: last = target.
+        let row = |_s: u32| -> Vec<u32> {
+            (0..sigma)
+                .map(|a| u32::from(a == letter as usize))
+                .collect()
+        };
+        Dfa::new(vec![row(0), row(1)], vec![false, true], 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_language() {
+        let d = Dfa::contains(2, 1);
+        assert!(!d.accepts(&[]));
+        assert!(!d.accepts(&[0, 0]));
+        assert!(d.accepts(&[0, 1, 0]));
+    }
+
+    #[test]
+    fn count_mod_language() {
+        let even_b = Dfa::count_mod(2, 1, 2, 0);
+        assert!(even_b.accepts(&[]));
+        assert!(!even_b.accepts(&[1]));
+        assert!(even_b.accepts(&[1, 0, 1]));
+    }
+
+    #[test]
+    fn boolean_combinations() {
+        let has_a = Dfa::contains(2, 0);
+        let has_b = Dfa::contains(2, 1);
+        let both = has_a.intersect(&has_b);
+        assert!(both.accepts(&[0, 1]));
+        assert!(!both.accepts(&[0, 0]));
+        let either = has_a.union(&has_b);
+        assert!(either.accepts(&[0]));
+        assert!(!either.accepts(&[]));
+        let neither = either.complement();
+        assert!(neither.accepts(&[]));
+    }
+
+    #[test]
+    fn minimization_shrinks_and_preserves() {
+        // Redundant product: L ∩ L has |Q|² states but minimises back.
+        let l = Dfa::count_mod(2, 0, 3, 1);
+        let prod = l.intersect(&l);
+        let min = prod.minimize();
+        assert!(min.num_states() <= l.num_states());
+        assert!(min.equivalent(&l));
+        assert!(min.equivalent(&prod));
+    }
+
+    #[test]
+    fn equivalence_is_semantic() {
+        let a = Dfa::contains(2, 0);
+        let b = Dfa::contains(2, 0).minimize();
+        assert!(a.equivalent(&b));
+        assert!(!a.equivalent(&Dfa::contains(2, 1)));
+        assert!(!a.equivalent(&a.complement()));
+    }
+
+    #[test]
+    fn ends_with_language() {
+        let d = Dfa::ends_with(3, 2);
+        assert!(d.accepts(&[0, 1, 2]));
+        assert!(!d.accepts(&[2, 1]));
+        assert!(!d.accepts(&[]));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_table_rejected() {
+        Dfa::new(vec![vec![0, 0], vec![0]], vec![true, false], 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! MSO-definable position queries on strings, with the preprocessing
+//! model of Grohe–Löding–Ritzert (ALT 2017) — the paper's reference \[21\].
+//!
+//! Sublinear-time learning of first-order queries is impossible once
+//! degrees are unbounded, so \[21\] proposes a two-phase model: an `O(n)`
+//! *preprocessing* pass over the background structure (before any labelled
+//! example arrives), after which each example is evaluated in constant
+//! time. The result is proven for monadic second-order logic on strings —
+//! which the paper's conclusion singles out as the model to extend.
+//!
+//! This crate implements that model:
+//!
+//! * strings as logical structures, and their bridge into the workspace's
+//!   coloured-path encoding so the FO learners apply to them too
+//!   ([`word`]);
+//! * a deterministic-finite-automaton substrate with products,
+//!   complement, partition-refinement minimisation and equivalence
+//!   checking ([`dfa`]);
+//! * *regular position queries*: unary queries `w ↦ {positions}` given by
+//!   a DFA over the marked alphabet `Σ × {0,1}`; by the
+//!   Büchi–Elgot–Trakhtenbrot theorem these are **exactly** the
+//!   MSO-definable unary queries on strings, so representing hypotheses
+//!   as automata (instead of MSO syntax) is an equivalence, not a
+//!   shortcut ([`query`]);
+//! * the preprocessing scheme: `O(n·|Q|)` forward-state and
+//!   suffix-acceptance tables, after which each position classifies in
+//!   `O(1)` ([`query::Preprocessed`]);
+//! * ERM over a finite class of regular queries, in the two-phase model
+//!   ([`learn`]);
+//! * Angluin's L\* exact active learner for regular languages — the
+//!   *active* counterpart the paper's related work contrasts the
+//!   statistical setting against ([`lstar`]).
+
+pub mod dfa;
+pub mod learn;
+pub mod lstar;
+pub mod query;
+pub mod word;
+
+pub use dfa::Dfa;
+pub use query::{PositionQuery, Preprocessed};
+pub use word::Word;

@@ -1,0 +1,276 @@
+//! Angluin's L\* — exact active learning of regular languages.
+//!
+//! The paper positions itself against *active* learning ("many of these
+//! are concerned with active learning scenarios … whereas we are in a
+//! statistical learning setting", Related Work). This module makes the
+//! contrast concrete: where the statistical learners of `folearn` see
+//! only labelled examples, L\* converses with a teacher through
+//! *membership* and *equivalence* queries and identifies the target
+//! language **exactly**, with the minimal DFA, in polynomially many
+//! queries (Angluin 1987).
+//!
+//! The implementation is the classical observation-table algorithm with
+//! the counterexample handled by adding all its prefixes to the access
+//! strings.
+
+use std::collections::HashMap;
+
+use crate::dfa::Dfa;
+
+/// The teacher side of the protocol.
+pub trait Teacher {
+    /// Alphabet size.
+    fn sigma(&self) -> usize;
+    /// Membership query: is `word` in the target language?
+    fn member(&mut self, word: &[u8]) -> bool;
+    /// Equivalence query: `None` = the hypothesis is correct; otherwise a
+    /// counterexample word on which they differ.
+    fn equivalent(&mut self, hypothesis: &Dfa) -> Option<Vec<u8>>;
+}
+
+/// A teacher backed by a known target DFA (equivalence answered through
+/// the symmetric-difference product, returning a *shortest*
+/// counterexample). Counts queries for the experiments.
+pub struct DfaTeacher {
+    target: Dfa,
+    /// Membership queries asked so far.
+    pub membership_queries: usize,
+    /// Equivalence queries asked so far.
+    pub equivalence_queries: usize,
+}
+
+impl DfaTeacher {
+    /// Wrap a target automaton.
+    pub fn new(target: Dfa) -> Self {
+        Self {
+            target,
+            membership_queries: 0,
+            equivalence_queries: 0,
+        }
+    }
+}
+
+impl Teacher for DfaTeacher {
+    fn sigma(&self) -> usize {
+        self.target.sigma()
+    }
+
+    fn member(&mut self, word: &[u8]) -> bool {
+        self.membership_queries += 1;
+        self.target.accepts(word)
+    }
+
+    fn equivalent(&mut self, hypothesis: &Dfa) -> Option<Vec<u8>> {
+        self.equivalence_queries += 1;
+        let diff = self.target.product(hypothesis, |a, b| a != b);
+        diff.find_accepted_word()
+    }
+}
+
+/// Run L\*: returns the (minimal) DFA of the teacher's target language.
+pub fn lstar(teacher: &mut dyn Teacher) -> Dfa {
+    let sigma = teacher.sigma();
+    // Observation table: access strings S, experiments E, and the map
+    // row(s·e) = member(s·e).
+    let mut access: Vec<Vec<u8>> = vec![Vec::new()];
+    let mut experiments: Vec<Vec<u8>> = vec![Vec::new()];
+    let mut cache: HashMap<Vec<u8>, bool> = HashMap::new();
+
+    loop {
+        close_table(teacher, sigma, &mut access, &experiments, &mut cache);
+        let hypothesis = build_hypothesis(teacher, sigma, &access, &experiments, &mut cache);
+        match teacher.equivalent(&hypothesis) {
+            None => return hypothesis,
+            Some(cex) => {
+                // Add every prefix of the counterexample as an access
+                // string (Maler–Pnueli style handling keeps the table
+                // consistent by construction).
+                for end in 1..=cex.len() {
+                    let prefix = cex[..end].to_vec();
+                    if !access.contains(&prefix) {
+                        access.push(prefix);
+                    }
+                }
+                // Also add all suffixes as experiments to guarantee
+                // progress (Rivest–Schapire would add one; all is simpler
+                // and still polynomial).
+                for start in 0..cex.len() {
+                    let suffix = cex[start..].to_vec();
+                    if !experiments.contains(&suffix) {
+                        experiments.push(suffix);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn query(teacher: &mut dyn Teacher, cache: &mut HashMap<Vec<u8>, bool>, word: Vec<u8>) -> bool {
+    if let Some(&b) = cache.get(&word) {
+        return b;
+    }
+    let b = teacher.member(&word);
+    cache.insert(word, b);
+    b
+}
+
+fn row(
+    teacher: &mut dyn Teacher,
+    cache: &mut HashMap<Vec<u8>, bool>,
+    s: &[u8],
+    experiments: &[Vec<u8>],
+) -> Vec<bool> {
+    experiments
+        .iter()
+        .map(|e| {
+            let mut w = s.to_vec();
+            w.extend_from_slice(e);
+            query(teacher, cache, w)
+        })
+        .collect()
+}
+
+/// Ensure closedness: every one-letter extension of an access string has
+/// a row matched by some access string; otherwise promote the extension.
+fn close_table(
+    teacher: &mut dyn Teacher,
+    sigma: usize,
+    access: &mut Vec<Vec<u8>>,
+    experiments: &[Vec<u8>],
+    cache: &mut HashMap<Vec<u8>, bool>,
+) {
+    loop {
+        let rows: Vec<Vec<bool>> = access
+            .iter()
+            .map(|s| row(teacher, cache, s, experiments))
+            .collect();
+        let mut promoted = false;
+        'outer: for i in 0..access.len() {
+            for a in 0..sigma {
+                let mut ext = access[i].clone();
+                ext.push(a as u8);
+                let ext_row = row(teacher, cache, &ext, experiments);
+                if !rows.contains(&ext_row) && !access.contains(&ext) {
+                    access.push(ext);
+                    promoted = true;
+                    break 'outer;
+                }
+            }
+        }
+        if !promoted {
+            return;
+        }
+    }
+}
+
+fn build_hypothesis(
+    teacher: &mut dyn Teacher,
+    sigma: usize,
+    access: &[Vec<u8>],
+    experiments: &[Vec<u8>],
+    cache: &mut HashMap<Vec<u8>, bool>,
+) -> Dfa {
+    // Distinct rows become states; the representative is the first access
+    // string with that row.
+    let mut state_of_row: HashMap<Vec<bool>, u32> = HashMap::new();
+    let mut reps: Vec<Vec<u8>> = Vec::new();
+    let mut rows_of_access: Vec<Vec<bool>> = Vec::new();
+    for s in access {
+        let r = row(teacher, cache, s, experiments);
+        rows_of_access.push(r.clone());
+        if let std::collections::hash_map::Entry::Vacant(e) = state_of_row.entry(r) {
+            e.insert(reps.len() as u32);
+            reps.push(s.clone());
+        }
+    }
+    let n = reps.len();
+    let mut delta = vec![vec![0u32; sigma]; n];
+    let mut accepting = vec![false; n];
+    for (q, rep) in reps.iter().enumerate() {
+        accepting[q] = query(teacher, cache, rep.clone());
+        for (a, cell) in delta[q].iter_mut().enumerate() {
+            let mut ext = rep.clone();
+            ext.push(a as u8);
+            let r = row(teacher, cache, &ext, experiments);
+            // Closedness guarantees the row exists.
+            *cell = *state_of_row
+                .get(&r)
+                .expect("table is closed after close_table");
+        }
+    }
+    let start_row = rows_of_access[0].clone();
+    Dfa::new(delta, accepting, state_of_row[&start_row])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn learn(target: Dfa) -> (Dfa, usize, usize) {
+        let mut teacher = DfaTeacher::new(target.clone());
+        let learned = lstar(&mut teacher);
+        assert!(
+            learned.equivalent(&target),
+            "learned automaton differs from target"
+        );
+        (
+            learned,
+            teacher.membership_queries,
+            teacher.equivalence_queries,
+        )
+    }
+
+    #[test]
+    fn learns_contains() {
+        let (learned, _, eq) = learn(Dfa::contains(2, 1));
+        assert_eq!(learned.num_states(), 2);
+        assert!(eq <= 3);
+    }
+
+    #[test]
+    fn learns_modular_counting() {
+        let target = Dfa::count_mod(2, 0, 3, 1);
+        let (learned, members, _) = learn(target);
+        assert_eq!(learned.num_states(), 3); // minimal
+        assert!(members < 200, "used {members} membership queries");
+    }
+
+    #[test]
+    fn learns_products_minimally() {
+        // Intersection with 2×3 = 6 product states, but minimal size 6;
+        // L* must land on the minimal automaton.
+        let target = Dfa::count_mod(2, 0, 2, 0).intersect(&Dfa::count_mod(2, 1, 3, 0));
+        let minimal = target.minimize();
+        let (learned, _, _) = learn(target);
+        assert_eq!(learned.num_states(), minimal.num_states());
+    }
+
+    #[test]
+    fn learns_empty_and_full_languages() {
+        let (full, _, _) = learn(Dfa::all(2));
+        assert_eq!(full.num_states(), 1);
+        let (empty, _, _) = learn(Dfa::all(2).complement());
+        assert_eq!(empty.num_states(), 1);
+    }
+
+    #[test]
+    fn random_targets_are_learned_exactly() {
+        use rand::{Rng, SeedableRng};
+        for seed in 0..10u64 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let states = rng.random_range(2..6);
+            let sigma = 2usize;
+            let delta: Vec<Vec<u32>> = (0..states)
+                .map(|_| (0..sigma).map(|_| rng.random_range(0..states as u32)).collect())
+                .collect();
+            let accepting: Vec<bool> = (0..states).map(|_| rng.random_bool(0.5)).collect();
+            let target = Dfa::new(delta, accepting, 0);
+            let (learned, _, _) = learn(target.clone());
+            assert_eq!(
+                learned.num_states(),
+                target.minimize().num_states(),
+                "seed {seed}: not minimal"
+            );
+        }
+    }
+}

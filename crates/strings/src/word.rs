@@ -1,0 +1,139 @@
+//! Strings as logical structures.
+
+use folearn_graph::{Graph, GraphBuilder, Vocabulary, V};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A word over the alphabet `{0, …, sigma−1}`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Word {
+    letters: Vec<u8>,
+    sigma: u8,
+}
+
+impl Word {
+    /// A word from explicit letters.
+    ///
+    /// # Panics
+    /// Panics if a letter is `≥ sigma` or `sigma == 0`.
+    pub fn new(letters: Vec<u8>, sigma: u8) -> Self {
+        assert!(sigma >= 1);
+        assert!(letters.iter().all(|&l| l < sigma), "letter out of alphabet");
+        Self { letters, sigma }
+    }
+
+    /// Parse from ASCII letters `a, b, c, …` (alphabet size inferred as
+    /// the number of distinct letters allowed, `sigma`).
+    ///
+    /// # Panics
+    /// Panics on characters outside `a..` or beyond `sigma`.
+    pub fn from_ascii(text: &str, sigma: u8) -> Self {
+        let letters = text
+            .bytes()
+            .map(|b| {
+                assert!(b.is_ascii_lowercase(), "expected lowercase ascii letters");
+                b - b'a'
+            })
+            .collect();
+        Self::new(letters, sigma)
+    }
+
+    /// A seeded uniformly random word.
+    pub fn random(len: usize, sigma: u8, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self {
+            letters: (0..len).map(|_| rng.random_range(0..sigma)).collect(),
+            sigma,
+        }
+    }
+
+    /// Word length `n`.
+    pub fn len(&self) -> usize {
+        self.letters.len()
+    }
+
+    /// Whether the word is empty.
+    pub fn is_empty(&self) -> bool {
+        self.letters.is_empty()
+    }
+
+    /// Alphabet size.
+    pub fn sigma(&self) -> u8 {
+        self.sigma
+    }
+
+    /// The letter at a position.
+    pub fn letter(&self, pos: usize) -> u8 {
+        self.letters[pos]
+    }
+
+    /// The raw letters.
+    pub fn letters(&self) -> &[u8] {
+        &self.letters
+    }
+
+    /// The standard encoding as a coloured path: position `i` becomes
+    /// vertex `V(i)` with successor edges and one colour per letter — the
+    /// bridge that lets every graph learner in this workspace run on
+    /// strings (the word structure and the coloured path are
+    /// FO-interdefinable up to the ordering, which MSO/FO on successor
+    /// structures already lack).
+    pub fn to_colored_path(&self) -> Graph {
+        let vocab = Vocabulary::new(
+            (0..self.sigma).map(|l| format!("L{}", (b'a' + l) as char)),
+        );
+        let mut b = GraphBuilder::with_vertices(vocab, self.len());
+        for i in 1..self.len() {
+            b.add_edge(V(i as u32 - 1), V(i as u32));
+        }
+        for (i, &l) in self.letters.iter().enumerate() {
+            b.set_color(V(i as u32), folearn_graph::ColorId(u16::from(l)));
+        }
+        b.build()
+    }
+}
+
+impl std::fmt::Display for Word {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for &l in &self.letters {
+            write!(f, "{}", (b'a' + l) as char)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_round_trip() {
+        let w = Word::from_ascii("abba", 2);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.letter(0), 0);
+        assert_eq!(w.letter(1), 1);
+        assert_eq!(w.to_string(), "abba");
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        assert_eq!(Word::random(20, 3, 5), Word::random(20, 3, 5));
+        assert!(Word::random(50, 2, 1).letters().iter().all(|&l| l < 2));
+    }
+
+    #[test]
+    fn path_encoding_shape() {
+        let w = Word::from_ascii("aab", 2);
+        let g = w.to_colored_path();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_color(V(0), folearn_graph::ColorId(0)));
+        assert!(g.has_color(V(2), folearn_graph::ColorId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "letter out of alphabet")]
+    fn alphabet_checked() {
+        Word::new(vec![0, 3], 2);
+    }
+}

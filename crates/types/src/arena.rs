@@ -1,0 +1,171 @@
+//! Hash-consed storage of `q`-types.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use folearn_graph::Vocabulary;
+
+use crate::atomic::AtomicType;
+
+/// Identifier of a type within a [`TypeArena`]. Two tuples have the same
+/// type (over the arena's vocabulary) iff their computed `TypeId`s are
+/// equal — including tuples from *different graphs*.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TypeId(pub u32);
+
+impl TypeId {
+    /// The id's index into the arena.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A stored type: `tp_q(G, v̄)` for some graph and tuple.
+///
+/// `rank == 0` nodes carry only the atomic type; `rank ≥ 1` nodes also
+/// carry the *set* (sorted, deduplicated) of `rank − 1` types of all
+/// one-point extensions `v̄u`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct TypeNode {
+    /// Quantifier-rank budget `q` of this type.
+    pub rank: u16,
+    /// The counting cap the type was computed with (1 = classical FO).
+    /// Types with different caps are distinct objects: they answer
+    /// different families of quantifiers.
+    pub cap: u32,
+    /// Tuple arity `k`.
+    pub arity: u16,
+    /// The atomic type of the tuple.
+    pub atomic: AtomicType,
+    /// For `rank ≥ 1`: sorted child type ids (all of rank `rank − 1`,
+    /// arity `arity + 1`), one per distinct `(rank−1)`-type of a one-point
+    /// extension `v̄u`, *with multiplicities capped at the arena session's
+    /// counting cap*. Plain first-order types use cap 1, so every count is
+    /// 1 and the children form a set — the classical recursion. Counting
+    /// types (cap `t`) record how many witnesses realise each child type,
+    /// saturating at `t`, which is exactly the information counting
+    /// quantifiers `∃^{≥i}` with `i ≤ t` can access (FO+C, the extension
+    /// named in the paper's conclusion). Empty for `rank == 0`, and for
+    /// `rank ≥ 1` types of the empty tuple in the *empty* graph (the
+    /// `rank` field keeps those apart from rank-0 nodes).
+    pub children: Box<[(TypeId, u32)]>,
+}
+
+/// A hash-consing arena of types over one fixed vocabulary.
+///
+/// The arena grows monotonically; `TypeId`s are never invalidated.
+pub struct TypeArena {
+    vocab: Arc<Vocabulary>,
+    nodes: Vec<TypeNode>,
+    index: HashMap<TypeNode, TypeId>,
+}
+
+impl TypeArena {
+    /// A fresh arena for types over `vocab`.
+    pub fn new(vocab: Arc<Vocabulary>) -> Self {
+        Self {
+            vocab,
+            nodes: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// The vocabulary the arena's types speak about.
+    pub fn vocab(&self) -> &Arc<Vocabulary> {
+        &self.vocab
+    }
+
+    /// Number of distinct types interned so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Intern a node, returning its stable id.
+    pub fn intern(&mut self, node: TypeNode) -> TypeId {
+        if let Some(&id) = self.index.get(&node) {
+            return id;
+        }
+        let id = TypeId(u32::try_from(self.nodes.len()).expect("type arena overflow"));
+        self.nodes.push(node.clone());
+        self.index.insert(node, id);
+        id
+    }
+
+    /// Access a stored node.
+    ///
+    /// # Panics
+    /// Panics if the id is from a different arena (out of range).
+    #[inline]
+    pub fn node(&self, id: TypeId) -> &TypeNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Iterate over all `(id, node)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TypeId, &TypeNode)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (TypeId(i as u32), n))
+    }
+}
+
+impl std::fmt::Debug for TypeArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TypeArena({} types over {} colours)",
+            self.nodes.len(),
+            self.vocab.num_colors()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use folearn_graph::{generators, Vocabulary, V};
+
+    use crate::atomic::AtomicType;
+
+    use super::*;
+
+    #[test]
+    fn interning_dedups() {
+        let g = generators::path(4, Vocabulary::empty());
+        let mut arena = TypeArena::new(Arc::clone(g.vocab()));
+        let node = |t: &[V]| TypeNode {
+            rank: 0,
+            cap: 1,
+            arity: t.len() as u16,
+            atomic: AtomicType::of(&g, t),
+            children: Box::new([]),
+        };
+        let a = arena.intern(node(&[V(0), V(1)]));
+        let b = arena.intern(node(&[V(2), V(3)])); // same pattern
+        let c = arena.intern(node(&[V(0), V(2)])); // non-adjacent
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.node(a).arity, 2);
+    }
+
+    #[test]
+    fn iteration_matches_len() {
+        let g = generators::path(3, Vocabulary::empty());
+        let mut arena = TypeArena::new(Arc::clone(g.vocab()));
+        arena.intern(TypeNode {
+            rank: 0,
+            cap: 1,
+            arity: 1,
+            atomic: AtomicType::of(&g, &[V(0)]),
+            children: Box::new([]),
+        });
+        assert_eq!(arena.iter().count(), arena.len());
+        assert!(!arena.is_empty());
+    }
+}

@@ -1,0 +1,153 @@
+//! Whole-graph type censuses.
+//!
+//! Section 3 of the paper bounds hypothesis classes by
+//! `|H_{k,ℓ,q}(G)| = f(k,ℓ,q) · n^ℓ`: the formula part contributes a
+//! factor *independent of `n`* because there are only finitely many
+//! `q`-types. A census materialises that finiteness: it groups every
+//! `k`-tuple (or every vertex) of a graph by its type, which experiments
+//! E6/E9 use to measure `f` and which the learners use to build
+//! type-majority hypotheses.
+
+use std::collections::HashMap;
+
+use folearn_graph::{Graph, V};
+
+use crate::arena::{TypeArena, TypeId};
+use crate::compute::TypeComputer;
+use crate::local;
+
+/// Group all `k`-tuples of `g` by global `q`-type. Cost `O(n^k)` type
+/// computations — intended for small `k`.
+pub fn type_census(
+    g: &Graph,
+    arena: &mut TypeArena,
+    k: usize,
+    q: usize,
+) -> HashMap<TypeId, Vec<Vec<V>>> {
+    let mut out: HashMap<TypeId, Vec<Vec<V>>> = HashMap::new();
+    let mut computer = TypeComputer::new(g, arena);
+    let mut tuple = vec![V(0); k];
+    enumerate(g, &mut computer, &mut tuple, 0, q, &mut out);
+    out
+}
+
+fn enumerate(
+    g: &Graph,
+    computer: &mut TypeComputer<'_, '_>,
+    tuple: &mut Vec<V>,
+    pos: usize,
+    q: usize,
+    out: &mut HashMap<TypeId, Vec<Vec<V>>>,
+) {
+    if pos == tuple.len() {
+        let t = computer.type_of(tuple, q);
+        out.entry(t).or_default().push(tuple.clone());
+        return;
+    }
+    for v in g.vertices() {
+        tuple[pos] = v;
+        enumerate(g, computer, tuple, pos + 1, q, out);
+    }
+}
+
+/// Group all `k`-tuples by *local* `(q, r)`-type.
+pub fn local_type_census(
+    g: &Graph,
+    arena: &mut TypeArena,
+    k: usize,
+    q: usize,
+    r: usize,
+) -> HashMap<TypeId, Vec<Vec<V>>> {
+    let mut out: HashMap<TypeId, Vec<Vec<V>>> = HashMap::new();
+    let mut tuple = vec![V(0); k];
+    enumerate_local(g, arena, &mut tuple, 0, q, r, &mut out);
+    out
+}
+
+fn enumerate_local(
+    g: &Graph,
+    arena: &mut TypeArena,
+    tuple: &mut Vec<V>,
+    pos: usize,
+    q: usize,
+    r: usize,
+    out: &mut HashMap<TypeId, Vec<Vec<V>>>,
+) {
+    if pos == tuple.len() {
+        let t = local::local_type(g, arena, tuple, q, r);
+        out.entry(t).or_default().push(tuple.clone());
+        return;
+    }
+    for v in g.vertices() {
+        tuple[pos] = v;
+        enumerate_local(g, arena, tuple, pos + 1, q, r, out);
+    }
+}
+
+/// The number of distinct `q`-types of `k`-tuples realised in `g`.
+pub fn count_types(g: &Graph, arena: &mut TypeArena, k: usize, q: usize) -> usize {
+    type_census(g, arena, k, q).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use folearn_graph::{generators, Vocabulary};
+
+    use super::*;
+
+    #[test]
+    fn path_unary_types() {
+        // P_6, q = 1: one quantifier cannot tell path vertices apart —
+        // a single type. q = 2: endpoints / their neighbours / the two
+        // middle vertices — three types of size 2 each.
+        let g = generators::path(6, Vocabulary::empty());
+        let mut arena = TypeArena::new(Arc::clone(g.vocab()));
+        assert_eq!(type_census(&g, &mut arena, 1, 1).len(), 1);
+        let census = type_census(&g, &mut arena, 1, 2);
+        assert_eq!(census.len(), 3);
+        let sizes: Vec<usize> = {
+            let mut s: Vec<usize> = census.values().map(Vec::len).collect();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(sizes, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn census_covers_all_tuples() {
+        let g = generators::cycle(5, Vocabulary::empty());
+        let mut arena = TypeArena::new(Arc::clone(g.vocab()));
+        let census = type_census(&g, &mut arena, 2, 1);
+        let total: usize = census.values().map(Vec::len).sum();
+        assert_eq!(total, 25);
+    }
+
+    #[test]
+    fn type_count_stabilises_with_n() {
+        // The number of unary 1-types on paths stabilises at 2 as n grows —
+        // the finiteness that bounds f(k, ℓ, q).
+        let mut arena = TypeArena::new(Arc::new(Vocabulary::empty()));
+        let counts: Vec<usize> = [8, 12, 16, 24]
+            .into_iter()
+            .map(|n| {
+                let g = generators::path(n, Vocabulary::empty());
+                count_types(&g, &mut arena, 1, 2)
+            })
+            .collect();
+        assert_eq!(counts, vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn local_census_respects_radius() {
+        let g = generators::path(9, Vocabulary::empty());
+        let mut arena = TypeArena::new(Arc::clone(g.vocab()));
+        // q=2, r=1: endpoints (ball P_2) vs everything else (ball P_3).
+        let census = local_type_census(&g, &mut arena, 1, 2, 1);
+        assert_eq!(census.len(), 2);
+        // Larger radius reveals near-endpoint structure: three classes.
+        let census2 = local_type_census(&g, &mut arena, 1, 2, 2);
+        assert_eq!(census2.len(), 3);
+    }
+}

@@ -1,0 +1,289 @@
+//! Computing `tp_q(G, v̄)` by memoised back-and-forth recursion.
+
+use std::collections::HashMap;
+
+use folearn_graph::{Graph, V};
+
+use crate::arena::{TypeArena, TypeId, TypeNode};
+use crate::atomic::AtomicType;
+
+/// A type computation session for one graph.
+///
+/// The computer memoises `(tuple, rank) → TypeId` within the graph, and
+/// interns results into a shared [`TypeArena`], so types computed for
+/// different graphs (in different sessions over the same arena) remain
+/// comparable by id.
+///
+/// The *counting cap* generalises the recursion to first-order logic with
+/// counting (FO+C): children record how many one-point extensions realise
+/// each child type, saturating at the cap. Cap 1 is classical FO — two
+/// tuples get equal type ids iff they satisfy the same `FO[τ,q]` formulas;
+/// cap `t` decides all counting quantifiers `∃^{≥i}` with `i ≤ t` as well.
+///
+/// The cost of `type_of(v̄, q)` is `O(n^q)` tuple extensions — the
+/// finite-but-XP blow-up the paper's Section 2 normal form hides; all
+/// learner entry points confine it to bounded neighbourhoods or bounded
+/// `q`.
+pub struct TypeComputer<'g, 'a> {
+    graph: &'g Graph,
+    arena: &'a mut TypeArena,
+    cap: u32,
+    memo: HashMap<(Vec<V>, u16), TypeId>,
+}
+
+impl<'g, 'a> TypeComputer<'g, 'a> {
+    /// Start a classical FO session (counting cap 1) for `graph`.
+    ///
+    /// # Panics
+    /// Panics if the graph's vocabulary differs from the arena's.
+    pub fn new(graph: &'g Graph, arena: &'a mut TypeArena) -> Self {
+        Self::with_cap(graph, arena, 1)
+    }
+
+    /// Start a counting session: child multiplicities saturate at `cap`.
+    ///
+    /// # Panics
+    /// Panics if `cap == 0` or the vocabularies differ.
+    pub fn with_cap(graph: &'g Graph, arena: &'a mut TypeArena, cap: u32) -> Self {
+        assert!(cap >= 1, "the counting cap must be at least 1");
+        assert_eq!(
+            graph.vocab().as_ref(),
+            arena.vocab().as_ref(),
+            "graph and arena must share a vocabulary"
+        );
+        Self {
+            graph,
+            arena,
+            cap,
+            memo: HashMap::new(),
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Compute `tp_q(G, v̄)` (with this session's counting cap).
+    pub fn type_of(&mut self, tuple: &[V], q: usize) -> TypeId {
+        let rank = u16::try_from(q).expect("quantifier rank too large");
+        if let Some(&id) = self.memo.get(&(tuple.to_vec(), rank)) {
+            return id;
+        }
+        let id = self.compute(tuple, rank);
+        self.memo.insert((tuple.to_vec(), rank), id);
+        id
+    }
+
+    fn compute(&mut self, tuple: &[V], rank: u16) -> TypeId {
+        let atomic = AtomicType::of(self.graph, tuple);
+        let children: Box<[(TypeId, u32)]> = if rank == 0 {
+            Box::new([])
+        } else {
+            let mut ext = Vec::with_capacity(tuple.len() + 1);
+            ext.extend_from_slice(tuple);
+            ext.push(V(0));
+            let mut counts: HashMap<TypeId, u32> = HashMap::new();
+            for u in self.graph.vertices() {
+                *ext.last_mut().unwrap() = u;
+                let child = self.type_of(&ext, (rank - 1) as usize);
+                let c = counts.entry(child).or_insert(0);
+                *c = (*c + 1).min(self.cap);
+            }
+            let mut kids: Vec<(TypeId, u32)> = counts.into_iter().collect();
+            kids.sort_unstable();
+            kids.into_boxed_slice()
+        };
+        self.arena.intern(TypeNode {
+            rank,
+            cap: self.cap,
+            arity: tuple.len() as u16,
+            atomic,
+            children,
+        })
+    }
+}
+
+/// Convenience: compute a single classical (cap 1) type with a throwaway
+/// session.
+///
+/// ```
+/// use std::sync::Arc;
+/// use folearn_graph::{generators, Vocabulary, V};
+/// use folearn_types::{TypeArena, compute::type_of};
+///
+/// let g = generators::path(7, Vocabulary::empty());
+/// let mut arena = TypeArena::new(Arc::clone(g.vocab()));
+/// // Endpoints share a 2-type; the midpoint has a different one.
+/// assert_eq!(type_of(&g, &mut arena, &[V(0)], 2),
+///            type_of(&g, &mut arena, &[V(6)], 2));
+/// assert_ne!(type_of(&g, &mut arena, &[V(0)], 2),
+///            type_of(&g, &mut arena, &[V(3)], 2));
+/// ```
+pub fn type_of(g: &Graph, arena: &mut TypeArena, tuple: &[V], q: usize) -> TypeId {
+    TypeComputer::new(g, arena).type_of(tuple, q)
+}
+
+/// Convenience: compute a single counting type with a throwaway session.
+pub fn counting_type_of(
+    g: &Graph,
+    arena: &mut TypeArena,
+    tuple: &[V],
+    q: usize,
+    cap: u32,
+) -> TypeId {
+    TypeComputer::with_cap(g, arena, cap).type_of(tuple, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use folearn_graph::{generators, ops, ColorId, Vocabulary};
+
+    use super::*;
+
+    #[test]
+    fn rank_zero_equals_atomic() {
+        let g = generators::path(4, Vocabulary::empty());
+        let mut arena = TypeArena::new(Arc::clone(g.vocab()));
+        let a = type_of(&g, &mut arena, &[V(0), V(1)], 0);
+        let b = type_of(&g, &mut arena, &[V(1), V(2)], 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rank_two_distinguishes_degree() {
+        // One quantifier cannot count neighbours: on an uncoloured path
+        // all vertices share one 1-type (each sees "equal / adjacent /
+        // non-adjacent" extensions). Two quantifiers separate endpoints
+        // (degree 1) from midpoints via ∃y∃z (E(x,y) ∧ E(x,z) ∧ y ≠ z).
+        let g = generators::path(5, Vocabulary::empty());
+        let mut arena = TypeArena::new(Arc::clone(g.vocab()));
+        let mut c = TypeComputer::new(&g, &mut arena);
+        assert_eq!(c.type_of(&[V(0)], 1), c.type_of(&[V(2)], 1));
+        assert_eq!(c.type_of(&[V(0)], 2), c.type_of(&[V(4)], 2));
+        assert_ne!(c.type_of(&[V(0)], 2), c.type_of(&[V(2)], 2));
+    }
+
+    #[test]
+    fn rank_two_sees_distance_two_from_the_end() {
+        // tp_2 on a long path has exactly four unary classes: endpoints,
+        // distance 1, distance 2, and everything deeper (the pair types of
+        // (v, endpoint-side vertices) differ up to distance 2).
+        let g = generators::path(9, Vocabulary::empty());
+        let mut arena = TypeArena::new(Arc::clone(g.vocab()));
+        let mut c = TypeComputer::new(&g, &mut arena);
+        assert_eq!(c.type_of(&[V(1)], 1), c.type_of(&[V(2)], 1));
+        assert_ne!(c.type_of(&[V(1)], 2), c.type_of(&[V(2)], 2));
+        assert_ne!(c.type_of(&[V(2)], 2), c.type_of(&[V(3)], 2));
+        assert_eq!(c.type_of(&[V(3)], 2), c.type_of(&[V(4)], 2));
+        assert_eq!(c.type_of(&[V(3)], 2), c.type_of(&[V(5)], 2));
+    }
+
+    #[test]
+    fn counting_types_count_where_fo_cannot() {
+        // With one quantifier, FO types cannot separate "one neighbour"
+        // from "two neighbours" — counting types with cap 2 can.
+        let g = generators::path(5, Vocabulary::empty());
+        let mut arena = TypeArena::new(Arc::clone(g.vocab()));
+        let fo_end = type_of(&g, &mut arena, &[V(0)], 1);
+        let fo_mid = type_of(&g, &mut arena, &[V(2)], 1);
+        assert_eq!(fo_end, fo_mid);
+        let c_end = counting_type_of(&g, &mut arena, &[V(0)], 1, 2);
+        let c_mid = counting_type_of(&g, &mut arena, &[V(2)], 1, 2);
+        assert_ne!(c_end, c_mid);
+    }
+
+    #[test]
+    fn counting_cap_saturates() {
+        // Stars with 5 and 9 leaves: identical counting 1-types at cap 3
+        // (both have "≥3" leaf-neighbours), different at cap 7.
+        let g5 = generators::star(6, Vocabulary::empty());
+        let g9 = generators::star(10, Vocabulary::empty());
+        let mut arena = TypeArena::new(Arc::clone(g5.vocab()));
+        assert_eq!(
+            counting_type_of(&g5, &mut arena, &[V(0)], 1, 3),
+            counting_type_of(&g9, &mut arena, &[V(0)], 1, 3)
+        );
+        assert_ne!(
+            counting_type_of(&g5, &mut arena, &[V(0)], 1, 7),
+            counting_type_of(&g9, &mut arena, &[V(0)], 1, 7)
+        );
+    }
+
+    #[test]
+    fn cap_one_counting_equals_plain() {
+        let g = generators::random_tree(12, Vocabulary::empty(), 4);
+        let mut arena = TypeArena::new(Arc::clone(g.vocab()));
+        for v in g.vertices() {
+            assert_eq!(
+                type_of(&g, &mut arena, &[v], 2),
+                counting_type_of(&g, &mut arena, &[v], 2, 1)
+            );
+        }
+    }
+
+    #[test]
+    fn types_comparable_across_graphs() {
+        // The midpoint of a long path has the same 1-type in two paths of
+        // different length (both see: a non-adjacent vertex, an adjacent
+        // one, itself).
+        let vocab = Vocabulary::empty();
+        let g1 = generators::path(9, vocab.clone());
+        let g2 = generators::path(13, vocab);
+        let mut arena = TypeArena::new(Arc::clone(g1.vocab()));
+        let a = type_of(&g1, &mut arena, &[V(4)], 1);
+        let b = type_of(&g2, &mut arena, &[V(6)], 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn colors_affect_types() {
+        let base = generators::path(4, Vocabulary::new(["Red"]));
+        let g = generators::periodically_colored(&base, ColorId(0), 2);
+        let mut arena = TypeArena::new(Arc::clone(g.vocab()));
+        let red = type_of(&g, &mut arena, &[V(0)], 0);
+        let plain = type_of(&g, &mut arena, &[V(1)], 0);
+        assert_ne!(red, plain);
+    }
+
+    #[test]
+    fn isomorphism_invariance() {
+        let g = generators::cycle(6, Vocabulary::empty());
+        let perm: Vec<V> = vec![V(3), V(4), V(5), V(0), V(1), V(2)];
+        let h = ops::permute(&g, &perm);
+        let mut arena = TypeArena::new(Arc::clone(g.vocab()));
+        // New vertex i of h corresponds to old vertex perm[i].
+        let tg = type_of(&g, &mut arena, &[perm[0], perm[1]], 2);
+        let th = type_of(&h, &mut arena, &[V(0), V(1)], 2);
+        assert_eq!(tg, th);
+    }
+
+    #[test]
+    fn empty_tuple_sentence_types() {
+        // tp_2((), P_3) ≠ tp_2((), P_1): sentences can tell them apart.
+        let g1 = generators::path(3, Vocabulary::empty());
+        let g2 = generators::path(1, Vocabulary::empty());
+        let mut arena = TypeArena::new(Arc::clone(g1.vocab()));
+        let a = type_of(&g1, &mut arena, &[], 2);
+        let b = type_of(&g2, &mut arena, &[], 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a vocabulary")]
+    fn vocab_mismatch_panics() {
+        let g = generators::path(2, Vocabulary::new(["A"]));
+        let mut arena = TypeArena::new(Arc::new(Vocabulary::empty()));
+        TypeComputer::new(&g, &mut arena);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_cap_panics() {
+        let g = generators::path(2, Vocabulary::empty());
+        let mut arena = TypeArena::new(Arc::clone(g.vocab()));
+        TypeComputer::with_cap(&g, &mut arena, 0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Hintikka (characteristic) formulas of types.
+//!
+//! Every `q`-type `θ` of arity `k` has a characteristic formula
+//! `hin_θ(x_0 … x_{k−1})` of quantifier rank exactly `q` such that for all
+//! graphs `G` (over the vocabulary) and tuples `v̄`:
+//! `G ⊨ hin_θ(v̄) ⟺ tp_q(G, v̄) = θ`. This is how a learned type-set
+//! hypothesis is materialised back into the honest `FO[τ, q]` formula the
+//! ERM problem statement asks for: the hypothesis `Φ` becomes
+//! `⋁_{θ ∈ Φ} hin_θ`.
+//!
+//! The construction is the classical one:
+//!
+//! ```text
+//! hin(θ) = δ(θ) ∧ ⋀_{c ∈ children(θ)} ∃x_k hin(c)
+//!               ∧ ∀x_k ⋁_{c ∈ children(θ)} hin(c)
+//! ```
+//!
+//! where `δ(θ)` is the atomic description. At the root the description
+//! covers the whole tuple; in recursive calls it only describes the facts
+//! involving the freshly quantified position — ancestors pinned the rest.
+//!
+//! Sizes grow as `(#children)^q`; materialise formulas for small `q` (the
+//! learner's default path never needs to, it classifies on types).
+
+use folearn_graph::ColorId;
+use folearn_logic::{Formula, Var};
+
+use crate::arena::{TypeArena, TypeId, TypeNode};
+
+/// The characteristic formula of `tid`, with free variables
+/// `x_0 … x_{arity−1}` and quantifier rank equal to the type's rank.
+pub fn hintikka(arena: &TypeArena, tid: TypeId) -> Formula {
+    let node = arena.node(tid);
+    let full = atomic_description(arena, node, 0);
+    Formula::and([full, expansion(arena, node)])
+}
+
+/// The hypothesis formula of a type set: `⋁_{θ ∈ Φ} hin_θ`.
+pub fn type_set_formula(arena: &TypeArena, type_set: &[TypeId]) -> Formula {
+    Formula::or(type_set.iter().map(|&t| hintikka(arena, t)))
+}
+
+/// Characteristic formula describing only the facts that involve
+/// positions `≥ from` (plus recursion).
+fn hintikka_incremental(arena: &TypeArena, tid: TypeId, from: usize) -> Formula {
+    let node = arena.node(tid);
+    let delta = atomic_description(arena, node, from);
+    Formula::and([delta, expansion(arena, node)])
+}
+
+fn expansion(arena: &TypeArena, node: &TypeNode) -> Formula {
+    if node.rank == 0 {
+        return Formula::TRUE;
+    }
+    let fresh: Var = node.arity;
+    let new_pos = node.arity as usize;
+    let mut parts: Vec<Formula> = Vec::with_capacity(node.children.len() + 1);
+    for &(c, count) in node.children.iter() {
+        // cap 1 (classical FO): plain ∃. cap > 1 (FO+C): pin the capped
+        // multiplicity with ∃^{≥count} and, when unsaturated, ¬∃^{≥count+1}.
+        parts.push(Formula::counting_exists(
+            count,
+            fresh,
+            hintikka_incremental(arena, c, new_pos),
+        ));
+        if count < node.cap {
+            parts.push(
+                Formula::counting_exists(
+                    count + 1,
+                    fresh,
+                    hintikka_incremental(arena, c, new_pos),
+                )
+                .not(),
+            );
+        }
+    }
+    parts.push(Formula::forall(
+        fresh,
+        Formula::or(
+            node.children
+                .iter()
+                .map(|&(c, _)| hintikka_incremental(arena, c, new_pos)),
+        ),
+    ));
+    Formula::and(parts)
+}
+
+/// Atomic description of a node, restricted to literals touching a
+/// position `≥ from`.
+fn atomic_description(arena: &TypeArena, node: &TypeNode, from: usize) -> Formula {
+    let a = node.arity as usize;
+    let w = arena.vocab().words_per_vertex();
+    let mut lits = Vec::new();
+    for j in 0..a {
+        for i in 0..j {
+            if j < from {
+                continue;
+            }
+            let eq = Formula::Eq(i as Var, j as Var);
+            lits.push(if node.atomic.entries_equal(i, j) {
+                eq
+            } else {
+                eq.not()
+            });
+            let edge = Formula::Edge(i as Var, j as Var);
+            lits.push(if node.atomic.entries_adjacent(i, j) {
+                edge
+            } else {
+                edge.not()
+            });
+        }
+    }
+    for i in from..a {
+        for c in 0..arena.vocab().num_colors() {
+            let atom = Formula::Color(ColorId(c as u16), i as Var);
+            lits.push(if node.atomic.entry_has_color(i, c, w) {
+                atom
+            } else {
+                atom.not()
+            });
+        }
+    }
+    Formula::and(lits)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use folearn_graph::{generators, ColorId, Vocabulary, V};
+    use folearn_logic::eval;
+
+    use crate::arena::TypeArena;
+    use crate::compute::type_of;
+
+    use super::*;
+
+    fn colored_path() -> folearn_graph::Graph {
+        let g = generators::path(6, Vocabulary::new(["Red"]));
+        generators::periodically_colored(&g, ColorId(0), 3)
+    }
+
+    #[test]
+    fn characterises_exactly_its_type() {
+        let g = colored_path();
+        let mut arena = TypeArena::new(Arc::clone(g.vocab()));
+        for q in 0..=1 {
+            let types: Vec<_> = g
+                .vertices()
+                .map(|v| type_of(&g, &mut arena, &[v], q))
+                .collect();
+            for (v, &tv) in g.vertices().zip(&types) {
+                let hin = hintikka(&arena, tv);
+                assert_eq!(hin.quantifier_rank(), q);
+                assert_eq!(hin.free_vars(), vec![0]);
+                for (u, &tu) in g.vertices().zip(&types) {
+                    assert_eq!(
+                        eval::satisfies(&g, &hin, &[u]),
+                        tu == tv,
+                        "q={q} hin of {v} evaluated at {u}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn characterises_across_graphs() {
+        // The Hintikka formula of a P_3-endpoint type must reject clique
+        // vertices.
+        let p = generators::path(3, Vocabulary::empty());
+        let k = generators::clique(3, Vocabulary::empty());
+        let mut arena = TypeArena::new(Arc::clone(p.vocab()));
+        let t_end = type_of(&p, &mut arena, &[V(0)], 1);
+        let hin = hintikka(&arena, t_end);
+        assert!(eval::satisfies(&p, &hin, &[V(0)]));
+        assert!(!eval::satisfies(&k, &hin, &[V(0)]));
+    }
+
+    #[test]
+    fn pair_types_round_trip() {
+        let g = colored_path();
+        let mut arena = TypeArena::new(Arc::clone(g.vocab()));
+        let t = type_of(&g, &mut arena, &[V(0), V(1)], 1);
+        let hin = hintikka(&arena, t);
+        assert_eq!(hin.free_vars(), vec![0, 1]);
+        for u in g.vertices() {
+            for v in g.vertices() {
+                let same = type_of(&g, &mut arena, &[u, v], 1) == t;
+                assert_eq!(eval::satisfies(&g, &hin, &[u, v]), same, "{u},{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn type_set_formula_is_union() {
+        let g = colored_path();
+        let mut arena = TypeArena::new(Arc::clone(g.vocab()));
+        let q = 1;
+        let t0 = type_of(&g, &mut arena, &[V(0)], q);
+        let t3 = type_of(&g, &mut arena, &[V(3)], q);
+        let mut set = vec![t0, t3];
+        set.sort_unstable();
+        set.dedup();
+        let phi = type_set_formula(&arena, &set);
+        for v in g.vertices() {
+            let expected = set.contains(&type_of(&g, &mut arena, &[v], q));
+            assert_eq!(eval::satisfies(&g, &phi, &[v]), expected, "{v}");
+        }
+    }
+
+    #[test]
+    fn empty_type_set_is_false() {
+        let arena = TypeArena::new(Arc::new(Vocabulary::empty()));
+        assert_eq!(type_set_formula(&arena, &[]), Formula::FALSE);
+    }
+}

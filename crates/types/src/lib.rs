@@ -1,0 +1,42 @@
+//! First-order `q`-type machinery.
+//!
+//! Types are the paper's central tool (Section 2 "Types"): the `q`-type
+//! `tp_q(G, v̄)` of a `k`-tuple determines the satisfaction of every
+//! `FO[τ, q]`-formula with free variables among `x_1 … x_k`, and — up to
+//! logical equivalence — there are only finitely many such types.
+//!
+//! We realise types by the standard back-and-forth recursion
+//!
+//! ```text
+//! tp_0(G, v̄) = the atomic (quantifier-free) type of v̄
+//! tp_q(G, v̄) = ( tp_0(G, v̄), { tp_{q−1}(G, v̄u) | u ∈ V(G) } )
+//! ```
+//!
+//! hash-consed in a [`TypeArena`] so that type equality is id equality,
+//! *across graphs over the same vocabulary*. On top of this sit:
+//!
+//! * local types `ltp_{q,r}(G, v̄) = tp_q(𝒩_r(v̄), v̄)` and the Gaifman
+//!   radius `r(q)` of Fact 5 ([`local`]);
+//! * Hintikka (characteristic) formulas, turning a type — or a set of
+//!   types, i.e. a learned hypothesis — back into a genuine `FO[τ, q]`
+//!   formula ([`hintikka`]);
+//! * type-based model checking: evaluating a formula *on a type*, the
+//!   equivalence `G ⊨ φ(v̄) ⟺ tp_q(G, v̄) ∈ Φ_φ` made executable
+//!   ([`satisfies`]);
+//! * an independent Ehrenfeucht–Fraïssé game implementation used to
+//!   cross-check the arena ([`ef`]);
+//! * whole-graph type censuses for the experiments ([`census`]).
+
+pub mod arena;
+pub mod atomic;
+pub mod census;
+pub mod compute;
+pub mod ef;
+pub mod hintikka;
+pub mod local;
+pub mod satisfies;
+
+pub use arena::{TypeArena, TypeId, TypeNode};
+pub use atomic::AtomicType;
+pub use compute::TypeComputer;
+pub use local::{gaifman_radius, local_type};

@@ -1,0 +1,161 @@
+//! Local types `ltp_{q,r}` and the Gaifman radius of Fact 5.
+
+use folearn_graph::{bfs, ops, Graph, V};
+
+use crate::arena::{TypeArena, TypeId};
+use crate::compute::TypeComputer;
+
+/// The locality radius `r(q)` from the paper's Fact 5: if two tuples *of
+/// the same graph* have equal local `(q, r(q))`-types then they have equal
+/// `q`-types.
+///
+/// We use `r(q) = 4^q` (`r(0) = 1, r(1) = 4, r(2) = 16, …`), which is in
+/// `2^{O(q)}` as Fact 5 requires and independent of the vocabulary. Note
+/// that small radii genuinely fail: at `q = 1, r ≤ 2` there is a 4-vertex
+/// counterexample (`u—y, v—y, v—x` with `x, y` red: `u` has a non-adjacent
+/// red vertex, `v` does not, yet their radius-2 local types agree), so the
+/// exponential bound is not an artefact — the adversarial property test
+/// `gaifman_locality_fact5` probes this choice.
+pub fn gaifman_radius(q: usize) -> usize {
+    4usize.saturating_pow(q as u32)
+}
+
+/// The local type `ltp_{q,r}(G, v̄) = tp_q(𝒩_r^G(v̄), v̄)`: the `q`-type of
+/// the tuple *within its induced `r`-neighbourhood graph*.
+///
+/// Local types of different tuples/graphs are comparable through the
+/// shared arena; on sparse graphs their computation touches only the ball,
+/// which is what makes the Theorem 13 learner fixed-parameter tractable.
+pub fn local_type(g: &Graph, arena: &mut TypeArena, tuple: &[V], q: usize, r: usize) -> TypeId {
+    counting_local_type(g, arena, tuple, q, r, 1)
+}
+
+/// The counting variant of [`local_type`]: `ltp` over FO+C types with the
+/// given counting cap (cap 1 = classical).
+pub fn counting_local_type(
+    g: &Graph,
+    arena: &mut TypeArena,
+    tuple: &[V],
+    q: usize,
+    r: usize,
+    cap: u32,
+) -> TypeId {
+    let ball = bfs::ball(g, tuple, r);
+    let sub = ops::induced_subgraph(g, &ball);
+    let mapped = sub
+        .map_tuple(tuple)
+        .expect("tuple entries lie in their own ball");
+    TypeComputer::with_cap(&sub.graph, arena, cap).type_of(&mapped, q)
+}
+
+/// Compute local types for many tuples at once, reusing ball extraction
+/// for identical tuples; returns one `TypeId` per input tuple.
+pub fn local_types(
+    g: &Graph,
+    arena: &mut TypeArena,
+    tuples: &[Vec<V>],
+    q: usize,
+    r: usize,
+) -> Vec<TypeId> {
+    let mut cache: std::collections::HashMap<&[V], TypeId> = std::collections::HashMap::new();
+    let mut out = Vec::with_capacity(tuples.len());
+    for t in tuples {
+        let id = match cache.get(t.as_slice()) {
+            Some(&id) => id,
+            None => {
+                let id = local_type(g, arena, t, q, r);
+                cache.insert(t.as_slice(), id);
+                id
+            }
+        };
+        out.push(id);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use folearn_graph::{generators, ColorId, Vocabulary};
+
+    use crate::compute::type_of;
+
+    use super::*;
+
+    #[test]
+    fn radius_values() {
+        assert_eq!(gaifman_radius(0), 1);
+        assert_eq!(gaifman_radius(1), 4);
+        assert_eq!(gaifman_radius(2), 16);
+        assert_eq!(gaifman_radius(3), 64);
+    }
+
+    #[test]
+    fn local_type_ignores_far_structure() {
+        // A red vertex far away does not affect the (1,1)-local type.
+        let vocab = Vocabulary::new(["Red"]);
+        let plain = generators::path(9, vocab.clone());
+        let colored = generators::periodically_colored(&plain, ColorId(0), 8); // V(0), V(8)
+        let mut arena = TypeArena::new(Arc::clone(colored.vocab()));
+        let here = local_type(&colored, &mut arena, &[V(4)], 1, 1);
+        let plain_padded = folearn_graph::ops::pad_vocabulary(&plain, colored.vocab());
+        let there = local_type(&plain_padded, &mut arena, &[V(4)], 1, 1);
+        assert_eq!(here, there);
+        // But the *global* 1-type differs: the colours are visible.
+        let a = type_of(&colored, &mut arena, &[V(4)], 1);
+        let b = type_of(&plain_padded, &mut arena, &[V(4)], 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gaifman_fact5_on_small_paths() {
+        // Fact 5: equal ltp_{q, r(q)} implies equal tp_q. Exhaustive check
+        // for q = 1 on a coloured path.
+        let vocab = Vocabulary::new(["Red"]);
+        let base = generators::path(8, vocab);
+        let g = generators::periodically_colored(&base, ColorId(0), 3);
+        let q = 1;
+        let r = gaifman_radius(q);
+        let mut arena = TypeArena::new(Arc::clone(g.vocab()));
+        let verts: Vec<V> = g.vertices().collect();
+        for &u in &verts {
+            for &v in &verts {
+                let lu = local_type(&g, &mut arena, &[u], q, r);
+                let lv = local_type(&g, &mut arena, &[v], q, r);
+                if lu == lv {
+                    let tu = type_of(&g, &mut arena, &[u], q);
+                    let tv = type_of(&g, &mut arena, &[v], q);
+                    assert_eq!(tu, tv, "Fact 5 violated at {u},{v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_radius_breaks_locality() {
+        // With r = 0 the local type sees only the vertex itself, so path
+        // endpoints and midpoints collapse even though tp_2 differs —
+        // i.e. r below the Gaifman radius invalidates Fact 5.
+        let g = generators::path(5, Vocabulary::empty());
+        let mut arena = TypeArena::new(Arc::clone(g.vocab()));
+        let end = local_type(&g, &mut arena, &[V(0)], 2, 0);
+        let mid = local_type(&g, &mut arena, &[V(2)], 2, 0);
+        assert_eq!(end, mid);
+        assert_ne!(
+            type_of(&g, &mut arena, &[V(0)], 2),
+            type_of(&g, &mut arena, &[V(2)], 2)
+        );
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let g = generators::path(6, Vocabulary::empty());
+        let mut arena = TypeArena::new(Arc::clone(g.vocab()));
+        let tuples: Vec<Vec<V>> = vec![vec![V(0)], vec![V(3)], vec![V(0)]];
+        let batch = local_types(&g, &mut arena, &tuples, 1, 1);
+        assert_eq!(batch[0], batch[2]);
+        assert_eq!(batch[0], local_type(&g, &mut arena, &[V(0)], 1, 1));
+        assert_eq!(batch[1], local_type(&g, &mut arena, &[V(3)], 1, 1));
+    }
+}

@@ -1,0 +1,64 @@
+//! The splitter game: watching nowhere-denseness.
+//!
+//! Fact 4 (Grohe–Kreutzer–Siebertz): a class is nowhere dense iff
+//! Splitter wins the `(r, s)` game with `s` independent of the graph's
+//! order. We play the game on forests, bounded-degree graphs, grids and
+//! cliques with adversarial Connectors, and print the round counts — the
+//! boundary between FPT-learnable (Theorem 2) and hard is visible in the
+//! numbers.
+//!
+//! Run with: `cargo run --release --example splitter_game`
+
+use folearn_suite::graph::splitter::{
+    play_game, ForestSplitter, GreedySplitter, MaxBallConnector, SplitterStrategy,
+};
+use folearn_suite::graph::{generators, Graph, Vocabulary};
+
+fn play(name: &str, g: &Graph, splitter: &mut dyn SplitterStrategy, r: usize) {
+    let mut connector = MaxBallConnector;
+    let cap = g.num_vertices() + 5;
+    let result = play_game(g, r, splitter, &mut connector, cap);
+    let bound = splitter
+        .round_bound(r)
+        .map_or("—".to_string(), |b| b.to_string());
+    println!(
+        "{:<28} n={:<5} r={} rounds={:<4} bound={:<6} strategy={}",
+        name,
+        g.num_vertices(),
+        r,
+        result.rounds,
+        bound,
+        splitter.name()
+    );
+}
+
+fn main() {
+    let r = 2;
+    println!("splitter game, radius r = {r}, Connector = max-ball\n");
+
+    for n in [50usize, 200, 800] {
+        let g = generators::random_tree(n, Vocabulary::empty(), 1);
+        play("random tree", &g, &mut ForestSplitter, r);
+    }
+    println!();
+    for n in [50usize, 200, 800] {
+        let g = generators::bounded_degree_random(n, 3, 1.0, Vocabulary::empty(), 2);
+        play("random max-degree-3", &g, &mut GreedySplitter, r);
+    }
+    println!();
+    for side in [6usize, 12, 24] {
+        let g = generators::grid(side, side, Vocabulary::empty());
+        play("grid (planar)", &g, &mut GreedySplitter, r);
+    }
+    println!();
+    for n in [10usize, 20, 40] {
+        let g = generators::clique(n, Vocabulary::empty());
+        play("clique (dense!)", &g, &mut GreedySplitter, r);
+    }
+
+    println!(
+        "\nOn the nowhere dense classes the round count stays flat as n\n\
+         grows; on cliques it scales with n — Splitter has no winning\n\
+         strategy with bounded s, so Theorem 2 does not apply there."
+    );
+}

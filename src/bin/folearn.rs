@@ -1,0 +1,48 @@
+//! The `folearn` command-line tool: learn first-order queries, model-check
+//! sentences, play the splitter game, and census types over graphs in the
+//! text exchange format. See `folearn_suite::cli` for details and
+//! `folearn --help` for usage.
+
+use std::process::ExitCode;
+
+const HELP: &str = "\
+folearn — parameterized learning of first-order queries (PODS 2022)
+
+USAGE:
+  folearn learn      --graph G.txt --examples E.txt [--ell N] [--q N]
+                     [--solver brute|nd|local]
+                     [--mode global|local=R|counting=CAP|local-counting=R,CAP]
+  folearn modelcheck --graph G.txt --formula \"<sentence>\"
+  folearn splitter   --graph G.txt [--radius R]
+  folearn types      --graph G.txt [--q N] [--k N]
+  folearn dot        --graph G.txt
+
+Graph files use the line format:
+  colors Red Blue
+  vertices 5
+  edge 0 1
+  color 0 Red
+Example files label tuples, one per line:  '+ 3'  or  '- 2 4'
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprint!("{HELP}");
+        return ExitCode::FAILURE;
+    };
+    if command == "--help" || command == "-h" || command == "help" {
+        print!("{HELP}");
+        return ExitCode::SUCCESS;
+    }
+    match folearn_suite::cli::run(command, &args[1..]) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! Implementation of the `folearn` command-line tool.
+//!
+//! The binary (`src/bin/folearn.rs`) is a thin shell around this module so
+//! that argument parsing and command execution stay unit-testable.
+//!
+//! Subcommands:
+//!
+//! * `learn      --graph G.txt --examples E.txt [--ell N] [--q N] [--solver brute|nd|local] [--mode global|local=R|counting=CAP]`
+//! * `modelcheck --graph G.txt --formula "<sentence>"`
+//! * `splitter   --graph G.txt [--radius R]`
+//! * `types      --graph G.txt [--q N] [--k N]`
+//! * `dot        --graph G.txt`
+//!
+//! Graphs use the `folearn_graph::io` exchange format; example files have
+//! one example per line: a `+` or `-` label followed by the vertex indices
+//! of the tuple (`+ 3 7` labels the pair `(v3, v7)` positive).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use folearn::ndlearner::NdConfig;
+use folearn::problem::{ErmInstance, Example, TrainingSequence};
+use folearn::{shared_arena, solve_fo_erm, Solver, TypeMode};
+use folearn_graph::splitter::{play_game, GraphClass, MaxBallConnector};
+use folearn_graph::{io, Graph, V};
+use folearn_logic::{eval, parser};
+use folearn_types::census;
+
+/// A fatal CLI error (message for the user).
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Parsed command-line options: `--key value` pairs after the subcommand.
+#[derive(Debug, Default)]
+pub struct Options {
+    flags: HashMap<String, String>,
+}
+
+impl Options {
+    /// Parse `--key value` pairs.
+    pub fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut flags = HashMap::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let key = a
+                .strip_prefix("--")
+                .ok_or_else(|| err(format!("expected --flag, got {a:?}")))?;
+            let value = it
+                .next()
+                .ok_or_else(|| err(format!("--{key} needs a value")))?;
+            flags.insert(key.to_string(), value.clone());
+        }
+        Ok(Self { flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.get(key).ok_or_else(|| err(format!("missing --{key}")))
+    }
+
+    fn get_usize(&self, key: &str, default: usize) -> Result<usize, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(s) => s
+                .parse()
+                .map_err(|_| err(format!("--{key} expects a number, got {s:?}"))),
+        }
+    }
+}
+
+/// Parse an examples file: one example per line, `+`/`-` then vertex ids.
+pub fn parse_examples(text: &str, g: &Graph) -> Result<TrainingSequence, CliError> {
+    let mut seq = TrainingSequence::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let label = match parts.next() {
+            Some("+") => true,
+            Some("-") => false,
+            other => {
+                return Err(err(format!(
+                    "line {}: expected '+' or '-', got {other:?}",
+                    idx + 1
+                )))
+            }
+        };
+        let tuple: Vec<V> = parts
+            .map(|s| {
+                s.parse::<u32>()
+                    .map(V)
+                    .map_err(|_| err(format!("line {}: bad vertex id {s:?}", idx + 1)))
+            })
+            .collect::<Result<_, _>>()?;
+        if tuple.is_empty() {
+            return Err(err(format!("line {}: empty tuple", idx + 1)));
+        }
+        for &v in &tuple {
+            if v.index() >= g.num_vertices() {
+                return Err(err(format!("line {}: vertex {v} out of range", idx + 1)));
+            }
+        }
+        seq.push(Example::new(tuple, label));
+    }
+    if seq.is_empty() {
+        return Err(err("example file contains no examples"));
+    }
+    Ok(seq)
+}
+
+/// Parse a `--mode` string: `global`, `local=R`, `counting=CAP`, or
+/// `local-counting=R,CAP`.
+pub fn parse_mode(s: &str) -> Result<TypeMode, CliError> {
+    if s == "global" {
+        return Ok(TypeMode::Global);
+    }
+    if let Some(r) = s.strip_prefix("local=") {
+        let r = r.parse().map_err(|_| err("bad radius in --mode local=R"))?;
+        return Ok(TypeMode::Local { r });
+    }
+    if let Some(cap) = s.strip_prefix("counting=") {
+        let cap = cap
+            .parse()
+            .map_err(|_| err("bad cap in --mode counting=CAP"))?;
+        return Ok(TypeMode::GlobalCounting { cap });
+    }
+    if let Some(rest) = s.strip_prefix("local-counting=") {
+        let (r, cap) = rest
+            .split_once(',')
+            .ok_or_else(|| err("--mode local-counting=R,CAP"))?;
+        return Ok(TypeMode::LocalCounting {
+            r: r.parse().map_err(|_| err("bad radius"))?,
+            cap: cap.parse().map_err(|_| err("bad cap"))?,
+        });
+    }
+    Err(err(format!("unknown --mode {s:?}")))
+}
+
+fn load_graph(opts: &Options) -> Result<Graph, CliError> {
+    let path = opts.require("graph")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    io::parse_graph(&text).map_err(|e| err(format!("{path}: {e}")))
+}
+
+/// Run a subcommand; returns the text to print.
+pub fn run(command: &str, args: &[String]) -> Result<String, CliError> {
+    let opts = Options::parse(args)?;
+    match command {
+        "learn" => cmd_learn(&opts),
+        "modelcheck" => cmd_modelcheck(&opts),
+        "splitter" => cmd_splitter(&opts),
+        "types" => cmd_types(&opts),
+        "dot" => {
+            let g = load_graph(&opts)?;
+            Ok(io::to_dot(&g, "G"))
+        }
+        other => Err(err(format!(
+            "unknown command {other:?}; expected learn | modelcheck | splitter | types | dot"
+        ))),
+    }
+}
+
+fn cmd_learn(opts: &Options) -> Result<String, CliError> {
+    let g = load_graph(opts)?;
+    let examples_path = opts.require("examples")?;
+    let text = std::fs::read_to_string(examples_path)
+        .map_err(|e| err(format!("cannot read {examples_path}: {e}")))?;
+    let examples = parse_examples(&text, &g)?;
+    let k = examples.arity();
+    let ell = opts.get_usize("ell", 0)?;
+    let q = opts.get_usize("q", 1)?;
+    let mode = parse_mode(opts.get("mode").unwrap_or("global"))?;
+    let solver = match opts.get("solver").unwrap_or("brute") {
+        "brute" => Solver::BruteForce { mode },
+        "nd" => Solver::NowhereDense(NdConfig::default()),
+        "local" => Solver::LocalAccess {
+            param_radius: opts.get_usize("param-radius", 2)?,
+            type_radius: opts.get_usize("type-radius", 1)?,
+        },
+        other => return Err(err(format!("unknown --solver {other:?}"))),
+    };
+    let inst = ErmInstance::new(&g, examples, k, ell, q, 0.1);
+    let arena = shared_arena(&g);
+    let report = solve_fo_erm(&inst, &solver, &arena);
+    let mut out = String::new();
+    let _ = writeln!(out, "solver:          {}", report.solver_name);
+    let _ = writeln!(out, "training error:  {:.4}", report.error);
+    let _ = writeln!(out, "work units:      {}", report.work);
+    let _ = writeln!(out, "hypothesis:      {}", report.hypothesis.describe());
+    let phi = report.hypothesis.to_formula();
+    let rendered = parser::render(&phi, g.vocab());
+    let _ = writeln!(out, "formula (qr {}):", phi.quantifier_rank());
+    if rendered.len() > 2000 {
+        let cut = rendered
+            .char_indices()
+            .nth(2000)
+            .map_or(rendered.len(), |(i, _)| i);
+        let _ = writeln!(
+            out,
+            "  {} … ({} chars total)",
+            &rendered[..cut],
+            rendered.len()
+        );
+    } else {
+        let _ = writeln!(out, "  {rendered}");
+    }
+    Ok(out)
+}
+
+fn cmd_modelcheck(opts: &Options) -> Result<String, CliError> {
+    let g = load_graph(opts)?;
+    let formula = opts.require("formula")?;
+    let phi = parser::parse(formula, g.vocab()).map_err(|e| err(e.to_string()))?;
+    if !phi.is_sentence() {
+        return Err(err("modelcheck expects a sentence (no free variables)"));
+    }
+    let holds = eval::models(&g, &phi);
+    Ok(format!("G ⊨ φ: {holds}\n"))
+}
+
+fn cmd_splitter(opts: &Options) -> Result<String, CliError> {
+    let g = load_graph(opts)?;
+    let radius = opts.get_usize("radius", 2)?;
+    let class = GraphClass::Heuristic { assumed_rounds: 0 };
+    let mut strategy = class.make_splitter(&g);
+    let mut connector = MaxBallConnector;
+    let cap = g.num_vertices() + 5;
+    let result = play_game(&g, radius, strategy.as_mut(), &mut connector, cap);
+    Ok(format!(
+        "splitter game (r = {radius}, max-ball Connector): {} rounds, splitter {}\n",
+        result.rounds,
+        if result.splitter_won { "won" } else { "capped" }
+    ))
+}
+
+fn cmd_types(opts: &Options) -> Result<String, CliError> {
+    let g = load_graph(opts)?;
+    let q = opts.get_usize("q", 1)?;
+    let k = opts.get_usize("k", 1)?;
+    let arena = shared_arena(&g);
+    let mut a = arena.lock();
+    let groups = census::type_census(&g, &mut a, k, q);
+    let mut sizes: Vec<usize> = groups.values().map(Vec::len).collect();
+    sizes.sort_unstable_by(|x, y| y.cmp(x));
+    Ok(format!(
+        "{} distinct {q}-types of {k}-tuples on {} vertices; class sizes: {:?}\n",
+        groups.len(),
+        g.num_vertices(),
+        sizes
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use folearn_graph::{generators, Vocabulary};
+
+    use super::*;
+
+    fn write_graph(dir: &std::path::Path) -> std::path::PathBuf {
+        let g = generators::periodically_colored(
+            &generators::path(8, Vocabulary::new(["Red"])),
+            folearn_graph::ColorId(0),
+            3,
+        );
+        let p = dir.join("g.txt");
+        std::fs::write(&p, io::to_text(&g)).unwrap();
+        p
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("folearn-cli-test-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn parse_examples_round_trip() {
+        let g = generators::path(5, Vocabulary::empty());
+        let seq = parse_examples("+ 0\n- 1\n# comment\n+ 4\n", &g).unwrap();
+        assert_eq!(seq.len(), 3);
+        assert_eq!(seq.positives().count(), 2);
+        assert!(parse_examples("+ 9\n", &g).is_err());
+        assert!(parse_examples("x 1\n", &g).is_err());
+        assert!(parse_examples("", &g).is_err());
+    }
+
+    #[test]
+    fn parse_mode_variants() {
+        assert_eq!(parse_mode("global").unwrap(), TypeMode::Global);
+        assert_eq!(parse_mode("local=3").unwrap(), TypeMode::Local { r: 3 });
+        assert_eq!(
+            parse_mode("counting=2").unwrap(),
+            TypeMode::GlobalCounting { cap: 2 }
+        );
+        assert_eq!(
+            parse_mode("local-counting=2,3").unwrap(),
+            TypeMode::LocalCounting { r: 2, cap: 3 }
+        );
+        assert!(parse_mode("nonsense").is_err());
+    }
+
+    #[test]
+    fn options_parsing() {
+        let args: Vec<String> = ["--graph", "g.txt", "--q", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = Options::parse(&args).unwrap();
+        assert_eq!(o.require("graph").unwrap(), "g.txt");
+        assert_eq!(o.get_usize("q", 1).unwrap(), 2);
+        assert_eq!(o.get_usize("k", 1).unwrap(), 1);
+        assert!(Options::parse(&["--key".to_string()]).is_err());
+        assert!(Options::parse(&["bare".to_string()]).is_err());
+    }
+
+    #[test]
+    fn learn_command_end_to_end() {
+        let dir = tmpdir("learn");
+        let gpath = write_graph(&dir);
+        // Label "is red" over the striped path (reds at 0, 3, 6).
+        let epath = dir.join("e.txt");
+        std::fs::write(&epath, "+ 0\n+ 3\n+ 6\n- 1\n- 2\n- 4\n- 5\n- 7\n").unwrap();
+        let args: Vec<String> = [
+            "--graph",
+            gpath.to_str().unwrap(),
+            "--examples",
+            epath.to_str().unwrap(),
+            "--q",
+            "0",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let out = run("learn", &args).unwrap();
+        assert!(out.contains("training error:  0.0000"), "{out}");
+        assert!(out.contains("Red"), "{out}");
+    }
+
+    #[test]
+    fn modelcheck_command() {
+        let dir = tmpdir("mc");
+        let gpath = write_graph(&dir);
+        let args: Vec<String> = [
+            "--graph",
+            gpath.to_str().unwrap(),
+            "--formula",
+            "exists x0. Red(x0)",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let out = run("modelcheck", &args).unwrap();
+        assert!(out.contains("true"));
+        // Free variables are rejected.
+        let args2: Vec<String> = [
+            "--graph",
+            gpath.to_str().unwrap(),
+            "--formula",
+            "Red(x0)",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert!(run("modelcheck", &args2).is_err());
+    }
+
+    #[test]
+    fn types_and_splitter_and_dot_commands() {
+        let dir = tmpdir("misc");
+        let gpath = write_graph(&dir);
+        let base: Vec<String> = ["--graph", gpath.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let types = run("types", &base).unwrap();
+        assert!(types.contains("distinct 1-types"));
+        let splitter = run("splitter", &base).unwrap();
+        assert!(splitter.contains("rounds"));
+        let dot = run("dot", &base).unwrap();
+        assert!(dot.starts_with("graph G {"));
+        assert!(run("bogus", &base).is_err());
+    }
+}

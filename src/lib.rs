@@ -1,0 +1,15 @@
+//! Facade crate for the `folearn` workspace.
+//!
+//! Re-exports every sub-crate so examples and integration tests can use a
+//! single dependency. See the workspace `README.md` for a tour and
+//! `DESIGN.md` for the paper-to-code mapping.
+
+pub mod cli;
+
+pub use folearn as core;
+pub use folearn_graph as graph;
+pub use folearn_hardness as hardness;
+pub use folearn_logic as logic;
+pub use folearn_relational as relational;
+pub use folearn_strings as strings;
+pub use folearn_types as types;

@@ -1,0 +1,177 @@
+//! Cross-crate integration tests: the full learn → formula → evaluate
+//! pipeline, the hardness reduction against direct model checking, and
+//! relational round trips.
+
+use folearn_suite::core::bruteforce::{brute_force_erm, optimal_error};
+use folearn_suite::core::fit::TypeMode;
+use folearn_suite::core::ndlearner::{nd_learn, FinalRule, NdConfig, SearchMode};
+use folearn_suite::core::problem::{ErmInstance, TrainingSequence};
+use folearn_suite::core::realizable::realizable_k1;
+use folearn_suite::core::shared_arena;
+use folearn_suite::graph::splitter::GraphClass;
+use folearn_suite::graph::{generators, ColorId, Vocabulary, V};
+use folearn_suite::hardness::{model_check_via_erm, BruteForceOracle};
+use folearn_suite::logic::{eval, parse};
+use folearn_suite::relational::demo::employees;
+use folearn_suite::relational::{encode_instance, translate_query};
+use folearn_suite::relational::schema::RelFormula;
+
+fn red_tree(n: usize, stride: usize, seed: u64) -> folearn_suite::graph::Graph {
+    let tree = generators::random_tree(n, Vocabulary::new(["Red"]), seed);
+    generators::periodically_colored(&tree, ColorId(0), stride)
+}
+
+#[test]
+fn learned_formula_round_trips_through_the_evaluator() {
+    // Learn, materialise the formula, re-evaluate it with the naive
+    // model checker, and demand pointwise agreement with the hypothesis.
+    let g = red_tree(18, 4, 3);
+    let target = |t: &[V]| {
+        g.neighbors(t[0])
+            .iter()
+            .any(|&w| g.has_color(V(w), ColorId(0)))
+    };
+    let examples = TrainingSequence::label_all_tuples(&g, 1, target);
+    let inst = ErmInstance::new(&g, examples, 1, 0, 1, 0.0);
+    let arena = shared_arena(&g);
+    let res = brute_force_erm(&inst, TypeMode::Global, &arena);
+    assert_eq!(res.error, 0.0);
+    let phi = res.hypothesis.to_formula();
+    for v in g.vertices() {
+        assert_eq!(
+            eval::satisfies(&g, &phi, &[v]),
+            target(&[v]),
+            "formula disagrees at {v}"
+        );
+    }
+}
+
+#[test]
+fn nd_learner_matches_brute_force_quality_on_trees() {
+    for seed in [1u64, 5, 9] {
+        let g = generators::random_tree(18, Vocabulary::empty(), seed);
+        let w = V((seed as u32 * 7) % 18);
+        let target = |t: &[V]| t[0] == w || g.has_edge(t[0], w);
+        let examples = TrainingSequence::label_all_tuples(&g, 1, target);
+        let inst = ErmInstance::new(&g, examples, 1, 1, 1, 0.2);
+        let arena = shared_arena(&g);
+        let eps_star = optimal_error(&inst, &arena);
+        let cfg = NdConfig {
+            class: GraphClass::Forest,
+            search: SearchMode::Exhaustive,
+            final_rule: FinalRule::LocalAuto,
+            locality_radius: Some(1),
+            max_rounds: Some(3),
+            max_branches: 150,
+        };
+        let report = nd_learn(&inst, &cfg, &arena);
+        assert!(
+            report.error <= eps_star + inst.epsilon + 1e-9,
+            "seed {seed}: err {} > ε* {} + ε {}",
+            report.error,
+            eps_star,
+            inst.epsilon
+        );
+    }
+}
+
+#[test]
+fn reduction_agrees_with_direct_mc_on_a_sentence_suite() {
+    let g = red_tree(8, 3, 11);
+    let vocab = g.vocab().as_ref().clone();
+    let sentences = [
+        "exists x0. Red(x0) & forall x1. E(x0, x1) -> !Red(x1)",
+        "forall x0. exists x1. E(x0, x1)",
+        "exists x0. forall x1. E(x0, x1) -> Red(x1)",
+    ];
+    for s in sentences {
+        let phi = parse(s, &vocab).unwrap();
+        let mut oracle = BruteForceOracle::new();
+        let report = model_check_via_erm(&g, &phi, &mut oracle);
+        assert_eq!(report.result, eval::models(&g, &phi), "on {s}");
+    }
+}
+
+#[test]
+fn realizable_learner_agrees_with_brute_force() {
+    let g = generators::star(11, Vocabulary::empty());
+    let center = V(0);
+    let target = |t: &[V]| g.has_edge(t[0], center);
+    let examples = TrainingSequence::label_all_tuples(&g, 1, target);
+    // Algorithm 2 path:
+    let vocab = g.vocab().as_ref().clone();
+    let candidates = vec![parse("E(x0, x1)", &vocab).unwrap()];
+    let res = realizable_k1(&g, &examples, &candidates, 1).expect("realisable");
+    assert_eq!(res.params, vec![center]);
+    // Brute-force path:
+    let inst = ErmInstance::new(&g, examples, 1, 1, 1, 0.0);
+    let arena = shared_arena(&g);
+    let bf = brute_force_erm(&inst, TypeMode::Global, &arena);
+    assert_eq!(bf.error, 0.0);
+    for v in g.vertices() {
+        let via_formula = {
+            let mut a = eval::Assignment::from_tuple(&[v]);
+            a.set(1, res.params[0]);
+            eval::eval(&g, &res.formula, &mut a)
+        };
+        assert_eq!(via_formula, bf.hypothesis.predict(&g, &[v]), "at {v}");
+    }
+}
+
+#[test]
+fn relational_learning_end_to_end() {
+    // Learn "is senior or managed by a senior" over the demo database,
+    // through the incidence encoding.
+    let (inst, rels) = employees();
+    let intent = RelFormula::Or(vec![
+        RelFormula::Atom(rels.senior, vec![0]),
+        RelFormula::Exists(
+            1,
+            Box::new(RelFormula::And(vec![
+                RelFormula::Atom(rels.manages, vec![1, 0]),
+                RelFormula::Atom(rels.senior, vec![1]),
+            ])),
+        ),
+    ]);
+    let enc = encode_instance(&inst);
+    let translated = translate_query(&intent, &enc);
+    // Sanity: translation preserved satisfaction.
+    for e in inst.elements() {
+        assert_eq!(
+            intent.satisfies(&inst, &[e]),
+            eval::satisfies(&enc.graph, &translated, &[enc.element_vertex(e)])
+        );
+    }
+    // Learn from the labels.
+    let labelled = inst
+        .elements()
+        .map(|e| (vec![e], intent.satisfies(&inst, &[e])));
+    let examples = enc.to_training_sequence(labelled);
+    let q = translated.quantifier_rank();
+    let erm = ErmInstance::new(&enc.graph, examples, 1, 0, q, 0.0);
+    let arena = shared_arena(&enc.graph);
+    let res = brute_force_erm(&erm, TypeMode::Global, &arena);
+    assert_eq!(res.error, 0.0, "intent of rank {q} must be fit exactly");
+    for e in inst.elements() {
+        assert_eq!(
+            res.hypothesis.predict(&enc.graph, &[enc.element_vertex(e)]),
+            intent.satisfies(&inst, &[e]),
+            "element {e}"
+        );
+    }
+}
+
+#[test]
+fn pair_query_with_parameter_end_to_end() {
+    // k = 2 and ℓ = 1: learn "x0 and x1 are both adjacent to w".
+    let g = generators::star(8, Vocabulary::empty());
+    let w = V(0);
+    let target = |t: &[V]| g.has_edge(t[0], w) && g.has_edge(t[1], w);
+    let examples = TrainingSequence::label_all_tuples(&g, 2, target);
+    let inst = ErmInstance::new(&g, examples, 2, 1, 0, 0.0);
+    let arena = shared_arena(&g);
+    let res = brute_force_erm(&inst, TypeMode::Global, &arena);
+    assert_eq!(res.error, 0.0);
+    assert!(res.hypothesis.predict(&g, &[V(1), V(2)]));
+    assert!(!res.hypothesis.predict(&g, &[V(0), V(2)]));
+}
