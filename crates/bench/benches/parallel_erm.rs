@@ -1,0 +1,56 @@
+//! Criterion bench for E16: the parallel brute-force ERM engine against
+//! the sequential reference, on an `ℓ = 2`, `n = 64` instance (4096
+//! parameter tuples). Axes: thread count and pruning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use folearn::bruteforce::{
+    brute_force_erm_sequential, brute_force_erm_with, BruteForceOpts,
+};
+use folearn::fit::TypeMode;
+use folearn::problem::{ErmInstance, TrainingSequence};
+use folearn::shared_arena;
+use folearn_graph::V;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_erm");
+    group.sample_size(10);
+    let n = 64usize;
+    let g = folearn_bench::red_tree(n, 4, 11);
+    // Pseudo-random labels: unrealisable, so no early perfect-fit exit
+    // and the engines sweep (or prune within) all n^2 tuples.
+    let examples = TrainingSequence::label_all_tuples(&g, 1, |t: &[V]| {
+        (t[0].0 * 2654435761) % 7 < 3
+    });
+    let inst = ErmInstance::new(&g, examples, 1, 2, 1, 0.0);
+    let mode = TypeMode::Local { r: 1 };
+
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let arena = shared_arena(&g);
+            brute_force_erm_sequential(&inst, mode, &arena)
+        })
+    });
+    for threads in [1usize, 2, 4] {
+        for (tag, prune) in [("prune", true), ("noprune", false)] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("parallel-{tag}"), threads),
+                &threads,
+                |b, &t| {
+                    let opts = BruteForceOpts {
+                        threads: Some(t),
+                        prune,
+                        block_size: None,
+                    };
+                    b.iter(|| {
+                        let arena = shared_arena(&g);
+                        brute_force_erm_with(&inst, mode, &arena, &opts)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

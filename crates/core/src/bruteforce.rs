@@ -1,4 +1,4 @@
-//! Brute-force ERM — Proposition 11 / Algorithm 1.
+//! Brute-force ERM — Proposition 11 / Algorithm 1, as a parallel sweep.
 //!
 //! For constant `ℓ`, trying all `n^ℓ` parameter tuples and, for each,
 //! minimising over formulas is fixed-parameter tractable whenever model
@@ -6,16 +6,82 @@
 //! [`crate::fit`]), so this solver computes the *true optimum* `ε*` over
 //! `H_{k,ℓ,q}(G)` — which is also how every other learner in this
 //! workspace is validated.
+//!
+//! # Execution model
+//!
+//! The parameter space `0..n^ℓ` (tuple `i` = digits of `i` base `n`,
+//! most-significant first — exactly [`ParamTuples`] order) is swept in
+//! blocks by a worker pool ([`rayon::sweep::worker_sweep`]). Three design
+//! points keep the parallel result *bit-identical* to the sequential scan:
+//!
+//! * **Sharded arenas.** Each worker interns types into a private
+//!   [`TypeArena`] instead of contending on the caller's mutex. The
+//!   misclassification count of a tuple does not depend on how types are
+//!   numbered, so worker arenas are simply dropped after the sweep and the
+//!   winning tuple is re-fit once against the caller's shared arena.
+//! * **Monotone pruning.** Workers share an atomic best-count bound; per
+//!   tuple, the example tally aborts as soon as the running count strictly
+//!   exceeds it ([`crate::fit::misclassifications_bounded`]). The running
+//!   count is monotone in the example stream, so a tuple tying or beating
+//!   the optimum is never aborted — pruning cannot change the result.
+//! * **Deterministic tie-breaking.** Candidates are merged by minimising
+//!   the pair `(count, tuple index)`, so the lowest-index optimum wins no
+//!   matter how blocks were scheduled — the same tuple the sequential
+//!   first-strictly-better scan returns. A perfect fit (`count == 0`)
+//!   publishes its index through a second atomic; workers skip indices
+//!   above the smallest published one, which converges to the global
+//!   minimum perfect index.
+//!
+//! Only the *counters* ([`BruteForceResult::evaluated_params`] /
+//! [`BruteForceResult::pruned_params`]) depend on scheduling: how many
+//! tuples a worker tallies before observing a bound published by another
+//! worker is timing-dependent. With one thread (or pruning off) they are
+//! deterministic too.
 
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use folearn_graph::V;
 use folearn_types::TypeArena;
 use parking_lot::Mutex;
 
-use crate::fit::{fit_with_params, optimal_error_given_params, TypeMode};
+use crate::fit::{
+    error_rate, fit_with_params_counted, misclassifications_bounded, TypeMode,
+};
 use crate::hypothesis::Hypothesis;
 use crate::problem::ErmInstance;
+
+/// Tuning knobs for the parallel brute-force sweep.
+///
+/// The default configuration (ambient thread count, pruning on) is what
+/// [`brute_force_erm`] uses. Every configuration returns the same
+/// hypothesis and error; the knobs only trade wall-clock for work
+/// accounting.
+#[derive(Clone, Debug)]
+pub struct BruteForceOpts {
+    /// Worker threads: `None` inherits the ambient rayon thread count
+    /// (respects an enclosing `ThreadPool::install`), `Some(0)` means one
+    /// per core, `Some(t)` exactly `t`.
+    pub threads: Option<usize>,
+    /// Share a best-count bound across workers and abort per-tuple
+    /// tallies that provably exceed it. Never changes the optimum; see
+    /// the module docs for why.
+    pub prune: bool,
+    /// Tuple indices per dispatched block; `None` picks a size balancing
+    /// dispatch overhead against load balance.
+    pub block_size: Option<usize>,
+}
+
+impl Default for BruteForceOpts {
+    fn default() -> Self {
+        Self {
+            threads: None,
+            prune: true,
+            block_size: None,
+        }
+    }
+}
 
 /// Outcome of a brute-force search.
 #[derive(Debug)]
@@ -24,43 +90,206 @@ pub struct BruteForceResult {
     pub hypothesis: Hypothesis,
     /// Its training error (`= ε*` for exhaustive search in global mode).
     pub error: f64,
-    /// Number of parameter tuples evaluated.
+    /// Parameter tuples whose tally ran to completion.
     pub evaluated_params: usize,
+    /// Parameter tuples abandoned early: their running misclassification
+    /// count exceeded the shared bound partway through the examples.
+    /// `evaluated_params + pruned_params` is the number of tuples touched.
+    pub pruned_params: usize,
 }
 
 /// Exhaustive ERM over all parameter tuples `w̄ ∈ V(G)^ℓ` (Algorithm 1).
-/// Runs in `O(n^ℓ · m · type-cost)`; stops early on a perfect fit.
+/// Runs in `O(n^ℓ · m · type-cost)` total work, parallelised over tuples;
+/// stops early on a perfect fit. Equivalent to
+/// [`brute_force_erm_with`] under [`BruteForceOpts::default`].
 pub fn brute_force_erm(
     inst: &ErmInstance<'_>,
     mode: TypeMode,
     arena: &Arc<Mutex<TypeArena>>,
 ) -> BruteForceResult {
+    brute_force_erm_with(inst, mode, arena, &BruteForceOpts::default())
+}
+
+/// [`brute_force_erm`] with explicit engine knobs.
+pub fn brute_force_erm_with(
+    inst: &ErmInstance<'_>,
+    mode: TypeMode,
+    arena: &Arc<Mutex<TypeArena>>,
+    opts: &BruteForceOpts,
+) -> BruteForceResult {
+    match opts.threads {
+        None => sweep(inst, mode, arena, opts),
+        Some(t) => rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build()
+            .expect("building a thread pool cannot fail")
+            .install(|| sweep(inst, mode, arena, opts)),
+    }
+}
+
+/// Per-worker sweep state: a private arena plus the worker's running
+/// champion and work counters.
+struct Worker {
+    arena: TypeArena,
+    params: Vec<V>,
+    /// Best `(misclassification count, tuple index)` seen by this worker.
+    best: Option<(usize, usize)>,
+    evaluated: usize,
+    pruned: usize,
+}
+
+fn sweep(
+    inst: &ErmInstance<'_>,
+    mode: TypeMode,
+    arena: &Arc<Mutex<TypeArena>>,
+    opts: &BruteForceOpts,
+) -> BruteForceResult {
     let g = inst.graph;
-    let mut best: Option<(f64, Vec<V>)> = None;
+    let n = g.num_vertices();
+    let ell = inst.ell;
+    let q = inst.q;
+    let examples = &inst.examples;
+    let total = n
+        .checked_pow(u32::try_from(ell).expect("ℓ overflows u32"))
+        .expect("parameter space n^ℓ overflows usize");
+    assert!(total > 0, "parameter enumeration is never empty");
+    let vocab = Arc::clone(arena.lock().vocab());
+    let block = opts
+        .block_size
+        .unwrap_or_else(|| rayon::sweep::default_block_size(total));
+    let prune = opts.prune;
+
+    // Best completed misclassification count across all workers (an upper
+    // bound on the optimum at all times), and the smallest index known to
+    // fit perfectly (`usize::MAX` = none yet).
+    let best_bound = AtomicUsize::new(usize::MAX);
+    let perfect = AtomicUsize::new(usize::MAX);
+
+    let states = rayon::sweep::worker_sweep(
+        total,
+        block,
+        |_| Worker {
+            arena: TypeArena::new(Arc::clone(&vocab)),
+            params: vec![V(0); ell],
+            best: None,
+            evaluated: 0,
+            pruned: 0,
+        },
+        |w, range| {
+            for idx in range {
+                if idx > perfect.load(Ordering::Relaxed) {
+                    // Some index ≤ idx fits perfectly; this worker only
+                    // gets higher indices from here on.
+                    return ControlFlow::Break(());
+                }
+                decode_param_tuple(idx, n, &mut w.params);
+                let bound = if prune {
+                    best_bound.load(Ordering::Relaxed)
+                } else {
+                    usize::MAX
+                };
+                match misclassifications_bounded(
+                    g,
+                    examples,
+                    &w.params,
+                    q,
+                    mode,
+                    &mut w.arena,
+                    bound,
+                ) {
+                    Some(wrong) => {
+                        w.evaluated += 1;
+                        if w.best.is_none_or(|b| (wrong, idx) < b) {
+                            w.best = Some((wrong, idx));
+                        }
+                        best_bound.fetch_min(wrong, Ordering::Relaxed);
+                        if wrong == 0 {
+                            perfect.fetch_min(idx, Ordering::Relaxed);
+                            return ControlFlow::Break(());
+                        }
+                    }
+                    None => w.pruned += 1,
+                }
+            }
+            ControlFlow::Continue(())
+        },
+    );
+
     let mut evaluated = 0usize;
-    for params in ParamTuples::new(g.num_vertices(), inst.ell) {
-        evaluated += 1;
-        let err =
-            optimal_error_given_params(g, &inst.examples, &params, inst.q, mode, arena);
-        let better = match &best {
-            None => true,
-            Some((e, _)) => err < *e,
-        };
-        if better {
-            best = Some((err, params.clone()));
-            if err == 0.0 {
-                break;
+    let mut pruned = 0usize;
+    let mut best: Option<(usize, usize)> = None;
+    for w in states {
+        evaluated += w.evaluated;
+        pruned += w.pruned;
+        if let Some(b) = w.best {
+            if best.is_none_or(|cur| b < cur) {
+                best = Some(b);
+            }
+        }
+        // `w.arena` drops here: counts never depended on its type ids, and
+        // the final fit below re-derives everything in the shared arena,
+        // so the hypothesis is bit-identical to a sequential run.
+    }
+    let (wrong, idx) = best.expect("the optimal tuple is never pruned");
+    let mut params = vec![V(0); ell];
+    decode_param_tuple(idx, n, &mut params);
+    let (hypothesis, wrong2) =
+        fit_with_params_counted(g, examples, &params, q, mode, arena);
+    debug_assert_eq!(
+        wrong, wrong2,
+        "sweep and final fit disagree on the misclassification count"
+    );
+    BruteForceResult {
+        hypothesis,
+        error: error_rate(wrong, examples.len()),
+        evaluated_params: evaluated,
+        pruned_params: pruned,
+    }
+}
+
+/// Reference implementation: the plain sequential scan of [`ParamTuples`]
+/// with no pruning, kept verbatim for differential testing of the
+/// parallel engine.
+pub fn brute_force_erm_sequential(
+    inst: &ErmInstance<'_>,
+    mode: TypeMode,
+    arena: &Arc<Mutex<TypeArena>>,
+) -> BruteForceResult {
+    let g = inst.graph;
+    let mut best: Option<(usize, Vec<V>)> = None;
+    let mut evaluated = 0usize;
+    {
+        let mut shared = arena.lock();
+        for params in ParamTuples::new(g.num_vertices(), inst.ell) {
+            evaluated += 1;
+            let wrong = misclassifications_bounded(
+                g,
+                &inst.examples,
+                &params,
+                inst.q,
+                mode,
+                &mut shared,
+                usize::MAX,
+            )
+            .expect("an unbounded tally never aborts");
+            if best.as_ref().is_none_or(|(b, _)| wrong < *b) {
+                let stop = wrong == 0;
+                best = Some((wrong, params));
+                if stop {
+                    break;
+                }
             }
         }
     }
-    let (error, params) = best.expect("parameter enumeration is never empty");
-    let (hypothesis, err2) =
-        fit_with_params(g, &inst.examples, &params, inst.q, mode, arena);
-    debug_assert_eq!(error, err2);
+    let (wrong, params) = best.expect("parameter enumeration is never empty");
+    let (hypothesis, wrong2) =
+        fit_with_params_counted(g, &inst.examples, &params, inst.q, mode, arena);
+    debug_assert_eq!(wrong, wrong2);
     BruteForceResult {
         hypothesis,
-        error,
+        error: error_rate(wrong, inst.examples.len()),
         evaluated_params: evaluated,
+        pruned_params: 0,
     }
 }
 
@@ -68,6 +297,17 @@ pub fn brute_force_erm(
 /// used as ground truth when validating approximate learners.
 pub fn optimal_error(inst: &ErmInstance<'_>, arena: &Arc<Mutex<TypeArena>>) -> f64 {
     brute_force_erm(inst, TypeMode::Global, arena).error
+}
+
+/// Write the `idx`-th parameter tuple (odometer order, last position
+/// fastest — the digits of `idx` base `n`, most-significant first) into
+/// `out`.
+fn decode_param_tuple(mut idx: usize, n: usize, out: &mut [V]) {
+    for slot in out.iter_mut().rev() {
+        *slot = V((idx % n) as u32);
+        idx /= n;
+    }
+    debug_assert_eq!(idx, 0, "tuple index out of range");
 }
 
 /// Iterator over all `ℓ`-tuples of vertices (odometer order). Yields the
@@ -119,6 +359,7 @@ impl Iterator for ParamTuples {
 mod tests {
     use folearn_graph::{generators, ColorId, Vocabulary};
 
+    use crate::fit::optimal_error_given_params;
     use crate::problem::TrainingSequence;
 
     use super::*;
@@ -135,6 +376,16 @@ mod tests {
         assert_eq!(all[8], vec![V(2), V(2)]);
         let empty: Vec<_> = ParamTuples::new(5, 0).collect();
         assert_eq!(empty, vec![Vec::<V>::new()]);
+    }
+
+    #[test]
+    fn decode_matches_iterator_order() {
+        let mut out = vec![V(0); 2];
+        for (idx, tuple) in ParamTuples::new(3, 2).enumerate() {
+            decode_param_tuple(idx, 3, &mut out);
+            assert_eq!(out, tuple, "at index {idx}");
+        }
+        decode_param_tuple(0, 5, &mut []);
     }
 
     #[test]
@@ -174,9 +425,14 @@ mod tests {
         let examples = TrainingSequence::label_all_tuples(&g, 1, |_| true);
         let inst = ErmInstance::new(&g, examples, 1, 1, 0, 0.0);
         let arena = arena_for(&g);
-        let res = brute_force_erm(&inst, TypeMode::Global, &arena);
+        let opts = BruteForceOpts {
+            threads: Some(1),
+            ..BruteForceOpts::default()
+        };
+        let res = brute_force_erm_with(&inst, TypeMode::Global, &arena, &opts);
         assert_eq!(res.error, 0.0);
         assert_eq!(res.evaluated_params, 1); // the very first tuple fits
+        assert_eq!(res.pruned_params, 0);
     }
 
     #[test]
@@ -210,5 +466,89 @@ mod tests {
         // Any fixed-parameter fit is at least as bad.
         let e0 = optimal_error_given_params(&g, &examples, &[V(0)], 1, TypeMode::Global, &arena);
         assert!(eps_star <= e0 + 1e-12);
+    }
+
+    /// Every engine configuration must agree with the sequential
+    /// reference bit-for-bit: same error, same parameters, same
+    /// positive-type classification on every vertex.
+    #[test]
+    fn parallel_matches_sequential_reference() {
+        let g = generators::random_tree(14, Vocabulary::empty(), 5);
+        let examples =
+            TrainingSequence::label_all_tuples(&g, 1, |t| t[0].0 % 4 == 0 || t[0].0 == 7);
+        let inst = ErmInstance::new(&g, examples, 1, 2, 1, 0.0);
+        let reference = {
+            let arena = arena_for(&g);
+            brute_force_erm_sequential(&inst, TypeMode::Global, &arena)
+        };
+        for threads in [1, 2, 4, 7] {
+            for prune in [false, true] {
+                for block in [1, 3, 64] {
+                    let arena = arena_for(&g);
+                    let opts = BruteForceOpts {
+                        threads: Some(threads),
+                        prune,
+                        block_size: Some(block),
+                    };
+                    let res =
+                        brute_force_erm_with(&inst, TypeMode::Global, &arena, &opts);
+                    assert_eq!(
+                        res.error.to_bits(),
+                        reference.error.to_bits(),
+                        "threads={threads} prune={prune} block={block}"
+                    );
+                    assert_eq!(
+                        res.hypothesis.params(),
+                        reference.hypothesis.params(),
+                        "threads={threads} prune={prune} block={block}"
+                    );
+                    for v in g.vertices() {
+                        assert_eq!(
+                            res.hypothesis.predict(&g, &[v]),
+                            reference.hypothesis.predict(&g, &[v]),
+                            "threads={threads} prune={prune} block={block} at {v}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_work_not_quality() {
+        // Target "x = w" for hidden w = V(6), plus one conflicting label
+        // on V(0) so no tuple fits perfectly (the sweep cannot
+        // short-circuit): w = 6 errs once, every other choice errs twice.
+        let g = generators::path(12, Vocabulary::empty());
+        let mut pairs: Vec<(Vec<V>, bool)> =
+            g.vertices().map(|v| (vec![v], v == V(6))).collect();
+        pairs.push((vec![V(0)], true));
+        let examples = TrainingSequence::from_pairs(pairs);
+        let inst = ErmInstance::new(&g, examples, 1, 1, 1, 0.0);
+        let one = |prune| {
+            let arena = arena_for(&g);
+            let opts = BruteForceOpts {
+                threads: Some(1),
+                prune,
+                block_size: None,
+            };
+            brute_force_erm_with(&inst, TypeMode::Global, &arena, &opts)
+        };
+        let full = one(false);
+        let pruned = one(true);
+        assert!(full.error > 0.0, "the conflicting labels forbid a perfect fit");
+        assert_eq!(full.error, pruned.error);
+        assert_eq!(full.hypothesis.params(), pruned.hypothesis.params());
+        assert_eq!(full.pruned_params, 0);
+        assert_eq!(full.evaluated_params, 12); // no short-circuit: full scan
+        assert_eq!(
+            pruned.evaluated_params + pruned.pruned_params,
+            full.evaluated_params,
+            "pruning must not change which tuples are touched"
+        );
+        assert!(
+            pruned.pruned_params > 0,
+            "tuples past w = 6 are strictly worse than the bound and must abort"
+        );
     }
 }

@@ -52,15 +52,30 @@ pub fn fit_with_params(
     mode: TypeMode,
     arena: &Arc<Mutex<TypeArena>>,
 ) -> (Hypothesis, f64) {
-    let (positive, wrong) = tally(g, examples, params, q, mode, arena);
-    let error = if examples.is_empty() {
-        0.0
-    } else {
-        wrong as f64 / examples.len() as f64
+    let (hypothesis, wrong) = fit_with_params_counted(g, examples, params, q, mode, arena);
+    (hypothesis, error_rate(wrong, examples.len()))
+}
+
+/// Like [`fit_with_params`], but reporting the training error as the raw
+/// misclassification *count*. Search loops compare and merge candidates
+/// on this integer (exact, totally ordered) and divide once at the end —
+/// float equality on derived error rates is how the old brute-force
+/// engine's cross-check went wrong.
+pub fn fit_with_params_counted(
+    g: &Graph,
+    examples: &TrainingSequence,
+    params: &[V],
+    q: usize,
+    mode: TypeMode,
+    arena: &Arc<Mutex<TypeArena>>,
+) -> (Hypothesis, usize) {
+    let (positive, wrong) = {
+        let mut arena = arena.lock();
+        tally_in(g, examples, params, q, mode, &mut arena)
     };
     (
         Hypothesis::new(params.to_vec(), q, mode, positive, Arc::clone(arena)),
-        error,
+        wrong,
     )
 }
 
@@ -74,53 +89,61 @@ pub fn optimal_error_given_params(
     mode: TypeMode,
     arena: &Arc<Mutex<TypeArena>>,
 ) -> f64 {
-    let (_, wrong) = tally(g, examples, params, q, mode, arena);
-    if examples.is_empty() {
+    let (_, wrong) = {
+        let mut arena = arena.lock();
+        tally_in(g, examples, params, q, mode, &mut arena)
+    };
+    error_rate(wrong, examples.len())
+}
+
+/// `wrong / m` as the error rate, with the empty-sequence convention.
+pub(crate) fn error_rate(wrong: usize, m: usize) -> f64 {
+    if m == 0 {
         0.0
     } else {
-        wrong as f64 / examples.len() as f64
+        wrong as f64 / m as f64
     }
 }
 
-fn tally(
+/// The type of `v̄w̄` under `mode`, interned into `arena`.
+#[inline]
+fn type_of_combined(
+    g: &Graph,
+    arena: &mut TypeArena,
+    combined: &[V],
+    q: usize,
+    mode: TypeMode,
+) -> TypeId {
+    match mode.radius() {
+        None => folearn_types::compute::counting_type_of(g, arena, combined, q, mode.cap()),
+        Some(r) => {
+            folearn_types::local::counting_local_type(g, arena, combined, q, r, mode.cap())
+        }
+    }
+}
+
+/// Majority tally against a caller-held (unlocked) arena: the set of
+/// majority-positive type classes and the misclassification count.
+pub(crate) fn tally_in(
     g: &Graph,
     examples: &TrainingSequence,
     params: &[V],
     q: usize,
     mode: TypeMode,
-    arena: &Arc<Mutex<TypeArena>>,
+    arena: &mut TypeArena,
 ) -> (BTreeSet<TypeId>, usize) {
     let mut counts: HashMap<TypeId, (usize, usize)> = HashMap::new();
-    {
-        let mut arena = arena.lock();
-        let mut combined: Vec<V> = Vec::with_capacity(examples.arity() + params.len());
-        for e in examples.iter() {
-            combined.clear();
-            combined.extend_from_slice(&e.tuple);
-            combined.extend_from_slice(params);
-            let t = match mode.radius() {
-                None => folearn_types::compute::counting_type_of(
-                    g,
-                    &mut arena,
-                    &combined,
-                    q,
-                    mode.cap(),
-                ),
-                Some(r) => folearn_types::local::counting_local_type(
-                    g,
-                    &mut arena,
-                    &combined,
-                    q,
-                    r,
-                    mode.cap(),
-                ),
-            };
-            let entry = counts.entry(t).or_insert((0, 0));
-            if e.label {
-                entry.0 += 1;
-            } else {
-                entry.1 += 1;
-            }
+    let mut combined: Vec<V> = Vec::with_capacity(examples.arity() + params.len());
+    for e in examples.iter() {
+        combined.clear();
+        combined.extend_from_slice(&e.tuple);
+        combined.extend_from_slice(params);
+        let t = type_of_combined(g, arena, &combined, q, mode);
+        let entry = counts.entry(t).or_insert((0, 0));
+        if e.label {
+            entry.0 += 1;
+        } else {
+            entry.1 += 1;
         }
     }
     let mut positive = BTreeSet::new();
@@ -134,6 +157,47 @@ fn tally(
         }
     }
     (positive, wrong)
+}
+
+/// The misclassification count of the majority fit for `params`, aborting
+/// early (returning `None`) as soon as it provably exceeds `bound`.
+///
+/// The running tally `Σ_θ min(pos_θ, neg_θ)` is monotone non-decreasing as
+/// examples stream in, so aborting on `> bound` is sound: a tuple whose
+/// final count is `≤ bound` is never aborted. Parameter sweeps exploit
+/// this with `bound` = best count seen so far — strictly worse tuples stop
+/// after a prefix of the examples, tied tuples still complete (tie-breaks
+/// stay exact). `bound = usize::MAX` never aborts.
+pub fn misclassifications_bounded(
+    g: &Graph,
+    examples: &TrainingSequence,
+    params: &[V],
+    q: usize,
+    mode: TypeMode,
+    arena: &mut TypeArena,
+    bound: usize,
+) -> Option<usize> {
+    let mut counts: HashMap<TypeId, (usize, usize)> = HashMap::new();
+    let mut combined: Vec<V> = Vec::with_capacity(examples.arity() + params.len());
+    let mut wrong = 0usize;
+    for e in examples.iter() {
+        combined.clear();
+        combined.extend_from_slice(&e.tuple);
+        combined.extend_from_slice(params);
+        let t = type_of_combined(g, arena, &combined, q, mode);
+        let entry = counts.entry(t).or_insert((0, 0));
+        let before = entry.0.min(entry.1);
+        if e.label {
+            entry.0 += 1;
+        } else {
+            entry.1 += 1;
+        }
+        wrong += entry.0.min(entry.1) - before;
+        if wrong > bound {
+            return None;
+        }
+    }
+    Some(wrong)
 }
 
 #[cfg(test)]
@@ -289,6 +353,44 @@ mod tests {
             &arena,
         );
         assert_eq!(err, 0.0);
+    }
+
+    #[test]
+    fn bounded_tally_matches_unbounded_and_aborts() {
+        let g = generators::path(7, Vocabulary::empty());
+        let arena = arena_for(&g);
+        let examples = TrainingSequence::label_all_tuples(&g, 1, |t| t[0].0 < 3);
+        let mut a = arena.lock();
+        let (_, wrong) = tally_in(&g, &examples, &[], 1, TypeMode::Global, &mut a);
+        assert!(wrong > 0, "q=1 should not separate 'index < 3' on a path");
+        // Any bound at or above the true count completes with the exact count.
+        for bound in [wrong, wrong + 1, usize::MAX] {
+            assert_eq!(
+                misclassifications_bounded(
+                    &g,
+                    &examples,
+                    &[],
+                    1,
+                    TypeMode::Global,
+                    &mut a,
+                    bound
+                ),
+                Some(wrong)
+            );
+        }
+        // Any bound strictly below it aborts.
+        assert_eq!(
+            misclassifications_bounded(
+                &g,
+                &examples,
+                &[],
+                1,
+                TypeMode::Global,
+                &mut a,
+                wrong - 1
+            ),
+            None
+        );
     }
 
     #[test]

@@ -116,6 +116,11 @@ impl Hypothesis {
         &self.positive
     }
 
+    /// The parameter tuple `w̄` the hypothesis was fit with.
+    pub fn params(&self) -> &[V] {
+        &self.params
+    }
+
     /// The shared arena (for callers that want to inspect types).
     pub fn arena(&self) -> &Arc<Mutex<TypeArena>> {
         &self.arena

@@ -35,7 +35,8 @@ pub mod solver;
 pub mod sublinear;
 pub mod vc;
 
-pub use fit::{fit_with_params, TypeMode};
+pub use bruteforce::{BruteForceOpts, BruteForceResult};
+pub use fit::{fit_with_params, fit_with_params_counted, TypeMode};
 pub use solver::{solve_fo_erm, SolveReport, Solver};
 pub use hypothesis::Hypothesis;
 pub use problem::{ErmInstance, Example, TrainingSequence};

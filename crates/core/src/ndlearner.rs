@@ -36,6 +36,7 @@
 //! engineering modes (greedy guessing, local final rule).
 
 use std::collections::HashMap;
+use std::ops::ControlFlow;
 use std::sync::Arc;
 
 use folearn_graph::splitter::GraphClass;
@@ -373,12 +374,19 @@ fn critical_tuples(state: &RoundState, r: usize, q_star: usize) -> Vec<usize> {
     if state.examples.is_empty() {
         return Vec::new();
     }
+    // Per-example local types are independent — compute them in parallel
+    // over sharded arenas. The batch helper is id-identical to the
+    // sequential loop, so conflict grouping is unaffected.
     let mut round_arena = TypeArena::new(Arc::clone(state.graph.vocab()));
-    let types: Vec<TypeId> = state
-        .examples
-        .iter()
-        .map(|e| local_type(&state.graph, &mut round_arena, &e.tuple, q_star, r))
-        .collect();
+    let tuples: Vec<Vec<V>> = state.examples.iter().map(|e| e.tuple.clone()).collect();
+    let types: Vec<TypeId> = folearn_types::par::par_counting_local_types(
+        &state.graph,
+        &mut round_arena,
+        &tuples,
+        q_star,
+        r,
+        1,
+    );
     let mut seen: HashMap<TypeId, (bool, bool)> = HashMap::new();
     for (e, &t) in state.examples.iter().zip(&types) {
         let entry = seen.entry(t).or_insert((false, false));
@@ -411,15 +419,33 @@ pub(crate) fn select_centers(
     cap: usize,
 ) -> Vec<V> {
     let n = g.num_vertices();
-    let mut gamma = vec![0u32; n];
-    for t in critical_tuples {
-        let dist = bfs::bounded_distances(g, t, 2 * r + 1);
-        for v in g.vertices() {
-            if dist[v.index()] != u32::MAX {
-                gamma[v.index()] += 1;
+    // Γ scores in parallel: each critical tuple adds 1 to every vertex of
+    // its (2r+1)-ball. Workers reuse pooled BFS buffers and accumulate
+    // partial score vectors; summing the partials is commutative, so the
+    // scores are scheduling-independent.
+    let partials = rayon::sweep::worker_sweep(
+        critical_tuples.len(),
+        rayon::sweep::default_block_size(critical_tuples.len()),
+        |_| (bfs::DistanceBuffers::new(), vec![0u32; n]),
+        |(bufs, partial): &mut (bfs::DistanceBuffers, Vec<u32>), range| {
+            for i in range {
+                let dist = bufs.bounded_distances_in(g, critical_tuples[i], 2 * r + 1);
+                for (score, &d) in partial.iter_mut().zip(dist) {
+                    *score += u32::from(d != u32::MAX);
+                }
             }
+            ControlFlow::Continue(())
+        },
+    );
+    let mut gamma = vec![0u32; n];
+    for (_, partial) in partials {
+        for (total, p) in gamma.iter_mut().zip(&partial) {
+            *total += p;
         }
     }
+    // The greedy separation phase is inherently sequential (each pick
+    // blocks a ball for later picks) but short: at most `cap` BFS runs.
+    let mut bufs = bfs::DistanceBuffers::new();
     let mut chosen: Vec<V> = Vec::new();
     let mut blocked = vec![false; n];
     while chosen.len() < cap {
@@ -431,11 +457,9 @@ pub(crate) fn select_centers(
             break;
         };
         chosen.push(best);
-        let near = bfs::bounded_distances(g, &[best], 4 * r + 2);
-        for v in g.vertices() {
-            if near[v.index()] != u32::MAX {
-                blocked[v.index()] = true;
-            }
+        let near = bufs.bounded_distances_in(g, &[best], 4 * r + 2);
+        for (b, &d) in blocked.iter_mut().zip(near) {
+            *b |= d != u32::MAX;
         }
     }
     chosen
@@ -540,6 +564,7 @@ fn advance_round(
     let mut round_arena = TypeArena::new(Arc::clone(g.vocab()));
     let mut registry: HashMap<(Vec<usize>, TypeId), usize> = HashMap::new();
     let mut planned: Vec<(Vec<Slot>, bool)> = Vec::new();
+    let mut bufs = bfs::DistanceBuffers::new();
     for e in &state.examples {
         let touches = e
             .tuple
@@ -548,7 +573,7 @@ fn advance_round(
         if !touches {
             continue;
         }
-        let comps = linkage_components(g, &e.tuple, 2 * r + 1);
+        let comps = linkage_components(g, &e.tuple, 2 * r + 1, &mut bufs);
         let mut slots = vec![Slot::Unassigned; e.tuple.len()];
         let mut ok = true;
         for comp in comps {
@@ -650,11 +675,16 @@ fn fmt_comp(comp: &[usize]) -> String {
 /// The linkage graph `H_v̄` of Lemma 16: positions `a, b` are linked when
 /// `dist(v_a, v_b) ≤ 2r+1` (equal vertices are distance 0 and must
 /// project together); returns connected components as sorted index lists.
-fn linkage_components(g: &Graph, tuple: &[V], threshold: usize) -> Vec<Vec<usize>> {
+fn linkage_components(
+    g: &Graph,
+    tuple: &[V],
+    threshold: usize,
+    bufs: &mut bfs::DistanceBuffers,
+) -> Vec<Vec<usize>> {
     let k = tuple.len();
     let mut adj = vec![Vec::new(); k];
     for a in 0..k {
-        let dist = bfs::bounded_distances(g, &[tuple[a]], threshold);
+        let dist = bufs.bounded_distances_in(g, &[tuple[a]], threshold);
         for b in (a + 1)..k {
             if dist[tuple[b].index()] != u32::MAX {
                 adj[a].push(b);
@@ -714,9 +744,10 @@ mod tests {
     #[test]
     fn linkage_components_split_far_positions() {
         let g = generators::path(20, Vocabulary::empty());
-        let comps = linkage_components(&g, &[V(0), V(1), V(15)], 3);
+        let mut bufs = bfs::DistanceBuffers::new();
+        let comps = linkage_components(&g, &[V(0), V(1), V(15)], 3, &mut bufs);
         assert_eq!(comps, vec![vec![0, 1], vec![2]]);
-        let comps2 = linkage_components(&g, &[V(0), V(0)], 3);
+        let comps2 = linkage_components(&g, &[V(0), V(0)], 3, &mut bufs);
         assert_eq!(comps2, vec![vec![0, 1]]);
     }
 

@@ -13,7 +13,7 @@
 //! | a nowhere dense class (e.g. forest)  | `Solver::NowhereDense`    |
 //! | bounded degree + few examples        | `Solver::LocalAccess`     |
 
-use crate::bruteforce::brute_force_erm;
+use crate::bruteforce::{brute_force_erm_with, BruteForceOpts};
 use crate::fit::TypeMode;
 use crate::hypothesis::Hypothesis;
 use crate::ndlearner::{nd_learn, NdConfig};
@@ -28,6 +28,11 @@ pub enum Solver {
     BruteForce {
         /// Type notion used by the inner fit.
         mode: TypeMode,
+        /// Engine knobs: thread count, pruning, block size. Every
+        /// configuration returns the same hypothesis and error
+        /// ([`BruteForceOpts`]); only wall-clock and the work accounting
+        /// vary.
+        opts: BruteForceOpts,
     },
     /// Theorem 13: the FPT learner for a nowhere dense class.
     NowhereDense(NdConfig),
@@ -48,9 +53,18 @@ pub struct SolveReport {
     pub hypothesis: Hypothesis,
     /// Training error achieved.
     pub error: f64,
-    /// Solver-specific work measure (parameter tuples tried, branches
-    /// explored, or vertices touched).
+    /// Solver-specific work measure (parameter tuples touched, branches
+    /// explored, or vertices touched). For `BruteForce` this is
+    /// `evaluated_params + pruned_params`, so the `n^ℓ` curve of
+    /// experiment E3 stays interpretable with pruning on.
     pub work: usize,
+    /// Parameter tuples whose example tally ran to completion. Only the
+    /// brute-force engine fills this; other solvers report zero.
+    pub evaluated_params: usize,
+    /// Parameter tuples abandoned early because their running
+    /// misclassification count exceeded the shared bound. Zero when
+    /// pruning is off or for non-brute-force solvers.
+    pub pruned_params: usize,
     /// Which solver produced this.
     pub solver_name: &'static str,
 }
@@ -62,12 +76,14 @@ pub fn solve_fo_erm(
     arena: &SharedArena,
 ) -> SolveReport {
     match solver {
-        Solver::BruteForce { mode } => {
-            let res = brute_force_erm(inst, *mode, arena);
+        Solver::BruteForce { mode, opts } => {
+            let res = brute_force_erm_with(inst, *mode, arena, opts);
             SolveReport {
                 hypothesis: res.hypothesis,
                 error: res.error,
-                work: res.evaluated_params,
+                work: res.evaluated_params + res.pruned_params,
+                evaluated_params: res.evaluated_params,
+                pruned_params: res.pruned_params,
                 solver_name: "brute-force (Prop 11)",
             }
         }
@@ -77,6 +93,8 @@ pub fn solve_fo_erm(
                 hypothesis: res.hypothesis,
                 error: res.error,
                 work: res.branches_explored,
+                evaluated_params: 0,
+                pruned_params: 0,
                 solver_name: "nowhere-dense (Thm 13)",
             }
         }
@@ -89,6 +107,8 @@ pub fn solve_fo_erm(
                 hypothesis: res.hypothesis,
                 error: res.error,
                 work: res.vertices_touched,
+                evaluated_params: 0,
+                pruned_params: 0,
                 solver_name: "local-access ([22])",
             }
         }
@@ -118,6 +138,7 @@ mod tests {
         let solvers = [
             Solver::BruteForce {
                 mode: TypeMode::Global,
+                opts: BruteForceOpts::default(),
             },
             Solver::NowhereDense(NdConfig {
                 class: folearn_graph::splitter::GraphClass::Forest,
@@ -155,6 +176,7 @@ mod tests {
             &inst,
             &Solver::BruteForce {
                 mode: TypeMode::Global,
+                opts: BruteForceOpts::default(),
             },
             &arena,
         );
@@ -162,5 +184,33 @@ mod tests {
             report.error,
             crate::bruteforce::optimal_error(&inst, &arena)
         );
+    }
+
+    #[test]
+    fn brute_force_report_accounts_for_pruned_tuples() {
+        // Conflicting labels forbid a perfect fit, so the sweep touches
+        // all n^ℓ tuples and pruning shows up in the report.
+        let g = generators::path(10, Vocabulary::empty());
+        let mut pairs: Vec<(Vec<V>, bool)> =
+            g.vertices().map(|v| (vec![v], v == V(4))).collect();
+        pairs.push((vec![V(0)], true));
+        let examples = TrainingSequence::from_pairs(pairs);
+        let inst = ErmInstance::new(&g, examples, 1, 1, 1, 0.0);
+        let arena = shared_arena(&g);
+        let report = solve_fo_erm(
+            &inst,
+            &Solver::BruteForce {
+                mode: TypeMode::Global,
+                opts: crate::bruteforce::BruteForceOpts {
+                    threads: Some(1),
+                    prune: true,
+                    block_size: None,
+                },
+            },
+            &arena,
+        );
+        assert_eq!(report.work, report.evaluated_params + report.pruned_params);
+        assert_eq!(report.work, 10, "no short-circuit: every tuple is touched");
+        assert!(report.pruned_params > 0);
     }
 }

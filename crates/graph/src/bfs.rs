@@ -6,31 +6,26 @@
 //! `N_{R'}(Z)`. Everything here is bounded-radius BFS over the CSR graph.
 
 use std::collections::VecDeque;
+use std::ops::ControlFlow;
 
 use crate::graph::{Graph, V};
 
 /// Distance `≤ cap` from a set of sources to every vertex; `u32::MAX`
 /// denotes "further than `cap`" (or unreachable).
 ///
-/// This is the workhorse: one allocation, bounded BFS.
+/// This is the workhorse: one allocation, bounded BFS. Call sites doing
+/// *many* searches should hold a [`DistanceBuffers`] instead and reuse
+/// its storage across calls.
 pub fn bounded_distances(g: &Graph, sources: &[V], cap: usize) -> Vec<u32> {
     let mut dist = vec![u32::MAX; g.num_vertices()];
     let mut queue = VecDeque::new();
     for &s in sources {
+        // Duplicate sources hit `dist == 0` and are enqueued only once.
         if dist[s.index()] != 0 {
             dist[s.index()] = 0;
             queue.push_back(s);
         }
     }
-    // Ensure sources listed twice are only enqueued once.
-    queue.retain({
-        let mut seen = vec![false; g.num_vertices()];
-        move |v: &V| {
-            let fresh = !seen[v.index()];
-            seen[v.index()] = true;
-            fresh
-        }
-    });
     while let Some(v) = queue.pop_front() {
         let d = dist[v.index()];
         if d as usize >= cap {
@@ -44,6 +39,109 @@ pub fn bounded_distances(g: &Graph, sources: &[V], cap: usize) -> Vec<u32> {
         }
     }
     dist
+}
+
+/// Reusable storage for repeated bounded BFS runs.
+///
+/// A bounded search touches only the ball around its sources, but a fresh
+/// `Vec<u32>` per call pays an `O(n)` allocation + fill regardless. The
+/// pool keeps one distance array and resets *only the entries the previous
+/// search wrote* (sparse reset), so a radius-`r` search costs `O(|ball|)`
+/// after the first call. This is what the learners' per-example /
+/// per-center BFS loops hold per worker.
+#[derive(Default)]
+pub struct DistanceBuffers {
+    dist: Vec<u32>,
+    queue: VecDeque<V>,
+    touched: Vec<V>,
+}
+
+impl DistanceBuffers {
+    /// An empty pool; storage grows on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// [`bounded_distances`] into pooled storage. The returned slice has
+    /// one entry per vertex of `g` and is valid until the next call.
+    pub fn bounded_distances_in(&mut self, g: &Graph, sources: &[V], cap: usize) -> &[u32] {
+        let n = g.num_vertices();
+        if self.dist.len() < n {
+            self.dist.resize(n, u32::MAX);
+        }
+        for v in self.touched.drain(..) {
+            self.dist[v.index()] = u32::MAX;
+        }
+        self.queue.clear();
+        for &s in sources {
+            if self.dist[s.index()] != 0 {
+                self.dist[s.index()] = 0;
+                self.touched.push(s);
+                self.queue.push_back(s);
+            }
+        }
+        while let Some(v) = self.queue.pop_front() {
+            let d = self.dist[v.index()];
+            if d as usize >= cap {
+                continue;
+            }
+            for &w in g.neighbors(v) {
+                if self.dist[w as usize] == u32::MAX {
+                    self.dist[w as usize] = d + 1;
+                    self.touched.push(V(w));
+                    self.queue.push_back(V(w));
+                }
+            }
+        }
+        &self.dist[..n]
+    }
+
+    /// The ball `N_r^G(v̄)` using pooled storage (same result as [`ball`]).
+    ///
+    /// Sorted output comes for free: the touched list is not sorted, but
+    /// filtering `g.vertices()` against the distance array is, and only
+    /// costs `O(n)` — dominated by ball extraction's later use. For
+    /// `O(|ball|)` output, read the distances directly.
+    pub fn ball_in(&mut self, g: &Graph, centers: &[V], r: usize) -> Vec<V> {
+        let dist = self.bounded_distances_in(g, centers, r);
+        g.vertices().filter(|v| dist[v.index()] != u32::MAX).collect()
+    }
+}
+
+/// Bounded distances from many source sets at once, in parallel: one
+/// result row per entry of `sources`, each exactly what
+/// [`bounded_distances`] returns for that set.
+///
+/// Workers reuse a private [`DistanceBuffers`] across the searches they
+/// process, so the per-search cost stays `O(|ball|)`. Row order matches
+/// input order regardless of scheduling.
+pub fn par_bounded_distances_many(
+    g: &Graph,
+    sources: &[Vec<V>],
+    cap: usize,
+) -> Vec<Vec<u32>> {
+    let states = rayon::sweep::worker_sweep(
+        sources.len(),
+        rayon::sweep::default_block_size(sources.len()),
+        |_| (DistanceBuffers::new(), Vec::new()),
+        |(bufs, acc): &mut (DistanceBuffers, Vec<(usize, Vec<u32>)>), range| {
+            for i in range {
+                let d = bufs.bounded_distances_in(g, &sources[i], cap).to_vec();
+                acc.push((i, d));
+            }
+            ControlFlow::Continue(())
+        },
+    );
+    let mut slots: Vec<Option<Vec<u32>>> = (0..sources.len()).map(|_| None).collect();
+    for (_, acc) in states {
+        for (i, d) in acc {
+            slots[i] = Some(d);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("the sweep covers every index"))
+        .collect()
 }
 
 /// The distance between two vertices, or `None` if disconnected.
@@ -205,6 +303,37 @@ mod tests {
         let g = path(9);
         let c = component_center(&g, V(0));
         assert_eq!(c, V(4));
+    }
+
+    #[test]
+    fn pooled_bfs_matches_fresh() {
+        let g = generators::random_tree(40, Vocabulary::empty(), 7);
+        let mut bufs = DistanceBuffers::new();
+        // Repeated pooled calls (sparse reset in between) agree with the
+        // allocating version, including duplicated sources.
+        for sources in [vec![V(0)], vec![V(7), V(7), V(31)], vec![V(39)], vec![V(3)]] {
+            for cap in [0, 1, 2, 5, 40] {
+                assert_eq!(
+                    bufs.bounded_distances_in(&g, &sources, cap),
+                    bounded_distances(&g, &sources, cap).as_slice(),
+                    "sources {sources:?} cap {cap}"
+                );
+            }
+        }
+        assert_eq!(bufs.ball_in(&g, &[V(0)], 2), ball(&g, &[V(0)], 2));
+    }
+
+    #[test]
+    fn parallel_many_matches_serial() {
+        let g = generators::random_tree(30, Vocabulary::empty(), 5);
+        let sources: Vec<Vec<V>> =
+            g.vertices().map(|v| vec![v, V(v.0 % 7)]).collect();
+        let par = par_bounded_distances_many(&g, &sources, 3);
+        assert_eq!(par.len(), sources.len());
+        for (row, src) in par.iter().zip(&sources) {
+            assert_eq!(row, &bounded_distances(&g, src, 3));
+        }
+        assert!(par_bounded_distances_many(&g, &[], 3).is_empty());
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! The case-running loop behind the `proptest!` macro.
+
+use crate::strategy::TestRng;
+use crate::{TestCaseError, TestCaseResult};
+
+/// Configuration mirror of `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+    /// Give up after this many consecutive `prop_assume!` rejections.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(64);
+        Self {
+            cases,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Run `body` on `config.cases` generated inputs; panic on the first
+/// failing case, naming the deterministic seed so the run can be
+/// reproduced exactly.
+pub fn run_cases(
+    config: ProptestConfig,
+    test_name: &str,
+    mut body: impl FnMut(&mut TestRng) -> TestCaseResult,
+) {
+    let seed = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| fnv1a(test_name.as_bytes()));
+    let mut rng = TestRng::deterministic(seed);
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    let mut case = 0u64;
+    while accepted < config.cases {
+        case += 1;
+        match body(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected < config.max_global_rejects,
+                    "{test_name}: too many prop_assume! rejections \
+                     ({rejected}); seed {seed:#x}"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "{test_name}: property failed at case #{case} \
+                     (seed {seed:#x}, set PROPTEST_SEED={seed} to replay): {msg}"
+                );
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_and_counts_cases() {
+        let mut runs = 0;
+        run_cases(ProptestConfig::with_cases(10), "t", |_| {
+            runs += 1;
+            Ok(())
+        });
+        assert_eq!(runs, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failure_panics_with_seed() {
+        run_cases(ProptestConfig::with_cases(5), "t", |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    fn rejections_retry() {
+        let mut seen = 0u32;
+        run_cases(ProptestConfig::with_cases(3), "t", |_| {
+            seen += 1;
+            if seen % 2 == 0 {
+                Err(TestCaseError::reject("skip"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(seen >= 3);
+    }
+}

@@ -1,0 +1,188 @@
+//! Offline drop-in subset of the `rand` crate.
+//!
+//! The build environment has no access to a crates registry, so this
+//! workspace vendors the *exact API subset it uses* as a path crate:
+//! [`Rng::random_range`], [`Rng::random_bool`], [`SeedableRng::seed_from_u64`]
+//! and [`rngs::StdRng`]. The generator is xoshiro256** seeded through
+//! SplitMix64 — statistically solid for tests and experiments, but **not**
+//! the ChaCha12 stream of the real `rand`, so seeds produce different (still
+//! deterministic) sequences than upstream.
+
+/// Uniform sampling support for range types, mirroring
+/// `rand::distr::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// The raw generator interface (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// A uniform value from the given (half-open or inclusive) range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} is not a probability");
+        // 53 uniform mantissa bits, exactly like rand's f64 sampling.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Deterministic construction from seeds (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                self.start.wrapping_add(uniform_u128(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128 + 1;
+                lo.wrapping_add(uniform_u128(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform value in `0..span` (`span > 0`) by widening multiply; the
+/// modulo bias at 128 bits is immaterial for test workloads.
+fn uniform_u128<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span == 1 {
+        return 0;
+    }
+    rng.next_u64() as u128 % span
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** seeded via SplitMix64 — the workspace's standard
+    /// deterministic generator (stands in for `rand::rngs::StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Alias kept for call sites that name `SmallRng`.
+    pub type SmallRng = StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u32> = (0..16).map(|_| a.random_range(0..1000u32)).collect();
+        let ys: Vec<u32> = (0..16).map(|_| b.random_range(0..1000u32)).collect();
+        let zs: Vec<u32> = (0..16).map(|_| c.random_range(0..1000u32)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: u64 = rng.random_range(5..=5);
+            assert_eq!(w, 5);
+            let i: i32 = rng.random_range(-4..=4);
+            assert!((-4..=4).contains(&i));
+        }
+    }
+
+    #[test]
+    fn bool_probabilities_extreme() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!(0..64).any(|_| rng.random_bool(0.0)));
+        assert!((0..64).all(|_| rng.random_bool(1.0)));
+        let heads = (0..4000).filter(|_| rng.random_bool(0.5)).count();
+        assert!((1600..2400).contains(&heads), "heads={heads}");
+    }
+}

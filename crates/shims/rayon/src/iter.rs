@@ -1,0 +1,324 @@
+//! Indexed parallel iterators (eager, order-preserving).
+//!
+//! Unlike real rayon's lazy splitting trees, this shim models every
+//! parallel iterator as an *indexed source* — a `len` plus a `get(i)` —
+//! executed by the chunked [`crate::sweep::worker_sweep`]. That covers
+//! ranges, slices, and chunked slices, which is everything the workspace
+//! drives in parallel, and makes `collect` trivially order-preserving.
+
+use std::cell::UnsafeCell;
+use std::ops::{ControlFlow, Range};
+
+use crate::sweep::{default_block_size, worker_sweep};
+
+/// A random-access description of a parallel sequence.
+pub trait IndexedSource: Sync {
+    /// Element type produced per index.
+    type Item: Send;
+    /// Number of elements.
+    fn len(&self) -> usize;
+    /// Whether the sequence is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Produce element `i` (`i < len()`); called exactly once per index.
+    fn get(&self, i: usize) -> Self::Item;
+}
+
+/// A parallel iterator over an indexed source.
+pub struct ParIter<S> {
+    src: S,
+    block: Option<usize>,
+}
+
+impl<S: IndexedSource> ParIter<S> {
+    pub(crate) fn new(src: S) -> Self {
+        Self { src, block: None }
+    }
+
+    /// Override the scheduling block size (defaults to a load-balanced
+    /// choice based on the current thread count).
+    pub fn with_block_size(mut self, block: usize) -> Self {
+        self.block = Some(block.max(1));
+        self
+    }
+
+    fn block_size(&self) -> usize {
+        self.block.unwrap_or_else(|| default_block_size(self.src.len()))
+    }
+
+    /// Transform every element.
+    pub fn map<R: Send, F>(self, f: F) -> ParIter<MapSrc<S, F>>
+    where
+        F: Fn(S::Item) -> R + Sync,
+    {
+        ParIter {
+            src: MapSrc { base: self.src, f },
+            block: self.block,
+        }
+    }
+
+    /// Run `f` on every element (unordered across workers).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(S::Item) + Sync,
+    {
+        let block = self.block_size();
+        let src = &self.src;
+        worker_sweep(
+            src.len(),
+            block,
+            |_| (),
+            |(), r: Range<usize>| {
+                for i in r {
+                    f(src.get(i));
+                }
+                ControlFlow::Continue(())
+            },
+        );
+    }
+
+    /// Collect all elements, preserving index order.
+    pub fn collect<C: FromIterator<S::Item>>(self) -> C {
+        let block = self.block_size();
+        let src = &self.src;
+        collect_indexed(src.len(), block, |i| src.get(i))
+            .into_iter()
+            .collect()
+    }
+
+    /// Sum all elements.
+    pub fn sum<T>(self) -> T
+    where
+        T: std::iter::Sum<S::Item> + std::iter::Sum<T> + Send,
+    {
+        let block = self.block_size();
+        let src = &self.src;
+        let parts = worker_sweep(
+            src.len(),
+            block,
+            |_| Vec::new(),
+            |acc: &mut Vec<S::Item>, r: Range<usize>| {
+                for i in r {
+                    acc.push(src.get(i));
+                }
+                ControlFlow::Continue(())
+            },
+        );
+        parts.into_iter().map(|p| p.into_iter().sum::<T>()).sum()
+    }
+}
+
+/// Element `i` written by exactly one sweep worker, then drained on the
+/// caller thread; `Sync` is sound because blocks partition the index
+/// space.
+struct OutSlot<T>(UnsafeCell<Option<T>>);
+
+unsafe impl<T: Send> Sync for OutSlot<T> {}
+
+pub(crate) fn collect_indexed<T: Send>(
+    len: usize,
+    block: usize,
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    let slots: Vec<OutSlot<T>> = (0..len).map(|_| OutSlot(UnsafeCell::new(None))).collect();
+    worker_sweep(
+        len,
+        block,
+        |_| (),
+        |(), r: Range<usize>| {
+            for i in r {
+                let value = f(i);
+                // SAFETY: index `i` belongs to exactly one dispensed block,
+                // so no other worker touches this slot.
+                unsafe { *slots[i].0.get() = Some(value) };
+            }
+            ControlFlow::Continue(())
+        },
+    );
+    slots
+        .into_iter()
+        .map(|s| s.0.into_inner().expect("sweep wrote every index"))
+        .collect()
+}
+
+/// `map` adapter source.
+pub struct MapSrc<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: IndexedSource, R: Send, F: Fn(S::Item) -> R + Sync> IndexedSource for MapSrc<S, F> {
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn get(&self, i: usize) -> R {
+        (self.f)(self.base.get(i))
+    }
+}
+
+/// Integer-range source.
+pub struct RangeSrc<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! impl_range_source {
+    ($($t:ty),*) => {$(
+        impl IndexedSource for RangeSrc<$t> {
+            type Item = $t;
+
+            fn len(&self) -> usize {
+                self.len
+            }
+
+            fn get(&self, i: usize) -> $t {
+                self.start + i as $t
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = ParIter<RangeSrc<$t>>;
+
+            fn into_par_iter(self) -> Self::Iter {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                ParIter::new(RangeSrc { start: self.start, len })
+            }
+        }
+    )*};
+}
+
+impl_range_source!(u32, u64, usize);
+
+/// Borrowed-slice source (`Item = &T`).
+pub struct SliceSrc<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> IndexedSource for SliceSrc<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn get(&self, i: usize) -> &'a T {
+        &self.slice[i]
+    }
+}
+
+/// Chunked-slice source (`Item = &[T]`).
+pub struct ChunksSrc<'a, T> {
+    slice: &'a [T],
+    chunk: usize,
+}
+
+impl<'a, T: Sync> IndexedSource for ChunksSrc<'a, T> {
+    type Item = &'a [T];
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    fn get(&self, i: usize) -> &'a [T] {
+        let lo = i * self.chunk;
+        let hi = (lo + self.chunk).min(self.slice.len());
+        &self.slice[lo..hi]
+    }
+}
+
+/// Conversion into a parallel iterator (mirrors rayon's trait).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Iterator type.
+    type Iter;
+    /// Build the parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = ParIter<SliceSrc<'a, T>>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        ParIter::new(SliceSrc { slice: self })
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = ParIter<SliceSrc<'a, T>>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        ParIter::new(SliceSrc { slice: self })
+    }
+}
+
+/// Slice entry points (mirrors rayon's `ParallelSlice`).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> ParIter<SliceSrc<'_, T>>;
+    /// Parallel iterator over `chunk`-sized sub-slices (last may be
+    /// shorter).
+    ///
+    /// # Panics
+    /// Panics if `chunk == 0`.
+    fn par_chunks(&self, chunk: usize) -> ParIter<ChunksSrc<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<SliceSrc<'_, T>> {
+        ParIter::new(SliceSrc { slice: self })
+    }
+
+    fn par_chunks(&self, chunk: usize) -> ParIter<ChunksSrc<'_, T>> {
+        assert!(chunk > 0, "chunk size must be positive");
+        // One scheduling block per chunk: the chunk is the load unit.
+        ParIter::new(ChunksSrc { slice: self, chunk }).with_block_size(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let squares: Vec<u64> = (0u64..1000).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 1000);
+        assert!(squares.iter().enumerate().all(|(i, &s)| s == (i * i) as u64));
+    }
+
+    #[test]
+    fn slice_par_iter_sums() {
+        let data: Vec<u64> = (0..500).collect();
+        let total: u64 = data.par_iter().map(|&x| x).sum();
+        assert_eq!(total, 499 * 500 / 2);
+    }
+
+    #[test]
+    fn par_chunks_cover_slice() {
+        let data: Vec<u32> = (0..103).collect();
+        let chunk_sums: Vec<u32> = data.par_chunks(10).map(|c| c.iter().sum()).collect();
+        assert_eq!(chunk_sums.len(), 11);
+        assert_eq!(chunk_sums.iter().sum::<u32>(), data.iter().sum::<u32>());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let v: Vec<u32> = (5u32..5).into_par_iter().collect();
+        assert!(v.is_empty());
+        let e: Vec<u32> = Vec::new();
+        let w: Vec<u32> = e.par_iter().map(|&x| x).collect();
+        assert!(w.is_empty());
+    }
+}

@@ -1,0 +1,197 @@
+//! Offline work-alike of `rayon`.
+//!
+//! The build environment has no crates registry, so the workspace vendors
+//! the parallel-iterator API subset it needs as a path crate with the same
+//! name. Everything runs on `std::thread::scope` with dynamic chunk
+//! scheduling (an atomic block dispenser instead of work stealing), which
+//! for the coarse-grained workloads in this repo — per-tuple ERM fits,
+//! per-example type computations, per-source BFS — behaves like rayon's
+//! pool to within noise.
+//!
+//! Supported surface:
+//!
+//! * [`prelude`] — `into_par_iter()` on integer ranges, `par_iter()` /
+//!   `par_chunks()` on slices, with `map`, `for_each`, `collect`, `sum`;
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] — scoped control of
+//!   the worker count (`num_threads(0)` = all cores, like rayon);
+//! * [`current_num_threads`], [`join`];
+//! * [`sweep::worker_sweep`] — a shim *extension* (not in real rayon):
+//!   the chunked sweep primitive with per-worker state and cooperative
+//!   early exit that the ERM engine drives directly. With real rayon this
+//!   role is played by `fold`/`reduce`; the extension keeps per-worker
+//!   state explicit so callers can merge side arenas deterministically.
+
+pub mod iter;
+pub mod prelude;
+pub mod sweep;
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`] (and set
+    /// to 1 inside sweep workers so nested calls degrade to sequential
+    /// instead of oversubscribing).
+    static CURRENT_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+static GLOBAL_OVERRIDE: OnceLock<usize> = OnceLock::new();
+
+/// Number of worker threads parallel operations on this thread will use.
+///
+/// Resolution order: innermost [`ThreadPool::install`] scope, then the
+/// global pool from [`ThreadPoolBuilder::build_global`], then the
+/// `RAYON_NUM_THREADS` environment variable, then available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = CURRENT_OVERRIDE.with(Cell::get) {
+        return n.max(1);
+    }
+    if let Some(&n) = GLOBAL_OVERRIDE.get() {
+        return n.max(1);
+    }
+    if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+    })
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced by the shim;
+/// kept so caller signatures match real rayon).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings (all cores).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Use `n` worker threads; `0` means one per core.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build a scoped pool handle.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+
+    /// Install this configuration as the process-global default.
+    /// Later calls are ignored (first build_global wins), like rayon.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            self.num_threads
+        };
+        let _ = GLOBAL_OVERRIDE.set(n);
+        Ok(())
+    }
+}
+
+/// A handle fixing the worker count for operations run under
+/// [`ThreadPool::install`].
+///
+/// The shim has no persistent worker threads; the handle only scopes the
+/// thread-count used by parallel operations, which spawn on demand.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `op` with this pool's thread count as the ambient default.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = CURRENT_OVERRIDE.with(|c| c.replace(Some(self.num_threads)));
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                CURRENT_OVERRIDE.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        op()
+    }
+}
+
+/// Internal: pin the calling thread to sequential mode (used inside sweep
+/// workers so nested parallel calls don't oversubscribe).
+pub(crate) fn enter_worker_thread() {
+    CURRENT_OVERRIDE.with(|c| c.set(Some(1)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let outside = current_num_threads();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn nested_install_innermost_wins() {
+        let outer = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let inner = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let n = outer.install(|| inner.install(current_num_threads));
+        assert_eq!(n, 2);
+    }
+}

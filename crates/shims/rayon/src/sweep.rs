@@ -1,0 +1,157 @@
+//! The chunked worker-sweep execution primitive.
+//!
+//! Everything parallel in this shim bottoms out here: a half-open index
+//! space `0..len` is carved into fixed-size blocks, worker threads grab
+//! blocks off an atomic dispenser (dynamic load balancing without work
+//! stealing), and each worker threads a private state value through the
+//! blocks it processes. Callers that need global coordination (pruning
+//! bounds, short-circuits) capture atomics in `body` and may return
+//! [`ControlFlow::Break`] to retire a worker early.
+
+use std::ops::{ControlFlow, Range};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::current_num_threads;
+
+/// Sweep `0..len` in blocks of `block` indices with per-worker state.
+///
+/// * `init(worker_id)` builds each worker's private state;
+/// * `body(state, range)` processes one block; returning
+///   `ControlFlow::Break(())` retires *that worker* (cooperative early
+///   exit — other workers keep draining unless they also break);
+/// * the states of all workers that ran are returned sorted by worker id,
+///   so callers can merge side products (arenas, tallies) in a
+///   deterministic order.
+///
+/// Blocks are dispensed in increasing index order; with a single worker
+/// (or `len <= block`) the sweep degenerates to the plain sequential
+/// loop, processing blocks strictly in order. Worker threads are pinned
+/// to sequential mode so nested parallel calls inside `body` don't
+/// oversubscribe the machine.
+pub fn worker_sweep<St, I, F>(len: usize, block: usize, init: I, body: F) -> Vec<St>
+where
+    St: Send,
+    I: Fn(usize) -> St + Sync,
+    F: Fn(&mut St, Range<usize>) -> ControlFlow<()> + Sync,
+{
+    let block = block.max(1);
+    if len == 0 {
+        return Vec::new();
+    }
+    let blocks = len.div_ceil(block);
+    let workers = current_num_threads().min(blocks).max(1);
+    if workers == 1 {
+        let mut state = init(0);
+        for b in 0..blocks {
+            let lo = b * block;
+            let hi = (lo + block).min(len);
+            if body(&mut state, lo..hi).is_break() {
+                break;
+            }
+        }
+        return vec![state];
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let states: Mutex<Vec<(usize, St)>> = Mutex::new(Vec::with_capacity(workers));
+    std::thread::scope(|scope| {
+        for wid in 0..workers {
+            let cursor = &cursor;
+            let states = &states;
+            let init = &init;
+            let body = &body;
+            scope.spawn(move || {
+                crate::enter_worker_thread();
+                let mut state = init(wid);
+                loop {
+                    let lo = cursor.fetch_add(block, Ordering::Relaxed);
+                    if lo >= len {
+                        break;
+                    }
+                    let hi = (lo + block).min(len);
+                    if body(&mut state, lo..hi).is_break() {
+                        break;
+                    }
+                }
+                states.lock().unwrap().push((wid, state));
+            });
+        }
+    });
+    let mut states = states.into_inner().unwrap();
+    states.sort_unstable_by_key(|(wid, _)| *wid);
+    states.into_iter().map(|(_, st)| st).collect()
+}
+
+/// A reasonable block size for `len` items: small enough to balance load
+/// across the current thread count, large enough to amortise dispatch.
+pub fn default_block_size(len: usize) -> usize {
+    let threads = current_num_threads();
+    (len / (threads * 8).max(1)).clamp(1, 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn sweep_covers_every_index_once() {
+        let hits = AtomicU64::new(0);
+        let sum = AtomicU64::new(0);
+        worker_sweep(
+            1000,
+            7,
+            |_| (),
+            |(), r| {
+                for i in r {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    sum.fetch_add(i as u64, Ordering::Relaxed);
+                }
+                ControlFlow::Continue(())
+            },
+        );
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
+        assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn per_worker_states_merge() {
+        let states = worker_sweep(
+            100,
+            3,
+            |_| 0u64,
+            |acc, r| {
+                *acc += r.map(|i| i as u64).sum::<u64>();
+                ControlFlow::Continue(())
+            },
+        );
+        assert_eq!(states.iter().sum::<u64>(), 99 * 100 / 2);
+    }
+
+    #[test]
+    fn break_retires_worker() {
+        // Single-threaded determinism: force one worker, break after the
+        // first block; only that block's indices are seen.
+        let pool = crate::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let seen = pool.install(|| {
+            worker_sweep(
+                100,
+                10,
+                |_| Vec::new(),
+                |acc: &mut Vec<usize>, r| {
+                    acc.extend(r);
+                    ControlFlow::Break(())
+                },
+            )
+        });
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0], (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_sweep_is_empty() {
+        let states = worker_sweep(0, 8, |_| 1u8, |_, _| ControlFlow::Continue(()));
+        assert!(states.is_empty());
+    }
+}

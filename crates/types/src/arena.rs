@@ -113,6 +113,39 @@ impl TypeArena {
             .enumerate()
             .map(|(i, n)| (TypeId(i as u32), n))
     }
+
+    /// Merge every node of `other` into `self`, returning the remap table:
+    /// `remap[i.index()]` is the id in `self` of `other`'s node `i`.
+    ///
+    /// This is how per-worker arenas from a parallel sweep are folded back
+    /// into a shared arena: each worker interns types privately (no lock
+    /// contention), then the winner's arena is absorbed once at the end.
+    /// Nodes are visited in id order, which works because children are
+    /// always interned before their parents (child id < parent id) — the
+    /// construction order of [`crate::compute::TypeComputer`] and the
+    /// local-type helpers.
+    ///
+    /// # Panics
+    /// Panics if the arenas speak different vocabularies.
+    pub fn absorb(&mut self, other: &TypeArena) -> Vec<TypeId> {
+        assert!(
+            self.vocab == other.vocab,
+            "absorb requires arenas over the same vocabulary"
+        );
+        let mut remap: Vec<TypeId> = Vec::with_capacity(other.nodes.len());
+        for node in &other.nodes {
+            let mut mapped = node.clone();
+            for (child, _) in mapped.children.iter_mut() {
+                *child = remap[child.index()];
+            }
+            // Children are canonically sorted by id, and relative id order
+            // is arena-local, so the remapped list must be re-sorted to
+            // match what direct interning into `self` would produce.
+            mapped.children.sort_unstable();
+            remap.push(self.intern(mapped));
+        }
+        remap
+    }
 }
 
 impl std::fmt::Debug for TypeArena {
@@ -152,6 +185,45 @@ mod tests {
         assert_ne!(a, c);
         assert_eq!(arena.len(), 2);
         assert_eq!(arena.node(a).arity, 2);
+    }
+
+    #[test]
+    fn absorb_remaps_children_and_dedups() {
+        let g = generators::path(4, Vocabulary::empty());
+        let leaf = |t: &[V]| TypeNode {
+            rank: 0,
+            cap: 1,
+            arity: t.len() as u16,
+            atomic: AtomicType::of(&g, t),
+            children: Box::new([]),
+        };
+        // Shared arena already knows one leaf; the side arena interns the
+        // two leaves in the opposite relative order, so absorbing must
+        // both dedup and re-sort children by the new ids.
+        let mut main = TypeArena::new(Arc::clone(g.vocab()));
+        let pre = main.intern(leaf(&[V(0), V(2)]));
+        let mut side = TypeArena::new(Arc::clone(g.vocab()));
+        let s_leaf = side.intern(leaf(&[V(0), V(1)]));
+        let s_other = side.intern(leaf(&[V(0), V(2)]));
+        let s_parent = side.intern(TypeNode {
+            rank: 1,
+            cap: 1,
+            arity: 1,
+            atomic: AtomicType::of(&g, &[V(0)]),
+            children: Box::new([(s_leaf, 1), (s_other, 1)]),
+        });
+        // Absorbing into an empty arena is the identity remap.
+        let mut fresh = TypeArena::new(Arc::clone(g.vocab()));
+        assert_eq!(fresh.absorb(&side), vec![TypeId(0), TypeId(1), TypeId(2)]);
+        let remap = main.absorb(&side);
+        assert_eq!(remap[s_other.index()], pre); // deduped against existing
+        assert_eq!(remap[s_leaf.index()], TypeId(1));
+        let parent = main.node(remap[s_parent.index()]);
+        // Children now point at main-arena ids, re-sorted: `pre` (id 0)
+        // sorts before the absorbed leaf (id 1), inverting the side order.
+        assert_eq!(parent.children[0].0, pre);
+        assert_eq!(parent.children[1].0, remap[s_leaf.index()]);
+        assert_eq!(main.len(), 3);
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod compute;
 pub mod ef;
 pub mod hintikka;
 pub mod local;
+pub mod par;
 pub mod satisfies;
 
 pub use arena::{TypeArena, TypeId, TypeNode};

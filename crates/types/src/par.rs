@@ -1,0 +1,191 @@
+//! Parallel batch type computation over sharded arenas.
+//!
+//! Computing types for a batch of tuples is embarrassingly parallel except
+//! for the shared hash-consing arena. Locking the arena per intern would
+//! serialise the workers, so the batch is split into *fixed-size chunks*:
+//! each chunk computes its types into a private [`TypeArena`], and the
+//! chunk arenas are then absorbed into the caller's arena in chunk order
+//! ([`TypeArena::absorb`]).
+//!
+//! Because the chunking depends only on the input (never on the thread
+//! count or scheduling), and because absorbing chunks in order interns
+//! globally-novel types in exactly their order of first occurrence, the
+//! returned ids — and the final state of the shared arena — are
+//! **identical to a sequential run**, for any thread count. Callers can
+//! therefore swap these in for their sequential loops without changing
+//! any downstream id-sensitive behaviour.
+
+use std::ops::ControlFlow;
+use std::sync::Arc;
+
+use folearn_graph::{Graph, V};
+
+use crate::arena::{TypeArena, TypeId};
+use crate::compute::TypeComputer;
+use crate::local::counting_local_type;
+
+/// Tuples per shard. Fixed (not derived from the thread count) so that
+/// the chunk decomposition — and with it the merged arena's id order —
+/// is a pure function of the input.
+const CHUNK: usize = 32;
+
+/// Batch [`crate::compute::counting_type_of`]: one global counting type
+/// per tuple, computed in parallel, with results and arena state
+/// identical to the sequential loop.
+pub fn par_counting_types_of(
+    g: &Graph,
+    arena: &mut TypeArena,
+    tuples: &[Vec<V>],
+    q: usize,
+    cap: u32,
+) -> Vec<TypeId> {
+    par_types_with(arena, tuples, |shard, chunk, out| {
+        let mut computer = TypeComputer::with_cap(g, shard, cap);
+        out.extend(chunk.iter().map(|t| computer.type_of(t, q)));
+    })
+}
+
+/// Batch [`crate::local::counting_local_type`]: one local counting type
+/// per tuple, computed in parallel, with results and arena state
+/// identical to the sequential loop.
+pub fn par_counting_local_types(
+    g: &Graph,
+    arena: &mut TypeArena,
+    tuples: &[Vec<V>],
+    q: usize,
+    r: usize,
+    cap: u32,
+) -> Vec<TypeId> {
+    par_types_with(arena, tuples, |shard, chunk, out| {
+        for t in chunk {
+            out.push(counting_local_type(g, shard, t, q, r, cap));
+        }
+    })
+}
+
+/// Chunked parallel skeleton: `fill(shard_arena, chunk_tuples, out_ids)`
+/// computes one chunk's types into a private arena.
+fn par_types_with(
+    arena: &mut TypeArena,
+    tuples: &[Vec<V>],
+    fill: impl Fn(&mut TypeArena, &[Vec<V>], &mut Vec<TypeId>) + Sync,
+) -> Vec<TypeId> {
+    if tuples.is_empty() {
+        return Vec::new();
+    }
+    if tuples.len() <= CHUNK || rayon::current_num_threads() == 1 {
+        // Small batches (or a sequential ambient) go straight into the
+        // shared arena — same result, none of the shard overhead.
+        let mut out = Vec::with_capacity(tuples.len());
+        fill(arena, tuples, &mut out);
+        return out;
+    }
+    let vocab = Arc::clone(arena.vocab());
+    let nchunks = tuples.len().div_ceil(CHUNK);
+    let states = rayon::sweep::worker_sweep(
+        nchunks,
+        1,
+        |_| Vec::new(),
+        |acc: &mut Vec<(usize, TypeArena, Vec<TypeId>)>, range| {
+            for c in range {
+                let chunk = &tuples[c * CHUNK..((c + 1) * CHUNK).min(tuples.len())];
+                let mut shard = TypeArena::new(Arc::clone(&vocab));
+                let mut ids = Vec::with_capacity(chunk.len());
+                fill(&mut shard, chunk, &mut ids);
+                acc.push((c, shard, ids));
+            }
+            ControlFlow::Continue(())
+        },
+    );
+    // Re-assemble in chunk order, remapping shard-local ids through the
+    // shared arena. Chunk order makes the merge order — and hence every
+    // newly assigned id — independent of how workers were scheduled.
+    let mut chunks: Vec<(usize, TypeArena, Vec<TypeId>)> =
+        states.into_iter().flatten().collect();
+    chunks.sort_unstable_by_key(|(c, _, _)| *c);
+    let mut out = Vec::with_capacity(tuples.len());
+    for (_, shard, ids) in chunks {
+        let remap = arena.absorb(&shard);
+        out.extend(ids.iter().map(|id| remap[id.index()]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use folearn_graph::{generators, ColorId, Vocabulary};
+
+    use crate::compute::counting_type_of;
+
+    use super::*;
+
+    fn colored_tree(n: usize) -> Graph {
+        let base = generators::random_tree(n, Vocabulary::new(["Red"]), 5);
+        generators::periodically_colored(&base, ColorId(0), 3)
+    }
+
+    #[test]
+    fn par_global_types_match_sequential_ids_exactly() {
+        let g = colored_tree(64);
+        let tuples: Vec<Vec<V>> = g.vertices().map(|v| vec![v]).collect();
+        // Sequential reference: stream every tuple through one arena.
+        let mut seq_arena = TypeArena::new(Arc::clone(g.vocab()));
+        let seq: Vec<TypeId> = tuples
+            .iter()
+            .map(|t| counting_type_of(&g, &mut seq_arena, t, 2, 1))
+            .collect();
+        for threads in [1, 2, 3, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let mut par_arena = TypeArena::new(Arc::clone(g.vocab()));
+            let par = pool
+                .install(|| par_counting_types_of(&g, &mut par_arena, &tuples, 2, 1));
+            // Not just equivalent: id-for-id identical, arena included.
+            assert_eq!(par, seq, "threads={threads}");
+            assert_eq!(par_arena.len(), seq_arena.len(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_local_types_match_sequential_ids_exactly() {
+        let g = colored_tree(80);
+        let tuples: Vec<Vec<V>> =
+            g.vertices().map(|v| vec![v, V(v.0 % 11)]).collect();
+        let mut seq_arena = TypeArena::new(Arc::clone(g.vocab()));
+        let seq: Vec<TypeId> = tuples
+            .iter()
+            .map(|t| counting_local_type(&g, &mut seq_arena, t, 1, 2, 2))
+            .collect();
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let mut par_arena = TypeArena::new(Arc::clone(g.vocab()));
+        let par = pool.install(|| {
+            par_counting_local_types(&g, &mut par_arena, &tuples, 1, 2, 2)
+        });
+        assert_eq!(par, seq);
+        assert_eq!(par_arena.len(), seq_arena.len());
+    }
+
+    #[test]
+    fn par_types_into_preloaded_arena() {
+        // The shared arena may already hold types from earlier batches;
+        // absorbed chunks must dedup against them.
+        let g = colored_tree(48);
+        let tuples: Vec<Vec<V>> = g.vertices().map(|v| vec![v]).collect();
+        let mut arena = TypeArena::new(Arc::clone(g.vocab()));
+        let first = par_counting_types_of(&g, &mut arena, &tuples, 1, 1);
+        let len_after_first = arena.len();
+        let again = par_counting_types_of(&g, &mut arena, &tuples, 1, 1);
+        assert_eq!(first, again, "re-running the same batch must be stable");
+        assert_eq!(arena.len(), len_after_first, "no duplicate types interned");
+    }
+
+    #[test]
+    fn empty_batch() {
+        let g = colored_tree(8);
+        let mut arena = TypeArena::new(Arc::clone(g.vocab()));
+        assert!(par_counting_types_of(&g, &mut arena, &[], 1, 1).is_empty());
+        assert!(arena.is_empty());
+    }
+}

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, the full test suite, and lint-clean clippy.
+#
+# The workspace vendors all third-party dependencies as path crates under
+# crates/shims/ (no registry packages in Cargo.lock), so --offline always
+# works and the gate is hermetic.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --offline --release --workspace
+cargo test  --offline -q --workspace
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "tier1: OK"

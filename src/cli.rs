@@ -5,7 +5,7 @@
 //!
 //! Subcommands:
 //!
-//! * `learn      --graph G.txt --examples E.txt [--ell N] [--q N] [--solver brute|nd|local] [--mode global|local=R|counting=CAP]`
+//! * `learn      --graph G.txt --examples E.txt [--ell N] [--q N] [--solver brute|nd|local] [--mode global|local=R|counting=CAP] [--threads N] [--prune on|off]`
 //! * `modelcheck --graph G.txt --formula "<sentence>"`
 //! * `splitter   --graph G.txt [--radius R]`
 //! * `types      --graph G.txt [--q N] [--k N]`
@@ -18,6 +18,7 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
+use folearn::bruteforce::BruteForceOpts;
 use folearn::ndlearner::NdConfig;
 use folearn::problem::{ErmInstance, Example, TrainingSequence};
 use folearn::{shared_arena, solve_fo_erm, Solver, TypeMode};
@@ -153,6 +154,15 @@ pub fn parse_mode(s: &str) -> Result<TypeMode, CliError> {
     Err(err(format!("unknown --mode {s:?}")))
 }
 
+/// Parse an `on`/`off` (or `true`/`false`) switch value.
+fn parse_on_off(s: &str, key: &str) -> Result<bool, CliError> {
+    match s {
+        "on" | "true" | "1" => Ok(true),
+        "off" | "false" | "0" => Ok(false),
+        _ => Err(err(format!("--{key} expects on|off, got {s:?}"))),
+    }
+}
+
 fn load_graph(opts: &Options) -> Result<Graph, CliError> {
     let path = opts.require("graph")?;
     let text = std::fs::read_to_string(path)
@@ -189,7 +199,16 @@ fn cmd_learn(opts: &Options) -> Result<String, CliError> {
     let q = opts.get_usize("q", 1)?;
     let mode = parse_mode(opts.get("mode").unwrap_or("global"))?;
     let solver = match opts.get("solver").unwrap_or("brute") {
-        "brute" => Solver::BruteForce { mode },
+        "brute" => Solver::BruteForce {
+            mode,
+            opts: BruteForceOpts {
+                threads: opts.get("threads").map(str::parse).transpose().map_err(
+                    |_| err("--threads expects a number (0 = one per core)"),
+                )?,
+                prune: parse_on_off(opts.get("prune").unwrap_or("on"), "prune")?,
+                block_size: None,
+            },
+        },
         "nd" => Solver::NowhereDense(NdConfig::default()),
         "local" => Solver::LocalAccess {
             param_radius: opts.get_usize("param-radius", 2)?,
@@ -203,7 +222,15 @@ fn cmd_learn(opts: &Options) -> Result<String, CliError> {
     let mut out = String::new();
     let _ = writeln!(out, "solver:          {}", report.solver_name);
     let _ = writeln!(out, "training error:  {:.4}", report.error);
-    let _ = writeln!(out, "work units:      {}", report.work);
+    if report.evaluated_params + report.pruned_params > 0 {
+        let _ = writeln!(
+            out,
+            "work units:      {} ({} evaluated, {} pruned)",
+            report.work, report.evaluated_params, report.pruned_params
+        );
+    } else {
+        let _ = writeln!(out, "work units:      {}", report.work);
+    }
     let _ = writeln!(out, "hypothesis:      {}", report.hypothesis.describe());
     let phi = report.hypothesis.to_formula();
     let rendered = parser::render(&phi, g.vocab());
@@ -352,6 +379,26 @@ mod tests {
         let out = run("learn", &args).unwrap();
         assert!(out.contains("training error:  0.0000"), "{out}");
         assert!(out.contains("Red"), "{out}");
+    }
+
+    #[test]
+    fn learn_command_engine_knobs() {
+        let dir = tmpdir("knobs");
+        let gpath = write_graph(&dir);
+        let epath = dir.join("e.txt");
+        std::fs::write(&epath, "+ 0\n+ 3\n+ 6\n- 1\n- 2\n- 4\n- 5\n- 7\n").unwrap();
+        let base = |extra: &[&str]| -> Vec<String> {
+            ["--graph", gpath.to_str().unwrap(), "--examples", epath.to_str().unwrap(), "--q", "0", "--ell", "1"]
+                .iter()
+                .chain(extra)
+                .map(|s| s.to_string())
+                .collect()
+        };
+        let out = run("learn", &base(&["--threads", "2", "--prune", "off"])).unwrap();
+        assert!(out.contains("evaluated"), "{out}");
+        assert!(out.contains("0 pruned"), "{out}");
+        assert!(run("learn", &base(&["--prune", "maybe"])).is_err());
+        assert!(run("learn", &base(&["--threads", "two"])).is_err());
     }
 
     #[test]

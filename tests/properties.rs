@@ -13,9 +13,12 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 
+use folearn_suite::core::bruteforce::{
+    brute_force_erm_sequential, brute_force_erm_with, BruteForceOpts,
+};
 use folearn_suite::core::covering::{verify_covering, vitali_cover};
 use folearn_suite::core::fit::{fit_with_params, TypeMode};
-use folearn_suite::core::problem::TrainingSequence;
+use folearn_suite::core::problem::{ErmInstance, TrainingSequence};
 use folearn_suite::core::shared_arena;
 use folearn_suite::graph::splitter::{
     play_game, ForestSplitter, MaxBallConnector, RandomConnector, SplitterStrategy,
@@ -201,6 +204,72 @@ proptest! {
             best = best.min(err);
         }
         prop_assert!((fit_err - best).abs() < 1e-12, "fit {} vs best {}", fit_err, best);
+    }
+
+    #[test]
+    fn parallel_erm_bit_identical_to_sequential(
+        g in arb_graph(), labels in 0u64..256, ell in 0usize..3, threads in 1usize..5
+    ) {
+        // The parallel sweep must return the same (error, hypothesis) as
+        // the sequential reference scan for any thread count / block size.
+        let examples = TrainingSequence::from_pairs(
+            g.vertices()
+                .enumerate()
+                .map(|(i, v)| (vec![v], labels >> i & 1 == 1)),
+        );
+        let inst = ErmInstance::new(&g, examples, 1, ell, 1, 0.0);
+        let seq = {
+            let arena = shared_arena(&g);
+            brute_force_erm_sequential(&inst, TypeMode::Global, &arena)
+        };
+        let arena = shared_arena(&g);
+        let opts = BruteForceOpts {
+            threads: Some(threads),
+            prune: true,
+            block_size: Some(2),
+        };
+        let par = brute_force_erm_with(&inst, TypeMode::Global, &arena, &opts);
+        prop_assert_eq!(par.error.to_bits(), seq.error.to_bits(),
+            "errors differ: {} vs {}", par.error, seq.error);
+        prop_assert_eq!(par.hypothesis.params(), seq.hypothesis.params());
+        for v in g.vertices() {
+            prop_assert_eq!(
+                par.hypothesis.predict(&g, &[v]),
+                seq.hypothesis.predict(&g, &[v]),
+                "predictions diverge at {}", v
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_never_changes_the_optimum(
+        g in arb_graph(), labels in 0u64..256, ell in 0usize..3
+    ) {
+        let examples = TrainingSequence::from_pairs(
+            g.vertices()
+                .enumerate()
+                .map(|(i, v)| (vec![v], labels >> i & 1 == 1)),
+        );
+        let inst = ErmInstance::new(&g, examples, 1, ell, 1, 0.0);
+        let run = |prune: bool| {
+            let arena = shared_arena(&g);
+            let opts = BruteForceOpts {
+                threads: Some(1),
+                prune,
+                block_size: None,
+            };
+            brute_force_erm_with(&inst, TypeMode::Global, &arena, &opts)
+        };
+        let full = run(false);
+        let pruned = run(true);
+        prop_assert_eq!(full.error.to_bits(), pruned.error.to_bits());
+        prop_assert_eq!(full.hypothesis.params(), pruned.hypothesis.params());
+        prop_assert_eq!(full.pruned_params, 0);
+        // Pruning abandons tallies early but touches the same tuples.
+        prop_assert_eq!(
+            pruned.evaluated_params + pruned.pruned_params,
+            full.evaluated_params
+        );
     }
 
     #[test]
