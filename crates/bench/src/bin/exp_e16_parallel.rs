@@ -5,11 +5,11 @@
 //! scales near-linearly in cores until arena-merge overhead dominates;
 //! pruning cuts tallied work further at no cost in quality.
 //!
-//! Writes the measurements as JSON (hand-rendered, stable key order) to
-//! `BENCH_parallel_erm.json` — or a path given as the first CLI argument —
-//! so the perf trajectory is tracked from this PR onward.
+//! Writes the measurements as JSON (stable key order, via the shared
+//! `folearn_bench::write_json_file` writer) to `BENCH_parallel_erm.json` —
+//! or a path given as the first CLI argument — so the perf trajectory is
+//! tracked from this PR onward.
 
-use std::fmt::Write as _;
 use std::time::Duration;
 
 use folearn::bruteforce::{
@@ -19,10 +19,23 @@ use folearn::bruteforce::{
 use folearn::fit::TypeMode;
 use folearn::problem::{ErmInstance, TrainingSequence};
 use folearn::shared_arena;
-use folearn_bench::{banner, cells, ms, timed, verdict, Table};
+use folearn_bench::{
+    banner, cells, ms, timed, verdict, write_json_file, Json, Table,
+};
 use folearn_graph::V;
 
 const MODE: TypeMode = TypeMode::Local { r: 1 };
+
+/// Milliseconds rounded to 3 decimals, as a JSON number.
+fn json_ms(d: Duration) -> Json {
+    Json::Num((d.as_secs_f64() * 1e6).round() / 1e3)
+}
+
+/// A float rounded to 3–4 decimals, as a JSON number.
+fn json_round(x: f64, decimals: i32) -> Json {
+    let scale = 10f64.powi(decimals);
+    Json::Num((x * scale).round() / scale)
+}
 
 /// Best-of-2 timing of one engine run.
 fn run_once(
@@ -62,18 +75,11 @@ fn main() {
         "n", "engine", "threads", "prune", "time-ms", "speedup", "evaluated",
         "pruned", "err",
     ]);
-    let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"experiment\": \"E16\",");
-    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
-    let _ = writeln!(json, "  \"ell\": 2,");
-    let _ = writeln!(json, "  \"q\": 1,");
-    let _ = writeln!(json, "  \"mode\": \"local r=1\",");
-    let _ = writeln!(json, "  \"instances\": [");
-
+    let mut instances = Vec::new();
     let mut all_deterministic = true;
     let mut best_speedup = 0.0f64;
     let ns = [32usize, 64];
-    for (gi, &n) in ns.iter().enumerate() {
+    for &n in &ns {
         let g = folearn_bench::red_tree(n, 4, 11);
         // Unrealisable pseudo-random labels: no perfect fit, so every
         // engine touches all n^2 tuples and timings measure the sweep.
@@ -94,17 +100,7 @@ fn main() {
             seq.pruned_params,
             format!("{:.4}", seq.error)
         ));
-        let _ = writeln!(json, "    {{");
-        let _ = writeln!(json, "      \"n\": {n},");
-        let _ = writeln!(json, "      \"tuples\": {},", n * n);
-        let _ = writeln!(
-            json,
-            "      \"sequential_ms\": {:.3},",
-            seq_time.as_secs_f64() * 1e3
-        );
-        let _ = writeln!(json, "      \"runs\": [");
-
-        let mut rows = Vec::new();
+        let mut runs = Vec::new();
         for threads in [1usize, 2, 4] {
             for prune in [false, true] {
                 let opts = BruteForceOpts {
@@ -130,33 +126,44 @@ fn main() {
                     res.pruned_params,
                     format!("{:.4}", res.error)
                 ));
-                rows.push(format!(
-                    "        {{\"threads\": {threads}, \"prune\": {prune}, \
-                     \"ms\": {:.3}, \"speedup\": {speedup:.3}, \
-                     \"evaluated\": {}, \"pruned\": {}, \
-                     \"prune_rate\": {:.4}, \"bit_identical\": {identical}}}",
-                    t.as_secs_f64() * 1e3,
-                    res.evaluated_params,
-                    res.pruned_params,
-                    res.pruned_params as f64 / touched.max(1) as f64,
-                ));
+                runs.push(Json::obj([
+                    ("threads", Json::int(threads)),
+                    ("prune", Json::Bool(prune)),
+                    ("ms", json_ms(t)),
+                    ("speedup", json_round(speedup, 3)),
+                    ("evaluated", Json::int(res.evaluated_params)),
+                    ("pruned", Json::int(res.pruned_params)),
+                    (
+                        "prune_rate",
+                        json_round(
+                            res.pruned_params as f64 / touched.max(1) as f64,
+                            4,
+                        ),
+                    ),
+                    ("bit_identical", Json::Bool(identical)),
+                ]));
             }
         }
-        let _ = writeln!(json, "{}", rows.join(",\n"));
-        let _ = writeln!(json, "      ]");
-        let _ = writeln!(
-            json,
-            "    }}{}",
-            if gi + 1 < ns.len() { "," } else { "" }
-        );
+        instances.push(Json::obj([
+            ("n", Json::int(n)),
+            ("tuples", Json::int(n * n)),
+            ("sequential_ms", json_ms(seq_time)),
+            ("runs", Json::Arr(runs)),
+        ]));
     }
-    let _ = writeln!(json, "  ],");
-    let _ = writeln!(json, "  \"all_bit_identical\": {all_deterministic},");
-    let _ = writeln!(json, "  \"best_speedup\": {best_speedup:.3}");
-    json.push_str("}\n");
+    let json = Json::obj([
+        ("experiment", Json::str("E16")),
+        ("host_threads", Json::int(host_threads)),
+        ("ell", Json::int(2)),
+        ("q", Json::int(1)),
+        ("mode", Json::str("local r=1")),
+        ("instances", Json::Arr(instances)),
+        ("all_bit_identical", Json::Bool(all_deterministic)),
+        ("best_speedup", json_round(best_speedup, 3)),
+    ]);
 
     table.print();
-    if let Err(e) = std::fs::write(&out_path, &json) {
+    if let Err(e) = write_json_file(&out_path, &json) {
         eprintln!("cannot write {out_path}: {e}");
         std::process::exit(1);
     }

@@ -1,0 +1,175 @@
+//! E17 — the folearn daemon: result-cache effectiveness under load.
+//!
+//! Claim: serving the deterministic brute-force learner behind the
+//! loopback daemon's LRU result cache makes repeated solves cheap —
+//! a cache-warm repeat of an identical solve answers at least 5× faster
+//! than the cold computation, returns a bit-identical outcome, and a
+//! mixed concurrent workload sustains a nonzero cache hit rate.
+//!
+//! Writes the measurements (via the shared `write_json_file` writer) to
+//! `BENCH_server.json` — or a path given as the first CLI argument.
+
+use std::time::Instant;
+
+use folearn_bench::{
+    banner, cells, red_tree, verdict, write_json_file, Json, Table,
+};
+use folearn_graph::io;
+use folearn_server::{
+    run_load, start, Client, LoadgenConfig, ServerConfig, SolverSpec,
+    WireExample,
+};
+
+/// Repeats of the identical (cache-warm) solve; the median is reported.
+const WARM_REPEATS: usize = 9;
+
+fn us_since(t: Instant) -> u64 {
+    t.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_server.json".to_string());
+    banner(
+        "E17 (folearn-server load)",
+        "cache-warm repeat solves answer ≥5× faster than cold ones, \
+         bit-identically; a concurrent mixed workload keeps hitting the cache",
+    );
+
+    let handle = start(&ServerConfig::default()).expect("daemon starts");
+    let addr = handle.addr();
+    println!("daemon: {addr}");
+    println!();
+
+    let g = red_tree(48, 4, 11);
+    let graph_text = io::to_text(&g);
+
+    // --- Cold vs cache-warm latency on one fixed solve ------------------
+    let mut client = Client::connect(addr).expect("client connects");
+    let structure = client.register(&graph_text).expect("register");
+    let sample: Vec<WireExample> = (0..8)
+        .map(|i| WireExample {
+            tuple: vec![(i * 5) % g.num_vertices() as u32],
+            label: i % 2 == 0,
+        })
+        .collect();
+    let solve = |c: &mut Client| {
+        c.solve(structure, sample.clone(), 1, 1, 0.0, SolverSpec::default_brute())
+            .expect("solve")
+    };
+
+    let t0 = Instant::now();
+    let cold = solve(&mut client);
+    let cold_us = us_since(t0);
+    assert!(!cold.cached, "first solve must be computed fresh");
+
+    let mut warm_us: Vec<u64> = (0..WARM_REPEATS)
+        .map(|_| {
+            let t = Instant::now();
+            let warm = solve(&mut client);
+            assert!(warm.cached, "repeat solve must be served from cache");
+            assert_eq!(
+                warm.hypothesis.id, cold.hypothesis.id,
+                "cached outcome must be bit-identical"
+            );
+            assert_eq!(warm.error.to_bits(), cold.error.to_bits());
+            us_since(t)
+        })
+        .collect();
+    warm_us.sort_unstable();
+    let warm_median_us = warm_us[warm_us.len() / 2];
+    let latency_ratio = cold_us as f64 / warm_median_us.max(1) as f64;
+
+    let mut table = Table::new(&["solve", "latency-us"]);
+    table.row(cells!("cold", cold_us));
+    table.row(cells!("warm (median)", warm_median_us));
+    table.row(cells!("ratio", format!("{latency_ratio:.1}x")));
+    table.print();
+    println!();
+
+    // --- Mixed concurrent workload at rising connection counts ----------
+    let mut load_table = Table::new(&[
+        "conns", "requests", "errors", "req/s", "cached", "fresh",
+        "solve-p50-us",
+    ]);
+    let mut load_runs = Vec::new();
+    for connections in [1usize, 2, 4] {
+        let config = LoadgenConfig {
+            connections,
+            requests_per_conn: 40,
+            seed: 17,
+            sample_pool: 4,
+            ell: 1,
+            q: 1,
+        };
+        let report = run_load(addr, &graph_text, &config).expect("load run");
+        let solve_p50 = report
+            .ops
+            .iter()
+            .find(|(op, _)| op == "solve")
+            .map(|(_, s)| s.quantile_us(0.50))
+            .unwrap_or(0);
+        load_table.row(cells!(
+            connections,
+            report.requests,
+            report.errors,
+            format!("{:.0}", report.throughput()),
+            report.cached_solves,
+            report.fresh_solves,
+            solve_p50
+        ));
+        let mut row = vec![("connections".to_string(), Json::int(connections))];
+        if let Json::Obj(pairs) = report.to_json() {
+            row.extend(pairs);
+        }
+        load_runs.push(Json::Obj(row));
+    }
+    load_table.print();
+
+    // --- Daemon-side cache counters across everything above -------------
+    let stats = client.stats().expect("stats");
+    let cache = stats.get("cache").expect("stats carry a cache block");
+    let hits = cache.get("hits").and_then(Json::as_usize).unwrap_or(0);
+    let misses = cache.get("misses").and_then(Json::as_usize).unwrap_or(0);
+    let hit_rate = cache.get("hit_rate").and_then(Json::as_num).unwrap_or(0.0);
+    println!();
+    println!("cache: {hits} hits / {misses} misses (rate {hit_rate:.3})");
+
+    handle.shutdown();
+
+    let json = Json::obj([
+        ("experiment", Json::str("E17")),
+        ("graph_vertices", Json::int(g.num_vertices())),
+        ("ell", Json::int(1)),
+        ("q", Json::int(1)),
+        ("cold_solve_us", Json::int(cold_us as usize)),
+        ("warm_solve_median_us", Json::int(warm_median_us as usize)),
+        (
+            "latency_ratio",
+            Json::Num((latency_ratio * 10.0).round() / 10.0),
+        ),
+        ("cache_hits", Json::int(hits)),
+        ("cache_misses", Json::int(misses)),
+        (
+            "cache_hit_rate",
+            Json::Num((hit_rate * 1e4).round() / 1e4),
+        ),
+        ("load_runs", Json::Arr(load_runs)),
+    ]);
+    if let Err(e) = write_json_file(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+
+    let ok = hit_rate > 0.0 && latency_ratio >= 5.0;
+    verdict(
+        ok,
+        "cache-warm repeats are ≥5× faster than cold solves and the mixed \
+         workload sustains a nonzero cache hit rate",
+    );
+    if !ok {
+        std::process::exit(1);
+    }
+}

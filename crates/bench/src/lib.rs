@@ -10,6 +10,18 @@ use std::time::{Duration, Instant};
 
 use folearn_graph::{generators, ColorId, Graph, Vocabulary, V};
 
+pub use folearn_server::proto::Json;
+
+/// Write a benchmark result file: pretty-rendered JSON with stable key
+/// order (insertion order of [`Json::Obj`]) and a trailing newline.
+/// All `BENCH_*.json` artefacts go through this writer so their shape
+/// is uniform and diffs stay reviewable.
+pub fn write_json_file(path: &str, value: &Json) -> std::io::Result<()> {
+    let mut text = value.render_pretty();
+    text.push('\n');
+    std::fs::write(path, text)
+}
+
 /// A simple fixed-width table printer (plain text, machine-greppable).
 pub struct Table {
     headers: Vec<String>,

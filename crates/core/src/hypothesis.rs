@@ -57,6 +57,50 @@ pub enum TypeMode {
     },
 }
 
+/// Renders the CLI/wire string form: `global`, `local=R`, `counting=CAP`,
+/// or `local-counting=R,CAP` — the inverse of the [`std::str::FromStr`]
+/// impl, so modes survive a trip through flags and protocol messages.
+impl std::fmt::Display for TypeMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TypeMode::Global => write!(f, "global"),
+            TypeMode::Local { r } => write!(f, "local={r}"),
+            TypeMode::GlobalCounting { cap } => write!(f, "counting={cap}"),
+            TypeMode::LocalCounting { r, cap } => write!(f, "local-counting={r},{cap}"),
+        }
+    }
+}
+
+impl std::str::FromStr for TypeMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        if s == "global" {
+            return Ok(TypeMode::Global);
+        }
+        if let Some(r) = s.strip_prefix("local=") {
+            let r = r.parse().map_err(|_| "bad radius in local=R".to_string())?;
+            return Ok(TypeMode::Local { r });
+        }
+        if let Some(cap) = s.strip_prefix("counting=") {
+            let cap = cap.parse().map_err(|_| "bad cap in counting=CAP".to_string())?;
+            return Ok(TypeMode::GlobalCounting { cap });
+        }
+        if let Some(rest) = s.strip_prefix("local-counting=") {
+            let (r, cap) = rest
+                .split_once(',')
+                .ok_or_else(|| "expected local-counting=R,CAP".to_string())?;
+            return Ok(TypeMode::LocalCounting {
+                r: r.parse().map_err(|_| "bad radius".to_string())?,
+                cap: cap.parse().map_err(|_| "bad cap".to_string())?,
+            });
+        }
+        Err(format!(
+            "unknown type mode {s:?}; expected global | local=R | counting=CAP | local-counting=R,CAP"
+        ))
+    }
+}
+
 impl TypeMode {
     /// The counting cap of the mode (1 for classical FO modes).
     pub fn cap(&self) -> u32 {
@@ -322,6 +366,22 @@ mod tests {
             fit_with_params(&g, &examples, &[], 0, TypeMode::Global, &arena);
         assert!(err_no_params > 0.0);
         assert_eq!(h.params, vec![V(3)]);
+    }
+
+    #[test]
+    fn type_mode_strings_round_trip() {
+        let modes = [
+            TypeMode::Global,
+            TypeMode::Local { r: 3 },
+            TypeMode::GlobalCounting { cap: 2 },
+            TypeMode::LocalCounting { r: 1, cap: 4 },
+        ];
+        for m in modes {
+            assert_eq!(m.to_string().parse::<TypeMode>().unwrap(), m);
+        }
+        assert!("nonsense".parse::<TypeMode>().is_err());
+        assert!("local=".parse::<TypeMode>().is_err());
+        assert!("local-counting=1".parse::<TypeMode>().is_err());
     }
 
     #[test]

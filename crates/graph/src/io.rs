@@ -213,4 +213,48 @@ mod tests {
         assert!(dot.contains("v0 -- v1"));
         assert_eq!(dot.matches("--").count(), 4);
     }
+
+    /// parse(serialize(parse(serialize(g)))) over every generator family:
+    /// serialisation must be a faithful and *stable* image of the graph.
+    #[test]
+    fn generator_zoo_round_trips() {
+        let vocab = || Vocabulary::new(["Red", "Blue", "Green"]);
+        let zoo: Vec<(&str, Graph)> = vec![
+            ("path", generators::path(9, vocab())),
+            ("cycle", generators::cycle(7, vocab())),
+            ("clique", generators::clique(5, vocab())),
+            ("star", generators::star(6, vocab())),
+            ("grid", generators::grid(3, 4, vocab())),
+            ("binary_tree", generators::binary_tree(3, vocab())),
+            ("random_tree", generators::random_tree(12, vocab(), 5)),
+            ("caterpillar", generators::caterpillar(4, 2, vocab())),
+            (
+                "bounded_degree_random",
+                generators::bounded_degree_random(14, 3, 0.7, vocab(), 9),
+            ),
+            ("gnp", generators::gnp(10, 0.4, vocab(), 3)),
+            (
+                "randomly_colored",
+                generators::randomly_colored(&generators::gnp(10, 0.3, vocab(), 4), 0.5, 8),
+            ),
+            (
+                "periodically_colored",
+                generators::periodically_colored(
+                    &generators::cycle(9, vocab()),
+                    ColorId(2),
+                    3,
+                ),
+            ),
+            ("empty_vocab", generators::path(5, Vocabulary::empty())),
+            ("single_vertex", generators::path(1, vocab())),
+        ];
+        for (name, g) in zoo {
+            let text = to_text(&g);
+            let parsed = parse_graph(&text)
+                .unwrap_or_else(|e| panic!("{name}: serialized text rejected: {e}"));
+            assert!(graphs_equal(&g, &parsed), "{name}: parse∘serialize ≠ id");
+            // Serialisation is canonical: a second trip is textually stable.
+            assert_eq!(text, to_text(&parsed), "{name}: serialisation unstable");
+        }
+    }
 }

@@ -73,8 +73,7 @@ pub fn distinguish_via_copies(
     let clean_copy = (0..copies).find(|&i| {
         let off = offsets[i];
         let covered = answer
-            .hypothesis
-            .params
+            .params()
             .iter()
             .any(|p| p.0 >= off && p.0 < off + n);
         if covered {

@@ -5,7 +5,11 @@
 //! training error is within `ε` of the class optimum. The reduction only
 //! ever needs unary instances (`k = 1, ℓ* = 0`), evaluates the returned
 //! hypothesis on vertices, and groups answers by identity (the Ramsey
-//! step) — so an answer is a predictor plus a canonical key.
+//! step) — so an answer is a *predictor* plus a canonical key. The
+//! predictor may live in this process ([`Predictor::Local`], a real
+//! [`Hypothesis`]) or behind a folearn daemon ([`Predictor::Remote`],
+//! evaluated over the wire) — the reduction cannot tell the difference,
+//! which is the point: Lemma 7 treats the learner as a black box.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -15,17 +19,41 @@ use folearn::fit::TypeMode;
 use folearn::{ErmInstance, Hypothesis};
 #[cfg(test)]
 use folearn::TrainingSequence;
-use folearn_graph::{Graph, V};
+use folearn_graph::{io, Graph, V};
+use folearn_server::{Client, ClientError, SolverSpec, WireExample};
 use folearn_types::TypeArena;
 use parking_lot::Mutex;
 
-/// An oracle answer: an evaluable hypothesis with a comparable identity.
+/// How an oracle answer classifies tuples.
+#[derive(Clone)]
+pub enum Predictor {
+    /// An in-process hypothesis (its arena travels with it).
+    Local(Hypothesis),
+    /// A hypothesis stored on a folearn daemon; predictions go over the
+    /// wire through the shared connection. Type ids are only meaningful
+    /// inside the server's arena, so the hypothesis cannot be
+    /// reconstructed locally — exactly the oracle-as-black-box regime.
+    Remote {
+        /// Shared connection to the daemon that owns the hypothesis.
+        client: Arc<Mutex<Client>>,
+        /// Content hash of the structure the hypothesis was learned on.
+        structure: u64,
+        /// Server-assigned hypothesis id.
+        hypothesis: u64,
+        /// The hypothesis's parameter vertices (reported on the wire;
+        /// the disjoint-copies argument inspects them).
+        params: Vec<V>,
+    },
+}
+
+/// An oracle answer: an evaluable predictor with a comparable identity.
 #[derive(Clone)]
 pub struct OracleAnswer {
-    /// The returned hypothesis `h_{φ,w̄}`.
-    pub hypothesis: Hypothesis,
+    /// The returned predictor for `h_{φ,w̄}`.
+    pub predictor: Predictor,
     /// Identity key for grouping equal answers (stable within one oracle
-    /// because the oracle shares one type arena per vocabulary).
+    /// because the oracle shares one type arena per vocabulary — the
+    /// server mirrors this discipline for remote answers).
     pub key: u64,
     /// Whether the instance was realisable (`ε* = 0`) — instrumentation
     /// for Remark 10.
@@ -34,8 +62,43 @@ pub struct OracleAnswer {
 
 impl OracleAnswer {
     /// Evaluate the answer on a tuple of the queried graph.
+    ///
+    /// # Panics
+    /// For remote answers, panics if the connection fails mid-reduction
+    /// (the trait has no error channel; a dead oracle is fatal anyway).
     pub fn predict(&self, g: &Graph, tuple: &[V]) -> bool {
-        self.hypothesis.predict(g, tuple)
+        match &self.predictor {
+            Predictor::Local(h) => h.predict(g, tuple),
+            Predictor::Remote {
+                client,
+                structure,
+                hypothesis,
+                ..
+            } => {
+                let wire_tuple: Vec<u32> = tuple.iter().map(|v| v.0).collect();
+                let (labels, _) = client
+                    .lock()
+                    .evaluate(*structure, *hypothesis, vec![wire_tuple], None)
+                    .expect("remote predict failed");
+                labels[0]
+            }
+        }
+    }
+
+    /// The hypothesis's parameter vertices.
+    pub fn params(&self) -> &[V] {
+        match &self.predictor {
+            Predictor::Local(h) => h.params(),
+            Predictor::Remote { params, .. } => params,
+        }
+    }
+
+    /// The in-process hypothesis, when there is one.
+    pub fn hypothesis(&self) -> Option<&Hypothesis> {
+        match &self.predictor {
+            Predictor::Local(h) => Some(h),
+            Predictor::Remote { .. } => None,
+        }
     }
 }
 
@@ -111,7 +174,108 @@ impl ErmOracle for BruteForceOracle {
         }
         let key = self.key_of(&res.hypothesis);
         OracleAnswer {
-            hypothesis: res.hypothesis,
+            predictor: Predictor::Local(res.hypothesis),
+            key,
+            realizable,
+        }
+    }
+
+    fn calls(&self) -> usize {
+        self.calls
+    }
+
+    fn realizable_calls(&self) -> usize {
+        self.realizable
+    }
+}
+
+/// An ERM oracle backed by a folearn daemon (`folearn serve`): every
+/// `solve` registers the instance's graph (content-addressed, so
+/// repeats are free) and runs the server's deterministic brute-force
+/// solver; answers classify tuples over the wire.
+///
+/// Key parity with [`BruteForceOracle`]: the server keeps one type
+/// arena per vocabulary colour count — the same discipline as the
+/// in-process oracle — and its engine is deterministic, so identical
+/// instances yield identical `(types, params, q)` triples and the local
+/// key table partitions answers exactly as the in-process oracle would.
+/// The reduction only consumes that partition (the Ramsey grouping),
+/// which is why `model_check_via_erm` against a loopback daemon is
+/// bit-identical to the in-process run.
+pub struct RemoteOracle {
+    client: Arc<Mutex<Client>>,
+    /// Local graph memo: canonical-text hash → server structure id
+    /// (avoids re-sending the graph text on every pair query).
+    structures: HashMap<u64, u64>,
+    key_table: HashMap<(Vec<u32>, Vec<u32>, usize), u64>,
+    calls: usize,
+    realizable: usize,
+}
+
+impl RemoteOracle {
+    /// Connect to a daemon at `addr` (e.g. the address of an in-process
+    /// [`folearn_server::start`] handle).
+    pub fn connect(addr: impl std::net::ToSocketAddrs) -> Result<Self, ClientError> {
+        Ok(Self {
+            client: Arc::new(Mutex::new(Client::connect(addr)?)),
+            structures: HashMap::new(),
+            key_table: HashMap::new(),
+            calls: 0,
+            realizable: 0,
+        })
+    }
+}
+
+impl ErmOracle for RemoteOracle {
+    fn solve(&mut self, inst: &ErmInstance<'_>) -> OracleAnswer {
+        self.calls += 1;
+        let text = io::to_text(inst.graph);
+        let local_hash = folearn_server::proto::fnv1a64(text.as_bytes());
+        let mut client = self.client.lock();
+        let structure = match self.structures.get(&local_hash) {
+            Some(&s) => s,
+            None => {
+                let s = client.register(&text).expect("remote register failed");
+                self.structures.insert(local_hash, s);
+                s
+            }
+        };
+        let examples: Vec<WireExample> = inst
+            .examples
+            .iter()
+            .map(|e| WireExample {
+                tuple: e.tuple.iter().map(|v| v.0).collect(),
+                label: e.label,
+            })
+            .collect();
+        let outcome = client
+            .solve(
+                structure,
+                examples,
+                inst.ell,
+                inst.q,
+                inst.epsilon,
+                SolverSpec::default_brute(),
+            )
+            .expect("remote solve failed");
+        drop(client);
+        let realizable = outcome.error == 0.0;
+        if realizable {
+            self.realizable += 1;
+        }
+        let h = outcome.hypothesis;
+        let next = self.key_table.len() as u64;
+        let key = *self
+            .key_table
+            .entry((h.types.clone(), h.params.clone(), h.q))
+            .or_insert(next);
+        OracleAnswer {
+            predictor: Predictor::Remote {
+                client: Arc::clone(&self.client),
+                structure,
+                hypothesis: h.id,
+                params: h.params.iter().map(|&p| V(p)).collect(),
+            },
             key,
             realizable,
         }
@@ -160,9 +324,13 @@ impl<O: ErmOracle> ErmOracle for AdversarialOnUnrealizable<O> {
         // Arbitrary wrong answer: constantly false, with a key that still
         // deterministically identifies "the corrupted answer" so the
         // Ramsey grouping sees a consistent (if useless) colouring.
-        let arena = Arc::clone(answer.hypothesis.arena());
+        let arena = folearn::shared_arena(inst.graph);
         OracleAnswer {
-            hypothesis: Hypothesis::always_false(inst.q, TypeMode::Global, arena),
+            predictor: Predictor::Local(Hypothesis::always_false(
+                inst.q,
+                TypeMode::Global,
+                arena,
+            )),
             key: u64::MAX - 1,
             realizable: false,
         }

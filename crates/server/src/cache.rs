@@ -1,0 +1,159 @@
+//! The LRU result cache.
+//!
+//! Solve results are keyed by `(structure hash, sample hash, solver
+//! config hash)` — exactly the identity of a repeated ERM oracle call,
+//! which is the access pattern of `folearn_hardness::oracle` (the
+//! reduction re-queries the same pair instances across levels) and of
+//! any client re-fitting against a fixed background structure. A hit
+//! turns an `O(n^ℓ · m)` sweep into a table lookup, and because the
+//! engine is deterministic the cached answer is *identical* to what a
+//! re-solve would produce.
+//!
+//! The implementation is a hand-rolled LRU (the build is offline): a
+//! `HashMap` to entries carrying a monotone recency stamp, with
+//! eviction scanning for the stale minimum. Eviction is `O(capacity)`
+//! but only runs on insert-past-capacity; lookups — the path repeated
+//! oracle calls hit — are `O(1)`.
+
+use std::collections::HashMap;
+
+/// Cache key: `(structure hash, sample hash, config hash)`.
+pub type CacheKey = (u64, u64, u64);
+
+struct Entry<V> {
+    value: V,
+    stamp: u64,
+}
+
+/// A fixed-capacity least-recently-used map.
+pub struct LruCache<V> {
+    map: HashMap<CacheKey, Entry<V>>,
+    capacity: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<V> LruCache<V> {
+    /// A cache holding at most `capacity` entries (capacity 0 disables
+    /// caching: every lookup misses, every insert is dropped).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::new(),
+            capacity,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Look up a key, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<&V> {
+        self.clock += 1;
+        match self.map.get_mut(key) {
+            Some(e) => {
+                e.stamp = self.clock;
+                self.hits += 1;
+                Some(&e.value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a value, evicting the least-recently-used entry if full.
+    pub fn insert(&mut self, key: CacheKey, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(&lru) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k)
+            {
+                self.map.remove(&lru);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                stamp: self.clock,
+            },
+        );
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `(hits, misses, evictions)` counters since construction.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(i: u64) -> CacheKey {
+        (i, 0, 0)
+    }
+
+    #[test]
+    fn hit_returns_inserted_value() {
+        let mut c = LruCache::new(4);
+        assert!(c.get(&k(1)).is_none());
+        c.insert(k(1), "one");
+        assert_eq!(c.get(&k(1)), Some(&"one"));
+        assert_eq!(c.counters(), (1, 1, 0));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert(k(1), 1);
+        c.insert(k(2), 2);
+        assert!(c.get(&k(1)).is_some()); // refresh 1; 2 is now LRU
+        c.insert(k(3), 3);
+        assert!(c.get(&k(2)).is_none(), "2 should have been evicted");
+        assert!(c.get(&k(1)).is_some());
+        assert!(c.get(&k(3)).is_some());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.counters().2, 1);
+    }
+
+    #[test]
+    fn reinsert_does_not_evict() {
+        let mut c = LruCache::new(2);
+        c.insert(k(1), 1);
+        c.insert(k(2), 2);
+        c.insert(k(2), 22);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&k(2)), Some(&22));
+        assert!(c.get(&k(1)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = LruCache::new(0);
+        c.insert(k(1), 1);
+        assert!(c.get(&k(1)).is_none());
+        assert!(c.is_empty());
+    }
+}

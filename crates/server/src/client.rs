@@ -1,0 +1,187 @@
+//! Blocking client for the folearn daemon.
+//!
+//! One [`Client`] owns one TCP connection and speaks the
+//! newline-delimited JSON protocol of [`crate::proto`] synchronously:
+//! [`Client::call`] writes a request line, then blocks for the single
+//! response line. Typed helpers (`register`, `solve`, `evaluate`, …)
+//! wrap `call` and unwrap the expected response variant, turning
+//! `error` responses and protocol violations into [`ClientError`].
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::proto::{ProtoError, Request, Response, SolveOutcome, SolverSpec, WireExample};
+
+/// Everything that can go wrong talking to the daemon.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, write, EOF mid-exchange).
+    Io(std::io::Error),
+    /// The response line was not valid protocol JSON.
+    Proto(ProtoError),
+    /// The daemon replied with an `error` response.
+    Server(String),
+    /// The daemon replied with a well-formed but unexpected variant.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Unexpected(m) => write!(f, "unexpected response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+/// A blocking connection to a folearn daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a daemon at `addr` (e.g. `"127.0.0.1:7071"`).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Send one request and block for its response.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let mut line = request.encode();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        let response = Response::decode(reply.trim_end())?;
+        if let Response::Error { message } = response {
+            return Err(ClientError::Server(message));
+        }
+        Ok(response)
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("pong", &other)),
+        }
+    }
+
+    /// Upload a structure; returns its content hash.
+    pub fn register(&mut self, graph_text: &str) -> Result<u64, ClientError> {
+        let req = Request::Register {
+            graph_text: graph_text.to_string(),
+        };
+        match self.call(&req)? {
+            Response::Registered { structure, .. } => Ok(structure),
+            other => Err(unexpected("registered", &other)),
+        }
+    }
+
+    /// Solve an ERM instance on a registered structure.
+    pub fn solve(
+        &mut self,
+        structure: u64,
+        examples: Vec<WireExample>,
+        ell: usize,
+        q: usize,
+        epsilon: f64,
+        solver: SolverSpec,
+    ) -> Result<SolveOutcome, ClientError> {
+        let req = Request::Solve {
+            structure,
+            examples,
+            ell,
+            q,
+            epsilon,
+            solver,
+        };
+        match self.call(&req)? {
+            Response::Solved(outcome) => Ok(outcome),
+            other => Err(unexpected("solved", &other)),
+        }
+    }
+
+    /// Ask a stored hypothesis to classify tuples; with `labels`, the
+    /// server also reports the misclassification rate.
+    pub fn evaluate(
+        &mut self,
+        structure: u64,
+        hypothesis: u64,
+        tuples: Vec<Vec<u32>>,
+        labels: Option<Vec<bool>>,
+    ) -> Result<(Vec<bool>, Option<f64>), ClientError> {
+        let req = Request::Evaluate {
+            structure,
+            hypothesis,
+            tuples,
+            labels,
+        };
+        match self.call(&req)? {
+            Response::Predictions { labels, error } => Ok((labels, error)),
+            other => Err(unexpected("predictions", &other)),
+        }
+    }
+
+    /// Model-check an FO sentence on a registered structure.
+    pub fn modelcheck(&mut self, structure: u64, formula: &str) -> Result<bool, ClientError> {
+        let req = Request::ModelCheck {
+            structure,
+            formula: formula.to_string(),
+        };
+        match self.call(&req)? {
+            Response::Truth { holds } => Ok(holds),
+            other => Err(unexpected("truth", &other)),
+        }
+    }
+
+    /// Fetch the server's metrics snapshot as JSON.
+    pub fn stats(&mut self) -> Result<crate::proto::Json, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats { data } => Ok(data),
+            other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// Ask the daemon to shut down.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::Bye { .. } => Ok(()),
+            other => Err(unexpected("bye", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    ClientError::Unexpected(format!("wanted `{wanted}`, got `{}`", got.encode()))
+}

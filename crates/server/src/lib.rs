@@ -1,0 +1,42 @@
+//! `folearn-server` — learning-as-a-service for FO-ERM.
+//!
+//! A small daemon that serves the workspace's learners over TCP with a
+//! newline-delimited JSON protocol (hand-rolled codec; the build is
+//! offline and the workspace has no serde):
+//!
+//! * [`proto`] — wire format: framing, the [`proto::Json`] value type,
+//!   request/response envelopes, FNV-1a content hashing;
+//! * [`server`] — the daemon: structure registry, bounded worker pool
+//!   dispatch, LRU result cache, metrics, graceful shutdown;
+//! * [`client`] — a blocking typed client;
+//! * [`cache`], [`metrics`], [`pool`] — the daemon's moving parts,
+//!   exposed for reuse and testing;
+//! * [`loadgen`] — a deterministic load generator (experiment E17 and
+//!   the `folearn loadgen` subcommand).
+//!
+//! # Why a server?
+//!
+//! The ERM oracle of the hardness reduction (Lemma 7) is exactly a
+//! request/response interface: the reduction asks "solve this training
+//! sequence on this structure" many times, often repeating instances
+//! across levels. Serving that interface over a socket (a) makes the
+//! oracle a process boundary, so learners can run on a different
+//! machine or with different resource limits than the reduction, and
+//! (b) makes repeated instances visible to a result cache keyed by
+//! `(structure, sample, solver config)` — and because the brute-force
+//! engine is deterministic, cached answers are *identical* to fresh
+//! ones, so `folearn_hardness::oracle::RemoteOracle` against a loopback
+//! daemon reproduces the in-process reduction bit for bit.
+
+pub mod cache;
+pub mod client;
+pub mod loadgen;
+pub mod metrics;
+pub mod pool;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use loadgen::{run_load, LoadgenConfig, LoadReport};
+pub use proto::{Json, Request, Response, SolveOutcome, SolverSpec, WireExample};
+pub use server::{start, ServerConfig, ServerHandle};

@@ -1,0 +1,287 @@
+//! The load generator: drives a daemon with a deterministic mix of
+//! requests from several concurrent client connections and reports
+//! per-operation latency statistics.
+//!
+//! Workloads are seeded, so two runs against equivalent servers issue
+//! the same request streams (per worker) — that is what lets experiment
+//! E17 compare cold versus cache-warm service times meaningfully. Each
+//! worker owns one connection and loops a weighted mix of `solve`
+//! (drawn from a small pool of distinct samples, so repeats hit the
+//! result cache), `evaluate` on the hypotheses those solves return,
+//! `modelcheck`, and `stats`.
+
+use std::net::SocketAddr;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::client::{Client, ClientError};
+use crate::proto::{Json, SolverSpec, WireExample};
+
+/// Shape of a load-generation run.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Requests issued per connection.
+    pub requests_per_conn: usize,
+    /// Base RNG seed; worker `i` uses `seed + i`.
+    pub seed: u64,
+    /// Number of distinct solve samples per worker; smaller pools mean
+    /// more cache hits.
+    pub sample_pool: usize,
+    /// Parameters per hypothesis (`ell`) for generated solves.
+    pub ell: usize,
+    /// Quantifier rank for generated solves.
+    pub q: usize,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            connections: 2,
+            requests_per_conn: 40,
+            seed: 17,
+            sample_pool: 4,
+            ell: 1,
+            q: 1,
+        }
+    }
+}
+
+/// Latency tally for one operation kind.
+#[derive(Clone, Debug, Default)]
+pub struct OpStats {
+    /// Completed calls.
+    pub count: usize,
+    /// All observed latencies, microseconds (sorted by [`run_load`]).
+    pub latencies_us: Vec<u64>,
+}
+
+impl OpStats {
+    fn record(&mut self, us: u64) {
+        self.count += 1;
+        self.latencies_us.push(us);
+    }
+
+    /// Latency at quantile `q` (0 ≤ q ≤ 1); 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let idx = ((q * (self.latencies_us.len() - 1) as f64).round() as usize)
+            .min(self.latencies_us.len() - 1);
+        self.latencies_us[idx]
+    }
+
+    /// Mean latency in microseconds; 0 when empty.
+    pub fn mean_us(&self) -> f64 {
+        if self.latencies_us.is_empty() {
+            return 0.0;
+        }
+        self.latencies_us.iter().sum::<u64>() as f64 / self.latencies_us.len() as f64
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::int(self.count)),
+            ("mean_us", Json::Num(self.mean_us())),
+            ("p50_us", Json::int(self.quantile_us(0.50) as usize)),
+            ("p95_us", Json::int(self.quantile_us(0.95) as usize)),
+            ("max_us", Json::int(self.quantile_us(1.0) as usize)),
+        ])
+    }
+}
+
+/// Aggregated outcome of a load run.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// Total requests completed across all connections.
+    pub requests: usize,
+    /// Requests that returned an error (still counted in `requests`).
+    pub errors: usize,
+    /// Wall-clock of the whole run, seconds.
+    pub wall_s: f64,
+    /// Solve calls answered from the server's result cache.
+    pub cached_solves: usize,
+    /// Solve calls computed fresh.
+    pub fresh_solves: usize,
+    /// Per-operation latency tallies: `(op, stats)`.
+    pub ops: Vec<(String, OpStats)>,
+}
+
+impl LoadReport {
+    fn op_mut(&mut self, op: &str) -> &mut OpStats {
+        if let Some(i) = self.ops.iter().position(|(o, _)| o == op) {
+            return &mut self.ops[i].1;
+        }
+        self.ops.push((op.to_string(), OpStats::default()));
+        &mut self.ops.last_mut().unwrap().1
+    }
+
+    fn merge(&mut self, other: LoadReport) {
+        self.requests += other.requests;
+        self.errors += other.errors;
+        self.cached_solves += other.cached_solves;
+        self.fresh_solves += other.fresh_solves;
+        for (op, stats) in other.ops {
+            let mine = self.op_mut(&op);
+            mine.count += stats.count;
+            mine.latencies_us.extend(stats.latencies_us);
+        }
+    }
+
+    /// Requests per second over the run.
+    pub fn throughput(&self) -> f64 {
+        if self.wall_s <= 0.0 {
+            return 0.0;
+        }
+        self.requests as f64 / self.wall_s
+    }
+
+    /// Render the report as a JSON object (for bench output files).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("requests", Json::int(self.requests)),
+            ("errors", Json::int(self.errors)),
+            ("wall_s", Json::Num(self.wall_s)),
+            ("throughput_rps", Json::Num(self.throughput())),
+            ("cached_solves", Json::int(self.cached_solves)),
+            ("fresh_solves", Json::int(self.fresh_solves)),
+            (
+                "ops",
+                Json::Obj(
+                    self.ops
+                        .iter()
+                        .map(|(op, s)| (op.clone(), s.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// One worker's deterministic request stream.
+fn worker_run(
+    addr: SocketAddr,
+    graph_text: &str,
+    config: &LoadgenConfig,
+    worker: usize,
+) -> Result<LoadReport, ClientError> {
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(worker as u64));
+    let mut client = Client::connect(addr)?;
+    let mut report = LoadReport::default();
+
+    let started = Instant::now();
+    let structure = client.register(graph_text)?;
+    report.requests += 1;
+    report
+        .op_mut("register")
+        .record(us_since(started));
+
+    // Query the registered structure's size through a cheap evaluate-free
+    // path: re-register returns vertices. Simpler: parse locally.
+    let n = folearn_graph::io::parse_graph(graph_text)
+        .map(|g| g.num_vertices())
+        .unwrap_or(1)
+        .max(1) as u32;
+
+    // Pre-draw the sample pool: distinct labelled samples over the
+    // structure; repeats within the run exercise the result cache.
+    let pool: Vec<Vec<WireExample>> = (0..config.sample_pool.max(1))
+        .map(|_| {
+            let m = rng.random_range(4..=8usize);
+            (0..m)
+                .map(|_| WireExample {
+                    tuple: vec![rng.random_range(0..n)],
+                    label: rng.random_bool(0.5),
+                })
+                .collect()
+        })
+        .collect();
+    let mut hypotheses: Vec<(u64, u64)> = Vec::new(); // (structure, id)
+
+    for _ in 0..config.requests_per_conn {
+        let roll = rng.random_range(0..100u32);
+        let t0 = Instant::now();
+        if roll < 55 {
+            // Weighted toward solve: the cache is the thing under test.
+            let sample = pool[rng.random_range(0..pool.len())].clone();
+            match client.solve(
+                structure,
+                sample,
+                config.ell,
+                config.q,
+                0.0,
+                SolverSpec::default_brute(),
+            ) {
+                Ok(outcome) => {
+                    if outcome.cached {
+                        report.cached_solves += 1;
+                    } else {
+                        report.fresh_solves += 1;
+                    }
+                    hypotheses.push((structure, outcome.hypothesis.id));
+                    report.op_mut("solve").record(us_since(t0));
+                }
+                Err(ClientError::Server(_)) => report.errors += 1,
+                Err(e) => return Err(e),
+            }
+        } else if roll < 75 && !hypotheses.is_empty() {
+            let (s, h) = hypotheses[rng.random_range(0..hypotheses.len())];
+            let tuples: Vec<Vec<u32>> = (0..4)
+                .map(|_| vec![rng.random_range(0..n)])
+                .collect();
+            match client.evaluate(s, h, tuples, None) {
+                Ok(_) => report.op_mut("evaluate").record(us_since(t0)),
+                Err(ClientError::Server(_)) => report.errors += 1,
+                Err(e) => return Err(e),
+            }
+        } else if roll < 90 {
+            match client.modelcheck(structure, "exists x0. exists x1. E(x0, x1)") {
+                Ok(_) => report.op_mut("modelcheck").record(us_since(t0)),
+                Err(ClientError::Server(_)) => report.errors += 1,
+                Err(e) => return Err(e),
+            }
+        } else {
+            match client.stats() {
+                Ok(_) => report.op_mut("stats").record(us_since(t0)),
+                Err(ClientError::Server(_)) => report.errors += 1,
+                Err(e) => return Err(e),
+            }
+        }
+        report.requests += 1;
+    }
+    Ok(report)
+}
+
+fn us_since(t: Instant) -> u64 {
+    t.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+}
+
+/// Drive `config.connections` concurrent workers against the daemon at
+/// `addr`, all over the same structure. Returns the merged report with
+/// sorted latency vectors.
+pub fn run_load(
+    addr: SocketAddr,
+    graph_text: &str,
+    config: &LoadgenConfig,
+) -> Result<LoadReport, ClientError> {
+    let started = Instant::now();
+    let mut merged = LoadReport::default();
+    let results: Vec<Result<LoadReport, ClientError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.connections.max(1))
+            .map(|w| scope.spawn(move || worker_run(addr, graph_text, config, w)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("loadgen worker panicked")).collect()
+    });
+    for r in results {
+        merged.merge(r?);
+    }
+    merged.wall_s = started.elapsed().as_secs_f64();
+    for (_, stats) in &mut merged.ops {
+        stats.latencies_us.sort_unstable();
+    }
+    Ok(merged)
+}

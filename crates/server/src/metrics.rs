@@ -1,0 +1,277 @@
+//! Server metrics: request counters, cache statistics, solver work
+//! accounting, and per-endpoint latency histograms.
+//!
+//! Latencies are recorded in a power-of-two-microsecond histogram
+//! (bucket `i` counts requests with `2^i ≤ µs < 2^{i+1}`), which is
+//! enough resolution to read p50/p95/p99 within a factor of two at any
+//! scale without unbounded memory. The `stats` endpoint renders a
+//! snapshot as JSON ([`Metrics::snapshot`]).
+
+use parking_lot::Mutex;
+
+use crate::proto::Json;
+
+/// Number of histogram buckets: covers 1 µs … ~2¹⁹ s.
+const BUCKETS: usize = 40;
+
+/// Per-endpoint latency + count record.
+#[derive(Clone)]
+struct OpRecord {
+    op: &'static str,
+    count: u64,
+    errors: u64,
+    total_us: u64,
+    max_us: u64,
+    histogram: [u64; BUCKETS],
+}
+
+impl OpRecord {
+    fn new(op: &'static str) -> Self {
+        Self {
+            op,
+            count: 0,
+            errors: 0,
+            total_us: 0,
+            max_us: 0,
+            histogram: [0; BUCKETS],
+        }
+    }
+
+    fn record(&mut self, us: u64, ok: bool) {
+        self.count += 1;
+        if !ok {
+            self.errors += 1;
+        }
+        self.total_us += us;
+        self.max_us = self.max_us.max(us);
+        let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.histogram[bucket] += 1;
+    }
+
+    /// Upper bound (µs) of the bucket containing quantile `q` of the
+    /// recorded latencies.
+    fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.histogram.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::Num(self.count as f64)),
+            ("errors", Json::Num(self.errors as f64)),
+            (
+                "mean_us",
+                Json::Num(if self.count == 0 {
+                    0.0
+                } else {
+                    self.total_us as f64 / self.count as f64
+                }),
+            ),
+            ("p50_us", Json::Num(self.quantile_us(0.50) as f64)),
+            ("p95_us", Json::Num(self.quantile_us(0.95) as f64)),
+            ("p99_us", Json::Num(self.quantile_us(0.99) as f64)),
+            ("max_us", Json::Num(self.max_us as f64)),
+        ])
+    }
+}
+
+struct Inner {
+    ops: Vec<OpRecord>,
+    structures: u64,
+    hypotheses: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_evictions: u64,
+    cache_len: u64,
+    evaluated_params: u64,
+    pruned_params: u64,
+    connections: u64,
+    over_limit_closes: u64,
+}
+
+/// Shared, thread-safe metrics sink.
+pub struct Metrics {
+    inner: Mutex<Inner>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                ops: Vec::new(),
+                structures: 0,
+                hypotheses: 0,
+                cache_hits: 0,
+                cache_misses: 0,
+                cache_evictions: 0,
+                cache_len: 0,
+                evaluated_params: 0,
+                pruned_params: 0,
+                connections: 0,
+                over_limit_closes: 0,
+            }),
+        }
+    }
+
+    /// Record one served request.
+    pub fn record_request(&self, op: &'static str, us: u64, ok: bool) {
+        let mut inner = self.inner.lock();
+        match inner.ops.iter_mut().find(|r| r.op == op) {
+            Some(r) => r.record(us, ok),
+            None => {
+                let mut r = OpRecord::new(op);
+                r.record(us, ok);
+                inner.ops.push(r);
+            }
+        }
+    }
+
+    /// Record a new connection.
+    pub fn record_connection(&self) {
+        self.inner.lock().connections += 1;
+    }
+
+    /// Record a connection closed for exceeding its request budget.
+    pub fn record_over_limit(&self) {
+        self.inner.lock().over_limit_closes += 1;
+    }
+
+    /// Update the registry/hypothesis-store gauges.
+    pub fn set_store_sizes(&self, structures: usize, hypotheses: usize) {
+        let mut inner = self.inner.lock();
+        inner.structures = structures as u64;
+        inner.hypotheses = hypotheses as u64;
+    }
+
+    /// Update the cache counters (absolute values from the cache).
+    pub fn set_cache_counters(&self, hits: u64, misses: u64, evictions: u64, len: usize) {
+        let mut inner = self.inner.lock();
+        inner.cache_hits = hits;
+        inner.cache_misses = misses;
+        inner.cache_evictions = evictions;
+        inner.cache_len = len as u64;
+    }
+
+    /// Accumulate solver work from an uncached solve.
+    pub fn record_solver_work(&self, evaluated: usize, pruned: usize) {
+        let mut inner = self.inner.lock();
+        inner.evaluated_params += evaluated as u64;
+        inner.pruned_params += pruned as u64;
+    }
+
+    /// `(cache_hits, cache_misses)` as last synced.
+    pub fn cache_hit_miss(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        (inner.cache_hits, inner.cache_misses)
+    }
+
+    /// Snapshot the metrics as a JSON object (the `stats` payload).
+    pub fn snapshot(&self) -> Json {
+        let inner = self.inner.lock();
+        let total: u64 = inner.ops.iter().map(|r| r.count).sum();
+        let lookups = inner.cache_hits + inner.cache_misses;
+        let hit_rate = if lookups == 0 {
+            0.0
+        } else {
+            inner.cache_hits as f64 / lookups as f64
+        };
+        Json::obj([
+            ("requests", Json::Num(total as f64)),
+            ("connections", Json::Num(inner.connections as f64)),
+            (
+                "over_limit_closes",
+                Json::Num(inner.over_limit_closes as f64),
+            ),
+            ("structures", Json::Num(inner.structures as f64)),
+            ("hypotheses", Json::Num(inner.hypotheses as f64)),
+            (
+                "cache",
+                Json::obj([
+                    ("hits", Json::Num(inner.cache_hits as f64)),
+                    ("misses", Json::Num(inner.cache_misses as f64)),
+                    ("evictions", Json::Num(inner.cache_evictions as f64)),
+                    ("entries", Json::Num(inner.cache_len as f64)),
+                    ("hit_rate", Json::Num(hit_rate)),
+                ]),
+            ),
+            (
+                "solver",
+                Json::obj([
+                    (
+                        "evaluated_params",
+                        Json::Num(inner.evaluated_params as f64),
+                    ),
+                    ("pruned_params", Json::Num(inner.pruned_params as f64)),
+                ]),
+            ),
+            (
+                "endpoints",
+                Json::Obj(
+                    inner
+                        .ops
+                        .iter()
+                        .map(|r| (r.op.to_string(), r.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_latencies() {
+        let m = Metrics::new();
+        for us in [10u64, 20, 30, 40, 1000] {
+            m.record_request("solve", us, true);
+        }
+        m.record_request("ping", 1, true);
+        let snap = m.snapshot();
+        assert_eq!(snap.get("requests").unwrap().as_usize(), Some(6));
+        let solve = snap.get("endpoints").unwrap().get("solve").unwrap();
+        assert_eq!(solve.get("count").unwrap().as_usize(), Some(5));
+        let p50 = solve.get("p50_us").unwrap().as_num().unwrap();
+        assert!((16.0..=64.0).contains(&p50), "p50 {p50}");
+        let p99 = solve.get("p99_us").unwrap().as_num().unwrap();
+        assert!(p99 >= 1000.0, "p99 {p99}");
+    }
+
+    #[test]
+    fn cache_counters_feed_hit_rate() {
+        let m = Metrics::new();
+        m.set_cache_counters(3, 1, 0, 2);
+        let snap = m.snapshot();
+        let cache = snap.get("cache").unwrap();
+        assert_eq!(cache.get("hit_rate").unwrap().as_num(), Some(0.75));
+        assert_eq!(m.cache_hit_miss(), (3, 1));
+    }
+
+    #[test]
+    fn errors_are_counted() {
+        let m = Metrics::new();
+        m.record_request("solve", 5, false);
+        let snap = m.snapshot();
+        let solve = snap.get("endpoints").unwrap().get("solve").unwrap();
+        assert_eq!(solve.get("errors").unwrap().as_usize(), Some(1));
+    }
+}

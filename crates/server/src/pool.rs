@@ -1,0 +1,157 @@
+//! The bounded worker pool that executes solve-class requests.
+//!
+//! Connection threads do the cheap work (framing, registry lookups,
+//! cache hits) themselves and hand anything compute-shaped — solve,
+//! evaluate, model-check — to this pool. The pool is the backpressure
+//! point: the job queue is a bounded `sync_channel`, so when all
+//! workers are busy and the queue is full, submitting connections block
+//! instead of piling unbounded work onto the daemon.
+//!
+//! The pool is built on the `rayon` shim's primitives: each worker owns
+//! a [`rayon::ThreadPool`] sized to its fair share of the host cores
+//! and runs every job under [`rayon::ThreadPool::install`], so a job's
+//! inner parallel sweep (`BruteForceOpts { threads: None, .. }`
+//! inherits the ambient count) uses exactly that share — `W` workers
+//! never oversubscribe the machine no matter what the request asks for.
+
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+/// A unit of work: runs on a worker thread, replies through whatever
+/// channel the closure captured.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Fixed-size worker pool with a bounded job queue.
+pub struct WorkerPool {
+    sender: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    num_workers: usize,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` threads (`0` = one per host core) behind a queue
+    /// of `queue_depth` pending jobs.
+    pub fn new(workers: usize, queue_depth: usize) -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, usize::from);
+        let num_workers = if workers == 0 { cores } else { workers };
+        // Each worker's inner parallel operations get a fair share of
+        // the cores; at least 1.
+        let share = (cores / num_workers).max(1);
+        let (sender, receiver) = std::sync::mpsc::sync_channel::<Job>(queue_depth.max(1));
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..num_workers)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("folearn-worker-{i}"))
+                    .spawn(move || worker_loop(&receiver, share))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self {
+            sender: Some(sender),
+            workers,
+            num_workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    /// Submit a job, blocking while the queue is full (backpressure).
+    /// Returns `false` if the pool has already shut down.
+    pub fn submit(&self, job: Job) -> bool {
+        match &self.sender {
+            Some(s) => s.send(job).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Drain the queue and join all workers. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.sender.take(); // closes the channel; workers drain and exit
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(receiver: &Arc<Mutex<Receiver<Job>>>, share: usize) {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(share)
+        .build()
+        .expect("the rayon shim never fails to build");
+    loop {
+        // Take the next job while holding the lock, run it without.
+        let job = {
+            let rx = receiver.lock();
+            rx.recv()
+        };
+        match job {
+            Ok(job) => pool.install(job),
+            Err(_) => break, // channel closed: pool is shutting down
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    use super::*;
+
+    #[test]
+    fn jobs_run_and_reply() {
+        let pool = WorkerPool::new(2, 4);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..10usize {
+            let tx = tx.clone();
+            assert!(pool.submit(Box::new(move || {
+                tx.send(i * i).unwrap();
+            })));
+        }
+        let mut got: Vec<usize> = rx.iter().take(10).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..10).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shutdown_joins_and_rejects_new_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut pool = WorkerPool::new(3, 2);
+        for _ in 0..6 {
+            let c = Arc::clone(&counter);
+            pool.submit(Box::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 6, "queued jobs drain");
+        assert!(!pool.submit(Box::new(|| {})));
+        pool.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn workers_pin_their_core_share() {
+        let pool = WorkerPool::new(2, 1);
+        let (tx, rx) = mpsc::channel();
+        pool.submit(Box::new(move || {
+            tx.send(rayon::current_num_threads()).unwrap();
+        }));
+        let ambient = rx.recv().unwrap();
+        let cores = std::thread::available_parallelism().map_or(1, usize::from);
+        assert_eq!(ambient, (cores / 2).max(1));
+    }
+}

@@ -1,0 +1,1319 @@
+//! The wire protocol: a hand-rolled JSON codec and the typed
+//! request/response messages, one message per line.
+//!
+//! The build is offline (no serde), so this module implements the JSON
+//! subset the daemon needs from scratch: a [`Json`] value tree with an
+//! order-preserving object representation, a recursive-descent parser
+//! with full string-escape support (`\n`, `\"`, `\uXXXX` including
+//! surrogate pairs), and compact/pretty renderers. The compact renderer
+//! never emits a raw newline — control characters inside strings are
+//! escaped — so one message always occupies exactly one line and the
+//! framing is trivial: write `render() + "\n"`, read with `read_line`.
+//!
+//! The same value tree backs the bench suite's JSON report writers
+//! (`folearn_bench::write_json_file`), keeping `BENCH_*.json` files
+//! format-consistent with the wire.
+//!
+//! Numbers are `f64`; both renderers print the shortest representation
+//! that round-trips (Rust's `Display` for `f64`), so
+//! `parse(render(x)) == x` exactly for every finite value. Non-finite
+//! values render as `null`. 64-bit identifiers (structure hashes) do not
+//! fit `f64` losslessly and therefore travel as fixed-width hex strings.
+
+use std::fmt::Write as _;
+
+use folearn::fit::TypeMode;
+
+// ---------------------------------------------------------------------------
+// Hashing
+// ---------------------------------------------------------------------------
+
+/// 64-bit FNV-1a — the content hash used to address registered
+/// structures and to key the result cache.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Render a 64-bit id as the fixed-width hex string used on the wire.
+pub fn hex64(x: u64) -> String {
+    format!("{x:016x}")
+}
+
+/// Parse a [`hex64`] string.
+pub fn parse_hex64(s: &str) -> Result<u64, ProtoError> {
+    if s.len() != 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(ProtoError::new(format!("bad 64-bit hex id {s:?}")));
+    }
+    u64::from_str_radix(s, 16).map_err(|e| ProtoError::new(format!("bad hex id {s:?}: {e}")))
+}
+
+// ---------------------------------------------------------------------------
+// JSON values
+// ---------------------------------------------------------------------------
+
+/// A JSON value. Objects preserve insertion order (the renderers emit
+/// keys in the order they were pushed), which keeps wire messages and
+/// bench reports deterministic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (integers included).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Self {
+        Json::Str(s.into())
+    }
+
+    /// An integer value (exact for |n| ≤ 2⁵³).
+    pub fn int(n: usize) -> Self {
+        Json::Num(n as f64)
+    }
+
+    /// An object from key/value pairs, preserving order.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Self {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Look up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an f64, if it is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one.
+    pub fn as_usize(&self) -> Option<usize> {
+        let n = self.as_num()?;
+        (n >= 0.0 && n.fract() == 0.0 && n <= 2f64.powi(53)).then_some(n as usize)
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Compact single-line rendering (no raw newlines anywhere).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, None, 0);
+        out
+    }
+
+    /// Indented rendering for files meant to be read by humans.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, Some(2), 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (nl, pad, pad_close) = match indent {
+            Some(w) => ("\n", " ".repeat(w * (depth + 1)), " ".repeat(w * depth)),
+            None => ("", String::new(), String::new()),
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(n) => render_number(out, *n),
+            Json::Str(s) => render_string(out, s),
+            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                        if indent.is_none() {
+                            out.push(' ');
+                        }
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad);
+                    item.render_into(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad_close);
+                out.push(']');
+            }
+            Json::Obj(pairs) if pairs.is_empty() => out.push_str("{}"),
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                        if indent.is_none() {
+                            out.push(' ');
+                        }
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad);
+                    render_string(out, k);
+                    out.push_str(": ");
+                    v.render_into(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad_close);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document (the whole input must be one value).
+    pub fn parse(text: &str) -> Result<Json, ProtoError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing garbage after JSON value"));
+        }
+        Ok(v)
+    }
+}
+
+fn render_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn render_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A protocol error: malformed JSON, a malformed message, or a message
+/// that does not fit the expected shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError(pub String);
+
+impl ProtoError {
+    fn new(msg: impl Into<String>) -> Self {
+        ProtoError(msg.into())
+    }
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> ProtoError {
+        ProtoError::new(format!("JSON error at byte {}: {msg}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ProtoError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str, v: Json) -> Result<Json, ProtoError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected {lit:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ProtoError> {
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.eat_lit("null", Json::Null),
+            Some(b't') => self.eat_lit("true", Json::Bool(true)),
+            Some(b'f') => self.eat_lit("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(_) => self.number(),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ProtoError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ProtoError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ProtoError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy a maximal escape-free, quote-free run.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // The input is valid UTF-8 and we only stopped on ASCII
+                // delimiters, so the run is valid UTF-8.
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?,
+                );
+            }
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: a \uXXXX low half must follow.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 1;
+                                let lo = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return Err(self.err("bad low surrogate"));
+                                }
+                                let cp =
+                                    0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                                char::from_u32(cp)
+                                    .ok_or_else(|| self.err("bad surrogate pair"))?
+                            } else {
+                                char::from_u32(hi)
+                                    .ok_or_else(|| self.err("bad \\u escape"))?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(self.err("raw control character in string"))
+                }
+                Some(_) => unreachable!("fast path consumed non-delimiters"),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ProtoError> {
+        let end = self.pos + 4;
+        let s = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, ProtoError> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
+        let n: f64 = s
+            .parse()
+            .map_err(|_| ProtoError::new(format!("bad number {s:?}")))?;
+        Ok(Json::Num(n))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed messages
+// ---------------------------------------------------------------------------
+
+/// One labelled example on the wire (vertex indices; arity = tuple
+/// length, constant across a request).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireExample {
+    /// Vertex indices of the tuple.
+    pub tuple: Vec<u32>,
+    /// The Boolean label.
+    pub label: bool,
+}
+
+/// Which solver a `solve` request runs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SolverSpec {
+    /// Brute-force ERM (Proposition 11) with engine knobs.
+    Brute {
+        /// Type notion (`TypeMode` string form: `global`, `local=R`, …).
+        mode: TypeMode,
+        /// Worker threads (`null` inherits the server's pool share).
+        threads: Option<usize>,
+        /// Shared-bound pruning.
+        prune: bool,
+    },
+    /// The nowhere-dense learner (Theorem 13) with its default config.
+    Nd,
+}
+
+impl SolverSpec {
+    /// The default solver: global types, pool-share threads, pruning on
+    /// — the configuration whose answers are bit-identical to the
+    /// in-process `BruteForceOracle`.
+    pub fn default_brute() -> Self {
+        SolverSpec::Brute {
+            mode: TypeMode::Global,
+            threads: None,
+            prune: true,
+        }
+    }
+
+    /// Render as protocol JSON (also the canonical form hashed into
+    /// solve-cache keys).
+    pub fn to_json(&self) -> Json {
+        match self {
+            SolverSpec::Brute {
+                mode,
+                threads,
+                prune,
+            } => Json::obj([
+                ("name", Json::str("brute")),
+                ("mode", Json::str(mode.to_string())),
+                (
+                    "threads",
+                    threads.map_or(Json::Null, Json::int),
+                ),
+                ("prune", Json::Bool(*prune)),
+            ]),
+            SolverSpec::Nd => Json::obj([("name", Json::str("nd"))]),
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<Self, ProtoError> {
+        match get_str(v, "name")? {
+            "brute" => Ok(SolverSpec::Brute {
+                mode: get_str(v, "mode")?
+                    .parse()
+                    .map_err(ProtoError::new)?,
+                threads: match v.get("threads") {
+                    None | Some(Json::Null) => None,
+                    Some(t) => Some(t.as_usize().ok_or_else(|| {
+                        ProtoError::new("solver.threads must be a non-negative integer")
+                    })?),
+                },
+                prune: get_bool(v, "prune")?,
+            }),
+            "nd" => Ok(SolverSpec::Nd),
+            other => Err(ProtoError::new(format!("unknown solver {other:?}"))),
+        }
+    }
+}
+
+/// A client request (one per line).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness / latency-floor probe.
+    Ping,
+    /// Upload a structure in the `folearn_graph::io` exchange format;
+    /// the server parses it and addresses it by content hash thereafter.
+    Register {
+        /// The graph text.
+        graph_text: String,
+    },
+    /// Solve an FO-ERM instance against a registered structure.
+    Solve {
+        /// Content hash of the registered structure.
+        structure: u64,
+        /// The training sequence.
+        examples: Vec<WireExample>,
+        /// Number of parameters `ℓ`.
+        ell: usize,
+        /// Quantifier-rank bound `q`.
+        q: usize,
+        /// Additive slack `ε`.
+        epsilon: f64,
+        /// Which solver to run.
+        solver: SolverSpec,
+    },
+    /// Evaluate a stored hypothesis on tuples (optionally labelled, in
+    /// which case the response reports the error rate).
+    Evaluate {
+        /// Content hash of the registered structure to evaluate over.
+        structure: u64,
+        /// Server-assigned hypothesis id (from a `solved` response).
+        hypothesis: u64,
+        /// Tuples to classify.
+        tuples: Vec<Vec<u32>>,
+        /// Optional labels, parallel to `tuples`.
+        labels: Option<Vec<bool>>,
+    },
+    /// Model-check a sentence on a registered structure.
+    ModelCheck {
+        /// Content hash of the registered structure.
+        structure: u64,
+        /// The sentence, in `folearn_logic::parser` syntax.
+        formula: String,
+    },
+    /// Fetch the metrics snapshot.
+    Stats,
+    /// Ask the daemon to shut down gracefully.
+    Shutdown,
+}
+
+impl Request {
+    /// Render as a single wire line (no trailing newline).
+    pub fn encode(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Parse one wire line.
+    pub fn decode(line: &str) -> Result<Self, ProtoError> {
+        Self::from_json(&Json::parse(line)?)
+    }
+
+    /// The `op` tag (used for metrics bucketing).
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Register { .. } => "register",
+            Request::Solve { .. } => "solve",
+            Request::Evaluate { .. } => "evaluate",
+            Request::ModelCheck { .. } => "modelcheck",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+        }
+    }
+
+    /// The JSON form.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Ping => Json::obj([("op", Json::str("ping"))]),
+            Request::Register { graph_text } => Json::obj([
+                ("op", Json::str("register")),
+                ("graph", Json::str(graph_text.clone())),
+            ]),
+            Request::Solve {
+                structure,
+                examples,
+                ell,
+                q,
+                epsilon,
+                solver,
+            } => Json::obj([
+                ("op", Json::str("solve")),
+                ("structure", Json::str(hex64(*structure))),
+                (
+                    "examples",
+                    Json::Arr(
+                        examples
+                            .iter()
+                            .map(|e| {
+                                Json::obj([
+                                    (
+                                        "tuple",
+                                        Json::Arr(
+                                            e.tuple
+                                                .iter()
+                                                .map(|&v| Json::int(v as usize))
+                                                .collect(),
+                                        ),
+                                    ),
+                                    ("label", Json::Bool(e.label)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("ell", Json::int(*ell)),
+                ("q", Json::int(*q)),
+                ("epsilon", Json::Num(*epsilon)),
+                ("solver", solver.to_json()),
+            ]),
+            Request::Evaluate {
+                structure,
+                hypothesis,
+                tuples,
+                labels,
+            } => Json::obj([
+                ("op", Json::str("evaluate")),
+                ("structure", Json::str(hex64(*structure))),
+                ("hypothesis", Json::str(hex64(*hypothesis))),
+                (
+                    "tuples",
+                    Json::Arr(
+                        tuples
+                            .iter()
+                            .map(|t| {
+                                Json::Arr(
+                                    t.iter().map(|&v| Json::int(v as usize)).collect(),
+                                )
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "labels",
+                    match labels {
+                        None => Json::Null,
+                        Some(ls) => Json::Arr(ls.iter().map(|&b| Json::Bool(b)).collect()),
+                    },
+                ),
+            ]),
+            Request::ModelCheck { structure, formula } => Json::obj([
+                ("op", Json::str("modelcheck")),
+                ("structure", Json::str(hex64(*structure))),
+                ("formula", Json::str(formula.clone())),
+            ]),
+            Request::Stats => Json::obj([("op", Json::str("stats"))]),
+            Request::Shutdown => Json::obj([("op", Json::str("shutdown"))]),
+        }
+    }
+
+    /// Reconstruct from the JSON form.
+    pub fn from_json(v: &Json) -> Result<Self, ProtoError> {
+        match get_str(v, "op")? {
+            "ping" => Ok(Request::Ping),
+            "register" => Ok(Request::Register {
+                graph_text: get_str(v, "graph")?.to_string(),
+            }),
+            "solve" => {
+                let examples = v
+                    .get("examples")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| ProtoError::new("solve.examples must be an array"))?
+                    .iter()
+                    .map(|e| {
+                        Ok(WireExample {
+                            tuple: get_u32_arr(e, "tuple")?,
+                            label: get_bool(e, "label")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, ProtoError>>()?;
+                Ok(Request::Solve {
+                    structure: get_hex(v, "structure")?,
+                    examples,
+                    ell: get_usize(v, "ell")?,
+                    q: get_usize(v, "q")?,
+                    epsilon: v
+                        .get("epsilon")
+                        .and_then(Json::as_num)
+                        .ok_or_else(|| ProtoError::new("solve.epsilon must be a number"))?,
+                    solver: SolverSpec::from_json(
+                        v.get("solver")
+                            .ok_or_else(|| ProtoError::new("solve.solver missing"))?,
+                    )?,
+                })
+            }
+            "evaluate" => {
+                let tuples = v
+                    .get("tuples")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| ProtoError::new("evaluate.tuples must be an array"))?
+                    .iter()
+                    .map(|t| u32_arr(t, "evaluate.tuples"))
+                    .collect::<Result<Vec<_>, ProtoError>>()?;
+                let labels = match v.get("labels") {
+                    None | Some(Json::Null) => None,
+                    Some(ls) => Some(
+                        ls.as_arr()
+                            .ok_or_else(|| {
+                                ProtoError::new("evaluate.labels must be an array")
+                            })?
+                            .iter()
+                            .map(|b| {
+                                b.as_bool().ok_or_else(|| {
+                                    ProtoError::new("evaluate.labels must hold booleans")
+                                })
+                            })
+                            .collect::<Result<Vec<_>, ProtoError>>()?,
+                    ),
+                };
+                Ok(Request::Evaluate {
+                    structure: get_hex(v, "structure")?,
+                    hypothesis: get_hex(v, "hypothesis")?,
+                    tuples,
+                    labels,
+                })
+            }
+            "modelcheck" => Ok(Request::ModelCheck {
+                structure: get_hex(v, "structure")?,
+                formula: get_str(v, "formula")?.to_string(),
+            }),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(ProtoError::new(format!("unknown op {other:?}"))),
+        }
+    }
+}
+
+/// The solved payload: a full `SolveReport` plus the server-side
+/// hypothesis handle.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolveOutcome {
+    /// Whether the answer came from the result cache.
+    pub cached: bool,
+    /// Training error achieved.
+    pub error: f64,
+    /// Solver work measure (`evaluated + pruned` for brute force).
+    pub work: usize,
+    /// Parameter tuples tallied to completion.
+    pub evaluated: usize,
+    /// Parameter tuples pruned mid-tally.
+    pub pruned: usize,
+    /// Solver name (as in `SolveReport::solver_name`).
+    pub solver: String,
+    /// The learned hypothesis.
+    pub hypothesis: WireHypothesis,
+}
+
+/// A learned hypothesis on the wire. The `types` ids are relative to the
+/// server's per-vocabulary arena: stable across calls within one server
+/// lifetime (so clients can group equal answers), meaningless elsewhere.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireHypothesis {
+    /// Server-assigned id for follow-up `evaluate` calls.
+    pub id: u64,
+    /// The parameter tuple `w̄`.
+    pub params: Vec<u32>,
+    /// Quantifier rank of the type layer.
+    pub q: usize,
+    /// Type mode string (`TypeMode` display form).
+    pub mode: String,
+    /// Positive type ids in the server's arena, sorted.
+    pub types: Vec<u32>,
+    /// Human-readable summary (`Hypothesis::describe`).
+    pub describe: String,
+}
+
+impl WireHypothesis {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::str(hex64(self.id))),
+            (
+                "params",
+                Json::Arr(self.params.iter().map(|&v| Json::int(v as usize)).collect()),
+            ),
+            ("q", Json::int(self.q)),
+            ("mode", Json::str(self.mode.clone())),
+            (
+                "types",
+                Json::Arr(self.types.iter().map(|&t| Json::int(t as usize)).collect()),
+            ),
+            ("describe", Json::str(self.describe.clone())),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, ProtoError> {
+        Ok(WireHypothesis {
+            id: get_hex(v, "id")?,
+            params: get_u32_arr(v, "params")?,
+            q: get_usize(v, "q")?,
+            mode: get_str(v, "mode")?.to_string(),
+            types: get_u32_arr(v, "types")?,
+            describe: get_str(v, "describe")?.to_string(),
+        })
+    }
+}
+
+/// A server response (one per line).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Reply to `ping`.
+    Pong,
+    /// Reply to `register`.
+    Registered {
+        /// Content hash — the structure's address from now on.
+        structure: u64,
+        /// Vertex count of the parsed structure.
+        vertices: usize,
+        /// Edge count.
+        edges: usize,
+        /// `false` if the structure was already registered.
+        fresh: bool,
+    },
+    /// Reply to `solve`.
+    Solved(SolveOutcome),
+    /// Reply to `evaluate`.
+    Predictions {
+        /// Predicted labels, parallel to the request tuples.
+        labels: Vec<bool>,
+        /// Error rate against the provided labels, if any were given.
+        error: Option<f64>,
+    },
+    /// Reply to `modelcheck`.
+    Truth {
+        /// Whether the structure models the sentence.
+        holds: bool,
+    },
+    /// Reply to `stats` (free-form metrics object).
+    Stats {
+        /// The metrics snapshot.
+        data: Json,
+    },
+    /// Any request-level failure.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+    /// Connection is closing (graceful shutdown or request limit).
+    Bye {
+        /// Why.
+        reason: String,
+    },
+}
+
+impl Response {
+    /// Render as a single wire line (no trailing newline).
+    pub fn encode(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Parse one wire line.
+    pub fn decode(line: &str) -> Result<Self, ProtoError> {
+        Self::from_json(&Json::parse(line)?)
+    }
+
+    /// The JSON form.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Pong => Json::obj([("resp", Json::str("pong"))]),
+            Response::Registered {
+                structure,
+                vertices,
+                edges,
+                fresh,
+            } => Json::obj([
+                ("resp", Json::str("registered")),
+                ("structure", Json::str(hex64(*structure))),
+                ("vertices", Json::int(*vertices)),
+                ("edges", Json::int(*edges)),
+                ("fresh", Json::Bool(*fresh)),
+            ]),
+            Response::Solved(o) => Json::obj([
+                ("resp", Json::str("solved")),
+                ("cached", Json::Bool(o.cached)),
+                ("error", Json::Num(o.error)),
+                ("work", Json::int(o.work)),
+                ("evaluated", Json::int(o.evaluated)),
+                ("pruned", Json::int(o.pruned)),
+                ("solver", Json::str(o.solver.clone())),
+                ("hypothesis", o.hypothesis.to_json()),
+            ]),
+            Response::Predictions { labels, error } => Json::obj([
+                ("resp", Json::str("predictions")),
+                (
+                    "labels",
+                    Json::Arr(labels.iter().map(|&b| Json::Bool(b)).collect()),
+                ),
+                ("error", error.map_or(Json::Null, Json::Num)),
+            ]),
+            Response::Truth { holds } => Json::obj([
+                ("resp", Json::str("truth")),
+                ("holds", Json::Bool(*holds)),
+            ]),
+            Response::Stats { data } => Json::obj([
+                ("resp", Json::str("stats")),
+                ("data", data.clone()),
+            ]),
+            Response::Error { message } => Json::obj([
+                ("resp", Json::str("error")),
+                ("message", Json::str(message.clone())),
+            ]),
+            Response::Bye { reason } => Json::obj([
+                ("resp", Json::str("bye")),
+                ("reason", Json::str(reason.clone())),
+            ]),
+        }
+    }
+
+    /// Reconstruct from the JSON form.
+    pub fn from_json(v: &Json) -> Result<Self, ProtoError> {
+        match get_str(v, "resp")? {
+            "pong" => Ok(Response::Pong),
+            "registered" => Ok(Response::Registered {
+                structure: get_hex(v, "structure")?,
+                vertices: get_usize(v, "vertices")?,
+                edges: get_usize(v, "edges")?,
+                fresh: get_bool(v, "fresh")?,
+            }),
+            "solved" => Ok(Response::Solved(SolveOutcome {
+                cached: get_bool(v, "cached")?,
+                error: v
+                    .get("error")
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| ProtoError::new("solved.error must be a number"))?,
+                work: get_usize(v, "work")?,
+                evaluated: get_usize(v, "evaluated")?,
+                pruned: get_usize(v, "pruned")?,
+                solver: get_str(v, "solver")?.to_string(),
+                hypothesis: WireHypothesis::from_json(
+                    v.get("hypothesis")
+                        .ok_or_else(|| ProtoError::new("solved.hypothesis missing"))?,
+                )?,
+            })),
+            "predictions" => Ok(Response::Predictions {
+                labels: v
+                    .get("labels")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| ProtoError::new("predictions.labels must be an array"))?
+                    .iter()
+                    .map(|b| {
+                        b.as_bool().ok_or_else(|| {
+                            ProtoError::new("predictions.labels must hold booleans")
+                        })
+                    })
+                    .collect::<Result<Vec<_>, ProtoError>>()?,
+                error: match v.get("error") {
+                    None | Some(Json::Null) => None,
+                    Some(e) => Some(e.as_num().ok_or_else(|| {
+                        ProtoError::new("predictions.error must be a number or null")
+                    })?),
+                },
+            }),
+            "truth" => Ok(Response::Truth {
+                holds: get_bool(v, "holds")?,
+            }),
+            "stats" => Ok(Response::Stats {
+                data: v
+                    .get("data")
+                    .cloned()
+                    .ok_or_else(|| ProtoError::new("stats.data missing"))?,
+            }),
+            "error" => Ok(Response::Error {
+                message: get_str(v, "message")?.to_string(),
+            }),
+            "bye" => Ok(Response::Bye {
+                reason: get_str(v, "reason")?.to_string(),
+            }),
+            other => Err(ProtoError::new(format!("unknown resp {other:?}"))),
+        }
+    }
+}
+
+// -- field accessors --------------------------------------------------------
+
+fn get_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, ProtoError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| ProtoError::new(format!("field {key:?} must be a string")))
+}
+
+fn get_bool(v: &Json, key: &str) -> Result<bool, ProtoError> {
+    v.get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| ProtoError::new(format!("field {key:?} must be a boolean")))
+}
+
+fn get_usize(v: &Json, key: &str) -> Result<usize, ProtoError> {
+    v.get(key)
+        .and_then(Json::as_usize)
+        .ok_or_else(|| ProtoError::new(format!("field {key:?} must be a non-negative integer")))
+}
+
+fn get_hex(v: &Json, key: &str) -> Result<u64, ProtoError> {
+    parse_hex64(get_str(v, key)?)
+}
+
+fn u32_arr(v: &Json, what: &str) -> Result<Vec<u32>, ProtoError> {
+    v.as_arr()
+        .ok_or_else(|| ProtoError::new(format!("{what} must be an array")))?
+        .iter()
+        .map(|x| {
+            x.as_usize()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| ProtoError::new(format!("{what} must hold u32 values")))
+        })
+        .collect()
+}
+
+fn get_u32_arr(v: &Json, key: &str) -> Result<Vec<u32>, ProtoError> {
+    u32_arr(
+        v.get(key)
+            .ok_or_else(|| ProtoError::new(format!("field {key:?} missing")))?,
+        key,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_parses_scalars_and_containers() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("-2.5e1").unwrap(), Json::Num(-25.0));
+        assert_eq!(
+            Json::parse("[1, 2, []]").unwrap(),
+            Json::Arr(vec![Json::Num(1.0), Json::Num(2.0), Json::Arr(vec![])])
+        );
+        let obj = Json::parse(r#"{"a": 1, "b": {"c": "x"}}"#).unwrap();
+        assert_eq!(obj.get("a").unwrap().as_usize(), Some(1));
+        assert_eq!(obj.get("b").unwrap().get("c").unwrap().as_str(), Some("x"));
+        assert!(Json::parse("{broken").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("").is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        for s in [
+            "plain",
+            "with \"quotes\" and \\backslash\\",
+            "line\nbreak\r\ttab",
+            "control \u{1} \u{1f}",
+            "unicode: αβγ 模型 ∀x∃y 🦀",
+            "",
+        ] {
+            let v = Json::Str(s.to_string());
+            let compact = v.render();
+            assert!(!compact.contains('\n'), "newline leaked: {compact:?}");
+            assert_eq!(Json::parse(&compact).unwrap(), v, "compact {s:?}");
+            assert_eq!(Json::parse(&v.render_pretty()).unwrap(), v, "pretty {s:?}");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(
+            Json::parse(r#""Aé你""#).unwrap(),
+            Json::Str("Aé你".to_string())
+        );
+        // Surrogate pair for 🦀 (U+1F980).
+        assert_eq!(
+            Json::parse(r#""🦀""#).unwrap(),
+            Json::Str("🦀".to_string())
+        );
+        assert!(Json::parse(r#""\ud83e""#).is_err());
+        assert!(Json::parse(r#""\udd80\ud83e""#).is_err());
+    }
+
+    #[test]
+    fn numbers_round_trip_exactly() {
+        for n in [0.0, -0.0, 1.0, -17.0, 0.1, 1.0 / 3.0, 1e-12, 9.007199254740992e15] {
+            let rendered = Json::Num(n).render();
+            let back = Json::parse(&rendered).unwrap().as_num().unwrap();
+            assert_eq!(back.to_bits(), {
+                // -0.0 renders as "0" (integer path); accept the sign loss.
+                if n == 0.0 { 0.0f64.to_bits() } else { n.to_bits() }
+            }, "{n} via {rendered}");
+        }
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn pretty_rendering_parses_back() {
+        let v = Json::obj([
+            ("experiment", Json::str("E17")),
+            ("runs", Json::Arr(vec![Json::int(1), Json::int(2)])),
+            ("nested", Json::obj([("ok", Json::Bool(true))])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let pretty = v.render_pretty();
+        assert!(pretty.contains("\n  \"runs\""), "{pretty}");
+        assert_eq!(Json::parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn hex_ids_round_trip() {
+        for x in [0u64, 1, u64::MAX, 0xdead_beef_0123_4567] {
+            assert_eq!(parse_hex64(&hex64(x)).unwrap(), x);
+        }
+        assert!(parse_hex64("123").is_err());
+        assert!(parse_hex64("zzzzzzzzzzzzzzzz").is_err());
+    }
+
+    #[test]
+    fn fnv_is_stable_and_discriminating() {
+        assert_ne!(fnv1a64(b"vertices 3"), fnv1a64(b"vertices 4"));
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Ping,
+            Request::Register {
+                graph_text: "colors Röd \"Blå\"\nvertices 2\nedge 0 1\n".to_string(),
+            },
+            Request::Solve {
+                structure: 0xabcd_ef01_2345_6789,
+                examples: vec![
+                    WireExample {
+                        tuple: vec![0, 3],
+                        label: true,
+                    },
+                    WireExample {
+                        tuple: vec![1, 1],
+                        label: false,
+                    },
+                ],
+                ell: 2,
+                q: 1,
+                epsilon: 0.25,
+                solver: SolverSpec::Brute {
+                    mode: TypeMode::Local { r: 2 },
+                    threads: Some(4),
+                    prune: true,
+                },
+            },
+            Request::Solve {
+                structure: 7,
+                examples: vec![],
+                ell: 0,
+                q: 0,
+                epsilon: 1.0 / 3.0,
+                solver: SolverSpec::Nd,
+            },
+            Request::Evaluate {
+                structure: 1,
+                hypothesis: u64::MAX,
+                tuples: vec![vec![0], vec![5]],
+                labels: Some(vec![true, false]),
+            },
+            Request::Evaluate {
+                structure: 1,
+                hypothesis: 2,
+                tuples: vec![],
+                labels: None,
+            },
+            Request::ModelCheck {
+                structure: 42,
+                formula: "exists x0. \"Red\"(x0)\n∧ weird".to_string(),
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::Pong,
+            Response::Registered {
+                structure: 99,
+                vertices: 8,
+                edges: 7,
+                fresh: false,
+            },
+            Response::Solved(SolveOutcome {
+                cached: true,
+                error: 0.125,
+                work: 1024,
+                evaluated: 25,
+                pruned: 999,
+                solver: "brute-force (Prop 11)".to_string(),
+                hypothesis: WireHypothesis {
+                    id: 3,
+                    params: vec![7, 0],
+                    q: 1,
+                    mode: "local=2".to_string(),
+                    types: vec![0, 4, 9],
+                    describe: "Hypothesis(3 positive types, params=[V(7)], …)".to_string(),
+                },
+            }),
+            Response::Predictions {
+                labels: vec![true, false, true],
+                error: Some(1.0 / 3.0),
+            },
+            Response::Predictions {
+                labels: vec![],
+                error: None,
+            },
+            Response::Truth { holds: true },
+            Response::Stats {
+                data: Json::obj([
+                    ("requests", Json::int(12)),
+                    ("hit_rate", Json::Num(0.75)),
+                ]),
+            },
+            Response::Error {
+                message: "line 2: unknown colour \"Grün\"\nsecond line".to_string(),
+            },
+            Response::Bye {
+                reason: "request limit".to_string(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_request_variant_round_trips() {
+        for req in sample_requests() {
+            let line = req.encode();
+            assert!(!line.contains('\n'), "framing broken: {line:?}");
+            assert_eq!(Request::decode(&line).unwrap(), req, "{line}");
+        }
+    }
+
+    #[test]
+    fn every_response_variant_round_trips() {
+        for resp in sample_responses() {
+            let line = resp.encode();
+            assert!(!line.contains('\n'), "framing broken: {line:?}");
+            assert_eq!(Response::decode(&line).unwrap(), resp, "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_messages_are_rejected() {
+        assert!(Request::decode("{}").is_err());
+        assert!(Request::decode(r#"{"op": "warp"}"#).is_err());
+        assert!(Request::decode(r#"{"op": "solve"}"#).is_err());
+        assert!(Request::decode(r#"{"op": "register"}"#).is_err());
+        assert!(Response::decode(r#"{"resp": "solved"}"#).is_err());
+        assert!(Request::decode("not json at all").is_err());
+        // Structure ids must be 16-digit hex.
+        assert!(Request::decode(r#"{"op": "modelcheck", "structure": "xyz", "formula": "t"}"#).is_err());
+    }
+}

@@ -1,0 +1,655 @@
+//! The daemon: TCP listener, structure registry, solve dispatch, and
+//! graceful shutdown.
+//!
+//! One thread per connection does the cheap work — line framing,
+//! request parsing, registry lookups, cache hits — and forwards
+//! compute-shaped requests (`solve`, `evaluate`, `modelcheck`) to the
+//! bounded [`WorkerPool`], then blocks on the reply. Backpressure is
+//! therefore structural: a connection can have at most one compute
+//! request in flight, the pool queue is bounded, and each connection is
+//! closed after [`ServerConfig::max_requests_per_conn`] requests.
+//!
+//! # Registry and arenas
+//!
+//! Structures are parsed once at `register` and addressed by the FNV-1a
+//! hash of their *canonical* serialisation (`io::to_text` of the parsed
+//! graph), so textual variants of the same structure dedupe. Type
+//! arenas are shared per vocabulary colour count — the same discipline
+//! as `folearn_hardness::oracle::BruteForceOracle` — which makes type
+//! ids (and hence the `types` lists in `solved` responses) comparable
+//! across calls for the lifetime of the daemon. That is what lets a
+//! remote client group equal oracle answers exactly like the in-process
+//! oracle does.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use folearn::bruteforce::BruteForceOpts;
+use folearn::ndlearner::NdConfig;
+use folearn::problem::{ErmInstance, TrainingSequence};
+use folearn::{solve_fo_erm, Hypothesis, SharedArena, Solver};
+use folearn_graph::{io, Graph, V};
+use folearn_logic::{eval, parser};
+use folearn_types::TypeArena;
+use parking_lot::Mutex;
+
+use crate::cache::LruCache;
+use crate::metrics::Metrics;
+use crate::pool::WorkerPool;
+use crate::proto::{
+    fnv1a64, Request, Response, SolveOutcome, SolverSpec, WireExample, WireHypothesis,
+};
+
+/// Hard ceiling on per-request solver threads: a typo like
+/// `--threads 999999` must fail with a protocol error, not abort the
+/// daemon trying to spawn a million OS threads.
+pub const MAX_SOLVER_THREADS: usize = 256;
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads for compute requests (`0` = one per core).
+    pub workers: usize,
+    /// Pending compute jobs before submitters block.
+    pub queue_depth: usize,
+    /// Result-cache entries (`0` disables caching).
+    pub cache_capacity: usize,
+    /// Requests served per connection before the daemon closes it.
+    pub max_requests_per_conn: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_depth: 64,
+            cache_capacity: 256,
+            max_requests_per_conn: 100_000,
+        }
+    }
+}
+
+struct StoredHypothesis {
+    hypothesis: Hypothesis,
+    /// The structure the hypothesis was learned on (evaluate requests
+    /// must target the same one).
+    structure: u64,
+}
+
+struct State {
+    graphs: Mutex<HashMap<u64, Arc<Graph>>>,
+    arenas: Mutex<HashMap<usize, SharedArena>>,
+    hypotheses: Mutex<HashMap<u64, StoredHypothesis>>,
+    next_hypothesis: AtomicU64,
+    cache: Mutex<LruCache<SolveOutcome>>,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    max_requests_per_conn: usize,
+}
+
+impl State {
+    fn graph(&self, hash: u64) -> Result<Arc<Graph>, String> {
+        self.graphs
+            .lock()
+            .get(&hash)
+            .cloned()
+            .ok_or_else(|| format!("unknown structure {}", crate::proto::hex64(hash)))
+    }
+
+    /// The shared arena for this graph's vocabulary (keyed by colour
+    /// count, as in the in-process oracle).
+    fn arena_for(&self, g: &Graph) -> SharedArena {
+        let mut arenas = self.arenas.lock();
+        Arc::clone(
+            arenas
+                .entry(g.vocab().num_colors())
+                .or_insert_with(|| {
+                    Arc::new(Mutex::new(TypeArena::new(Arc::clone(g.vocab()))))
+                }),
+        )
+    }
+
+    fn sync_gauges(&self) {
+        let (hits, misses, evictions, len) = {
+            let cache = self.cache.lock();
+            let (h, m, e) = cache.counters();
+            (h, m, e, cache.len())
+        };
+        self.metrics.set_cache_counters(hits, misses, evictions, len);
+        self.metrics
+            .set_store_sizes(self.graphs.lock().len(), self.hypotheses.lock().len());
+    }
+
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Poke the acceptor so a blocking accept() observes the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running daemon. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] or [`ServerHandle::wait`] aborts less
+/// gracefully (threads are detached), so call one of them.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<State>,
+    acceptor: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    pool: Arc<WorkerPool>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Ask the daemon to stop, then wait for all threads.
+    pub fn shutdown(mut self) {
+        self.state.request_shutdown();
+        self.join_all();
+    }
+
+    /// Block until a client issues a `shutdown` request, then clean up.
+    pub fn wait(mut self) {
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Acceptor has exited, so no new connections appear; join the
+        // existing ones (they exit within one poll interval of the
+        // shutdown flag, or as soon as their client hangs up).
+        loop {
+            let handle = self.connections.lock().pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+        // Workers drain their queue and exit when the pool drops its
+        // sender. `Arc::get_mut` succeeds because every clone lived in
+        // a connection thread we just joined.
+        if let Some(pool) = Arc::get_mut(&mut self.pool) {
+            pool.shutdown();
+        }
+    }
+}
+
+/// Bind and start serving. Returns once the listener is live.
+pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let state = Arc::new(State {
+        graphs: Mutex::new(HashMap::new()),
+        arenas: Mutex::new(HashMap::new()),
+        hypotheses: Mutex::new(HashMap::new()),
+        next_hypothesis: AtomicU64::new(1),
+        cache: Mutex::new(LruCache::new(config.cache_capacity)),
+        metrics: Metrics::new(),
+        shutdown: AtomicBool::new(false),
+        addr,
+        max_requests_per_conn: config.max_requests_per_conn.max(1),
+    });
+    let pool = Arc::new(WorkerPool::new(config.workers, config.queue_depth));
+    let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let acceptor = {
+        let state = Arc::clone(&state);
+        let pool = Arc::clone(&pool);
+        let connections = Arc::clone(&connections);
+        std::thread::Builder::new()
+            .name("folearn-acceptor".to_string())
+            .spawn(move || {
+                for incoming in listener.incoming() {
+                    if state.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = incoming else { continue };
+                    state.metrics.record_connection();
+                    let state = Arc::clone(&state);
+                    let pool = Arc::clone(&pool);
+                    let handle = std::thread::Builder::new()
+                        .name("folearn-conn".to_string())
+                        .spawn(move || serve_connection(&state, &pool, stream))
+                        .expect("spawn connection thread");
+                    connections.lock().push(handle);
+                }
+            })?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        state,
+        acceptor: Some(acceptor),
+        connections,
+        pool,
+    })
+}
+
+/// How often a blocked read re-checks the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+fn serve_connection(state: &Arc<State>, pool: &Arc<WorkerPool>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut served = 0usize;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // Poll for a full line, re-checking the shutdown flag whenever
+        // the read times out. Partial reads accumulate in `line`.
+        let eof = loop {
+            if state.shutdown.load(Ordering::SeqCst) {
+                let _ = write_response(
+                    &mut writer,
+                    &Response::Bye {
+                        reason: "shutdown".to_string(),
+                    },
+                );
+                return;
+            }
+            match reader.read_line(&mut line) {
+                Ok(0) => break true,
+                Ok(_) => {
+                    if line.ends_with('\n') {
+                        break false;
+                    }
+                    // EOF in the middle of a line: serve what we got.
+                    break true;
+                }
+                Err(e)
+                    if e.kind() == ErrorKind::WouldBlock
+                        || e.kind() == ErrorKind::TimedOut
+                        || e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        };
+        if line.trim().is_empty() {
+            if eof {
+                return;
+            }
+            continue;
+        }
+
+        served += 1;
+        if served > state.max_requests_per_conn {
+            state.metrics.record_over_limit();
+            let _ = write_response(
+                &mut writer,
+                &Response::Bye {
+                    reason: "request limit".to_string(),
+                },
+            );
+            return;
+        }
+
+        let started = Instant::now();
+        let (op, response) = match Request::decode(line.trim_end()) {
+            Ok(req) => {
+                let op = req.op();
+                (op, handle_request(state, pool, req))
+            }
+            Err(e) => (
+                "malformed",
+                Response::Error {
+                    message: e.to_string(),
+                },
+            ),
+        };
+        let ok = !matches!(response, Response::Error { .. });
+        let us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        state.metrics.record_request(op, us, ok);
+
+        let closing = matches!(response, Response::Bye { .. });
+        if write_response(&mut writer, &response).is_err() {
+            return;
+        }
+        if closing {
+            if let Response::Bye { reason } = &response {
+                if reason == "shutdown" {
+                    state.request_shutdown();
+                }
+            }
+            return;
+        }
+        if eof {
+            return;
+        }
+    }
+}
+
+fn write_response(writer: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let mut line = response.encode();
+    line.push('\n');
+    writer.write_all(line.as_bytes())?;
+    writer.flush()
+}
+
+fn handle_request(state: &Arc<State>, pool: &Arc<WorkerPool>, req: Request) -> Response {
+    match req {
+        Request::Ping => Response::Pong,
+        Request::Shutdown => Response::Bye {
+            reason: "shutdown".to_string(),
+        },
+        Request::Stats => {
+            state.sync_gauges();
+            Response::Stats {
+                data: state.metrics.snapshot(),
+            }
+        }
+        Request::Register { graph_text } => match io::parse_graph(&graph_text) {
+            Ok(g) => {
+                let canonical = io::to_text(&g);
+                let hash = fnv1a64(canonical.as_bytes());
+                let (vertices, edges) = (g.num_vertices(), g.num_edges());
+                let fresh = state
+                    .graphs
+                    .lock()
+                    .insert(hash, Arc::new(g))
+                    .is_none();
+                Response::Registered {
+                    structure: hash,
+                    vertices,
+                    edges,
+                    fresh,
+                }
+            }
+            Err(e) => Response::Error {
+                message: format!("register: {e}"),
+            },
+        },
+        Request::Solve {
+            structure,
+            examples,
+            ell,
+            q,
+            epsilon,
+            solver,
+        } => handle_solve(state, pool, structure, &examples, ell, q, epsilon, &solver),
+        Request::Evaluate {
+            structure,
+            hypothesis,
+            tuples,
+            labels,
+        } => handle_evaluate(state, pool, structure, hypothesis, tuples, labels),
+        Request::ModelCheck { structure, formula } => {
+            handle_modelcheck(state, pool, structure, formula)
+        }
+    }
+}
+
+/// Run `job` on the worker pool and block for its reply.
+fn on_pool<T: Send + 'static>(
+    pool: &Arc<WorkerPool>,
+    job: impl FnOnce() -> T + Send + 'static,
+) -> Result<T, String> {
+    let (tx, rx) = mpsc::channel();
+    let submitted = pool.submit(Box::new(move || {
+        let _ = tx.send(job());
+    }));
+    if !submitted {
+        return Err("server is shutting down".to_string());
+    }
+    rx.recv().map_err(|_| "worker failed".to_string())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_solve(
+    state: &Arc<State>,
+    pool: &Arc<WorkerPool>,
+    structure: u64,
+    examples: &[WireExample],
+    ell: usize,
+    q: usize,
+    epsilon: f64,
+    solver: &SolverSpec,
+) -> Response {
+    let fail = |message: String| Response::Error { message };
+    let g = match state.graph(structure) {
+        Ok(g) => g,
+        Err(e) => return fail(format!("solve: {e}")),
+    };
+    if examples.is_empty() {
+        return fail("solve: examples must be non-empty".to_string());
+    }
+    let k = examples[0].tuple.len();
+    if k == 0 {
+        return fail("solve: example tuples must be non-empty".to_string());
+    }
+    for e in examples {
+        if e.tuple.len() != k {
+            return fail("solve: examples must all have the same arity".to_string());
+        }
+        if let Some(&v) = e.tuple.iter().find(|&&v| v as usize >= g.num_vertices()) {
+            return fail(format!("solve: vertex {v} out of range"));
+        }
+    }
+    if !epsilon.is_finite() || epsilon < 0.0 {
+        return fail("solve: epsilon must be a non-negative finite number".to_string());
+    }
+    if let SolverSpec::Brute {
+        threads: Some(t), ..
+    } = solver
+    {
+        if *t > MAX_SOLVER_THREADS {
+            return fail(format!(
+                "solve: threads must be at most {MAX_SOLVER_THREADS} (got {t})"
+            ));
+        }
+    }
+
+    // Cache key: structure is already hashed; hash the sample and the
+    // solver configuration through their canonical wire forms.
+    let sample_key = {
+        let mut bytes = Vec::new();
+        for e in examples {
+            bytes.extend_from_slice(&(e.tuple.len() as u32).to_le_bytes());
+            for &v in &e.tuple {
+                bytes.extend_from_slice(&v.to_le_bytes());
+            }
+            bytes.push(u8::from(e.label));
+        }
+        bytes.extend_from_slice(&(ell as u64).to_le_bytes());
+        bytes.extend_from_slice(&(q as u64).to_le_bytes());
+        bytes.extend_from_slice(&epsilon.to_bits().to_le_bytes());
+        fnv1a64(&bytes)
+    };
+    let config_key = fnv1a64(solver.to_json().render().as_bytes());
+    let cache_key = (structure, sample_key, config_key);
+
+    if let Some(hit) = state.cache.lock().get(&cache_key) {
+        let mut outcome = hit.clone();
+        outcome.cached = true;
+        return Response::Solved(outcome);
+    }
+
+    let rust_solver = match solver {
+        SolverSpec::Brute {
+            mode,
+            threads,
+            prune,
+        } => Solver::BruteForce {
+            mode: *mode,
+            opts: BruteForceOpts {
+                threads: *threads,
+                prune: *prune,
+                block_size: None,
+            },
+        },
+        SolverSpec::Nd => Solver::NowhereDense(NdConfig::default()),
+    };
+    let seq = TrainingSequence::from_pairs(
+        examples
+            .iter()
+            .map(|e| (e.tuple.iter().map(|&v| V(v)).collect::<Vec<_>>(), e.label)),
+    );
+    let arena = state.arena_for(&g);
+    let state_for_job = Arc::clone(state);
+    let outcome = on_pool(pool, move || {
+        let inst = ErmInstance::new(&g, seq, k, ell, q, epsilon);
+        let report = solve_fo_erm(&inst, &rust_solver, &arena);
+        let id = state_for_job.next_hypothesis.fetch_add(1, Ordering::SeqCst);
+        let h = &report.hypothesis;
+        let wire = WireHypothesis {
+            id,
+            params: h.params().iter().map(|v| v.0).collect(),
+            q: h.q,
+            mode: h.mode.to_string(),
+            types: h.positive_types().iter().map(|t| t.0).collect(),
+            describe: h.describe(),
+        };
+        state_for_job.hypotheses.lock().insert(
+            id,
+            StoredHypothesis {
+                hypothesis: report.hypothesis.clone(),
+                structure,
+            },
+        );
+        state_for_job
+            .metrics
+            .record_solver_work(report.evaluated_params, report.pruned_params);
+        SolveOutcome {
+            cached: false,
+            error: report.error,
+            work: report.work,
+            evaluated: report.evaluated_params,
+            pruned: report.pruned_params,
+            solver: report.solver_name.to_string(),
+            hypothesis: wire,
+        }
+    });
+    match outcome {
+        Ok(outcome) => {
+            state.cache.lock().insert(cache_key, outcome.clone());
+            Response::Solved(outcome)
+        }
+        Err(e) => Response::Error {
+            message: format!("solve: {e}"),
+        },
+    }
+}
+
+fn handle_evaluate(
+    state: &Arc<State>,
+    pool: &Arc<WorkerPool>,
+    structure: u64,
+    hypothesis: u64,
+    tuples: Vec<Vec<u32>>,
+    labels: Option<Vec<bool>>,
+) -> Response {
+    let fail = |message: String| Response::Error { message };
+    let g = match state.graph(structure) {
+        Ok(g) => g,
+        Err(e) => return fail(format!("evaluate: {e}")),
+    };
+    let h = {
+        let store = state.hypotheses.lock();
+        match store.get(&hypothesis) {
+            Some(s) if s.structure == structure => s.hypothesis.clone(),
+            Some(_) => {
+                return fail(
+                    "evaluate: hypothesis was learned on a different structure".to_string(),
+                )
+            }
+            None => {
+                return fail(format!(
+                    "evaluate: unknown hypothesis {}",
+                    crate::proto::hex64(hypothesis)
+                ))
+            }
+        }
+    };
+    for t in &tuples {
+        if let Some(&v) = t.iter().find(|&&v| v as usize >= g.num_vertices()) {
+            return fail(format!("evaluate: vertex {v} out of range"));
+        }
+    }
+    if let Some(ls) = &labels {
+        if ls.len() != tuples.len() {
+            return fail("evaluate: labels must be parallel to tuples".to_string());
+        }
+    }
+    let result = on_pool(pool, move || {
+        let predictions: Vec<bool> = tuples
+            .iter()
+            .map(|t| {
+                let tuple: Vec<V> = t.iter().map(|&v| V(v)).collect();
+                h.predict(&g, &tuple)
+            })
+            .collect();
+        let error = labels.map(|ls| {
+            if predictions.is_empty() {
+                0.0
+            } else {
+                let wrong = predictions
+                    .iter()
+                    .zip(&ls)
+                    .filter(|(p, l)| p != l)
+                    .count();
+                wrong as f64 / predictions.len() as f64
+            }
+        });
+        (predictions, error)
+    });
+    match result {
+        Ok((labels, error)) => Response::Predictions { labels, error },
+        Err(e) => Response::Error {
+            message: format!("evaluate: {e}"),
+        },
+    }
+}
+
+fn handle_modelcheck(
+    state: &Arc<State>,
+    pool: &Arc<WorkerPool>,
+    structure: u64,
+    formula: String,
+) -> Response {
+    let g = match state.graph(structure) {
+        Ok(g) => g,
+        Err(e) => {
+            return Response::Error {
+                message: format!("modelcheck: {e}"),
+            }
+        }
+    };
+    let phi = match parser::parse(&formula, g.vocab()) {
+        Ok(phi) => phi,
+        Err(e) => {
+            return Response::Error {
+                message: format!("modelcheck: {e}"),
+            }
+        }
+    };
+    if !phi.is_sentence() {
+        return Response::Error {
+            message: "modelcheck: formula must be a sentence (no free variables)".to_string(),
+        };
+    }
+    match on_pool(pool, move || eval::models(&g, &phi)) {
+        Ok(holds) => Response::Truth { holds },
+        Err(e) => Response::Error {
+            message: format!("modelcheck: {e}"),
+        },
+    }
+}

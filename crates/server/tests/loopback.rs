@@ -1,0 +1,261 @@
+//! End-to-end daemon tests over a real loopback socket: register, solve
+//! (cold and cached), evaluate, model-check, stats, bad requests, the
+//! request limit, and graceful shutdown.
+
+use folearn_server::proto::{hex64, Request, Response};
+use folearn_server::{
+    start, Client, ClientError, LoadgenConfig, ServerConfig, SolverSpec, WireExample,
+};
+
+const GRAPH: &str = "colors Red Blue\nvertices 6\nedge 0 1\nedge 1 2\nedge 2 3\nedge 3 4\nedge 4 5\ncolor 0 Red\ncolor 2 Red\ncolor 4 Red\ncolor 1 Blue\ncolor 3 Blue\ncolor 5 Blue\n";
+
+fn sample() -> Vec<WireExample> {
+    // "Is the vertex Red?" on the coloured path: realisable at q = 1.
+    (0..6u32)
+        .map(|v| WireExample {
+            tuple: vec![v],
+            label: v % 2 == 0,
+        })
+        .collect()
+}
+
+#[test]
+fn full_session_register_solve_cache_evaluate_modelcheck() {
+    let handle = start(&ServerConfig::default()).expect("server starts");
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).expect("client connects");
+
+    client.ping().expect("ping");
+
+    let structure = client.register(GRAPH).expect("register");
+    // Registering a textual variant (extra comments/whitespace) dedupes
+    // to the same content hash.
+    let variant = format!("# same graph\n{GRAPH}\n\n");
+    let again = client.register(&variant).expect("register variant");
+    assert_eq!(structure, again, "canonicalised content hash dedupes");
+
+    let cold = client
+        .solve(structure, sample(), 1, 1, 0.0, SolverSpec::default_brute())
+        .expect("cold solve");
+    assert!(!cold.cached);
+    assert_eq!(cold.error, 0.0, "Red(x0) realises the sample");
+    assert!(cold.evaluated > 0);
+
+    let warm = client
+        .solve(structure, sample(), 1, 1, 0.0, SolverSpec::default_brute())
+        .expect("warm solve");
+    assert!(warm.cached, "identical solve is served from cache");
+    // The cached outcome is the stored one, bit for bit.
+    assert_eq!(warm.error, cold.error);
+    assert_eq!(warm.work, cold.work);
+    assert_eq!(warm.hypothesis.id, cold.hypothesis.id);
+    assert_eq!(warm.hypothesis.params, cold.hypothesis.params);
+    assert_eq!(warm.hypothesis.types, cold.hypothesis.types);
+
+    // A different solver config is a different cache key.
+    let other = client
+        .solve(
+            structure,
+            sample(),
+            1,
+            1,
+            0.0,
+            SolverSpec::Brute {
+                mode: folearn::TypeMode::Global,
+                threads: Some(1),
+                prune: false,
+            },
+        )
+        .expect("different-config solve");
+    assert!(!other.cached);
+    // ... but the deterministic engine finds the same answer.
+    assert_eq!(other.error, cold.error);
+
+    // Evaluate the learned hypothesis on every vertex: it must realise
+    // the training labels exactly (error 0 above).
+    let tuples: Vec<Vec<u32>> = (0..6u32).map(|v| vec![v]).collect();
+    let labels: Vec<bool> = (0..6u32).map(|v| v % 2 == 0).collect();
+    let (predictions, error) = client
+        .evaluate(structure, cold.hypothesis.id, tuples, Some(labels.clone()))
+        .expect("evaluate");
+    assert_eq!(predictions, labels);
+    assert_eq!(error, Some(0.0));
+
+    assert!(client
+        .modelcheck(structure, "exists x0. Red(x0)")
+        .expect("modelcheck sat"));
+    assert!(!client
+        .modelcheck(structure, "forall x0. Red(x0)")
+        .expect("modelcheck unsat"));
+
+    let stats = client.stats().expect("stats");
+    let cache = stats.get("cache").expect("cache block");
+    assert!(
+        cache.get("hit_rate").unwrap().as_num().unwrap() > 0.0,
+        "warm solve shows up in the hit rate"
+    );
+    assert!(stats.get("requests").unwrap().as_usize().unwrap() >= 8);
+    let endpoints = stats.get("endpoints").expect("endpoints block");
+    assert!(endpoints.get("solve").is_some());
+    assert!(
+        endpoints
+            .get("solve")
+            .unwrap()
+            .get("p50_us")
+            .unwrap()
+            .as_num()
+            .unwrap()
+            > 0.0
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.wait();
+}
+
+#[test]
+fn errors_are_protocol_replies_not_disconnects() {
+    let handle = start(&ServerConfig::default()).expect("server starts");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Unknown structure.
+    let err = client
+        .solve(7, sample(), 1, 1, 0.0, SolverSpec::default_brute())
+        .expect_err("unknown structure");
+    assert!(matches!(err, ClientError::Server(ref m) if m.contains("unknown structure")));
+
+    let structure = client.register(GRAPH).expect("register");
+
+    // Bad graph text.
+    let err = client.register("vertices 2\nedge 0 9\n").expect_err("bad graph");
+    assert!(matches!(err, ClientError::Server(ref m) if m.contains("register")));
+
+    // Mixed arities.
+    let bad = vec![
+        WireExample {
+            tuple: vec![0],
+            label: true,
+        },
+        WireExample {
+            tuple: vec![0, 1],
+            label: false,
+        },
+    ];
+    let err = client
+        .solve(structure, bad, 1, 1, 0.0, SolverSpec::default_brute())
+        .expect_err("mixed arity");
+    assert!(matches!(err, ClientError::Server(ref m) if m.contains("arity")));
+
+    // Out-of-range vertex.
+    let oob = vec![WireExample {
+        tuple: vec![99],
+        label: true,
+    }];
+    let err = client
+        .solve(structure, oob, 1, 1, 0.0, SolverSpec::default_brute())
+        .expect_err("out of range");
+    assert!(matches!(err, ClientError::Server(ref m) if m.contains("out of range")));
+
+    // Absurd thread count fails with a clear message, no panic.
+    let err = client
+        .solve(
+            structure,
+            sample(),
+            1,
+            1,
+            0.0,
+            SolverSpec::Brute {
+                mode: folearn::TypeMode::Global,
+                threads: Some(100_000),
+                prune: true,
+            },
+        )
+        .expect_err("too many threads");
+    assert!(matches!(err, ClientError::Server(ref m) if m.contains("threads")));
+
+    // Unknown hypothesis id.
+    let err = client
+        .evaluate(structure, 0xdead, vec![vec![0]], None)
+        .expect_err("unknown hypothesis");
+    assert!(matches!(err, ClientError::Server(ref m) if m.contains(&hex64(0xdead))));
+
+    // Open formula rejected by modelcheck.
+    let err = client
+        .modelcheck(structure, "Red(x0)")
+        .expect_err("open formula");
+    assert!(matches!(err, ClientError::Server(ref m) if m.contains("sentence")));
+
+    // Malformed line: raw garbage gets an error reply, connection lives.
+    match client.call(&Request::Ping).expect("still alive") {
+        Response::Pong => {}
+        other => panic!("expected pong, got {other:?}"),
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn request_limit_closes_the_connection() {
+    let config = ServerConfig {
+        max_requests_per_conn: 3,
+        ..ServerConfig::default()
+    };
+    let handle = start(&config).expect("server starts");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    for _ in 0..3 {
+        client.ping().expect("within budget");
+    }
+    match client.call(&Request::Ping) {
+        Ok(Response::Bye { reason }) => assert_eq!(reason, "request limit"),
+        other => panic!("expected bye, got {other:?}"),
+    }
+    // A fresh connection still works.
+    let mut c2 = Client::connect(handle.addr()).expect("reconnect");
+    c2.ping().expect("fresh budget");
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_request_stops_the_daemon() {
+    let handle = start(&ServerConfig::default()).expect("server starts");
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    client.register(GRAPH).expect("register");
+    client.shutdown().expect("bye");
+    handle.wait(); // returns: acceptor, connections, and workers joined
+    assert!(
+        Client::connect(addr).map(|mut c| c.ping()).is_err()
+            || Client::connect(addr).is_err(),
+        "daemon no longer serves"
+    );
+}
+
+#[test]
+fn loadgen_smoke_hits_the_cache() {
+    let handle = start(&ServerConfig::default()).expect("server starts");
+    let config = LoadgenConfig {
+        connections: 2,
+        requests_per_conn: 25,
+        seed: 5,
+        sample_pool: 3,
+        ell: 1,
+        q: 1,
+    };
+    let report =
+        folearn_server::loadgen::run_load(handle.addr(), GRAPH, &config).expect("load run");
+    assert_eq!(report.requests, 2 * (25 + 1)); // +1 register per worker
+    assert_eq!(report.errors, 0);
+    assert!(
+        report.cached_solves > 0,
+        "small sample pool must produce repeat solves"
+    );
+    assert!(report.fresh_solves > 0);
+    assert!(report.throughput() > 0.0);
+    let solve = report
+        .ops
+        .iter()
+        .find(|(op, _)| op == "solve")
+        .map(|(_, s)| s)
+        .expect("solve stats");
+    assert!(solve.quantile_us(0.5) > 0);
+    handle.shutdown();
+}

@@ -1,0 +1,236 @@
+//! Property tests for the wire protocol: every request/response variant
+//! round-trips through encode → decode on adversarial payloads —
+//! embedded newlines, quotes, backslashes, control characters, and
+//! non-ASCII text — and every encoded message stays a single line (the
+//! framing invariant).
+
+use folearn::TypeMode;
+use folearn_server::proto::{
+    Json, Request, Response, SolveOutcome, SolverSpec, WireExample, WireHypothesis,
+};
+use proptest::collection;
+use proptest::prelude::*;
+
+/// Characters chosen to stress the codec: framing characters, escape
+/// characters, ASCII/Unicode controls, multi-byte and astral symbols.
+const PALETTE: &[char] = &[
+    'a', 'Z', '7', ' ', '_', '\n', '\r', '\t', '"', '\\', '/', '{', '}', '[', ']', ':', ',',
+    '\u{0}', '\u{8}', '\u{c}', '\u{1f}', '\u{7f}', 'é', 'λ', '中', '\u{2028}', '\u{2029}',
+    '🦀', '𝔽',
+];
+
+fn nasty_string() -> impl Strategy<Value = String> {
+    collection::vec(0usize..PALETTE.len(), 0..16)
+        .prop_map(|idx| idx.into_iter().map(|i| PALETTE[i]).collect())
+}
+
+fn examples_strategy() -> impl Strategy<Value = Vec<WireExample>> {
+    collection::vec(
+        (collection::vec(0u32..50, 1..4), 0u32..2),
+        1..6,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(tuple, l)| WireExample {
+                tuple,
+                label: l == 1,
+            })
+            .collect()
+    })
+}
+
+fn solver_strategy() -> impl Strategy<Value = SolverSpec> {
+    (0usize..5, 1usize..4, 1u32..4, 0u32..2).prop_map(|(kind, r, cap, p)| match kind {
+        0 => SolverSpec::Nd,
+        1 => SolverSpec::Brute {
+            mode: TypeMode::Global,
+            threads: None,
+            prune: p == 1,
+        },
+        2 => SolverSpec::Brute {
+            mode: TypeMode::Local { r },
+            threads: Some(r),
+            prune: p == 1,
+        },
+        3 => SolverSpec::Brute {
+            mode: TypeMode::GlobalCounting { cap },
+            threads: Some(0),
+            prune: p == 1,
+        },
+        _ => SolverSpec::Brute {
+            mode: TypeMode::LocalCounting { r, cap },
+            threads: Some(17),
+            prune: p == 1,
+        },
+    })
+}
+
+fn assert_request_round_trip(req: &Request) -> Result<(), TestCaseError> {
+    let line = req.encode();
+    prop_assert!(
+        !line.contains('\n') && !line.contains('\r'),
+        "framing: encoded request must be one line, got {line:?}"
+    );
+    let back = Request::decode(&line)
+        .map_err(|e| TestCaseError::fail(format!("decode failed on {line:?}: {e}")))?;
+    prop_assert_eq!(&back, req);
+    Ok(())
+}
+
+fn assert_response_round_trip(resp: &Response) -> Result<(), TestCaseError> {
+    let line = resp.encode();
+    prop_assert!(
+        !line.contains('\n') && !line.contains('\r'),
+        "framing: encoded response must be one line, got {line:?}"
+    );
+    let back = Response::decode(&line)
+        .map_err(|e| TestCaseError::fail(format!("decode failed on {line:?}: {e}")))?;
+    prop_assert_eq!(&back, resp);
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn register_round_trips_any_text(text in nasty_string()) {
+        assert_request_round_trip(&Request::Register { graph_text: text })?;
+    }
+
+    #[test]
+    fn solve_round_trips(
+        structure in 0u64..=u64::MAX,
+        examples in examples_strategy(),
+        ell in 0usize..5,
+        q in 0usize..5,
+        eps_mil in 0u32..=1000,
+        solver in solver_strategy(),
+    ) {
+        assert_request_round_trip(&Request::Solve {
+            structure,
+            examples,
+            ell,
+            q,
+            epsilon: f64::from(eps_mil) / 1000.0,
+            solver,
+        })?;
+    }
+
+    #[test]
+    fn evaluate_round_trips(
+        structure in 0u64..=u64::MAX,
+        hypothesis in 0u64..=u64::MAX,
+        tuples in collection::vec(collection::vec(0u32..100, 0..4), 0..5),
+        labelled in 0u32..2,
+        labels in collection::vec(0u32..2, 0..5),
+    ) {
+        let labels = (labelled == 1)
+            .then(|| labels.into_iter().map(|l| l == 1).collect());
+        assert_request_round_trip(&Request::Evaluate {
+            structure,
+            hypothesis,
+            tuples,
+            labels,
+        })?;
+    }
+
+    #[test]
+    fn modelcheck_round_trips_any_formula(
+        structure in 0u64..=u64::MAX,
+        formula in nasty_string(),
+    ) {
+        assert_request_round_trip(&Request::ModelCheck { structure, formula })?;
+    }
+
+    #[test]
+    fn bare_requests_round_trip(kind in 0usize..3) {
+        let req = match kind {
+            0 => Request::Ping,
+            1 => Request::Stats,
+            _ => Request::Shutdown,
+        };
+        assert_request_round_trip(&req)?;
+    }
+
+    #[test]
+    fn solved_round_trips(
+        cached in 0u32..2,
+        err_mil in 0u32..=1000,
+        work in 0usize..100000,
+        evaluated in 0usize..100000,
+        pruned in 0usize..100000,
+        solver in nasty_string(),
+        id in 0u64..=u64::MAX,
+        params in collection::vec(0u32..100, 0..4),
+        q in 0usize..5,
+        mode in nasty_string(),
+        types in collection::vec(0u32..10000, 0..6),
+        describe in nasty_string(),
+    ) {
+        assert_response_round_trip(&Response::Solved(SolveOutcome {
+            cached: cached == 1,
+            error: f64::from(err_mil) / 1000.0,
+            work,
+            evaluated,
+            pruned,
+            solver,
+            hypothesis: WireHypothesis { id, params, q, mode, types, describe },
+        }))?;
+    }
+
+    #[test]
+    fn registered_and_scalar_responses_round_trip(
+        structure in 0u64..=u64::MAX,
+        vertices in 0usize..100000,
+        edges in 0usize..100000,
+        flag in 0u32..2,
+        text in nasty_string(),
+    ) {
+        assert_response_round_trip(&Response::Pong)?;
+        assert_response_round_trip(&Response::Registered {
+            structure,
+            vertices,
+            edges,
+            fresh: flag == 1,
+        })?;
+        assert_response_round_trip(&Response::Truth { holds: flag == 1 })?;
+        assert_response_round_trip(&Response::Error {
+            message: text.clone(),
+        })?;
+        assert_response_round_trip(&Response::Bye { reason: text })?;
+    }
+
+    #[test]
+    fn predictions_round_trip(
+        labels in collection::vec(0u32..2, 0..8),
+        with_error in 0u32..2,
+        err_mil in 0u32..=1000,
+    ) {
+        assert_response_round_trip(&Response::Predictions {
+            labels: labels.into_iter().map(|l| l == 1).collect(),
+            error: (with_error == 1).then(|| f64::from(err_mil) / 1000.0),
+        })?;
+    }
+
+    #[test]
+    fn stats_round_trips_nested_json(
+        keys in collection::vec(0usize..PALETTE.len(), 0..6),
+        nums in collection::vec(0u32..1000000, 0..6),
+        text in nasty_string(),
+    ) {
+        // A stats payload with nasty keys, nested objects, and arrays.
+        let pairs: Vec<(String, Json)> = keys
+            .iter()
+            .zip(&nums)
+            .map(|(&k, &n)| (PALETTE[k].to_string(), Json::int(n as usize)))
+            .collect();
+        let data = Json::Obj(vec![
+            ("inner".to_string(), Json::Obj(pairs)),
+            (
+                "arr".to_string(),
+                Json::Arr(nums.iter().map(|&n| Json::int(n as usize)).collect()),
+            ),
+            ("text".to_string(), Json::str(text)),
+            ("null".to_string(), Json::Null),
+        ]);
+        assert_response_round_trip(&Response::Stats { data })?;
+    }
+}

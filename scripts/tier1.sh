@@ -11,4 +11,35 @@ cargo build --offline --release --workspace
 cargo test  --offline -q --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# --- folearn-server smoke test (hermetic: loopback only, ephemeral port) ---
+# Boots the daemon through the real CLI, registers a structure, solves the
+# same instance twice (the repeat must come out of the result cache with an
+# identical hypothesis), and shuts the daemon down cleanly.
+FOLEARN=target/release/folearn
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"; [ -n "${SERVER_PID:-}" ] && kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+printf 'colors Red\nvertices 6\nedge 0 1\nedge 1 2\nedge 2 3\nedge 3 4\nedge 4 5\ncolor 0 Red\ncolor 3 Red\n' > "$SMOKE/graph.txt"
+printf '+ 0\n- 1\n- 2\n+ 3\n- 4\n' > "$SMOKE/sample.txt"
+
+"$FOLEARN" serve --addr 127.0.0.1:0 --addr-file "$SMOKE/addr" --workers 1 > "$SMOKE/server.log" &
+SERVER_PID=$!
+for _ in $(seq 1 50); do [ -s "$SMOKE/addr" ] && break; sleep 0.1; done
+[ -s "$SMOKE/addr" ] || { echo "tier1: server never published its address" >&2; exit 1; }
+ADDR=$(cat "$SMOKE/addr")
+
+"$FOLEARN" client --addr "$ADDR" --action ping | grep -q pong
+"$FOLEARN" client --addr "$ADDR" --action solve --graph "$SMOKE/graph.txt" \
+    --examples "$SMOKE/sample.txt" --ell 1 --q 1 > "$SMOKE/cold.txt"
+grep -q 'cached:          no' "$SMOKE/cold.txt"
+"$FOLEARN" client --addr "$ADDR" --action solve --graph "$SMOKE/graph.txt" \
+    --examples "$SMOKE/sample.txt" --ell 1 --q 1 > "$SMOKE/warm.txt"
+grep -q 'cached:          yes' "$SMOKE/warm.txt"
+# Identical solve answers modulo the cached flag.
+diff <(grep -v cached "$SMOKE/cold.txt") <(grep -v cached "$SMOKE/warm.txt")
+"$FOLEARN" client --addr "$ADDR" --action shutdown
+wait "$SERVER_PID"
+SERVER_PID=
+grep -q 'shut down cleanly' "$SMOKE/server.log"
+
 echo "tier1: OK"

@@ -12,10 +12,23 @@ USAGE:
   folearn learn      --graph G.txt --examples E.txt [--ell N] [--q N]
                      [--solver brute|nd|local]
                      [--mode global|local=R|counting=CAP|local-counting=R,CAP]
+                     [--threads N (0 = one per core, max 256)] [--prune on|off]
   folearn modelcheck --graph G.txt --formula \"<sentence>\"
   folearn splitter   --graph G.txt [--radius R]
   folearn types      --graph G.txt [--q N] [--k N]
   folearn dot        --graph G.txt
+  folearn serve      [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+                     [--max-requests N] [--addr-file PATH]
+  folearn client     --addr HOST:PORT --action ACTION ...
+                     ACTION: ping | register --graph G.txt
+                           | solve --graph G.txt --examples E.txt
+                                   [--ell N] [--q N] [--solver brute|nd]
+                                   [--mode ...] [--threads N] [--prune on|off]
+                           | evaluate --graph G.txt --examples E.txt --hypothesis HEX
+                           | modelcheck --graph G.txt --formula \"<sentence>\"
+                           | stats | shutdown
+  folearn loadgen    --addr HOST:PORT --graph G.txt [--connections N]
+                     [--requests N] [--seed N] [--pool N] [--ell N] [--q N]
 
 Graph files use the line format:
   colors Red Blue
@@ -23,6 +36,8 @@ Graph files use the line format:
   edge 0 1
   color 0 Red
 Example files label tuples, one per line:  '+ 3'  or  '- 2 4'
+The server speaks newline-delimited JSON over TCP; see README.md
+(\"The folearn server\") for the wire format.
 ";
 
 fn main() -> ExitCode {

@@ -10,6 +10,9 @@
 //! * `splitter   --graph G.txt [--radius R]`
 //! * `types      --graph G.txt [--q N] [--k N]`
 //! * `dot        --graph G.txt`
+//! * `serve      [--addr H:P] [--workers N] [--queue N] [--cache N] [--max-requests N] [--addr-file PATH]`
+//! * `client     --addr H:P --action ping|register|solve|evaluate|modelcheck|stats|shutdown …`
+//! * `loadgen    --addr H:P --graph G.txt [--connections N] [--requests N] [--seed N] [--pool N]`
 //!
 //! Graphs use the `folearn_graph::io` exchange format; example files have
 //! one example per line: a `+` or `-` label followed by the vertex indices
@@ -25,6 +28,9 @@ use folearn::{shared_arena, solve_fo_erm, Solver, TypeMode};
 use folearn_graph::splitter::{play_game, GraphClass, MaxBallConnector};
 use folearn_graph::{io, Graph, V};
 use folearn_logic::{eval, parser};
+use folearn_server::proto::{hex64, parse_hex64};
+use folearn_server::server::MAX_SOLVER_THREADS;
+use folearn_server::{Client, LoadgenConfig, ServerConfig, SolverSpec, WireExample};
 use folearn_types::census;
 
 /// A fatal CLI error (message for the user).
@@ -127,31 +133,31 @@ pub fn parse_examples(text: &str, g: &Graph) -> Result<TrainingSequence, CliErro
 }
 
 /// Parse a `--mode` string: `global`, `local=R`, `counting=CAP`, or
-/// `local-counting=R,CAP`.
+/// `local-counting=R,CAP` (delegates to [`TypeMode`]'s `FromStr`, the
+/// same grammar the wire protocol speaks).
 pub fn parse_mode(s: &str) -> Result<TypeMode, CliError> {
-    if s == "global" {
-        return Ok(TypeMode::Global);
+    s.parse().map_err(err)
+}
+
+/// Parse and validate `--threads`: a number, at most
+/// [`MAX_SOLVER_THREADS`] (`0` = one per core), `None` when absent.
+fn parse_threads(opts: &Options) -> Result<Option<usize>, CliError> {
+    match opts.get("threads") {
+        None => Ok(None),
+        Some(s) => {
+            let t: usize = s.parse().map_err(|_| {
+                err(format!(
+                    "--threads expects a number (0 = one per core), got {s:?}"
+                ))
+            })?;
+            if t > MAX_SOLVER_THREADS {
+                return Err(err(format!(
+                    "--threads must be at most {MAX_SOLVER_THREADS} (got {t})"
+                )));
+            }
+            Ok(Some(t))
+        }
     }
-    if let Some(r) = s.strip_prefix("local=") {
-        let r = r.parse().map_err(|_| err("bad radius in --mode local=R"))?;
-        return Ok(TypeMode::Local { r });
-    }
-    if let Some(cap) = s.strip_prefix("counting=") {
-        let cap = cap
-            .parse()
-            .map_err(|_| err("bad cap in --mode counting=CAP"))?;
-        return Ok(TypeMode::GlobalCounting { cap });
-    }
-    if let Some(rest) = s.strip_prefix("local-counting=") {
-        let (r, cap) = rest
-            .split_once(',')
-            .ok_or_else(|| err("--mode local-counting=R,CAP"))?;
-        return Ok(TypeMode::LocalCounting {
-            r: r.parse().map_err(|_| err("bad radius"))?,
-            cap: cap.parse().map_err(|_| err("bad cap"))?,
-        });
-    }
-    Err(err(format!("unknown --mode {s:?}")))
 }
 
 /// Parse an `on`/`off` (or `true`/`false`) switch value.
@@ -182,8 +188,11 @@ pub fn run(command: &str, args: &[String]) -> Result<String, CliError> {
             let g = load_graph(&opts)?;
             Ok(io::to_dot(&g, "G"))
         }
+        "serve" => cmd_serve(&opts),
+        "client" => cmd_client(&opts),
+        "loadgen" => cmd_loadgen(&opts),
         other => Err(err(format!(
-            "unknown command {other:?}; expected learn | modelcheck | splitter | types | dot"
+            "unknown command {other:?}; expected learn | modelcheck | splitter | types | dot | serve | client | loadgen"
         ))),
     }
 }
@@ -202,9 +211,7 @@ fn cmd_learn(opts: &Options) -> Result<String, CliError> {
         "brute" => Solver::BruteForce {
             mode,
             opts: BruteForceOpts {
-                threads: opts.get("threads").map(str::parse).transpose().map_err(
-                    |_| err("--threads expects a number (0 = one per core)"),
-                )?,
+                threads: parse_threads(opts)?,
                 prune: parse_on_off(opts.get("prune").unwrap_or("on"), "prune")?,
                 block_size: None,
             },
@@ -293,6 +300,199 @@ fn cmd_types(opts: &Options) -> Result<String, CliError> {
         g.num_vertices(),
         sizes
     ))
+}
+
+/// `folearn serve`: run the learning daemon until a client sends a
+/// `shutdown` request. The bound address is printed to stdout
+/// immediately (port 0 picks an ephemeral port) and, with
+/// `--addr-file PATH`, also written to a file so scripts can discover
+/// it without parsing output.
+fn cmd_serve(opts: &Options) -> Result<String, CliError> {
+    let config = ServerConfig {
+        addr: opts.get("addr").unwrap_or("127.0.0.1:0").to_string(),
+        workers: opts.get_usize("workers", 0)?,
+        queue_depth: opts.get_usize("queue", 64)?,
+        cache_capacity: opts.get_usize("cache", 256)?,
+        max_requests_per_conn: opts.get_usize("max-requests", 100_000)?,
+    };
+    let handle = folearn_server::start(&config)
+        .map_err(|e| err(format!("cannot bind {}: {e}", config.addr)))?;
+    let addr = handle.addr();
+    println!("folearn-server listening on {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    if let Some(path) = opts.get("addr-file") {
+        std::fs::write(path, addr.to_string())
+            .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+    }
+    handle.wait();
+    Ok(format!("folearn-server on {addr}: shut down cleanly\n"))
+}
+
+/// Build the wire solver spec from `--solver/--mode/--threads/--prune`.
+fn parse_solver_spec(opts: &Options) -> Result<SolverSpec, CliError> {
+    match opts.get("solver").unwrap_or("brute") {
+        "brute" => Ok(SolverSpec::Brute {
+            mode: parse_mode(opts.get("mode").unwrap_or("global"))?,
+            threads: parse_threads(opts)?,
+            prune: parse_on_off(opts.get("prune").unwrap_or("on"), "prune")?,
+        }),
+        "nd" => Ok(SolverSpec::Nd),
+        other => Err(err(format!(
+            "unknown --solver {other:?} (the server offers brute | nd)"
+        ))),
+    }
+}
+
+/// Read, parse, and wire-encode an examples file against a graph.
+fn wire_examples(opts: &Options, g: &Graph) -> Result<Vec<WireExample>, CliError> {
+    let path = opts.require("examples")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    let seq = parse_examples(&text, g)?;
+    Ok(seq
+        .iter()
+        .map(|e| WireExample {
+            tuple: e.tuple.iter().map(|v| v.0).collect(),
+            label: e.label,
+        })
+        .collect())
+}
+
+/// `folearn client`: one request/response exchange with a daemon.
+fn cmd_client(opts: &Options) -> Result<String, CliError> {
+    let addr = opts.require("addr")?;
+    let mut client =
+        Client::connect(addr).map_err(|e| err(format!("cannot connect to {addr}: {e}")))?;
+    let net = |e: folearn_server::ClientError| err(e.to_string());
+    match opts.require("action")? {
+        "ping" => {
+            client.ping().map_err(net)?;
+            Ok("pong\n".to_string())
+        }
+        "register" => {
+            let g = load_graph(opts)?;
+            let structure = client.register(&io::to_text(&g)).map_err(net)?;
+            Ok(format!("structure {}\n", hex64(structure)))
+        }
+        "solve" => {
+            let g = load_graph(opts)?;
+            let examples = wire_examples(opts, &g)?;
+            let structure = client.register(&io::to_text(&g)).map_err(net)?;
+            let outcome = client
+                .solve(
+                    structure,
+                    examples,
+                    opts.get_usize("ell", 0)?,
+                    opts.get_usize("q", 1)?,
+                    0.0,
+                    parse_solver_spec(opts)?,
+                )
+                .map_err(net)?;
+            let mut out = String::new();
+            let _ = writeln!(out, "structure:       {}", hex64(structure));
+            let _ = writeln!(out, "solver:          {}", outcome.solver);
+            let _ = writeln!(
+                out,
+                "cached:          {}",
+                if outcome.cached { "yes" } else { "no" }
+            );
+            let _ = writeln!(out, "training error:  {:.4}", outcome.error);
+            let _ = writeln!(
+                out,
+                "work units:      {} ({} evaluated, {} pruned)",
+                outcome.work, outcome.evaluated, outcome.pruned
+            );
+            let _ = writeln!(out, "hypothesis id:   {}", hex64(outcome.hypothesis.id));
+            let _ = writeln!(out, "hypothesis:      {}", outcome.hypothesis.describe);
+            Ok(out)
+        }
+        "evaluate" => {
+            let g = load_graph(opts)?;
+            let examples = wire_examples(opts, &g)?;
+            let structure = client.register(&io::to_text(&g)).map_err(net)?;
+            let hypothesis = parse_hex64(opts.require("hypothesis")?)
+                .map_err(|e| err(format!("--hypothesis: {e}")))?;
+            let tuples: Vec<Vec<u32>> = examples.iter().map(|e| e.tuple.clone()).collect();
+            let labels: Vec<bool> = examples.iter().map(|e| e.label).collect();
+            let (predictions, error) = client
+                .evaluate(structure, hypothesis, tuples, Some(labels))
+                .map_err(net)?;
+            let positives = predictions.iter().filter(|&&p| p).count();
+            Ok(format!(
+                "{} tuples: {} predicted positive; error vs labels: {:.4}\n",
+                predictions.len(),
+                positives,
+                error.unwrap_or(0.0)
+            ))
+        }
+        "modelcheck" => {
+            let g = load_graph(opts)?;
+            let structure = client.register(&io::to_text(&g)).map_err(net)?;
+            let holds = client
+                .modelcheck(structure, opts.require("formula")?)
+                .map_err(net)?;
+            Ok(format!("G ⊨ φ: {holds}\n"))
+        }
+        "stats" => {
+            let stats = client.stats().map_err(net)?;
+            Ok(format!("{}\n", stats.render_pretty()))
+        }
+        "shutdown" => {
+            client.shutdown().map_err(net)?;
+            Ok("server shutting down\n".to_string())
+        }
+        other => Err(err(format!(
+            "unknown --action {other:?}; expected ping | register | solve | evaluate | modelcheck | stats | shutdown"
+        ))),
+    }
+}
+
+/// `folearn loadgen`: drive a daemon with a deterministic request mix
+/// and report throughput and per-operation latency quantiles.
+fn cmd_loadgen(opts: &Options) -> Result<String, CliError> {
+    let addr_str = opts.require("addr")?;
+    let addr: std::net::SocketAddr = addr_str
+        .parse()
+        .map_err(|_| err(format!("--addr expects host:port, got {addr_str:?}")))?;
+    let g = load_graph(opts)?;
+    let config = LoadgenConfig {
+        connections: opts.get_usize("connections", 2)?.max(1),
+        requests_per_conn: opts.get_usize("requests", 40)?,
+        seed: opts.get_usize("seed", 17)? as u64,
+        sample_pool: opts.get_usize("pool", 4)?.max(1),
+        ell: opts.get_usize("ell", 1)?,
+        q: opts.get_usize("q", 1)?,
+    };
+    let report = folearn_server::loadgen::run_load(addr, &io::to_text(&g), &config)
+        .map_err(|e| err(format!("load run failed: {e}")))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} requests over {} connections in {:.3}s ({:.0} req/s), {} errors",
+        report.requests,
+        config.connections,
+        report.wall_s,
+        report.throughput(),
+        report.errors
+    );
+    let _ = writeln!(
+        out,
+        "solves: {} fresh, {} cached",
+        report.fresh_solves, report.cached_solves
+    );
+    for (op, stats) in &report.ops {
+        let _ = writeln!(
+            out,
+            "  {op:<11} n={:<5} mean {:>8.1}µs  p50 {:>7}µs  p95 {:>7}µs  max {:>7}µs",
+            stats.count,
+            stats.mean_us(),
+            stats.quantile_us(0.50),
+            stats.quantile_us(0.95),
+            stats.quantile_us(1.0)
+        );
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -399,6 +599,160 @@ mod tests {
         assert!(out.contains("0 pruned"), "{out}");
         assert!(run("learn", &base(&["--prune", "maybe"])).is_err());
         assert!(run("learn", &base(&["--threads", "two"])).is_err());
+    }
+
+    #[test]
+    fn threads_cap_fails_with_a_clear_error_not_a_panic() {
+        let dir = tmpdir("cap");
+        let gpath = write_graph(&dir);
+        let epath = dir.join("e.txt");
+        std::fs::write(&epath, "+ 0\n- 1\n").unwrap();
+        let args: Vec<String> = [
+            "--graph",
+            gpath.to_str().unwrap(),
+            "--examples",
+            epath.to_str().unwrap(),
+            "--threads",
+            "100000",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let e = run("learn", &args).unwrap_err();
+        assert!(e.0.contains("at most 256"), "{e}");
+        assert!(e.0.contains("100000"), "{e}");
+    }
+
+    #[test]
+    fn serve_client_loadgen_end_to_end() {
+        let dir = tmpdir("serve");
+        let gpath = write_graph(&dir);
+        let epath = dir.join("e.txt");
+        std::fs::write(&epath, "+ 0\n+ 3\n+ 6\n- 1\n- 2\n- 4\n- 5\n- 7\n").unwrap();
+        let addr_file = dir.join("addr.txt");
+
+        let serve_args: Vec<String> = [
+            "--addr",
+            "127.0.0.1:0",
+            "--addr-file",
+            addr_file.to_str().unwrap(),
+            "--workers",
+            "1",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let server = std::thread::spawn(move || run("serve", &serve_args));
+
+        let addr = {
+            let mut waited = 0;
+            loop {
+                if let Ok(a) = std::fs::read_to_string(&addr_file) {
+                    if !a.is_empty() {
+                        break a;
+                    }
+                }
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                waited += 20;
+                assert!(waited < 5000, "server did not come up");
+            }
+        };
+
+        let client_args = |extra: &[&str]| -> Vec<String> {
+            ["--addr", addr.as_str()]
+                .iter()
+                .chain(extra)
+                .map(|s| s.to_string())
+                .collect()
+        };
+        let out = run("client", &client_args(&["--action", "ping"])).unwrap();
+        assert_eq!(out, "pong\n");
+
+        let solve = |_tag: &str| {
+            run(
+                "client",
+                &client_args(&[
+                    "--action",
+                    "solve",
+                    "--graph",
+                    gpath.to_str().unwrap(),
+                    "--examples",
+                    epath.to_str().unwrap(),
+                    "--q",
+                    "0",
+                    "--ell",
+                    "1",
+                ]),
+            )
+            .unwrap()
+        };
+        let cold = solve("cold");
+        assert!(cold.contains("cached:          no"), "{cold}");
+        assert!(cold.contains("training error:  0.0000"), "{cold}");
+        let warm = solve("warm");
+        assert!(warm.contains("cached:          yes"), "{warm}");
+
+        // Evaluate the learned hypothesis on its own training set.
+        let hyp = cold
+            .lines()
+            .find_map(|l| l.strip_prefix("hypothesis id:   "))
+            .expect("hypothesis id line")
+            .trim()
+            .to_string();
+        let eval_out = run(
+            "client",
+            &client_args(&[
+                "--action",
+                "evaluate",
+                "--graph",
+                gpath.to_str().unwrap(),
+                "--examples",
+                epath.to_str().unwrap(),
+                "--hypothesis",
+                hyp.as_str(),
+            ]),
+        )
+        .unwrap();
+        assert!(eval_out.contains("error vs labels: 0.0000"), "{eval_out}");
+
+        let mc = run(
+            "client",
+            &client_args(&[
+                "--action",
+                "modelcheck",
+                "--graph",
+                gpath.to_str().unwrap(),
+                "--formula",
+                "exists x0. Red(x0)",
+            ]),
+        )
+        .unwrap();
+        assert!(mc.contains("true"), "{mc}");
+
+        let lg = run(
+            "loadgen",
+            &client_args(&[
+                "--graph",
+                gpath.to_str().unwrap(),
+                "--connections",
+                "1",
+                "--requests",
+                "10",
+                "--pool",
+                "2",
+            ]),
+        )
+        .unwrap();
+        assert!(lg.contains("req/s"), "{lg}");
+        assert!(lg.contains("0 errors"), "{lg}");
+
+        let stats = run("client", &client_args(&["--action", "stats"])).unwrap();
+        assert!(stats.contains("\"cache\""), "{stats}");
+
+        let bye = run("client", &client_args(&["--action", "shutdown"])).unwrap();
+        assert!(bye.contains("shutting down"));
+        let served = server.join().unwrap().unwrap();
+        assert!(served.contains("shut down cleanly"), "{served}");
     }
 
     #[test]
