@@ -1,0 +1,321 @@
+//! E18 — overhead of the `folearn-obs` tracing spine.
+//!
+//! Claim: the instrumentation threaded through the learners is free when
+//! capture is disabled at runtime (<5% on the E3 brute-force sweep) and
+//! cheap when enabled, and it never changes results: traced runs are
+//! bit-identical to untraced runs. (Bit-identity with capture *compiled
+//! out* is covered by `folearn-obs`'s `--no-default-features` test run
+//! in tier 1 — a single binary cannot hold both builds.)
+//!
+//! Method: each workload (the E3 single-thread sweep, the E16 parallel
+//! sweep, the E5-style ND learner) is timed best-of-N with capture
+//! disabled and then enabled. The enabled run also yields the span tree,
+//! from which we count instrumentation events; multiplying by the
+//! micro-benchmarked cost of a *disabled* probe gives a conservative
+//! estimate of what the disabled probes cost inside the measured
+//! runtime — the compiled-in-but-off overhead the acceptance bound is
+//! about. Writes `BENCH_trace_overhead.json` via the shared writer.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use folearn::bruteforce::{brute_force_erm_with, BruteForceOpts};
+use folearn::fit::TypeMode;
+use folearn::ndlearner::{nd_learn, FinalRule, NdConfig, SearchMode};
+use folearn::problem::{ErmInstance, TrainingSequence};
+use folearn::shared_arena;
+use folearn_bench::{
+    banner, cells, timed, verdict, write_json_file, Json, Table,
+};
+use folearn_graph::splitter::GraphClass;
+use folearn_graph::{generators, Vocabulary, V};
+use folearn_obs::{Counter, SpanRecord};
+
+const REPEATS: usize = 3;
+
+/// Milliseconds rounded to 3 decimals, as a JSON number.
+fn json_ms(d: Duration) -> Json {
+    Json::Num((d.as_secs_f64() * 1e6).round() / 1e3)
+}
+
+fn json_round(x: f64, decimals: i32) -> Json {
+    let scale = 10f64.powi(decimals);
+    Json::Num((x * scale).round() / scale)
+}
+
+/// Instrumentation events behind one recorded span tree: open + close
+/// per span, one `count`/`meta` call per recorded entry. BFS probes fire
+/// per run even though they merge into one counter entry, so they are
+/// added separately by the caller.
+fn instr_events(rec: &SpanRecord) -> u64 {
+    2 + rec.counters.iter_nonzero().count() as u64
+        + rec.meta.len() as u64
+        + rec.children.iter().map(instr_events).sum::<u64>()
+}
+
+/// Cost of one *disabled* probe, micro-benchmarked: a span open/drop
+/// pair and a bare counter bump (both reduce to an atomic flag load).
+fn disabled_probe_ns() -> (f64, f64) {
+    assert!(!folearn_obs::enabled());
+    let iters = 1_000_000u64;
+    let (_, t_span) = timed(|| {
+        for i in 0..iters {
+            let sp = folearn_obs::span("e18.noop");
+            black_box(&sp);
+            drop(sp);
+            black_box(i);
+        }
+    });
+    let (_, t_count) = timed(|| {
+        for i in 0..iters {
+            folearn_obs::count(Counter::EvaluatedParams, black_box(i & 1));
+        }
+    });
+    (
+        t_span.as_secs_f64() * 1e9 / iters as f64,
+        t_count.as_secs_f64() * 1e9 / iters as f64,
+    )
+}
+
+/// Best-of-N timing of one run; returns the best duration and the last
+/// run's outcome fingerprint (error bits + learned parameters).
+fn measure<F>(run: &F) -> (Duration, (u64, String))
+where
+    F: Fn() -> (u64, String),
+{
+    let mut best: Option<Duration> = None;
+    let mut outcome = None;
+    for _ in 0..REPEATS {
+        let (res, t) = timed(run);
+        if best.is_none_or(|b| t < b) {
+            best = Some(t);
+        }
+        outcome = Some(res);
+        // Keep per-run captures from piling up across repeats.
+        let _ = folearn_obs::take_thread_roots();
+    }
+    (best.unwrap(), outcome.unwrap())
+}
+
+/// One workload measured disabled-then-enabled. Returns the JSON record
+/// and whether the traced outcome was bit-identical.
+fn bench_workload<F>(
+    name: &str,
+    exact_counters: bool,
+    run: F,
+    span_ns: f64,
+    count_ns: f64,
+    table: &mut Table,
+) -> (Json, bool, f64)
+where
+    F: Fn() -> (u64, String),
+{
+    folearn_obs::set_enabled(false);
+    let _ = folearn_obs::take_thread_roots();
+    let (t_off, out_off) = measure(&run);
+
+    folearn_obs::set_enabled(true);
+    let _ = folearn_obs::take_thread_roots();
+    // One extra traced run whose span tree we keep for event counting.
+    let (_, first) = timed(&run);
+    let roots = folearn_obs::take_thread_roots();
+    let (t_on, out_on) = measure(&run);
+    let t_on = t_on.min(first);
+    folearn_obs::set_enabled(false);
+
+    let identical = out_off == out_on;
+    let spans: u64 = roots.iter().map(|r| r.span_count() as u64).sum();
+    let bfs_runs: u64 = roots.iter().map(|r| r.total(Counter::BfsRuns)).sum();
+    let events: u64 =
+        roots.iter().map(instr_events).sum::<u64>() + 2 * bfs_runs;
+    // Disabled probes cost: spans pay the open/drop pair, everything
+    // else a flag load. Relative to the disabled runtime this bounds the
+    // compiled-in-but-off overhead.
+    let est_ns = spans as f64 * span_ns + (events - 2 * spans) as f64 * count_ns;
+    let disabled_pct = 100.0 * est_ns / (t_off.as_nanos() as f64).max(1.0);
+    let enabled_pct =
+        100.0 * (t_on.as_secs_f64() / t_off.as_secs_f64() - 1.0);
+
+    table.row(cells!(
+        name,
+        format!("{:.2}", t_off.as_secs_f64() * 1e3),
+        format!("{:.2}", t_on.as_secs_f64() * 1e3),
+        format!("{enabled_pct:+.1}"),
+        format!("{disabled_pct:.3}"),
+        spans,
+        identical
+    ));
+    let json = Json::obj([
+        ("workload", Json::str(name)),
+        ("repeats", Json::int(REPEATS)),
+        ("disabled_ms", json_ms(t_off)),
+        ("enabled_ms", json_ms(t_on)),
+        ("enabled_overhead_pct", json_round(enabled_pct, 2)),
+        ("disabled_overhead_pct", json_round(disabled_pct, 4)),
+        ("spans_per_run", Json::int(spans as usize)),
+        ("instr_events_per_run", Json::int(events as usize)),
+        ("exact_counters", Json::Bool(exact_counters)),
+        ("bit_identical", Json::Bool(identical)),
+    ]);
+    (json, identical, disabled_pct)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_trace_overhead.json".to_string());
+    banner(
+        "E18 (tracing overhead)",
+        "disabled-at-runtime instrumentation costs <5% on the E3 sweep, \
+         enabled capture stays cheap, and traced results are bit-identical",
+    );
+    assert!(
+        !folearn_obs::enabled(),
+        "capture must start disabled in a fresh process"
+    );
+    let (span_ns, count_ns) = disabled_probe_ns();
+    println!(
+        "disabled probe cost: span pair {span_ns:.1} ns, counter bump {count_ns:.1} ns"
+    );
+    println!();
+
+    // E3 workload: single-threaded full sweep, ell = 2 (deterministic
+    // work accounting, so the whole outcome must match bit for bit).
+    let g3 = folearn_bench::red_tree(40, 4, 11);
+    let ex3 = TrainingSequence::label_all_tuples(&g3, 1, |t: &[V]| {
+        (t[0].0 * 2654435761) % 7 < 3
+    });
+    let inst3 = ErmInstance::new(&g3, ex3, 1, 2, 1, 0.0);
+
+    // E16 workload: the parallel sweep with pruning on.
+    let g16 = folearn_bench::red_tree(64, 4, 11);
+    let ex16 = TrainingSequence::label_all_tuples(&g16, 1, |t: &[V]| {
+        (t[0].0 * 2654435761) % 7 < 3
+    });
+    let inst16 = ErmInstance::new(&g16, ex16, 1, 2, 1, 0.0);
+
+    // E5-style workload: the ND learner on a random tree.
+    let g5 = generators::random_tree(64, Vocabulary::empty(), 13);
+    let w = V(32);
+    let target = folearn_bench::near_w_target(&g5, w);
+    let ex5 = TrainingSequence::label_all_tuples(&g5, 1, &target);
+    let inst5 = ErmInstance::new(&g5, ex5, 1, 1, 1, 0.2);
+    let nd_cfg = NdConfig {
+        class: GraphClass::Forest,
+        search: SearchMode::Exhaustive,
+        final_rule: FinalRule::LocalAuto,
+        locality_radius: Some(1),
+        max_rounds: Some(3),
+        max_branches: 80,
+    };
+
+    let mut table = Table::new(&[
+        "workload", "off-ms", "on-ms", "on-overhead-%", "off-est-%", "spans",
+        "identical",
+    ]);
+    let mut workloads = Vec::new();
+    let mut all_identical = true;
+
+    let brute = |inst: &ErmInstance<'_>, opts: BruteForceOpts| {
+        let res = brute_force_erm_with(
+            inst,
+            TypeMode::Local { r: 1 },
+            &shared_arena(inst.graph),
+            &opts,
+        );
+        // The single-thread config also fingerprints the work counters
+        // (deterministic there; scheduling-dependent with >1 worker).
+        let exact = opts.threads == Some(1);
+        let counters = if exact {
+            format!(":{}:{}", res.evaluated_params, res.pruned_params)
+        } else {
+            String::new()
+        };
+        (
+            res.error.to_bits(),
+            format!("{:?}{counters}", res.hypothesis.params()),
+        )
+    };
+
+    let (json, ok, e3_disabled_pct) = bench_workload(
+        "e3_brute_sweep",
+        true,
+        || {
+            brute(
+                &inst3,
+                BruteForceOpts {
+                    threads: Some(1),
+                    prune: true,
+                    block_size: None,
+                },
+            )
+        },
+        span_ns,
+        count_ns,
+        &mut table,
+    );
+    workloads.push(json);
+    all_identical &= ok;
+
+    let (json, ok, _) = bench_workload(
+        "e16_parallel_sweep",
+        false,
+        || {
+            brute(
+                &inst16,
+                BruteForceOpts {
+                    threads: Some(4),
+                    prune: true,
+                    block_size: None,
+                },
+            )
+        },
+        span_ns,
+        count_ns,
+        &mut table,
+    );
+    workloads.push(json);
+    all_identical &= ok;
+
+    let (json, ok, _) = bench_workload(
+        "nd_learner",
+        true,
+        || {
+            let report = nd_learn(&inst5, &nd_cfg, &shared_arena(&g5));
+            (
+                report.error.to_bits(),
+                format!("{:?}", report.hypothesis.params()),
+            )
+        },
+        span_ns,
+        count_ns,
+        &mut table,
+    );
+    workloads.push(json);
+    all_identical &= ok;
+
+    table.print();
+
+    let json = Json::obj([
+        ("experiment", Json::str("E18")),
+        ("repeats", Json::int(REPEATS)),
+        ("disabled_span_pair_ns", json_round(span_ns, 2)),
+        ("disabled_counter_bump_ns", json_round(count_ns, 2)),
+        ("e3_disabled_overhead_pct", json_round(e3_disabled_pct, 4)),
+        ("all_bit_identical", Json::Bool(all_identical)),
+        ("workloads", Json::Arr(workloads)),
+    ]);
+    if let Err(e) = write_json_file(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!();
+    println!("wrote {out_path}");
+
+    let ok = all_identical && e3_disabled_pct < 5.0;
+    verdict(
+        ok,
+        "traced runs are bit-identical and disabled-at-runtime probes \
+         cost well under 5% of the E3 sweep",
+    );
+}

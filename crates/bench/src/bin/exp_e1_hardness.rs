@@ -5,7 +5,7 @@
 //! grows, and correctness survives an oracle that answers arbitrarily on
 //! non-realisable instances.
 
-use folearn_bench::{banner, cells, ms, timed, verdict, Table};
+use folearn_bench::{banner, cells, ms, timed, verdict, Json, Table};
 use folearn_hardness::oracle::AdversarialOnUnrealizable;
 use folearn_hardness::{model_check_via_erm, BruteForceOracle};
 use folearn_logic::{eval, parse};
@@ -28,6 +28,7 @@ fn main() {
         "adversarial-ok", "time-ms",
     ]);
     let mut all_ok = true;
+    let mut reports: Vec<Json> = Vec::new();
     let mut tmax_per_sentence: Vec<Vec<usize>> = vec![Vec::new(); sentences.len()];
     for (si, (s, _qr)) in sentences.iter().enumerate() {
         for n in [6usize, 8, 10, 12] {
@@ -64,9 +65,24 @@ fn main() {
                 adv_ok,
                 ms(elapsed)
             ));
+            // The machine-readable record reuses the report's own JSON
+            // rendering instead of re-formatting fields by hand.
+            let mut row = vec![
+                ("sentence".to_string(), Json::int(si)),
+                ("n".to_string(), Json::int(n)),
+            ];
+            if let Json::Obj(pairs) = report.to_json() {
+                row.extend(pairs);
+            }
+            reports.push(Json::Obj(row));
         }
     }
     table.print();
+    println!();
+    println!("reduction reports (JSONL):");
+    for r in &reports {
+        println!("{}", r.render());
+    }
 
     let bounded = tmax_per_sentence.iter().all(|v| {
         let first = v[0];

@@ -8,7 +8,7 @@ use folearn::bruteforce::optimal_error;
 use folearn::ndlearner::{nd_learn, FinalRule, NdConfig, SearchMode};
 use folearn::problem::{ErmInstance, TrainingSequence};
 use folearn::shared_arena;
-use folearn_bench::{banner, cells, loglog_slope, ms, timed, verdict, Table};
+use folearn_bench::{banner, cells, loglog_slope, ms, timed, verdict, Json, Table};
 use folearn_graph::splitter::GraphClass;
 use folearn_graph::{generators, Vocabulary, V};
 
@@ -36,6 +36,7 @@ fn main() {
     ]);
     let mut nd_pts = Vec::new();
     let mut bf_pts = Vec::new();
+    let mut reports: Vec<Json> = Vec::new();
     let mut all_ok = true;
     for n in [16usize, 32, 64, 128] {
         let g = generators::random_tree(n, Vocabulary::empty(), 13);
@@ -74,8 +75,20 @@ fn main() {
             ms(nd_time),
             ms(bf_time)
         ));
+        // The machine-readable record reuses the report's own JSON
+        // rendering instead of re-formatting fields by hand.
+        let mut row = vec![("n".to_string(), Json::int(n))];
+        if let Json::Obj(pairs) = report.to_json() {
+            row.extend(pairs);
+        }
+        reports.push(Json::Obj(row));
     }
     table.print();
+    println!();
+    println!("learner reports (JSONL):");
+    for r in &reports {
+        println!("{}", r.render());
+    }
     println!();
     println!(
         "log-log slopes: nd-learner {:.2}, brute-force {:.2}",

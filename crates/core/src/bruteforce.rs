@@ -43,6 +43,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use folearn_graph::V;
+use folearn_obs::{Counter, Json, LocalStats};
 use folearn_types::TypeArena;
 use parking_lot::Mutex;
 
@@ -136,6 +137,8 @@ struct Worker {
     best: Option<(usize, usize)>,
     evaluated: usize,
     pruned: usize,
+    /// Folded per-block span measurements (empty when capture is off).
+    stats: LocalStats,
 }
 
 fn sweep(
@@ -165,6 +168,11 @@ fn sweep(
     let best_bound = AtomicUsize::new(usize::MAX);
     let perfect = AtomicUsize::new(usize::MAX);
 
+    let sweep_span = folearn_obs::span("erm.sweep");
+    folearn_obs::meta("total_params", Json::int(total));
+    folearn_obs::meta("block", Json::int(block));
+    folearn_obs::meta("prune", Json::Bool(prune));
+
     let states = rayon::sweep::worker_sweep(
         total,
         block,
@@ -174,13 +182,22 @@ fn sweep(
             best: None,
             evaluated: 0,
             pruned: 0,
+            stats: LocalStats::new(),
         },
         |w, range| {
+            // One detached span per dispatched block: finished on the
+            // worker thread, folded into the worker's `Send` stats, and
+            // re-attached under `erm.sweep` by the coordinator below.
+            // Capture off: one relaxed load here and two no-op counts.
+            let block_span = folearn_obs::span("erm.block");
+            let (ev0, pr0) = (w.evaluated, w.pruned);
+            let mut flow = ControlFlow::Continue(());
             for idx in range {
                 if idx > perfect.load(Ordering::Relaxed) {
                     // Some index ≤ idx fits perfectly; this worker only
                     // gets higher indices from here on.
-                    return ControlFlow::Break(());
+                    flow = ControlFlow::Break(());
+                    break;
                 }
                 decode_param_tuple(idx, n, &mut w.params);
                 let bound = if prune {
@@ -205,20 +222,25 @@ fn sweep(
                         best_bound.fetch_min(wrong, Ordering::Relaxed);
                         if wrong == 0 {
                             perfect.fetch_min(idx, Ordering::Relaxed);
-                            return ControlFlow::Break(());
+                            flow = ControlFlow::Break(());
+                            break;
                         }
                     }
                     None => w.pruned += 1,
                 }
             }
-            ControlFlow::Continue(())
+            folearn_obs::count(Counter::EvaluatedParams, (w.evaluated - ev0) as u64);
+            folearn_obs::count(Counter::PrunedParams, (w.pruned - pr0) as u64);
+            w.stats.absorb(block_span.finish());
+            flow
         },
     );
 
+    let workers = states.len();
     let mut evaluated = 0usize;
     let mut pruned = 0usize;
     let mut best: Option<(usize, usize)> = None;
-    for w in states {
+    for (wid, w) in states.into_iter().enumerate() {
         evaluated += w.evaluated;
         pruned += w.pruned;
         if let Some(b) = w.best {
@@ -226,10 +248,16 @@ fn sweep(
                 best = Some(b);
             }
         }
+        if let Some(mut rec) = w.stats.into_record("erm.worker") {
+            rec.meta.push(("worker".to_string(), Json::int(wid)));
+            folearn_obs::adopt(rec);
+        }
         // `w.arena` drops here: counts never depended on its type ids, and
         // the final fit below re-derives everything in the shared arena,
         // so the hypothesis is bit-identical to a sequential run.
     }
+    folearn_obs::meta("workers", Json::int(workers));
+    drop(sweep_span);
     let (wrong, idx) = best.expect("the optimal tuple is never pruned");
     let mut params = vec![V(0); ell];
     decode_param_tuple(idx, n, &mut params);

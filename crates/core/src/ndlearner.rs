@@ -41,6 +41,7 @@ use std::sync::Arc;
 
 use folearn_graph::splitter::GraphClass;
 use folearn_graph::{bfs, ops, Graph, V};
+use folearn_obs::{Counter, Json};
 use folearn_types::{gaifman_radius, local::local_type, TypeArena, TypeId};
 use parking_lot::Mutex;
 
@@ -138,6 +139,30 @@ pub struct NdReport {
     pub branches_explored: usize,
 }
 
+impl NdReport {
+    /// The shared machine-readable rendering used by the `exp_*` binaries
+    /// (derived-constant names match [`DerivedParams`]).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("error", Json::Num(self.error)),
+            ("rounds_used", Json::int(self.rounds_used)),
+            ("branches_explored", Json::int(self.branches_explored)),
+            (
+                "derived",
+                Json::obj([
+                    ("r", Json::int(self.derived.r)),
+                    ("big_r", Json::int(self.derived.big_r)),
+                    ("s", Json::int(self.derived.s)),
+                    ("s_theory", Json::int(self.derived.s_theory)),
+                    ("ell_out", Json::int(self.derived.ell_out)),
+                    ("q_out", Json::int(self.derived.q_out)),
+                ]),
+            ),
+            ("hypothesis", Json::str(self.hypothesis.describe())),
+        ])
+    }
+}
+
 /// Run the Theorem 13 learner on an `(L,Q)-FO-ERM` instance: `inst.ell`
 /// is `ℓ*` and `inst.q` is `q*`; the returned hypothesis may use up to
 /// `ℓ*·s` parameters and (materialised) quantifier rank up to `q_out`.
@@ -171,6 +196,12 @@ pub fn nd_learn(
         ell_out: ell_star * s,
         q_out,
     };
+    let sp = folearn_obs::span("nd.learn");
+    folearn_obs::meta("r", Json::int(derived.r));
+    folearn_obs::meta("big_r", Json::int(derived.big_r));
+    folearn_obs::meta("s", Json::int(derived.s));
+    folearn_obs::meta("ell_out", Json::int(derived.ell_out));
+    folearn_obs::meta("q_out", Json::int(derived.q_out));
 
     let final_mode = match config.final_rule {
         FinalRule::Global => TypeMode::Global,
@@ -209,6 +240,8 @@ pub fn nd_learn(
         explore(&mut ctx, &root, Vec::new(), 0);
     }
 
+    folearn_obs::count(Counter::Branches, branches as u64);
+    drop(sp);
     NdReport {
         error: best_err,
         hypothesis: best_h,
@@ -269,6 +302,7 @@ fn explore(ctx: &mut SearchCtx<'_, '_>, state: &RoundState, params: Vec<V>, roun
         return;
     }
     let critical = critical_tuples(state, ctx.derived.r, ctx.inst.q);
+    folearn_obs::count(Counter::CriticalTuples, critical.len() as u64);
     if critical.is_empty() {
         return; // conflict-free: nothing left to resolve
     }
@@ -285,6 +319,7 @@ fn explore(ctx: &mut SearchCtx<'_, '_>, state: &RoundState, params: Vec<V>, roun
         ctx.derived.r,
         cap_theory.clamp(1, 12),
     );
+    folearn_obs::count(Counter::Centers, x.len() as u64);
     if x.is_empty() {
         return;
     }

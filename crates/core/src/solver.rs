@@ -13,6 +13,8 @@
 //! | a nowhere dense class (e.g. forest)  | `Solver::NowhereDense`    |
 //! | bounded degree + few examples        | `Solver::LocalAccess`     |
 
+use folearn_obs::Json;
+
 use crate::bruteforce::{brute_force_erm_with, BruteForceOpts};
 use crate::fit::TypeMode;
 use crate::hypothesis::Hypothesis;
@@ -56,7 +58,8 @@ pub struct SolveReport {
     /// Solver-specific work measure (parameter tuples touched, branches
     /// explored, or vertices touched). For `BruteForce` this is
     /// `evaluated_params + pruned_params`, so the `n^ℓ` curve of
-    /// experiment E3 stays interpretable with pruning on.
+    /// experiment E3 — and the work accounting cross-checked by the E18
+    /// tracing-overhead experiment — stays interpretable with pruning on.
     pub work: usize,
     /// Parameter tuples whose example tally ran to completion. Only the
     /// brute-force engine fills this; other solvers report zero.
@@ -69,8 +72,43 @@ pub struct SolveReport {
     pub solver_name: &'static str,
 }
 
+impl SolveReport {
+    /// The shared machine-readable rendering used by the `exp_*` binaries
+    /// and the CLI (same field names as the wire protocol's `solve`
+    /// response).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("solver", Json::str(self.solver_name)),
+            ("error", Json::Num(self.error)),
+            ("work", Json::int(self.work)),
+            ("evaluated_params", Json::int(self.evaluated_params)),
+            ("pruned_params", Json::int(self.pruned_params)),
+            ("hypothesis", Json::str(self.hypothesis.describe())),
+        ])
+    }
+}
+
 /// Solve an `FO-ERM` instance with the chosen algorithm.
+///
+/// When [`folearn_obs`] capture is enabled this opens a `solve` span
+/// around the dispatched learner (which nests its own spans under it)
+/// and tags it with the instance shape and the chosen solver.
 pub fn solve_fo_erm(
+    inst: &ErmInstance<'_>,
+    solver: &Solver,
+    arena: &SharedArena,
+) -> SolveReport {
+    let sp = folearn_obs::span("solve");
+    let report = solve_dispatch(inst, solver, arena);
+    folearn_obs::meta("solver", Json::str(report.solver_name));
+    folearn_obs::meta("ell", Json::int(inst.ell));
+    folearn_obs::meta("q", Json::int(inst.q));
+    folearn_obs::meta("examples", Json::int(inst.examples.len()));
+    drop(sp);
+    report
+}
+
+fn solve_dispatch(
     inst: &ErmInstance<'_>,
     solver: &Solver,
     arena: &SharedArena,

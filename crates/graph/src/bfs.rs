@@ -8,6 +8,8 @@
 use std::collections::VecDeque;
 use std::ops::ControlFlow;
 
+use folearn_obs::Counter;
+
 use crate::graph::{Graph, V};
 
 /// Distance `≤ cap` from a set of sources to every vertex; `u32::MAX`
@@ -19,10 +21,12 @@ use crate::graph::{Graph, V};
 pub fn bounded_distances(g: &Graph, sources: &[V], cap: usize) -> Vec<u32> {
     let mut dist = vec![u32::MAX; g.num_vertices()];
     let mut queue = VecDeque::new();
+    let mut visited = 0u64;
     for &s in sources {
         // Duplicate sources hit `dist == 0` and are enqueued only once.
         if dist[s.index()] != 0 {
             dist[s.index()] = 0;
+            visited += 1;
             queue.push_back(s);
         }
     }
@@ -34,10 +38,13 @@ pub fn bounded_distances(g: &Graph, sources: &[V], cap: usize) -> Vec<u32> {
         for &w in g.neighbors(v) {
             if dist[w as usize] == u32::MAX {
                 dist[w as usize] = d + 1;
+                visited += 1;
                 queue.push_back(V(w));
             }
         }
     }
+    folearn_obs::count(Counter::BfsRuns, 1);
+    folearn_obs::count(Counter::BfsVertices, visited);
     dist
 }
 
@@ -93,6 +100,8 @@ impl DistanceBuffers {
                 }
             }
         }
+        folearn_obs::count(Counter::BfsRuns, 1);
+        folearn_obs::count(Counter::BfsVertices, self.touched.len() as u64);
         &self.dist[..n]
     }
 

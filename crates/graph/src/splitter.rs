@@ -25,6 +25,7 @@
 
 use std::collections::HashMap;
 
+use folearn_obs::{Counter, Json};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -516,6 +517,7 @@ pub fn play_game(
     connector: &mut dyn ConnectorStrategy,
     max_rounds: usize,
 ) -> GameResult {
+    let sp = folearn_obs::span("splitter.game");
     let mut game = SplitterGame::new(g, r);
     let mut trace = Vec::new();
     while !game.is_over() && game.rounds() < max_rounds {
@@ -526,6 +528,29 @@ pub fn play_game(
         let answer = game.play_round(v, radius, splitter);
         trace.push((orig_pick, radius, answer));
     }
+    // Each round appends exactly one trace entry, so the recorded counter
+    // always equals the returned trace length.
+    folearn_obs::count(Counter::GameRounds, trace.len() as u64);
+    if folearn_obs::enabled() {
+        folearn_obs::meta("r", Json::int(r));
+        folearn_obs::meta("splitter", Json::str(splitter.name()));
+        folearn_obs::meta(
+            "trace",
+            Json::Arr(
+                trace
+                    .iter()
+                    .map(|&(pick, radius, answer)| {
+                        Json::Arr(vec![
+                            Json::int(pick.index()),
+                            Json::int(radius),
+                            Json::int(answer.index()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+    }
+    drop(sp);
     GameResult {
         rounds: game.rounds(),
         splitter_won: game.is_over(),
@@ -717,6 +742,32 @@ mod tests {
             GraphClass::BoundedDegree(3).splitter_rounds(2),
             ball_size_bound(3, 2) + 1
         );
+    }
+
+    #[test]
+    fn telemetry_game_rounds_match_trace_length() {
+        folearn_obs::set_enabled(true);
+        folearn_obs::take_thread_roots();
+        let g = generators::random_tree(40, Vocabulary::empty(), 3);
+        let result = play_game(&g, 2, &mut ForestSplitter, &mut MaxBallConnector, 20);
+        let roots = folearn_obs::take_thread_roots();
+        let game = roots
+            .iter()
+            .find_map(|r| r.find("splitter.game"))
+            .expect("the game records a span");
+        assert_eq!(
+            game.counters.get(Counter::GameRounds),
+            result.trace.len() as u64,
+            "recorded game length must equal the returned trace length"
+        );
+        assert_eq!(result.rounds, result.trace.len());
+        let wire_trace = game
+            .meta
+            .iter()
+            .find(|(k, _)| k == "trace")
+            .and_then(|(_, v)| v.as_arr())
+            .expect("the trace rides along as span metadata");
+        assert_eq!(wire_trace.len(), result.trace.len());
     }
 
     #[test]

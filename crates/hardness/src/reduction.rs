@@ -26,6 +26,7 @@ use folearn::{ErmInstance, TrainingSequence};
 use folearn_graph::{ops, Graph, V};
 use folearn_logic::transform::{simplify, specialize_var};
 use folearn_logic::{eval, Formula};
+use folearn_obs::{Counter, Json};
 
 use crate::oracle::ErmOracle;
 
@@ -44,6 +45,27 @@ pub struct ReductionReport {
     pub max_depth: usize,
 }
 
+impl ReductionReport {
+    /// The shared machine-readable rendering used by the `exp_*` binaries.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("result", Json::Bool(self.result)),
+            ("oracle_calls", Json::int(self.oracle_calls)),
+            ("realizable_calls", Json::int(self.realizable_calls)),
+            (
+                "representative_set_sizes",
+                Json::Arr(
+                    self.representative_set_sizes
+                        .iter()
+                        .map(|&s| Json::int(s))
+                        .collect(),
+                ),
+            ),
+            ("max_depth", Json::int(self.max_depth)),
+        ])
+    }
+}
+
 /// Decide `G ⊨ φ` (a sentence) using only the ERM oracle for the
 /// quantifier steps. Returns the answer plus instrumentation.
 ///
@@ -55,12 +77,17 @@ pub fn model_check_via_erm(
     oracle: &mut dyn ErmOracle,
 ) -> ReductionReport {
     assert!(phi.is_sentence(), "model checking needs a sentence");
+    let sp = folearn_obs::span("reduction.modelcheck");
+    folearn_obs::meta("q", Json::int(phi.quantifier_rank()));
     let mut report = ReductionReport::default();
     let calls_before = oracle.calls();
     let realizable_before = oracle.realizable_calls();
     report.result = check(g, &simplify(phi), oracle, 0, &mut report);
     report.oracle_calls = oracle.calls() - calls_before;
     report.realizable_calls = oracle.realizable_calls() - realizable_before;
+    folearn_obs::count(Counter::RealizableCalls, report.realizable_calls as u64);
+    folearn_obs::meta("max_depth", Json::int(report.max_depth));
+    drop(sp);
     report
 }
 
@@ -118,6 +145,11 @@ pub fn representatives(
     if n <= 2 {
         return g.vertices().collect();
     }
+    // Every `oracle.solve` of the reduction happens in this pairwise loop,
+    // so one span here accounts for the full Lemma 7 oracle-call budget
+    // (quadratic per ∃-level — the claim measured by experiment E1).
+    let sp = folearn_obs::span("reduction.representatives");
+    folearn_obs::meta("n", Json::int(n));
     // γ keys for each unordered pair (indexed by (min, max)).
     let mut gamma: std::collections::HashMap<(u32, u32), u64> =
         std::collections::HashMap::new();
@@ -130,10 +162,12 @@ pub fn representatives(
                 ]);
                 let inst = ErmInstance::new(g, examples, 1, 0, q_star, 0.25);
                 let ans = oracle.solve(&inst);
+                folearn_obs::count(Counter::OracleCalls, 1);
                 gamma.insert((u.0, v.0), ans.key);
             }
         }
     }
+    drop(sp);
     let mut t: Vec<V> = g.vertices().collect();
     // While a monochromatic triple exists, drop its middle vertex. The
     // loop exhausts within |V| iterations; the exhausted set is no larger

@@ -1,0 +1,237 @@
+//! Trace exporters: span ⇄ JSON, JSONL files, and the human-readable
+//! tree summary / per-name aggregate the `folearn trace` subcommand
+//! prints.
+//!
+//! JSONL format: one *root* span per line, rendered compactly (the
+//! renderer never emits raw newlines, so the framing is exact). Each
+//! span object carries `span` (name), `ns` (elapsed, monotonic clock),
+//! and — only when non-empty — `counters` (name → value), `meta`
+//! (insertion-ordered), and `children` (recursive).
+
+use std::fmt::Write as _;
+
+use crate::json::{Json, JsonError};
+use crate::span::{Counter, CounterSet, SpanRecord};
+
+/// Render one span tree as a JSON object.
+pub fn span_to_json(rec: &SpanRecord) -> Json {
+    let mut pairs = vec![
+        ("span".to_string(), Json::str(rec.name.clone())),
+        ("ns".to_string(), Json::Num(rec.elapsed_ns as f64)),
+    ];
+    if !rec.counters.is_empty() {
+        pairs.push((
+            "counters".to_string(),
+            Json::Obj(
+                rec.counters
+                    .iter_nonzero()
+                    .map(|(c, v)| (c.name().to_string(), Json::Num(v as f64)))
+                    .collect(),
+            ),
+        ));
+    }
+    if !rec.meta.is_empty() {
+        pairs.push(("meta".to_string(), Json::Obj(rec.meta.clone())));
+    }
+    if !rec.children.is_empty() {
+        pairs.push((
+            "children".to_string(),
+            Json::Arr(rec.children.iter().map(span_to_json).collect()),
+        ));
+    }
+    Json::Obj(pairs)
+}
+
+/// Reconstruct a span tree from its [`span_to_json`] form.
+pub fn span_from_json(v: &Json) -> Result<SpanRecord, JsonError> {
+    let name = v
+        .get("span")
+        .and_then(Json::as_str)
+        .ok_or_else(|| JsonError::new("span object needs a \"span\" name"))?
+        .to_string();
+    let elapsed_ns = v
+        .get("ns")
+        .and_then(Json::as_num)
+        .filter(|n| *n >= 0.0)
+        .ok_or_else(|| JsonError::new(format!("span {name:?} needs a numeric \"ns\"")))?
+        as u64;
+    let mut counters = CounterSet::new();
+    if let Some(Json::Obj(pairs)) = v.get("counters") {
+        for (k, val) in pairs {
+            let c = Counter::from_name(k)
+                .ok_or_else(|| JsonError::new(format!("unknown counter {k:?}")))?;
+            let n = val
+                .as_usize()
+                .ok_or_else(|| JsonError::new(format!("counter {k:?} must be a count")))?;
+            counters.add(c, n as u64);
+        }
+    }
+    let meta = match v.get("meta") {
+        Some(Json::Obj(pairs)) => pairs.clone(),
+        _ => Vec::new(),
+    };
+    let children = match v.get("children") {
+        Some(arr) => arr
+            .as_arr()
+            .ok_or_else(|| JsonError::new("\"children\" must be an array"))?
+            .iter()
+            .map(span_from_json)
+            .collect::<Result<Vec<_>, _>>()?,
+        None => Vec::new(),
+    };
+    Ok(SpanRecord {
+        name,
+        elapsed_ns,
+        counters,
+        meta,
+        children,
+    })
+}
+
+/// Render root spans as JSONL (one line per root, trailing newline).
+pub fn to_jsonl(roots: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for r in roots {
+        out.push_str(&span_to_json(r).render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a JSONL trace file (blank lines ignored).
+pub fn parse_jsonl(text: &str) -> Result<Vec<SpanRecord>, JsonError> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| {
+            span_from_json(&Json::parse(line).map_err(|e| {
+                JsonError::new(format!("trace line {}: {e}", i + 1))
+            })?)
+        })
+        .collect()
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.3} ms", ns as f64 / 1e6)
+}
+
+fn summary_line(out: &mut String, rec: &SpanRecord, prefix: &str, last: bool, root: bool) {
+    let (branch, cont) = if root {
+        ("", "")
+    } else if last {
+        ("└─ ", "   ")
+    } else {
+        ("├─ ", "│  ")
+    };
+    let label = format!("{prefix}{branch}{}", rec.name);
+    let _ = write!(out, "{label:<40} {:>12}", fmt_ms(rec.elapsed_ns));
+    for (c, v) in rec.counters.iter_nonzero() {
+        let _ = write!(out, "  {}={v}", c.name());
+    }
+    for (k, v) in &rec.meta {
+        let _ = write!(out, "  {k}={}", v.render());
+    }
+    out.push('\n');
+    let child_prefix = format!("{prefix}{cont}");
+    for (i, ch) in rec.children.iter().enumerate() {
+        summary_line(out, ch, &child_prefix, i + 1 == rec.children.len(), false);
+    }
+}
+
+/// The human-readable tree summary: one line per span with duration,
+/// non-zero counters, and metadata, indented with box-drawing guides.
+pub fn tree_summary(roots: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for r in roots {
+        summary_line(&mut out, r, "", true, true);
+    }
+    out
+}
+
+/// Per-name aggregate over span trees: `(name, spans, total_ns,
+/// counters)` in first-appearance order — the rollup `folearn trace`
+/// prints and the server's span metrics mirror.
+pub fn aggregate(roots: &[SpanRecord]) -> Vec<(String, u64, u64, CounterSet)> {
+    let mut out: Vec<(String, u64, u64, CounterSet)> = Vec::new();
+    fn visit(rec: &SpanRecord, out: &mut Vec<(String, u64, u64, CounterSet)>) {
+        match out.iter_mut().find(|(n, ..)| *n == rec.name) {
+            Some((_, spans, ns, counters)) => {
+                *spans += 1;
+                *ns += rec.elapsed_ns;
+                counters.merge(&rec.counters);
+            }
+            None => out.push((rec.name.clone(), 1, rec.elapsed_ns, rec.counters.clone())),
+        }
+        for ch in &rec.children {
+            visit(ch, out);
+        }
+    }
+    for r in roots {
+        visit(r, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SpanRecord {
+        let mut leaf = SpanRecord::new("erm.worker");
+        leaf.elapsed_ns = 1_500_000;
+        leaf.counters.add(Counter::EvaluatedParams, 100);
+        leaf.counters.add(Counter::PrunedParams, 20);
+        let mut sweep = SpanRecord::new("erm.sweep");
+        sweep.elapsed_ns = 2_000_000;
+        sweep.children.push(leaf.clone());
+        sweep.children.push({
+            let mut l2 = leaf;
+            l2.counters.add(Counter::EvaluatedParams, 1);
+            l2
+        });
+        let mut root = SpanRecord::new("solve");
+        root.elapsed_ns = 2_100_000;
+        root.meta.push(("ell".to_string(), Json::int(2)));
+        root.children.push(sweep);
+        root
+    }
+
+    #[test]
+    fn span_json_round_trips() {
+        let rec = sample();
+        let back = span_from_json(&span_to_json(&rec)).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn jsonl_round_trips_multiple_roots() {
+        let roots = vec![sample(), SpanRecord::new("empty")];
+        let text = to_jsonl(&roots);
+        assert_eq!(text.lines().count(), 2);
+        assert_eq!(parse_jsonl(&text).unwrap(), roots);
+        assert_eq!(parse_jsonl("\n\n").unwrap(), Vec::new());
+        assert!(parse_jsonl("{\"ns\": 1}").is_err());
+        assert!(parse_jsonl("{\"span\": \"x\", \"ns\": 1, \"counters\": {\"bogus\": 1}}").is_err());
+    }
+
+    #[test]
+    fn tree_summary_shows_every_span() {
+        let text = tree_summary(&[sample()]);
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains("solve"), "{text}");
+        assert!(text.contains("├─ erm.worker"), "{text}");
+        assert!(text.contains("└─ erm.worker"), "{text}");
+        assert!(text.contains("evaluated_params=100"), "{text}");
+        assert!(text.contains("ell=2"), "{text}");
+    }
+
+    #[test]
+    fn aggregate_merges_by_name() {
+        let agg = aggregate(&[sample()]);
+        assert_eq!(agg.len(), 3);
+        let worker = agg.iter().find(|(n, ..)| n == "erm.worker").unwrap();
+        assert_eq!(worker.1, 2);
+        assert_eq!(worker.2, 3_000_000);
+        assert_eq!(worker.3.get(Counter::EvaluatedParams), 201);
+    }
+}

@@ -1,0 +1,185 @@
+//! Power-of-two histograms — the unified latency/size distribution type.
+//!
+//! Bucket `i` counts samples with `2^{i-1} ≤ v < 2^i` (bucket 0 holds
+//! `v = 0`), which reads p50/p95/p99 within a factor of two at any scale
+//! with constant memory. This is the histogram the server's metrics were
+//! built on; it now lives here so span-duration aggregation and the
+//! `stats` endpoint share one implementation.
+
+use crate::json::Json;
+
+/// Number of buckets: covers 1 µs … ~2¹⁹ s when samples are microseconds.
+pub const BUCKETS: usize = 40;
+
+/// A merge-able power-of-two histogram with count/total/max accounting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PowHistogram {
+    count: u64,
+    total: u64,
+    max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for PowHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PowHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            total: 0,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.total = self.total.saturating_add(v);
+        self.max = self.max.max(v);
+        let bucket = (64 - v.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket] += 1;
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &PowHistogram) {
+        self.count += other.count;
+        self.total = self.total.saturating_add(other.total);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest sample recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing quantile `q` of the samples;
+    /// 0 when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+
+    /// `mean_<unit>`/`p50_<unit>`/`p95_<unit>`/`p99_<unit>`/`max_<unit>`
+    /// summary pairs — the shape every latency block in the `stats`
+    /// payload uses.
+    pub fn summary_pairs(&self, unit: &str) -> Vec<(String, Json)> {
+        vec![
+            (format!("mean_{unit}"), Json::Num(self.mean())),
+            (format!("p50_{unit}"), Json::Num(self.quantile(0.50) as f64)),
+            (format!("p95_{unit}"), Json::Num(self.quantile(0.95) as f64)),
+            (format!("p99_{unit}"), Json::Num(self.quantile(0.99) as f64)),
+            (format!("max_{unit}"), Json::Num(self.max as f64)),
+        ]
+    }
+
+    /// A full summary object: `count` followed by [`Self::summary_pairs`].
+    pub fn summary_json(&self, unit: &str) -> Json {
+        let mut pairs = vec![("count".to_string(), Json::Num(self.count as f64))];
+        pairs.extend(self.summary_pairs(unit));
+        Json::Obj(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = PowHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_lands_in_its_bucket() {
+        let mut h = PowHistogram::new();
+        h.record(10);
+        // 10 µs sits in bucket 4 (8 ≤ 10 < 16); every quantile reads its
+        // upper bound.
+        assert_eq!(h.quantile(0.01), 16);
+        assert_eq!(h.quantile(0.5), 16);
+        assert_eq!(h.quantile(1.0), 16);
+        assert_eq!(h.max(), 10);
+        assert_eq!(h.total(), 10);
+        assert_eq!(h.mean(), 10.0);
+    }
+
+    #[test]
+    fn top_bucket_saturates() {
+        let mut h = PowHistogram::new();
+        h.record(u64::MAX);
+        // Anything ≥ 2^39 collapses into the last bucket; the quantile
+        // reports that bucket's lower-bound power, max stays exact.
+        assert_eq!(h.quantile(0.5), 1u64 << (BUCKETS - 1));
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn merge_matches_sequential_recording(){
+        let mut a = PowHistogram::new();
+        let mut b = PowHistogram::new();
+        let mut all = PowHistogram::new();
+        for v in [0u64, 1, 2, 3, 100, 5000, 123_456] {
+            if v % 2 == 0 { a.record(v) } else { b.record(v) }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_distribution() {
+        let mut h = PowHistogram::new();
+        for v in [10u64, 20, 30, 40, 1000] {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.50);
+        assert!((16..=64).contains(&p50), "p50 {p50}");
+        assert!(h.quantile(0.99) >= 1000);
+        let summary = h.summary_json("us");
+        assert_eq!(summary.get("count").unwrap().as_usize(), Some(5));
+        assert_eq!(summary.get("max_us").unwrap().as_usize(), Some(1000));
+    }
+}

@@ -1,92 +1,81 @@
 //! Server metrics: request counters, cache statistics, solver work
-//! accounting, and per-endpoint latency histograms.
+//! accounting, per-endpoint latency histograms, and the learner-span
+//! rollup.
 //!
-//! Latencies are recorded in a power-of-two-microsecond histogram
-//! (bucket `i` counts requests with `2^i ≤ µs < 2^{i+1}`), which is
-//! enough resolution to read p50/p95/p99 within a factor of two at any
-//! scale without unbounded memory. The `stats` endpoint renders a
-//! snapshot as JSON ([`Metrics::snapshot`]).
+//! Latencies are recorded in the shared power-of-two-microsecond
+//! histogram ([`folearn_obs::PowHistogram`]: bucket `i` counts requests
+//! with `2^{i-1} ≤ µs < 2^i`), which is enough resolution to read
+//! p50/p95/p99 within a factor of two at any scale without unbounded
+//! memory. Solve-side span trees captured by `folearn_obs` are folded in
+//! per span name ([`Metrics::absorb_span`]), so the `stats` endpoint
+//! surfaces learner-level timings (`server.solve`, `solve`, `erm.sweep`,
+//! …) next to the wire-level ones. [`Metrics::snapshot`] renders it all
+//! as JSON.
 
+use folearn_obs::{CounterSet, PowHistogram, SpanRecord};
 use parking_lot::Mutex;
 
 use crate::proto::Json;
-
-/// Number of histogram buckets: covers 1 µs … ~2¹⁹ s.
-const BUCKETS: usize = 40;
 
 /// Per-endpoint latency + count record.
 #[derive(Clone)]
 struct OpRecord {
     op: &'static str,
-    count: u64,
     errors: u64,
-    total_us: u64,
-    max_us: u64,
-    histogram: [u64; BUCKETS],
+    latency: PowHistogram,
 }
 
 impl OpRecord {
     fn new(op: &'static str) -> Self {
         Self {
             op,
-            count: 0,
             errors: 0,
-            total_us: 0,
-            max_us: 0,
-            histogram: [0; BUCKETS],
+            latency: PowHistogram::new(),
         }
     }
 
     fn record(&mut self, us: u64, ok: bool) {
-        self.count += 1;
         if !ok {
             self.errors += 1;
         }
-        self.total_us += us;
-        self.max_us = self.max_us.max(us);
-        let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
-        self.histogram[bucket] += 1;
-    }
-
-    /// Upper bound (µs) of the bucket containing quantile `q` of the
-    /// recorded latencies.
-    fn quantile_us(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let target = (q * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0;
-        for (i, &c) in self.histogram.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                return 1u64 << i;
-            }
-        }
-        1u64 << (BUCKETS - 1)
+        self.latency.record(us);
     }
 
     fn to_json(&self) -> Json {
-        Json::obj([
-            ("count", Json::Num(self.count as f64)),
-            ("errors", Json::Num(self.errors as f64)),
-            (
-                "mean_us",
-                Json::Num(if self.count == 0 {
-                    0.0
-                } else {
-                    self.total_us as f64 / self.count as f64
-                }),
-            ),
-            ("p50_us", Json::Num(self.quantile_us(0.50) as f64)),
-            ("p95_us", Json::Num(self.quantile_us(0.95) as f64)),
-            ("p99_us", Json::Num(self.quantile_us(0.99) as f64)),
-            ("max_us", Json::Num(self.max_us as f64)),
-        ])
+        let mut pairs = vec![
+            ("count".to_string(), Json::Num(self.latency.count() as f64)),
+            ("errors".to_string(), Json::Num(self.errors as f64)),
+        ];
+        pairs.extend(self.latency.summary_pairs("us"));
+        Json::Obj(pairs)
+    }
+}
+
+/// Per-span-name aggregate over absorbed solve traces: duration
+/// histogram plus summed work counters.
+#[derive(Clone)]
+struct SpanAgg {
+    name: String,
+    duration_us: PowHistogram,
+    counters: CounterSet,
+}
+
+impl SpanAgg {
+    fn to_json(&self) -> Json {
+        let mut pairs = match self.duration_us.summary_json("us") {
+            Json::Obj(pairs) => pairs,
+            _ => unreachable!("summary_json returns an object"),
+        };
+        for (c, v) in self.counters.iter_nonzero() {
+            pairs.push((c.name().to_string(), Json::Num(v as f64)));
+        }
+        Json::Obj(pairs)
     }
 }
 
 struct Inner {
     ops: Vec<OpRecord>,
+    spans: Vec<SpanAgg>,
     structures: u64,
     hypotheses: u64,
     cache_hits: u64,
@@ -116,6 +105,7 @@ impl Metrics {
         Self {
             inner: Mutex::new(Inner {
                 ops: Vec::new(),
+                spans: Vec::new(),
                 structures: 0,
                 hypotheses: 0,
                 cache_hits: 0,
@@ -141,6 +131,33 @@ impl Metrics {
                 inner.ops.push(r);
             }
         }
+    }
+
+    /// Fold a finished solve-span tree into the per-name rollup (every
+    /// span in the tree contributes to its name's aggregate).
+    pub fn absorb_span(&self, rec: &SpanRecord) {
+        let mut inner = self.inner.lock();
+        fn visit(rec: &SpanRecord, spans: &mut Vec<SpanAgg>) {
+            match spans.iter_mut().find(|s| s.name == rec.name) {
+                Some(agg) => {
+                    agg.duration_us.record(rec.elapsed_ns / 1_000);
+                    agg.counters.merge(&rec.counters);
+                }
+                None => {
+                    let mut agg = SpanAgg {
+                        name: rec.name.clone(),
+                        duration_us: PowHistogram::new(),
+                        counters: rec.counters.clone(),
+                    };
+                    agg.duration_us.record(rec.elapsed_ns / 1_000);
+                    spans.push(agg);
+                }
+            }
+            for ch in &rec.children {
+                visit(ch, spans);
+            }
+        }
+        visit(rec, &mut inner.spans);
     }
 
     /// Record a new connection.
@@ -185,7 +202,7 @@ impl Metrics {
     /// Snapshot the metrics as a JSON object (the `stats` payload).
     pub fn snapshot(&self) -> Json {
         let inner = self.inner.lock();
-        let total: u64 = inner.ops.iter().map(|r| r.count).sum();
+        let total: u64 = inner.ops.iter().map(|r| r.latency.count()).sum();
         let lookups = inner.cache_hits + inner.cache_misses;
         let hit_rate = if lookups == 0 {
             0.0
@@ -231,6 +248,16 @@ impl Metrics {
                         .collect(),
                 ),
             ),
+            (
+                "spans",
+                Json::Obj(
+                    inner
+                        .spans
+                        .iter()
+                        .map(|s| (s.name.clone(), s.to_json()))
+                        .collect(),
+                ),
+            ),
         ])
     }
 }
@@ -238,6 +265,7 @@ impl Metrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use folearn_obs::Counter;
 
     #[test]
     fn histogram_quantiles_bracket_latencies() {
@@ -257,6 +285,83 @@ mod tests {
     }
 
     #[test]
+    fn empty_and_unknown_endpoints_read_zero() {
+        let m = Metrics::new();
+        let snap = m.snapshot();
+        assert_eq!(snap.get("requests").unwrap().as_usize(), Some(0));
+        // No endpoint has been touched: the endpoints object is empty
+        // and the quantile on a never-recorded histogram is 0.
+        assert_eq!(snap.get("endpoints").unwrap(), &Json::Obj(vec![]));
+        assert_eq!(PowHistogram::new().quantile(0.99), 0);
+    }
+
+    #[test]
+    fn single_sample_sets_every_percentile() {
+        let m = Metrics::new();
+        m.record_request("ping", 10, true);
+        let snap = m.snapshot();
+        let ping = snap.get("endpoints").unwrap().get("ping").unwrap();
+        // One sample in bucket [8, 16): every quantile reads the bucket's
+        // upper bound, mean and max read the sample exactly.
+        for q in ["p50_us", "p95_us", "p99_us"] {
+            assert_eq!(ping.get(q).unwrap().as_usize(), Some(16), "{q}");
+        }
+        assert_eq!(ping.get("mean_us").unwrap().as_num(), Some(10.0));
+        assert_eq!(ping.get("max_us").unwrap().as_usize(), Some(10));
+    }
+
+    #[test]
+    fn top_bucket_saturates_but_max_is_exact() {
+        let m = Metrics::new();
+        m.record_request("solve", u64::MAX, true);
+        let snap = m.snapshot();
+        let solve = snap.get("endpoints").unwrap().get("solve").unwrap();
+        assert_eq!(
+            solve.get("p50_us").unwrap().as_num(),
+            Some((1u64 << (folearn_obs::BUCKETS - 1)) as f64)
+        );
+        assert_eq!(
+            solve.get("max_us").unwrap().as_num(),
+            Some(u64::MAX as f64)
+        );
+    }
+
+    #[test]
+    fn concurrent_records_account_max_and_total() {
+        let m = std::sync::Arc::new(Metrics::new());
+        let threads = 8;
+        let per_thread = 200u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let m = std::sync::Arc::clone(&m);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        // Latencies 1..=1600, with the global max (9999)
+                        // recorded by exactly one thread.
+                        let us = if t == 3 && i == 77 { 9999 } else { t * per_thread + i + 1 };
+                        m.record_request("solve", us, i % 10 == 0);
+                    }
+                });
+            }
+        });
+        let snap = m.snapshot();
+        let solve = snap.get("endpoints").unwrap().get("solve").unwrap();
+        let n = threads * per_thread;
+        assert_eq!(solve.get("count").unwrap().as_usize(), Some(n as usize));
+        assert_eq!(solve.get("max_us").unwrap().as_usize(), Some(9999));
+        // Total (via mean·count) must equal the exact sum: no lost
+        // updates under concurrency.
+        let expected: u64 = (0..threads)
+            .flat_map(|t| (0..per_thread).map(move |i| if t == 3 && i == 77 { 9999 } else { t * per_thread + i + 1 }))
+            .sum();
+        let mean = solve.get("mean_us").unwrap().as_num().unwrap();
+        assert_eq!((mean * n as f64).round() as u64, expected);
+        // Only every 10th request reported ok, so 9 in 10 are errors.
+        let errors = solve.get("errors").unwrap().as_usize().unwrap();
+        assert_eq!(errors, (threads * per_thread) as usize * 9 / 10);
+    }
+
+    #[test]
     fn cache_counters_feed_hit_rate() {
         let m = Metrics::new();
         m.set_cache_counters(3, 1, 0, 2);
@@ -273,5 +378,27 @@ mod tests {
         let snap = m.snapshot();
         let solve = snap.get("endpoints").unwrap().get("solve").unwrap();
         assert_eq!(solve.get("errors").unwrap().as_usize(), Some(1));
+    }
+
+    #[test]
+    fn absorbed_spans_aggregate_by_name() {
+        let m = Metrics::new();
+        let mut worker = SpanRecord::new("erm.worker");
+        worker.elapsed_ns = 2_000_000;
+        worker.counters.add(Counter::EvaluatedParams, 50);
+        let mut root = SpanRecord::new("server.solve");
+        root.elapsed_ns = 5_000_000;
+        root.children.push(worker.clone());
+        root.children.push(worker);
+        m.absorb_span(&root);
+        m.absorb_span(&root);
+        let snap = m.snapshot();
+        let spans = snap.get("spans").unwrap();
+        let solve = spans.get("server.solve").unwrap();
+        assert_eq!(solve.get("count").unwrap().as_usize(), Some(2));
+        let worker = spans.get("erm.worker").unwrap();
+        assert_eq!(worker.get("count").unwrap().as_usize(), Some(4));
+        assert_eq!(worker.get("evaluated_params").unwrap().as_usize(), Some(200));
+        assert_eq!(worker.get("mean_us").unwrap().as_num(), Some(2000.0));
     }
 }

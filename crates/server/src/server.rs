@@ -64,6 +64,11 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Requests served per connection before the daemon closes it.
     pub max_requests_per_conn: usize,
+    /// Capture a learner-level span tree per solve (surfaced as the
+    /// `trace` field of `solved` responses and aggregated under `spans`
+    /// in the `stats` payload). Enabling turns on `folearn_obs` capture
+    /// process-wide; disabling leaves the global flag untouched.
+    pub trace: bool,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +79,7 @@ impl Default for ServerConfig {
             queue_depth: 64,
             cache_capacity: 256,
             max_requests_per_conn: 100_000,
+            trace: true,
         }
     }
 }
@@ -192,6 +198,9 @@ impl ServerHandle {
 
 /// Bind and start serving. Returns once the listener is live.
 pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
+    if config.trace {
+        folearn_obs::set_enabled(true);
+    }
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let state = Arc::new(State {
@@ -506,6 +515,10 @@ fn handle_solve(
     let arena = state.arena_for(&g);
     let state_for_job = Arc::clone(state);
     let outcome = on_pool(pool, move || {
+        // The span closes on this pool worker thread; its record rides
+        // back in the outcome (and into the metrics rollup) rather than
+        // through the thread-local root buffer.
+        let sp = folearn_obs::span("server.solve");
         let inst = ErmInstance::new(&g, seq, k, ell, q, epsilon);
         let report = solve_fo_erm(&inst, &rust_solver, &arena);
         let id = state_for_job.next_hypothesis.fetch_add(1, Ordering::SeqCst);
@@ -528,6 +541,10 @@ fn handle_solve(
         state_for_job
             .metrics
             .record_solver_work(report.evaluated_params, report.pruned_params);
+        let trace = sp.finish().map(|rec| {
+            state_for_job.metrics.absorb_span(&rec);
+            folearn_obs::export::span_to_json(&rec)
+        });
         SolveOutcome {
             cached: false,
             error: report.error,
@@ -536,6 +553,7 @@ fn handle_solve(
             pruned: report.pruned_params,
             solver: report.solver_name.to_string(),
             hypothesis: wire,
+            trace,
         }
     });
     match outcome {

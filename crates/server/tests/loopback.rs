@@ -2,7 +2,7 @@
 //! (cold and cached), evaluate, model-check, stats, bad requests, the
 //! request limit, and graceful shutdown.
 
-use folearn_server::proto::{hex64, Request, Response};
+use folearn_server::proto::{hex64, Json, Request, Response};
 use folearn_server::{
     start, Client, ClientError, LoadgenConfig, ServerConfig, SolverSpec, WireExample,
 };
@@ -51,6 +51,20 @@ fn full_session_register_solve_cache_evaluate_modelcheck() {
     assert_eq!(warm.hypothesis.id, cold.hypothesis.id);
     assert_eq!(warm.hypothesis.params, cold.hypothesis.params);
     assert_eq!(warm.hypothesis.types, cold.hypothesis.types);
+
+    // The unified trace rides on the wire: a `server.solve` span wrapping
+    // the learner's own `solve` span, end to end.
+    let trace = cold.trace.as_ref().expect("a fresh solve carries a trace");
+    assert_eq!(trace.get("span").and_then(|s| s.as_str()), Some("server.solve"));
+    let children = trace.get("children").and_then(|c| c.as_arr()).unwrap_or(&[]);
+    assert!(
+        children
+            .iter()
+            .any(|c| c.get("span").and_then(|s| s.as_str()) == Some("solve")),
+        "learner-level span nests under the server span: {trace:?}"
+    );
+    // Cache hits replay the populating run's trace verbatim.
+    assert_eq!(warm.trace, cold.trace);
 
     // A different solver config is a different cache key.
     let other = client
@@ -106,6 +120,22 @@ fn full_session_register_solve_cache_evaluate_modelcheck() {
             .as_num()
             .unwrap()
             > 0.0
+    );
+    // The unified metrics snapshot aggregates learner spans by name.
+    let spans = stats.get("spans").expect("spans block");
+    assert!(spans.get("server.solve").is_some());
+    let solve_spans = spans.get("solve").expect("learner-level span in stats");
+    assert!(solve_spans.get("count").unwrap().as_num().unwrap() >= 2.0);
+    assert!(spans.get("erm.sweep").is_some());
+    // Sweep counters ride on the per-worker records the sweep adopts.
+    assert!(
+        spans
+            .get("erm.worker")
+            .and_then(|s| s.get("evaluated_params"))
+            .and_then(Json::as_num)
+            .unwrap_or(0.0)
+            > 0.0,
+        "sweep work counters aggregate into the snapshot"
     );
 
     client.shutdown().expect("shutdown");

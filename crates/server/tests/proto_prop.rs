@@ -164,7 +164,22 @@ proptest! {
         mode in nasty_string(),
         types in collection::vec(0u32..10000, 0..6),
         describe in nasty_string(),
+        with_trace in 0u32..2,
+        trace_name in nasty_string(),
+        trace_ns in 0u64..(1u64 << 53),
     ) {
+        // The trace field carries an arbitrary JSON span tree; exercise
+        // both its absence and a representative nested value.
+        let trace = (with_trace == 1).then(|| {
+            Json::obj([
+                ("span", Json::Str(trace_name)),
+                ("ns", Json::Num(trace_ns as f64)),
+                ("children", Json::Arr(vec![Json::obj([
+                    ("span", Json::str("inner")),
+                    ("ns", Json::int(7)),
+                ])])),
+            ])
+        });
         assert_response_round_trip(&Response::Solved(SolveOutcome {
             cached: cached == 1,
             error: f64::from(err_mil) / 1000.0,
@@ -173,6 +188,7 @@ proptest! {
             pruned,
             solver,
             hypothesis: WireHypothesis { id, params, q, mode, types, describe },
+            trace,
         }))?;
     }
 

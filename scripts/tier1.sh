@@ -9,6 +9,9 @@ cd "$(dirname "$0")/.."
 
 cargo build --offline --release --workspace
 cargo test  --offline -q --workspace
+# The obs crate must also pass with capture compiled out (the no-op
+# mirror of the probe API keeps instrumented callers building).
+cargo test  --offline -q -p folearn-obs --no-default-features
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
 # --- folearn-server smoke test (hermetic: loopback only, ephemeral port) ---
@@ -41,5 +44,16 @@ diff <(grep -v cached "$SMOKE/cold.txt") <(grep -v cached "$SMOKE/warm.txt")
 wait "$SERVER_PID"
 SERVER_PID=
 grep -q 'shut down cleanly' "$SMOKE/server.log"
+
+# --- tracing smoke test (hermetic: local files only) ----------------------
+# A traced learn writes a JSONL span tree; `folearn trace` reads it back
+# and prints the per-name rollup with the sweep's work counters.
+"$FOLEARN" learn --graph "$SMOKE/graph.txt" --examples "$SMOKE/sample.txt" \
+    --ell 1 --q 1 --trace-out "$SMOKE/trace.jsonl" --trace-summary on > "$SMOKE/learn.txt"
+grep -q 'erm.sweep' "$SMOKE/learn.txt"
+[ -s "$SMOKE/trace.jsonl" ]
+"$FOLEARN" trace --file "$SMOKE/trace.jsonl" > "$SMOKE/trace.txt"
+grep -q 'root span(s)' "$SMOKE/trace.txt"
+grep -q 'evaluated_params=' "$SMOKE/trace.txt"
 
 echo "tier1: OK"

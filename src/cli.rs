@@ -5,12 +5,13 @@
 //!
 //! Subcommands:
 //!
-//! * `learn      --graph G.txt --examples E.txt [--ell N] [--q N] [--solver brute|nd|local] [--mode global|local=R|counting=CAP] [--threads N] [--prune on|off]`
+//! * `learn      --graph G.txt --examples E.txt [--ell N] [--q N] [--solver brute|nd|local] [--mode global|local=R|counting=CAP] [--threads N] [--prune on|off] [--trace-out T.jsonl] [--trace-summary on|off]`
 //! * `modelcheck --graph G.txt --formula "<sentence>"`
 //! * `splitter   --graph G.txt [--radius R]`
 //! * `types      --graph G.txt [--q N] [--k N]`
 //! * `dot        --graph G.txt`
-//! * `serve      [--addr H:P] [--workers N] [--queue N] [--cache N] [--max-requests N] [--addr-file PATH]`
+//! * `trace      --file T.jsonl`
+//! * `serve      [--addr H:P] [--workers N] [--queue N] [--cache N] [--max-requests N] [--addr-file PATH] [--trace on|off]`
 //! * `client     --addr H:P --action ping|register|solve|evaluate|modelcheck|stats|shutdown …`
 //! * `loadgen    --addr H:P --graph G.txt [--connections N] [--requests N] [--seed N] [--pool N]`
 //!
@@ -188,11 +189,12 @@ pub fn run(command: &str, args: &[String]) -> Result<String, CliError> {
             let g = load_graph(&opts)?;
             Ok(io::to_dot(&g, "G"))
         }
+        "trace" => cmd_trace(&opts),
         "serve" => cmd_serve(&opts),
         "client" => cmd_client(&opts),
         "loadgen" => cmd_loadgen(&opts),
         other => Err(err(format!(
-            "unknown command {other:?}; expected learn | modelcheck | splitter | types | dot | serve | client | loadgen"
+            "unknown command {other:?}; expected learn | modelcheck | splitter | types | dot | trace | serve | client | loadgen"
         ))),
     }
 }
@@ -223,22 +225,25 @@ fn cmd_learn(opts: &Options) -> Result<String, CliError> {
         },
         other => return Err(err(format!("unknown --solver {other:?}"))),
     };
+    let trace_out = opts.get("trace-out");
+    let trace_summary = parse_on_off(opts.get("trace-summary").unwrap_or("off"), "trace-summary")?;
+    let tracing = trace_out.is_some() || trace_summary;
+    if tracing {
+        folearn_obs::set_enabled(true);
+        // Discard spans left on this thread by earlier work so the file
+        // holds exactly this run.
+        let _ = folearn_obs::take_thread_roots();
+    }
     let inst = ErmInstance::new(&g, examples, k, ell, q, 0.1);
     let arena = shared_arena(&g);
     let report = solve_fo_erm(&inst, &solver, &arena);
-    let mut out = String::new();
-    let _ = writeln!(out, "solver:          {}", report.solver_name);
-    let _ = writeln!(out, "training error:  {:.4}", report.error);
-    if report.evaluated_params + report.pruned_params > 0 {
-        let _ = writeln!(
-            out,
-            "work units:      {} ({} evaluated, {} pruned)",
-            report.work, report.evaluated_params, report.pruned_params
-        );
+    let roots = if tracing {
+        folearn_obs::take_thread_roots()
     } else {
-        let _ = writeln!(out, "work units:      {}", report.work);
-    }
-    let _ = writeln!(out, "hypothesis:      {}", report.hypothesis.describe());
+        Vec::new()
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", report.to_json().render_pretty());
     let phi = report.hypothesis.to_formula();
     let rendered = parser::render(&phi, g.vocab());
     let _ = writeln!(out, "formula (qr {}):", phi.quantifier_rank());
@@ -256,6 +261,43 @@ fn cmd_learn(opts: &Options) -> Result<String, CliError> {
     } else {
         let _ = writeln!(out, "  {rendered}");
     }
+    if trace_summary {
+        let _ = writeln!(out, "trace:");
+        out.push_str(&folearn_obs::export::tree_summary(&roots));
+    }
+    if let Some(path) = trace_out {
+        std::fs::write(path, folearn_obs::export::to_jsonl(&roots))
+            .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        let _ = writeln!(out, "trace: {} root span(s) written to {path}", roots.len());
+    }
+    Ok(out)
+}
+
+/// `folearn trace`: inspect a JSONL trace written by `learn --trace-out`
+/// (or assembled from server `trace` payloads): a per-name rollup, then
+/// the span tree itself.
+fn cmd_trace(opts: &Options) -> Result<String, CliError> {
+    let path = opts.require("file")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    let roots = folearn_obs::export::parse_jsonl(&text).map_err(|e| err(format!("{path}: {e}")))?;
+    let total: usize = roots.iter().map(|r| r.span_count()).sum();
+    let mut out = String::new();
+    let _ = writeln!(out, "{path}: {} root span(s), {total} spans total", roots.len());
+    let _ = writeln!(out, "by span name:");
+    for (name, spans, ns, counters) in folearn_obs::export::aggregate(&roots) {
+        let _ = write!(
+            out,
+            "  {name:<28} ×{spans:<5} {:>12.3} ms",
+            ns as f64 / 1e6
+        );
+        for (c, v) in counters.iter_nonzero() {
+            let _ = write!(out, "  {}={v}", c.name());
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(out, "tree:");
+    out.push_str(&folearn_obs::export::tree_summary(&roots));
     Ok(out)
 }
 
@@ -314,6 +356,7 @@ fn cmd_serve(opts: &Options) -> Result<String, CliError> {
         queue_depth: opts.get_usize("queue", 64)?,
         cache_capacity: opts.get_usize("cache", 256)?,
         max_requests_per_conn: opts.get_usize("max-requests", 100_000)?,
+        trace: parse_on_off(opts.get("trace").unwrap_or("on"), "trace")?,
     };
     let handle = folearn_server::start(&config)
         .map_err(|e| err(format!("cannot bind {}: {e}", config.addr)))?;
@@ -577,7 +620,7 @@ mod tests {
         .map(|s| s.to_string())
         .collect();
         let out = run("learn", &args).unwrap();
-        assert!(out.contains("training error:  0.0000"), "{out}");
+        assert!(out.contains("\"error\": 0"), "{out}");
         assert!(out.contains("Red"), "{out}");
     }
 
@@ -595,10 +638,60 @@ mod tests {
                 .collect()
         };
         let out = run("learn", &base(&["--threads", "2", "--prune", "off"])).unwrap();
-        assert!(out.contains("evaluated"), "{out}");
-        assert!(out.contains("0 pruned"), "{out}");
+        assert!(out.contains("\"evaluated_params\""), "{out}");
+        assert!(out.contains("\"pruned_params\": 0"), "{out}");
         assert!(run("learn", &base(&["--prune", "maybe"])).is_err());
         assert!(run("learn", &base(&["--threads", "two"])).is_err());
+    }
+
+    #[test]
+    fn learn_trace_out_round_trips_through_the_trace_command() {
+        let dir = tmpdir("trace");
+        let gpath = write_graph(&dir);
+        let epath = dir.join("e.txt");
+        std::fs::write(&epath, "+ 0\n+ 3\n+ 6\n- 1\n- 2\n- 4\n- 5\n- 7\n").unwrap();
+        let tpath = dir.join("t.jsonl");
+        let args: Vec<String> = [
+            "--graph",
+            gpath.to_str().unwrap(),
+            "--examples",
+            epath.to_str().unwrap(),
+            "--q",
+            "0",
+            "--ell",
+            "1",
+            "--trace-out",
+            tpath.to_str().unwrap(),
+            "--trace-summary",
+            "on",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let out = run("learn", &args).unwrap();
+        assert!(out.contains("trace:"), "{out}");
+        assert!(out.contains("solve"), "{out}");
+        assert!(out.contains("erm.sweep"), "{out}");
+
+        let inspect = run(
+            "trace",
+            &["--file".to_string(), tpath.to_str().unwrap().to_string()],
+        )
+        .unwrap();
+        assert!(inspect.contains("1 root span(s)"), "{inspect}");
+        assert!(inspect.contains("by span name:"), "{inspect}");
+        assert!(inspect.contains("erm.worker"), "{inspect}");
+        assert!(inspect.contains("evaluated_params="), "{inspect}");
+        assert!(inspect.contains("└─"), "{inspect}");
+
+        // A garbage trace file is a clean error, not a panic.
+        let bad = dir.join("bad.jsonl");
+        std::fs::write(&bad, "{\"ns\": 1}\n").unwrap();
+        assert!(run(
+            "trace",
+            &["--file".to_string(), bad.to_str().unwrap().to_string()]
+        )
+        .is_err());
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! Schema sanity for the committed `BENCH_*.json` artifacts: every file
+//! must parse with the workspace's shared [`Json`] type and carry the
+//! top-level keys downstream tooling greps for, so bench writers cannot
+//! silently drift from the shared `write_json_file` conventions.
+
+use folearn_obs::Json;
+
+fn bench_files() -> Vec<(String, String)> {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(root).expect("repo root is readable") {
+        let path = entry.expect("dir entry").path();
+        let name = match path.file_name().and_then(|n| n.to_str()) {
+            Some(n) => n.to_string(),
+            None => continue,
+        };
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read {name}: {e}"));
+            out.push((name, text));
+        }
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn every_bench_artifact_parses_and_names_its_experiment() {
+    let files = bench_files();
+    assert!(
+        files.len() >= 3,
+        "expected the E16/E17/E18 artifacts at least, found {:?}",
+        files.iter().map(|(n, _)| n).collect::<Vec<_>>()
+    );
+    for (name, text) in &files {
+        let v = Json::parse(text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let experiment = v
+            .get("experiment")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("{name}: missing \"experiment\" key"));
+        assert!(
+            experiment.starts_with('E'),
+            "{name}: experiment id {experiment:?} is not an E-number"
+        );
+        assert!(
+            matches!(v, Json::Obj(_)),
+            "{name}: top level must be an object"
+        );
+        // The shared writer renders pretty with a trailing newline;
+        // catching hand-rolled writers here keeps the artifacts uniform.
+        assert!(
+            text.ends_with('\n') && text.starts_with("{\n"),
+            "{name}: not written via folearn_bench::write_json_file"
+        );
+    }
+}
+
+#[test]
+fn bench_artifacts_respect_their_own_acceptance_flags() {
+    for (name, text) in bench_files() {
+        let v = Json::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        // Artifacts that record a bit-identity claim must record it true:
+        // a committed regression is a broken build, not a data point.
+        if let Some(flag) = v.get("all_bit_identical").and_then(Json::as_bool) {
+            assert!(flag, "{name}: all_bit_identical is false");
+        }
+    }
+}
