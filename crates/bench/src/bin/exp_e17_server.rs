@@ -16,7 +16,7 @@ use folearn_bench::{
 };
 use folearn_graph::io;
 use folearn_server::{
-    run_load, start, Client, LoadgenConfig, ServerConfig, SolverSpec,
+    run_load, start, Client, ClientApi, LoadgenConfig, ServerConfig, SolverSpec,
     WireExample,
 };
 
@@ -102,8 +102,9 @@ fn main() {
             sample_pool: 4,
             ell: 1,
             q: 1,
+            ..LoadgenConfig::default()
         };
-        let report = run_load(addr, &graph_text, &config).expect("load run");
+        let report = run_load(addr, &graph_text, &config);
         let solve_p50 = report
             .ops
             .iter()

@@ -20,7 +20,10 @@ use folearn::{ErmInstance, Hypothesis};
 #[cfg(test)]
 use folearn::TrainingSequence;
 use folearn_graph::{io, Graph, V};
-use folearn_server::{Client, ClientError, SolverSpec, WireExample};
+use folearn_server::{
+    ClientApi, ClientConfig, ClientError, RetryPolicy, RetryingClient, SolverSpec,
+    TransportStats, WireExample,
+};
 use folearn_types::TypeArena;
 use parking_lot::Mutex;
 
@@ -34,8 +37,10 @@ pub enum Predictor {
     /// inside the server's arena, so the hypothesis cannot be
     /// reconstructed locally — exactly the oracle-as-black-box regime.
     Remote {
-        /// Shared connection to the daemon that owns the hypothesis.
-        client: Arc<Mutex<Client>>,
+        /// Shared connection to the daemon that owns the hypothesis
+        /// (self-healing: deadlines, backoff, reconnect — so a dropped
+        /// frame mid-reduction costs a retry, not the whole run).
+        client: Arc<Mutex<RetryingClient>>,
         /// Content hash of the structure the hypothesis was learned on.
         structure: u64,
         /// Server-assigned hypothesis id.
@@ -203,7 +208,7 @@ impl ErmOracle for BruteForceOracle {
 /// which is why `model_check_via_erm` against a loopback daemon is
 /// bit-identical to the in-process run.
 pub struct RemoteOracle {
-    client: Arc<Mutex<Client>>,
+    client: Arc<Mutex<RetryingClient>>,
     /// Local graph memo: canonical-text hash → server structure id
     /// (avoids re-sending the graph text on every pair query).
     structures: HashMap<u64, u64>,
@@ -214,15 +219,31 @@ pub struct RemoteOracle {
 
 impl RemoteOracle {
     /// Connect to a daemon at `addr` (e.g. the address of an in-process
-    /// [`folearn_server::start`] handle).
+    /// [`folearn_server::start`] handle) with no deadlines and no
+    /// retries — the right default on a trusted loopback path.
     pub fn connect(addr: impl std::net::ToSocketAddrs) -> Result<Self, ClientError> {
+        Self::connect_with(addr, ClientConfig::default(), RetryPolicy::none())
+    }
+
+    /// Connect with explicit socket deadlines and a retry policy — what
+    /// the fault experiments (E19) use to survive an unreliable path.
+    pub fn connect_with(
+        addr: impl std::net::ToSocketAddrs,
+        config: ClientConfig,
+        policy: RetryPolicy,
+    ) -> Result<Self, ClientError> {
         Ok(Self {
-            client: Arc::new(Mutex::new(Client::connect(addr)?)),
+            client: Arc::new(Mutex::new(RetryingClient::connect(addr, config, policy)?)),
             structures: HashMap::new(),
             key_table: HashMap::new(),
             calls: 0,
             realizable: 0,
         })
+    }
+
+    /// Retry/reconnect counters accumulated by the shared connection.
+    pub fn transport_stats(&self) -> TransportStats {
+        self.client.lock().transport_stats().clone()
     }
 }
 

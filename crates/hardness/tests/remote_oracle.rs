@@ -9,7 +9,7 @@ use folearn_graph::{generators, ColorId, Graph, Vocabulary};
 use folearn_hardness::oracle::{BruteForceOracle, ErmOracle, RemoteOracle};
 use folearn_hardness::reduction::model_check_via_erm;
 use folearn_logic::{eval, parse};
-use folearn_server::{start, Client, ServerConfig};
+use folearn_server::{start, ChaosConfig, ChaosProxy, Client, ClientApi, ClientConfig, Direction, FaultKind, RetryPolicy, ServerConfig};
 
 fn colored_path(n: usize, stride: usize) -> Graph {
     let g = generators::path(n, Vocabulary::new(["Red"]));
@@ -108,4 +108,81 @@ fn remote_answers_predict_like_local_ones() {
     assert_eq!(remote.realizable_calls(), 2);
 
     handle.shutdown();
+}
+
+/// The acceptance criterion of the fault-tolerance layer: under every
+/// fault mode the reduction completes via retries and its verdict,
+/// call counts, and representative-set trace are *bit-identical* to the
+/// in-process run. Retry-safety rests on idempotence: a re-sent solve
+/// is answered by the deterministic engine (or its cache) with the same
+/// outcome, so the key partition the Ramsey grouping consumes cannot
+/// diverge, no matter which frames the path mangled.
+#[test]
+fn reduction_survives_an_unreliable_path_bit_identically() {
+    use std::time::Duration;
+
+    let g = colored_path(7, 3);
+    let vocab = g.vocab().as_ref().clone();
+    let sentence = "forall x0. Red(x0) -> exists x1. E(x0, x1) & !Red(x1)";
+    let phi = parse(sentence, &vocab).unwrap();
+    let direct = eval::models(&g, &phi);
+
+    let mut local = BruteForceOracle::new();
+    let local_report = model_check_via_erm(&g, &phi, &mut local);
+
+    // Drop needs a low rate (every fault costs a read deadline);
+    // truncate and garble fail fast, so they can fault more often.
+    for (kind, rate) in [
+        (FaultKind::Drop, 0.04),
+        (FaultKind::Truncate, 0.08),
+        (FaultKind::Garble, 0.15),
+    ] {
+        let handle = start(&ServerConfig::default()).expect("server starts");
+        let proxy = ChaosProxy::start(
+            handle.addr(),
+            ChaosConfig {
+                kind,
+                rate,
+                delay: Duration::from_millis(150),
+                direction: Direction::Both,
+                seed: 99,
+            },
+        )
+        .expect("proxy starts");
+        let mut remote = RemoteOracle::connect_with(
+            proxy.addr(),
+            ClientConfig::with_deadline(Duration::from_millis(250)),
+            RetryPolicy {
+                max_retries: 10,
+                base_delay: Duration::from_millis(2),
+                max_delay: Duration::from_millis(40),
+                seed: 1,
+            },
+        )
+        .expect("oracle connects through the proxy");
+
+        let remote_report = model_check_via_erm(&g, &phi, &mut remote);
+        let mode = kind.name();
+        assert_eq!(remote_report.result, direct, "[{mode}] verdict wrong");
+        assert_eq!(
+            remote_report.oracle_calls, local_report.oracle_calls,
+            "[{mode}] call-count mismatch"
+        );
+        assert_eq!(
+            remote_report.realizable_calls, local_report.realizable_calls,
+            "[{mode}] realisability split mismatch"
+        );
+        assert_eq!(
+            remote_report.representative_set_sizes, local_report.representative_set_sizes,
+            "[{mode}] Ramsey grouping diverged"
+        );
+        assert_eq!(remote_report.max_depth, local_report.max_depth);
+
+        assert!(proxy.faults_injected() > 0, "[{mode}] the proxy never faulted");
+        let ts = remote.transport_stats();
+        assert!(ts.retries > 0, "[{mode}] survived faults without retrying?");
+
+        proxy.shutdown();
+        handle.shutdown();
+    }
 }

@@ -48,10 +48,18 @@ pub enum Counter {
     Centers,
     /// Search branches explored by the ND learner.
     Branches,
+    /// Client calls re-sent after a transport-level failure.
+    Retries,
+    /// Client connections re-established after a failure.
+    Reconnects,
+    /// Frames dropped/delayed/truncated/garbled by the chaos proxy.
+    FaultsInjected,
+    /// Worker-pool jobs that panicked (isolated; the worker survives).
+    WorkerPanics,
 }
 
 /// Number of counter slots.
-pub const COUNTERS: usize = 12;
+pub const COUNTERS: usize = 16;
 
 impl Counter {
     /// Every counter, in slot order.
@@ -68,6 +76,10 @@ impl Counter {
         Counter::CriticalTuples,
         Counter::Centers,
         Counter::Branches,
+        Counter::Retries,
+        Counter::Reconnects,
+        Counter::FaultsInjected,
+        Counter::WorkerPanics,
     ];
 
     /// The stable snake_case name used in exports.
@@ -85,6 +97,10 @@ impl Counter {
             Counter::CriticalTuples => "critical_tuples",
             Counter::Centers => "centers",
             Counter::Branches => "branches",
+            Counter::Retries => "retries",
+            Counter::Reconnects => "reconnects",
+            Counter::FaultsInjected => "faults_injected",
+            Counter::WorkerPanics => "worker_panics",
         }
     }
 

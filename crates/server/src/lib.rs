@@ -8,7 +8,12 @@
 //!   request/response envelopes, FNV-1a content hashing;
 //! * [`server`] — the daemon: structure registry, bounded worker pool
 //!   dispatch, LRU result cache, metrics, graceful shutdown;
-//! * [`client`] — a blocking typed client;
+//! * [`client`] — a blocking typed client, with optional deadlines
+//!   ([`client::ClientConfig`]) and a retrying wrapper
+//!   ([`client::RetryingClient`]) that reconnects and re-sends under a
+//!   deterministic backoff policy;
+//! * [`chaos`] — a deterministic fault-injection proxy (drop / delay /
+//!   truncate / garble frames under a seeded RNG; experiment E19);
 //! * [`cache`], [`metrics`], [`pool`] — the daemon's moving parts,
 //!   exposed for reuse and testing;
 //! * [`loadgen`] — a deterministic load generator (experiment E17 and
@@ -29,6 +34,7 @@
 //! daemon reproduces the in-process reduction bit for bit.
 
 pub mod cache;
+pub mod chaos;
 pub mod client;
 pub mod loadgen;
 pub mod metrics;
@@ -36,7 +42,10 @@ pub mod pool;
 pub mod proto;
 pub mod server;
 
-pub use client::{Client, ClientError};
+pub use chaos::{ChaosConfig, ChaosProxy, Direction, FaultKind};
+pub use client::{
+    Client, ClientApi, ClientConfig, ClientError, RetryPolicy, RetryingClient, TransportStats,
+};
 pub use loadgen::{run_load, LoadgenConfig, LoadReport};
 pub use proto::{Json, Request, Response, SolveOutcome, SolverSpec, WireExample};
 pub use server::{start, ServerConfig, ServerHandle};

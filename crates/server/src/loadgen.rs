@@ -16,7 +16,7 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::client::{Client, ClientError};
+use crate::client::{ClientApi, ClientConfig, ClientError, RetryPolicy, RetryingClient};
 use crate::proto::{Json, SolverSpec, WireExample};
 
 /// Shape of a load-generation run.
@@ -35,6 +35,11 @@ pub struct LoadgenConfig {
     pub ell: usize,
     /// Quantifier rank for generated solves.
     pub q: usize,
+    /// Socket deadlines for each worker's connection (default: none).
+    pub client: ClientConfig,
+    /// Retry policy for each worker; worker `i` jitters from
+    /// `retry.seed + i` so concurrent workers don't sleep in lockstep.
+    pub retry: RetryPolicy,
 }
 
 impl Default for LoadgenConfig {
@@ -46,6 +51,8 @@ impl Default for LoadgenConfig {
             sample_pool: 4,
             ell: 1,
             q: 1,
+            client: ClientConfig::default(),
+            retry: RetryPolicy::none(),
         }
     }
 }
@@ -107,6 +114,16 @@ pub struct LoadReport {
     pub cached_solves: usize,
     /// Solve calls computed fresh.
     pub fresh_solves: usize,
+    /// Calls re-sent after transport failures (all workers).
+    pub retries: u64,
+    /// Connections re-established after a failure (all workers).
+    pub reconnects: u64,
+    /// `retry_histogram[n]` = successful calls that needed `n` retries.
+    pub retry_histogram: Vec<u64>,
+    /// Workers that died early: `(worker index, what happened)`. A
+    /// panicked or erroring worker lands here instead of voiding the
+    /// whole run; its completed requests still count above.
+    pub worker_errors: Vec<(usize, String)>,
     /// Per-operation latency tallies: `(op, stats)`.
     pub ops: Vec<(String, OpStats)>,
 }
@@ -125,6 +142,15 @@ impl LoadReport {
         self.errors += other.errors;
         self.cached_solves += other.cached_solves;
         self.fresh_solves += other.fresh_solves;
+        self.retries += other.retries;
+        self.reconnects += other.reconnects;
+        if self.retry_histogram.len() < other.retry_histogram.len() {
+            self.retry_histogram.resize(other.retry_histogram.len(), 0);
+        }
+        for (i, n) in other.retry_histogram.into_iter().enumerate() {
+            self.retry_histogram[i] += n;
+        }
+        self.worker_errors.extend(other.worker_errors);
         for (op, stats) in other.ops {
             let mine = self.op_mut(&op);
             mine.count += stats.count;
@@ -149,6 +175,31 @@ impl LoadReport {
             ("throughput_rps", Json::Num(self.throughput())),
             ("cached_solves", Json::int(self.cached_solves)),
             ("fresh_solves", Json::int(self.fresh_solves)),
+            ("retries", Json::int(self.retries as usize)),
+            ("reconnects", Json::int(self.reconnects as usize)),
+            (
+                "retry_histogram",
+                Json::Arr(
+                    self.retry_histogram
+                        .iter()
+                        .map(|&n| Json::int(n as usize))
+                        .collect(),
+                ),
+            ),
+            (
+                "worker_errors",
+                Json::Arr(
+                    self.worker_errors
+                        .iter()
+                        .map(|(w, e)| {
+                            Json::obj([
+                                ("worker", Json::int(*w)),
+                                ("error", Json::Str(e.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
             (
                 "ops",
                 Json::Obj(
@@ -162,17 +213,45 @@ impl LoadReport {
     }
 }
 
-/// One worker's deterministic request stream.
+/// One worker: connect (under the retry policy), drive the request
+/// stream, and fold the client's transport counters into the report.
+/// Failures come back as the `Option<String>` — the partial report is
+/// kept either way.
 fn worker_run(
     addr: SocketAddr,
     graph_text: &str,
     config: &LoadgenConfig,
     worker: usize,
-) -> Result<LoadReport, ClientError> {
-    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(worker as u64));
-    let mut client = Client::connect(addr)?;
+) -> (LoadReport, Option<String>) {
     let mut report = LoadReport::default();
+    let mut policy = config.retry.clone();
+    policy.seed = policy.seed.wrapping_add(worker as u64);
+    let mut client = match RetryingClient::connect(addr, config.client, policy) {
+        Ok(c) => c,
+        Err(e) => return (report, Some(format!("connect: {e}"))),
+    };
+    let outcome = worker_drive(&mut client, graph_text, config, worker, &mut report);
+    let ts = client.transport_stats();
+    report.retries += ts.retries;
+    report.reconnects += ts.reconnects;
+    if report.retry_histogram.len() < ts.retry_histogram.len() {
+        report.retry_histogram.resize(ts.retry_histogram.len(), 0);
+    }
+    for (i, &n) in ts.retry_histogram.iter().enumerate() {
+        report.retry_histogram[i] += n;
+    }
+    (report, outcome.err().map(|e| e.to_string()))
+}
 
+/// The worker's deterministic request stream.
+fn worker_drive(
+    client: &mut RetryingClient,
+    graph_text: &str,
+    config: &LoadgenConfig,
+    worker: usize,
+    report: &mut LoadReport,
+) -> Result<(), ClientError> {
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(worker as u64));
     let started = Instant::now();
     let structure = client.register(graph_text)?;
     report.requests += 1;
@@ -253,7 +332,7 @@ fn worker_run(
         }
         report.requests += 1;
     }
-    Ok(report)
+    Ok(())
 }
 
 fn us_since(t: Instant) -> u64 {
@@ -262,26 +341,42 @@ fn us_since(t: Instant) -> u64 {
 
 /// Drive `config.connections` concurrent workers against the daemon at
 /// `addr`, all over the same structure. Returns the merged report with
-/// sorted latency vectors.
-pub fn run_load(
-    addr: SocketAddr,
-    graph_text: &str,
-    config: &LoadgenConfig,
-) -> Result<LoadReport, ClientError> {
+/// sorted latency vectors. A worker that errors or panics becomes a
+/// [`LoadReport::worker_errors`] row (its completed requests still
+/// count) rather than voiding the run.
+pub fn run_load(addr: SocketAddr, graph_text: &str, config: &LoadgenConfig) -> LoadReport {
     let started = Instant::now();
     let mut merged = LoadReport::default();
-    let results: Vec<Result<LoadReport, ClientError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..config.connections.max(1))
-            .map(|w| scope.spawn(move || worker_run(addr, graph_text, config, w)))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("loadgen worker panicked")).collect()
-    });
-    for r in results {
-        merged.merge(r?);
+    let results: Vec<std::thread::Result<(LoadReport, Option<String>)>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..config.connections.max(1))
+                .map(|w| scope.spawn(move || worker_run(addr, graph_text, config, w)))
+                .collect();
+            handles.into_iter().map(|h| h.join()).collect()
+        });
+    for (worker, joined) in results.into_iter().enumerate() {
+        match joined {
+            Ok((report, error)) => {
+                merged.merge(report);
+                if let Some(e) = error {
+                    merged.worker_errors.push((worker, e));
+                }
+            }
+            Err(payload) => {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .copied()
+                    .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+                    .unwrap_or("non-string panic payload");
+                merged
+                    .worker_errors
+                    .push((worker, format!("worker panicked: {message}")));
+            }
+        }
     }
     merged.wall_s = started.elapsed().as_secs_f64();
     for (_, stats) in &mut merged.ops {
         stats.latencies_us.sort_unstable();
     }
-    Ok(merged)
+    merged
 }

@@ -86,6 +86,11 @@ struct Inner {
     pruned_params: u64,
     connections: u64,
     over_limit_closes: u64,
+    idle_closes: u64,
+    oversize_closes: u64,
+    truncated_frames: u64,
+    rejected_connections: u64,
+    worker_panics: u64,
 }
 
 /// Shared, thread-safe metrics sink.
@@ -116,6 +121,11 @@ impl Metrics {
                 pruned_params: 0,
                 connections: 0,
                 over_limit_closes: 0,
+                idle_closes: 0,
+                oversize_closes: 0,
+                truncated_frames: 0,
+                rejected_connections: 0,
+                worker_panics: 0,
             }),
         }
     }
@@ -170,6 +180,31 @@ impl Metrics {
         self.inner.lock().over_limit_closes += 1;
     }
 
+    /// Record a connection closed for exceeding the idle timeout.
+    pub fn record_idle_close(&self) {
+        self.inner.lock().idle_closes += 1;
+    }
+
+    /// Record a connection closed for an oversized request line.
+    pub fn record_oversize_close(&self) {
+        self.inner.lock().oversize_closes += 1;
+    }
+
+    /// Record a frame cut short by EOF (rejected, not served).
+    pub fn record_truncated_frame(&self) {
+        self.inner.lock().truncated_frames += 1;
+    }
+
+    /// Record a connection turned away at the concurrency cap.
+    pub fn record_rejected_connection(&self) {
+        self.inner.lock().rejected_connections += 1;
+    }
+
+    /// Update the worker-panic gauge (absolute count from the pool).
+    pub fn set_worker_panics(&self, panics: u64) {
+        self.inner.lock().worker_panics = panics;
+    }
+
     /// Update the registry/hypothesis-store gauges.
     pub fn set_store_sizes(&self, structures: usize, hypotheses: usize) {
         let mut inner = self.inner.lock();
@@ -216,6 +251,17 @@ impl Metrics {
                 "over_limit_closes",
                 Json::Num(inner.over_limit_closes as f64),
             ),
+            ("idle_closes", Json::Num(inner.idle_closes as f64)),
+            ("oversize_closes", Json::Num(inner.oversize_closes as f64)),
+            (
+                "truncated_frames",
+                Json::Num(inner.truncated_frames as f64),
+            ),
+            (
+                "rejected_connections",
+                Json::Num(inner.rejected_connections as f64),
+            ),
+            ("worker_panics", Json::Num(inner.worker_panics as f64)),
             ("structures", Json::Num(inner.structures as f64)),
             ("hypotheses", Json::Num(inner.hypotheses as f64)),
             (

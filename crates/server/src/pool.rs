@@ -14,6 +14,8 @@
 //! inherits the ambient count) uses exactly that share — `W` workers
 //! never oversubscribe the machine no matter what the request asks for.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -25,10 +27,16 @@ use parking_lot::Mutex;
 pub type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// Fixed-size worker pool with a bounded job queue.
+///
+/// Jobs run under `catch_unwind`: a panicking job is counted (see
+/// [`WorkerPool::panic_count`]) and discarded, and the worker thread
+/// survives to serve the next job — a poisoned request must cost one
+/// error response, never a pool slot.
 pub struct WorkerPool {
     sender: Option<SyncSender<Job>>,
     workers: Vec<JoinHandle<()>>,
     num_workers: usize,
+    panics: Arc<AtomicU64>,
 }
 
 impl WorkerPool {
@@ -42,12 +50,14 @@ impl WorkerPool {
         let share = (cores / num_workers).max(1);
         let (sender, receiver) = std::sync::mpsc::sync_channel::<Job>(queue_depth.max(1));
         let receiver = Arc::new(Mutex::new(receiver));
+        let panics = Arc::new(AtomicU64::new(0));
         let workers = (0..num_workers)
             .map(|i| {
                 let receiver = Arc::clone(&receiver);
+                let panics = Arc::clone(&panics);
                 std::thread::Builder::new()
                     .name(format!("folearn-worker-{i}"))
-                    .spawn(move || worker_loop(&receiver, share))
+                    .spawn(move || worker_loop(&receiver, share, &panics))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -55,12 +65,25 @@ impl WorkerPool {
             sender: Some(sender),
             workers,
             num_workers,
+            panics,
         }
     }
 
     /// Number of worker threads.
     pub fn num_workers(&self) -> usize {
         self.num_workers
+    }
+
+    /// Jobs that panicked (and were isolated) so far.
+    pub fn panic_count(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Record a panic that was caught outside the worker loop (e.g. by a
+    /// submitter that wrapped its job in `catch_unwind` to extract the
+    /// panic message before replying).
+    pub fn note_panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Submit a job, blocking while the queue is full (backpressure).
@@ -87,7 +110,7 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(receiver: &Arc<Mutex<Receiver<Job>>>, share: usize) {
+fn worker_loop(receiver: &Arc<Mutex<Receiver<Job>>>, share: usize, panics: &AtomicU64) {
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(share)
         .build()
@@ -99,7 +122,15 @@ fn worker_loop(receiver: &Arc<Mutex<Receiver<Job>>>, share: usize) {
             rx.recv()
         };
         match job {
-            Ok(job) => pool.install(job),
+            Ok(job) => {
+                if catch_unwind(AssertUnwindSafe(|| pool.install(job))).is_err() {
+                    // The job's reply channel (if any) was dropped during
+                    // the unwind, so the submitter observes the failure;
+                    // this thread stays in service.
+                    panics.fetch_add(1, Ordering::Relaxed);
+                    folearn_obs::count(folearn_obs::Counter::WorkerPanics, 1);
+                }
+            }
             Err(_) => break, // channel closed: pool is shutting down
         }
     }
@@ -141,6 +172,26 @@ mod tests {
         assert_eq!(counter.load(Ordering::SeqCst), 6, "queued jobs drain");
         assert!(!pool.submit(Box::new(|| {})));
         pool.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn panicking_jobs_are_isolated_and_the_worker_survives() {
+        // One worker: if the panic killed the thread, the follow-up job
+        // would never run and recv_timeout would fail (not hang).
+        let pool = WorkerPool::new(1, 4);
+        assert!(pool.submit(Box::new(|| panic!("poisoned job"))));
+        assert!(pool.submit(Box::new(|| panic!("still poisoned"))));
+        let (tx, rx) = mpsc::channel();
+        assert!(pool.submit(Box::new(move || {
+            tx.send(7usize).unwrap();
+        })));
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_secs(30))
+                .expect("worker survived both panics"),
+            7
+        );
+        assert_eq!(pool.panic_count(), 2);
+        assert_eq!(pool.num_workers(), 1);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -69,6 +70,20 @@ pub struct ServerConfig {
     /// in the `stats` payload). Enabling turns on `folearn_obs` capture
     /// process-wide; disabling leaves the global flag untouched.
     pub trace: bool,
+    /// Longest request line the daemon will buffer. A peer that exceeds
+    /// it (oversized frame, or a byte stream with no newline at all)
+    /// gets one `error` response and the connection is closed — `line`
+    /// growth is bounded no matter what arrives.
+    pub max_line_bytes: usize,
+    /// Close a connection after this long without a completed request.
+    /// Bounds both abandoned sockets and slow-loris peers trickling a
+    /// frame forever. Detection granularity is the read-poll interval.
+    pub idle_timeout: Duration,
+    /// Concurrent connections the daemon accepts; above the cap a fresh
+    /// connection is greeted with `bye` and closed. Finished connection
+    /// handles are reaped on every accept, so the tracked set stays
+    /// bounded on a long-running daemon.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +95,9 @@ impl Default for ServerConfig {
             cache_capacity: 256,
             max_requests_per_conn: 100_000,
             trace: true,
+            max_line_bytes: 4 << 20,
+            idle_timeout: Duration::from_secs(300),
+            max_connections: 256,
         }
     }
 }
@@ -101,6 +119,8 @@ struct State {
     shutdown: AtomicBool,
     addr: SocketAddr,
     max_requests_per_conn: usize,
+    max_line_bytes: usize,
+    idle_timeout: Duration,
 }
 
 impl State {
@@ -160,6 +180,14 @@ impl ServerHandle {
         self.addr
     }
 
+    /// Connection handles currently tracked (live ones plus any finished
+    /// since the last accept — the acceptor reaps on every accept, so
+    /// this stays bounded however many connections the daemon has ever
+    /// served).
+    pub fn tracked_connections(&self) -> usize {
+        self.connections.lock().len()
+    }
+
     /// Ask the daemon to stop, then wait for all threads.
     pub fn shutdown(mut self) {
         self.state.request_shutdown();
@@ -213,10 +241,13 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
         shutdown: AtomicBool::new(false),
         addr,
         max_requests_per_conn: config.max_requests_per_conn.max(1),
+        max_line_bytes: config.max_line_bytes.max(1),
+        idle_timeout: config.idle_timeout,
     });
     let pool = Arc::new(WorkerPool::new(config.workers, config.queue_depth));
     let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
+    let max_connections = config.max_connections.max(1);
     let acceptor = {
         let state = Arc::clone(&state);
         let pool = Arc::clone(&pool);
@@ -228,7 +259,25 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
                     if state.shutdown.load(Ordering::SeqCst) {
                         break;
                     }
-                    let Ok(stream) = incoming else { continue };
+                    let Ok(mut stream) = incoming else { continue };
+                    // Reap finished handles before admitting anyone: the
+                    // tracked set stays bounded by the live connections,
+                    // not by the daemon's lifetime total.
+                    let admitted = {
+                        let mut conns = connections.lock();
+                        conns.retain(|h| !h.is_finished());
+                        conns.len() < max_connections
+                    };
+                    if !admitted {
+                        state.metrics.record_rejected_connection();
+                        let _ = write_response(
+                            &mut stream,
+                            &Response::Bye {
+                                reason: "connection limit".to_string(),
+                            },
+                        );
+                        continue;
+                    }
                     state.metrics.record_connection();
                     let state = Arc::clone(&state);
                     let pool = Arc::clone(&pool);
@@ -250,8 +299,24 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
     })
 }
 
-/// How often a blocked read re-checks the shutdown flag.
+/// How often a blocked read re-checks the shutdown flag (and, since the
+/// idle timeout piggybacks on the same poll, the granularity of idle
+/// detection).
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// How the framing loop ended for one request line.
+enum Framing {
+    /// A complete newline-terminated frame is in the buffer.
+    Complete,
+    /// Clean EOF at a frame boundary: the peer is done.
+    Eof,
+    /// The peer hung up (or shut down its write half) mid-frame.
+    Truncated,
+    /// The frame exceeded [`ServerConfig::max_line_bytes`].
+    Oversize,
+    /// No completed request within [`ServerConfig::idle_timeout`].
+    Idle,
+}
 
 fn serve_connection(state: &Arc<State>, pool: &Arc<WorkerPool>, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
@@ -263,11 +328,14 @@ fn serve_connection(state: &Arc<State>, pool: &Arc<WorkerPool>, stream: TcpStrea
     let mut reader = BufReader::new(stream);
     let mut served = 0usize;
     let mut line = String::new();
+    let mut last_activity = Instant::now();
     loop {
         line.clear();
         // Poll for a full line, re-checking the shutdown flag whenever
-        // the read times out. Partial reads accumulate in `line`.
-        let eof = loop {
+        // the read times out. Partial reads accumulate in `line`, so
+        // both the oversize check and the idle clock see a slow-loris
+        // peer trickling bytes without ever sending a newline.
+        let framing = loop {
             if state.shutdown.load(Ordering::SeqCst) {
                 let _ = write_response(
                     &mut writer,
@@ -278,25 +346,80 @@ fn serve_connection(state: &Arc<State>, pool: &Arc<WorkerPool>, stream: TcpStrea
                 return;
             }
             match reader.read_line(&mut line) {
-                Ok(0) => break true,
-                Ok(_) => {
-                    if line.ends_with('\n') {
-                        break false;
+                // EOF with nothing buffered is a clean hangup; EOF with
+                // a partial frame left over is a truncated request.
+                Ok(0) => {
+                    break if line.trim().is_empty() {
+                        Framing::Eof
+                    } else {
+                        Framing::Truncated
                     }
-                    // EOF in the middle of a line: serve what we got.
-                    break true;
+                }
+                Ok(_) => {
+                    if line.len() > state.max_line_bytes {
+                        break Framing::Oversize;
+                    }
+                    if line.ends_with('\n') {
+                        break Framing::Complete;
+                    }
+                    // `read_line` returns `Ok` without a trailing
+                    // newline only at EOF: the frame was cut short.
+                    break Framing::Truncated;
                 }
                 Err(e)
                     if e.kind() == ErrorKind::WouldBlock
                         || e.kind() == ErrorKind::TimedOut
-                        || e.kind() == ErrorKind::Interrupted => {}
+                        || e.kind() == ErrorKind::Interrupted =>
+                {
+                    if line.len() > state.max_line_bytes {
+                        break Framing::Oversize;
+                    }
+                    if last_activity.elapsed() >= state.idle_timeout {
+                        break Framing::Idle;
+                    }
+                }
                 Err(_) => return,
             }
         };
-        if line.trim().is_empty() {
-            if eof {
+        match framing {
+            Framing::Complete => {}
+            Framing::Eof => return,
+            Framing::Truncated => {
+                state.metrics.record_truncated_frame();
+                let _ = write_response(
+                    &mut writer,
+                    &Response::Error {
+                        message: "malformed request: truncated frame (EOF before newline)"
+                            .to_string(),
+                    },
+                );
                 return;
             }
+            Framing::Oversize => {
+                state.metrics.record_oversize_close();
+                let _ = write_response(
+                    &mut writer,
+                    &Response::Error {
+                        message: format!(
+                            "malformed request: line exceeds {} bytes",
+                            state.max_line_bytes
+                        ),
+                    },
+                );
+                return;
+            }
+            Framing::Idle => {
+                state.metrics.record_idle_close();
+                let _ = write_response(
+                    &mut writer,
+                    &Response::Bye {
+                        reason: "idle timeout".to_string(),
+                    },
+                );
+                return;
+            }
+        }
+        if line.trim().is_empty() {
             continue;
         }
 
@@ -319,9 +442,13 @@ fn serve_connection(state: &Arc<State>, pool: &Arc<WorkerPool>, stream: TcpStrea
                 (op, handle_request(state, pool, req))
             }
             Err(e) => (
+                // The prefix is load-bearing: a correct client knows its
+                // frame was well-formed, so a "malformed request" error
+                // proves in-flight corruption and is safe to retry (see
+                // `RetryPolicy::is_retryable`).
                 "malformed",
                 Response::Error {
-                    message: e.to_string(),
+                    message: format!("malformed request: {e}"),
                 },
             ),
         };
@@ -333,15 +460,13 @@ fn serve_connection(state: &Arc<State>, pool: &Arc<WorkerPool>, stream: TcpStrea
         if write_response(&mut writer, &response).is_err() {
             return;
         }
+        last_activity = Instant::now();
         if closing {
             if let Response::Bye { reason } = &response {
                 if reason == "shutdown" {
                     state.request_shutdown();
                 }
             }
-            return;
-        }
-        if eof {
             return;
         }
     }
@@ -362,6 +487,7 @@ fn handle_request(state: &Arc<State>, pool: &Arc<WorkerPool>, req: Request) -> R
         },
         Request::Stats => {
             state.sync_gauges();
+            state.metrics.set_worker_panics(pool.panic_count());
             Response::Stats {
                 data: state.metrics.snapshot(),
             }
@@ -407,19 +533,41 @@ fn handle_request(state: &Arc<State>, pool: &Arc<WorkerPool>, req: Request) -> R
     }
 }
 
-/// Run `job` on the worker pool and block for its reply.
+/// Run `job` on the worker pool and block for its reply. A panicking
+/// job is caught *inside* the submitted closure so the panic message
+/// can ride back to the caller as an error string (the worker-loop
+/// `catch_unwind` is the backstop for jobs submitted without a reply
+/// channel); the worker thread survives either way.
 fn on_pool<T: Send + 'static>(
     pool: &Arc<WorkerPool>,
     job: impl FnOnce() -> T + Send + 'static,
 ) -> Result<T, String> {
     let (tx, rx) = mpsc::channel();
+    let pool_for_job = Arc::clone(pool);
     let submitted = pool.submit(Box::new(move || {
-        let _ = tx.send(job());
+        match catch_unwind(AssertUnwindSafe(job)) {
+            Ok(value) => {
+                let _ = tx.send(Ok(value));
+            }
+            Err(payload) => {
+                pool_for_job.note_panic();
+                folearn_obs::count(folearn_obs::Counter::WorkerPanics, 1);
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .copied()
+                    .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+                    .unwrap_or("non-string panic payload");
+                let _ = tx.send(Err(format!("worker panicked: {message}")));
+            }
+        }
     }));
     if !submitted {
         return Err("server is shutting down".to_string());
     }
-    rx.recv().map_err(|_| "worker failed".to_string())
+    match rx.recv() {
+        Ok(result) => result,
+        Err(_) => Err("worker failed".to_string()),
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -669,5 +817,23 @@ fn handle_modelcheck(
         Err(e) => Response::Error {
             message: format!("modelcheck: {e}"),
         },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn on_pool_surfaces_panics_as_errors_and_the_pool_survives() {
+        let pool = Arc::new(WorkerPool::new(1, 4));
+        let err = on_pool::<()>(&pool, || panic!("boom at level {}", 3)).unwrap_err();
+        assert!(err.starts_with("worker panicked"), "{err:?}");
+        assert!(err.contains("boom at level 3"), "{err:?}");
+        assert_eq!(pool.panic_count(), 1);
+        assert_eq!(pool.num_workers(), 1);
+        // The single worker survived and still serves (a handler would
+        // turn the Err above into a `Response::Error` for the client).
+        assert_eq!(on_pool(&pool, || 6 * 7).unwrap(), 42);
     }
 }

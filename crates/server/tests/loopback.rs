@@ -1,10 +1,17 @@
 //! End-to-end daemon tests over a real loopback socket: register, solve
 //! (cold and cached), evaluate, model-check, stats, bad requests, the
-//! request limit, and graceful shutdown.
+//! request limit, connection-lifecycle limits (oversized frames,
+//! truncated frames, idle timeout, connection cap), and graceful
+//! shutdown.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
 
 use folearn_server::proto::{hex64, Json, Request, Response};
 use folearn_server::{
-    start, Client, ClientError, LoadgenConfig, ServerConfig, SolverSpec, WireExample,
+    start, Client, ClientApi, ClientError, LoadgenConfig, ServerConfig, SolverSpec,
+    WireExample,
 };
 
 const GRAPH: &str = "colors Red Blue\nvertices 6\nedge 0 1\nedge 1 2\nedge 2 3\nedge 3 4\nedge 4 5\ncolor 0 Red\ncolor 2 Red\ncolor 4 Red\ncolor 1 Blue\ncolor 3 Blue\ncolor 5 Blue\n";
@@ -269,11 +276,12 @@ fn loadgen_smoke_hits_the_cache() {
         sample_pool: 3,
         ell: 1,
         q: 1,
+        ..LoadgenConfig::default()
     };
-    let report =
-        folearn_server::loadgen::run_load(handle.addr(), GRAPH, &config).expect("load run");
+    let report = folearn_server::loadgen::run_load(handle.addr(), GRAPH, &config);
     assert_eq!(report.requests, 2 * (25 + 1)); // +1 register per worker
     assert_eq!(report.errors, 0);
+    assert!(report.worker_errors.is_empty(), "{:?}", report.worker_errors);
     assert!(
         report.cached_solves > 0,
         "small sample pool must produce repeat solves"
@@ -287,5 +295,153 @@ fn loadgen_smoke_hits_the_cache() {
         .map(|(_, s)| s)
         .expect("solve stats");
     assert!(solve.quantile_us(0.5) > 0);
+    handle.shutdown();
+}
+
+/// Read one newline-terminated response from a raw socket.
+fn read_reply(stream: TcpStream) -> Response {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("a reply line");
+    Response::decode(line.trim_end()).expect("a protocol response")
+}
+
+#[test]
+fn raw_garbage_gets_a_malformed_request_error() {
+    let handle = start(&ServerConfig::default()).expect("server starts");
+    let mut s = TcpStream::connect(handle.addr()).expect("connect");
+    s.write_all(b"this is not protocol json\n").expect("write");
+    match read_reply(s) {
+        Response::Error { message } => assert!(
+            message.starts_with("malformed request"),
+            "retryability contract: the prefix marks in-flight corruption, got {message:?}"
+        ),
+        other => panic!("expected error, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_frame_is_rejected_and_the_connection_closed() {
+    let config = ServerConfig {
+        max_line_bytes: 128,
+        ..ServerConfig::default()
+    };
+    let handle = start(&config).expect("server starts");
+    let mut s = TcpStream::connect(handle.addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    // A newline-less byte stream much longer than the limit: the old
+    // code grew `line` without bound; now the server must cut in with
+    // one error and close.
+    s.write_all(&vec![b'a'; 4096]).expect("write");
+    let mut reader = BufReader::new(s.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("a reply line");
+    match Response::decode(line.trim_end()).expect("a protocol response") {
+        Response::Error { message } => {
+            assert!(message.starts_with("malformed request"), "{message:?}");
+            assert!(message.contains("exceeds 128 bytes"), "{message:?}");
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+    // ... and then EOF: the connection is gone.
+    let mut rest = Vec::new();
+    assert_eq!(reader.read_to_end(&mut rest).expect("eof"), 0);
+    handle.shutdown();
+}
+
+#[test]
+fn eof_mid_frame_is_rejected_not_served() {
+    let handle = start(&ServerConfig::default()).expect("server starts");
+    let mut s = TcpStream::connect(handle.addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    // A COMPLETE, valid ping — minus the terminating newline — followed
+    // by write-shutdown. The old code served the partial frame (pong);
+    // a truncated frame must be rejected instead.
+    s.write_all(Request::Ping.encode().as_bytes()).expect("write");
+    s.shutdown(Shutdown::Write).expect("half-close");
+    match read_reply(s) {
+        Response::Error { message } => {
+            assert!(message.starts_with("malformed request"), "{message:?}");
+            assert!(message.contains("truncated"), "{message:?}");
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn idle_connections_are_closed_with_bye() {
+    let config = ServerConfig {
+        idle_timeout: Duration::from_millis(250),
+        ..ServerConfig::default()
+    };
+    let handle = start(&config).expect("server starts");
+    let s = TcpStream::connect(handle.addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    // Send nothing: within idle_timeout (+ one poll interval) the
+    // server must say bye and hang up.
+    match read_reply(s) {
+        Response::Bye { reason } => assert_eq!(reason, "idle timeout"),
+        other => panic!("expected bye, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn connection_cap_turns_new_connections_away() {
+    let config = ServerConfig {
+        max_connections: 2,
+        ..ServerConfig::default()
+    };
+    let handle = start(&config).expect("server starts");
+    let mut c1 = Client::connect(handle.addr()).expect("conn 1");
+    let mut c2 = Client::connect(handle.addr()).expect("conn 2");
+    c1.ping().expect("conn 1 live");
+    c2.ping().expect("conn 2 live");
+    // Third concurrent connection: greeted with bye, never served.
+    let s3 = TcpStream::connect(handle.addr()).expect("conn 3 tcp");
+    s3.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    match read_reply(s3) {
+        Response::Bye { reason } => assert_eq!(reason, "connection limit"),
+        other => panic!("expected bye, got {other:?}"),
+    }
+    // Freeing a slot lets a fresh connection in (finished handles are
+    // reaped on accept).
+    drop(c1);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let mut c4 = loop {
+        let mut c = Client::connect(handle.addr()).expect("conn 4 tcp");
+        match c.ping() {
+            Ok(()) => break c,
+            Err(_) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => panic!("slot never freed: {e}"),
+        }
+    };
+    c4.ping().expect("conn 4 live");
+    handle.shutdown();
+}
+
+#[test]
+fn connection_handles_are_reaped_not_leaked() {
+    let handle = start(&ServerConfig::default()).expect("server starts");
+    // Many short-lived sequential connections: without reaping, the
+    // tracked vector grows one handle per connection forever.
+    for _ in 0..20 {
+        let mut c = Client::connect(handle.addr()).expect("connect");
+        c.ping().expect("ping");
+        drop(c);
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // One more accept triggers a reap of everything already finished.
+    let mut last = Client::connect(handle.addr()).expect("connect");
+    last.ping().expect("ping");
+    assert!(
+        handle.tracked_connections() <= 5,
+        "tracked handles stay bounded, got {}",
+        handle.tracked_connections()
+    );
     handle.shutdown();
 }

@@ -45,6 +45,14 @@ wait "$SERVER_PID"
 SERVER_PID=
 grep -q 'shut down cleanly' "$SMOKE/server.log"
 
+# --- fault-injection smoke test (hermetic: loopback only) -----------------
+# Drives the Lemma 7 reduction and a loadgen mix through the deterministic
+# chaos proxy under every fault mode; the binary exits nonzero unless all
+# reports are bit-identical to in-process and no error went unrecovered.
+target/release/exp_e19_faults "$SMOKE/BENCH_fault.json" > "$SMOKE/e19.txt"
+grep -q 'verdict: PASS' "$SMOKE/e19.txt"
+grep -q '"unrecovered_errors": 0' "$SMOKE/BENCH_fault.json"
+
 # --- tracing smoke test (hermetic: local files only) ----------------------
 # A traced learn writes a JSONL span tree; `folearn trace` reads it back
 # and prints the per-name rollup with the sweep's work counters.

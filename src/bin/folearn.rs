@@ -18,8 +18,11 @@ USAGE:
   folearn types      --graph G.txt [--q N] [--k N]
   folearn dot        --graph G.txt
   folearn serve      [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
-                     [--max-requests N] [--addr-file PATH]
+                     [--max-requests N] [--addr-file PATH] [--max-line BYTES]
+                     [--idle-ms MS] [--max-conns N]
   folearn client     --addr HOST:PORT --action ACTION ...
+                     [--timeout-ms MS (0 = none)] [--retries N (0 = none)]
+                     [--retry-seed N]
                      ACTION: ping | register --graph G.txt
                            | solve --graph G.txt --examples E.txt
                                    [--ell N] [--q N] [--solver brute|nd]
@@ -29,6 +32,7 @@ USAGE:
                            | stats | shutdown
   folearn loadgen    --addr HOST:PORT --graph G.txt [--connections N]
                      [--requests N] [--seed N] [--pool N] [--ell N] [--q N]
+                     [--timeout-ms MS] [--retries N] [--retry-seed N]
 
 Graph files use the line format:
   colors Red Blue

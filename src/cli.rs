@@ -11,9 +11,9 @@
 //! * `types      --graph G.txt [--q N] [--k N]`
 //! * `dot        --graph G.txt`
 //! * `trace      --file T.jsonl`
-//! * `serve      [--addr H:P] [--workers N] [--queue N] [--cache N] [--max-requests N] [--addr-file PATH] [--trace on|off]`
-//! * `client     --addr H:P --action ping|register|solve|evaluate|modelcheck|stats|shutdown …`
-//! * `loadgen    --addr H:P --graph G.txt [--connections N] [--requests N] [--seed N] [--pool N]`
+//! * `serve      [--addr H:P] [--workers N] [--queue N] [--cache N] [--max-requests N] [--max-line BYTES] [--idle-ms N] [--max-conns N] [--addr-file PATH] [--trace on|off]`
+//! * `client     --addr H:P --action ping|register|solve|evaluate|modelcheck|stats|shutdown [--timeout-ms N] [--retries N] [--retry-seed N] …`
+//! * `loadgen    --addr H:P --graph G.txt [--connections N] [--requests N] [--seed N] [--pool N] [--timeout-ms N] [--retries N] [--retry-seed N]`
 //!
 //! Graphs use the `folearn_graph::io` exchange format; example files have
 //! one example per line: a `+` or `-` label followed by the vertex indices
@@ -31,7 +31,10 @@ use folearn_graph::{io, Graph, V};
 use folearn_logic::{eval, parser};
 use folearn_server::proto::{hex64, parse_hex64};
 use folearn_server::server::MAX_SOLVER_THREADS;
-use folearn_server::{Client, LoadgenConfig, ServerConfig, SolverSpec, WireExample};
+use folearn_server::{
+    ClientApi, ClientConfig, LoadgenConfig, RetryPolicy, RetryingClient, ServerConfig,
+    SolverSpec, WireExample,
+};
 use folearn_types::census;
 
 /// A fatal CLI error (message for the user).
@@ -350,6 +353,7 @@ fn cmd_types(opts: &Options) -> Result<String, CliError> {
 /// `--addr-file PATH`, also written to a file so scripts can discover
 /// it without parsing output.
 fn cmd_serve(opts: &Options) -> Result<String, CliError> {
+    let defaults = ServerConfig::default();
     let config = ServerConfig {
         addr: opts.get("addr").unwrap_or("127.0.0.1:0").to_string(),
         workers: opts.get_usize("workers", 0)?,
@@ -357,6 +361,11 @@ fn cmd_serve(opts: &Options) -> Result<String, CliError> {
         cache_capacity: opts.get_usize("cache", 256)?,
         max_requests_per_conn: opts.get_usize("max-requests", 100_000)?,
         trace: parse_on_off(opts.get("trace").unwrap_or("on"), "trace")?,
+        max_line_bytes: opts.get_usize("max-line", defaults.max_line_bytes)?,
+        idle_timeout: std::time::Duration::from_millis(
+            opts.get_usize("idle-ms", defaults.idle_timeout.as_millis() as usize)? as u64,
+        ),
+        max_connections: opts.get_usize("max-conns", defaults.max_connections)?,
     };
     let handle = folearn_server::start(&config)
         .map_err(|e| err(format!("cannot bind {}: {e}", config.addr)))?;
@@ -402,11 +411,28 @@ fn wire_examples(opts: &Options, g: &Graph) -> Result<Vec<WireExample>, CliError
         .collect())
 }
 
+/// Client deadline/retry knobs shared by `client` and `loadgen`:
+/// `--timeout-ms N` sets connect/read/write deadlines (default: none),
+/// `--retries N` enables backoff-and-reconnect (default: 0, fail fast),
+/// `--retry-seed N` makes the backoff jitter reproducible.
+fn parse_client_knobs(opts: &Options) -> Result<(ClientConfig, RetryPolicy), CliError> {
+    let config = match opts.get_usize("timeout-ms", 0)? {
+        0 => ClientConfig::default(),
+        ms => ClientConfig::with_deadline(std::time::Duration::from_millis(ms as u64)),
+    };
+    let policy = match opts.get_usize("retries", 0)? {
+        0 => RetryPolicy::none(),
+        n => RetryPolicy::backoff(n as u32, opts.get_usize("retry-seed", 0)? as u64),
+    };
+    Ok((config, policy))
+}
+
 /// `folearn client`: one request/response exchange with a daemon.
 fn cmd_client(opts: &Options) -> Result<String, CliError> {
     let addr = opts.require("addr")?;
-    let mut client =
-        Client::connect(addr).map_err(|e| err(format!("cannot connect to {addr}: {e}")))?;
+    let (config, policy) = parse_client_knobs(opts)?;
+    let mut client = RetryingClient::connect(addr, config, policy)
+        .map_err(|e| err(format!("cannot connect to {addr}: {e}")))?;
     let net = |e: folearn_server::ClientError| err(e.to_string());
     match opts.require("action")? {
         "ping" => {
@@ -499,6 +525,7 @@ fn cmd_loadgen(opts: &Options) -> Result<String, CliError> {
         .parse()
         .map_err(|_| err(format!("--addr expects host:port, got {addr_str:?}")))?;
     let g = load_graph(opts)?;
+    let (client, retry) = parse_client_knobs(opts)?;
     let config = LoadgenConfig {
         connections: opts.get_usize("connections", 2)?.max(1),
         requests_per_conn: opts.get_usize("requests", 40)?,
@@ -506,9 +533,10 @@ fn cmd_loadgen(opts: &Options) -> Result<String, CliError> {
         sample_pool: opts.get_usize("pool", 4)?.max(1),
         ell: opts.get_usize("ell", 1)?,
         q: opts.get_usize("q", 1)?,
+        client,
+        retry,
     };
-    let report = folearn_server::loadgen::run_load(addr, &io::to_text(&g), &config)
-        .map_err(|e| err(format!("load run failed: {e}")))?;
+    let report = folearn_server::loadgen::run_load(addr, &io::to_text(&g), &config);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -524,6 +552,16 @@ fn cmd_loadgen(opts: &Options) -> Result<String, CliError> {
         "solves: {} fresh, {} cached",
         report.fresh_solves, report.cached_solves
     );
+    if report.retries > 0 || report.reconnects > 0 {
+        let _ = writeln!(
+            out,
+            "transport: {} retries, {} reconnects",
+            report.retries, report.reconnects
+        );
+    }
+    for (worker, error) in &report.worker_errors {
+        let _ = writeln!(out, "worker {worker} failed: {error}");
+    }
     for (op, stats) in &report.ops {
         let _ = writeln!(
             out,

@@ -28,8 +28,8 @@ fn bench_files() -> Vec<(String, String)> {
 fn every_bench_artifact_parses_and_names_its_experiment() {
     let files = bench_files();
     assert!(
-        files.len() >= 3,
-        "expected the E16/E17/E18 artifacts at least, found {:?}",
+        files.len() >= 4,
+        "expected the E16/E17/E18/E19 artifacts at least, found {:?}",
         files.iter().map(|(n, _)| n).collect::<Vec<_>>()
     );
     for (name, text) in &files {
@@ -64,5 +64,49 @@ fn bench_artifacts_respect_their_own_acceptance_flags() {
         if let Some(flag) = v.get("all_bit_identical").and_then(Json::as_bool) {
             assert!(flag, "{name}: all_bit_identical is false");
         }
+    }
+}
+
+#[test]
+fn the_fault_artifact_records_full_recovery() {
+    let (name, text) = bench_files()
+        .into_iter()
+        .find(|(n, _)| n == "BENCH_fault.json")
+        .expect("the E19 fault-injection artifact must be committed");
+    let v = Json::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+    assert_eq!(v.get("experiment").and_then(Json::as_str), Some("E19"));
+    // The acceptance criterion: every injected fault was absorbed by the
+    // retry layer. A nonzero count here is a broken build, not a data
+    // point — the run that produced the artifact failed its own verdict.
+    let unrecovered = v
+        .get("unrecovered_errors")
+        .and_then(Json::as_usize)
+        .unwrap_or_else(|| panic!("{name}: missing unrecovered_errors"));
+    assert_eq!(unrecovered, 0, "{name}: faults went unrecovered");
+    // And the run must actually have exercised the fault path: an artifact
+    // produced against a transparent proxy proves nothing.
+    let faults = v
+        .get("total_faults_injected")
+        .and_then(Json::as_usize)
+        .unwrap_or(0);
+    assert!(faults > 0, "{name}: no faults were injected");
+    // Retry histograms must be bounded by the configured retry cap.
+    let cap = v.get("max_retries").and_then(Json::as_usize).unwrap_or(0);
+    let mut histograms: Vec<&Json> = Vec::new();
+    if let Some(Json::Arr(modes)) = v.get("modes") {
+        histograms.extend(modes.iter().filter_map(|m| m.get("retry_histogram")));
+    }
+    if let Some(h) = v.get("loadgen").and_then(|l| l.get("retry_histogram")) {
+        histograms.push(h);
+    }
+    assert!(!histograms.is_empty(), "{name}: no retry histograms");
+    for h in histograms {
+        let Json::Arr(buckets) = h else {
+            panic!("{name}: retry_histogram is not an array")
+        };
+        assert!(
+            buckets.len() <= cap + 1,
+            "{name}: a call retried more than the configured cap {cap}"
+        );
     }
 }
