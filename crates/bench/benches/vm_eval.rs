@@ -1,0 +1,47 @@
+//! Criterion bench: tree-walking vs compiled-VM formula evaluation on
+//! the E3 sweep's formula family — a full-vertex verdict sweep per
+//! iteration, which is exactly the inner loop a brute-force parameter
+//! sweep pays once per parameter tuple.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use folearn_logic::eval::{self, Assignment};
+use folearn_logic::parse;
+use folearn_logic::vm::{popcount, Evaluator, Program, VmGraph};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vm_eval");
+    for n in [64usize, 256, 1024] {
+        let g = folearn_bench::red_tree(n, 4, 11);
+        let phi = parse(
+            "exists x1. E(x0, x1) & Red(x1) & exists x2. E(x1, x2) & !Red(x2)",
+            g.vocab(),
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("tree_walk", n), &n, |b, _| {
+            b.iter(|| {
+                let mut scratch = Assignment::new();
+                let mut count = 0usize;
+                for v in g.vertices() {
+                    if eval::satisfies_with_scratch(&g, &phi, &[v], &mut scratch) {
+                        count += 1;
+                    }
+                }
+                count
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("vm_batched", n), &n, |b, _| {
+            // Compile once, like the sweep would; each iteration is one
+            // batched run over all n lanes.
+            let prog = Program::compile(&phi, 0, &[]);
+            let vg = VmGraph::new(&g);
+            b.iter(|| {
+                let mut ev = Evaluator::new(&prog, &vg);
+                popcount(ev.run(&[]))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

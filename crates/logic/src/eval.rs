@@ -29,6 +29,14 @@ impl Assignment {
         }
     }
 
+    /// Rebind the assignment to exactly `x0 … x{k-1} ↦ tuple`, dropping
+    /// every other binding. Reuses the slot buffer, so a single scratch
+    /// assignment can serve a whole tuple loop without reallocating.
+    pub fn reset_to_tuple(&mut self, tuple: &[V]) {
+        self.slots.clear();
+        self.slots.extend(tuple.iter().map(|&v| Some(v)));
+    }
+
     /// The value of a variable, if assigned.
     #[inline]
     pub fn get(&self, var: Var) -> Option<V> {
@@ -147,6 +155,18 @@ pub fn satisfies(g: &Graph, phi: &Formula, tuple: &[V]) -> bool {
     eval(g, phi, &mut Assignment::from_tuple(tuple))
 }
 
+/// [`satisfies`] with a caller-held scratch assignment: callers that
+/// evaluate `φ` over many tuples reuse one allocation for the whole loop.
+pub fn satisfies_with_scratch(
+    g: &Graph,
+    phi: &Formula,
+    tuple: &[V],
+    scratch: &mut Assignment,
+) -> bool {
+    scratch.reset_to_tuple(tuple);
+    eval(g, phi, scratch)
+}
+
 /// `G ⊨ φ` for a sentence.
 ///
 /// # Panics
@@ -161,20 +181,28 @@ pub fn models(g: &Graph, phi: &Formula) -> bool {
 pub fn query_answer(g: &Graph, phi: &Formula, k: usize) -> Vec<Vec<V>> {
     let mut out = Vec::new();
     let mut tuple = vec![V(0); k];
-    fill(g, phi, &mut tuple, 0, &mut out);
+    let mut scratch = Assignment::new();
+    fill(g, phi, &mut tuple, 0, &mut out, &mut scratch);
     out
 }
 
-fn fill(g: &Graph, phi: &Formula, tuple: &mut Vec<V>, pos: usize, out: &mut Vec<Vec<V>>) {
+fn fill(
+    g: &Graph,
+    phi: &Formula,
+    tuple: &mut Vec<V>,
+    pos: usize,
+    out: &mut Vec<Vec<V>>,
+    scratch: &mut Assignment,
+) {
     if pos == tuple.len() {
-        if satisfies(g, phi, tuple) {
+        if satisfies_with_scratch(g, phi, tuple, scratch) {
             out.push(tuple.clone());
         }
         return;
     }
     for v in g.vertices() {
         tuple[pos] = v;
-        fill(g, phi, tuple, pos + 1, out);
+        fill(g, phi, tuple, pos + 1, out, scratch);
     }
 }
 

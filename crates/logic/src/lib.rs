@@ -17,13 +17,18 @@
 //!   bounded-distance formulas via doubling, `r`-localisation of
 //!   quantifiers, and boolean simplification ([`transform`]);
 //! * seeded random formula generation for tests and benchmarks
-//!   ([`random`]).
+//!   ([`random`]);
+//! * a compiled evaluator: a register bytecode VM with batched,
+//!   bitset-parallel quantifier semantics, differentially tested against
+//!   the tree-walker and selectable via [`vm::EvalEngine`] ([`vm`]).
 
 pub mod eval;
 pub mod formula;
 pub mod parser;
 pub mod random;
 pub mod transform;
+pub mod vm;
 
 pub use formula::{Formula, Var};
 pub use parser::{parse, ParseError};
+pub use vm::EvalEngine;

@@ -1,0 +1,98 @@
+//! Word-level bitset primitives shared by the VM's register file and the
+//! precomputed graph masks.
+//!
+//! A bitset over `lanes` elements is a `&[u64]` of `words_for(lanes)`
+//! words, little-endian within and across words (lane `i` is bit
+//! `i % 64` of word `i / 64`). All operations keep the invariant that
+//! bits at positions `≥ lanes` are zero, so whole-slice comparisons and
+//! popcounts are exact.
+
+/// Bits per register word.
+pub const WORD_BITS: usize = 64;
+
+/// Number of words needed for `lanes` bits.
+#[inline]
+pub fn words_for(lanes: usize) -> usize {
+    lanes.div_ceil(WORD_BITS)
+}
+
+/// Set bit `i`.
+#[inline]
+pub fn set_bit(words: &mut [u64], i: usize) {
+    words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+}
+
+/// Read bit `i`.
+#[inline]
+pub fn get_bit(words: &[u64], i: usize) -> bool {
+    words[i / WORD_BITS] >> (i % WORD_BITS) & 1 == 1
+}
+
+/// Zero the bits at positions `≥ lanes` (the partial last word).
+#[inline]
+pub fn mask_tail(words: &mut [u64], lanes: usize) {
+    let rem = lanes % WORD_BITS;
+    if rem != 0 {
+        if let Some(last) = words.last_mut() {
+            *last &= (1u64 << rem) - 1;
+        }
+    }
+}
+
+/// The all-ones mask over `lanes` bits.
+pub fn full_mask(lanes: usize) -> Vec<u64> {
+    let mut words = vec![!0u64; words_for(lanes)];
+    mask_tail(&mut words, lanes);
+    words
+}
+
+/// Total number of set bits.
+#[inline]
+pub fn popcount(words: &[u64]) -> u64 {
+    words.iter().map(|w| u64::from(w.count_ones())).sum()
+}
+
+/// Indices of set bits, ascending.
+pub fn iter_ones(words: &[u64]) -> impl Iterator<Item = usize> + '_ {
+    words.iter().enumerate().flat_map(|(i, &word)| {
+        let mut w = word;
+        std::iter::from_fn(move || {
+            if w == 0 {
+                None
+            } else {
+                let b = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(i * WORD_BITS + b)
+            }
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizing_and_tail_masking() {
+        assert_eq!(words_for(0), 0);
+        assert_eq!(words_for(1), 1);
+        assert_eq!(words_for(64), 1);
+        assert_eq!(words_for(65), 2);
+        assert_eq!(full_mask(0), Vec::<u64>::new());
+        assert_eq!(full_mask(64), vec![!0u64]);
+        assert_eq!(full_mask(65), vec![!0u64, 1]);
+        assert_eq!(popcount(&full_mask(130)), 130);
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        let mut w = vec![0u64; 2];
+        for i in [0usize, 63, 64, 100] {
+            assert!(!get_bit(&w, i));
+            set_bit(&mut w, i);
+            assert!(get_bit(&w, i));
+        }
+        assert_eq!(iter_ones(&w).collect::<Vec<_>>(), vec![0, 63, 64, 100]);
+        assert_eq!(popcount(&w), 4);
+    }
+}

@@ -1,0 +1,564 @@
+//! The formula → bytecode compiler.
+//!
+//! A [`Program`] is a tree of *scopes*. Every scope owns a flat register
+//! file whose registers are bitsets over the scope's **axis** — one lane
+//! per candidate value of a single distinguished variable. The root
+//! scope's axis is the batch variable (one lane per vertex in batched
+//! mode, a single pseudo-lane otherwise); each quantifier opens a child
+//! scope whose axis is the quantified variable.
+//!
+//! Operand resolution happens entirely at compile time. Inside a scope,
+//! a variable occurrence is either
+//!
+//! * the scope's own axis — the atom becomes a word-parallel mask op
+//!   (adjacency row, colour mask, singleton, …), or
+//! * bound by an *enclosing* scope (or supplied by the caller) — the
+//!   atom reads the concrete vertex from the environment at run time and
+//!   broadcasts,
+//!
+//! so the interpreter never inspects the AST. Quantifiers compile down
+//! one of two paths:
+//!
+//! * **Semijoin** ([`Instr::LinkQuant`]): when the body is a conjunction
+//!   whose only axis-crossing conjuncts are `E(axis, var)` / `axis = var`
+//!   atoms, the axis-independent remainder is evaluated **once** as a
+//!   mask over the quantified variable's domain, and each lane reduces
+//!   with a single adjacency-row (or singleton) intersection. Conjuncts
+//!   that never mention the quantified variable are hoisted into the
+//!   enclosing scope as per-lane guards. This covers loop-invariant
+//!   bodies (no links, no guards) as the degenerate case and is what
+//!   makes batched evaluation beat a short-circuiting tree walk.
+//! * **Per-lane fallback** ([`Instr::Quant`]): anything else — the axis
+//!   occurs under a disjunction, a negation, or a nested quantifier —
+//!   re-runs the child scope once per enclosing lane.
+
+use crate::formula::{Formula, Var};
+
+/// A register index within one scope's register file.
+pub(crate) type Reg = u16;
+
+/// The reduction a quantifier applies to its child scope's result.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum QuantKind {
+    /// `∃`: any lane set.
+    Exists,
+    /// `∀`: all lanes set.
+    Forall,
+    /// `∃^{≥t}`: at least `t` lanes set.
+    AtLeast(u32),
+}
+
+/// An axis-crossing atom a semijoin quantifier absorbs: per enclosing
+/// lane `u`, the atom's truth over the quantified domain is a
+/// precomputed row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Link {
+    /// `E(axis, var)`: the adjacency row of `u`.
+    Edge,
+    /// `axis = var`: the singleton `{u}`.
+    Eq,
+}
+
+/// One VM instruction. `Axis` operands were resolved to the enclosing
+/// scope's axis at compile time; `Env`/`env` operands name a variable
+/// whose concrete vertex the interpreter reads from the environment.
+#[derive(Clone, Debug)]
+pub(crate) enum Instr {
+    /// `dst := ⊤/⊥` on every lane.
+    Const { dst: Reg, val: bool },
+    /// `dst[v] := (v == env[e])` — a singleton mask.
+    EqAxisEnv { dst: Reg, env: Var },
+    /// `dst := broadcast(env[a] == env[b])`.
+    EqEnvEnv { dst: Reg, a: Var, b: Var },
+    /// `dst[v] := E(v, env[e])` — copy an adjacency row.
+    EdgeAxisEnv { dst: Reg, env: Var },
+    /// `dst := broadcast(E(env[a], env[b]))`.
+    EdgeEnvEnv { dst: Reg, a: Var, b: Var },
+    /// `dst[v] := P_c(v)` — copy a colour mask.
+    ColorAxis { dst: Reg, color: usize },
+    /// `dst := broadcast(P_c(env[e]))`.
+    ColorEnv { dst: Reg, color: usize, env: Var },
+    /// `dst := ¬src` (masked to the live lanes).
+    Not { dst: Reg, src: Reg },
+    /// `dst := src₁ ∧ … ∧ srcₙ` (empty = ⊤).
+    NaryAnd { dst: Reg, srcs: Vec<Reg> },
+    /// `dst := src₁ ∨ … ∨ srcₙ` (empty = ⊥).
+    NaryOr { dst: Reg, srcs: Vec<Reg> },
+    /// Per-lane fallback quantifier: run `scope` once per lane with the
+    /// enclosing axis pinned to that lane, reduce each child result by
+    /// `kind`, and write one verdict bit per lane into `dst`.
+    Quant {
+        kind: QuantKind,
+        scope: usize,
+        dst: Reg,
+    },
+    /// Semijoin quantifier. `scope` (if any) evaluates the
+    /// axis-independent remainder **once**, yielding a mask `M` over the
+    /// quantified domain (no scope means `M = ⊤`). Then, per lane `u`:
+    /// if any `guards` bit is clear at `u` the row is `∅`, otherwise the
+    /// row is `M` intersected with each link's row for `u`; `kind`
+    /// reduces the row to the verdict bit `dst[u]`.
+    LinkQuant {
+        kind: QuantKind,
+        scope: Option<usize>,
+        links: Vec<Link>,
+        guards: Vec<Reg>,
+        dst: Reg,
+    },
+}
+
+/// One scope: a straight-line instruction sequence over a register file
+/// of `num_regs` bitsets, each a lane per value of `axis`.
+#[derive(Debug)]
+pub(crate) struct Scope {
+    pub axis: Var,
+    pub instrs: Vec<Instr>,
+    pub num_regs: usize,
+    pub result: Reg,
+}
+
+/// A compiled formula. Compile once, evaluate many times (on any graph)
+/// via [`super::Evaluator`].
+#[derive(Debug)]
+pub struct Program {
+    pub(crate) scopes: Vec<Scope>,
+    /// Whether the root axis ranges over the vertex set (batched) or a
+    /// single pseudo-lane (one assignment at a time).
+    pub(crate) batched: bool,
+    /// Environment slots (`max referenced variable + 1`).
+    pub(crate) env_len: usize,
+}
+
+impl Program {
+    /// Compile `φ` for batched evaluation: the root register file has
+    /// one lane per vertex, all bound to `axis`, so a single run yields
+    /// `φ`'s verdict for every value of `axis` at once. Every other free
+    /// variable of `φ` must be listed in `assigned` and is bound per run
+    /// through the environment.
+    ///
+    /// # Panics
+    /// Panics if `φ` mentions a variable that is neither `axis`, nor in
+    /// `assigned`, nor bound by an enclosing quantifier.
+    pub fn compile(phi: &Formula, axis: Var, assigned: &[Var]) -> Program {
+        Self::build(phi, axis, assigned, true)
+    }
+
+    /// Compile `φ` for one assignment at a time: the root register file
+    /// is a single pseudo-lane bound to a variable that cannot occur in
+    /// `φ`, and every free variable must be in `assigned`.
+    pub fn compile_single(phi: &Formula, assigned: &[Var]) -> Program {
+        let past_phi = phi.max_var().map_or(0, |m| m + 1);
+        let past_assigned = assigned.iter().copied().max().map_or(0, |m| m + 1);
+        Self::build(phi, past_phi.max(past_assigned), assigned, false)
+    }
+
+    fn build(phi: &Formula, axis: Var, assigned: &[Var], batched: bool) -> Program {
+        let mut c = Compiler {
+            scopes: Vec::new(),
+            assigned,
+        };
+        let root = c.new_scope(axis, phi, &mut Vec::new());
+        debug_assert_eq!(root, 0);
+        let env_len = usize::from(
+            phi.max_var()
+                .unwrap_or(0)
+                .max(axis)
+                .max(assigned.iter().copied().max().unwrap_or(0)),
+        ) + 1;
+        Program {
+            scopes: c.scopes,
+            batched,
+            env_len,
+        }
+    }
+
+    /// Total instructions across all scopes — the static code size.
+    pub fn num_instructions(&self) -> usize {
+        self.scopes.iter().map(|s| s.instrs.len()).sum()
+    }
+
+    /// Number of scopes (1 + number of quantifiers).
+    pub fn num_scopes(&self) -> usize {
+        self.scopes.len()
+    }
+}
+
+struct Compiler<'a> {
+    scopes: Vec<Scope>,
+    assigned: &'a [Var],
+}
+
+impl Compiler<'_> {
+    /// Compile `body` as a new scope with the given axis. `outer` is the
+    /// chain of enclosing axes, innermost last.
+    fn new_scope(&mut self, axis: Var, body: &Formula, outer: &mut Vec<Var>) -> usize {
+        let id = self.scopes.len();
+        self.scopes.push(Scope {
+            axis,
+            instrs: Vec::new(),
+            num_regs: 0,
+            result: 0,
+        });
+        outer.push(axis);
+        let mut instrs = Vec::new();
+        let mut next: Reg = 0;
+        let result = self.emit(body, &mut instrs, &mut next, outer);
+        outer.pop();
+        self.scopes[id] = Scope {
+            axis,
+            instrs,
+            num_regs: next as usize,
+            result,
+        };
+        id
+    }
+
+    fn emit(
+        &mut self,
+        phi: &Formula,
+        instrs: &mut Vec<Instr>,
+        next: &mut Reg,
+        outer: &mut Vec<Var>,
+    ) -> Reg {
+        match phi {
+            Formula::Bool(b) => {
+                let dst = alloc(next);
+                instrs.push(Instr::Const { dst, val: *b });
+                dst
+            }
+            Formula::Eq(a, b) => {
+                let dst = alloc(next);
+                let axis = *outer.last().expect("scope chain is never empty");
+                if a == b {
+                    instrs.push(Instr::Const { dst, val: true });
+                } else if *a == axis {
+                    let env = self.resolve(*b, outer);
+                    instrs.push(Instr::EqAxisEnv { dst, env });
+                } else if *b == axis {
+                    let env = self.resolve(*a, outer);
+                    instrs.push(Instr::EqAxisEnv { dst, env });
+                } else {
+                    let (a, b) = (self.resolve(*a, outer), self.resolve(*b, outer));
+                    instrs.push(Instr::EqEnvEnv { dst, a, b });
+                }
+                dst
+            }
+            Formula::Edge(a, b) => {
+                let dst = alloc(next);
+                let axis = *outer.last().expect("scope chain is never empty");
+                if a == b {
+                    // E is irreflexive: E(x, x) is ⊥ on every lane.
+                    instrs.push(Instr::Const { dst, val: false });
+                } else if *a == axis {
+                    let env = self.resolve(*b, outer);
+                    instrs.push(Instr::EdgeAxisEnv { dst, env });
+                } else if *b == axis {
+                    // E is symmetric, so the same adjacency row serves
+                    // both operand orders.
+                    let env = self.resolve(*a, outer);
+                    instrs.push(Instr::EdgeAxisEnv { dst, env });
+                } else {
+                    let (a, b) = (self.resolve(*a, outer), self.resolve(*b, outer));
+                    instrs.push(Instr::EdgeEnvEnv { dst, a, b });
+                }
+                dst
+            }
+            Formula::Color(c, v) => {
+                let dst = alloc(next);
+                let axis = *outer.last().expect("scope chain is never empty");
+                if *v == axis {
+                    instrs.push(Instr::ColorAxis {
+                        dst,
+                        color: c.index(),
+                    });
+                } else {
+                    let env = self.resolve(*v, outer);
+                    instrs.push(Instr::ColorEnv {
+                        dst,
+                        color: c.index(),
+                        env,
+                    });
+                }
+                dst
+            }
+            Formula::Not(f) => {
+                let src = self.emit(f, instrs, next, outer);
+                let dst = alloc(next);
+                instrs.push(Instr::Not { dst, src });
+                dst
+            }
+            Formula::And(fs) => {
+                let srcs: Vec<Reg> = fs.iter().map(|f| self.emit(f, instrs, next, outer)).collect();
+                let dst = alloc(next);
+                instrs.push(Instr::NaryAnd { dst, srcs });
+                dst
+            }
+            Formula::Or(fs) => {
+                let srcs: Vec<Reg> = fs.iter().map(|f| self.emit(f, instrs, next, outer)).collect();
+                let dst = alloc(next);
+                instrs.push(Instr::NaryOr { dst, srcs });
+                dst
+            }
+            Formula::Exists(v, body) => {
+                self.quant(QuantKind::Exists, *v, body, phi, instrs, next, outer)
+            }
+            Formula::Forall(v, body) => {
+                self.quant(QuantKind::Forall, *v, body, phi, instrs, next, outer)
+            }
+            Formula::CountingExists(t, v, body) => {
+                self.quant(QuantKind::AtLeast(*t), *v, body, phi, instrs, next, outer)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn quant(
+        &mut self,
+        kind: QuantKind,
+        var: Var,
+        body: &Formula,
+        node: &Formula,
+        instrs: &mut Vec<Instr>,
+        next: &mut Reg,
+        outer: &mut Vec<Var>,
+    ) -> Reg {
+        let axis = *outer.last().expect("scope chain is never empty");
+        if let Some(d) = decompose(body, axis, var) {
+            // Guards are conjuncts that never mention `var`: they hold or
+            // fail uniformly across the quantified domain, so they factor
+            // out of ∃/∀/∃^{≥t} alike (over the empty domain the verdict
+            // is decided by the reduction and the guards are irrelevant,
+            // which the zero-length row reproduces exactly).
+            let guards: Vec<Reg> = d
+                .guards
+                .iter()
+                .map(|f| self.emit(f, instrs, next, outer))
+                .collect();
+            let scope = if d.rest.is_empty() {
+                None
+            } else {
+                Some(self.new_scope_conj(var, &d.rest, outer))
+            };
+            let dst = alloc(next);
+            instrs.push(Instr::LinkQuant {
+                kind,
+                scope,
+                links: d.links,
+                guards,
+                dst,
+            });
+            return dst;
+        }
+        // The axis occurs in a shape the semijoin cannot absorb: re-run
+        // the child scope once per enclosing lane.
+        debug_assert!(node.free_vars().contains(&axis));
+        let scope = self.new_scope(var, body, outer);
+        let dst = alloc(next);
+        instrs.push(Instr::Quant { kind, scope, dst });
+        dst
+    }
+
+    /// Compile `parts` (a conjunction, split for the semijoin) as a new
+    /// scope over `axis`.
+    fn new_scope_conj(&mut self, axis: Var, parts: &[&Formula], outer: &mut Vec<Var>) -> usize {
+        if let [only] = parts {
+            return self.new_scope(axis, only, outer);
+        }
+        let id = self.scopes.len();
+        self.scopes.push(Scope {
+            axis,
+            instrs: Vec::new(),
+            num_regs: 0,
+            result: 0,
+        });
+        outer.push(axis);
+        let mut instrs = Vec::new();
+        let mut next: Reg = 0;
+        let srcs: Vec<Reg> = parts
+            .iter()
+            .map(|f| self.emit(f, &mut instrs, &mut next, outer))
+            .collect();
+        let result = alloc(&mut next);
+        instrs.push(Instr::NaryAnd { dst: result, srcs });
+        outer.pop();
+        self.scopes[id] = Scope {
+            axis,
+            instrs,
+            num_regs: next as usize,
+            result,
+        };
+        id
+    }
+
+    /// Resolve a non-axis operand: it must be bound by a strictly
+    /// enclosing scope or supplied by the caller.
+    fn resolve(&self, v: Var, outer: &[Var]) -> Var {
+        let enclosing = &outer[..outer.len() - 1];
+        assert!(
+            enclosing.contains(&v) || self.assigned.contains(&v),
+            "free variable x{v} is unassigned"
+        );
+        v
+    }
+}
+
+/// The semijoin split of a quantifier body over `var` inside a scope on
+/// `axis`.
+#[derive(Default)]
+struct Decomposed<'a> {
+    /// Axis-crossing atoms absorbed into per-lane row intersections.
+    links: Vec<Link>,
+    /// Conjuncts not mentioning `var`: hoisted into the enclosing scope.
+    guards: Vec<&'a Formula>,
+    /// Conjuncts mentioning `var` but not `axis`: the run-once remainder.
+    rest: Vec<&'a Formula>,
+}
+
+/// Split a quantifier body for [`Instr::LinkQuant`], or `None` if some
+/// conjunct couples the axis and the quantified variable in a shape the
+/// semijoin cannot absorb (under ∨, ¬, or a nested quantifier).
+fn decompose(body: &Formula, axis: Var, var: Var) -> Option<Decomposed<'_>> {
+    if var == axis {
+        // The quantifier shadows the axis, so the body cannot read it:
+        // one run-once scope covers every lane.
+        return Some(Decomposed {
+            rest: vec![body],
+            ..Decomposed::default()
+        });
+    }
+    let conjuncts: Vec<&Formula> = match body {
+        Formula::And(fs) => fs.iter().collect(),
+        f => vec![f],
+    };
+    let mut d = Decomposed::default();
+    for f in conjuncts {
+        let fv = f.free_vars();
+        if !fv.contains(&var) {
+            d.guards.push(f);
+        } else if !fv.contains(&axis) {
+            d.rest.push(f);
+        } else {
+            match f {
+                Formula::Edge(a, b) if (*a == axis && *b == var) || (*a == var && *b == axis) => {
+                    d.links.push(Link::Edge);
+                }
+                Formula::Eq(a, b) if (*a == axis && *b == var) || (*a == var && *b == axis) => {
+                    d.links.push(Link::Eq);
+                }
+                _ => return None,
+            }
+        }
+    }
+    Some(d)
+}
+
+fn alloc(next: &mut Reg) -> Reg {
+    let r = *next;
+    *next = next
+        .checked_add(1)
+        .expect("formula exceeds the VM's 65536-register scope limit");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_mirror_quantifier_nesting() {
+        // ∃x1 (E(x0,x1) ∧ ∀x2 (E(x1,x2) → x2 = x0))
+        let phi = Formula::exists(
+            1,
+            Formula::and([
+                Formula::Edge(0, 1),
+                Formula::forall(2, Formula::Edge(1, 2).implies(Formula::Eq(2, 0))),
+            ]),
+        );
+        let p = Program::compile(&phi, 0, &[]);
+        assert_eq!(p.num_scopes(), 3);
+        assert!(p.batched);
+        assert_eq!(p.env_len, 3);
+        assert!(p.num_instructions() >= 6);
+    }
+
+    #[test]
+    fn quantifiers_compile_to_semijoins_where_possible() {
+        // ∃x1 ∃x2 E(x1, x2): loop-invariant — a linkless, guardless
+        // semijoin whose run-once scope serves every lane.
+        let indep = Formula::exists(1, Formula::exists(2, Formula::Edge(1, 2)));
+        let p = Program::compile(&indep, 0, &[]);
+        let Instr::LinkQuant {
+            ref links,
+            ref guards,
+            scope,
+            ..
+        } = p.scopes[0].instrs[0]
+        else {
+            panic!("expected a semijoin quantifier");
+        };
+        assert!(links.is_empty());
+        assert!(guards.is_empty());
+        assert!(scope.is_some());
+
+        // ∃x1 E(x0, x1): a pure edge link — no child scope at all.
+        let dep = Formula::exists(1, Formula::Edge(0, 1));
+        let p = Program::compile(&dep, 0, &[]);
+        let Instr::LinkQuant {
+            ref links, scope, ..
+        } = p.scopes[0].instrs[0]
+        else {
+            panic!("expected a semijoin quantifier");
+        };
+        assert_eq!(links.as_slice(), [Link::Edge]);
+        assert!(scope.is_none());
+
+        // ∃x1 (E(x0, x1) ∧ Red(x0) ∧ Red(x1)): link + hoisted guard +
+        // run-once remainder.
+        let mixed = Formula::exists(
+            1,
+            Formula::and([
+                Formula::Edge(0, 1),
+                Formula::Color(folearn_graph::ColorId(0), 0),
+                Formula::Color(folearn_graph::ColorId(0), 1),
+            ]),
+        );
+        let p = Program::compile(&mixed, 0, &[]);
+        let quant = p.scopes[0]
+            .instrs
+            .iter()
+            .find_map(|i| match i {
+                Instr::LinkQuant {
+                    links,
+                    guards,
+                    scope,
+                    ..
+                } => Some((links.clone(), guards.len(), *scope)),
+                _ => None,
+            })
+            .expect("expected a semijoin quantifier");
+        assert_eq!(quant.0, [Link::Edge]);
+        assert_eq!(quant.1, 1);
+        assert!(quant.2.is_some());
+
+        // ∃x1 (E(x0, x1) ∨ x0 = x1): the axis under ∨ defeats the
+        // semijoin — per-lane fallback.
+        let hard = Formula::exists(1, Formula::or([Formula::Edge(0, 1), Formula::Eq(0, 1)]));
+        let p = Program::compile(&hard, 0, &[]);
+        assert!(matches!(p.scopes[0].instrs[0], Instr::Quant { .. }));
+    }
+
+    #[test]
+    fn single_mode_uses_a_fresh_axis() {
+        let phi = Formula::exists(1, Formula::Edge(0, 1));
+        let p = Program::compile_single(&phi, &[0]);
+        assert!(!p.batched);
+        assert_eq!(p.scopes[0].axis, 2); // past max_var = 1
+    }
+
+    #[test]
+    #[should_panic(expected = "unassigned")]
+    fn unassigned_variable_is_a_compile_error() {
+        let phi = Formula::Eq(0, 5);
+        let _ = Program::compile_single(&phi, &[0]);
+    }
+}

@@ -1,0 +1,142 @@
+//! Bitset view of a graph, precomputed once per structure.
+//!
+//! The VM never touches the CSR graph during interpretation: every atom
+//! is answered from these masks. `adj` stores one adjacency row per
+//! vertex (bit `v` of row `u` ⇔ `has_edge(u, v)`; rows are irreflexive
+//! like the evaluator's edge semantics, and symmetric because graphs are
+//! undirected), `colors` one vertex mask per colour of the vocabulary.
+
+use folearn_graph::{ColorId, Graph};
+
+use super::bitset::{full_mask, set_bit, words_for};
+
+/// Per-graph bitset tables for the VM: adjacency rows, colour masks, and
+/// the all-vertices mask.
+#[derive(Clone, Debug)]
+pub struct VmGraph {
+    n: usize,
+    words: usize,
+    /// `n` rows of `words` words each.
+    adj: Vec<u64>,
+    /// `num_colors` rows of `words` words each.
+    colors: Vec<u64>,
+    num_colors: usize,
+    /// All-ones over the `n` vertex lanes.
+    full: Vec<u64>,
+}
+
+impl VmGraph {
+    /// Precompute the masks for `g`. `O(n²/64 + m + n·c)` time and
+    /// `O(n²/64)` space — paid once per structure, amortised over every
+    /// batch the VM evaluates against it.
+    pub fn new(g: &Graph) -> Self {
+        let n = g.num_vertices();
+        let words = words_for(n);
+        let mut adj = vec![0u64; n * words];
+        for u in g.vertices() {
+            let row = &mut adj[u.index() * words..][..words];
+            for &t in g.neighbors(u) {
+                if t != u.0 {
+                    set_bit(row, t as usize);
+                }
+            }
+        }
+        let num_colors = g.vocab().num_colors();
+        let mut colors = vec![0u64; num_colors * words];
+        for c in 0..num_colors {
+            let row = &mut colors[c * words..][..words];
+            for v in g.vertices() {
+                if g.has_color(v, ColorId(c as u16)) {
+                    set_bit(row, v.index());
+                }
+            }
+        }
+        Self {
+            n,
+            words,
+            adj,
+            colors,
+            num_colors,
+            full: full_mask(n),
+        }
+    }
+
+    /// Number of vertices (lanes of a vertex-domain register).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Words per vertex-domain register.
+    #[inline]
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Number of colours in the vocabulary.
+    #[inline]
+    pub fn num_colors(&self) -> usize {
+        self.num_colors
+    }
+
+    /// The neighbourhood mask of vertex `v`.
+    #[inline]
+    pub fn adj_row(&self, v: usize) -> &[u64] {
+        &self.adj[v * self.words..][..self.words]
+    }
+
+    /// The vertex mask of colour `c`.
+    #[inline]
+    pub fn color_row(&self, c: usize) -> &[u64] {
+        &self.colors[c * self.words..][..self.words]
+    }
+
+    /// The all-vertices mask.
+    #[inline]
+    pub fn full(&self) -> &[u64] {
+        &self.full
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use folearn_graph::{generators, ColorId, Vocabulary};
+
+    use super::super::bitset::{get_bit, popcount};
+    use super::*;
+
+    #[test]
+    fn masks_match_the_graph() {
+        let g = generators::periodically_colored(
+            &generators::path(70, Vocabulary::new(["Red"])),
+            ColorId(0),
+            3,
+        );
+        let vg = VmGraph::new(&g);
+        assert_eq!(vg.num_vertices(), 70);
+        assert_eq!(vg.words(), 2);
+        for u in g.vertices() {
+            for v in g.vertices() {
+                assert_eq!(
+                    get_bit(vg.adj_row(u.index()), v.index()),
+                    g.has_edge(u, v),
+                    "adjacency mismatch at ({u}, {v})"
+                );
+            }
+            assert_eq!(
+                get_bit(vg.color_row(0), u.index()),
+                g.has_color(u, ColorId(0))
+            );
+        }
+        assert_eq!(popcount(vg.full()), 70);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = generators::path(0, Vocabulary::empty());
+        let vg = VmGraph::new(&g);
+        assert_eq!(vg.num_vertices(), 0);
+        assert_eq!(vg.words(), 0);
+        assert!(vg.full().is_empty());
+    }
+}

@@ -1,0 +1,460 @@
+//! The batch interpreter.
+//!
+//! An [`Evaluator`] pins a [`Program`] to a [`VmGraph`] and owns one
+//! preallocated register bank per scope (scopes are a tree and never
+//! re-entered concurrently, so banks are reused across runs and lanes
+//! with zero allocation on the hot path). Boolean connectives and atoms
+//! execute word-parallel over the whole lane set. Quantifiers come in
+//! two flavours: a semijoin `LinkQuant` evaluates its run-once remainder
+//! scope a single time and reduces each lane with adjacency-row
+//! intersections, while the fallback `Quant` is the only construct that
+//! re-runs a child scope per lane; both reduce with `any` / `all` /
+//! `popcount ≥ t`.
+//!
+//! Work accounting: the evaluator tallies instructions dispatched, lanes
+//! covered, and bitset words touched into a [`VmStats`], and flushes the
+//! totals into the `folearn-obs` counters (`vm_instructions`,
+//! `vm_batch_lanes`, `vm_words_scanned`) when dropped or on
+//! [`Evaluator::flush_counters`] — so any enclosing span (e.g. the
+//! server's `server.solve`) picks them up automatically.
+
+use folearn_graph::V;
+use folearn_obs::{count, Counter};
+
+use crate::formula::Var;
+
+use super::bitset::{get_bit, set_bit};
+use super::compile::{Instr, Link, Program, QuantKind};
+use super::graph::VmGraph;
+
+/// Work performed by a VM evaluator: the numbers behind the
+/// `vm_*` obs counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VmStats {
+    /// Instructions dispatched (each covers a whole batch of lanes).
+    pub instructions: u64,
+    /// Lanes covered across dispatches (instructions × batch width).
+    pub batch_lanes: u64,
+    /// `u64` bitset words read or written.
+    pub words_scanned: u64,
+}
+
+impl VmStats {
+    /// Accumulate another stats block.
+    pub fn merge(&mut self, other: VmStats) {
+        self.instructions += other.instructions;
+        self.batch_lanes += other.batch_lanes;
+        self.words_scanned += other.words_scanned;
+    }
+}
+
+/// A program pinned to a graph, with preallocated register banks.
+pub struct Evaluator<'a> {
+    prog: &'a Program,
+    g: &'a VmGraph,
+    /// One register bank per scope: `num_regs × words` words.
+    banks: Vec<Vec<u64>>,
+    /// `(lanes, words)` per scope.
+    dims: Vec<(usize, usize)>,
+    /// Concrete vertex per environment variable.
+    env: Vec<u32>,
+    /// Scratch row for semijoin reductions (one word per vertex word).
+    scratch: Vec<u64>,
+    stats: VmStats,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Allocate the register banks for `prog` over `g`.
+    pub fn new(prog: &'a Program, g: &'a VmGraph) -> Self {
+        let mut banks = Vec::with_capacity(prog.scopes.len());
+        let mut dims = Vec::with_capacity(prog.scopes.len());
+        for (i, s) in prog.scopes.iter().enumerate() {
+            let (lanes, words) = if i == 0 && !prog.batched {
+                (1, 1)
+            } else {
+                (g.num_vertices(), g.words())
+            };
+            dims.push((lanes, words));
+            banks.push(vec![0u64; s.num_regs * words]);
+        }
+        Self {
+            prog,
+            g,
+            banks,
+            dims,
+            env: vec![0u32; prog.env_len],
+            scratch: vec![0u64; g.words()],
+            stats: VmStats::default(),
+        }
+    }
+
+    /// Bind the environment variables and evaluate. Returns the root
+    /// result register: in batched mode a verdict bitset with one lane
+    /// per vertex of the axis variable; in single mode one pseudo-lane
+    /// (read it with [`Evaluator::run_bool`]).
+    pub fn run(&mut self, bindings: &[(Var, V)]) -> &[u64] {
+        for &(var, v) in bindings {
+            if (var as usize) < self.env.len() {
+                self.env[var as usize] = v.0;
+            }
+        }
+        self.exec_scope(0);
+        let (_, w) = self.dims[0];
+        let r = self.prog.scopes[0].result as usize;
+        &self.banks[0][r * w..][..w]
+    }
+
+    /// Evaluate a single-assignment program and return its verdict.
+    pub fn run_bool(&mut self, bindings: &[(Var, V)]) -> bool {
+        debug_assert!(!self.prog.batched, "run_bool is for compile_single programs");
+        self.run(bindings)[0] & 1 == 1
+    }
+
+    /// The work tallied so far (since construction or the last flush).
+    pub fn stats(&self) -> VmStats {
+        self.stats
+    }
+
+    /// Flush the tallied work into the obs counters and reset the tally.
+    pub fn flush_counters(&mut self) {
+        let s = std::mem::take(&mut self.stats);
+        if s.instructions > 0 {
+            count(Counter::VmInstructions, s.instructions);
+            count(Counter::VmBatchLanes, s.batch_lanes);
+            count(Counter::VmWordsScanned, s.words_scanned);
+        }
+    }
+
+    fn exec_scope(&mut self, s: usize) {
+        let prog = self.prog;
+        let g = self.g;
+        let (lanes, w) = self.dims[s];
+        let single_lane_full = [1u64];
+        let full: &[u64] = if s == 0 && !prog.batched {
+            &single_lane_full
+        } else {
+            g.full()
+        };
+        // Take the bank out so child scopes can be executed (each scope
+        // is referenced by exactly one Quant instruction, so `s` is never
+        // re-entered while its bank is out).
+        let mut bank = std::mem::take(&mut self.banks[s]);
+        for instr in &prog.scopes[s].instrs {
+            self.stats.instructions += 1;
+            self.stats.batch_lanes += lanes as u64;
+            match *instr {
+                Instr::Const { dst, val } => {
+                    let d = dst as usize * w;
+                    if val {
+                        bank[d..d + w].copy_from_slice(full);
+                    } else {
+                        bank[d..d + w].fill(0);
+                    }
+                    self.stats.words_scanned += w as u64;
+                }
+                Instr::EqAxisEnv { dst, env } => {
+                    let d = dst as usize * w;
+                    bank[d..d + w].fill(0);
+                    let t = self.env[env as usize] as usize;
+                    if t < lanes {
+                        set_bit(&mut bank[d..d + w], t);
+                    }
+                    self.stats.words_scanned += w as u64;
+                }
+                Instr::EqEnvEnv { dst, a, b } => {
+                    let val = self.env[a as usize] == self.env[b as usize];
+                    let d = dst as usize * w;
+                    if val {
+                        bank[d..d + w].copy_from_slice(full);
+                    } else {
+                        bank[d..d + w].fill(0);
+                    }
+                    self.stats.words_scanned += w as u64;
+                }
+                Instr::EdgeAxisEnv { dst, env } => {
+                    let d = dst as usize * w;
+                    let t = self.env[env as usize] as usize;
+                    bank[d..d + w].copy_from_slice(g.adj_row(t));
+                    self.stats.words_scanned += 2 * w as u64;
+                }
+                Instr::EdgeEnvEnv { dst, a, b } => {
+                    let (a, b) = (self.env[a as usize], self.env[b as usize]);
+                    let val = super::bitset::get_bit(g.adj_row(a as usize), b as usize);
+                    let d = dst as usize * w;
+                    if val {
+                        bank[d..d + w].copy_from_slice(full);
+                    } else {
+                        bank[d..d + w].fill(0);
+                    }
+                    self.stats.words_scanned += w as u64;
+                }
+                Instr::ColorAxis { dst, color } => {
+                    assert!(
+                        color < g.num_colors(),
+                        "colour P{color} outside the graph's vocabulary"
+                    );
+                    let d = dst as usize * w;
+                    bank[d..d + w].copy_from_slice(g.color_row(color));
+                    self.stats.words_scanned += 2 * w as u64;
+                }
+                Instr::ColorEnv { dst, color, env } => {
+                    assert!(
+                        color < g.num_colors(),
+                        "colour P{color} outside the graph's vocabulary"
+                    );
+                    let t = self.env[env as usize] as usize;
+                    let val = super::bitset::get_bit(g.color_row(color), t);
+                    let d = dst as usize * w;
+                    if val {
+                        bank[d..d + w].copy_from_slice(full);
+                    } else {
+                        bank[d..d + w].fill(0);
+                    }
+                    self.stats.words_scanned += w as u64;
+                }
+                Instr::Not { dst, src } => {
+                    let (d, sr) = (dst as usize * w, src as usize * w);
+                    for i in 0..w {
+                        bank[d + i] = !bank[sr + i] & full[i];
+                    }
+                    self.stats.words_scanned += 2 * w as u64;
+                }
+                Instr::NaryAnd { dst, ref srcs } => {
+                    let d = dst as usize * w;
+                    bank[d..d + w].copy_from_slice(full);
+                    for &src in srcs {
+                        let sr = src as usize * w;
+                        for i in 0..w {
+                            bank[d + i] &= bank[sr + i];
+                        }
+                    }
+                    self.stats.words_scanned += (srcs.len() as u64 + 1) * w as u64;
+                }
+                Instr::NaryOr { dst, ref srcs } => {
+                    let d = dst as usize * w;
+                    bank[d..d + w].fill(0);
+                    for &src in srcs {
+                        let sr = src as usize * w;
+                        for i in 0..w {
+                            bank[d + i] |= bank[sr + i];
+                        }
+                    }
+                    self.stats.words_scanned += (srcs.len() as u64 + 1) * w as u64;
+                }
+                Instr::Quant { kind, scope, dst } => {
+                    let d = dst as usize * w;
+                    // The child reads this scope's axis: pin the axis
+                    // to each lane in turn. Save/restore the slot —
+                    // an inner scope may rebind the same variable,
+                    // and an outer pin must survive this loop.
+                    let axis = prog.scopes[s].axis as usize;
+                    let saved = self.env[axis];
+                    bank[d..d + w].fill(0);
+                    for lane in 0..lanes {
+                        self.env[axis] = lane as u32;
+                        self.exec_scope(scope);
+                        if self.reduce(scope, kind) {
+                            set_bit(&mut bank[d..d + w], lane);
+                        }
+                    }
+                    self.env[axis] = saved;
+                    self.stats.words_scanned += w as u64;
+                }
+                Instr::LinkQuant {
+                    kind,
+                    scope,
+                    ref links,
+                    ref guards,
+                    dst,
+                } => {
+                    // Evaluate the axis-independent remainder once; every
+                    // lane then reduces over `M ∩ links(lane)`, which is
+                    // pure word-parallel row work — no child re-runs.
+                    if let Some(sc) = scope {
+                        self.exec_scope(sc);
+                    }
+                    let cw = g.words();
+                    let cfull = g.full();
+                    let mut row = std::mem::take(&mut self.scratch);
+                    let m: Option<&[u64]> = scope.map(|sc| {
+                        let r = prog.scopes[sc].result as usize;
+                        &self.banks[sc][r * cw..][..cw]
+                    });
+                    let d = dst as usize * w;
+                    bank[d..d + w].fill(0);
+                    let mut words = 0u64;
+                    for lane in 0..lanes {
+                        let ok = guards
+                            .iter()
+                            .all(|&gr| get_bit(&bank[gr as usize * w..][..w], lane));
+                        if ok {
+                            match m {
+                                Some(m) => row[..cw].copy_from_slice(m),
+                                None => row[..cw].copy_from_slice(cfull),
+                            }
+                            for link in links {
+                                match link {
+                                    Link::Edge => {
+                                        let ar = g.adj_row(lane);
+                                        for i in 0..cw {
+                                            row[i] &= ar[i];
+                                        }
+                                    }
+                                    Link::Eq => {
+                                        let keep = get_bit(&row[..cw], lane);
+                                        row[..cw].fill(0);
+                                        if keep {
+                                            set_bit(&mut row[..cw], lane);
+                                        }
+                                    }
+                                }
+                            }
+                            words += (links.len() as u64 + 2) * cw as u64;
+                        } else {
+                            row[..cw].fill(0);
+                            words += cw as u64;
+                        }
+                        if reduce_row(&row[..cw], cfull, kind) {
+                            set_bit(&mut bank[d..d + w], lane);
+                        }
+                    }
+                    self.stats.words_scanned += words + w as u64;
+                    self.scratch = row;
+                }
+            }
+        }
+        self.banks[s] = bank;
+    }
+
+    /// Reduce a child scope's result bitset to one verdict. Child scopes
+    /// always range over the vertex set.
+    fn reduce(&mut self, child: usize, kind: QuantKind) -> bool {
+        let (_, w) = self.dims[child];
+        let r = self.prog.scopes[child].result as usize;
+        self.stats.words_scanned += w as u64;
+        reduce_row(&self.banks[child][r * w..][..w], self.g.full(), kind)
+    }
+}
+
+/// Reduce one row over the quantified domain to a verdict bit.
+fn reduce_row(res: &[u64], full: &[u64], kind: QuantKind) -> bool {
+    match kind {
+        QuantKind::Exists => res.iter().any(|&x| x != 0),
+        QuantKind::Forall => res == full,
+        QuantKind::AtLeast(t) => {
+            let t = u64::from(t);
+            let mut c = 0u64;
+            for &x in res {
+                c += u64::from(x.count_ones());
+                if c >= t {
+                    return true;
+                }
+            }
+            c >= t
+        }
+    }
+}
+
+impl Drop for Evaluator<'_> {
+    fn drop(&mut self) {
+        self.flush_counters();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use folearn_graph::{generators, ColorId, Vocabulary};
+
+    use crate::formula::Formula;
+    use crate::parser::parse;
+
+    use super::super::bitset::get_bit;
+    use super::*;
+
+    #[test]
+    fn batched_run_matches_per_vertex_tree_walk() {
+        let g = generators::periodically_colored(
+            &generators::path(130, Vocabulary::new(["Red"])),
+            ColorId(0),
+            3,
+        );
+        let phi = parse(
+            "exists x1. E(x0, x1) & Red(x1) & exists x2. E(x1, x2) & !Red(x2)",
+            g.vocab(),
+        )
+        .unwrap();
+        let prog = Program::compile(&phi, 0, &[]);
+        let vg = VmGraph::new(&g);
+        let mut ev = Evaluator::new(&prog, &vg);
+        let verdicts = ev.run(&[]).to_vec();
+        for v in g.vertices() {
+            assert_eq!(
+                get_bit(&verdicts, v.index()),
+                crate::eval::satisfies(&g, &phi, &[v]),
+                "diverged at {v}"
+            );
+        }
+        let stats = ev.stats();
+        assert!(stats.instructions > 0);
+        assert!(stats.batch_lanes >= stats.instructions);
+        assert!(stats.words_scanned > 0);
+    }
+
+    #[test]
+    fn shadowed_axis_restores_outer_binding() {
+        // ∃x1 ((∃x0 ∃x2 E(x0, x2)) ∧ E(x0, x1)): the inner ∃x0 pins
+        // env[x0] while iterating; the later E(x0, x1) must read the
+        // outer batch lane again.
+        let g = generators::path(5, Vocabulary::empty());
+        let phi = Formula::exists(
+            1,
+            Formula::and([
+                Formula::exists(0, Formula::exists(2, Formula::Edge(0, 2))),
+                Formula::Edge(0, 1),
+            ]),
+        );
+        let prog = Program::compile(&phi, 0, &[]);
+        let vg = VmGraph::new(&g);
+        let mut ev = Evaluator::new(&prog, &vg);
+        let verdicts = ev.run(&[]).to_vec();
+        for v in g.vertices() {
+            assert_eq!(
+                get_bit(&verdicts, v.index()),
+                crate::eval::satisfies(&g, &phi, &[v]),
+                "diverged at {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_graph_quantifiers() {
+        let g = generators::path(0, Vocabulary::empty());
+        let vg = VmGraph::new(&g);
+        for (text, expect) in [
+            ("exists x0. x0 = x0", false),
+            ("forall x0. E(x0, x0)", true),
+            ("exists^3 x0. x0 = x0", false),
+        ] {
+            let phi = parse(text, &Vocabulary::empty()).unwrap();
+            let prog = Program::compile_single(&phi, &[]);
+            let mut ev = Evaluator::new(&prog, &vg);
+            assert_eq!(ev.run_bool(&[]), expect, "{text}");
+        }
+    }
+
+    #[test]
+    fn counting_quantifier_thresholds() {
+        let g = generators::star(5, Vocabulary::empty());
+        let v = Vocabulary::empty();
+        let prog_ge2 =
+            Program::compile(&parse("exists^2 x1. E(x0, x1)", &v).unwrap(), 0, &[]);
+        let prog_ge5 =
+            Program::compile(&parse("exists^5 x1. E(x0, x1)", &v).unwrap(), 0, &[]);
+        let vg = VmGraph::new(&g);
+        let ge2 = Evaluator::new(&prog_ge2, &vg).run(&[]).to_vec();
+        let ge5 = Evaluator::new(&prog_ge5, &vg).run(&[]).to_vec();
+        assert!(get_bit(&ge2, 0)); // the centre has 4 neighbours
+        assert!(!get_bit(&ge2, 1)); // leaves have 1
+        assert!(!get_bit(&ge5, 0));
+    }
+}

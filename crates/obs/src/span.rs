@@ -56,10 +56,16 @@ pub enum Counter {
     FaultsInjected,
     /// Worker-pool jobs that panicked (isolated; the worker survives).
     WorkerPanics,
+    /// Bytecode-VM instructions dispatched (each batched over many lanes).
+    VmInstructions,
+    /// Lanes covered across VM instruction dispatches (batch widths).
+    VmBatchLanes,
+    /// `u64` bitset words read or written by VM instruction dispatches.
+    VmWordsScanned,
 }
 
 /// Number of counter slots.
-pub const COUNTERS: usize = 16;
+pub const COUNTERS: usize = 19;
 
 impl Counter {
     /// Every counter, in slot order.
@@ -80,6 +86,9 @@ impl Counter {
         Counter::Reconnects,
         Counter::FaultsInjected,
         Counter::WorkerPanics,
+        Counter::VmInstructions,
+        Counter::VmBatchLanes,
+        Counter::VmWordsScanned,
     ];
 
     /// The stable snake_case name used in exports.
@@ -101,6 +110,9 @@ impl Counter {
             Counter::Reconnects => "reconnects",
             Counter::FaultsInjected => "faults_injected",
             Counter::WorkerPanics => "worker_panics",
+            Counter::VmInstructions => "vm_instructions",
+            Counter::VmBatchLanes => "vm_batch_lanes",
+            Counter::VmWordsScanned => "vm_words_scanned",
         }
     }
 

@@ -217,11 +217,23 @@ pub trait ClientApi {
         }
     }
 
-    /// Model-check an FO sentence on a registered structure.
+    /// Model-check an FO sentence on a registered structure with the
+    /// tree-walking evaluator.
     fn modelcheck(&mut self, structure: u64, formula: &str) -> Result<bool, ClientError> {
+        self.modelcheck_with_engine(structure, formula, folearn_logic::vm::EvalEngine::TreeWalk)
+    }
+
+    /// Model-check with an explicit formula-evaluation engine.
+    fn modelcheck_with_engine(
+        &mut self,
+        structure: u64,
+        formula: &str,
+        engine: folearn_logic::vm::EvalEngine,
+    ) -> Result<bool, ClientError> {
         let req = Request::ModelCheck {
             structure,
             formula: formula.to_string(),
+            engine,
         };
         match self.call(&req)? {
             Response::Truth { holds } => Ok(holds),

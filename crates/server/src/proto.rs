@@ -14,6 +14,7 @@
 //! `f64` losslessly and therefore travel as fixed-width hex strings.
 
 use folearn::fit::TypeMode;
+use folearn_logic::vm::EvalEngine;
 
 pub use folearn_obs::json::{Json, JsonError};
 
@@ -95,6 +96,10 @@ pub enum SolverSpec {
         threads: Option<usize>,
         /// Shared-bound pruning.
         prune: bool,
+        /// Formula-evaluation backend (`tree` or `vm`). Part of the
+        /// canonical form, so it enters the solve-cache key: a `vm`
+        /// solve is never answered from a `tree` cache entry.
+        engine: EvalEngine,
     },
     /// The nowhere-dense learner (Theorem 13) with its default config.
     Nd,
@@ -109,6 +114,7 @@ impl SolverSpec {
             mode: TypeMode::Global,
             threads: None,
             prune: true,
+            engine: EvalEngine::TreeWalk,
         }
     }
 
@@ -120,6 +126,7 @@ impl SolverSpec {
                 mode,
                 threads,
                 prune,
+                engine,
             } => Json::obj([
                 ("name", Json::str("brute")),
                 ("mode", Json::str(mode.to_string())),
@@ -128,6 +135,7 @@ impl SolverSpec {
                     threads.map_or(Json::Null, Json::int),
                 ),
                 ("prune", Json::Bool(*prune)),
+                ("engine", Json::str(engine.name())),
             ]),
             SolverSpec::Nd => Json::obj([("name", Json::str("nd"))]),
         }
@@ -146,10 +154,24 @@ impl SolverSpec {
                     })?),
                 },
                 prune: get_bool(v, "prune")?,
+                engine: parse_engine(v)?,
             }),
             "nd" => Ok(SolverSpec::Nd),
             other => Err(ProtoError::new(format!("unknown solver {other:?}"))),
         }
+    }
+}
+
+/// Parse an optional `engine` field; messages from older clients omit it
+/// and get the tree-walker.
+fn parse_engine(v: &Json) -> Result<EvalEngine, ProtoError> {
+    match v.get("engine") {
+        None | Some(Json::Null) => Ok(EvalEngine::TreeWalk),
+        Some(e) => e
+            .as_str()
+            .ok_or_else(|| ProtoError::new("engine must be a string"))?
+            .parse()
+            .map_err(ProtoError::new),
     }
 }
 
@@ -197,6 +219,8 @@ pub enum Request {
         structure: u64,
         /// The sentence, in `folearn_logic::parser` syntax.
         formula: String,
+        /// Formula-evaluation backend (`tree` or `vm`).
+        engine: EvalEngine,
     },
     /// Fetch the metrics snapshot.
     Stats,
@@ -303,10 +327,15 @@ impl Request {
                     },
                 ),
             ]),
-            Request::ModelCheck { structure, formula } => Json::obj([
+            Request::ModelCheck {
+                structure,
+                formula,
+                engine,
+            } => Json::obj([
                 ("op", Json::str("modelcheck")),
                 ("structure", Json::str(hex64(*structure))),
                 ("formula", Json::str(formula.clone())),
+                ("engine", Json::str(engine.name())),
             ]),
             Request::Stats => Json::obj([("op", Json::str("stats"))]),
             Request::Shutdown => Json::obj([("op", Json::str("shutdown"))]),
@@ -382,6 +411,7 @@ impl Request {
             "modelcheck" => Ok(Request::ModelCheck {
                 structure: get_hex(v, "structure")?,
                 formula: get_str(v, "formula")?.to_string(),
+                engine: parse_engine(v)?,
             }),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
@@ -732,6 +762,7 @@ mod tests {
                     mode: TypeMode::Local { r: 2 },
                     threads: Some(4),
                     prune: true,
+                    engine: EvalEngine::Vm,
                 },
             },
             Request::Solve {
@@ -757,6 +788,7 @@ mod tests {
             Request::ModelCheck {
                 structure: 42,
                 formula: "exists x0. \"Red\"(x0)\n∧ weird".to_string(),
+                engine: EvalEngine::Vm,
             },
             Request::Stats,
             Request::Shutdown,
@@ -853,6 +885,37 @@ mod tests {
             assert!(!line.contains('\n'), "framing broken: {line:?}");
             assert_eq!(Response::decode(&line).unwrap(), resp, "{line}");
         }
+    }
+
+    #[test]
+    fn engine_field_defaults_to_tree_and_splits_cache_keys() {
+        // Messages from older clients omit `engine`.
+        let legacy = r#"{"op": "modelcheck", "structure": "000000000000002a", "formula": "t"}"#;
+        match Request::decode(legacy).unwrap() {
+            Request::ModelCheck { engine, .. } => assert_eq!(engine, EvalEngine::TreeWalk),
+            other => panic!("{other:?}"),
+        }
+        let legacy_solver =
+            Json::parse(r#"{"name": "brute", "mode": "global", "prune": true}"#).unwrap();
+        assert_eq!(
+            SolverSpec::from_json(&legacy_solver).unwrap(),
+            SolverSpec::default_brute()
+        );
+        assert!(SolverSpec::from_json(
+            &Json::parse(r#"{"name": "brute", "mode": "global", "prune": true, "engine": "warp"}"#)
+                .unwrap()
+        )
+        .is_err());
+        // The canonical form — hence the solve-cache key — distinguishes
+        // the engines.
+        let mut vm = SolverSpec::default_brute();
+        if let SolverSpec::Brute { engine, .. } = &mut vm {
+            *engine = EvalEngine::Vm;
+        }
+        assert_ne!(
+            fnv1a64(SolverSpec::default_brute().to_json().render().as_bytes()),
+            fnv1a64(vm.to_json().render().as_bytes()),
+        );
     }
 
     #[test]

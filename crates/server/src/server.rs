@@ -34,9 +34,10 @@ use std::time::{Duration, Instant};
 use folearn::bruteforce::BruteForceOpts;
 use folearn::ndlearner::NdConfig;
 use folearn::problem::{ErmInstance, TrainingSequence};
-use folearn::{solve_fo_erm, Hypothesis, SharedArena, Solver};
+use folearn::{solve_fo_erm_with_engine, Hypothesis, SharedArena, Solver};
 use folearn_graph::{io, Graph, V};
-use folearn_logic::{eval, parser};
+use folearn_logic::vm::EvalEngine;
+use folearn_logic::parser;
 use folearn_types::TypeArena;
 use parking_lot::Mutex;
 
@@ -527,9 +528,11 @@ fn handle_request(state: &Arc<State>, pool: &Arc<WorkerPool>, req: Request) -> R
             tuples,
             labels,
         } => handle_evaluate(state, pool, structure, hypothesis, tuples, labels),
-        Request::ModelCheck { structure, formula } => {
-            handle_modelcheck(state, pool, structure, formula)
-        }
+        Request::ModelCheck {
+            structure,
+            formula,
+            engine,
+        } => handle_modelcheck(state, pool, structure, formula, engine),
     }
 }
 
@@ -640,20 +643,27 @@ fn handle_solve(
         return Response::Solved(outcome);
     }
 
-    let rust_solver = match solver {
+    let (rust_solver, engine) = match solver {
         SolverSpec::Brute {
             mode,
             threads,
             prune,
-        } => Solver::BruteForce {
-            mode: *mode,
-            opts: BruteForceOpts {
-                threads: *threads,
-                prune: *prune,
-                block_size: None,
+            engine,
+        } => (
+            Solver::BruteForce {
+                mode: *mode,
+                opts: BruteForceOpts {
+                    threads: *threads,
+                    prune: *prune,
+                    block_size: None,
+                },
             },
-        },
-        SolverSpec::Nd => Solver::NowhereDense(NdConfig::default()),
+            *engine,
+        ),
+        SolverSpec::Nd => (
+            Solver::NowhereDense(NdConfig::default()),
+            EvalEngine::TreeWalk,
+        ),
     };
     let seq = TrainingSequence::from_pairs(
         examples
@@ -668,7 +678,7 @@ fn handle_solve(
         // through the thread-local root buffer.
         let sp = folearn_obs::span("server.solve");
         let inst = ErmInstance::new(&g, seq, k, ell, q, epsilon);
-        let report = solve_fo_erm(&inst, &rust_solver, &arena);
+        let report = solve_fo_erm_with_engine(&inst, &rust_solver, &arena, engine);
         let id = state_for_job.next_hypothesis.fetch_add(1, Ordering::SeqCst);
         let h = &report.hypothesis;
         let wire = WireHypothesis {
@@ -790,6 +800,7 @@ fn handle_modelcheck(
     pool: &Arc<WorkerPool>,
     structure: u64,
     formula: String,
+    engine: EvalEngine,
 ) -> Response {
     let g = match state.graph(structure) {
         Ok(g) => g,
@@ -812,7 +823,17 @@ fn handle_modelcheck(
             message: "modelcheck: formula must be a sentence (no free variables)".to_string(),
         };
     }
-    match on_pool(pool, move || eval::models(&g, &phi)) {
+    // The span ensures the VM's vm_* counters land in the metrics rollup
+    // even for standalone model checks.
+    let state_for_job = Arc::clone(state);
+    match on_pool(pool, move || {
+        let sp = folearn_obs::span("server.modelcheck");
+        let holds = engine.models(&g, &phi);
+        if let Some(rec) = sp.finish() {
+            state_for_job.metrics.absorb_span(&rec);
+        }
+        holds
+    }) {
         Ok(holds) => Response::Truth { holds },
         Err(e) => Response::Error {
             message: format!("modelcheck: {e}"),

@@ -8,6 +8,7 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, TcpStream};
 use std::time::Duration;
 
+use folearn_logic::vm::EvalEngine;
 use folearn_server::proto::{hex64, Json, Request, Response};
 use folearn_server::{
     start, Client, ClientApi, ClientError, LoadgenConfig, ServerConfig, SolverSpec,
@@ -85,6 +86,7 @@ fn full_session_register_solve_cache_evaluate_modelcheck() {
                 mode: folearn::TypeMode::Global,
                 threads: Some(1),
                 prune: false,
+                engine: folearn_logic::vm::EvalEngine::TreeWalk,
             },
         )
         .expect("different-config solve");
@@ -108,6 +110,22 @@ fn full_session_register_solve_cache_evaluate_modelcheck() {
     assert!(!client
         .modelcheck(structure, "forall x0. Red(x0)")
         .expect("modelcheck unsat"));
+
+    // The VM engine is part of the cache key, answers identically, and
+    // its work counters surface in the stats snapshot below.
+    let mut vm_spec = SolverSpec::default_brute();
+    if let SolverSpec::Brute { engine, .. } = &mut vm_spec {
+        *engine = EvalEngine::Vm;
+    }
+    let vm_solve = client
+        .solve(structure, sample(), 1, 1, 0.0, vm_spec)
+        .expect("vm solve");
+    assert!(!vm_solve.cached, "engine selection is a distinct cache key");
+    assert_eq!(vm_solve.error, cold.error);
+    assert_eq!(vm_solve.hypothesis.types, cold.hypothesis.types);
+    assert!(client
+        .modelcheck_with_engine(structure, "exists x0. Red(x0)", EvalEngine::Vm)
+        .expect("vm modelcheck"));
 
     let stats = client.stats().expect("stats");
     let cache = stats.get("cache").expect("cache block");
@@ -143,6 +161,26 @@ fn full_session_register_solve_cache_evaluate_modelcheck() {
             .unwrap_or(0.0)
             > 0.0,
         "sweep work counters aggregate into the snapshot"
+    );
+    // VM cross-validation and VM model checks flush vm_* counters into
+    // their enclosing spans.
+    assert!(
+        spans
+            .get("solve")
+            .and_then(|s| s.get("vm_instructions"))
+            .and_then(Json::as_num)
+            .unwrap_or(0.0)
+            > 0.0,
+        "VM counters aggregate under the solve span: {spans:?}"
+    );
+    assert!(
+        spans
+            .get("server.modelcheck")
+            .and_then(|s| s.get("vm_instructions"))
+            .and_then(Json::as_num)
+            .unwrap_or(0.0)
+            > 0.0,
+        "VM counters aggregate under the modelcheck span: {spans:?}"
     );
 
     client.shutdown().expect("shutdown");
@@ -204,6 +242,7 @@ fn errors_are_protocol_replies_not_disconnects() {
                 mode: folearn::TypeMode::Global,
                 threads: Some(100_000),
                 prune: true,
+                engine: folearn_logic::vm::EvalEngine::TreeWalk,
             },
         )
         .expect_err("too many threads");

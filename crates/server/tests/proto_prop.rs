@@ -5,6 +5,7 @@
 //! framing invariant).
 
 use folearn::TypeMode;
+use folearn_logic::vm::EvalEngine;
 use folearn_server::proto::{
     Json, Request, Response, SolveOutcome, SolverSpec, WireExample, WireHypothesis,
 };
@@ -40,28 +41,39 @@ fn examples_strategy() -> impl Strategy<Value = Vec<WireExample>> {
 }
 
 fn solver_strategy() -> impl Strategy<Value = SolverSpec> {
-    (0usize..5, 1usize..4, 1u32..4, 0u32..2).prop_map(|(kind, r, cap, p)| match kind {
-        0 => SolverSpec::Nd,
-        1 => SolverSpec::Brute {
-            mode: TypeMode::Global,
-            threads: None,
-            prune: p == 1,
-        },
-        2 => SolverSpec::Brute {
-            mode: TypeMode::Local { r },
-            threads: Some(r),
-            prune: p == 1,
-        },
-        3 => SolverSpec::Brute {
-            mode: TypeMode::GlobalCounting { cap },
-            threads: Some(0),
-            prune: p == 1,
-        },
-        _ => SolverSpec::Brute {
-            mode: TypeMode::LocalCounting { r, cap },
-            threads: Some(17),
-            prune: p == 1,
-        },
+    (0usize..5, 1usize..4, 1u32..4, 0u32..4).prop_map(|(kind, r, cap, p)| {
+        let engine = if p & 2 == 2 {
+            EvalEngine::Vm
+        } else {
+            EvalEngine::TreeWalk
+        };
+        match kind {
+            0 => SolverSpec::Nd,
+            1 => SolverSpec::Brute {
+                mode: TypeMode::Global,
+                threads: None,
+                prune: p & 1 == 1,
+                engine,
+            },
+            2 => SolverSpec::Brute {
+                mode: TypeMode::Local { r },
+                threads: Some(r),
+                prune: p & 1 == 1,
+                engine,
+            },
+            3 => SolverSpec::Brute {
+                mode: TypeMode::GlobalCounting { cap },
+                threads: Some(0),
+                prune: p & 1 == 1,
+                engine,
+            },
+            _ => SolverSpec::Brute {
+                mode: TypeMode::LocalCounting { r, cap },
+                threads: Some(17),
+                prune: p & 1 == 1,
+                engine,
+            },
+        }
     })
 }
 
@@ -136,8 +148,10 @@ proptest! {
     fn modelcheck_round_trips_any_formula(
         structure in 0u64..=u64::MAX,
         formula in nasty_string(),
+        vm in 0u32..2,
     ) {
-        assert_request_round_trip(&Request::ModelCheck { structure, formula })?;
+        let engine = if vm == 1 { EvalEngine::Vm } else { EvalEngine::TreeWalk };
+        assert_request_round_trip(&Request::ModelCheck { structure, formula, engine })?;
     }
 
     #[test]

@@ -53,6 +53,20 @@ target/release/exp_e19_faults "$SMOKE/BENCH_fault.json" > "$SMOKE/e19.txt"
 grep -q 'verdict: PASS' "$SMOKE/e19.txt"
 grep -q '"unrecovered_errors": 0' "$SMOKE/BENCH_fault.json"
 
+# --- VM engine smoke test (hermetic: local files only) --------------------
+# The compiled bytecode engine must agree with the tree walker on a real
+# learn and a model check, straight through the CLI flag.
+"$FOLEARN" learn --graph "$SMOKE/graph.txt" --examples "$SMOKE/sample.txt" \
+    --ell 1 --q 1 --engine tree > "$SMOKE/learn_tree.txt"
+"$FOLEARN" learn --graph "$SMOKE/graph.txt" --examples "$SMOKE/sample.txt" \
+    --ell 1 --q 1 --engine vm > "$SMOKE/learn_vm.txt"
+diff "$SMOKE/learn_tree.txt" "$SMOKE/learn_vm.txt"
+TREE_MC=$("$FOLEARN" modelcheck --graph "$SMOKE/graph.txt" \
+    --formula 'exists x0. Red(x0) & exists x1. E(x0, x1) & !Red(x1)' --engine tree)
+VM_MC=$("$FOLEARN" modelcheck --graph "$SMOKE/graph.txt" \
+    --formula 'exists x0. Red(x0) & exists x1. E(x0, x1) & !Red(x1)' --engine vm)
+[ "$TREE_MC" = "$VM_MC" ]
+
 # --- tracing smoke test (hermetic: local files only) ----------------------
 # A traced learn writes a JSONL span tree; `folearn trace` reads it back
 # and prints the per-name rollup with the sweep's work counters.

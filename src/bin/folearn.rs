@@ -13,7 +13,8 @@ USAGE:
                      [--solver brute|nd|local]
                      [--mode global|local=R|counting=CAP|local-counting=R,CAP]
                      [--threads N (0 = one per core, max 256)] [--prune on|off]
-  folearn modelcheck --graph G.txt --formula \"<sentence>\"
+                     [--engine tree|vm]
+  folearn modelcheck --graph G.txt --formula \"<sentence>\" [--engine tree|vm]
   folearn splitter   --graph G.txt [--radius R]
   folearn types      --graph G.txt [--q N] [--k N]
   folearn dot        --graph G.txt
@@ -27,8 +28,10 @@ USAGE:
                            | solve --graph G.txt --examples E.txt
                                    [--ell N] [--q N] [--solver brute|nd]
                                    [--mode ...] [--threads N] [--prune on|off]
+                                   [--engine tree|vm]
                            | evaluate --graph G.txt --examples E.txt --hypothesis HEX
                            | modelcheck --graph G.txt --formula \"<sentence>\"
+                                        [--engine tree|vm]
                            | stats | shutdown
   folearn loadgen    --addr HOST:PORT --graph G.txt [--connections N]
                      [--requests N] [--seed N] [--pool N] [--ell N] [--q N]
@@ -62,6 +65,29 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::HELP;
+
+    #[test]
+    fn help_lists_the_engine_flag_everywhere_it_is_parsed() {
+        // `--engine` is read by learn, modelcheck, and the client's solve
+        // and modelcheck actions (see `cli::parse_engine`); the usage
+        // text must keep advertising it for each.
+        assert_eq!(
+            HELP.matches("[--engine tree|vm]").count(),
+            4,
+            "usage text drifted from the CLI's --engine surface"
+        );
+        for backend in ["tree", "vm"] {
+            assert!(
+                backend.parse::<folearn_logic::vm::EvalEngine>().is_ok(),
+                "HELP advertises engine {backend:?} but the parser rejects it"
+            );
         }
     }
 }

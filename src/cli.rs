@@ -25,10 +25,11 @@ use std::fmt::Write as _;
 use folearn::bruteforce::BruteForceOpts;
 use folearn::ndlearner::NdConfig;
 use folearn::problem::{ErmInstance, Example, TrainingSequence};
-use folearn::{shared_arena, solve_fo_erm, Solver, TypeMode};
+use folearn::{shared_arena, solve_fo_erm_with_engine, Solver, TypeMode};
 use folearn_graph::splitter::{play_game, GraphClass, MaxBallConnector};
 use folearn_graph::{io, Graph, V};
-use folearn_logic::{eval, parser};
+use folearn_logic::vm::EvalEngine;
+use folearn_logic::parser;
 use folearn_server::proto::{hex64, parse_hex64};
 use folearn_server::server::MAX_SOLVER_THREADS;
 use folearn_server::{
@@ -237,9 +238,10 @@ fn cmd_learn(opts: &Options) -> Result<String, CliError> {
         // holds exactly this run.
         let _ = folearn_obs::take_thread_roots();
     }
+    let engine = parse_engine(opts)?;
     let inst = ErmInstance::new(&g, examples, k, ell, q, 0.1);
     let arena = shared_arena(&g);
-    let report = solve_fo_erm(&inst, &solver, &arena);
+    let report = solve_fo_erm_with_engine(&inst, &solver, &arena, engine);
     let roots = if tracing {
         folearn_obs::take_thread_roots()
     } else {
@@ -311,7 +313,7 @@ fn cmd_modelcheck(opts: &Options) -> Result<String, CliError> {
     if !phi.is_sentence() {
         return Err(err("modelcheck expects a sentence (no free variables)"));
     }
-    let holds = eval::models(&g, &phi);
+    let holds = parse_engine(opts)?.models(&g, &phi);
     Ok(format!("G ⊨ φ: {holds}\n"))
 }
 
@@ -381,13 +383,23 @@ fn cmd_serve(opts: &Options) -> Result<String, CliError> {
     Ok(format!("folearn-server on {addr}: shut down cleanly\n"))
 }
 
-/// Build the wire solver spec from `--solver/--mode/--threads/--prune`.
+/// Parse `--engine tree|vm` (default: the tree-walking evaluator).
+fn parse_engine(opts: &Options) -> Result<EvalEngine, CliError> {
+    opts.get("engine")
+        .unwrap_or("tree")
+        .parse()
+        .map_err(|e: String| err(format!("--engine: {e}")))
+}
+
+/// Build the wire solver spec from
+/// `--solver/--mode/--threads/--prune/--engine`.
 fn parse_solver_spec(opts: &Options) -> Result<SolverSpec, CliError> {
     match opts.get("solver").unwrap_or("brute") {
         "brute" => Ok(SolverSpec::Brute {
             mode: parse_mode(opts.get("mode").unwrap_or("global"))?,
             threads: parse_threads(opts)?,
             prune: parse_on_off(opts.get("prune").unwrap_or("on"), "prune")?,
+            engine: parse_engine(opts)?,
         }),
         "nd" => Ok(SolverSpec::Nd),
         other => Err(err(format!(
@@ -499,7 +511,11 @@ fn cmd_client(opts: &Options) -> Result<String, CliError> {
             let g = load_graph(opts)?;
             let structure = client.register(&io::to_text(&g)).map_err(net)?;
             let holds = client
-                .modelcheck(structure, opts.require("formula")?)
+                .modelcheck_with_engine(
+                    structure,
+                    opts.require("formula")?,
+                    parse_engine(opts)?,
+                )
                 .map_err(net)?;
             Ok(format!("G ⊨ φ: {holds}\n"))
         }
@@ -680,6 +696,12 @@ mod tests {
         assert!(out.contains("\"pruned_params\": 0"), "{out}");
         assert!(run("learn", &base(&["--prune", "maybe"])).is_err());
         assert!(run("learn", &base(&["--threads", "two"])).is_err());
+        // The VM engine reproduces the tree-walker's report exactly (the
+        // cross-validation inside the solve would panic otherwise).
+        let tree = run("learn", &base(&["--engine", "tree"])).unwrap();
+        let vm = run("learn", &base(&["--engine", "vm"])).unwrap();
+        assert_eq!(tree, vm);
+        assert!(run("learn", &base(&["--engine", "warp"])).is_err());
     }
 
     #[test]
@@ -901,6 +923,10 @@ mod tests {
         .collect();
         let out = run("modelcheck", &args).unwrap();
         assert!(out.contains("true"));
+        // The VM engine answers the same sentence identically.
+        let mut vm_args = args.clone();
+        vm_args.extend(["--engine".to_string(), "vm".to_string()]);
+        assert_eq!(run("modelcheck", &vm_args).unwrap(), out);
         // Free variables are rejected.
         let args2: Vec<String> = [
             "--graph",

@@ -28,8 +28,8 @@ fn bench_files() -> Vec<(String, String)> {
 fn every_bench_artifact_parses_and_names_its_experiment() {
     let files = bench_files();
     assert!(
-        files.len() >= 4,
-        "expected the E16/E17/E18/E19 artifacts at least, found {:?}",
+        files.len() >= 5,
+        "expected the E16/E17/E18/E19/E20 artifacts at least, found {:?}",
         files.iter().map(|(n, _)| n).collect::<Vec<_>>()
     );
     for (name, text) in &files {
@@ -65,6 +65,48 @@ fn bench_artifacts_respect_their_own_acceptance_flags() {
             assert!(flag, "{name}: all_bit_identical is false");
         }
     }
+}
+
+#[test]
+fn the_vm_artifact_records_a_real_speedup() {
+    let (name, text) = bench_files()
+        .into_iter()
+        .find(|(n, _)| n == "BENCH_vm.json")
+        .expect("the E20 compiled-evaluation artifact must be committed");
+    let v = Json::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+    assert_eq!(v.get("experiment").and_then(Json::as_str), Some("E20"));
+    // The headline number is the *minimum* sweep speedup. The committed
+    // artifact must never show the VM losing to the tree walker — that
+    // would mean the compiled engine regressed and the run that produced
+    // the artifact failed its own ≥5× verdict.
+    let speedup = v
+        .get("speedup")
+        .and_then(Json::as_num)
+        .unwrap_or_else(|| panic!("{name}: missing speedup"));
+    assert!(speedup >= 1.0, "{name}: VM slower than the tree walker");
+    // Bit-identity is the whole point of a differential artifact: both
+    // the per-sweep flag and every row must record it.
+    assert_eq!(
+        v.get("all_bit_identical").and_then(Json::as_bool),
+        Some(true),
+        "{name}: sweeps diverged from the tree walker"
+    );
+    let Some(Json::Arr(sweeps)) = v.get("sweeps") else {
+        panic!("{name}: missing sweeps array")
+    };
+    assert!(!sweeps.is_empty(), "{name}: no sweep rows");
+    for row in sweeps {
+        assert_eq!(row.get("bit_identical").and_then(Json::as_bool), Some(true));
+    }
+    // The daemon comparison must have produced the same hypothesis under
+    // both engines.
+    assert_eq!(
+        v.get("server")
+            .and_then(|s| s.get("outcomes_identical"))
+            .and_then(Json::as_bool),
+        Some(true),
+        "{name}: engines disagreed on a server solve"
+    );
 }
 
 #[test]
