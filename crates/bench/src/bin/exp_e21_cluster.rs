@@ -1,0 +1,516 @@
+//! E21 — cluster: the Lemma 7 reduction against a live replicated cluster.
+//!
+//! Claim: a 3-node loopback cluster behind the `folearn-cluster` router
+//! (consistent-hash placement, R=2 replication, hedged reads) answers
+//! the remote reduction *bit-identically* to the in-process oracle —
+//! including with one backend killed mid-reduction (replica failover)
+//! and with one router→backend link garbling frames (transport retries
+//! plus failover). Identity across replicas rests on canonical type
+//! keys: backends number types in their own arenas, but the oracle
+//! groups answers by backend-independent Merkle keys. On top of
+//! correctness, hedged reads cut tail latency: with one backend behind
+//! an injected wire delay, the hedged router's read p99 sits far below
+//! the same cluster read unhedged.
+//!
+//! Writes the measurements (via the shared `write_json_file` writer) to
+//! `BENCH_cluster.json` — or a path given as the first CLI argument.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use folearn_bench::{banner, cells, verdict, write_json_file, Json, Table};
+use folearn_cluster::{start as start_router, RouterConfig, RouterHandle};
+use folearn_graph::{generators, io, ColorId, Graph, Vocabulary};
+use folearn_hardness::oracle::{BruteForceOracle, RemoteOracle};
+use folearn_hardness::reduction::{model_check_via_erm, ReductionReport};
+use folearn_logic::parse;
+use folearn_server::{
+    run_load_multi, start as start_server, ChaosConfig, ChaosProxy, Client, ClientApi,
+    ClientConfig, Direction, FaultKind, LoadgenConfig, Request, Response, RetryPolicy,
+    ServerConfig, ServerHandle,
+};
+
+/// Injected one-way wire delay on the slow backend's link; a read served
+/// by that backend pays it in both directions.
+const SLOW_DELAY: Duration = Duration::from_millis(40);
+/// The hedged router fires at the next replica after this much silence.
+const HEDGE_DELAY: Duration = Duration::from_millis(10);
+
+fn colored_path(n: usize, stride: usize) -> Graph {
+    let g = generators::path(n, Vocabulary::new(["Red"]));
+    generators::periodically_colored(&g, ColorId(0), stride)
+}
+
+fn retry_policy(seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 8,
+        base_delay: Duration::from_millis(2),
+        max_delay: Duration::from_millis(40),
+        seed,
+    }
+}
+
+/// The router's backend-call policy: fail fast (≈30ms of backoff), so a
+/// dead backend surfaces as an error — and a recorded failover — before
+/// the hedge timer would mask it.
+fn failover_retry(seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 3,
+        base_delay: Duration::from_millis(2),
+        max_delay: Duration::from_millis(20),
+        seed,
+    }
+}
+
+fn spawn_backends(n: usize) -> (Vec<String>, HashMap<String, ServerHandle>) {
+    let mut addrs = Vec::new();
+    let mut by_addr = HashMap::new();
+    for _ in 0..n {
+        let h = start_server(&ServerConfig::default()).expect("backend starts");
+        let a = h.addr().to_string();
+        addrs.push(a.clone());
+        by_addr.insert(a, h);
+    }
+    (addrs, by_addr)
+}
+
+fn router_over(
+    backends: Vec<String>,
+    replicas: usize,
+    hedge: Option<Duration>,
+) -> RouterHandle {
+    start_router(&RouterConfig {
+        backends,
+        replicas,
+        hedge_delay: hedge,
+        client: ClientConfig::with_deadline(Duration::from_secs(5)),
+        retry: failover_retry(7),
+        ..RouterConfig::default()
+    })
+    .expect("router starts")
+}
+
+fn reports_match(a: &ReductionReport, b: &ReductionReport) -> bool {
+    a.result == b.result
+        && a.oracle_calls == b.oracle_calls
+        && a.realizable_calls == b.realizable_calls
+        && a.representative_set_sizes == b.representative_set_sizes
+        && a.max_depth == b.max_depth
+}
+
+const SENTENCES: [&str; 3] = [
+    "exists x0. Red(x0) & exists x1. E(x0, x1) & Red(x1)",
+    "forall x0. Red(x0) -> exists x1. E(x0, x1) & !Red(x1)",
+    "(exists x0. Red(x0)) & !(forall x0. Red(x0))",
+];
+
+fn baselines(g: &Graph) -> Vec<ReductionReport> {
+    let vocab = g.vocab().as_ref().clone();
+    SENTENCES
+        .iter()
+        .map(|s| {
+            let phi = parse(s, &vocab).unwrap();
+            let mut local = BruteForceOracle::new();
+            model_check_via_erm(g, &phi, &mut local)
+        })
+        .collect()
+}
+
+/// Run the three reduction sentences through `router` and compare each
+/// report against the in-process baseline. Returns `(identical, wall_ms)`.
+fn run_reduction(
+    g: &Graph,
+    expected: &[ReductionReport],
+    router: &RouterHandle,
+    tag: &str,
+) -> (bool, usize) {
+    let vocab = g.vocab().as_ref().clone();
+    let t0 = Instant::now();
+    let mut remote = RemoteOracle::connect_with(
+        router.addr(),
+        ClientConfig::with_deadline(Duration::from_secs(5)),
+        retry_policy(1),
+    )
+    .expect("oracle connects to router");
+    let mut identical = true;
+    for (s, baseline) in SENTENCES.iter().zip(expected) {
+        let phi = parse(s, &vocab).unwrap();
+        let report = model_check_via_erm(g, &phi, &mut remote);
+        if !reports_match(&report, baseline) {
+            identical = false;
+            eprintln!("[{tag}] report diverged on {s}");
+        }
+    }
+    (identical, t0.elapsed().as_millis() as usize)
+}
+
+/// Register `g` through the router and return the ack's replica list.
+fn placement(router: &RouterHandle, g: &Graph) -> Vec<String> {
+    let mut probe = Client::connect(router.addr()).expect("probe connects");
+    match probe.call(&Request::Register {
+        graph_text: io::to_text(g),
+    }) {
+        Ok(Response::Registered {
+            replicas: Some(replicas),
+            ..
+        }) => replicas,
+        other => panic!("router register ack must list replicas, got {other:?}"),
+    }
+}
+
+fn router_counters(router: &RouterHandle) -> (u64, u64, u64, u64) {
+    let mut c = Client::connect(router.addr()).expect("stats client connects");
+    let stats = c.stats().expect("router stats");
+    let n = |key: &str| stats.get(key).and_then(|v| v.as_usize()).unwrap_or(0) as u64;
+    (
+        n("hedges_fired"),
+        n("hedges_won"),
+        n("replica_retries"),
+        n("failovers"),
+    )
+}
+
+fn p99_us(mut samples: Vec<u64>) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    samples[((samples.len() * 99) / 100).min(samples.len() - 1)]
+}
+
+/// Drive `reads` model-checks per structure through the router and
+/// return every per-request latency in microseconds.
+fn timed_reads(router: &RouterHandle, structures: &[u64], reads: usize) -> Vec<u64> {
+    let mut c = Client::connect(router.addr()).expect("reader connects");
+    let mut samples = Vec::with_capacity(structures.len() * reads);
+    for _ in 0..reads {
+        for &s in structures {
+            let t0 = Instant::now();
+            c.modelcheck(s, "exists x0. Red(x0)").expect("modelcheck");
+            samples.push(t0.elapsed().as_micros() as u64);
+        }
+    }
+    samples
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_cluster.json".to_string());
+    banner(
+        "E21 (cluster)",
+        "a 3-node cluster behind the consistent-hash router reproduces the \
+         in-process reduction bit for bit — through a backend kill and a \
+         garbled link — and hedged reads beat unhedged tail latency under \
+         an injected slow backend",
+    );
+
+    let g = colored_path(7, 3);
+    let expected = baselines(&g);
+
+    let mut table = Table::new(&["cell", "identical", "retries", "failovers", "ms"]);
+    let mut all_bit_identical = true;
+
+    // --- Cell 1: live 3-node cluster, R=2, hedging on -------------------
+    let (addrs, by_addr) = spawn_backends(3);
+    let router = router_over(addrs, 2, Some(Duration::from_millis(25)));
+    let (identical, wall_ms) = run_reduction(&g, &expected, &router, "live");
+    all_bit_identical &= identical;
+    table.row(cells!(
+        "live cluster",
+        if identical { "yes" } else { "NO" },
+        0usize,
+        0usize,
+        wall_ms
+    ));
+    let live_ms = wall_ms;
+    router.shutdown();
+    for (_, h) in by_addr {
+        h.shutdown();
+    }
+
+    // --- Cell 2: one backend killed mid-reduction -----------------------
+    let (addrs, mut by_addr) = spawn_backends(3);
+    let router = router_over(addrs, 2, Some(Duration::from_millis(50)));
+    // The kill must hit a replica that actually serves the structure.
+    let replicas = placement(&router, &g);
+    let victim = by_addr.remove(&replicas[0]).expect("victim handle");
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(20));
+        victim.shutdown();
+    });
+    let (identical, wall_ms) = run_reduction(&g, &expected, &router, "kill");
+    killer.join().unwrap();
+    let (_, _, replica_retries, failovers) = router_counters(&router);
+    all_bit_identical &= identical;
+    table.row(cells!(
+        "backend killed",
+        if identical { "yes" } else { "NO" },
+        replica_retries,
+        failovers,
+        wall_ms
+    ));
+    let kill_ms = wall_ms;
+    router.shutdown();
+    for (_, h) in by_addr {
+        h.shutdown();
+    }
+
+    // --- Cell 3: one router→backend link garbled ------------------------
+    let (mut addrs, by_addr) = spawn_backends(3);
+    let victim: std::net::SocketAddr = addrs[1].parse().unwrap();
+    let proxy = ChaosProxy::start(
+        victim,
+        ChaosConfig {
+            kind: FaultKind::Garble,
+            rate: 0.10,
+            delay: Duration::from_millis(100),
+            direction: Direction::Both,
+            seed: 0xC1A5,
+        },
+    )
+    .expect("proxy starts");
+    addrs[1] = proxy.addr().to_string();
+    // R=3 so the poisoned link is a replica of every structure.
+    let router = start_router(&RouterConfig {
+        backends: addrs,
+        replicas: 3,
+        client: ClientConfig::with_deadline(Duration::from_millis(500)),
+        retry: retry_policy(3),
+        ..RouterConfig::default()
+    })
+    .expect("router starts");
+    let (identical, wall_ms) = run_reduction(&g, &expected, &router, "garble");
+    let garble_faults = proxy.faults_injected();
+    let (_, _, garble_retries, garble_failovers) = router_counters(&router);
+    all_bit_identical &= identical;
+    table.row(cells!(
+        "garbled link",
+        if identical { "yes" } else { "NO" },
+        garble_retries,
+        garble_failovers,
+        wall_ms
+    ));
+    let garble_ms = wall_ms;
+    router.shutdown();
+    proxy.shutdown();
+    for (_, h) in by_addr {
+        h.shutdown();
+    }
+    table.print();
+    println!();
+
+    // --- Hedged vs unhedged read p99 under a slow backend ---------------
+    // Backend 0 sits behind a delay proxy: every frame on that link is
+    // held SLOW_DELAY each way. Structures whose primary is the slow
+    // backend pay the delay on every unhedged read; the hedged router
+    // fires at the other replica after HEDGE_DELAY of silence instead.
+    let (mut addrs, by_addr) = spawn_backends(3);
+    let slow: std::net::SocketAddr = addrs[0].parse().unwrap();
+    let proxy = ChaosProxy::start(
+        slow,
+        ChaosConfig {
+            kind: FaultKind::Delay,
+            rate: 1.0,
+            delay: SLOW_DELAY,
+            direction: Direction::Both,
+            seed: 0x51_0e,
+        },
+    )
+    .expect("delay proxy starts");
+    let slow_addr = proxy.addr().to_string();
+    addrs[0] = slow_addr.clone();
+
+    // A pool of distinct structures: placement is content-hashed, so
+    // roughly a third land on the slow primary. The pool grows until at
+    // least two do (the backends sit on ephemeral ports, so the split
+    // varies run to run); both routers share the ring, hence placement.
+    let mut pool: Vec<Graph> = Vec::new();
+    {
+        let probe_router = router_over(addrs.clone(), 2, None);
+        let mut slow_now = 0usize;
+        for i in 0..40 {
+            if pool.len() >= 8 && slow_now >= 2 {
+                break;
+            }
+            let pg = colored_path(5 + i, 3);
+            let on_slow = placement(&probe_router, &pg)[0] == slow_addr;
+            if pool.len() >= 8 && !on_slow {
+                continue;
+            }
+            if on_slow {
+                slow_now += 1;
+            }
+            pool.push(pg);
+        }
+        probe_router.shutdown();
+    }
+    let mut hedged_p99 = 0;
+    let mut unhedged_p99 = 0;
+    let mut slow_primary = 0usize;
+    let mut hedges_fired = 0;
+    let mut hedges_won = 0;
+    for hedge in [None, Some(HEDGE_DELAY)] {
+        let router = router_over(addrs.clone(), 2, hedge);
+        let mut structures = Vec::new();
+        let mut slow_now = 0usize;
+        for pg in &pool {
+            let reps = placement(&router, pg);
+            if reps[0] == slow_addr {
+                slow_now += 1;
+            }
+            let mut c = Client::connect(router.addr()).unwrap();
+            structures.push(c.register(&io::to_text(pg)).expect("register"));
+        }
+        slow_primary = slow_now;
+        let samples = timed_reads(&router, &structures, 12);
+        let p99 = p99_us(samples);
+        if hedge.is_some() {
+            hedged_p99 = p99;
+            let (fired, won, _, _) = router_counters(&router);
+            hedges_fired = fired;
+            hedges_won = won;
+        } else {
+            unhedged_p99 = p99;
+        }
+        router.shutdown();
+    }
+    proxy.shutdown();
+    let hedge_win_rate = if hedges_fired > 0 {
+        hedges_won as f64 / hedges_fired as f64
+    } else {
+        0.0
+    };
+    println!(
+        "hedged reads: {slow_primary}/{} structures on the slow primary; \
+         p99 {unhedged_p99}us unhedged vs {hedged_p99}us hedged \
+         ({hedges_fired} hedges fired, {hedges_won} won)",
+        pool.len()
+    );
+
+    // --- Multi-target loadgen across the (healthy) backends -------------
+    let healthy: Vec<std::net::SocketAddr> = by_addr
+        .keys()
+        .map(|a| a.parse().unwrap())
+        .collect();
+    let load = run_load_multi(
+        &healthy,
+        &io::to_text(&colored_path(10, 3)),
+        &LoadgenConfig {
+            connections: 3,
+            requests_per_conn: 30,
+            seed: 21,
+            sample_pool: 4,
+            ell: 1,
+            q: 1,
+            client: ClientConfig::with_deadline(Duration::from_millis(500)),
+            retry: retry_policy(5),
+        },
+    );
+    for (_, h) in by_addr {
+        h.shutdown();
+    }
+    let unrecovered = load.errors + load.worker_errors.len();
+    println!(
+        "loadgen over {} targets: {} requests, {} errors, {} unrecovered",
+        load.targets.len(),
+        load.requests,
+        load.errors,
+        unrecovered
+    );
+    for (addr, requests, errors) in &load.targets {
+        println!("  target {addr}: {requests} requests, {errors} errors");
+    }
+    println!();
+
+    let json = Json::obj([
+        ("experiment", Json::str("E21")),
+        ("graph_vertices", Json::int(g.num_vertices())),
+        ("sentences", Json::int(SENTENCES.len())),
+        ("backends", Json::int(3)),
+        ("replicas", Json::int(2)),
+        ("all_bit_identical", Json::Bool(all_bit_identical)),
+        ("replica_retries", Json::int(replica_retries as usize)),
+        ("failovers", Json::int(failovers as usize)),
+        ("garble_faults_injected", Json::int(garble_faults as usize)),
+        ("hedges_fired", Json::int(hedges_fired as usize)),
+        ("hedges_won", Json::int(hedges_won as usize)),
+        ("hedge_win_rate", Json::Num(hedge_win_rate)),
+        ("hedged_p99_us", Json::int(hedged_p99 as usize)),
+        ("unhedged_p99_us", Json::int(unhedged_p99 as usize)),
+        ("unrecovered_errors", Json::int(unrecovered)),
+        (
+            "cells",
+            Json::Arr(vec![
+                Json::obj([
+                    ("cell", Json::str("live")),
+                    ("wall_ms", Json::int(live_ms)),
+                ]),
+                Json::obj([
+                    ("cell", Json::str("backend_killed")),
+                    ("wall_ms", Json::int(kill_ms)),
+                ]),
+                Json::obj([
+                    ("cell", Json::str("garbled_link")),
+                    ("wall_ms", Json::int(garble_ms)),
+                ]),
+            ]),
+        ),
+        (
+            "hedging",
+            Json::obj([
+                ("hedge_ms", Json::int(HEDGE_DELAY.as_millis() as usize)),
+                ("slow_delay_ms", Json::int(SLOW_DELAY.as_millis() as usize)),
+                ("structures", Json::int(pool.len())),
+                ("slow_primary_structures", Json::int(slow_primary)),
+            ]),
+        ),
+        (
+            "loadgen",
+            Json::obj([
+                ("requests", Json::int(load.requests)),
+                ("errors", Json::int(load.errors)),
+                ("worker_errors", Json::int(load.worker_errors.len())),
+                (
+                    "targets",
+                    Json::Arr(
+                        load.targets
+                            .iter()
+                            .map(|(addr, requests, errors)| {
+                                Json::obj([
+                                    ("addr", Json::str(addr)),
+                                    ("requests", Json::int(*requests)),
+                                    ("errors", Json::int(*errors)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+    ]);
+    if let Err(e) = write_json_file(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+
+    let hedging_helped = slow_primary == 0 || hedged_p99 < unhedged_p99;
+    let ok = all_bit_identical
+        && unrecovered == 0
+        && replica_retries > 0
+        && failovers > 0
+        && garble_faults > 0
+        && hedges_fired > 0
+        && hedges_won > 0
+        && hedging_helped;
+    verdict(
+        ok,
+        "the cluster reduction is bit-identical through kill and garble, \
+         the loadgen mix had zero unrecovered errors, and hedged reads \
+         beat the unhedged tail under a slow backend",
+    );
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -199,20 +199,22 @@ impl ErmOracle for BruteForceOracle {
 /// repeats are free) and runs the server's deterministic brute-force
 /// solver; answers classify tuples over the wire.
 ///
-/// Key parity with [`BruteForceOracle`]: the server keeps one type
-/// arena per vocabulary colour count — the same discipline as the
-/// in-process oracle — and its engine is deterministic, so identical
-/// instances yield identical `(types, params, q)` triples and the local
-/// key table partitions answers exactly as the in-process oracle would.
-/// The reduction only consumes that partition (the Ramsey grouping),
-/// which is why `model_check_via_erm` against a loopback daemon is
-/// bit-identical to the in-process run.
+/// Key parity with [`BruteForceOracle`]: the key table partitions
+/// answers by `(type_keys, params, q)`, where `type_keys` are the
+/// *canonical* content hashes of the hypothesis's positive types
+/// (`folearn_types::canon`) — not the server's arena-relative ids. The
+/// solver is deterministic, so identical instances yield identical
+/// triples no matter which server answered; the reduction only consumes
+/// that partition (the Ramsey grouping), which is why
+/// `model_check_via_erm` against a loopback daemon — or a cluster
+/// router whose replicas fail over mid-run — is bit-identical to the
+/// in-process run.
 pub struct RemoteOracle {
     client: Arc<Mutex<RetryingClient>>,
     /// Local graph memo: canonical-text hash → server structure id
     /// (avoids re-sending the graph text on every pair query).
     structures: HashMap<u64, u64>,
-    key_table: HashMap<(Vec<u32>, Vec<u32>, usize), u64>,
+    key_table: HashMap<(Vec<u64>, Vec<u32>, usize), u64>,
     calls: usize,
     realizable: usize,
 }
@@ -285,10 +287,13 @@ impl ErmOracle for RemoteOracle {
             self.realizable += 1;
         }
         let h = outcome.hypothesis;
+        // Group by the backend-independent identity: canonical type-set
+        // hashes, parameters, rank. Arena-relative `types` would differ
+        // between cluster replicas and tear equal answers apart.
         let next = self.key_table.len() as u64;
         let key = *self
             .key_table
-            .entry((h.types.clone(), h.params.clone(), h.q))
+            .entry((h.type_keys.clone(), h.params.clone(), h.q))
             .or_insert(next);
         OracleAnswer {
             predictor: Predictor::Remote {

@@ -1,0 +1,101 @@
+//! Backend health: consecutive-failure ejection with occasional
+//! re-probes.
+//!
+//! The router does not run a background health checker; health is
+//! piggybacked on real traffic. Every backend call reports its outcome
+//! here. A backend that fails [`Health::eject_after`] times in a row is
+//! *ejected*: the replica selector skips it, so requests stop paying
+//! its connect timeout. Ejected backends are still probed — every
+//! [`PROBE_PERIOD`]th selection includes one ejected backend at the
+//! tail of the candidate list — and a single success restores them.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+/// Include an ejected backend as a tail candidate once per this many
+/// selections, so a recovered node rejoins without operator action.
+pub const PROBE_PERIOD: u64 = 16;
+
+/// Health state of one backend.
+#[derive(Debug)]
+pub struct Health {
+    consecutive_failures: AtomicU32,
+    ejected: AtomicBool,
+    /// Consecutive failures that trigger ejection.
+    eject_after: u32,
+    /// Total ejection events (monotonic; feeds the `failovers` counter).
+    ejections: AtomicU64,
+}
+
+impl Health {
+    /// Fresh, live health state ejecting after `eject_after`
+    /// consecutive failures (minimum 1).
+    pub fn new(eject_after: u32) -> Self {
+        Self {
+            consecutive_failures: AtomicU32::new(0),
+            ejected: AtomicBool::new(false),
+            eject_after: eject_after.max(1),
+            ejections: AtomicU64::new(0),
+        }
+    }
+
+    /// Record a successful call: the backend is (back) in rotation.
+    pub fn record_ok(&self) {
+        self.consecutive_failures.store(0, Ordering::SeqCst);
+        self.ejected.store(false, Ordering::SeqCst);
+    }
+
+    /// Record a failed call; returns `true` if this failure ejected the
+    /// backend (transition live → ejected).
+    pub fn record_failure(&self) -> bool {
+        let n = self.consecutive_failures.fetch_add(1, Ordering::SeqCst) + 1;
+        if n >= self.eject_after && !self.ejected.swap(true, Ordering::SeqCst) {
+            self.ejections.fetch_add(1, Ordering::SeqCst);
+            return true;
+        }
+        false
+    }
+
+    /// Whether the backend is currently in rotation.
+    pub fn is_live(&self) -> bool {
+        !self.ejected.load(Ordering::SeqCst)
+    }
+
+    /// Consecutive failures so far.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures.load(Ordering::SeqCst)
+    }
+
+    /// Total live → ejected transitions.
+    pub fn ejections(&self) -> u64 {
+        self.ejections.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ejects_after_threshold_and_probes_back() {
+        let h = Health::new(3);
+        assert!(h.is_live());
+        assert!(!h.record_failure());
+        assert!(!h.record_failure());
+        assert!(h.record_failure(), "third consecutive failure ejects");
+        assert!(!h.is_live());
+        assert!(!h.record_failure(), "already ejected: no second event");
+        assert_eq!(h.ejections(), 1);
+        h.record_ok();
+        assert!(h.is_live());
+        assert_eq!(h.consecutive_failures(), 0);
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let h = Health::new(2);
+        assert!(!h.record_failure());
+        h.record_ok();
+        assert!(!h.record_failure(), "streak restarted after a success");
+        assert!(h.is_live());
+    }
+}

@@ -1,0 +1,257 @@
+//! Consistent hashing: a ring of virtual nodes over the backend set.
+//!
+//! Each backend contributes `vnodes` points at
+//! `fnv1a64("{addr}#{i}")`; a key (a structure's content hash) is
+//! owned by the first point clockwise from it, and its `R` replicas
+//! are the first `R` *distinct* backends on that walk. Virtual nodes
+//! smooth the load split, and the classical consistent-hashing
+//! property holds: adding or removing one backend of `N` reassigns
+//! only about `1/N` of the keys, because only the arcs adjacent to the
+//! changed backend's points change owner.
+
+use folearn_server::proto::fnv1a64;
+
+/// splitmix64 finalizer. FNV-1a over near-identical strings
+/// (`addr#0`, `addr#1`, …) leaves the high bits correlated, which
+/// clusters virtual-node points and skews the load split; one round of
+/// avalanche mixing spreads them uniformly around the ring.
+fn mix64(mut z: u64) -> u64 {
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    z
+}
+
+/// A consistent-hash ring over named backends.
+#[derive(Clone, Debug)]
+pub struct HashRing {
+    /// `(point, backend index)` sorted by point.
+    points: Vec<(u64, usize)>,
+    backends: Vec<String>,
+    vnodes: usize,
+}
+
+/// Default virtual nodes per backend: enough to split load within a
+/// few percent on small clusters without bloating lookup.
+pub const DEFAULT_VNODES: usize = 64;
+
+impl HashRing {
+    /// Build a ring over `backends` with `vnodes` points each.
+    ///
+    /// # Panics
+    /// Panics if `backends` is empty or `vnodes` is zero.
+    pub fn new<S: Into<String>>(backends: impl IntoIterator<Item = S>, vnodes: usize) -> Self {
+        let backends: Vec<String> = backends.into_iter().map(Into::into).collect();
+        assert!(!backends.is_empty(), "hash ring needs at least one backend");
+        assert!(vnodes > 0, "hash ring needs at least one virtual node");
+        let mut ring = Self {
+            points: Vec::new(),
+            backends: Vec::new(),
+            vnodes,
+        };
+        for b in backends {
+            ring.insert_backend(b);
+        }
+        ring
+    }
+
+    fn insert_backend(&mut self, backend: String) {
+        let idx = self.backends.len();
+        for v in 0..self.vnodes {
+            let point = mix64(fnv1a64(format!("{backend}#{v}").as_bytes()));
+            self.points.push((point, idx));
+        }
+        self.backends.push(backend);
+        // Sort by point; ties (astronomically unlikely with 64-bit FNV)
+        // break by backend index so the ring stays deterministic.
+        self.points.sort_unstable();
+    }
+
+    /// Add a backend after construction (used by rebalancing tests; the
+    /// running router builds its ring once).
+    pub fn add(&mut self, backend: impl Into<String>) {
+        self.insert_backend(backend.into());
+    }
+
+    /// Remove a backend by address. Keys it owned fall through to the
+    /// next point clockwise; everything else keeps its owner.
+    pub fn remove(&mut self, backend: &str) {
+        let Some(gone) = self.backends.iter().position(|b| b == backend) else {
+            return;
+        };
+        self.points.retain(|&(_, i)| i != gone);
+        self.backends.remove(gone);
+        // Close the index gap left by the removal.
+        for p in &mut self.points {
+            if p.1 > gone {
+                p.1 -= 1;
+            }
+        }
+    }
+
+    /// The backend addresses, in insertion order.
+    pub fn backends(&self) -> &[String] {
+        &self.backends
+    }
+
+    /// The first `r` *distinct* backends clockwise from `key`, as
+    /// indices into [`HashRing::backends`]. Fewer than `r` come back
+    /// only when the ring has fewer than `r` backends. Index 0 of the
+    /// result is the key's primary.
+    pub fn replicas_for(&self, key: u64, r: usize) -> Vec<usize> {
+        let want = r.min(self.backends.len());
+        let mut out = Vec::with_capacity(want);
+        if want == 0 {
+            return out;
+        }
+        // Mix the key for the same reason the points are mixed: content
+        // hashes of similar structures are correlated, and placement
+        // should not inherit that correlation.
+        let key = mix64(key);
+        let start = self.points.partition_point(|&(p, _)| p < key);
+        for step in 0..self.points.len() {
+            let (_, idx) = self.points[(start + step) % self.points.len()];
+            if !out.contains(&idx) {
+                out.push(idx);
+                if out.len() == want {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// The primary backend index for `key`.
+    pub fn primary_for(&self, key: u64) -> usize {
+        self.replicas_for(key, 1)[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("10.0.0.{i}:7071")).collect()
+    }
+
+    fn keys(n: u64) -> Vec<u64> {
+        // Spread keys the way real structure hashes spread: hash them.
+        (0..n)
+            .map(|i| fnv1a64(format!("structure-{i}").as_bytes()))
+            .collect()
+    }
+
+    #[test]
+    fn replicas_are_distinct_and_primary_first() {
+        let ring = HashRing::new(addrs(5), DEFAULT_VNODES);
+        for &k in &keys(200) {
+            let reps = ring.replicas_for(k, 3);
+            assert_eq!(reps.len(), 3);
+            let mut sorted = reps.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "replicas must be distinct backends");
+            assert_eq!(reps[0], ring.primary_for(k));
+        }
+    }
+
+    #[test]
+    fn short_rings_cap_the_replica_count() {
+        let ring = HashRing::new(addrs(2), DEFAULT_VNODES);
+        assert_eq!(ring.replicas_for(42, 3).len(), 2);
+    }
+
+    #[test]
+    fn load_split_is_roughly_even() {
+        let ring = HashRing::new(addrs(4), DEFAULT_VNODES);
+        let ks = keys(4000);
+        let mut counts = [0usize; 4];
+        for &k in &ks {
+            counts[ring.primary_for(k)] += 1;
+        }
+        for &c in &counts {
+            // Perfect split is 1000; virtual nodes keep every backend
+            // within a loose factor-of-two band.
+            assert!((500..=2000).contains(&c), "skewed split: {counts:?}");
+        }
+    }
+
+    /// The headline consistency property: removing one of `N` backends
+    /// only moves the keys that backend owned — every other key keeps
+    /// its primary. Adding it back restores the original assignment
+    /// exactly, and a *fresh* backend claims only ~1/N of the keys.
+    #[test]
+    fn ring_is_stable_under_backend_add_and_remove() {
+        let n = 4usize;
+        let ks = keys(2000);
+        let ring = HashRing::new(addrs(n), DEFAULT_VNODES);
+        let before: Vec<String> =
+            ks.iter().map(|&k| ring.backends()[ring.primary_for(k)].clone()).collect();
+
+        // Remove backend 2: only its keys move.
+        let mut smaller = ring.clone();
+        let victim = ring.backends()[2].clone();
+        smaller.remove(&victim);
+        let mut moved = 0usize;
+        for (i, &k) in ks.iter().enumerate() {
+            let now = &smaller.backends()[smaller.primary_for(k)];
+            if before[i] == victim {
+                assert_ne!(now, &victim);
+            } else {
+                assert_eq!(now, &before[i], "key {k:#x} moved although its owner stayed");
+            }
+            if *now != before[i] {
+                moved += 1;
+            }
+        }
+        let expected = ks.len() / n;
+        assert!(
+            moved <= expected * 2,
+            "removal moved {moved} of {} keys (expected ~{expected})",
+            ks.len()
+        );
+
+        // Add it back: bit-identical to the original ring.
+        let mut restored = smaller.clone();
+        restored.add(victim.clone());
+        for (i, &k) in ks.iter().enumerate() {
+            // Indices may differ (insertion order changed) but the
+            // owning *address* is what placement means.
+            let a = &restored.backends()[restored.primary_for(k)];
+            // The restored ring hashes the same points, so ownership is
+            // the original ownership.
+            assert_eq!(a, &before[i]);
+        }
+
+        // A brand-new 5th backend claims only ~1/5 of the keys.
+        let mut bigger = ring.clone();
+        bigger.add("10.0.9.9:7071");
+        let mut claimed = 0usize;
+        for (i, &k) in ks.iter().enumerate() {
+            let now = &bigger.backends()[bigger.primary_for(k)];
+            if now != &before[i] {
+                assert_eq!(now, "10.0.9.9:7071", "a grown ring only moves keys to the newcomer");
+                claimed += 1;
+            }
+        }
+        let expected = ks.len() / (n + 1);
+        assert!(
+            claimed >= expected / 2 && claimed <= expected * 2,
+            "newcomer claimed {claimed} of {} keys (expected ~{expected})",
+            ks.len()
+        );
+    }
+
+    #[test]
+    fn removal_of_unknown_backend_is_a_no_op() {
+        let mut ring = HashRing::new(addrs(3), 8);
+        let before = ring.clone();
+        ring.remove("203.0.113.1:1");
+        for &k in &keys(100) {
+            assert_eq!(ring.primary_for(k), before.primary_for(k));
+        }
+    }
+}

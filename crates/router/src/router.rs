@@ -1,0 +1,825 @@
+//! The router daemon: front-door listener, placement, hedged fan-out,
+//! and failover.
+//!
+//! The front door runs the exact framing loop of the backend daemon
+//! ([`folearn_server::framing`]), so to any client the router *is* a
+//! `folearn serve`. Behind it:
+//!
+//! * `register` is parsed locally, content-hashed, placed on the ring,
+//!   and forwarded to each of its `R` replicas; the ack lists the
+//!   backends that accepted a copy.
+//! * `solve` / `evaluate` / `modelcheck` are hedged reads over the
+//!   structure's live replicas: the primary fires immediately, a hedge
+//!   fires at the next replica after [`RouterConfig::hedge_delay`], and
+//!   the first valid reply wins (the laggard's reply is discarded when
+//!   its channel receiver is gone). Transport failures walk further
+//!   down the replica ladder; deterministic server-side rejections pass
+//!   straight through, since every replica would reject identically.
+//! * Hypothesis ids are *router-assigned*: a `solved` reply is rebound
+//!   to a fresh router id and the winning backend's local id is
+//!   remembered per backend. An `evaluate` landing on a replica with no
+//!   binding re-solves there first — the solver is deterministic and
+//!   the structure text canonical, so the re-solve reproduces the same
+//!   hypothesis — which is what lets an evaluate survive the death of
+//!   the backend that originally learned it.
+//! * A backend that reports `unknown_structure` for a structure the
+//!   router placed (i.e. it restarted and lost its registry) is
+//!   re-seeded from the router's stored canonical text and the call is
+//!   retried on the spot.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use folearn_graph::io;
+use folearn_server::client::{ClientApi, ClientConfig, ClientError, RetryPolicy, RetryingClient};
+use folearn_server::framing::{self, ConnEvent, ConnLimits};
+use folearn_server::proto::{fnv1a64, hex64, Request, Response, WireProvenance};
+use parking_lot::Mutex;
+
+use crate::health::{Health, PROBE_PERIOD};
+use crate::metrics::RouterMetrics;
+use crate::ring::{HashRing, DEFAULT_VNODES};
+
+/// Idle pooled connections kept per backend; excess checkins are
+/// dropped (closing the socket).
+const POOL_KEEP: usize = 8;
+
+/// Router configuration.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Front-door listen address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Backend `folearn serve` addresses (at least one).
+    pub backends: Vec<String>,
+    /// Replicas per structure (clamped to the backend count).
+    pub replicas: usize,
+    /// Virtual nodes per backend on the hash ring.
+    pub vnodes: usize,
+    /// Fire a hedge at the next replica after this long without a
+    /// reply; `None` disables hedging (reads still fail over on error).
+    pub hedge_delay: Option<Duration>,
+    /// Socket deadlines for backend calls. Hedging and failover only
+    /// help against a *hung* backend if reads can time out, so the
+    /// default sets one.
+    pub client: ClientConfig,
+    /// Per-backend-call retry policy (transport-level; replica failover
+    /// sits above it).
+    pub retry: RetryPolicy,
+    /// Consecutive failures before a backend is ejected from rotation.
+    pub eject_after: u32,
+    /// Front-door per-connection limits (same semantics as the backend
+    /// daemon's).
+    pub max_requests_per_conn: usize,
+    /// Longest front-door request line buffered.
+    pub max_line_bytes: usize,
+    /// Front-door idle timeout.
+    pub idle_timeout: Duration,
+    /// Concurrent front-door connections accepted.
+    pub max_connections: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            backends: Vec::new(),
+            replicas: 2,
+            vnodes: DEFAULT_VNODES,
+            hedge_delay: Some(Duration::from_millis(50)),
+            client: ClientConfig::with_deadline(Duration::from_secs(30)),
+            retry: RetryPolicy::backoff(2, 0x524f_5554),
+            eject_after: 3,
+            max_requests_per_conn: 100_000,
+            max_line_bytes: 4 << 20,
+            idle_timeout: Duration::from_secs(300),
+            max_connections: 256,
+        }
+    }
+}
+
+struct Backend {
+    addr: String,
+    pool: Mutex<Vec<RetryingClient>>,
+    health: Health,
+}
+
+/// Placement record for one registered structure.
+#[derive(Clone)]
+struct StructureEntry {
+    /// Canonical graph text (`io::to_text` of the parsed graph) — kept
+    /// so the router can re-seed a backend that lost its registry.
+    graph_text: String,
+    /// Backend indices holding a replica, primary first.
+    replicas: Vec<usize>,
+}
+
+/// A router-assigned hypothesis: which structure it belongs to, the
+/// solve that produced it, and the backend-local ids it is known under.
+struct BoundHyp {
+    structure: u64,
+    /// The original solve request, replayed verbatim to rebind the
+    /// hypothesis on a replica that has never seen it.
+    solve: Request,
+    /// backend index → that backend's local hypothesis id.
+    bindings: HashMap<usize, u64>,
+}
+
+struct RouterState {
+    backends: Vec<Backend>,
+    ring: HashRing,
+    replicas: usize,
+    hedge_delay: Option<Duration>,
+    client_config: ClientConfig,
+    retry: RetryPolicy,
+    structures: Mutex<HashMap<u64, StructureEntry>>,
+    hyps: Mutex<HashMap<u64, BoundHyp>>,
+    next_hyp: AtomicU64,
+    /// Monotone selection counter driving the ejected-backend probe.
+    selection_tick: AtomicU64,
+    metrics: RouterMetrics,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    limits: ConnLimits,
+}
+
+impl RouterState {
+    /// Check a pooled connection out (or dial a fresh one).
+    fn checkout(&self, bi: usize) -> Result<RetryingClient, ClientError> {
+        if let Some(c) = self.backends[bi].pool.lock().pop() {
+            return Ok(c);
+        }
+        RetryingClient::connect(
+            self.backends[bi].addr.as_str(),
+            self.client_config,
+            self.retry.clone(),
+        )
+    }
+
+    /// Return a healthy connection to the pool. Connections are only
+    /// checked in after a clean exchange, so pooled ones have no stale
+    /// response in flight.
+    fn checkin(&self, bi: usize, client: RetryingClient) {
+        let mut pool = self.backends[bi].pool.lock();
+        if pool.len() < POOL_KEEP {
+            pool.push(client);
+        }
+    }
+
+    /// Account one backend call and update its health.
+    fn note_result(&self, bi: usize, ok: bool) {
+        self.metrics.record_backend_call(bi, ok);
+        let health = &self.backends[bi].health;
+        if ok {
+            if !health.is_live() {
+                self.metrics.record_recovery(bi);
+            }
+            health.record_ok();
+        } else if health.record_failure() {
+            self.metrics.record_ejection(bi);
+        }
+    }
+
+    /// The failover ladder for a read: the structure's live replicas in
+    /// placement order. Every [`PROBE_PERIOD`]th selection appends one
+    /// ejected replica at the tail (the probe); if *no* replica is
+    /// live, all of them are candidates — guessing beats refusing.
+    fn candidates(&self, replicas: &[usize]) -> Vec<usize> {
+        let tick = self.selection_tick.fetch_add(1, Ordering::SeqCst);
+        let (live, ejected): (Vec<usize>, Vec<usize>) = replicas
+            .iter()
+            .copied()
+            .partition(|&i| self.backends[i].health.is_live());
+        if live.is_empty() {
+            return replicas.to_vec();
+        }
+        let mut out = live;
+        if let Some(&probe) = ejected.first() {
+            if tick % PROBE_PERIOD == 0 {
+                out.push(probe);
+            }
+        }
+        out
+    }
+
+    fn sync_gauges(&self) {
+        self.metrics
+            .set_store_sizes(self.structures.lock().len(), self.hyps.lock().len());
+    }
+
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Poke the acceptor so a blocking accept() observes the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running router. Call [`RouterHandle::shutdown`] or
+/// [`RouterHandle::wait`]; dropping the handle detaches its threads.
+pub struct RouterHandle {
+    addr: SocketAddr,
+    state: Arc<RouterState>,
+    acceptor: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl RouterHandle {
+    /// The bound front-door address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Ask the router to stop, then wait for all threads. Backends are
+    /// *not* shut down — they are independent daemons.
+    pub fn shutdown(mut self) {
+        self.state.request_shutdown();
+        self.join_all();
+    }
+
+    /// Block until a client issues a `shutdown` request, then clean up.
+    pub fn wait(mut self) {
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        loop {
+            let handle = self.connections.lock().pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// Bind the front door and start routing. Returns once the listener is
+/// live; backends are dialled lazily, per call.
+pub fn start(config: &RouterConfig) -> std::io::Result<RouterHandle> {
+    if config.backends.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "router needs at least one backend",
+        ));
+    }
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let state = Arc::new(RouterState {
+        backends: config
+            .backends
+            .iter()
+            .map(|a| Backend {
+                addr: a.clone(),
+                pool: Mutex::new(Vec::new()),
+                health: Health::new(config.eject_after),
+            })
+            .collect(),
+        ring: HashRing::new(config.backends.clone(), config.vnodes.max(1)),
+        replicas: config.replicas.max(1),
+        hedge_delay: config.hedge_delay,
+        client_config: config.client,
+        retry: config.retry.clone(),
+        structures: Mutex::new(HashMap::new()),
+        hyps: Mutex::new(HashMap::new()),
+        next_hyp: AtomicU64::new(1),
+        selection_tick: AtomicU64::new(1),
+        metrics: RouterMetrics::new_with_backends(&config.backends),
+        shutdown: AtomicBool::new(false),
+        addr,
+        limits: ConnLimits {
+            max_requests_per_conn: config.max_requests_per_conn.max(1),
+            max_line_bytes: config.max_line_bytes.max(1),
+            idle_timeout: config.idle_timeout,
+        },
+    });
+    let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let max_connections = config.max_connections.max(1);
+    let acceptor = {
+        let state = Arc::clone(&state);
+        let connections = Arc::clone(&connections);
+        std::thread::Builder::new()
+            .name("folearn-router-acceptor".to_string())
+            .spawn(move || {
+                for incoming in listener.incoming() {
+                    if state.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(mut stream) = incoming else { continue };
+                    let admitted = {
+                        let mut conns = connections.lock();
+                        conns.retain(|h| !h.is_finished());
+                        conns.len() < max_connections
+                    };
+                    if !admitted {
+                        let _ = framing::write_response(
+                            &mut stream,
+                            &Response::Bye {
+                                reason: "connection limit".to_string(),
+                            },
+                        );
+                        continue;
+                    }
+                    let state = Arc::clone(&state);
+                    let handle = std::thread::Builder::new()
+                        .name("folearn-router-conn".to_string())
+                        .spawn(move || serve_connection(&state, stream))
+                        .expect("spawn router connection thread");
+                    connections.lock().push(handle);
+                }
+            })?
+    };
+
+    Ok(RouterHandle {
+        addr,
+        state,
+        acceptor: Some(acceptor),
+        connections,
+    })
+}
+
+fn serve_connection(state: &Arc<RouterState>, stream: TcpStream) {
+    let wants_shutdown = framing::serve_framed(
+        stream,
+        &state.limits,
+        &state.shutdown,
+        |req| handle_request(state, req),
+        |op, us, ok| state.metrics.record_request(op, us, ok),
+        |_ev: ConnEvent| {},
+    );
+    if wants_shutdown {
+        state.request_shutdown();
+    }
+}
+
+fn handle_request(state: &Arc<RouterState>, req: Request) -> Response {
+    match req {
+        Request::Ping => Response::Pong,
+        Request::Shutdown => Response::Bye {
+            reason: "shutdown".to_string(),
+        },
+        Request::Stats => {
+            state.sync_gauges();
+            Response::Stats {
+                data: state.metrics.snapshot(),
+            }
+        }
+        Request::Register { graph_text } => handle_register(state, &graph_text),
+        req @ Request::Solve { .. } => handle_solve(state, req),
+        Request::Evaluate {
+            structure,
+            hypothesis,
+            tuples,
+            labels,
+        } => handle_evaluate(state, structure, hypothesis, tuples, labels),
+        req @ Request::ModelCheck { .. } => handle_modelcheck(state, req),
+    }
+}
+
+// ---------------------------------------------------------------------
+// register: place on the ring, seed every replica
+// ---------------------------------------------------------------------
+
+fn handle_register(state: &Arc<RouterState>, graph_text: &str) -> Response {
+    let g = match io::parse_graph(graph_text) {
+        Ok(g) => g,
+        Err(e) => return Response::error(format!("register: {e}")),
+    };
+    let canonical = io::to_text(&g);
+    let hash = fnv1a64(canonical.as_bytes());
+    let (vertices, edges) = (g.num_vertices(), g.num_edges());
+    let replicas = state.ring.replicas_for(hash, state.replicas);
+
+    let mut placed = Vec::new();
+    let mut last_error = String::new();
+    for &bi in &replicas {
+        match register_on(state, bi, &canonical) {
+            Ok(()) => {
+                state.note_result(bi, true);
+                placed.push(state.backends[bi].addr.clone());
+            }
+            Err(e) => {
+                state.note_result(bi, false);
+                last_error = e.to_string();
+            }
+        }
+    }
+    if placed.is_empty() {
+        return Response::error_coded(
+            "no_replicas",
+            format!(
+                "register: no replica accepted structure {}: {last_error}",
+                hex64(hash)
+            ),
+        );
+    }
+    let fresh = state
+        .structures
+        .lock()
+        .insert(
+            hash,
+            StructureEntry {
+                graph_text: canonical,
+                replicas,
+            },
+        )
+        .is_none();
+    Response::Registered {
+        structure: hash,
+        vertices,
+        edges,
+        fresh,
+        replicas: Some(placed),
+    }
+}
+
+fn register_on(state: &Arc<RouterState>, bi: usize, canonical: &str) -> Result<(), ClientError> {
+    let mut client = state.checkout(bi)?;
+    let hash = client.register(canonical)?;
+    debug_assert_eq!(hash, fnv1a64(canonical.as_bytes()));
+    state.checkin(bi, client);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// hedged fan-out
+// ---------------------------------------------------------------------
+
+/// The reply that won a hedged call, with enough context for
+/// provenance.
+struct Winner {
+    response: Response,
+    /// Backend index that answered.
+    backend: usize,
+    /// Rank in the candidate ladder (0 = primary).
+    rank: usize,
+    /// Whether the winning launch was a hedge.
+    hedged: bool,
+}
+
+/// Was this failure caused by the *path* (worth trying another replica)
+/// rather than by the request itself? Same classification as the
+/// client's retry policy: transport errors and in-flight corruption
+/// fail over; a deterministic server-side rejection would repeat
+/// identically on every replica, so it passes through.
+fn is_transport(e: &ClientError) -> bool {
+    RetryPolicy::is_retryable(e)
+}
+
+/// Run `op` against the candidate ladder with hedging and failover.
+///
+/// Rank 0 launches immediately. If no reply lands within the hedge
+/// delay, rank 1 launches as a *hedge*. Any transport failure launches
+/// the next unlaunched rank as a *failover*. First `Ok` wins; its
+/// laggards' sends fail silently once the receiver is dropped. Returns
+/// the pass-through error response if a replica rejected the request
+/// deterministically, or an `all replicas failed` error if the ladder
+/// is exhausted.
+// `Err` is the ready-to-send protocol reply; `Response` travels by value
+// through every handler, and the error arm is the cold path.
+#[allow(clippy::result_large_err)]
+fn hedged_call<F>(state: &Arc<RouterState>, candidates: &[usize], op: F) -> Result<Winner, Response>
+where
+    F: Fn(&Arc<RouterState>, usize) -> Result<Response, ClientError> + Send + Sync + 'static,
+{
+    assert!(!candidates.is_empty(), "candidates must be non-empty");
+    let op = Arc::new(op);
+    let (tx, rx) = mpsc::channel::<(usize, bool, Result<Response, ClientError>)>();
+    let launch = |rank: usize, is_hedge: bool| {
+        let state = Arc::clone(state);
+        let op = Arc::clone(&op);
+        let tx = tx.clone();
+        let bi = candidates[rank];
+        std::thread::Builder::new()
+            .name("folearn-router-call".to_string())
+            .spawn(move || {
+                let result = op(&state, bi);
+                // The receiver is gone once another replica won: the
+                // laggard's answer is discarded right here.
+                let _ = tx.send((rank, is_hedge, result));
+            })
+            .expect("spawn backend call thread");
+    };
+
+    launch(0, false);
+    let mut outstanding = 1usize;
+    let mut next = 1usize;
+    // Hedging applies only while the primary is silent; after the first
+    // message (success or failure) further launches are failovers.
+    let mut may_hedge = state.hedge_delay.is_some();
+    loop {
+        let msg = if may_hedge && next < candidates.len() {
+            match rx.recv_timeout(state.hedge_delay.expect("checked by may_hedge")) {
+                Ok(m) => m,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    state.metrics.record_hedge_fired();
+                    launch(next, true);
+                    next += 1;
+                    outstanding += 1;
+                    may_hedge = false;
+                    continue;
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    unreachable!("a sender is held by this scope")
+                }
+            }
+        } else {
+            rx.recv().expect("a sender is held by this scope")
+        };
+        may_hedge = false;
+        let (rank, is_hedge, result) = msg;
+        match result {
+            Ok(response) => {
+                state.note_result(candidates[rank], true);
+                if is_hedge {
+                    state.metrics.record_hedge_won();
+                }
+                return Ok(Winner {
+                    response,
+                    backend: candidates[rank],
+                    rank,
+                    hedged: is_hedge,
+                });
+            }
+            Err(e) => {
+                state.note_result(candidates[rank], false);
+                outstanding -= 1;
+                if !is_transport(&e) {
+                    // Deterministic rejection: every replica would say
+                    // the same, so say it now.
+                    return Err(match e {
+                        ClientError::Server { message, code } => Response::Error { message, code },
+                        other => Response::error(other.to_string()),
+                    });
+                }
+                if next < candidates.len() {
+                    state.metrics.record_replica_retry();
+                    launch(next, false);
+                    next += 1;
+                    outstanding += 1;
+                } else if outstanding == 0 {
+                    return Err(Response::error(format!("all replicas failed: {e}")));
+                }
+            }
+        }
+    }
+}
+
+fn provenance(state: &Arc<RouterState>, w: &Winner) -> WireProvenance {
+    WireProvenance {
+        backend: state.backends[w.backend].addr.clone(),
+        replica: w.rank,
+        hedged: w.hedged,
+    }
+}
+
+// ---------------------------------------------------------------------
+// reads: solve / evaluate / modelcheck
+// ---------------------------------------------------------------------
+
+/// Look up a structure's placement, or the coded error a client can
+/// react to.
+#[allow(clippy::result_large_err)]
+fn placement(state: &Arc<RouterState>, structure: u64, op: &str) -> Result<StructureEntry, Response> {
+    state.structures.lock().get(&structure).cloned().ok_or_else(|| {
+        Response::error_coded(
+            "unknown_structure",
+            format!("{op}: unknown structure {}", hex64(structure)),
+        )
+    })
+}
+
+/// One backend exchange, re-seeding the backend's registry if it
+/// restarted and forgot a structure the router placed on it.
+fn call_with_reseed(
+    state: &Arc<RouterState>,
+    bi: usize,
+    req: &Request,
+    graph_text: &str,
+) -> Result<Response, ClientError> {
+    let mut client = state.checkout(bi)?;
+    let mut resp = client.call(req);
+    if is_unknown_structure(&resp) {
+        client.register(graph_text)?;
+        resp = client.call(req);
+    }
+    let resp = resp?;
+    state.checkin(bi, client);
+    Ok(resp)
+}
+
+fn is_unknown_structure(r: &Result<Response, ClientError>) -> bool {
+    matches!(
+        r,
+        Err(ClientError::Server {
+            code: Some(c),
+            ..
+        }) if c == "unknown_structure"
+    )
+}
+
+fn is_stale_binding(r: &Result<Response, ClientError>) -> bool {
+    matches!(
+        r,
+        Err(ClientError::Server {
+            code: Some(c),
+            ..
+        }) if c == "unknown_structure" || c == "unknown_hypothesis"
+    )
+}
+
+fn handle_solve(state: &Arc<RouterState>, req: Request) -> Response {
+    let structure = match &req {
+        Request::Solve { structure, .. } => *structure,
+        _ => unreachable!("handle_solve is dispatched on Request::Solve"),
+    };
+    let entry = match placement(state, structure, "solve") {
+        Ok(e) => e,
+        Err(resp) => return resp,
+    };
+    let candidates = state.candidates(&entry.replicas);
+    let req_for_op = req.clone();
+    let graph_text = entry.graph_text.clone();
+    let winner = hedged_call(state, &candidates, move |state, bi| {
+        call_with_reseed(state, bi, &req_for_op, &graph_text)
+    });
+    match winner {
+        Ok(w) => {
+            let prov = provenance(state, &w);
+            match w.response {
+                Response::Solved(mut outcome) => {
+                    let backend_id = outcome.hypothesis.id;
+                    let router_id = state.next_hyp.fetch_add(1, Ordering::SeqCst);
+                    state.hyps.lock().insert(
+                        router_id,
+                        BoundHyp {
+                            structure,
+                            solve: req,
+                            bindings: HashMap::from([(w.backend, backend_id)]),
+                        },
+                    );
+                    outcome.hypothesis.id = router_id;
+                    outcome.provenance = Some(prov);
+                    Response::Solved(outcome)
+                }
+                other => other,
+            }
+        }
+        Err(resp) => resp,
+    }
+}
+
+fn handle_modelcheck(state: &Arc<RouterState>, req: Request) -> Response {
+    let Request::ModelCheck { structure, .. } = &req else {
+        unreachable!("handle_modelcheck is dispatched on Request::ModelCheck")
+    };
+    let entry = match placement(state, *structure, "modelcheck") {
+        Ok(e) => e,
+        Err(resp) => return resp,
+    };
+    let candidates = state.candidates(&entry.replicas);
+    let graph_text = entry.graph_text.clone();
+    let winner = hedged_call(state, &candidates, move |state, bi| {
+        call_with_reseed(state, bi, &req, &graph_text)
+    });
+    match winner {
+        Ok(w) => {
+            let prov = provenance(state, &w);
+            match w.response {
+                Response::Truth { holds, .. } => Response::Truth {
+                    holds,
+                    provenance: Some(prov),
+                },
+                other => other,
+            }
+        }
+        Err(resp) => resp,
+    }
+}
+
+fn handle_evaluate(
+    state: &Arc<RouterState>,
+    structure: u64,
+    hypothesis: u64,
+    tuples: Vec<Vec<u32>>,
+    labels: Option<Vec<bool>>,
+) -> Response {
+    let bound = {
+        let hyps = state.hyps.lock();
+        hyps.get(&hypothesis).map(|b| (b.structure, b.solve.clone()))
+    };
+    let Some((h_structure, solve_req)) = bound else {
+        return Response::error_coded(
+            "unknown_hypothesis",
+            format!("evaluate: unknown hypothesis {}", hex64(hypothesis)),
+        );
+    };
+    if h_structure != structure {
+        return Response::error("evaluate: hypothesis was learned on a different structure");
+    }
+    let entry = match placement(state, structure, "evaluate") {
+        Ok(e) => e,
+        Err(resp) => return resp,
+    };
+    let candidates = state.candidates(&entry.replicas);
+    let graph_text = entry.graph_text.clone();
+    let winner = hedged_call(state, &candidates, move |state, bi| {
+        evaluate_on(
+            state, bi, hypothesis, structure, &solve_req, &graph_text, &tuples, &labels,
+        )
+    });
+    match winner {
+        Ok(w) => {
+            let prov = provenance(state, &w);
+            match w.response {
+                Response::Predictions { labels, error, .. } => Response::Predictions {
+                    labels,
+                    error,
+                    provenance: Some(prov),
+                },
+                other => other,
+            }
+        }
+        Err(resp) => resp,
+    }
+}
+
+/// Evaluate a router hypothesis on one backend, creating the
+/// backend-local binding first if this replica has never solved it.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_on(
+    state: &Arc<RouterState>,
+    bi: usize,
+    router_id: u64,
+    structure: u64,
+    solve_req: &Request,
+    graph_text: &str,
+    tuples: &[Vec<u32>],
+    labels: &Option<Vec<bool>>,
+) -> Result<Response, ClientError> {
+    let mut client = state.checkout(bi)?;
+    let binding = {
+        let hyps = state.hyps.lock();
+        hyps.get(&router_id).and_then(|b| b.bindings.get(&bi).copied())
+    };
+    let backend_hyp = match binding {
+        Some(id) => id,
+        None => rebind(state, &mut client, bi, router_id, solve_req, graph_text)?,
+    };
+    let eval = |hyp: u64| Request::Evaluate {
+        structure,
+        hypothesis: hyp,
+        tuples: tuples.to_vec(),
+        labels: labels.clone(),
+    };
+    let mut resp = client.call(&eval(backend_hyp));
+    if is_stale_binding(&resp) {
+        // The backend restarted between binding and call: re-seed the
+        // structure, re-solve, and retry with the fresh id.
+        let fresh = rebind(state, &mut client, bi, router_id, solve_req, graph_text)?;
+        resp = client.call(&eval(fresh));
+    }
+    let resp = resp?;
+    state.checkin(bi, client);
+    Ok(resp)
+}
+
+/// Replay the original solve on backend `bi` to obtain a local id for a
+/// router hypothesis. Deterministic solver + canonical structure text
+/// mean the replay reproduces the original hypothesis exactly (and the
+/// backend's result cache makes repeats cheap).
+fn rebind(
+    state: &Arc<RouterState>,
+    client: &mut RetryingClient,
+    bi: usize,
+    router_id: u64,
+    solve_req: &Request,
+    graph_text: &str,
+) -> Result<u64, ClientError> {
+    let mut resp = client.call(solve_req);
+    if is_unknown_structure(&resp) {
+        client.register(graph_text)?;
+        resp = client.call(solve_req);
+    }
+    match resp? {
+        Response::Solved(outcome) => {
+            let id = outcome.hypothesis.id;
+            if let Some(b) = state.hyps.lock().get_mut(&router_id) {
+                b.bindings.insert(bi, id);
+            }
+            Ok(id)
+        }
+        other => Err(ClientError::Unexpected(format!(
+            "wanted `solved` while rebinding, got `{}`",
+            other.encode()
+        ))),
+    }
+}

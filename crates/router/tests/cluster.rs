@@ -1,0 +1,385 @@
+//! Acceptance tests for the cluster router: a live 3-node loopback
+//! cluster behind `folearn-cluster` must be indistinguishable — bit for
+//! bit — from the in-process oracle, including with a backend killed
+//! mid-workload and with one router→backend link garbled by the chaos
+//! proxy.
+//!
+//! Cross-replica identity rests on canonical type keys: each backend
+//! numbers types in its own arena, but `RemoteOracle` groups oracle
+//! answers by `(type_keys, params, q)`, which agree across replicas.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use folearn_cluster::{start as start_router, RouterConfig, RouterHandle};
+use folearn_graph::{generators, io, ColorId, Graph, Vocabulary};
+use folearn_hardness::oracle::{BruteForceOracle, RemoteOracle};
+use folearn_hardness::reduction::{model_check_via_erm, ReductionReport};
+use folearn_logic::parse;
+use folearn_server::{
+    start as start_server, ChaosConfig, ChaosProxy, Client, ClientApi, ClientConfig,
+    ClientError, Direction, FaultKind, Request, Response, RetryPolicy, ServerConfig,
+    ServerHandle, SolverSpec, WireExample,
+};
+
+fn colored_path(n: usize, stride: usize) -> Graph {
+    let g = generators::path(n, Vocabulary::new(["Red"]));
+    generators::periodically_colored(&g, ColorId(0), stride)
+}
+
+fn spawn_backends(n: usize) -> (Vec<String>, HashMap<String, ServerHandle>) {
+    let mut addrs = Vec::new();
+    let mut by_addr = HashMap::new();
+    for _ in 0..n {
+        let h = start_server(&ServerConfig::default()).expect("backend starts");
+        let a = h.addr().to_string();
+        addrs.push(a.clone());
+        by_addr.insert(a, h);
+    }
+    (addrs, by_addr)
+}
+
+fn router_over(backends: Vec<String>, replicas: usize) -> RouterHandle {
+    start_router(&RouterConfig {
+        backends,
+        replicas,
+        client: ClientConfig::with_deadline(Duration::from_secs(5)),
+        retry: RetryPolicy {
+            max_retries: 3,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(20),
+            seed: 7,
+        },
+        ..RouterConfig::default()
+    })
+    .expect("router starts")
+}
+
+fn reports_match(a: &ReductionReport, b: &ReductionReport, context: &str) {
+    assert_eq!(a.result, b.result, "[{context}] verdict diverged");
+    assert_eq!(a.oracle_calls, b.oracle_calls, "[{context}] call-count diverged");
+    assert_eq!(
+        a.realizable_calls, b.realizable_calls,
+        "[{context}] realisability split diverged"
+    );
+    assert_eq!(
+        a.representative_set_sizes, b.representative_set_sizes,
+        "[{context}] Ramsey grouping diverged — canonical keys are not replica-independent"
+    );
+    assert_eq!(a.max_depth, b.max_depth, "[{context}] depth diverged");
+}
+
+const SENTENCES: [&str; 3] = [
+    "exists x0. Red(x0) & exists x1. E(x0, x1) & Red(x1)",
+    "forall x0. Red(x0) -> exists x1. E(x0, x1) & !Red(x1)",
+    "(exists x0. Red(x0)) & !(forall x0. Red(x0))",
+];
+
+fn baselines(g: &Graph) -> Vec<ReductionReport> {
+    let vocab = g.vocab().as_ref().clone();
+    SENTENCES
+        .iter()
+        .map(|s| {
+            let phi = parse(s, &vocab).unwrap();
+            let mut local = BruteForceOracle::new();
+            model_check_via_erm(g, &phi, &mut local)
+        })
+        .collect()
+}
+
+#[test]
+fn cluster_reduction_is_bit_identical_to_in_process() {
+    let (addrs, by_addr) = spawn_backends(3);
+    let router = router_over(addrs, 2);
+
+    let g = colored_path(7, 3);
+    let vocab = g.vocab().as_ref().clone();
+    let expected = baselines(&g);
+
+    let mut remote = RemoteOracle::connect(router.addr()).expect("oracle connects to router");
+    for (s, baseline) in SENTENCES.iter().zip(&expected) {
+        let phi = parse(s, &vocab).unwrap();
+        let report = model_check_via_erm(&g, &phi, &mut remote);
+        reports_match(&report, baseline, s);
+    }
+
+    router.shutdown();
+    for (_, h) in by_addr {
+        h.shutdown();
+    }
+}
+
+#[test]
+fn reduction_survives_a_backend_killed_mid_reduction() {
+    let (addrs, mut by_addr) = spawn_backends(3);
+    let router = router_over(addrs, 2);
+
+    let g = colored_path(7, 3);
+    let vocab = g.vocab().as_ref().clone();
+    let expected = baselines(&g);
+
+    // Register through a probe first so we know which backends hold the
+    // structure — the kill must hit a replica that actually serves it.
+    let mut probe = Client::connect(router.addr()).expect("probe connects");
+    let ack = probe
+        .call(&Request::Register {
+            graph_text: io::to_text(&g),
+        })
+        .expect("register through router");
+    let Response::Registered {
+        replicas: Some(replicas),
+        ..
+    } = ack
+    else {
+        panic!("router register ack must list replicas")
+    };
+    assert_eq!(replicas.len(), 2, "R=2 placement");
+
+    let mut remote = RemoteOracle::connect(router.addr()).expect("oracle connects");
+
+    // First sentence with the whole cluster alive.
+    let phi = parse(SENTENCES[0], &vocab).unwrap();
+    reports_match(
+        &model_check_via_erm(&g, &phi, &mut remote),
+        &expected[0],
+        SENTENCES[0],
+    );
+
+    // Kill the structure's primary replica while the second reduction
+    // runs: the router must fail the affected calls over to the other
+    // replica without the client noticing.
+    let victim = by_addr.remove(&replicas[0]).expect("victim handle");
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(20));
+        victim.shutdown();
+    });
+    let phi = parse(SENTENCES[1], &vocab).unwrap();
+    reports_match(
+        &model_check_via_erm(&g, &phi, &mut remote),
+        &expected[1],
+        SENTENCES[1],
+    );
+    killer.join().unwrap();
+
+    // And a whole reduction with the backend fully gone.
+    let phi = parse(SENTENCES[2], &vocab).unwrap();
+    reports_match(
+        &model_check_via_erm(&g, &phi, &mut remote),
+        &expected[2],
+        SENTENCES[2],
+    );
+
+    // The router must have actually failed over (and, once the failure
+    // streak crossed the threshold, ejected the dead backend).
+    let stats = probe.stats().expect("router stats");
+    let retries = stats.get("replica_retries").unwrap().as_usize().unwrap();
+    let failovers = stats.get("failovers").unwrap().as_usize().unwrap();
+    assert!(retries > 0, "backend died but no replica retry was recorded");
+    assert!(failovers > 0, "dead backend was never ejected");
+
+    router.shutdown();
+    for (_, h) in by_addr {
+        h.shutdown();
+    }
+}
+
+#[test]
+fn reduction_survives_one_garbled_router_backend_link() {
+    let (mut addrs, by_addr) = spawn_backends(3);
+    // Interpose the chaos proxy on the router's link to backend 1: a
+    // fixed fraction of frames crossing that link get a byte flipped.
+    let victim: std::net::SocketAddr = addrs[1].parse().unwrap();
+    let proxy = ChaosProxy::start(
+        victim,
+        ChaosConfig {
+            kind: FaultKind::Garble,
+            rate: 0.10,
+            delay: Duration::from_millis(100),
+            direction: Direction::Both,
+            seed: 0xC1A5,
+        },
+    )
+    .expect("proxy starts");
+    addrs[1] = proxy.addr().to_string();
+
+    // R=3: every backend (including the garbled one) holds every
+    // structure, so the poisoned link sees real traffic.
+    let router = start_router(&RouterConfig {
+        backends: addrs,
+        replicas: 3,
+        client: ClientConfig::with_deadline(Duration::from_millis(500)),
+        retry: RetryPolicy {
+            max_retries: 8,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(40),
+            seed: 3,
+        },
+        ..RouterConfig::default()
+    })
+    .expect("router starts");
+
+    let g = colored_path(7, 3);
+    let vocab = g.vocab().as_ref().clone();
+    let expected = baselines(&g);
+
+    let mut remote = RemoteOracle::connect(router.addr()).expect("oracle connects");
+    for (s, baseline) in SENTENCES.iter().zip(&expected) {
+        let phi = parse(s, &vocab).unwrap();
+        let report = model_check_via_erm(&g, &phi, &mut remote);
+        reports_match(&report, baseline, s);
+    }
+    assert!(proxy.faults_injected() > 0, "the garbled link saw no traffic");
+
+    router.shutdown();
+    proxy.shutdown();
+    for (_, h) in by_addr {
+        h.shutdown();
+    }
+}
+
+#[test]
+fn front_door_speaks_the_protocol_with_cluster_extensions() {
+    let (addrs, by_addr) = spawn_backends(3);
+    let backend_addrs: Vec<String> = addrs.clone();
+    let router = router_over(addrs, 2);
+
+    let mut c = Client::connect(router.addr()).expect("client connects");
+    c.ping().expect("ping");
+
+    // Unknown structure: coded error, no backend involved.
+    let err = c
+        .modelcheck(0xdead_beef, "exists x0. Red(x0)")
+        .expect_err("unknown structure must fail");
+    match err {
+        ClientError::Server { code, message } => {
+            assert_eq!(code.as_deref(), Some("unknown_structure"));
+            assert!(message.contains("dead"), "message names the hash: {message}");
+        }
+        other => panic!("wanted coded server error, got {other}"),
+    }
+
+    // Register: ack lists the replica set.
+    let g = colored_path(8, 4);
+    let ack = c
+        .call(&Request::Register {
+            graph_text: io::to_text(&g),
+        })
+        .expect("register");
+    let Response::Registered {
+        structure,
+        fresh,
+        replicas: Some(replicas),
+        ..
+    } = ack
+    else {
+        panic!("wanted registered ack with replicas")
+    };
+    assert!(fresh);
+    assert_eq!(replicas.len(), 2);
+    for r in &replicas {
+        assert!(backend_addrs.contains(r), "replica {r} is not a backend");
+    }
+
+    // Solve: the reply carries provenance naming a real backend, and the
+    // hypothesis id is router-assigned and usable.
+    let examples = vec![
+        WireExample {
+            tuple: vec![0],
+            label: false,
+        },
+        WireExample {
+            tuple: vec![1],
+            label: true,
+        },
+    ];
+    let outcome = c
+        .solve(structure, examples, 1, 0, 0.25, SolverSpec::default_brute())
+        .expect("solve through router");
+    let prov = outcome.provenance.expect("router attaches provenance");
+    assert!(replicas.contains(&prov.backend), "provenance names a replica");
+    assert!(
+        !outcome.hypothesis.type_keys.is_empty(),
+        "canonical keys ride along"
+    );
+
+    // Evaluate against the router id.
+    let tuples: Vec<Vec<u32>> = (0..8).map(|v| vec![v]).collect();
+    let (preds, _) = c
+        .evaluate(structure, outcome.hypothesis.id, tuples, None)
+        .expect("evaluate through router");
+    assert_eq!(preds.len(), 8);
+
+    // Unknown hypothesis: coded error.
+    let err = c
+        .evaluate(structure, 0x4242, vec![vec![0]], None)
+        .expect_err("unknown hypothesis must fail");
+    match err {
+        ClientError::Server { code, .. } => {
+            assert_eq!(code.as_deref(), Some("unknown_hypothesis"));
+        }
+        other => panic!("wanted coded server error, got {other}"),
+    }
+
+    // Modelcheck with provenance, and router-flavoured stats.
+    assert!(c
+        .modelcheck(structure, "exists x0. Red(x0)")
+        .expect("modelcheck"));
+    let stats = c.stats().expect("stats");
+    assert_eq!(
+        stats.get("role").and_then(|r| r.as_str()),
+        Some("router"),
+        "router stats are distinguishable from backend stats"
+    );
+    assert!(stats.get("hedges_fired").is_some());
+    let rows = stats.get("backends").unwrap().as_arr().unwrap();
+    assert_eq!(rows.len(), 3);
+
+    router.shutdown();
+    for (_, h) in by_addr {
+        h.shutdown();
+    }
+}
+
+#[test]
+fn evaluate_rebinds_after_the_learning_backend_dies() {
+    let (addrs, mut by_addr) = spawn_backends(3);
+    let router = router_over(addrs, 2);
+
+    let mut c = Client::connect(router.addr()).expect("client connects");
+    let g = colored_path(8, 4);
+    let structure = c.register(&io::to_text(&g)).expect("register");
+    let examples = vec![
+        WireExample {
+            tuple: vec![0],
+            label: false,
+        },
+        WireExample {
+            tuple: vec![1],
+            label: true,
+        },
+    ];
+    let outcome = c
+        .solve(structure, examples, 1, 0, 0.25, SolverSpec::default_brute())
+        .expect("solve");
+    let prov = outcome.provenance.expect("provenance");
+    let hyp = outcome.hypothesis.id;
+
+    let tuples: Vec<Vec<u32>> = (0..8).map(|v| vec![v]).collect();
+    let (before, _) = c.evaluate(structure, hyp, tuples.clone(), None).expect("evaluate");
+
+    // Kill exactly the backend that learned the hypothesis. The router
+    // must rebind by re-solving on a surviving replica — deterministic
+    // solver, canonical structure text — and answer identically.
+    let victim = by_addr.remove(&prov.backend).expect("victim handle");
+    victim.shutdown();
+
+    let (after, _) = c
+        .evaluate(structure, hyp, tuples, None)
+        .expect("evaluate after backend death");
+    assert_eq!(before, after, "rebound hypothesis predicts differently");
+
+    router.shutdown();
+    for (_, h) in by_addr {
+        h.shutdown();
+    }
+}

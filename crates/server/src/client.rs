@@ -46,7 +46,13 @@ pub enum ClientError {
     /// The response line was not valid protocol JSON.
     Proto(ProtoError),
     /// The daemon replied with an `error` response.
-    Server(String),
+    Server {
+        /// The human-readable message.
+        message: String,
+        /// The machine-readable class, when the daemon sent one (e.g.
+        /// `"unknown_structure"` from the cluster router).
+        code: Option<String>,
+    },
     /// The daemon replied with a well-formed but unexpected variant.
     Unexpected(String),
 }
@@ -56,7 +62,14 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "io error: {e}"),
             ClientError::Proto(e) => write!(f, "protocol error: {e}"),
-            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Server {
+                message,
+                code: Some(code),
+            } => write!(f, "server error [{code}]: {message}"),
+            ClientError::Server {
+                message,
+                code: None,
+            } => write!(f, "server error: {message}"),
             ClientError::Unexpected(m) => write!(f, "unexpected response: {m}"),
         }
     }
@@ -212,7 +225,7 @@ pub trait ClientApi {
             labels,
         };
         match self.call(&req)? {
-            Response::Predictions { labels, error } => Ok((labels, error)),
+            Response::Predictions { labels, error, .. } => Ok((labels, error)),
             other => Err(unexpected("predictions", &other)),
         }
     }
@@ -236,7 +249,7 @@ pub trait ClientApi {
             engine,
         };
         match self.call(&req)? {
-            Response::Truth { holds } => Ok(holds),
+            Response::Truth { holds, .. } => Ok(holds),
             other => Err(unexpected("truth", &other)),
         }
     }
@@ -273,8 +286,8 @@ impl ClientApi for Client {
             )));
         }
         let response = Response::decode(reply.trim_end())?;
-        if let Response::Error { message } = response {
-            return Err(ClientError::Server(message));
+        if let Response::Error { message, code } = response {
+            return Err(ClientError::Server { message, code });
         }
         Ok(response)
     }
@@ -339,7 +352,7 @@ impl RetryPolicy {
     pub fn is_retryable(error: &ClientError) -> bool {
         match error {
             ClientError::Io(_) | ClientError::Proto(_) | ClientError::Unexpected(_) => true,
-            ClientError::Server(message) => message.starts_with("malformed request"),
+            ClientError::Server { message, .. } => message.starts_with("malformed request"),
         }
     }
 

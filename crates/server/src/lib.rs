@@ -36,6 +36,7 @@
 pub mod cache;
 pub mod chaos;
 pub mod client;
+pub mod framing;
 pub mod loadgen;
 pub mod metrics;
 pub mod pool;
@@ -46,6 +47,9 @@ pub use chaos::{ChaosConfig, ChaosProxy, Direction, FaultKind};
 pub use client::{
     Client, ClientApi, ClientConfig, ClientError, RetryPolicy, RetryingClient, TransportStats,
 };
-pub use loadgen::{run_load, LoadgenConfig, LoadReport};
-pub use proto::{Json, Request, Response, SolveOutcome, SolverSpec, WireExample};
+pub use loadgen::{run_load, run_load_multi, LoadgenConfig, LoadReport};
+pub use proto::{
+    fnv1a64, hex64, parse_hex64, Json, ProtoError, Request, Response, SolveOutcome, SolverSpec,
+    WireExample, WireHypothesis, WireProvenance,
+};
 pub use server::{start, ServerConfig, ServerHandle};

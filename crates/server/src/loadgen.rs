@@ -126,6 +126,10 @@ pub struct LoadReport {
     pub worker_errors: Vec<(usize, String)>,
     /// Per-operation latency tallies: `(op, stats)`.
     pub ops: Vec<(String, OpStats)>,
+    /// Per-target tallies: `(address, requests, server errors)` — one
+    /// row per distinct `--addr`, so a mixed router/backend run shows
+    /// which target produced the failures.
+    pub targets: Vec<(String, usize, usize)>,
 }
 
 impl LoadReport {
@@ -155,6 +159,14 @@ impl LoadReport {
             let mine = self.op_mut(&op);
             mine.count += stats.count;
             mine.latencies_us.extend(stats.latencies_us);
+        }
+        for (addr, requests, errors) in other.targets {
+            if let Some(row) = self.targets.iter_mut().find(|(a, _, _)| *a == addr) {
+                row.1 += requests;
+                row.2 += errors;
+            } else {
+                self.targets.push((addr, requests, errors));
+            }
         }
     }
 
@@ -209,6 +221,21 @@ impl LoadReport {
                         .collect(),
                 ),
             ),
+            (
+                "targets",
+                Json::Arr(
+                    self.targets
+                        .iter()
+                        .map(|(addr, requests, errors)| {
+                            Json::obj([
+                                ("addr", Json::str(addr.clone())),
+                                ("requests", Json::int(*requests)),
+                                ("errors", Json::int(*errors)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 }
@@ -240,6 +267,7 @@ fn worker_run(
     for (i, &n) in ts.retry_histogram.iter().enumerate() {
         report.retry_histogram[i] += n;
     }
+    report.targets = vec![(addr.to_string(), report.requests, report.errors)];
     (report, outcome.err().map(|e| e.to_string()))
 }
 
@@ -304,7 +332,7 @@ fn worker_drive(
                     hypotheses.push((structure, outcome.hypothesis.id));
                     report.op_mut("solve").record(us_since(t0));
                 }
-                Err(ClientError::Server(_)) => report.errors += 1,
+                Err(ClientError::Server { .. }) => report.errors += 1,
                 Err(e) => return Err(e),
             }
         } else if roll < 75 && !hypotheses.is_empty() {
@@ -314,19 +342,19 @@ fn worker_drive(
                 .collect();
             match client.evaluate(s, h, tuples, None) {
                 Ok(_) => report.op_mut("evaluate").record(us_since(t0)),
-                Err(ClientError::Server(_)) => report.errors += 1,
+                Err(ClientError::Server { .. }) => report.errors += 1,
                 Err(e) => return Err(e),
             }
         } else if roll < 90 {
             match client.modelcheck(structure, "exists x0. exists x1. E(x0, x1)") {
                 Ok(_) => report.op_mut("modelcheck").record(us_since(t0)),
-                Err(ClientError::Server(_)) => report.errors += 1,
+                Err(ClientError::Server { .. }) => report.errors += 1,
                 Err(e) => return Err(e),
             }
         } else {
             match client.stats() {
                 Ok(_) => report.op_mut("stats").record(us_since(t0)),
-                Err(ClientError::Server(_)) => report.errors += 1,
+                Err(ClientError::Server { .. }) => report.errors += 1,
                 Err(e) => return Err(e),
             }
         }
@@ -345,12 +373,31 @@ fn us_since(t: Instant) -> u64 {
 /// [`LoadReport::worker_errors`] row (its completed requests still
 /// count) rather than voiding the run.
 pub fn run_load(addr: SocketAddr, graph_text: &str, config: &LoadgenConfig) -> LoadReport {
+    run_load_multi(&[addr], graph_text, config)
+}
+
+/// Like [`run_load`], but spread workers round-robin over several
+/// targets (worker `w` drives `addrs[w % addrs.len()]`) — so one run can
+/// mix a cluster router and raw backends and compare them via the
+/// per-target rows of the report.
+///
+/// # Panics
+/// Panics if `addrs` is empty.
+pub fn run_load_multi(
+    addrs: &[SocketAddr],
+    graph_text: &str,
+    config: &LoadgenConfig,
+) -> LoadReport {
+    assert!(!addrs.is_empty(), "run_load_multi needs at least one addr");
     let started = Instant::now();
     let mut merged = LoadReport::default();
     let results: Vec<std::thread::Result<(LoadReport, Option<String>)>> =
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..config.connections.max(1))
-                .map(|w| scope.spawn(move || worker_run(addr, graph_text, config, w)))
+                .map(|w| {
+                    let addr = addrs[w % addrs.len()];
+                    scope.spawn(move || worker_run(addr, graph_text, config, w))
+                })
                 .collect();
             handles.into_iter().map(|h| h.join()).collect()
         });

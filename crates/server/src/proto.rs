@@ -38,10 +38,14 @@ pub fn hex64(x: u64) -> String {
     format!("{x:016x}")
 }
 
-/// Parse a [`hex64`] string.
+/// Parse a [`hex64`] string. The error names the offending token so a
+/// bad id buried in a large message can be located from the message
+/// alone.
 pub fn parse_hex64(s: &str) -> Result<u64, ProtoError> {
     if s.len() != 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
-        return Err(ProtoError::new(format!("bad 64-bit hex id {s:?}")));
+        return Err(ProtoError::new(format!(
+            "bad 64-bit hex id {s:?} (want exactly 16 hex digits)"
+        )));
     }
     u64::from_str_radix(s, 16).map_err(|e| ProtoError::new(format!("bad hex id {s:?}: {e}")))
 }
@@ -443,11 +447,18 @@ pub struct SolveOutcome {
     /// trace of the run that populated the cache, so repeat solves stay
     /// bit-identical modulo the `cached` flag.
     pub trace: Option<Json>,
+    /// Which cluster node answered (router-attached; `None` from a plain
+    /// server).
+    pub provenance: Option<WireProvenance>,
 }
 
 /// A learned hypothesis on the wire. The `types` ids are relative to the
 /// server's per-vocabulary arena: stable across calls within one server
 /// lifetime (so clients can group equal answers), meaningless elsewhere.
+/// The `type_keys` are the *canonical* content hashes of the same types
+/// (`folearn_types::canon`): backend-independent, so a client talking to
+/// a cluster can recognise the same hypothesis regardless of which
+/// replica answered.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WireHypothesis {
     /// Server-assigned id for follow-up `evaluate` calls.
@@ -460,6 +471,9 @@ pub struct WireHypothesis {
     pub mode: String,
     /// Positive type ids in the server's arena, sorted.
     pub types: Vec<u32>,
+    /// Canonical (arena-independent) keys of the positive types, sorted.
+    /// Empty when the message came from a pre-cluster server.
+    pub type_keys: Vec<u64>,
     /// Human-readable summary (`Hypothesis::describe`).
     pub describe: String,
 }
@@ -478,6 +492,10 @@ impl WireHypothesis {
                 "types",
                 Json::Arr(self.types.iter().map(|&t| Json::int(t as usize)).collect()),
             ),
+            (
+                "type_keys",
+                Json::Arr(self.type_keys.iter().map(|&k| Json::str(hex64(k))).collect()),
+            ),
             ("describe", Json::str(self.describe.clone())),
         ])
     }
@@ -489,9 +507,53 @@ impl WireHypothesis {
             q: get_usize(v, "q")?,
             mode: get_str(v, "mode")?.to_string(),
             types: get_u32_arr(v, "types")?,
+            type_keys: get_hex_arr_opt(v, "type_keys")?,
             describe: get_str(v, "describe")?.to_string(),
         })
     }
+}
+
+/// Where a reply actually came from, attached by the cluster router so
+/// clients (and the bench suite) can audit hedging and failover. Plain
+/// servers never emit it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireProvenance {
+    /// Backend address that produced the winning reply.
+    pub backend: String,
+    /// Replica rank of that backend for the structure (0 = primary).
+    pub replica: usize,
+    /// Whether the winning reply came from a hedge request.
+    pub hedged: bool,
+}
+
+impl WireProvenance {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("backend", Json::str(self.backend.clone())),
+            ("replica", Json::int(self.replica)),
+            ("hedged", Json::Bool(self.hedged)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, ProtoError> {
+        Ok(WireProvenance {
+            backend: get_str(v, "backend")?.to_string(),
+            replica: get_usize(v, "replica")?,
+            hedged: get_bool(v, "hedged")?,
+        })
+    }
+}
+
+/// Decode an optional provenance field (absent/null from plain servers).
+fn get_provenance(v: &Json) -> Result<Option<WireProvenance>, ProtoError> {
+    match v.get("provenance") {
+        None | Some(Json::Null) => Ok(None),
+        Some(p) => Ok(Some(WireProvenance::from_json(p)?)),
+    }
+}
+
+fn provenance_json(p: &Option<WireProvenance>) -> Json {
+    p.as_ref().map_or(Json::Null, WireProvenance::to_json)
 }
 
 /// A server response (one per line).
@@ -509,6 +571,9 @@ pub enum Response {
         edges: usize,
         /// `false` if the structure was already registered.
         fresh: bool,
+        /// Backend addresses now holding a replica (router-attached ack;
+        /// `None` from a plain server).
+        replicas: Option<Vec<String>>,
     },
     /// Reply to `solve`.
     Solved(SolveOutcome),
@@ -518,11 +583,15 @@ pub enum Response {
         labels: Vec<bool>,
         /// Error rate against the provided labels, if any were given.
         error: Option<f64>,
+        /// Which cluster node answered (router-attached).
+        provenance: Option<WireProvenance>,
     },
     /// Reply to `modelcheck`.
     Truth {
         /// Whether the structure models the sentence.
         holds: bool,
+        /// Which cluster node answered (router-attached).
+        provenance: Option<WireProvenance>,
     },
     /// Reply to `stats` (free-form metrics object).
     Stats {
@@ -533,6 +602,10 @@ pub enum Response {
     Error {
         /// What went wrong.
         message: String,
+        /// Machine-readable error class (e.g. `"unknown_structure"`),
+        /// when the sender classified the failure. Plain-string errors
+        /// from older servers decode with `None`.
+        code: Option<String>,
     },
     /// Connection is closing (graceful shutdown or request limit).
     Bye {
@@ -542,6 +615,22 @@ pub enum Response {
 }
 
 impl Response {
+    /// An error response with no machine-readable class.
+    pub fn error(message: impl Into<String>) -> Self {
+        Response::Error {
+            message: message.into(),
+            code: None,
+        }
+    }
+
+    /// An error response carrying a machine-readable class.
+    pub fn error_coded(code: impl Into<String>, message: impl Into<String>) -> Self {
+        Response::Error {
+            message: message.into(),
+            code: Some(code.into()),
+        }
+    }
+
     /// Render as a single wire line (no trailing newline).
     pub fn encode(&self) -> String {
         self.to_json().render()
@@ -561,12 +650,22 @@ impl Response {
                 vertices,
                 edges,
                 fresh,
+                replicas,
             } => Json::obj([
                 ("resp", Json::str("registered")),
                 ("structure", Json::str(hex64(*structure))),
                 ("vertices", Json::int(*vertices)),
                 ("edges", Json::int(*edges)),
                 ("fresh", Json::Bool(*fresh)),
+                (
+                    "replicas",
+                    match replicas {
+                        None => Json::Null,
+                        Some(rs) => {
+                            Json::Arr(rs.iter().map(|r| Json::str(r.clone())).collect())
+                        }
+                    },
+                ),
             ]),
             Response::Solved(o) => Json::obj([
                 ("resp", Json::str("solved")),
@@ -578,26 +677,37 @@ impl Response {
                 ("solver", Json::str(o.solver.clone())),
                 ("hypothesis", o.hypothesis.to_json()),
                 ("trace", o.trace.clone().unwrap_or(Json::Null)),
+                ("provenance", provenance_json(&o.provenance)),
             ]),
-            Response::Predictions { labels, error } => Json::obj([
+            Response::Predictions {
+                labels,
+                error,
+                provenance,
+            } => Json::obj([
                 ("resp", Json::str("predictions")),
                 (
                     "labels",
                     Json::Arr(labels.iter().map(|&b| Json::Bool(b)).collect()),
                 ),
                 ("error", error.map_or(Json::Null, Json::Num)),
+                ("provenance", provenance_json(provenance)),
             ]),
-            Response::Truth { holds } => Json::obj([
+            Response::Truth { holds, provenance } => Json::obj([
                 ("resp", Json::str("truth")),
                 ("holds", Json::Bool(*holds)),
+                ("provenance", provenance_json(provenance)),
             ]),
             Response::Stats { data } => Json::obj([
                 ("resp", Json::str("stats")),
                 ("data", data.clone()),
             ]),
-            Response::Error { message } => Json::obj([
+            Response::Error { message, code } => Json::obj([
                 ("resp", Json::str("error")),
                 ("message", Json::str(message.clone())),
+                (
+                    "code",
+                    code.as_ref().map_or(Json::Null, |c| Json::str(c.clone())),
+                ),
             ]),
             Response::Bye { reason } => Json::obj([
                 ("resp", Json::str("bye")),
@@ -615,6 +725,22 @@ impl Response {
                 vertices: get_usize(v, "vertices")?,
                 edges: get_usize(v, "edges")?,
                 fresh: get_bool(v, "fresh")?,
+                replicas: match v.get("replicas") {
+                    None | Some(Json::Null) => None,
+                    Some(rs) => Some(
+                        rs.as_arr()
+                            .ok_or_else(|| {
+                                ProtoError::new("registered.replicas must be an array")
+                            })?
+                            .iter()
+                            .map(|r| {
+                                r.as_str().map(str::to_string).ok_or_else(|| {
+                                    ProtoError::new("registered.replicas must hold strings")
+                                })
+                            })
+                            .collect::<Result<Vec<_>, ProtoError>>()?,
+                    ),
+                },
             }),
             "solved" => Ok(Response::Solved(SolveOutcome {
                 cached: get_bool(v, "cached")?,
@@ -634,6 +760,7 @@ impl Response {
                     None | Some(Json::Null) => None,
                     Some(t) => Some(t.clone()),
                 },
+                provenance: get_provenance(v)?,
             })),
             "predictions" => Ok(Response::Predictions {
                 labels: v
@@ -653,9 +780,11 @@ impl Response {
                         ProtoError::new("predictions.error must be a number or null")
                     })?),
                 },
+                provenance: get_provenance(v)?,
             }),
             "truth" => Ok(Response::Truth {
                 holds: get_bool(v, "holds")?,
+                provenance: get_provenance(v)?,
             }),
             "stats" => Ok(Response::Stats {
                 data: v
@@ -665,6 +794,16 @@ impl Response {
             }),
             "error" => Ok(Response::Error {
                 message: get_str(v, "message")?.to_string(),
+                code: match v.get("code") {
+                    None | Some(Json::Null) => None,
+                    Some(c) => Some(
+                        c.as_str()
+                            .ok_or_else(|| {
+                                ProtoError::new("error.code must be a string or null")
+                            })?
+                            .to_string(),
+                    ),
+                },
             }),
             "bye" => Ok(Response::Bye {
                 reason: get_str(v, "reason")?.to_string(),
@@ -695,7 +834,7 @@ fn get_usize(v: &Json, key: &str) -> Result<usize, ProtoError> {
 }
 
 fn get_hex(v: &Json, key: &str) -> Result<u64, ProtoError> {
-    parse_hex64(get_str(v, key)?)
+    parse_hex64(get_str(v, key)?).map_err(|e| ProtoError::new(format!("field {key:?}: {e}")))
 }
 
 fn u32_arr(v: &Json, what: &str) -> Result<Vec<u32>, ProtoError> {
@@ -708,6 +847,27 @@ fn u32_arr(v: &Json, what: &str) -> Result<Vec<u32>, ProtoError> {
                 .ok_or_else(|| ProtoError::new(format!("{what} must hold u32 values")))
         })
         .collect()
+}
+
+/// An optional array of [`hex64`] ids; absent/null decodes as empty (the
+/// pre-cluster wire form).
+fn get_hex_arr_opt(v: &Json, key: &str) -> Result<Vec<u64>, ProtoError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(Vec::new()),
+        Some(a) => a
+            .as_arr()
+            .ok_or_else(|| ProtoError::new(format!("field {key:?} must be an array")))?
+            .iter()
+            .map(|x| {
+                x.as_str()
+                    .ok_or_else(|| ProtoError::new(format!("field {key:?} must hold hex ids")))
+                    .and_then(|s| {
+                        parse_hex64(s)
+                            .map_err(|e| ProtoError::new(format!("field {key:?}: {e}")))
+                    })
+            })
+            .collect(),
+    }
 }
 
 fn get_u32_arr(v: &Json, key: &str) -> Result<Vec<u32>, ProtoError> {
@@ -803,6 +963,17 @@ mod tests {
                 vertices: 8,
                 edges: 7,
                 fresh: false,
+                replicas: None,
+            },
+            Response::Registered {
+                structure: 100,
+                vertices: 1,
+                edges: 0,
+                fresh: true,
+                replicas: Some(vec![
+                    "127.0.0.1:4100".to_string(),
+                    "127.0.0.1:4101".to_string(),
+                ]),
             },
             Response::Solved(SolveOutcome {
                 cached: true,
@@ -817,6 +988,7 @@ mod tests {
                     q: 1,
                     mode: "local=2".to_string(),
                     types: vec![0, 4, 9],
+                    type_keys: vec![1, 0xdead_beef_cafe_f00d, u64::MAX],
                     describe: "Hypothesis(3 positive types, params=[V(7)], …)".to_string(),
                 },
                 trace: Some(Json::obj([
@@ -827,6 +999,11 @@ mod tests {
                         Json::obj([("evaluated_params", Json::int(25))]),
                     ),
                 ])),
+                provenance: Some(WireProvenance {
+                    backend: "127.0.0.1:4101".to_string(),
+                    replica: 1,
+                    hedged: true,
+                }),
             }),
             Response::Solved(SolveOutcome {
                 cached: false,
@@ -841,19 +1018,30 @@ mod tests {
                     q: 0,
                     mode: "global".to_string(),
                     types: vec![],
+                    type_keys: vec![],
                     describe: "trivial".to_string(),
                 },
                 trace: None,
+                provenance: None,
             }),
             Response::Predictions {
                 labels: vec![true, false, true],
                 error: Some(1.0 / 3.0),
+                provenance: Some(WireProvenance {
+                    backend: "127.0.0.1:4100".to_string(),
+                    replica: 0,
+                    hedged: false,
+                }),
             },
             Response::Predictions {
                 labels: vec![],
                 error: None,
+                provenance: None,
             },
-            Response::Truth { holds: true },
+            Response::Truth {
+                holds: true,
+                provenance: None,
+            },
             Response::Stats {
                 data: Json::obj([
                     ("requests", Json::int(12)),
@@ -862,7 +1050,9 @@ mod tests {
             },
             Response::Error {
                 message: "line 2: unknown colour \"Grün\"\nsecond line".to_string(),
+                code: None,
             },
+            Response::error_coded("unknown_structure", "unknown structure 00000000000000ff"),
             Response::Bye {
                 reason: "request limit".to_string(),
             },
@@ -916,6 +1106,49 @@ mod tests {
             fnv1a64(SolverSpec::default_brute().to_json().render().as_bytes()),
             fnv1a64(vm.to_json().render().as_bytes()),
         );
+    }
+
+    #[test]
+    fn legacy_messages_decode_with_cluster_fields_defaulted() {
+        // A pre-cluster server's reply: no replicas, no provenance, no
+        // code, no type_keys.
+        let legacy = r#"{"resp": "registered", "structure": "0000000000000063", "vertices": 8, "edges": 7, "fresh": false}"#;
+        match Response::decode(legacy).unwrap() {
+            Response::Registered { replicas, .. } => assert_eq!(replicas, None),
+            other => panic!("{other:?}"),
+        }
+        let legacy = r#"{"resp": "truth", "holds": false}"#;
+        match Response::decode(legacy).unwrap() {
+            Response::Truth { provenance, .. } => assert_eq!(provenance, None),
+            other => panic!("{other:?}"),
+        }
+        let legacy = r#"{"resp": "error", "message": "boom"}"#;
+        match Response::decode(legacy).unwrap() {
+            Response::Error { code, .. } => assert_eq!(code, None),
+            other => panic!("{other:?}"),
+        }
+        let legacy = concat!(
+            r#"{"resp": "solved", "cached": false, "error": 0.0, "work": 1, "evaluated": 1, "#,
+            r#""pruned": 0, "solver": "s", "hypothesis": {"id": "0000000000000001", "#,
+            r#""params": [], "q": 0, "mode": "global", "types": [], "describe": "d"}}"#,
+        );
+        match Response::decode(legacy).unwrap() {
+            Response::Solved(o) => {
+                assert_eq!(o.hypothesis.type_keys, Vec::<u64>::new());
+                assert_eq!(o.provenance, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn hex_errors_name_the_token_and_the_field() {
+        let e = parse_hex64("0xlol").unwrap_err();
+        assert!(e.0.contains("\"0xlol\""), "{e}");
+        let bad = r#"{"op": "modelcheck", "structure": "nope", "formula": "t"}"#;
+        let e = Request::decode(bad).unwrap_err();
+        assert!(e.0.contains("\"structure\""), "{e}");
+        assert!(e.0.contains("\"nope\""), "{e}");
     }
 
     #[test]

@@ -22,14 +22,13 @@
 //! oracle does.
 
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use folearn::bruteforce::BruteForceOpts;
 use folearn::ndlearner::NdConfig;
@@ -42,6 +41,7 @@ use folearn_types::TypeArena;
 use parking_lot::Mutex;
 
 use crate::cache::LruCache;
+use crate::framing::{self, ConnEvent, ConnLimits};
 use crate::metrics::Metrics;
 use crate::pool::WorkerPool;
 use crate::proto::{
@@ -271,7 +271,7 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
                     };
                     if !admitted {
                         state.metrics.record_rejected_connection();
-                        let _ = write_response(
+                        let _ = framing::write_response(
                             &mut stream,
                             &Response::Bye {
                                 reason: "connection limit".to_string(),
@@ -300,184 +300,30 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
     })
 }
 
-/// How often a blocked read re-checks the shutdown flag (and, since the
-/// idle timeout piggybacks on the same poll, the granularity of idle
-/// detection).
-const POLL_INTERVAL: Duration = Duration::from_millis(100);
-
-/// How the framing loop ended for one request line.
-enum Framing {
-    /// A complete newline-terminated frame is in the buffer.
-    Complete,
-    /// Clean EOF at a frame boundary: the peer is done.
-    Eof,
-    /// The peer hung up (or shut down its write half) mid-frame.
-    Truncated,
-    /// The frame exceeded [`ServerConfig::max_line_bytes`].
-    Oversize,
-    /// No completed request within [`ServerConfig::idle_timeout`].
-    Idle,
-}
-
 fn serve_connection(state: &Arc<State>, pool: &Arc<WorkerPool>, stream: TcpStream) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
+    let limits = ConnLimits {
+        max_requests_per_conn: state.max_requests_per_conn,
+        max_line_bytes: state.max_line_bytes,
+        idle_timeout: state.idle_timeout,
     };
-    let mut reader = BufReader::new(stream);
-    let mut served = 0usize;
-    let mut line = String::new();
-    let mut last_activity = Instant::now();
-    loop {
-        line.clear();
-        // Poll for a full line, re-checking the shutdown flag whenever
-        // the read times out. Partial reads accumulate in `line`, so
-        // both the oversize check and the idle clock see a slow-loris
-        // peer trickling bytes without ever sending a newline.
-        let framing = loop {
-            if state.shutdown.load(Ordering::SeqCst) {
-                let _ = write_response(
-                    &mut writer,
-                    &Response::Bye {
-                        reason: "shutdown".to_string(),
-                    },
-                );
-                return;
-            }
-            match reader.read_line(&mut line) {
-                // EOF with nothing buffered is a clean hangup; EOF with
-                // a partial frame left over is a truncated request.
-                Ok(0) => {
-                    break if line.trim().is_empty() {
-                        Framing::Eof
-                    } else {
-                        Framing::Truncated
-                    }
-                }
-                Ok(_) => {
-                    if line.len() > state.max_line_bytes {
-                        break Framing::Oversize;
-                    }
-                    if line.ends_with('\n') {
-                        break Framing::Complete;
-                    }
-                    // `read_line` returns `Ok` without a trailing
-                    // newline only at EOF: the frame was cut short.
-                    break Framing::Truncated;
-                }
-                Err(e)
-                    if e.kind() == ErrorKind::WouldBlock
-                        || e.kind() == ErrorKind::TimedOut
-                        || e.kind() == ErrorKind::Interrupted =>
-                {
-                    if line.len() > state.max_line_bytes {
-                        break Framing::Oversize;
-                    }
-                    if last_activity.elapsed() >= state.idle_timeout {
-                        break Framing::Idle;
-                    }
-                }
-                Err(_) => return,
-            }
-        };
-        match framing {
-            Framing::Complete => {}
-            Framing::Eof => return,
-            Framing::Truncated => {
-                state.metrics.record_truncated_frame();
-                let _ = write_response(
-                    &mut writer,
-                    &Response::Error {
-                        message: "malformed request: truncated frame (EOF before newline)"
-                            .to_string(),
-                    },
-                );
-                return;
-            }
-            Framing::Oversize => {
-                state.metrics.record_oversize_close();
-                let _ = write_response(
-                    &mut writer,
-                    &Response::Error {
-                        message: format!(
-                            "malformed request: line exceeds {} bytes",
-                            state.max_line_bytes
-                        ),
-                    },
-                );
-                return;
-            }
-            Framing::Idle => {
-                state.metrics.record_idle_close();
-                let _ = write_response(
-                    &mut writer,
-                    &Response::Bye {
-                        reason: "idle timeout".to_string(),
-                    },
-                );
-                return;
-            }
-        }
-        if line.trim().is_empty() {
-            continue;
-        }
-
-        served += 1;
-        if served > state.max_requests_per_conn {
-            state.metrics.record_over_limit();
-            let _ = write_response(
-                &mut writer,
-                &Response::Bye {
-                    reason: "request limit".to_string(),
-                },
-            );
-            return;
-        }
-
-        let started = Instant::now();
-        let (op, response) = match Request::decode(line.trim_end()) {
-            Ok(req) => {
-                let op = req.op();
-                (op, handle_request(state, pool, req))
-            }
-            Err(e) => (
-                // The prefix is load-bearing: a correct client knows its
-                // frame was well-formed, so a "malformed request" error
-                // proves in-flight corruption and is safe to retry (see
-                // `RetryPolicy::is_retryable`).
-                "malformed",
-                Response::Error {
-                    message: format!("malformed request: {e}"),
-                },
-            ),
-        };
-        let ok = !matches!(response, Response::Error { .. });
-        let us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-        state.metrics.record_request(op, us, ok);
-
-        let closing = matches!(response, Response::Bye { .. });
-        if write_response(&mut writer, &response).is_err() {
-            return;
-        }
-        last_activity = Instant::now();
-        if closing {
-            if let Response::Bye { reason } = &response {
-                if reason == "shutdown" {
-                    state.request_shutdown();
-                }
-            }
-            return;
-        }
+    // The framing loop (shared with the cluster router) owns the wire;
+    // this daemon plugs in its dispatch and metrics.
+    let wants_shutdown = framing::serve_framed(
+        stream,
+        &limits,
+        &state.shutdown,
+        |req| handle_request(state, pool, req),
+        |op, us, ok| state.metrics.record_request(op, us, ok),
+        |ev| match ev {
+            ConnEvent::TruncatedFrame => state.metrics.record_truncated_frame(),
+            ConnEvent::OversizeClose => state.metrics.record_oversize_close(),
+            ConnEvent::IdleClose => state.metrics.record_idle_close(),
+            ConnEvent::OverLimitClose => state.metrics.record_over_limit(),
+        },
+    );
+    if wants_shutdown {
+        state.request_shutdown();
     }
-}
-
-fn write_response(writer: &mut TcpStream, response: &Response) -> std::io::Result<()> {
-    let mut line = response.encode();
-    line.push('\n');
-    writer.write_all(line.as_bytes())?;
-    writer.flush()
 }
 
 fn handle_request(state: &Arc<State>, pool: &Arc<WorkerPool>, req: Request) -> Response {
@@ -508,11 +354,10 @@ fn handle_request(state: &Arc<State>, pool: &Arc<WorkerPool>, req: Request) -> R
                     vertices,
                     edges,
                     fresh,
+                    replicas: None,
                 }
             }
-            Err(e) => Response::Error {
-                message: format!("register: {e}"),
-            },
+            Err(e) => Response::error(format!("register: {e}")),
         },
         Request::Solve {
             structure,
@@ -584,10 +429,10 @@ fn handle_solve(
     epsilon: f64,
     solver: &SolverSpec,
 ) -> Response {
-    let fail = |message: String| Response::Error { message };
+    let fail = Response::error;
     let g = match state.graph(structure) {
         Ok(g) => g,
-        Err(e) => return fail(format!("solve: {e}")),
+        Err(e) => return Response::error_coded("unknown_structure", format!("solve: {e}")),
     };
     if examples.is_empty() {
         return fail("solve: examples must be non-empty".to_string());
@@ -681,12 +526,21 @@ fn handle_solve(
         let report = solve_fo_erm_with_engine(&inst, &rust_solver, &arena, engine);
         let id = state_for_job.next_hypothesis.fetch_add(1, Ordering::SeqCst);
         let h = &report.hypothesis;
+        // Canonical keys make the hypothesis recognisable across
+        // backends: arena-relative `types` differ between servers, the
+        // content hashes do not.
+        let type_keys = {
+            let arena = h.arena().lock();
+            let mut ck = folearn_types::canon::CanonKeys::new();
+            ck.key_set(&arena, h.positive_types().iter().copied())
+        };
         let wire = WireHypothesis {
             id,
             params: h.params().iter().map(|v| v.0).collect(),
             q: h.q,
             mode: h.mode.to_string(),
             types: h.positive_types().iter().map(|t| t.0).collect(),
+            type_keys,
             describe: h.describe(),
         };
         state_for_job.hypotheses.lock().insert(
@@ -712,6 +566,7 @@ fn handle_solve(
             solver: report.solver_name.to_string(),
             hypothesis: wire,
             trace,
+            provenance: None,
         }
     });
     match outcome {
@@ -719,9 +574,7 @@ fn handle_solve(
             state.cache.lock().insert(cache_key, outcome.clone());
             Response::Solved(outcome)
         }
-        Err(e) => Response::Error {
-            message: format!("solve: {e}"),
-        },
+        Err(e) => Response::error(format!("solve: {e}")),
     }
 }
 
@@ -733,10 +586,10 @@ fn handle_evaluate(
     tuples: Vec<Vec<u32>>,
     labels: Option<Vec<bool>>,
 ) -> Response {
-    let fail = |message: String| Response::Error { message };
+    let fail = Response::error;
     let g = match state.graph(structure) {
         Ok(g) => g,
-        Err(e) => return fail(format!("evaluate: {e}")),
+        Err(e) => return Response::error_coded("unknown_structure", format!("evaluate: {e}")),
     };
     let h = {
         let store = state.hypotheses.lock();
@@ -748,10 +601,13 @@ fn handle_evaluate(
                 )
             }
             None => {
-                return fail(format!(
-                    "evaluate: unknown hypothesis {}",
-                    crate::proto::hex64(hypothesis)
-                ))
+                return Response::error_coded(
+                    "unknown_hypothesis",
+                    format!(
+                        "evaluate: unknown hypothesis {}",
+                        crate::proto::hex64(hypothesis)
+                    ),
+                )
             }
         }
     };
@@ -788,10 +644,12 @@ fn handle_evaluate(
         (predictions, error)
     });
     match result {
-        Ok((labels, error)) => Response::Predictions { labels, error },
-        Err(e) => Response::Error {
-            message: format!("evaluate: {e}"),
+        Ok((labels, error)) => Response::Predictions {
+            labels,
+            error,
+            provenance: None,
         },
+        Err(e) => Response::error(format!("evaluate: {e}")),
     }
 }
 
@@ -805,23 +663,15 @@ fn handle_modelcheck(
     let g = match state.graph(structure) {
         Ok(g) => g,
         Err(e) => {
-            return Response::Error {
-                message: format!("modelcheck: {e}"),
-            }
+            return Response::error_coded("unknown_structure", format!("modelcheck: {e}"))
         }
     };
     let phi = match parser::parse(&formula, g.vocab()) {
         Ok(phi) => phi,
-        Err(e) => {
-            return Response::Error {
-                message: format!("modelcheck: {e}"),
-            }
-        }
+        Err(e) => return Response::error(format!("modelcheck: {e}")),
     };
     if !phi.is_sentence() {
-        return Response::Error {
-            message: "modelcheck: formula must be a sentence (no free variables)".to_string(),
-        };
+        return Response::error("modelcheck: formula must be a sentence (no free variables)");
     }
     // The span ensures the VM's vm_* counters land in the metrics rollup
     // even for standalone model checks.
@@ -834,10 +684,11 @@ fn handle_modelcheck(
         }
         holds
     }) {
-        Ok(holds) => Response::Truth { holds },
-        Err(e) => Response::Error {
-            message: format!("modelcheck: {e}"),
+        Ok(holds) => Response::Truth {
+            holds,
+            provenance: None,
         },
+        Err(e) => Response::error(format!("modelcheck: {e}")),
     }
 }
 

@@ -196,13 +196,13 @@ fn errors_are_protocol_replies_not_disconnects() {
     let err = client
         .solve(7, sample(), 1, 1, 0.0, SolverSpec::default_brute())
         .expect_err("unknown structure");
-    assert!(matches!(err, ClientError::Server(ref m) if m.contains("unknown structure")));
+    assert!(matches!(err, ClientError::Server { message: ref m, .. } if m.contains("unknown structure")));
 
     let structure = client.register(GRAPH).expect("register");
 
     // Bad graph text.
     let err = client.register("vertices 2\nedge 0 9\n").expect_err("bad graph");
-    assert!(matches!(err, ClientError::Server(ref m) if m.contains("register")));
+    assert!(matches!(err, ClientError::Server { message: ref m, .. } if m.contains("register")));
 
     // Mixed arities.
     let bad = vec![
@@ -218,7 +218,7 @@ fn errors_are_protocol_replies_not_disconnects() {
     let err = client
         .solve(structure, bad, 1, 1, 0.0, SolverSpec::default_brute())
         .expect_err("mixed arity");
-    assert!(matches!(err, ClientError::Server(ref m) if m.contains("arity")));
+    assert!(matches!(err, ClientError::Server { message: ref m, .. } if m.contains("arity")));
 
     // Out-of-range vertex.
     let oob = vec![WireExample {
@@ -228,7 +228,7 @@ fn errors_are_protocol_replies_not_disconnects() {
     let err = client
         .solve(structure, oob, 1, 1, 0.0, SolverSpec::default_brute())
         .expect_err("out of range");
-    assert!(matches!(err, ClientError::Server(ref m) if m.contains("out of range")));
+    assert!(matches!(err, ClientError::Server { message: ref m, .. } if m.contains("out of range")));
 
     // Absurd thread count fails with a clear message, no panic.
     let err = client
@@ -246,19 +246,19 @@ fn errors_are_protocol_replies_not_disconnects() {
             },
         )
         .expect_err("too many threads");
-    assert!(matches!(err, ClientError::Server(ref m) if m.contains("threads")));
+    assert!(matches!(err, ClientError::Server { message: ref m, .. } if m.contains("threads")));
 
     // Unknown hypothesis id.
     let err = client
         .evaluate(structure, 0xdead, vec![vec![0]], None)
         .expect_err("unknown hypothesis");
-    assert!(matches!(err, ClientError::Server(ref m) if m.contains(&hex64(0xdead))));
+    assert!(matches!(err, ClientError::Server { message: ref m, .. } if m.contains(&hex64(0xdead))));
 
     // Open formula rejected by modelcheck.
     let err = client
         .modelcheck(structure, "Red(x0)")
         .expect_err("open formula");
-    assert!(matches!(err, ClientError::Server(ref m) if m.contains("sentence")));
+    assert!(matches!(err, ClientError::Server { message: ref m, .. } if m.contains("sentence")));
 
     // Malformed line: raw garbage gets an error reply, connection lives.
     match client.call(&Request::Ping).expect("still alive") {
@@ -351,7 +351,7 @@ fn raw_garbage_gets_a_malformed_request_error() {
     let mut s = TcpStream::connect(handle.addr()).expect("connect");
     s.write_all(b"this is not protocol json\n").expect("write");
     match read_reply(s) {
-        Response::Error { message } => assert!(
+        Response::Error { message, .. } => assert!(
             message.starts_with("malformed request"),
             "retryability contract: the prefix marks in-flight corruption, got {message:?}"
         ),
@@ -377,7 +377,7 @@ fn oversized_frame_is_rejected_and_the_connection_closed() {
     let mut line = String::new();
     reader.read_line(&mut line).expect("a reply line");
     match Response::decode(line.trim_end()).expect("a protocol response") {
-        Response::Error { message } => {
+        Response::Error { message, .. } => {
             assert!(message.starts_with("malformed request"), "{message:?}");
             assert!(message.contains("exceeds 128 bytes"), "{message:?}");
         }
@@ -400,7 +400,7 @@ fn eof_mid_frame_is_rejected_not_served() {
     s.write_all(Request::Ping.encode().as_bytes()).expect("write");
     s.shutdown(Shutdown::Write).expect("half-close");
     match read_reply(s) {
-        Response::Error { message } => {
+        Response::Error { message, .. } => {
             assert!(message.starts_with("malformed request"), "{message:?}");
             assert!(message.contains("truncated"), "{message:?}");
         }

@@ -8,6 +8,7 @@ use folearn::TypeMode;
 use folearn_logic::vm::EvalEngine;
 use folearn_server::proto::{
     Json, Request, Response, SolveOutcome, SolverSpec, WireExample, WireHypothesis,
+    WireProvenance,
 };
 use proptest::collection;
 use proptest::prelude::*;
@@ -74,6 +75,19 @@ fn solver_strategy() -> impl Strategy<Value = SolverSpec> {
                 engine,
             },
         }
+    })
+}
+
+/// Optional provenance (the router-attached "who answered" field):
+/// absent, or a backend string from the nasty palette with a replica
+/// rank and hedged flag.
+fn provenance_strategy() -> impl Strategy<Value = Option<WireProvenance>> {
+    (0u32..2, nasty_string(), 0usize..4, 0u32..2).prop_map(|(some, backend, replica, hedged)| {
+        (some == 1).then_some(WireProvenance {
+            backend,
+            replica,
+            hedged: hedged == 1,
+        })
     })
 }
 
@@ -177,10 +191,12 @@ proptest! {
         q in 0usize..5,
         mode in nasty_string(),
         types in collection::vec(0u32..10000, 0..6),
+        type_keys in collection::vec(0u64..=u64::MAX, 0..6),
         describe in nasty_string(),
         with_trace in 0u32..2,
         trace_name in nasty_string(),
         trace_ns in 0u64..(1u64 << 53),
+        provenance in provenance_strategy(),
     ) {
         // The trace field carries an arbitrary JSON span tree; exercise
         // both its absence and a representative nested value.
@@ -201,8 +217,9 @@ proptest! {
             evaluated,
             pruned,
             solver,
-            hypothesis: WireHypothesis { id, params, q, mode, types, describe },
+            hypothesis: WireHypothesis { id, params, q, mode, types, type_keys, describe },
             trace,
+            provenance,
         }))?;
     }
 
@@ -213,17 +230,30 @@ proptest! {
         edges in 0usize..100000,
         flag in 0u32..2,
         text in nasty_string(),
+        with_replicas in 0u32..2,
+        replicas in collection::vec(nasty_string(), 0..4),
+        with_code in 0u32..2,
+        code in nasty_string(),
+        provenance in provenance_strategy(),
     ) {
         assert_response_round_trip(&Response::Pong)?;
+        // The register-with-replicas ack: a plain server sends None, the
+        // router acks with the backend list (possibly empty on total
+        // registration failure of the tail replicas).
         assert_response_round_trip(&Response::Registered {
             structure,
             vertices,
             edges,
             fresh: flag == 1,
+            replicas: (with_replicas == 1).then_some(replicas),
         })?;
-        assert_response_round_trip(&Response::Truth { holds: flag == 1 })?;
+        assert_response_round_trip(&Response::Truth {
+            holds: flag == 1,
+            provenance,
+        })?;
         assert_response_round_trip(&Response::Error {
             message: text.clone(),
+            code: (with_code == 1).then_some(code),
         })?;
         assert_response_round_trip(&Response::Bye { reason: text })?;
     }
@@ -233,10 +263,12 @@ proptest! {
         labels in collection::vec(0u32..2, 0..8),
         with_error in 0u32..2,
         err_mil in 0u32..=1000,
+        provenance in provenance_strategy(),
     ) {
         assert_response_round_trip(&Response::Predictions {
             labels: labels.into_iter().map(|l| l == 1).collect(),
             error: (with_error == 1).then(|| f64::from(err_mil) / 1000.0),
+            provenance,
         })?;
     }
 

@@ -1,0 +1,200 @@
+//! Canonical (arena-independent) content hashes of types.
+//!
+//! `TypeId`s are arena-relative: the same abstract type gets different ids
+//! in different arenas because numbering depends on interning order. That
+//! is fine inside one process, but a cluster needs to compare hypotheses
+//! produced by *different* backends. The canonical key of a type is a
+//! Merkle-style structural hash — a function of the node's rank, cap,
+//! arity, atomic type, and the *canonical keys* of its children (re-sorted
+//! by key, so child ordering is arena-independent too). Two types over the
+//! same vocabulary have equal canonical keys iff they are equal as
+//! abstract types, up to 64-bit hash collisions.
+
+use std::collections::HashMap;
+
+use crate::arena::{TypeArena, TypeId};
+
+/// FNV-1a over a stream of `u64` words, each fed little-endian.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn word(&mut self, w: u64) {
+        for b in w.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// Memoising canonical-key computer for one arena.
+///
+/// Keys are cached per `TypeId`; because arenas grow monotonically and
+/// never invalidate ids, the cache never goes stale.
+pub struct CanonKeys {
+    memo: HashMap<TypeId, u64>,
+}
+
+impl CanonKeys {
+    /// A fresh, empty key cache.
+    pub fn new() -> Self {
+        Self {
+            memo: HashMap::new(),
+        }
+    }
+
+    /// The canonical key of `id` in `arena`.
+    ///
+    /// Children are hashed first (the arena is a DAG: children always have
+    /// strictly smaller rank), then combined sorted by child key so the
+    /// result is independent of the arena's interning order.
+    pub fn key(&mut self, arena: &TypeArena, id: TypeId) -> u64 {
+        if let Some(&k) = self.memo.get(&id) {
+            return k;
+        }
+        let node = arena.node(id);
+        let mut child_keys: Vec<(u64, u32)> = node
+            .children
+            .iter()
+            .map(|&(c, mult)| (self.key(arena, c), mult))
+            .collect();
+        child_keys.sort_unstable();
+
+        let mut h = Fnv::new();
+        // Domain separator so canonical keys can't collide with raw
+        // structure hashes by construction choice alone.
+        h.word(0x464f_5459_5045_u64); // "FOTYPE"
+        h.word(u64::from(node.rank));
+        h.word(u64::from(node.cap));
+        h.word(u64::from(node.arity));
+        let a = &node.atomic;
+        h.word(u64::from(a.k));
+        h.word(a.eq.len() as u64);
+        for &e in &a.eq {
+            h.word(u64::from(e));
+        }
+        h.word(a.adj.len() as u64);
+        for &w in &a.adj {
+            h.word(w);
+        }
+        h.word(a.colors.len() as u64);
+        for &w in &a.colors {
+            h.word(w);
+        }
+        h.word(child_keys.len() as u64);
+        for (k, mult) in child_keys {
+            h.word(k);
+            h.word(u64::from(mult));
+        }
+        let key = h.0;
+        self.memo.insert(id, key);
+        key
+    }
+
+    /// Canonical keys of a set of ids, sorted and deduplicated — the
+    /// arena-independent identity of a hypothesis's positive type set.
+    pub fn key_set<I: IntoIterator<Item = TypeId>>(
+        &mut self,
+        arena: &TypeArena,
+        ids: I,
+    ) -> Vec<u64> {
+        let mut keys: Vec<u64> = ids.into_iter().map(|id| self.key(arena, id)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+}
+
+impl Default for CanonKeys {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use folearn_graph::{generators, ColorId, Vocabulary, V};
+
+    use super::*;
+    use crate::compute::TypeComputer;
+
+    fn colored_path(n: usize) -> folearn_graph::Graph {
+        let base = generators::path(n, Vocabulary::new(["red"]));
+        generators::periodically_colored(&base, ColorId(0), 2)
+    }
+
+    /// Interning the same types in different orders (hence with different
+    /// `TypeId` numberings) must give identical canonical keys.
+    #[test]
+    fn keys_are_interning_order_independent() {
+        let g = colored_path(6);
+        let tuples: Vec<Vec<V>> = (0..6u32).map(|v| vec![V(v)]).collect();
+
+        let mut a1 = TypeArena::new(Arc::clone(g.vocab()));
+        let mut keys_fwd = Vec::new();
+        {
+            let mut tc = TypeComputer::new(&g, &mut a1);
+            let ids: Vec<TypeId> = tuples.iter().map(|t| tc.type_of(t, 2)).collect();
+            drop(tc);
+            let mut ck = CanonKeys::new();
+            for id in ids {
+                keys_fwd.push(ck.key(&a1, id));
+            }
+        }
+
+        let mut a2 = TypeArena::new(Arc::clone(g.vocab()));
+        let mut keys_rev = Vec::new();
+        {
+            let mut tc = TypeComputer::new(&g, &mut a2);
+            let ids: Vec<TypeId> = tuples.iter().rev().map(|t| tc.type_of(t, 2)).collect();
+            drop(tc);
+            let mut ck = CanonKeys::new();
+            for id in ids.into_iter().rev() {
+                keys_rev.push(ck.key(&a2, id));
+            }
+        }
+
+        assert_eq!(keys_fwd, keys_rev);
+    }
+
+    /// Equal keys ⇔ equal `TypeId` within one arena (no collisions on a
+    /// small but non-trivial family).
+    #[test]
+    fn keys_separate_distinct_types() {
+        let g = colored_path(8);
+        let mut arena = TypeArena::new(Arc::clone(g.vocab()));
+        let mut tc = TypeComputer::new(&g, &mut arena);
+        let ids: Vec<TypeId> = (0..8u32).map(|v| tc.type_of(&[V(v)], 2)).collect();
+        drop(tc);
+        let mut ck = CanonKeys::new();
+        for i in 0..ids.len() {
+            for j in 0..ids.len() {
+                let ki = ck.key(&arena, ids[i]);
+                let kj = ck.key(&arena, ids[j]);
+                assert_eq!(ids[i] == ids[j], ki == kj, "tuples {i} vs {j}");
+            }
+        }
+    }
+
+    /// `key_set` sorts and deduplicates.
+    #[test]
+    fn key_set_is_sorted_and_deduped() {
+        let g = colored_path(5);
+        let mut arena = TypeArena::new(Arc::clone(g.vocab()));
+        let mut tc = TypeComputer::new(&g, &mut arena);
+        let ids: Vec<TypeId> = (0..5u32).map(|v| tc.type_of(&[V(v)], 1)).collect();
+        drop(tc);
+        let mut ck = CanonKeys::new();
+        let doubled: Vec<TypeId> = ids.iter().chain(ids.iter()).copied().collect();
+        let keys = ck.key_set(&arena, doubled);
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(keys, sorted);
+    }
+}

@@ -29,6 +29,7 @@
 
 pub mod arena;
 pub mod atomic;
+pub mod canon;
 pub mod census;
 pub mod compute;
 pub mod ef;
@@ -39,5 +40,6 @@ pub mod satisfies;
 
 pub use arena::{TypeArena, TypeId, TypeNode};
 pub use atomic::AtomicType;
+pub use canon::CanonKeys;
 pub use compute::TypeComputer;
 pub use local::{gaifman_radius, local_type};

@@ -20,7 +20,7 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 # identical hypothesis), and shuts the daemon down cleanly.
 FOLEARN=target/release/folearn
 SMOKE=$(mktemp -d)
-trap 'rm -rf "$SMOKE"; [ -n "${SERVER_PID:-}" ] && kill "$SERVER_PID" 2>/dev/null || true' EXIT
+trap 'rm -rf "$SMOKE"; for P in ${SERVER_PID:-} ${ROUTER_PID:-} ${B1_PID:-} ${B2_PID:-} ${B3_PID:-}; do kill "$P" 2>/dev/null || true; done' EXIT
 
 printf 'colors Red\nvertices 6\nedge 0 1\nedge 1 2\nedge 2 3\nedge 3 4\nedge 4 5\ncolor 0 Red\ncolor 3 Red\n' > "$SMOKE/graph.txt"
 printf '+ 0\n- 1\n- 2\n+ 3\n- 4\n' > "$SMOKE/sample.txt"
@@ -44,6 +44,52 @@ diff <(grep -v cached "$SMOKE/cold.txt") <(grep -v cached "$SMOKE/warm.txt")
 wait "$SERVER_PID"
 SERVER_PID=
 grep -q 'shut down cleanly' "$SMOKE/server.log"
+
+# --- cluster smoke test (hermetic: loopback only, ephemeral ports) --------
+# Boots three backend daemons and the consistent-hash router through the
+# real CLI, learns through the router, kills one backend, and learns a
+# fresh instance again: the surviving replicas must absorb the loss.
+"$FOLEARN" serve --addr 127.0.0.1:0 --addr-file "$SMOKE/b1.addr" --workers 1 > "$SMOKE/b1.log" &
+B1_PID=$!
+"$FOLEARN" serve --addr 127.0.0.1:0 --addr-file "$SMOKE/b2.addr" --workers 1 > "$SMOKE/b2.log" &
+B2_PID=$!
+"$FOLEARN" serve --addr 127.0.0.1:0 --addr-file "$SMOKE/b3.addr" --workers 1 > "$SMOKE/b3.log" &
+B3_PID=$!
+for F in b1 b2 b3; do
+    for _ in $(seq 1 50); do [ -s "$SMOKE/$F.addr" ] && break; sleep 0.1; done
+    [ -s "$SMOKE/$F.addr" ] || { echo "tier1: backend $F never published its address" >&2; exit 1; }
+done
+BACKENDS="$(cat "$SMOKE/b1.addr"),$(cat "$SMOKE/b2.addr"),$(cat "$SMOKE/b3.addr")"
+
+"$FOLEARN" route --backends "$BACKENDS" --replicas 2 --hedge-ms 25 \
+    --addr 127.0.0.1:0 --addr-file "$SMOKE/router.addr" > "$SMOKE/router.log" &
+ROUTER_PID=$!
+for _ in $(seq 1 50); do [ -s "$SMOKE/router.addr" ] && break; sleep 0.1; done
+[ -s "$SMOKE/router.addr" ] || { echo "tier1: router never published its address" >&2; exit 1; }
+RADDR=$(cat "$SMOKE/router.addr")
+
+"$FOLEARN" client --addr "$RADDR" --action ping | grep -q pong
+"$FOLEARN" client --addr "$RADDR" --action solve --graph "$SMOKE/graph.txt" \
+    --examples "$SMOKE/sample.txt" --ell 1 --q 1 --retries 4 > "$SMOKE/routed.txt"
+grep -q 'training error:  0.0000' "$SMOKE/routed.txt"
+"$FOLEARN" client --addr "$RADDR" --action stats | grep -q '"router"'
+
+# Kill one backend; a fresh structure must still learn through the
+# surviving replicas (the router retries and fails over internally).
+kill "$B2_PID"; wait "$B2_PID" 2>/dev/null || true
+B2_PID=
+printf 'colors Red\nvertices 7\nedge 0 1\nedge 1 2\nedge 2 3\nedge 3 4\nedge 4 5\nedge 5 6\ncolor 0 Red\ncolor 3 Red\ncolor 6 Red\n' > "$SMOKE/graph2.txt"
+printf '+ 0\n- 1\n- 2\n+ 3\n- 4\n- 5\n+ 6\n' > "$SMOKE/sample2.txt"
+"$FOLEARN" client --addr "$RADDR" --action solve --graph "$SMOKE/graph2.txt" \
+    --examples "$SMOKE/sample2.txt" --ell 1 --q 1 --retries 4 > "$SMOKE/degraded.txt"
+grep -q 'training error:  0.0000' "$SMOKE/degraded.txt"
+
+"$FOLEARN" client --addr "$RADDR" --action shutdown
+wait "$ROUTER_PID"
+ROUTER_PID=
+grep -q 'shut down cleanly' "$SMOKE/router.log"
+for P in "$B1_PID" "$B3_PID"; do kill "$P" 2>/dev/null || true; wait "$P" 2>/dev/null || true; done
+B1_PID=; B3_PID=
 
 # --- fault-injection smoke test (hermetic: loopback only) -----------------
 # Drives the Lemma 7 reduction and a loadgen mix through the deterministic

@@ -21,6 +21,10 @@ USAGE:
   folearn serve      [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
                      [--max-requests N] [--addr-file PATH] [--max-line BYTES]
                      [--idle-ms MS] [--max-conns N]
+  folearn route      --backends H:P,H:P,... [--replicas R] [--hedge-ms MS]
+                     [--vnodes N] [--eject-after N] [--addr HOST:PORT]
+                     [--addr-file PATH] [--timeout-ms MS] [--retries N]
+                     [--retry-seed N]
   folearn client     --addr HOST:PORT --action ACTION ...
                      [--timeout-ms MS (0 = none)] [--retries N (0 = none)]
                      [--retry-seed N]
@@ -33,7 +37,7 @@ USAGE:
                            | modelcheck --graph G.txt --formula \"<sentence>\"
                                         [--engine tree|vm]
                            | stats | shutdown
-  folearn loadgen    --addr HOST:PORT --graph G.txt [--connections N]
+  folearn loadgen    --addr H:P[,H:P...] --graph G.txt [--connections N]
                      [--requests N] [--seed N] [--pool N] [--ell N] [--q N]
                      [--timeout-ms MS] [--retries N] [--retry-seed N]
 

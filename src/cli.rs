@@ -12,8 +12,9 @@
 //! * `dot        --graph G.txt`
 //! * `trace      --file T.jsonl`
 //! * `serve      [--addr H:P] [--workers N] [--queue N] [--cache N] [--max-requests N] [--max-line BYTES] [--idle-ms N] [--max-conns N] [--addr-file PATH] [--trace on|off]`
+//! * `route      --backends H:P,H:P,… [--replicas R] [--hedge-ms N] [--vnodes N] [--eject-after N] [--addr H:P] [--addr-file PATH] [--timeout-ms N] [--retries N] [--retry-seed N]`
 //! * `client     --addr H:P --action ping|register|solve|evaluate|modelcheck|stats|shutdown [--timeout-ms N] [--retries N] [--retry-seed N] …`
-//! * `loadgen    --addr H:P --graph G.txt [--connections N] [--requests N] [--seed N] [--pool N] [--timeout-ms N] [--retries N] [--retry-seed N]`
+//! * `loadgen    --addr H:P[,H:P…] --graph G.txt [--connections N] [--requests N] [--seed N] [--pool N] [--timeout-ms N] [--retries N] [--retry-seed N]`
 //!
 //! Graphs use the `folearn_graph::io` exchange format; example files have
 //! one example per line: a `+` or `-` label followed by the vertex indices
@@ -195,10 +196,11 @@ pub fn run(command: &str, args: &[String]) -> Result<String, CliError> {
         }
         "trace" => cmd_trace(&opts),
         "serve" => cmd_serve(&opts),
+        "route" => cmd_route(&opts),
         "client" => cmd_client(&opts),
         "loadgen" => cmd_loadgen(&opts),
         other => Err(err(format!(
-            "unknown command {other:?}; expected learn | modelcheck | splitter | types | dot | trace | serve | client | loadgen"
+            "unknown command {other:?}; expected learn | modelcheck | splitter | types | dot | trace | serve | route | client | loadgen"
         ))),
     }
 }
@@ -383,6 +385,79 @@ fn cmd_serve(opts: &Options) -> Result<String, CliError> {
     Ok(format!("folearn-server on {addr}: shut down cleanly\n"))
 }
 
+/// `folearn route`: run the cluster router in front of a set of
+/// `folearn serve` backends. Structures are placed on `--replicas`
+/// backends by consistent hashing; reads hedge to the next replica
+/// after `--hedge-ms` of silence (0 disables hedging; failover on
+/// error still applies). Like `serve`, the bound address is printed
+/// immediately and optionally written to `--addr-file`.
+fn cmd_route(opts: &Options) -> Result<String, CliError> {
+    let defaults = folearn_cluster::RouterConfig::default();
+    let backends: Vec<String> = opts
+        .require("backends")?
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if backends.is_empty() {
+        return Err(err(
+            "--backends expects a comma-separated list of host:port addresses",
+        ));
+    }
+    // The router's own defaults (a read deadline and a couple of
+    // retries) are better daemon defaults than the client's fail-fast
+    // ones, so flags override rather than replace them.
+    let client = match opts.get_usize("timeout-ms", 0)? {
+        0 => defaults.client,
+        ms => ClientConfig::with_deadline(std::time::Duration::from_millis(ms as u64)),
+    };
+    let retry = match opts.get("retries") {
+        None => defaults.retry.clone(),
+        Some(_) => match opts.get_usize("retries", 0)? {
+            0 => RetryPolicy::none(),
+            n => RetryPolicy::backoff(n as u32, opts.get_usize("retry-seed", 0)? as u64),
+        },
+    };
+    let hedge_ms = opts.get_usize(
+        "hedge-ms",
+        defaults.hedge_delay.map_or(0, |d| d.as_millis() as usize),
+    )?;
+    let config = folearn_cluster::RouterConfig {
+        addr: opts.get("addr").unwrap_or("127.0.0.1:0").to_string(),
+        backends,
+        replicas: opts.get_usize("replicas", defaults.replicas)?.max(1),
+        vnodes: opts.get_usize("vnodes", defaults.vnodes)?.max(1),
+        hedge_delay: (hedge_ms > 0)
+            .then(|| std::time::Duration::from_millis(hedge_ms as u64)),
+        client,
+        retry,
+        eject_after: opts.get_usize("eject-after", defaults.eject_after as usize)? as u32,
+        max_requests_per_conn: opts.get_usize("max-requests", defaults.max_requests_per_conn)?,
+        max_line_bytes: opts.get_usize("max-line", defaults.max_line_bytes)?,
+        idle_timeout: std::time::Duration::from_millis(
+            opts.get_usize("idle-ms", defaults.idle_timeout.as_millis() as usize)? as u64,
+        ),
+        max_connections: opts.get_usize("max-conns", defaults.max_connections)?,
+    };
+    let handle = folearn_cluster::start(&config)
+        .map_err(|e| err(format!("cannot start router on {}: {e}", config.addr)))?;
+    let addr = handle.addr();
+    println!(
+        "folearn-router listening on {addr} ({} backends, R={})",
+        config.backends.len(),
+        config.replicas.min(config.backends.len())
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    if let Some(path) = opts.get("addr-file") {
+        std::fs::write(path, addr.to_string())
+            .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+    }
+    handle.wait();
+    Ok(format!("folearn-router on {addr}: shut down cleanly\n"))
+}
+
 /// Parse `--engine tree|vm` (default: the tree-walking evaluator).
 fn parse_engine(opts: &Options) -> Result<EvalEngine, CliError> {
     opts.get("engine")
@@ -533,13 +608,27 @@ fn cmd_client(opts: &Options) -> Result<String, CliError> {
     }
 }
 
-/// `folearn loadgen`: drive a daemon with a deterministic request mix
-/// and report throughput and per-operation latency quantiles.
+/// `folearn loadgen`: drive one or more daemons with a deterministic
+/// request mix and report throughput and per-operation latency
+/// quantiles. `--addr` accepts a comma-separated list; workers
+/// round-robin over the targets and the report breaks out per-target
+/// request and error counts.
 fn cmd_loadgen(opts: &Options) -> Result<String, CliError> {
     let addr_str = opts.require("addr")?;
-    let addr: std::net::SocketAddr = addr_str
-        .parse()
-        .map_err(|_| err(format!("--addr expects host:port, got {addr_str:?}")))?;
+    let addrs: Vec<std::net::SocketAddr> = addr_str
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse()
+                .map_err(|_| err(format!("--addr expects host:port, got {s:?}")))
+        })
+        .collect::<Result<_, _>>()?;
+    if addrs.is_empty() {
+        return Err(err(format!(
+            "--addr expects host:port, got {addr_str:?}"
+        )));
+    }
     let g = load_graph(opts)?;
     let (client, retry) = parse_client_knobs(opts)?;
     let config = LoadgenConfig {
@@ -552,7 +641,7 @@ fn cmd_loadgen(opts: &Options) -> Result<String, CliError> {
         client,
         retry,
     };
-    let report = folearn_server::loadgen::run_load(addr, &io::to_text(&g), &config);
+    let report = folearn_server::loadgen::run_load_multi(&addrs, &io::to_text(&g), &config);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -574,6 +663,11 @@ fn cmd_loadgen(opts: &Options) -> Result<String, CliError> {
             "transport: {} retries, {} reconnects",
             report.retries, report.reconnects
         );
+    }
+    if report.targets.len() > 1 {
+        for (target, requests, errors) in &report.targets {
+            let _ = writeln!(out, "  target {target}: {requests} requests, {errors} errors");
+        }
     }
     for (worker, error) in &report.worker_errors {
         let _ = writeln!(out, "worker {worker} failed: {error}");
@@ -906,6 +1000,120 @@ mod tests {
         assert!(bye.contains("shutting down"));
         let served = server.join().unwrap().unwrap();
         assert!(served.contains("shut down cleanly"), "{served}");
+    }
+
+    #[test]
+    fn route_command_fronts_a_two_backend_cluster() {
+        let dir = tmpdir("route");
+        let gpath = write_graph(&dir);
+        let epath = dir.join("e.txt");
+        std::fs::write(&epath, "+ 0\n+ 3\n+ 6\n- 1\n- 2\n- 4\n- 5\n- 7\n").unwrap();
+
+        // Backends run in-process; the router runs through the CLI.
+        let backend = |_: usize| {
+            folearn_server::start(&ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: 1,
+                ..ServerConfig::default()
+            })
+            .unwrap()
+        };
+        let (b0, b1) = (backend(0), backend(1));
+        let backends = format!("{},{}", b0.addr(), b1.addr());
+
+        let addr_file = dir.join("router-addr.txt");
+        let route_args: Vec<String> = [
+            "--backends",
+            backends.as_str(),
+            "--replicas",
+            "2",
+            "--hedge-ms",
+            "10",
+            "--addr",
+            "127.0.0.1:0",
+            "--addr-file",
+            addr_file.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let router = std::thread::spawn(move || run("route", &route_args));
+        let addr = {
+            let mut waited = 0;
+            loop {
+                if let Ok(a) = std::fs::read_to_string(&addr_file) {
+                    if !a.is_empty() {
+                        break a;
+                    }
+                }
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                waited += 20;
+                assert!(waited < 5000, "router did not come up");
+            }
+        };
+
+        let client_args = |extra: &[&str]| -> Vec<String> {
+            ["--addr", addr.as_str()]
+                .iter()
+                .chain(extra)
+                .map(|s| s.to_string())
+                .collect()
+        };
+        assert_eq!(
+            run("client", &client_args(&["--action", "ping"])).unwrap(),
+            "pong\n"
+        );
+        let solved = run(
+            "client",
+            &client_args(&[
+                "--action",
+                "solve",
+                "--graph",
+                gpath.to_str().unwrap(),
+                "--examples",
+                epath.to_str().unwrap(),
+                "--q",
+                "0",
+                "--ell",
+                "1",
+            ]),
+        )
+        .unwrap();
+        assert!(solved.contains("training error:  0.0000"), "{solved}");
+        let stats = run("client", &client_args(&["--action", "stats"])).unwrap();
+        assert!(stats.contains("\"router\""), "{stats}");
+        assert!(stats.contains("\"hedges_fired\""), "{stats}");
+
+        // Multi-target loadgen round-robins directly over the backends
+        // and breaks the report out per target.
+        let lg = run(
+            "loadgen",
+            &[
+                "--addr",
+                backends.as_str(),
+                "--graph",
+                gpath.to_str().unwrap(),
+                "--connections",
+                "2",
+                "--requests",
+                "6",
+                "--pool",
+                "2",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<String>>(),
+        )
+        .unwrap();
+        assert!(lg.contains("0 errors"), "{lg}");
+        assert_eq!(lg.matches("  target ").count(), 2, "{lg}");
+
+        let bye = run("client", &client_args(&["--action", "shutdown"])).unwrap();
+        assert!(bye.contains("shutting down"));
+        let routed = router.join().unwrap().unwrap();
+        assert!(routed.contains("shut down cleanly"), "{routed}");
+        b0.shutdown();
+        b1.shutdown();
     }
 
     #[test]

@@ -152,3 +152,63 @@ fn the_fault_artifact_records_full_recovery() {
         );
     }
 }
+
+#[test]
+fn the_cluster_artifact_records_identity_and_hedging() {
+    let (name, text) = bench_files()
+        .into_iter()
+        .find(|(n, _)| n == "BENCH_cluster.json")
+        .expect("the E21 cluster artifact must be committed");
+    let v = Json::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+    assert_eq!(v.get("experiment").and_then(Json::as_str), Some("E21"));
+    // The headline claim: the routed reduction — through a backend kill
+    // and a garbled link — matched the in-process oracle bit for bit.
+    assert_eq!(
+        v.get("all_bit_identical").and_then(Json::as_bool),
+        Some(true),
+        "{name}: the cluster reduction diverged from in-process"
+    );
+    // Every loadgen error must have been absorbed by retries/failover.
+    let unrecovered = v
+        .get("unrecovered_errors")
+        .and_then(Json::as_usize)
+        .unwrap_or_else(|| panic!("{name}: missing unrecovered_errors"));
+    assert_eq!(unrecovered, 0, "{name}: cluster errors went unrecovered");
+    // The failure paths must actually have been exercised: a run where
+    // the kill never forced a failover proves nothing.
+    for key in ["replica_retries", "failovers", "garble_faults_injected"] {
+        let n = v.get(key).and_then(Json::as_usize).unwrap_or(0);
+        assert!(n > 0, "{name}: {key} is zero — the failure path never ran");
+    }
+    // Hedging must have fired and won; the win rate is a ratio of those
+    // counters and must land in [0, 1].
+    let fired = v.get("hedges_fired").and_then(Json::as_usize).unwrap_or(0);
+    assert!(fired > 0, "{name}: no hedges fired under the slow backend");
+    let rate = v
+        .get("hedge_win_rate")
+        .and_then(Json::as_num)
+        .unwrap_or_else(|| panic!("{name}: missing hedge_win_rate"));
+    assert!(
+        (0.0..=1.0).contains(&rate) && rate > 0.0,
+        "{name}: hedge_win_rate {rate} is not a meaningful ratio"
+    );
+    // And the point of hedging: the hedged p99 beat the unhedged p99.
+    let hedged = v.get("hedged_p99_us").and_then(Json::as_usize).unwrap_or(0);
+    let unhedged = v
+        .get("unhedged_p99_us")
+        .and_then(Json::as_usize)
+        .unwrap_or(0);
+    assert!(
+        hedged > 0 && unhedged > hedged,
+        "{name}: hedged p99 {hedged}us did not beat unhedged {unhedged}us"
+    );
+    // Per-target loadgen rows: every target saw traffic, none saw errors.
+    let Some(Json::Arr(targets)) = v.get("loadgen").and_then(|l| l.get("targets")) else {
+        panic!("{name}: missing loadgen.targets")
+    };
+    assert!(targets.len() >= 2, "{name}: loadgen did not fan out");
+    for row in targets {
+        assert!(row.get("requests").and_then(Json::as_usize).unwrap_or(0) > 0);
+        assert_eq!(row.get("errors").and_then(Json::as_usize), Some(0));
+    }
+}
