@@ -6,7 +6,7 @@
 //! built on; it now lives here so span-duration aggregation and the
 //! `stats` endpoint share one implementation.
 
-use crate::json::Json;
+use crate::json::{Json, JsonError};
 
 /// Number of buckets: covers 1 µs … ~2¹⁹ s when samples are microseconds.
 pub const BUCKETS: usize = 40;
@@ -116,6 +116,64 @@ impl PowHistogram {
         pairs.extend(self.summary_pairs(unit));
         Json::Obj(pairs)
     }
+
+    /// Full-fidelity wire form for cluster stats fan-in: `count`,
+    /// `total`, and `max` as 16-digit hex strings (exact u64 round-trip
+    /// — f64 numbers would round above 2⁵³) and `buckets` as a number
+    /// array with trailing zeros trimmed. [`Self::from_wire_json`]
+    /// inverts it, so a router can merge backend histograms bucket-wise.
+    pub fn to_wire_json(&self) -> Json {
+        let trimmed = BUCKETS - self.buckets.iter().rev().take_while(|&&c| c == 0).count();
+        Json::obj([
+            ("count", Json::str(format!("{:016x}", self.count))),
+            ("total", Json::str(format!("{:016x}", self.total))),
+            ("max", Json::str(format!("{:016x}", self.max))),
+            (
+                "buckets",
+                Json::Arr(
+                    self.buckets[..trimmed]
+                        .iter()
+                        .map(|&c| Json::Num(c as f64))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Reconstruct a histogram from its [`Self::to_wire_json`] form.
+    pub fn from_wire_json(v: &Json) -> Result<PowHistogram, JsonError> {
+        fn hex_field(v: &Json, key: &str) -> Result<u64, JsonError> {
+            let s = v
+                .get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| JsonError::new(format!("histogram needs a hex {key:?}")))?;
+            u64::from_str_radix(s, 16)
+                .map_err(|_| JsonError::new(format!("histogram {key}: bad hex {s:?}")))
+        }
+        let raw = v
+            .get("buckets")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| JsonError::new("histogram needs a \"buckets\" array"))?;
+        if raw.len() > BUCKETS {
+            return Err(JsonError::new(format!(
+                "histogram has {} buckets, expected at most {BUCKETS}",
+                raw.len()
+            )));
+        }
+        let mut buckets = [0u64; BUCKETS];
+        for (slot, c) in buckets.iter_mut().zip(raw) {
+            *slot = c
+                .as_usize()
+                .ok_or_else(|| JsonError::new("histogram bucket must be a count"))?
+                as u64;
+        }
+        Ok(PowHistogram {
+            count: hex_field(v, "count")?,
+            total: hex_field(v, "total")?,
+            max: hex_field(v, "max")?,
+            buckets,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -167,6 +225,94 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, all);
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_the_identity() {
+        let mut h = PowHistogram::new();
+        for v in [3u64, 77, 4096] {
+            h.record(v);
+        }
+        let before = h.clone();
+        h.merge(&PowHistogram::new());
+        assert_eq!(h, before, "x ⊕ empty must equal x");
+        let mut e = PowHistogram::new();
+        e.merge(&before);
+        assert_eq!(e, before, "empty ⊕ x must equal x");
+    }
+
+    #[test]
+    fn self_merge_doubles_every_count() {
+        let mut h = PowHistogram::new();
+        for v in [0u64, 9, 9, 200, 123_456] {
+            h.record(v);
+        }
+        let copy = h.clone();
+        h.merge(&copy);
+        assert_eq!(h.count(), 2 * copy.count());
+        assert_eq!(h.total(), 2 * copy.total());
+        assert_eq!(h.max(), copy.max());
+        // Quantiles are invariant under uniform scaling of the counts.
+        for q in [0.01, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), copy.quantile(q), "quantile {q} moved");
+        }
+    }
+
+    #[test]
+    fn merged_quantiles_stay_within_bucket_resolution() {
+        // Two disjoint halves of a known sample set: after the merge,
+        // every quantile must land within a factor of two (= one
+        // power-of-two bucket) of the exact order statistic.
+        let samples: Vec<u64> = (1..=64u64).map(|i| i * 30).collect();
+        let mut a = PowHistogram::new();
+        let mut b = PowHistogram::new();
+        for (i, &v) in samples.iter().enumerate() {
+            if i % 2 == 0 { a.record(v) } else { b.record(v) }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), samples.len() as u64);
+        for q in [0.25, 0.5, 0.9, 0.99] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let exact = samples[rank - 1];
+            let approx = a.quantile(q);
+            assert!(
+                approx >= exact && approx < exact * 2,
+                "q={q}: bucket bound {approx} not within 2x above exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn wire_json_round_trips_exactly() {
+        let mut h = PowHistogram::new();
+        for v in [0u64, 1, 17, 5000, u64::MAX] {
+            h.record(v);
+        }
+        let back = PowHistogram::from_wire_json(&h.to_wire_json()).unwrap();
+        assert_eq!(back, h);
+        // total saturated at u64::MAX — the hex form carried it exactly.
+        assert_eq!(back.total(), u64::MAX);
+        // The empty histogram trims to zero buckets and still round-trips.
+        let empty = PowHistogram::new();
+        let wire = empty.to_wire_json();
+        assert_eq!(wire.get("buckets").and_then(Json::as_arr).map(<[Json]>::len), Some(0));
+        assert_eq!(PowHistogram::from_wire_json(&wire).unwrap(), empty);
+        // Malformed payloads error instead of panicking.
+        assert!(PowHistogram::from_wire_json(&Json::obj([("count", Json::int(1))])).is_err());
+        assert!(PowHistogram::from_wire_json(&Json::obj([
+            ("count", Json::str("zz")),
+            ("total", Json::str("0")),
+            ("max", Json::str("0")),
+            ("buckets", Json::Arr(Vec::new())),
+        ]))
+        .is_err());
+        let too_many = Json::obj([
+            ("count", Json::str("0")),
+            ("total", Json::str("0")),
+            ("max", Json::str("0")),
+            ("buckets", Json::Arr(vec![Json::int(0); BUCKETS + 1])),
+        ]);
+        assert!(PowHistogram::from_wire_json(&too_many).is_err());
     }
 
     #[test]

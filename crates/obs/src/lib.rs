@@ -25,10 +25,12 @@
 pub mod export;
 pub mod hist;
 pub mod json;
+pub mod series;
 pub mod span;
 
 pub use hist::{PowHistogram, BUCKETS};
 pub use json::{Json, JsonError};
+pub use series::{TimeSeries, WINDOW_S};
 pub use span::{
     adopt, count, enabled, meta, set_enabled, span, take_thread_roots, Counter, CounterSet,
     LocalStats, Span, SpanRecord, COUNTERS,

@@ -33,16 +33,16 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use folearn_graph::io;
 use folearn_server::client::{ClientApi, ClientConfig, ClientError, RetryPolicy, RetryingClient};
 use folearn_server::framing::{self, ConnEvent, ConnLimits};
-use folearn_server::proto::{fnv1a64, hex64, Request, Response, WireProvenance};
+use folearn_server::proto::{fnv1a64, hex64, Json, Request, Response, TraceContext, WireProvenance};
 use parking_lot::Mutex;
 
 use crate::health::{Health, PROBE_PERIOD};
-use crate::metrics::RouterMetrics;
+use crate::metrics::{aggregate_cluster, NodeStats, RouterMetrics};
 use crate::ring::{HashRing, DEFAULT_VNODES};
 
 /// Idle pooled connections kept per backend; excess checkins are
@@ -81,6 +81,12 @@ pub struct RouterConfig {
     pub idle_timeout: Duration,
     /// Concurrent front-door connections accepted.
     pub max_connections: usize,
+    /// Allow per-solve trace stitching (router spans wrapping each
+    /// backend's span subtree). Stitching is on demand: it runs only
+    /// for solves whose request carries a trace context, so untraced
+    /// traffic never pays for it. `false` is the kill switch — trace
+    /// contexts are then neither propagated nor answered.
+    pub trace: bool,
 }
 
 impl Default for RouterConfig {
@@ -98,6 +104,7 @@ impl Default for RouterConfig {
             max_line_bytes: 4 << 20,
             idle_timeout: Duration::from_secs(300),
             max_connections: 256,
+            trace: true,
         }
     }
 }
@@ -141,6 +148,9 @@ struct RouterState {
     next_hyp: AtomicU64,
     /// Monotone selection counter driving the ejected-backend probe.
     selection_tick: AtomicU64,
+    /// Span/trace id allocator for stitched traces.
+    next_trace: AtomicU64,
+    trace_enabled: bool,
     metrics: RouterMetrics,
     shutdown: AtomicBool,
     addr: SocketAddr,
@@ -209,6 +219,11 @@ impl RouterState {
     fn sync_gauges(&self) {
         self.metrics
             .set_store_sizes(self.structures.lock().len(), self.hyps.lock().len());
+    }
+
+    /// A fresh span/trace id for stitched traces.
+    fn next_trace_id(&self) -> u64 {
+        self.next_trace.fetch_add(1, Ordering::SeqCst)
     }
 
     fn request_shutdown(&self) {
@@ -291,6 +306,8 @@ pub fn start(config: &RouterConfig) -> std::io::Result<RouterHandle> {
         hyps: Mutex::new(HashMap::new()),
         next_hyp: AtomicU64::new(1),
         selection_tick: AtomicU64::new(1),
+        next_trace: AtomicU64::new(1),
+        trace_enabled: config.trace,
         metrics: RouterMetrics::new_with_backends(&config.backends),
         shutdown: AtomicBool::new(false),
         addr,
@@ -368,9 +385,14 @@ fn handle_request(state: &Arc<RouterState>, req: Request) -> Response {
         },
         Request::Stats => {
             state.sync_gauges();
-            Response::Stats {
-                data: state.metrics.snapshot(),
+            let mut data = state.metrics.snapshot();
+            // Fan the stats request out to every backend and attach the
+            // merged cluster view to the router's own snapshot.
+            let cluster = cluster_stats(state);
+            if let Json::Obj(pairs) = &mut data {
+                pairs.push(("cluster".to_string(), cluster));
             }
+            Response::Stats { data }
         }
         Request::Register { graph_text } => handle_register(state, &graph_text),
         req @ Request::Solve { .. } => handle_solve(state, req),
@@ -463,6 +485,30 @@ struct Winner {
     rank: usize,
     /// Whether the winning launch was a hedge.
     hedged: bool,
+    /// Every launch made for this call, in launch order, for trace
+    /// stitching.
+    attempts: Vec<Attempt>,
+}
+
+/// One launched backend call in a hedged fan-out.
+struct Attempt {
+    /// Backend index the launch targeted.
+    backend: usize,
+    /// Rank in the candidate ladder.
+    rank: usize,
+    /// Why it launched: "primary", "hedge", or "failover".
+    kind: &'static str,
+    outcome: AttemptOutcome,
+    /// Call duration, 0 while the reply is still outstanding.
+    elapsed_ns: u64,
+}
+
+enum AttemptOutcome {
+    Won,
+    Failed(String),
+    /// Launched but the call returned before its reply landed (the
+    /// laggard of a hedge, or an in-flight failover).
+    Discarded,
 }
 
 /// Was this failure caused by the *path* (worth trying another replica)
@@ -492,8 +538,8 @@ where
 {
     assert!(!candidates.is_empty(), "candidates must be non-empty");
     let op = Arc::new(op);
-    let (tx, rx) = mpsc::channel::<(usize, bool, Result<Response, ClientError>)>();
-    let launch = |rank: usize, is_hedge: bool| {
+    let (tx, rx) = mpsc::channel::<(usize, u64, Result<Response, ClientError>)>();
+    let launch = |attempts: &mut Vec<Attempt>, rank: usize, kind: &'static str| {
         let state = Arc::clone(state);
         let op = Arc::clone(&op);
         let tx = tx.clone();
@@ -501,15 +547,24 @@ where
         std::thread::Builder::new()
             .name("folearn-router-call".to_string())
             .spawn(move || {
+                let started = Instant::now();
                 let result = op(&state, bi);
                 // The receiver is gone once another replica won: the
                 // laggard's answer is discarded right here.
-                let _ = tx.send((rank, is_hedge, result));
+                let _ = tx.send((rank, started.elapsed().as_nanos() as u64, result));
             })
             .expect("spawn backend call thread");
+        attempts.push(Attempt {
+            backend: bi,
+            rank,
+            kind,
+            outcome: AttemptOutcome::Discarded,
+            elapsed_ns: 0,
+        });
     };
 
-    launch(0, false);
+    let mut attempts: Vec<Attempt> = Vec::new();
+    launch(&mut attempts, 0, "primary");
     let mut outstanding = 1usize;
     let mut next = 1usize;
     // Hedging applies only while the primary is silent; after the first
@@ -521,7 +576,7 @@ where
                 Ok(m) => m,
                 Err(mpsc::RecvTimeoutError::Timeout) => {
                     state.metrics.record_hedge_fired();
-                    launch(next, true);
+                    launch(&mut attempts, next, "hedge");
                     next += 1;
                     outstanding += 1;
                     may_hedge = false;
@@ -535,9 +590,20 @@ where
             rx.recv().expect("a sender is held by this scope")
         };
         may_hedge = false;
-        let (rank, is_hedge, result) = msg;
+        let (rank, elapsed_ns, result) = msg;
+        let is_hedge = {
+            let slot = attempts
+                .iter_mut()
+                .find(|a| a.rank == rank)
+                .expect("reply from a launched rank");
+            slot.elapsed_ns = elapsed_ns;
+            slot.kind == "hedge"
+        };
         match result {
             Ok(response) => {
+                if let Some(slot) = attempts.iter_mut().find(|a| a.rank == rank) {
+                    slot.outcome = AttemptOutcome::Won;
+                }
                 state.note_result(candidates[rank], true);
                 if is_hedge {
                     state.metrics.record_hedge_won();
@@ -547,9 +613,13 @@ where
                     backend: candidates[rank],
                     rank,
                     hedged: is_hedge,
+                    attempts,
                 });
             }
             Err(e) => {
+                if let Some(slot) = attempts.iter_mut().find(|a| a.rank == rank) {
+                    slot.outcome = AttemptOutcome::Failed(e.to_string());
+                }
                 state.note_result(candidates[rank], false);
                 outstanding -= 1;
                 if !is_transport(&e) {
@@ -562,7 +632,7 @@ where
                 }
                 if next < candidates.len() {
                     state.metrics.record_replica_retry();
-                    launch(next, false);
+                    launch(&mut attempts, next, "failover");
                     next += 1;
                     outstanding += 1;
                 } else if outstanding == 0 {
@@ -597,6 +667,11 @@ fn placement(state: &Arc<RouterState>, structure: u64, op: &str) -> Result<Struc
     })
 }
 
+/// Retry provenance gathered during a routed call — (backend index,
+/// span name) per re-seed or rebind — shared with the per-attempt call
+/// threads so trace stitching can show the recovery work.
+type EventLog = Arc<Mutex<Vec<(usize, &'static str)>>>;
+
 /// One backend exchange, re-seeding the backend's registry if it
 /// restarted and forgot a structure the router placed on it.
 fn call_with_reseed(
@@ -604,10 +679,12 @@ fn call_with_reseed(
     bi: usize,
     req: &Request,
     graph_text: &str,
+    events: &EventLog,
 ) -> Result<Response, ClientError> {
     let mut client = state.checkout(bi)?;
     let mut resp = client.call(req);
     if is_unknown_structure(&resp) {
+        events.lock().push((bi, "router.reseed"));
         client.register(graph_text)?;
         resp = client.call(req);
     }
@@ -637,8 +714,10 @@ fn is_stale_binding(r: &Result<Response, ClientError>) -> bool {
 }
 
 fn handle_solve(state: &Arc<RouterState>, req: Request) -> Response {
-    let structure = match &req {
-        Request::Solve { structure, .. } => *structure,
+    let (structure, client_trace) = match &req {
+        Request::Solve {
+            structure, trace, ..
+        } => (*structure, *trace),
         _ => unreachable!("handle_solve is dispatched on Request::Solve"),
     };
     let entry = match placement(state, structure, "solve") {
@@ -646,27 +725,71 @@ fn handle_solve(state: &Arc<RouterState>, req: Request) -> Response {
         Err(resp) => return resp,
     };
     let candidates = state.candidates(&entry.replicas);
-    let req_for_op = req.clone();
+    // Trace on demand: the caller opts in per solve by sending a trace
+    // context (the sampling decision belongs to the edge); the config
+    // flag is a kill switch. Only opted-in solves propagate the
+    // identity downstream and pay for stitching — untraced traffic
+    // through a trace-enabled router behaves exactly like `trace off`.
+    let want_trace = state.trace_enabled && client_trace.is_some();
+    let trace_id = client_trace.map_or_else(|| state.next_trace_id(), |c| c.trace_id);
+    let span_id = state.next_trace_id();
+    let mut fwd = req.clone();
+    if let Request::Solve { trace, .. } = &mut fwd {
+        *trace = want_trace.then_some(TraceContext {
+            trace_id,
+            parent: span_id,
+        });
+    }
+    let events: EventLog = Arc::new(Mutex::new(Vec::new()));
+    let events_for_op = Arc::clone(&events);
     let graph_text = entry.graph_text.clone();
+    let started = Instant::now();
     let winner = hedged_call(state, &candidates, move |state, bi| {
-        call_with_reseed(state, bi, &req_for_op, &graph_text)
+        call_with_reseed(state, bi, &fwd, &graph_text, &events_for_op)
     });
     match winner {
         Ok(w) => {
             let prov = provenance(state, &w);
-            match w.response {
+            let Winner {
+                response,
+                attempts,
+                backend,
+                ..
+            } = w;
+            match response {
                 Response::Solved(mut outcome) => {
+                    state.metrics.record_cache_event(outcome.cached);
                     let backend_id = outcome.hypothesis.id;
                     let router_id = state.next_hyp.fetch_add(1, Ordering::SeqCst);
+                    // The stored replay request carries no trace context:
+                    // a later rebind is its own story, not this solve's.
+                    let mut solve_for_bind = req;
+                    if let Request::Solve { trace, .. } = &mut solve_for_bind {
+                        *trace = None;
+                    }
                     state.hyps.lock().insert(
                         router_id,
                         BoundHyp {
                             structure,
-                            solve: req,
-                            bindings: HashMap::from([(w.backend, backend_id)]),
+                            solve: solve_for_bind,
+                            bindings: HashMap::from([(backend, backend_id)]),
                         },
                     );
                     outcome.hypothesis.id = router_id;
+                    if want_trace {
+                        let backend_trace = outcome.trace.take();
+                        outcome.trace = Some(stitch_trace(
+                            state,
+                            trace_id,
+                            span_id,
+                            client_trace,
+                            structure,
+                            &attempts,
+                            backend_trace,
+                            &events.lock(),
+                            started.elapsed(),
+                        ));
+                    }
                     outcome.provenance = Some(prov);
                     Response::Solved(outcome)
                 }
@@ -675,6 +798,129 @@ fn handle_solve(state: &Arc<RouterState>, req: Request) -> Response {
         }
         Err(resp) => resp,
     }
+}
+
+/// Build the router's stitched span tree for one solve: a
+/// `router.solve` root whose children are every launched attempt (the
+/// winner carrying the backend's own span subtree) plus any re-seed /
+/// rebind retries, each tagged with provenance meta. Provenance rides
+/// in `meta` only — `span_from_json` rejects unknown counter names, so
+/// the stitched tree must stay parseable by the standard importer.
+///
+/// The tree is assembled directly in the `span_to_json` wire shape: the
+/// backend's subtree (already in that shape, the daemon exported it) is
+/// spliced in verbatim, so stitching costs O(router spans) instead of
+/// parsing and re-rendering the whole backend trace on every solve.
+#[allow(clippy::too_many_arguments)]
+fn stitch_trace(
+    state: &Arc<RouterState>,
+    trace_id: u64,
+    span_id: u64,
+    client_trace: Option<TraceContext>,
+    structure: u64,
+    attempts: &[Attempt],
+    backend_trace: Option<Json>,
+    events: &[(usize, &'static str)],
+    elapsed: Duration,
+) -> Json {
+    let mut root_meta = vec![
+        ("trace_id".to_string(), Json::str(hex64(trace_id))),
+        ("span_id".to_string(), Json::str(hex64(span_id))),
+    ];
+    if let Some(c) = client_trace {
+        root_meta.push(("parent".to_string(), Json::str(hex64(c.parent))));
+    }
+    root_meta.push(("structure".to_string(), Json::str(hex64(structure))));
+    let mut backend_trace = backend_trace;
+    let mut children = Vec::with_capacity(attempts.len() + events.len());
+    for a in attempts {
+        let mut meta = vec![
+            (
+                "backend".to_string(),
+                Json::str(state.backends[a.backend].addr.clone()),
+            ),
+            ("rank".to_string(), Json::int(a.rank)),
+            ("kind".to_string(), Json::str(a.kind)),
+        ];
+        let outcome = match &a.outcome {
+            AttemptOutcome::Won => "won".to_string(),
+            AttemptOutcome::Failed(e) => format!("failed: {e}"),
+            AttemptOutcome::Discarded => "discarded".to_string(),
+        };
+        meta.push(("outcome".to_string(), Json::str(outcome)));
+        let mut sub = Vec::new();
+        if matches!(a.outcome, AttemptOutcome::Won) {
+            if let Some(t) = backend_trace.take() {
+                // Splice a span-shaped subtree verbatim; anything else
+                // still rides along as meta.
+                if t.get("span").and_then(Json::as_str).is_some()
+                    && t.get("ns").and_then(Json::as_num).is_some()
+                {
+                    sub.push(t);
+                } else {
+                    meta.push(("backend_trace".to_string(), t));
+                }
+            }
+        }
+        let mut pairs = vec![
+            ("span".to_string(), Json::str("router.attempt")),
+            ("ns".to_string(), Json::Num(a.elapsed_ns as f64)),
+            ("meta".to_string(), Json::Obj(meta)),
+        ];
+        if !sub.is_empty() {
+            pairs.push(("children".to_string(), Json::Arr(sub)));
+        }
+        children.push(Json::Obj(pairs));
+    }
+    for &(bi, name) in events {
+        children.push(Json::Obj(vec![
+            ("span".to_string(), Json::str(name)),
+            ("ns".to_string(), Json::Num(0.0)),
+            (
+                "meta".to_string(),
+                Json::Obj(vec![(
+                    "backend".to_string(),
+                    Json::str(state.backends[bi].addr.clone()),
+                )]),
+            ),
+        ]));
+    }
+    let mut pairs = vec![
+        ("span".to_string(), Json::str("router.solve")),
+        ("ns".to_string(), Json::Num(elapsed.as_nanos() as f64)),
+        ("meta".to_string(), Json::Obj(root_meta)),
+    ];
+    if !children.is_empty() {
+        pairs.push(("children".to_string(), Json::Arr(children)));
+    }
+    Json::Obj(pairs)
+}
+
+/// Fan `stats` out to every backend and merge the snapshots into the
+/// cluster view ([`aggregate_cluster`]). An unreachable backend
+/// contributes an error row (and a health strike) instead of numbers.
+fn cluster_stats(state: &Arc<RouterState>) -> Json {
+    let nodes: Vec<NodeStats> = state
+        .backends
+        .iter()
+        .enumerate()
+        .map(|(bi, b)| {
+            let stats = state.checkout(bi).and_then(|mut client| {
+                let snap = client.stats()?;
+                state.checkin(bi, client);
+                Ok(snap)
+            });
+            state.note_result(bi, stats.is_ok());
+            NodeStats {
+                addr: b.addr.clone(),
+                live: b.health.is_live(),
+                ejections: b.health.ejections(),
+                consecutive_failures: b.health.consecutive_failures(),
+                stats: stats.map_err(|e| e.to_string()),
+            }
+        })
+        .collect();
+    aggregate_cluster(&nodes)
 }
 
 fn handle_modelcheck(state: &Arc<RouterState>, req: Request) -> Response {
@@ -687,8 +933,9 @@ fn handle_modelcheck(state: &Arc<RouterState>, req: Request) -> Response {
     };
     let candidates = state.candidates(&entry.replicas);
     let graph_text = entry.graph_text.clone();
+    let events: EventLog = Arc::new(Mutex::new(Vec::new()));
     let winner = hedged_call(state, &candidates, move |state, bi| {
-        call_with_reseed(state, bi, &req, &graph_text)
+        call_with_reseed(state, bi, &req, &graph_text, &events)
     });
     match winner {
         Ok(w) => {
@@ -731,9 +978,10 @@ fn handle_evaluate(
     };
     let candidates = state.candidates(&entry.replicas);
     let graph_text = entry.graph_text.clone();
+    let events: EventLog = Arc::new(Mutex::new(Vec::new()));
     let winner = hedged_call(state, &candidates, move |state, bi| {
         evaluate_on(
-            state, bi, hypothesis, structure, &solve_req, &graph_text, &tuples, &labels,
+            state, bi, hypothesis, structure, &solve_req, &graph_text, &tuples, &labels, &events,
         )
     });
     match winner {
@@ -764,6 +1012,7 @@ fn evaluate_on(
     graph_text: &str,
     tuples: &[Vec<u32>],
     labels: &Option<Vec<bool>>,
+    events: &EventLog,
 ) -> Result<Response, ClientError> {
     let mut client = state.checkout(bi)?;
     let binding = {
@@ -772,7 +1021,7 @@ fn evaluate_on(
     };
     let backend_hyp = match binding {
         Some(id) => id,
-        None => rebind(state, &mut client, bi, router_id, solve_req, graph_text)?,
+        None => rebind(state, &mut client, bi, router_id, solve_req, graph_text, events)?,
     };
     let eval = |hyp: u64| Request::Evaluate {
         structure,
@@ -784,7 +1033,7 @@ fn evaluate_on(
     if is_stale_binding(&resp) {
         // The backend restarted between binding and call: re-seed the
         // structure, re-solve, and retry with the fresh id.
-        let fresh = rebind(state, &mut client, bi, router_id, solve_req, graph_text)?;
+        let fresh = rebind(state, &mut client, bi, router_id, solve_req, graph_text, events)?;
         resp = client.call(&eval(fresh));
     }
     let resp = resp?;
@@ -796,6 +1045,7 @@ fn evaluate_on(
 /// router hypothesis. Deterministic solver + canonical structure text
 /// mean the replay reproduces the original hypothesis exactly (and the
 /// backend's result cache makes repeats cheap).
+#[allow(clippy::too_many_arguments)]
 fn rebind(
     state: &Arc<RouterState>,
     client: &mut RetryingClient,
@@ -803,9 +1053,12 @@ fn rebind(
     router_id: u64,
     solve_req: &Request,
     graph_text: &str,
+    events: &EventLog,
 ) -> Result<u64, ClientError> {
+    events.lock().push((bi, "router.rebind"));
     let mut resp = client.call(solve_req);
     if is_unknown_structure(&resp) {
+        events.lock().push((bi, "router.reseed"));
         client.register(graph_text)?;
         resp = client.call(solve_req);
     }

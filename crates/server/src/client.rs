@@ -202,6 +202,37 @@ pub trait ClientApi {
             q,
             epsilon,
             solver,
+            trace: None,
+        };
+        match self.call(&req)? {
+            Response::Solved(outcome) => Ok(outcome),
+            other => Err(unexpected("solved", &other)),
+        }
+    }
+
+    /// Solve with an explicit trace context: the sampling decision is
+    /// the caller's. A router only stitches (and asks its backend for
+    /// the span subtree) for solves that carry a context, so untraced
+    /// traffic pays nothing for the tracing subsystem.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_traced(
+        &mut self,
+        structure: u64,
+        examples: Vec<WireExample>,
+        ell: usize,
+        q: usize,
+        epsilon: f64,
+        solver: SolverSpec,
+        trace: crate::proto::TraceContext,
+    ) -> Result<SolveOutcome, ClientError> {
+        let req = Request::Solve {
+            structure,
+            examples,
+            ell,
+            q,
+            epsilon,
+            solver,
+            trace: Some(trace),
         };
         match self.call(&req)? {
             Response::Solved(outcome) => Ok(outcome),
@@ -247,6 +278,7 @@ pub trait ClientApi {
             structure,
             formula: formula.to_string(),
             engine,
+            trace: None,
         };
         match self.call(&req)? {
             Response::Truth { holds, .. } => Ok(holds),

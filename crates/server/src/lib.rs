@@ -50,6 +50,6 @@ pub use client::{
 pub use loadgen::{run_load, run_load_multi, LoadgenConfig, LoadReport};
 pub use proto::{
     fnv1a64, hex64, parse_hex64, Json, ProtoError, Request, Response, SolveOutcome, SolverSpec,
-    WireExample, WireHypothesis, WireProvenance,
+    TraceContext, WireExample, WireHypothesis, WireProvenance,
 };
 pub use server::{start, ServerConfig, ServerHandle};

@@ -12,7 +12,9 @@
 //! …) next to the wire-level ones. [`Metrics::snapshot`] renders it all
 //! as JSON.
 
-use folearn_obs::{CounterSet, PowHistogram, SpanRecord};
+use std::time::Instant;
+
+use folearn_obs::{CounterSet, PowHistogram, SpanRecord, TimeSeries};
 use parking_lot::Mutex;
 
 use crate::proto::Json;
@@ -47,6 +49,9 @@ impl OpRecord {
             ("errors".to_string(), Json::Num(self.errors as f64)),
         ];
         pairs.extend(self.latency.summary_pairs("us"));
+        // Full bucket counts ride along so a router can merge endpoint
+        // histograms bucket-wise instead of averaging quantiles.
+        pairs.push(("hist".to_string(), self.latency.to_wire_json()));
         Json::Obj(pairs)
     }
 }
@@ -91,11 +96,13 @@ struct Inner {
     truncated_frames: u64,
     rejected_connections: u64,
     worker_panics: u64,
+    series: TimeSeries,
 }
 
 /// Shared, thread-safe metrics sink.
 pub struct Metrics {
     inner: Mutex<Inner>,
+    start: Instant,
 }
 
 impl Default for Metrics {
@@ -126,7 +133,9 @@ impl Metrics {
                 truncated_frames: 0,
                 rejected_connections: 0,
                 worker_panics: 0,
+                series: TimeSeries::new(),
             }),
+            start: Instant::now(),
         }
     }
 
@@ -141,6 +150,14 @@ impl Metrics {
                 inner.ops.push(r);
             }
         }
+        inner.series.record_request(us, ok);
+    }
+
+    /// Record a solve-cache lookup into the live time-series (the
+    /// absolute counters still come from the cache via
+    /// [`Metrics::set_cache_counters`]).
+    pub fn record_cache_event(&self, hit: bool) {
+        self.inner.lock().series.record_cache(hit);
     }
 
     /// Fold a finished solve-span tree into the per-name rollup (every
@@ -245,6 +262,12 @@ impl Metrics {
             inner.cache_hits as f64 / lookups as f64
         };
         Json::obj([
+            ("role", Json::str("server")),
+            ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+            (
+                "uptime_ms",
+                Json::Num(self.start.elapsed().as_millis() as f64),
+            ),
             ("requests", Json::Num(total as f64)),
             ("connections", Json::Num(inner.connections as f64)),
             (
@@ -304,6 +327,7 @@ impl Metrics {
                         .collect(),
                 ),
             ),
+            ("series", inner.series.to_json()),
         ])
     }
 }
@@ -424,6 +448,33 @@ mod tests {
         let snap = m.snapshot();
         let solve = snap.get("endpoints").unwrap().get("solve").unwrap();
         assert_eq!(solve.get("errors").unwrap().as_usize(), Some(1));
+    }
+
+    #[test]
+    fn snapshot_reports_identity_uptime_and_series() {
+        let m = Metrics::new();
+        m.record_request("solve", 10, true);
+        m.record_cache_event(true);
+        let snap = m.snapshot();
+        assert_eq!(snap.get("role").and_then(Json::as_str), Some("server"));
+        assert_eq!(
+            snap.get("version").and_then(Json::as_str),
+            Some(env!("CARGO_PKG_VERSION"))
+        );
+        assert!(snap.get("uptime_ms").and_then(Json::as_num).is_some());
+        let series = snap.get("series").unwrap();
+        assert_eq!(series.get("window_s").and_then(Json::as_usize), Some(60));
+        let buckets = series.get("buckets").and_then(Json::as_arr).unwrap();
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].get("requests").and_then(Json::as_usize), Some(1));
+        assert_eq!(
+            buckets[0].get("cache_hits").and_then(Json::as_usize),
+            Some(1)
+        );
+        // Endpoint rows carry the full histogram for cluster merging.
+        let solve = snap.get("endpoints").unwrap().get("solve").unwrap();
+        let hist = PowHistogram::from_wire_json(solve.get("hist").unwrap()).unwrap();
+        assert_eq!(hist.count(), 1);
     }
 
     #[test]

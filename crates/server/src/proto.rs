@@ -179,6 +179,49 @@ fn parse_engine(v: &Json) -> Result<EvalEngine, ProtoError> {
     }
 }
 
+/// Distributed-trace context on a request envelope: the trace id and
+/// the caller's span id. A daemon receiving one binds its own span
+/// under the propagated parent (as `trace_id`/`parent` meta on the
+/// span it returns), so the router — or any upstream — can stitch the
+/// backend's subtree into its own span tree and a single
+/// `folearn trace` render shows the whole cluster-side story of one
+/// request. Absent from older clients; both ids travel as [`hex64`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Trace id, shared by every span of one logical request.
+    pub trace_id: u64,
+    /// Span id of the caller — the parent of the span the callee opens.
+    pub parent: u64,
+}
+
+impl TraceContext {
+    fn to_json(self) -> Json {
+        Json::obj([
+            ("trace_id", Json::str(hex64(self.trace_id))),
+            ("parent", Json::str(hex64(self.parent))),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, ProtoError> {
+        Ok(TraceContext {
+            trace_id: get_hex(v, "trace_id")?,
+            parent: get_hex(v, "parent")?,
+        })
+    }
+}
+
+/// Decode an optional trace context (absent/null from older clients).
+fn get_trace(v: &Json) -> Result<Option<TraceContext>, ProtoError> {
+    match v.get("trace") {
+        None | Some(Json::Null) => Ok(None),
+        Some(t) => Ok(Some(TraceContext::from_json(t)?)),
+    }
+}
+
+fn trace_json(t: &Option<TraceContext>) -> Json {
+    t.as_ref().map_or(Json::Null, |ctx| ctx.to_json())
+}
+
 /// A client request (one per line).
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
@@ -204,6 +247,9 @@ pub enum Request {
         epsilon: f64,
         /// Which solver to run.
         solver: SolverSpec,
+        /// Distributed-trace context from the caller, if any. NOT part
+        /// of the solve-cache key: tracing never changes answers.
+        trace: Option<TraceContext>,
     },
     /// Evaluate a stored hypothesis on tuples (optionally labelled, in
     /// which case the response reports the error rate).
@@ -225,6 +271,8 @@ pub enum Request {
         formula: String,
         /// Formula-evaluation backend (`tree` or `vm`).
         engine: EvalEngine,
+        /// Distributed-trace context from the caller, if any.
+        trace: Option<TraceContext>,
     },
     /// Fetch the metrics snapshot.
     Stats,
@@ -271,6 +319,7 @@ impl Request {
                 q,
                 epsilon,
                 solver,
+                trace,
             } => Json::obj([
                 ("op", Json::str("solve")),
                 ("structure", Json::str(hex64(*structure))),
@@ -300,6 +349,7 @@ impl Request {
                 ("q", Json::int(*q)),
                 ("epsilon", Json::Num(*epsilon)),
                 ("solver", solver.to_json()),
+                ("trace", trace_json(trace)),
             ]),
             Request::Evaluate {
                 structure,
@@ -335,11 +385,13 @@ impl Request {
                 structure,
                 formula,
                 engine,
+                trace,
             } => Json::obj([
                 ("op", Json::str("modelcheck")),
                 ("structure", Json::str(hex64(*structure))),
                 ("formula", Json::str(formula.clone())),
                 ("engine", Json::str(engine.name())),
+                ("trace", trace_json(trace)),
             ]),
             Request::Stats => Json::obj([("op", Json::str("stats"))]),
             Request::Shutdown => Json::obj([("op", Json::str("shutdown"))]),
@@ -379,6 +431,7 @@ impl Request {
                         v.get("solver")
                             .ok_or_else(|| ProtoError::new("solve.solver missing"))?,
                     )?,
+                    trace: get_trace(v)?,
                 })
             }
             "evaluate" => {
@@ -416,6 +469,7 @@ impl Request {
                 structure: get_hex(v, "structure")?,
                 formula: get_str(v, "formula")?.to_string(),
                 engine: parse_engine(v)?,
+                trace: get_trace(v)?,
             }),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
@@ -924,6 +978,10 @@ mod tests {
                     prune: true,
                     engine: EvalEngine::Vm,
                 },
+                trace: Some(TraceContext {
+                    trace_id: 0x1234_5678_9abc_def0,
+                    parent: u64::MAX,
+                }),
             },
             Request::Solve {
                 structure: 7,
@@ -932,6 +990,7 @@ mod tests {
                 q: 0,
                 epsilon: 1.0 / 3.0,
                 solver: SolverSpec::Nd,
+                trace: None,
             },
             Request::Evaluate {
                 structure: 1,
@@ -949,6 +1008,10 @@ mod tests {
                 structure: 42,
                 formula: "exists x0. \"Red\"(x0)\n∧ weird".to_string(),
                 engine: EvalEngine::Vm,
+                trace: Some(TraceContext {
+                    trace_id: 1,
+                    parent: 0,
+                }),
             },
             Request::Stats,
             Request::Shutdown,
@@ -1127,6 +1190,26 @@ mod tests {
             Response::Error { code, .. } => assert_eq!(code, None),
             other => panic!("{other:?}"),
         }
+        // A pre-telemetry client's solve request: no trace context.
+        let legacy = concat!(
+            r#"{"op": "solve", "structure": "0000000000000007", "examples": [], "ell": 0, "#,
+            r#""q": 0, "epsilon": 0.5, "solver": {"name": "nd"}}"#,
+        );
+        match Request::decode(legacy).unwrap() {
+            Request::Solve { trace, .. } => assert_eq!(trace, None),
+            other => panic!("{other:?}"),
+        }
+        let legacy = r#"{"op": "modelcheck", "structure": "000000000000002a", "formula": "t"}"#;
+        match Request::decode(legacy).unwrap() {
+            Request::ModelCheck { trace, .. } => assert_eq!(trace, None),
+            other => panic!("{other:?}"),
+        }
+        // And a malformed trace context is rejected, not ignored.
+        let bad = concat!(
+            r#"{"op": "modelcheck", "structure": "000000000000002a", "formula": "t", "#,
+            r#""trace": {"trace_id": "nope"}}"#,
+        );
+        assert!(Request::decode(bad).is_err());
         let legacy = concat!(
             r#"{"resp": "solved", "cached": false, "error": 0.0, "work": 1, "evaluated": 1, "#,
             r#""pruned": 0, "solver": "s", "hypothesis": {"id": "0000000000000001", "#,

@@ -28,7 +28,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use folearn::bruteforce::BruteForceOpts;
 use folearn::ndlearner::NdConfig;
@@ -45,7 +45,8 @@ use crate::framing::{self, ConnEvent, ConnLimits};
 use crate::metrics::Metrics;
 use crate::pool::WorkerPool;
 use crate::proto::{
-    fnv1a64, Request, Response, SolveOutcome, SolverSpec, WireExample, WireHypothesis,
+    fnv1a64, hex64, Json, Request, Response, SolveOutcome, SolverSpec, TraceContext, WireExample,
+    WireHypothesis,
 };
 
 /// Hard ceiling on per-request solver threads: a typo like
@@ -115,7 +116,9 @@ struct State {
     arenas: Mutex<HashMap<usize, SharedArena>>,
     hypotheses: Mutex<HashMap<u64, StoredHypothesis>>,
     next_hypothesis: AtomicU64,
-    cache: Mutex<LruCache<SolveOutcome>>,
+    /// Solve results plus the instant each entry was captured, so a
+    /// replayed trace can be stamped with its age.
+    cache: Mutex<LruCache<(SolveOutcome, Instant)>>,
     metrics: Metrics,
     shutdown: AtomicBool,
     addr: SocketAddr,
@@ -366,7 +369,8 @@ fn handle_request(state: &Arc<State>, pool: &Arc<WorkerPool>, req: Request) -> R
             q,
             epsilon,
             solver,
-        } => handle_solve(state, pool, structure, &examples, ell, q, epsilon, &solver),
+            trace,
+        } => handle_solve(state, pool, structure, &examples, ell, q, epsilon, &solver, trace),
         Request::Evaluate {
             structure,
             hypothesis,
@@ -377,7 +381,8 @@ fn handle_request(state: &Arc<State>, pool: &Arc<WorkerPool>, req: Request) -> R
             structure,
             formula,
             engine,
-        } => handle_modelcheck(state, pool, structure, formula, engine),
+            trace,
+        } => handle_modelcheck(state, pool, structure, formula, engine, trace),
     }
 }
 
@@ -418,6 +423,23 @@ fn on_pool<T: Send + 'static>(
     }
 }
 
+/// Stamp a cache-replayed trace with `replayed: true` and the age of
+/// the original capture, so a rendered trace makes replays
+/// unmistakable. A trace that fails to parse rides through untouched.
+fn stamp_replay(trace: Json, age: Duration) -> Json {
+    match folearn_obs::export::span_from_json(&trace) {
+        Ok(mut rec) => {
+            rec.meta.push(("replayed".to_string(), Json::Bool(true)));
+            rec.meta.push((
+                "replay_age_ms".to_string(),
+                Json::int(age.as_millis() as usize),
+            ));
+            folearn_obs::export::span_to_json(&rec)
+        }
+        Err(_) => trace,
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn handle_solve(
     state: &Arc<State>,
@@ -428,6 +450,7 @@ fn handle_solve(
     q: usize,
     epsilon: f64,
     solver: &SolverSpec,
+    trace_ctx: Option<TraceContext>,
 ) -> Response {
     let fail = Response::error;
     let g = match state.graph(structure) {
@@ -482,11 +505,16 @@ fn handle_solve(
     let config_key = fnv1a64(solver.to_json().render().as_bytes());
     let cache_key = (structure, sample_key, config_key);
 
-    if let Some(hit) = state.cache.lock().get(&cache_key) {
-        let mut outcome = hit.clone();
+    let replay = state.cache.lock().get(&cache_key).cloned();
+    if let Some((mut outcome, captured_at)) = replay {
         outcome.cached = true;
+        outcome.trace = outcome
+            .trace
+            .map(|t| stamp_replay(t, captured_at.elapsed()));
+        state.metrics.record_cache_event(true);
         return Response::Solved(outcome);
     }
+    state.metrics.record_cache_event(false);
 
     let (rust_solver, engine) = match solver {
         SolverSpec::Brute {
@@ -522,6 +550,12 @@ fn handle_solve(
         // back in the outcome (and into the metrics rollup) rather than
         // through the thread-local root buffer.
         let sp = folearn_obs::span("server.solve");
+        if let Some(ctx) = trace_ctx {
+            // Bind this span under the propagated parent so a router (or
+            // any other caller) can stitch it into its own span tree.
+            folearn_obs::meta("trace_id", Json::str(hex64(ctx.trace_id)));
+            folearn_obs::meta("parent", Json::str(hex64(ctx.parent)));
+        }
         let inst = ErmInstance::new(&g, seq, k, ell, q, epsilon);
         let report = solve_fo_erm_with_engine(&inst, &rust_solver, &arena, engine);
         let id = state_for_job.next_hypothesis.fetch_add(1, Ordering::SeqCst);
@@ -571,7 +605,10 @@ fn handle_solve(
     });
     match outcome {
         Ok(outcome) => {
-            state.cache.lock().insert(cache_key, outcome.clone());
+            state
+                .cache
+                .lock()
+                .insert(cache_key, (outcome.clone(), Instant::now()));
             Response::Solved(outcome)
         }
         Err(e) => Response::error(format!("solve: {e}")),
@@ -659,6 +696,7 @@ fn handle_modelcheck(
     structure: u64,
     formula: String,
     engine: EvalEngine,
+    trace_ctx: Option<TraceContext>,
 ) -> Response {
     let g = match state.graph(structure) {
         Ok(g) => g,
@@ -678,6 +716,10 @@ fn handle_modelcheck(
     let state_for_job = Arc::clone(state);
     match on_pool(pool, move || {
         let sp = folearn_obs::span("server.modelcheck");
+        if let Some(ctx) = trace_ctx {
+            folearn_obs::meta("trace_id", Json::str(hex64(ctx.trace_id)));
+            folearn_obs::meta("parent", Json::str(hex64(ctx.parent)));
+        }
         let holds = engine.models(&g, &phi);
         if let Some(rec) = sp.finish() {
             state_for_job.metrics.absorb_span(&rec);

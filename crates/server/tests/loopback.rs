@@ -71,8 +71,21 @@ fn full_session_register_solve_cache_evaluate_modelcheck() {
             .any(|c| c.get("span").and_then(|s| s.as_str()) == Some("solve")),
         "learner-level span nests under the server span: {trace:?}"
     );
-    // Cache hits replay the populating run's trace verbatim.
-    assert_eq!(warm.trace, cold.trace);
+    // Cache hits replay the populating run's trace, stamped as a
+    // replay: `replayed: true` plus the original capture's age.
+    let replayed = warm.trace.as_ref().expect("replayed solve keeps its trace");
+    assert_eq!(
+        replayed.get("span").and_then(|s| s.as_str()),
+        Some("server.solve")
+    );
+    let meta = replayed.get("meta").expect("replay stamps meta");
+    assert_eq!(meta.get("replayed").and_then(Json::as_bool), Some(true));
+    assert!(
+        meta.get("replay_age_ms").and_then(Json::as_num).is_some(),
+        "replay age rides along: {meta:?}"
+    );
+    // Underneath the stamp, the span tree is the populating run's.
+    assert_eq!(replayed.get("children"), trace.get("children"));
 
     // A different solver config is a different cache key.
     let other = client

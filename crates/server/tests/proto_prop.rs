@@ -7,8 +7,8 @@
 use folearn::TypeMode;
 use folearn_logic::vm::EvalEngine;
 use folearn_server::proto::{
-    Json, Request, Response, SolveOutcome, SolverSpec, WireExample, WireHypothesis,
-    WireProvenance,
+    Json, Request, Response, SolveOutcome, SolverSpec, TraceContext, WireExample,
+    WireHypothesis, WireProvenance,
 };
 use proptest::collection;
 use proptest::prelude::*;
@@ -91,6 +91,14 @@ fn provenance_strategy() -> impl Strategy<Value = Option<WireProvenance>> {
     })
 }
 
+/// Optional trace context (the distributed-tracing parent pointer):
+/// absent, or a `(trace_id, parent)` pair over the full u64 range.
+fn trace_strategy() -> impl Strategy<Value = Option<TraceContext>> {
+    (0u32..2, 0u64..=u64::MAX, 0u64..=u64::MAX).prop_map(|(some, trace_id, parent)| {
+        (some == 1).then_some(TraceContext { trace_id, parent })
+    })
+}
+
 fn assert_request_round_trip(req: &Request) -> Result<(), TestCaseError> {
     let line = req.encode();
     prop_assert!(
@@ -129,6 +137,7 @@ proptest! {
         q in 0usize..5,
         eps_mil in 0u32..=1000,
         solver in solver_strategy(),
+        trace in trace_strategy(),
     ) {
         assert_request_round_trip(&Request::Solve {
             structure,
@@ -137,6 +146,7 @@ proptest! {
             q,
             epsilon: f64::from(eps_mil) / 1000.0,
             solver,
+            trace,
         })?;
     }
 
@@ -163,9 +173,10 @@ proptest! {
         structure in 0u64..=u64::MAX,
         formula in nasty_string(),
         vm in 0u32..2,
+        trace in trace_strategy(),
     ) {
         let engine = if vm == 1 { EvalEngine::Vm } else { EvalEngine::TreeWalk };
-        assert_request_round_trip(&Request::ModelCheck { structure, formula, engine })?;
+        assert_request_round_trip(&Request::ModelCheck { structure, formula, engine, trace })?;
     }
 
     #[test]
@@ -199,14 +210,24 @@ proptest! {
         provenance in provenance_strategy(),
     ) {
         // The trace field carries an arbitrary JSON span tree; exercise
-        // both its absence and a representative nested value.
+        // both its absence and a representative stitched value: a router
+        // root with provenance meta over a replayed backend subtree.
         let trace = (with_trace == 1).then(|| {
             Json::obj([
                 ("span", Json::Str(trace_name)),
                 ("ns", Json::Num(trace_ns as f64)),
+                ("meta", Json::obj([
+                    ("backend", Json::str("127.0.0.1:7070")),
+                    ("kind", Json::str("hedge")),
+                    ("outcome", Json::str("won")),
+                ])),
                 ("children", Json::Arr(vec![Json::obj([
-                    ("span", Json::str("inner")),
+                    ("span", Json::str("server.solve")),
                     ("ns", Json::int(7)),
+                    ("meta", Json::obj([
+                        ("replayed", Json::Bool(true)),
+                        ("replay_age_ms", Json::int(12)),
+                    ])),
                 ])])),
             ])
         });
@@ -290,9 +311,39 @@ proptest! {
                 "arr".to_string(),
                 Json::Arr(nums.iter().map(|&n| Json::int(n as usize)).collect()),
             ),
-            ("text".to_string(), Json::str(text)),
+            ("text".to_string(), Json::str(text.clone())),
             ("null".to_string(), Json::Null),
         ]);
         assert_response_round_trip(&Response::Stats { data })?;
+
+        // The router's aggregated-stats envelope: identity fields, a
+        // wire-form histogram (hex-string counters), and per-backend
+        // rows including an unreachable node's error row.
+        let aggregated = Json::obj([
+            ("role", Json::str("router")),
+            ("uptime_ms", Json::int(nums.first().copied().unwrap_or(0) as usize)),
+            ("cluster", Json::obj([
+                ("backends_total", Json::int(3)),
+                ("backends_live", Json::int(2)),
+                ("hist", Json::obj([
+                    ("count", Json::str("0000000000000003")),
+                    ("total", Json::str("00000000000000ff")),
+                    ("max", Json::str("0000000000000080")),
+                    ("buckets", Json::Arr(vec![Json::int(1), Json::int(2)])),
+                ])),
+                ("nodes", Json::Arr(vec![
+                    Json::obj([
+                        ("addr", Json::str("127.0.0.1:1")),
+                        ("live", Json::Bool(true)),
+                    ]),
+                    Json::obj([
+                        ("addr", Json::str("127.0.0.1:2")),
+                        ("live", Json::Bool(false)),
+                        ("error", Json::str(text)),
+                    ]),
+                ])),
+            ])),
+        ]);
+        assert_response_round_trip(&Response::Stats { data: aggregated })?;
     }
 }

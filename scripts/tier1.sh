@@ -74,6 +74,26 @@ RADDR=$(cat "$SMOKE/router.addr")
 grep -q 'training error:  0.0000' "$SMOKE/routed.txt"
 "$FOLEARN" client --addr "$RADDR" --action stats | grep -q '"router"'
 
+# --- cluster observability smoke ------------------------------------------
+# An opted-in solve (--trace-out attaches a trace context) must come back
+# with ONE stitched span tree: the router's spans wrapping the winning
+# backend's server.solve subtree, renderable by `folearn trace`.
+"$FOLEARN" client --addr "$RADDR" --action solve --graph "$SMOKE/graph.txt" \
+    --examples "$SMOKE/sample.txt" --ell 1 --q 1 --retries 4 \
+    --trace-out "$SMOKE/routed-trace.jsonl" > "$SMOKE/traced.txt"
+grep -q 'trace:           written to' "$SMOKE/traced.txt"
+grep -q 'router.solve' "$SMOKE/routed-trace.jsonl"
+grep -q 'router.attempt' "$SMOKE/routed-trace.jsonl"
+grep -q 'server.solve' "$SMOKE/routed-trace.jsonl"
+"$FOLEARN" trace --file "$SMOKE/routed-trace.jsonl" > "$SMOKE/rendered.txt"
+grep -q 'router.solve' "$SMOKE/rendered.txt"
+grep -q 'server.solve' "$SMOKE/rendered.txt"
+# The live view, single-frame mode: fan-in stats from both live backends.
+"$FOLEARN" top --addr "$RADDR" --once > "$SMOKE/top.txt"
+grep -q 'folearn top — router' "$SMOKE/top.txt"
+grep -q 'cluster:' "$SMOKE/top.txt"
+grep -q '3 backends, 3 live' "$SMOKE/top.txt"
+
 # Kill one backend; a fresh structure must still learn through the
 # surviving replicas (the router retries and fails over internally).
 kill "$B2_PID"; wait "$B2_PID" 2>/dev/null || true

@@ -24,7 +24,7 @@ USAGE:
   folearn route      --backends H:P,H:P,... [--replicas R] [--hedge-ms MS]
                      [--vnodes N] [--eject-after N] [--addr HOST:PORT]
                      [--addr-file PATH] [--timeout-ms MS] [--retries N]
-                     [--retry-seed N]
+                     [--retry-seed N] [--trace on|off]
   folearn client     --addr HOST:PORT --action ACTION ...
                      [--timeout-ms MS (0 = none)] [--retries N (0 = none)]
                      [--retry-seed N]
@@ -32,7 +32,7 @@ USAGE:
                            | solve --graph G.txt --examples E.txt
                                    [--ell N] [--q N] [--solver brute|nd]
                                    [--mode ...] [--threads N] [--prune on|off]
-                                   [--engine tree|vm]
+                                   [--engine tree|vm] [--trace-out T.jsonl]
                            | evaluate --graph G.txt --examples E.txt --hypothesis HEX
                            | modelcheck --graph G.txt --formula \"<sentence>\"
                                         [--engine tree|vm]
@@ -40,6 +40,8 @@ USAGE:
   folearn loadgen    --addr H:P[,H:P...] --graph G.txt [--connections N]
                      [--requests N] [--seed N] [--pool N] [--ell N] [--q N]
                      [--timeout-ms MS] [--retries N] [--retry-seed N]
+  folearn top        --addr HOST:PORT [--once] [--interval-ms MS]
+                     [--iterations N] [--timeout-ms MS] [--retries N]
 
 Graph files use the line format:
   colors Red Blue

@@ -12,9 +12,10 @@
 //! * `dot        --graph G.txt`
 //! * `trace      --file T.jsonl`
 //! * `serve      [--addr H:P] [--workers N] [--queue N] [--cache N] [--max-requests N] [--max-line BYTES] [--idle-ms N] [--max-conns N] [--addr-file PATH] [--trace on|off]`
-//! * `route      --backends H:P,H:P,… [--replicas R] [--hedge-ms N] [--vnodes N] [--eject-after N] [--addr H:P] [--addr-file PATH] [--timeout-ms N] [--retries N] [--retry-seed N]`
-//! * `client     --addr H:P --action ping|register|solve|evaluate|modelcheck|stats|shutdown [--timeout-ms N] [--retries N] [--retry-seed N] …`
+//! * `route      --backends H:P,H:P,… [--replicas R] [--hedge-ms N] [--vnodes N] [--eject-after N] [--addr H:P] [--addr-file PATH] [--timeout-ms N] [--retries N] [--retry-seed N] [--trace on|off]`
+//! * `client     --addr H:P --action ping|register|solve|evaluate|modelcheck|stats|shutdown [--timeout-ms N] [--retries N] [--retry-seed N] [--trace-out T.jsonl] …`
 //! * `loadgen    --addr H:P[,H:P…] --graph G.txt [--connections N] [--requests N] [--seed N] [--pool N] [--timeout-ms N] [--retries N] [--retry-seed N]`
+//! * `top        --addr H:P [--once] [--interval-ms N] [--iterations N]`
 //!
 //! Graphs use the `folearn_graph::io` exchange format; example files have
 //! one example per line: a `+` or `-` label followed by the vertex indices
@@ -31,7 +32,7 @@ use folearn_graph::splitter::{play_game, GraphClass, MaxBallConnector};
 use folearn_graph::{io, Graph, V};
 use folearn_logic::vm::EvalEngine;
 use folearn_logic::parser;
-use folearn_server::proto::{hex64, parse_hex64};
+use folearn_server::proto::{hex64, parse_hex64, Json};
 use folearn_server::server::MAX_SOLVER_THREADS;
 use folearn_server::{
     ClientApi, ClientConfig, LoadgenConfig, RetryPolicy, RetryingClient, ServerConfig,
@@ -184,6 +185,11 @@ fn load_graph(opts: &Options) -> Result<Graph, CliError> {
 
 /// Run a subcommand; returns the text to print.
 pub fn run(command: &str, args: &[String]) -> Result<String, CliError> {
+    if command == "top" {
+        // `top` takes a bare `--once` switch, which the strict
+        // `--key value` parser would reject; it pre-parses its args.
+        return cmd_top(args);
+    }
     let opts = Options::parse(args)?;
     match command {
         "learn" => cmd_learn(&opts),
@@ -200,7 +206,7 @@ pub fn run(command: &str, args: &[String]) -> Result<String, CliError> {
         "client" => cmd_client(&opts),
         "loadgen" => cmd_loadgen(&opts),
         other => Err(err(format!(
-            "unknown command {other:?}; expected learn | modelcheck | splitter | types | dot | trace | serve | route | client | loadgen"
+            "unknown command {other:?}; expected learn | modelcheck | splitter | types | dot | trace | serve | route | client | loadgen | top"
         ))),
     }
 }
@@ -439,6 +445,7 @@ fn cmd_route(opts: &Options) -> Result<String, CliError> {
             opts.get_usize("idle-ms", defaults.idle_timeout.as_millis() as usize)? as u64,
         ),
         max_connections: opts.get_usize("max-conns", defaults.max_connections)?,
+        trace: parse_on_off(opts.get("trace").unwrap_or("on"), "trace")?,
     };
     let handle = folearn_cluster::start(&config)
         .map_err(|e| err(format!("cannot start router on {}: {e}", config.addr)))?;
@@ -535,16 +542,38 @@ fn cmd_client(opts: &Options) -> Result<String, CliError> {
             let g = load_graph(opts)?;
             let examples = wire_examples(opts, &g)?;
             let structure = client.register(&io::to_text(&g)).map_err(net)?;
-            let outcome = client
-                .solve(
-                    structure,
-                    examples,
-                    opts.get_usize("ell", 0)?,
-                    opts.get_usize("q", 1)?,
-                    0.0,
-                    parse_solver_spec(opts)?,
-                )
-                .map_err(net)?;
+            let ell = opts.get_usize("ell", 0)?;
+            let q = opts.get_usize("q", 1)?;
+            let spec = parse_solver_spec(opts)?;
+            // `--trace-out` opts this solve into tracing: the request
+            // carries a trace context, so a router stitches its span
+            // tree (and a daemon binds `server.solve`) under it.
+            let outcome = if opts.get("trace-out").is_some() {
+                let trace_id = {
+                    let now = std::time::SystemTime::now()
+                        .duration_since(std::time::UNIX_EPOCH)
+                        .map_or(0, |d| d.as_nanos() as u64);
+                    (now ^ u64::from(std::process::id()).rotate_left(32)) | 1
+                };
+                client
+                    .solve_traced(
+                        structure,
+                        examples,
+                        ell,
+                        q,
+                        0.0,
+                        spec,
+                        folearn_server::proto::TraceContext {
+                            trace_id,
+                            parent: 0,
+                        },
+                    )
+                    .map_err(net)?
+            } else {
+                client
+                    .solve(structure, examples, ell, q, 0.0, spec)
+                    .map_err(net)?
+            };
             let mut out = String::new();
             let _ = writeln!(out, "structure:       {}", hex64(structure));
             let _ = writeln!(out, "solver:          {}", outcome.solver);
@@ -561,6 +590,20 @@ fn cmd_client(opts: &Options) -> Result<String, CliError> {
             );
             let _ = writeln!(out, "hypothesis id:   {}", hex64(outcome.hypothesis.id));
             let _ = writeln!(out, "hypothesis:      {}", outcome.hypothesis.describe);
+            if let Some(path) = opts.get("trace-out") {
+                // One span tree per line: the same JSONL shape `learn
+                // --trace-out` writes, so `folearn trace` renders it.
+                match &outcome.trace {
+                    Some(t) => {
+                        std::fs::write(path, format!("{}\n", t.render()))
+                            .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+                        let _ = writeln!(out, "trace:           written to {path}");
+                    }
+                    None => {
+                        let _ = writeln!(out, "trace:           (server sent none)");
+                    }
+                }
+            }
             Ok(out)
         }
         "evaluate" => {
@@ -684,6 +727,191 @@ fn cmd_loadgen(opts: &Options) -> Result<String, CliError> {
         );
     }
     Ok(out)
+}
+
+/// Numeric field lookup with a zero default (absent keys read 0).
+fn jnum(v: &Json, key: &str) -> f64 {
+    v.get(key).and_then(Json::as_num).unwrap_or(0.0)
+}
+
+/// Summarise a stats `series` window into one "last 60s: …" line:
+/// request rate over the seconds the window actually covers, error and
+/// cache totals, and the quantiles of the most recent bucket.
+fn series_line(series: &Json) -> String {
+    let empty: &[Json] = &[];
+    let buckets = series.get("buckets").and_then(Json::as_arr).unwrap_or(empty);
+    if buckets.is_empty() {
+        return "last 60s:  idle".to_string();
+    }
+    let sum = |key: &str| -> f64 { buckets.iter().map(|b| jnum(b, key)).sum() };
+    let span = (jnum(series, "now_s") - jnum(&buckets[0], "t") + 1.0).max(1.0);
+    let last = &buckets[buckets.len() - 1];
+    let mut line = format!(
+        "last 60s:  {:.1} req/s, {} errors, p50 {}µs, p99 {}µs",
+        sum("requests") / span,
+        sum("errors") as u64,
+        jnum(last, "p50_us") as u64,
+        jnum(last, "p99_us") as u64,
+    );
+    let (hits, misses) = (sum("cache_hits"), sum("cache_misses"));
+    if hits + misses > 0.0 {
+        let _ = write!(
+            line,
+            ", cache {}/{} hit",
+            hits as u64,
+            (hits + misses) as u64
+        );
+    }
+    let fired = sum("hedges_fired");
+    if fired > 0.0 {
+        let _ = write!(
+            line,
+            ", hedges {} fired / {} won",
+            fired as u64,
+            sum("hedges_won") as u64
+        );
+    }
+    line
+}
+
+/// Render one `top` frame from a `stats` snapshot. Handles both roles:
+/// a server reports its own cache and series; a router's snapshot adds
+/// hedge/failover counters and the fanned-in `cluster` section with one
+/// row per backend.
+fn render_top(addr: &str, stats: &Json) -> String {
+    let role = stats.get("role").and_then(Json::as_str).unwrap_or("server");
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "folearn top — {role} v{} @ {addr}, up {}s",
+        stats.get("version").and_then(Json::as_str).unwrap_or("?"),
+        (jnum(stats, "uptime_ms") / 1000.0) as u64,
+    );
+    let _ = write!(out, "requests:  {} total", jnum(stats, "requests") as u64);
+    if role == "router" {
+        let _ = writeln!(
+            out,
+            ", hedges {} fired / {} won, {} replica retries, {} failovers",
+            jnum(stats, "hedges_fired") as u64,
+            jnum(stats, "hedges_won") as u64,
+            jnum(stats, "replica_retries") as u64,
+            jnum(stats, "failovers") as u64,
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            ", {} connections, {} worker panics",
+            jnum(stats, "connections") as u64,
+            jnum(stats, "worker_panics") as u64,
+        );
+        if let Some(cache) = stats.get("cache") {
+            let _ = writeln!(
+                out,
+                "cache:     {} hits / {} misses (rate {:.2}), {} entries",
+                jnum(cache, "hits") as u64,
+                jnum(cache, "misses") as u64,
+                jnum(cache, "hit_rate"),
+                jnum(cache, "entries") as u64,
+            );
+        }
+    }
+    if let Some(series) = stats.get("series") {
+        let _ = writeln!(out, "{}", series_line(series));
+    }
+    if let Some(Json::Obj(ops)) = stats.get("endpoints") {
+        if !ops.is_empty() {
+            let _ = writeln!(out, "endpoints:");
+            for (op, rec) in ops {
+                let _ = writeln!(
+                    out,
+                    "  {op:<11} n={:<6} err={:<4} p50 {:>7}µs  p99 {:>7}µs  max {:>7}µs",
+                    jnum(rec, "count") as u64,
+                    jnum(rec, "errors") as u64,
+                    jnum(rec, "p50_us") as u64,
+                    jnum(rec, "p99_us") as u64,
+                    jnum(rec, "max_us") as u64,
+                );
+            }
+        }
+    }
+    if let Some(cluster) = stats.get("cluster") {
+        let _ = writeln!(
+            out,
+            "cluster:   {} backends, {} live, {} reporting, {} requests, cache rate {:.2}",
+            jnum(cluster, "backends_total") as u64,
+            jnum(cluster, "backends_live") as u64,
+            jnum(cluster, "backends_reporting") as u64,
+            jnum(cluster, "requests") as u64,
+            cluster.get("cache").map_or(0.0, |c| jnum(c, "hit_rate")),
+        );
+        if let Some(nodes) = cluster.get("nodes").and_then(Json::as_arr) {
+            for n in nodes {
+                let node_addr = n.get("addr").and_then(Json::as_str).unwrap_or("?");
+                match n.get("error").and_then(Json::as_str) {
+                    Some(e) => {
+                        let _ = writeln!(out, "  {node_addr:<21} DOWN  {e}");
+                    }
+                    None => {
+                        let _ = writeln!(
+                            out,
+                            "  {node_addr:<21} {}  {} v{}, up {}s, {} requests",
+                            if n.get("live").and_then(Json::as_bool) == Some(true) {
+                                "live"
+                            } else {
+                                "out "
+                            },
+                            n.get("role").and_then(Json::as_str).unwrap_or("?"),
+                            n.get("version").and_then(Json::as_str).unwrap_or("?"),
+                            (jnum(n, "uptime_ms") / 1000.0) as u64,
+                            jnum(n, "requests") as u64,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `folearn top`: a plain-text dashboard over a daemon's or router's
+/// `stats` endpoint. Repaints every `--interval-ms` (default 2000);
+/// `--once` prints a single frame and exits (what scripts use), and
+/// `--iterations N` stops after N frames, returning the last one.
+fn cmd_top(args: &[String]) -> Result<String, CliError> {
+    let mut once = false;
+    let mut rest = Vec::with_capacity(args.len());
+    for a in args {
+        if a == "--once" {
+            once = true;
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    let opts = Options::parse(&rest)?;
+    let addr = opts.require("addr")?;
+    let interval = opts.get_usize("interval-ms", 2000)?.max(100) as u64;
+    let iterations = if once {
+        1
+    } else {
+        opts.get_usize("iterations", 0)?
+    };
+    let (config, policy) = parse_client_knobs(&opts)?;
+    let mut client = RetryingClient::connect(addr, config, policy)
+        .map_err(|e| err(format!("cannot connect to {addr}: {e}")))?;
+    let mut frames = 0usize;
+    loop {
+        let stats = client.stats().map_err(|e| err(e.to_string()))?;
+        let frame = render_top(addr, &stats);
+        frames += 1;
+        if iterations != 0 && frames >= iterations {
+            return Ok(frame);
+        }
+        // Interactive mode: clear, repaint in place, poll again.
+        use std::io::Write as _;
+        print!("\x1b[2J\x1b[H{frame}");
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(std::time::Duration::from_millis(interval));
+    }
 }
 
 #[cfg(test)]
@@ -1083,6 +1311,51 @@ mod tests {
         let stats = run("client", &client_args(&["--action", "stats"])).unwrap();
         assert!(stats.contains("\"router\""), "{stats}");
         assert!(stats.contains("\"hedges_fired\""), "{stats}");
+        assert!(stats.contains("\"cluster\""), "{stats}");
+        assert!(stats.contains("\"backends_live\""), "{stats}");
+
+        // A routed solve carries a stitched trace — router.solve root,
+        // per-attempt child spans, the winning backend's server.solve
+        // subtree — written as JSONL the `trace` subcommand renders.
+        let tpath = dir.join("routed-trace.jsonl");
+        let traced = run(
+            "client",
+            &client_args(&[
+                "--action",
+                "solve",
+                "--graph",
+                gpath.to_str().unwrap(),
+                "--examples",
+                epath.to_str().unwrap(),
+                "--q",
+                "0",
+                "--ell",
+                "1",
+                "--trace-out",
+                tpath.to_str().unwrap(),
+            ]),
+        )
+        .unwrap();
+        assert!(traced.contains("written to"), "{traced}");
+        let text = std::fs::read_to_string(&tpath).unwrap();
+        assert!(text.contains("router.solve"), "{text}");
+        assert!(text.contains("router.attempt"), "{text}");
+        assert!(text.contains("server.solve"), "{text}");
+        let inspect = run(
+            "trace",
+            &["--file".to_string(), tpath.to_str().unwrap().to_string()],
+        )
+        .unwrap();
+        assert!(inspect.contains("router.solve"), "{inspect}");
+        assert!(inspect.contains("server.solve"), "{inspect}");
+
+        // `top --once` renders one dashboard frame off the same stats
+        // endpoint, cluster section included.
+        let top = run("top", &client_args(&["--once"])).unwrap();
+        assert!(top.contains("folearn top — router"), "{top}");
+        assert!(top.contains("last 60s:"), "{top}");
+        assert!(top.contains("cluster:"), "{top}");
+        assert!(top.contains("2 backends, 2 live, 2 reporting"), "{top}");
 
         // Multi-target loadgen round-robins directly over the backends
         // and breaks the report out per target.

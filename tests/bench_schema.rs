@@ -212,3 +212,69 @@ fn the_cluster_artifact_records_identity_and_hedging() {
         assert_eq!(row.get("errors").and_then(Json::as_usize), Some(0));
     }
 }
+
+#[test]
+fn the_cluster_obs_artifact_records_complete_traces_within_budget() {
+    let (name, text) = bench_files()
+        .into_iter()
+        .find(|(n, _)| n == "BENCH_cluster_obs.json")
+        .expect("the E22 cluster-observability artifact must be committed");
+    let v = Json::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+    assert_eq!(v.get("experiment").and_then(Json::as_str), Some("E22"));
+    // The headline budget: enabling tracing on the router must not slow
+    // the (unsampled) reduction workload by more than 5%. Stitching is
+    // per-request opt-in, so this should sit at ~0.
+    let overhead = v
+        .get("overhead_pct")
+        .and_then(Json::as_num)
+        .unwrap_or_else(|| panic!("{name}: missing overhead_pct"));
+    assert!(
+        (0.0..=5.0).contains(&overhead),
+        "{name}: tracing overhead {overhead}% blows the 5% budget"
+    );
+    // Every audited trace stitched into one complete tree: a router root
+    // with a won attempt holding the backend's server.solve subtree.
+    assert_eq!(
+        v.get("trace_complete").and_then(Json::as_bool),
+        Some(true),
+        "{name}: some solves came back with incomplete span trees"
+    );
+    let audited = v
+        .get("traces_audited")
+        .and_then(Json::as_usize)
+        .unwrap_or(0);
+    assert!(audited > 0, "{name}: no traces were audited");
+    // The interesting span kinds must all have been exercised: a run
+    // where no hedge, failover, or cache replay shows up in any trace
+    // proves nothing about stitching them.
+    for key in ["hedge_spans", "failover_spans", "replay_spans"] {
+        let n = v.get(key).and_then(Json::as_usize).unwrap_or(0);
+        assert!(n > 0, "{name}: {key} is zero — that span kind never ran");
+    }
+    // Propagation: a client-supplied trace id must have reached the
+    // stitched root's meta.
+    assert_eq!(
+        v.get("client_trace_id_propagated").and_then(Json::as_bool),
+        Some(true),
+        "{name}: the client's trace id was lost in the router"
+    );
+    // Fan-in stats: all backends reported, and the merged per-endpoint
+    // histogram survived aggregation.
+    let stats = v
+        .get("stats")
+        .unwrap_or_else(|| panic!("{name}: missing stats section"));
+    let total = stats
+        .get("backends_total")
+        .and_then(Json::as_usize)
+        .unwrap_or(0);
+    let reporting = stats
+        .get("backends_reporting")
+        .and_then(Json::as_usize)
+        .unwrap_or(0);
+    assert!(total > 0 && reporting == total, "{name}: backends missing from the fan-in");
+    assert_eq!(
+        stats.get("merged_solve_hist").and_then(Json::as_bool),
+        Some(true),
+        "{name}: the merged solve histogram is missing"
+    );
+}
