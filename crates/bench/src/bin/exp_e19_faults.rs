@@ -188,6 +188,7 @@ fn main() {
         q: 1,
         client: ClientConfig::with_deadline(DEADLINE),
         retry: retry_policy(7),
+        pipeline: 0,
     };
     let load = run_load(proxy.addr(), &graph_text, &config);
     let load_faults = proxy.faults_injected();

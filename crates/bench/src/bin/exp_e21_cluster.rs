@@ -405,6 +405,7 @@ fn main() {
             q: 1,
             client: ClientConfig::with_deadline(Duration::from_millis(500)),
             retry: retry_policy(5),
+            pipeline: 0,
         },
     );
     for (_, h) in by_addr {

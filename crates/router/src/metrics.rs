@@ -49,6 +49,7 @@ struct Inner {
     hedges_won: u64,
     replica_retries: u64,
     failovers: u64,
+    rejected_connections: u64,
     structures: u64,
     hypotheses: u64,
     series: TimeSeries,
@@ -86,6 +87,7 @@ impl RouterMetrics {
                 hedges_won: 0,
                 replica_retries: 0,
                 failovers: 0,
+                rejected_connections: 0,
                 structures: 0,
                 hypotheses: 0,
                 series: TimeSeries::new(),
@@ -170,6 +172,12 @@ impl RouterMetrics {
         folearn_obs::count(folearn_obs::Counter::HedgesFired, 1);
     }
 
+    /// Record a connection turned away at the concurrency cap or on a
+    /// failed connection-thread spawn.
+    pub fn record_rejected_connection(&self) {
+        self.inner.lock().rejected_connections += 1;
+    }
+
     /// Record a request won by its hedge (not the primary).
     pub fn record_hedge_won(&self) {
         let mut inner = self.inner.lock();
@@ -221,6 +229,10 @@ impl RouterMetrics {
                 Json::Num(inner.replica_retries as f64),
             ),
             ("failovers", Json::Num(inner.failovers as f64)),
+            (
+                "rejected_connections",
+                Json::Num(inner.rejected_connections as f64),
+            ),
             ("structures", Json::Num(inner.structures as f64)),
             ("hypotheses", Json::Num(inner.hypotheses as f64)),
             (

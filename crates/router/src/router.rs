@@ -337,6 +337,7 @@ pub fn start(config: &RouterConfig) -> std::io::Result<RouterHandle> {
                         conns.len() < max_connections
                     };
                     if !admitted {
+                        state.metrics.record_rejected_connection();
                         let _ = framing::write_response(
                             &mut stream,
                             &Response::Bye {
@@ -345,12 +346,29 @@ pub fn start(config: &RouterConfig) -> std::io::Result<RouterHandle> {
                         );
                         continue;
                     }
-                    let state = Arc::clone(&state);
-                    let handle = std::thread::Builder::new()
+                    // Keep a reply handle: if the spawn fails (thread
+                    // limit, OOM) the stream has moved into the dropped
+                    // closure, and this clone lets the router degrade
+                    // with an error reply instead of panicking.
+                    let reply = stream.try_clone().ok();
+                    let conn_state = Arc::clone(&state);
+                    let spawned = std::thread::Builder::new()
                         .name("folearn-router-conn".to_string())
-                        .spawn(move || serve_connection(&state, stream))
-                        .expect("spawn router connection thread");
-                    connections.lock().push(handle);
+                        .spawn(move || serve_connection(&conn_state, stream));
+                    match spawned {
+                        Ok(handle) => connections.lock().push(handle),
+                        Err(_) => {
+                            state.metrics.record_rejected_connection();
+                            if let Some(mut s) = reply {
+                                let _ = framing::write_response(
+                                    &mut s,
+                                    &Response::error(
+                                        "router overloaded: cannot spawn connection thread",
+                                    ),
+                                );
+                            }
+                        }
+                    }
                 }
             })?
     };

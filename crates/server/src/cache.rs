@@ -14,8 +14,16 @@
 //! eviction scanning for the stale minimum. Eviction is `O(capacity)`
 //! but only runs on insert-past-capacity; lookups — the path repeated
 //! oracle calls hit — are `O(1)`.
+//!
+//! [`ShardedCache`] and [`ShardedMap`] wrap the LRU and the plain
+//! registry map in N independently locked shards selected by a
+//! splitmix64 finalizer over the content-hash key, so concurrent
+//! lookups from the event loop and the worker pool stop serializing on
+//! one mutex.
 
 use std::collections::HashMap;
+
+use parking_lot::Mutex;
 
 /// Cache key: `(structure hash, sample hash, config hash)`.
 pub type CacheKey = (u64, u64, u64);
@@ -107,6 +115,125 @@ impl<V> LruCache<V> {
     }
 }
 
+/// The splitmix64 finalizer (same constants as the router's hash
+/// ring): FNV-1a keys over near-identical payloads cluster in the low
+/// bits, and this mixes them uniformly before shard selection.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Mix a composite cache key down to one shard-selection hash.
+fn mix_key(key: &CacheKey) -> u64 {
+    splitmix64(key.0 ^ key.1.rotate_left(21) ^ key.2.rotate_left(42))
+}
+
+/// An LRU result cache split into independently locked shards.
+///
+/// Capacity is divided evenly across shards (any remainder goes to the
+/// low shards), so the total never exceeds the configured capacity.
+/// Capacity 0 disables caching exactly like [`LruCache::new(0)`]. The
+/// shard count is clamped so no shard has capacity zero while the
+/// cache as a whole is enabled.
+pub struct ShardedCache<V> {
+    shards: Vec<Mutex<LruCache<V>>>,
+}
+
+impl<V: Clone> ShardedCache<V> {
+    /// A cache of `capacity` total entries across `shards` locks.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.clamp(1, capacity.max(1));
+        let base = capacity / shards;
+        let extra = capacity % shards;
+        let shards = (0..shards)
+            .map(|i| Mutex::new(LruCache::new(base + usize::from(i < extra))))
+            .collect();
+        Self { shards }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<LruCache<V>> {
+        &self.shards[(mix_key(key) % self.shards.len() as u64) as usize]
+    }
+
+    /// Look up a key (refreshing its recency in its shard), cloning the
+    /// value out so the shard lock is held only for the lookup.
+    pub fn get(&self, key: &CacheKey) -> Option<V> {
+        self.shard(key).lock().get(key).cloned()
+    }
+
+    /// Insert a value into the key's shard, evicting within that shard
+    /// if it is full.
+    pub fn insert(&self, key: CacheKey, value: V) {
+        self.shard(&key).lock().insert(key, value);
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Summed `(hits, misses, evictions)` across shards.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        self.shards.iter().fold((0, 0, 0), |acc, s| {
+            let (h, m, e) = s.lock().counters();
+            (acc.0 + h, acc.1 + m, acc.2 + e)
+        })
+    }
+
+    /// Number of shards (for the stats payload).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+/// A `u64`-keyed map (structure registry, hypothesis store) split into
+/// independently locked shards by the same splitmix64 finalizer.
+pub struct ShardedMap<V> {
+    shards: Vec<Mutex<HashMap<u64, V>>>,
+}
+
+impl<V: Clone> ShardedMap<V> {
+    /// An empty map across `shards` locks (at least one).
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, V>> {
+        &self.shards[(splitmix64(key) % self.shards.len() as u64) as usize]
+    }
+
+    /// Clone the value under `key` out of its shard.
+    pub fn get(&self, key: u64) -> Option<V> {
+        self.shard(key).lock().get(&key).cloned()
+    }
+
+    /// Insert, returning `true` iff the key was fresh.
+    pub fn insert(&self, key: u64, value: V) -> bool {
+        self.shard(key).lock().insert(key, value).is_none()
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,5 +282,70 @@ mod tests {
         c.insert(k(1), 1);
         assert!(c.get(&k(1)).is_none());
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn sharded_cache_agrees_with_a_flat_lru_on_lookups() {
+        let sharded = ShardedCache::new(64, 8);
+        for i in 0..40u64 {
+            sharded.insert((i, i.wrapping_mul(3), 7), i);
+        }
+        for i in 0..40u64 {
+            assert_eq!(sharded.get(&(i, i.wrapping_mul(3), 7)), Some(i));
+        }
+        assert!(sharded.get(&(99, 0, 7)).is_none());
+        assert_eq!(sharded.len(), 40);
+        let (hits, misses, _) = sharded.counters();
+        assert_eq!((hits, misses), (40, 1));
+        assert_eq!(sharded.num_shards(), 8);
+    }
+
+    #[test]
+    fn sharded_cache_total_capacity_is_respected() {
+        // 10 entries over 4 shards: shard capacities 3+3+2+2. Whatever
+        // the key distribution, the total can never exceed 10.
+        let sharded = ShardedCache::new(10, 4);
+        for i in 0..1000u64 {
+            sharded.insert((i, 1, 2), i);
+        }
+        assert!(sharded.len() <= 10, "len {} exceeds capacity", sharded.len());
+        assert!(sharded.counters().2 > 0, "evictions must have happened");
+    }
+
+    #[test]
+    fn sharded_cache_zero_capacity_disables() {
+        let sharded: ShardedCache<u64> = ShardedCache::new(0, 8);
+        sharded.insert(k(1), 1);
+        assert!(sharded.get(&k(1)).is_none());
+        assert!(sharded.is_empty());
+    }
+
+    #[test]
+    fn sharded_cache_spreads_fnv_keys_across_shards() {
+        // Sequential FNV-style keys differ in few bits; the splitmix64
+        // finalizer must still spread them over the shards.
+        let sharded = ShardedCache::new(256, 8);
+        for i in 0..256u64 {
+            sharded.insert((i, 0, 0), i);
+        }
+        let used = (0..8)
+            .filter(|&s| !sharded.shards[s].lock().is_empty())
+            .count();
+        assert!(used >= 6, "only {used}/8 shards used");
+    }
+
+    #[test]
+    fn sharded_map_insert_get_and_freshness() {
+        let map = ShardedMap::new(8);
+        assert!(map.insert(42, "a"));
+        assert!(!map.insert(42, "b"), "second insert is not fresh");
+        assert_eq!(map.get(42), Some("b"));
+        assert!(map.get(7).is_none());
+        assert_eq!(map.len(), 1);
+        for i in 0..100 {
+            map.insert(i, "x");
+        }
+        assert_eq!(map.len(), 100);
+        assert!(!map.is_empty());
     }
 }

@@ -1,0 +1,657 @@
+//! The nonblocking event core: readiness-loop shards that serve many
+//! pipelined connections per thread.
+//!
+//! The thread-per-connection front door ([`crate::framing::serve_framed`])
+//! spends one OS thread per peer blocked in `read_line`; at thousands
+//! of connections the scheduler thrash dominates and a failed
+//! `thread::spawn` used to kill the daemon outright. This module
+//! replaces it for the backend server: the acceptor hands each stream
+//! to one of a fixed set of *shard* threads, and each shard drives its
+//! connections with nonblocking reads and writes from a hand-rolled
+//! readiness loop (std-only polling — no new dependencies, in the same
+//! spirit as the vendored shims).
+//!
+//! Per connection the shard keeps a read buffer and a write buffer.
+//! One wakeup decodes *every* complete newline-delimited frame in the
+//! read buffer (up to the per-connection in-flight cap), so a
+//! pipelining client pays one syscall for a burst of requests.
+//! Responses complete out of worker-pool callbacks: each decoded
+//! request claims an ordered *slot* in the connection's response queue
+//! and a [`Responder`] that fills it from whatever thread finishes the
+//! work. Slots flush strictly in order, so pipelined replies can never
+//! be reordered no matter how the pool schedules the jobs.
+//!
+//! The lifecycle semantics of the framed loop survive verbatim: the
+//! oversize cap answers `malformed request: line exceeds N bytes` and
+//! closes, EOF mid-frame answers `malformed request: truncated frame
+//! (EOF before newline)`, the idle clock (which counts partial reads
+//! as activity) answers `bye (idle timeout)`, the request budget
+//! answers `bye (request limit)`, and daemon shutdown answers `bye
+//! (shutdown)` on every connection before the shards exit.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, TryRecvError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::framing::{ConnEvent, ConnLimits};
+use crate::pool::Job;
+use crate::proto::{Request, Response};
+
+/// How long a shard sleeps when a full pass over its connections made
+/// no progress (no bytes moved, no slots completed). Short enough that
+/// an idle daemon answers a lone request in well under a millisecond.
+const IDLE_SLEEP: Duration = Duration::from_micros(200);
+
+/// How long shards keep flushing in-flight responses after shutdown is
+/// requested before abandoning the remaining connections.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(10);
+
+/// Read chunk size per `read` syscall.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// One ordered response slot in a connection's reply queue.
+struct Slot {
+    cell: Mutex<Option<Response>>,
+    op: &'static str,
+    started: Instant,
+    /// Whether draining this slot reports to the `observe` callback
+    /// (synthetic lifecycle replies — bye, oversize — do not, matching
+    /// the framed loop).
+    observed: bool,
+}
+
+/// Completes one response slot from any thread. Dropping a responder
+/// without calling [`Responder::complete`] fills the slot with an
+/// error, so a worker dying between dequeue and reply can never wedge
+/// the connection's ordered flush.
+pub struct Responder {
+    slot: Option<Arc<Slot>>,
+}
+
+impl Responder {
+    /// Fill the slot; the owning shard flushes it in order.
+    pub fn complete(mut self, response: Response) {
+        if let Some(slot) = self.slot.take() {
+            *slot.cell.lock() = Some(response);
+        }
+    }
+}
+
+impl Drop for Responder {
+    fn drop(&mut self) {
+        if let Some(slot) = self.slot.take() {
+            let mut cell = slot.cell.lock();
+            if cell.is_none() {
+                *cell = Some(Response::error(
+                    "request was dropped: server is shutting down",
+                ));
+            }
+        }
+    }
+}
+
+/// What the handler did with a decoded request.
+pub enum Dispatch {
+    /// Handled: the responder will complete the slot (it may already
+    /// have, for requests answered inline on the loop thread).
+    Accepted,
+    /// The compute queue was full. The shard parks the prepared job and
+    /// re-offers it via [`EventHandler::retry`] each tick, decoding no
+    /// further frames from that connection until it is accepted —
+    /// backpressure without stalling the whole shard.
+    Busy(Job),
+}
+
+/// The daemon half of the event core: request dispatch plus the metric
+/// and lifecycle callbacks the framed loop took as closures.
+pub trait EventHandler: Send + Sync + 'static {
+    /// Route one decoded request. Cheap requests should be answered
+    /// inline (complete the responder and return [`Dispatch::Accepted`]);
+    /// compute-shaped ones should be packaged into a pool job that
+    /// completes the responder when it runs.
+    fn dispatch(&self, req: Request, responder: Responder) -> Dispatch;
+
+    /// Re-offer a parked job. `Err` hands it back for the next tick.
+    fn retry(&self, job: Job) -> Result<(), Job>;
+
+    /// One served request: `(op, µs, ok)`.
+    fn observe(&self, op: &'static str, us: u64, ok: bool);
+
+    /// A limit violation that closed a connection.
+    fn conn_event(&self, ev: ConnEvent);
+
+    /// A served request asked for daemon-wide shutdown (its `bye` reply
+    /// has already been queued on the issuing connection).
+    fn wants_shutdown(&self);
+}
+
+/// Options for the event core.
+#[derive(Clone, Copy, Debug)]
+pub struct EventLoopOptions {
+    /// Per-connection limits (identical meaning to the framed loop).
+    pub limits: ConnLimits,
+    /// Pipelined requests a single connection may have in flight before
+    /// the shard stops reading from it.
+    pub max_inflight_per_conn: usize,
+}
+
+/// Why a connection left the loop (internal).
+enum ConnFate {
+    Alive,
+    Closed,
+}
+
+/// Per-connection state owned by one shard.
+struct Conn {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    /// Resume offset for the newline scan (bytes before it are known
+    /// newline-free).
+    scan_from: usize,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    slots: VecDeque<Arc<Slot>>,
+    /// A parked compute job (queue was full); decoding pauses until the
+    /// pool accepts it.
+    deferred: Option<Job>,
+    served: usize,
+    last_activity: Instant,
+    /// No more reads; flush the remaining slots and close.
+    closing: bool,
+    peer_eof: bool,
+}
+
+impl Conn {
+    fn adopt(stream: TcpStream) -> Option<Self> {
+        stream.set_nonblocking(true).ok()?;
+        let _ = stream.set_nodelay(true);
+        Some(Self {
+            stream,
+            read_buf: Vec::new(),
+            scan_from: 0,
+            write_buf: Vec::new(),
+            write_pos: 0,
+            slots: VecDeque::new(),
+            deferred: None,
+            served: 0,
+            last_activity: Instant::now(),
+            closing: false,
+            peer_eof: false,
+        })
+    }
+
+    /// Append a pre-completed reply (lifecycle byes and errors) that
+    /// flushes after everything already in flight.
+    fn push_synthetic(&mut self, response: Response) {
+        self.slots.push_back(Arc::new(Slot {
+            cell: Mutex::new(Some(response)),
+            op: "",
+            started: Instant::now(),
+            observed: false,
+        }));
+    }
+
+    /// Queue the shutdown bye (idempotent via `closing`).
+    fn begin_shutdown(&mut self) {
+        if self.closing {
+            return;
+        }
+        self.push_synthetic(Response::Bye {
+            reason: "shutdown".to_string(),
+        });
+        self.closing = true;
+    }
+
+    /// Whether the shard may read more bytes from this peer.
+    fn may_read(&self, max_inflight: usize) -> bool {
+        !self.closing
+            && !self.peer_eof
+            && self.deferred.is_none()
+            && self.slots.len() < max_inflight
+    }
+
+    /// One full service pass: retry deferred work, read + decode, check
+    /// the idle clock, drain completed slots, flush the write buffer.
+    fn tick(
+        &mut self,
+        handler: &dyn EventHandler,
+        opts: &EventLoopOptions,
+        progress: &mut bool,
+    ) -> ConnFate {
+        let max_inflight = opts.max_inflight_per_conn.max(1);
+
+        // Re-offer a parked compute job before anything else: its slot
+        // is already in the queue and everything behind it is waiting.
+        if let Some(job) = self.deferred.take() {
+            match handler.retry(job) {
+                Ok(()) => *progress = true,
+                Err(job) => self.deferred = Some(job),
+            }
+        }
+
+        // Read while the peer has bytes and the in-flight cap allows.
+        let mut chunk = [0u8; READ_CHUNK];
+        while self.may_read(max_inflight) {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.peer_eof = true;
+                    *progress = true;
+                }
+                Ok(n) => {
+                    *progress = true;
+                    self.last_activity = Instant::now();
+                    self.read_buf.extend_from_slice(&chunk[..n]);
+                    if self.decode_frames(handler, &opts.limits, max_inflight) {
+                        return ConnFate::Closed;
+                    }
+                    if n < chunk.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return ConnFate::Closed,
+            }
+        }
+
+        // Frames buffered past the in-flight cap (or behind a deferred
+        // job) were left undecoded by the read path; pick them up as
+        // slots free, even when the peer sends nothing further.
+        if !self.closing
+            && self.deferred.is_none()
+            && !self.read_buf.is_empty()
+            && self.slots.len() < max_inflight
+            && self.decode_frames(handler, &opts.limits, max_inflight)
+        {
+            return ConnFate::Closed;
+        }
+
+        // Peer EOF: only once no complete buffered frame remains can
+        // the leftover be judged (a partial frame is truncated; bare
+        // whitespace is a clean hangup).
+        if self.peer_eof && !self.closing && !self.read_buf.contains(&b'\n') {
+            self.on_eof(handler);
+        }
+
+        // Idle: only a connection with nothing pending in either
+        // direction can be idle (a request being computed, or a reply
+        // mid-flush, is activity — same as the framed loop, where the
+        // clock only runs while waiting for the next line).
+        if !self.closing
+            && self.slots.is_empty()
+            && self.write_buf.len() == self.write_pos
+            && self.deferred.is_none()
+            && self.last_activity.elapsed() >= opts.limits.idle_timeout
+        {
+            handler.conn_event(ConnEvent::IdleClose);
+            self.push_synthetic(Response::Bye {
+                reason: "idle timeout".to_string(),
+            });
+            self.closing = true;
+        }
+
+        // Drain completed slots, strictly in order, into the write
+        // buffer.
+        while let Some(front) = self.slots.front() {
+            let response = front.cell.lock().take();
+            let Some(response) = response else { break };
+            let front = self.slots.pop_front().expect("front exists");
+            *progress = true;
+            if front.observed {
+                let ok = !matches!(response, Response::Error { .. });
+                let us = front.started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                handler.observe(front.op, us, ok);
+            }
+            if let Response::Bye { reason } = &response {
+                if !self.closing && reason == "shutdown" {
+                    // A served shutdown request: tell the daemon after
+                    // the bye is queued, exactly like the framed loop
+                    // which writes the bye before returning `true`.
+                    handler.wants_shutdown();
+                }
+                self.closing = true;
+            }
+            let mut line = response.encode();
+            line.push('\n');
+            self.write_buf.extend_from_slice(line.as_bytes());
+        }
+
+        // Flush as much of the write buffer as the socket accepts.
+        while self.write_pos < self.write_buf.len() {
+            match self.stream.write(&self.write_buf[self.write_pos..]) {
+                Ok(0) => return ConnFate::Closed,
+                Ok(n) => {
+                    self.write_pos += n;
+                    *progress = true;
+                    self.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return ConnFate::Closed,
+            }
+        }
+        if self.write_pos == self.write_buf.len() && self.write_pos > 0 {
+            self.write_buf.clear();
+            self.write_pos = 0;
+        }
+
+        // Fully drained and told to close (or the peer hung up cleanly
+        // with nothing left to answer): done.
+        if (self.closing || self.peer_eof)
+            && self.slots.is_empty()
+            && self.deferred.is_none()
+            && self.write_buf.len() == self.write_pos
+        {
+            return ConnFate::Closed;
+        }
+        ConnFate::Alive
+    }
+
+    /// EOF from the peer: leftover bytes are a truncated frame,
+    /// whitespace-only leftovers a clean hangup.
+    fn on_eof(&mut self, handler: &dyn EventHandler) {
+        if self.closing {
+            return;
+        }
+        let leftover = &self.read_buf[..];
+        if !leftover.iter().all(|b| b.is_ascii_whitespace()) {
+            handler.conn_event(ConnEvent::TruncatedFrame);
+            self.push_synthetic(Response::error(
+                "malformed request: truncated frame (EOF before newline)",
+            ));
+            self.closing = true;
+        }
+        self.read_buf.clear();
+        self.scan_from = 0;
+    }
+
+    /// Decode every complete frame in the read buffer (bounded by the
+    /// in-flight cap and the lifecycle limits). Returns `true` on a
+    /// fatal framing failure (the connection must close with no reply).
+    fn decode_frames(
+        &mut self,
+        handler: &dyn EventHandler,
+        limits: &ConnLimits,
+        max_inflight: usize,
+    ) -> bool {
+        loop {
+            if self.closing || self.deferred.is_some() || self.slots.len() >= max_inflight {
+                return false;
+            }
+            let nl = self.read_buf[self.scan_from..]
+                .iter()
+                .position(|&b| b == b'\n')
+                .map(|p| self.scan_from + p);
+            let Some(nl) = nl else {
+                // No complete frame. A partial frame that already blew
+                // the cap is answered and closed right now — `read_buf`
+                // growth is bounded no matter what arrives.
+                if self.read_buf.len() > limits.max_line_bytes {
+                    self.oversize(handler, limits);
+                }
+                self.scan_from = self.read_buf.len();
+                return false;
+            };
+            // Frame length includes the newline, matching `read_line`
+            // in the framed loop.
+            if nl + 1 > limits.max_line_bytes {
+                self.oversize(handler, limits);
+                return false;
+            }
+            let line: Vec<u8> = self.read_buf.drain(..=nl).collect();
+            self.scan_from = 0;
+            let Ok(text) = std::str::from_utf8(&line) else {
+                // The framed loop's `read_line` fails the connection on
+                // invalid UTF-8 without a reply; do the same.
+                return true;
+            };
+            if text.trim().is_empty() {
+                continue;
+            }
+            self.served += 1;
+            if self.served > limits.max_requests_per_conn {
+                handler.conn_event(ConnEvent::OverLimitClose);
+                self.push_synthetic(Response::Bye {
+                    reason: "request limit".to_string(),
+                });
+                self.closing = true;
+                return false;
+            }
+            let started = Instant::now();
+            match Request::decode(text.trim_end()) {
+                Ok(req) => {
+                    let slot = Arc::new(Slot {
+                        cell: Mutex::new(None),
+                        op: req.op(),
+                        started,
+                        observed: true,
+                    });
+                    self.slots.push_back(Arc::clone(&slot));
+                    match handler.dispatch(req, Responder { slot: Some(slot) }) {
+                        Dispatch::Accepted => {}
+                        Dispatch::Busy(job) => self.deferred = Some(job),
+                    }
+                }
+                Err(e) => {
+                    // The prefix is load-bearing: see the framed loop —
+                    // a correct client treats `malformed request` as
+                    // proof of in-flight corruption and retries.
+                    let slot = Arc::new(Slot {
+                        cell: Mutex::new(Some(Response::error(format!(
+                            "malformed request: {e}"
+                        )))),
+                        op: "malformed",
+                        started,
+                        observed: true,
+                    });
+                    self.slots.push_back(slot);
+                }
+            }
+        }
+    }
+
+    fn oversize(&mut self, handler: &dyn EventHandler, limits: &ConnLimits) {
+        handler.conn_event(ConnEvent::OversizeClose);
+        self.push_synthetic(Response::error(format!(
+            "malformed request: line exceeds {} bytes",
+            limits.max_line_bytes
+        )));
+        self.closing = true;
+        self.read_buf.clear();
+        self.scan_from = 0;
+    }
+}
+
+/// Run one shard: adopt connections from `inbox`, tick them until the
+/// daemon shuts down, keep `live` in sync so the acceptor's admission
+/// check and `tracked_connections` see the true count.
+pub fn shard_loop(
+    inbox: &Receiver<TcpStream>,
+    handler: &Arc<dyn EventHandler>,
+    opts: &EventLoopOptions,
+    shutdown: &AtomicBool,
+    live: &AtomicUsize,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut shutdown_deadline: Option<Instant> = None;
+    let mut inbox_closed = false;
+    loop {
+        let mut progress = false;
+
+        while !inbox_closed {
+            match inbox.try_recv() {
+                Ok(stream) => {
+                    progress = true;
+                    match Conn::adopt(stream) {
+                        Some(conn) => conns.push(conn),
+                        None => {
+                            live.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    inbox_closed = true;
+                    break;
+                }
+            }
+        }
+
+        if shutdown.load(Ordering::SeqCst) {
+            if shutdown_deadline.is_none() {
+                shutdown_deadline = Some(Instant::now() + SHUTDOWN_GRACE);
+            }
+            for conn in &mut conns {
+                conn.begin_shutdown();
+            }
+        }
+
+        conns.retain_mut(|conn| {
+            match conn.tick(handler.as_ref(), opts, &mut progress) {
+                ConnFate::Alive => true,
+                ConnFate::Closed => {
+                    live.fetch_sub(1, Ordering::SeqCst);
+                    false
+                }
+            }
+        });
+
+        if let Some(deadline) = shutdown_deadline {
+            if conns.is_empty() || Instant::now() >= deadline {
+                live.fetch_sub(conns.len(), Ordering::SeqCst);
+                return;
+            }
+        }
+
+        if !progress {
+            std::thread::sleep(IDLE_SLEEP);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    /// A handler that answers pings inline and never offloads.
+    struct Echo;
+    impl EventHandler for Echo {
+        fn dispatch(&self, req: Request, responder: Responder) -> Dispatch {
+            let resp = match req {
+                Request::Ping => Response::Pong,
+                Request::Shutdown => Response::Bye {
+                    reason: "shutdown".to_string(),
+                },
+                _ => Response::error("echo handler only pings"),
+            };
+            responder.complete(resp);
+            Dispatch::Accepted
+        }
+        fn retry(&self, _job: Job) -> Result<(), Job> {
+            Ok(())
+        }
+        fn observe(&self, _op: &'static str, _us: u64, _ok: bool) {}
+        fn conn_event(&self, _ev: ConnEvent) {}
+        fn wants_shutdown(&self) {}
+    }
+
+    fn harness(
+        opts: EventLoopOptions,
+    ) -> (
+        std::net::SocketAddr,
+        Arc<AtomicBool>,
+        std::thread::JoinHandle<()>,
+    ) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shutdown2 = Arc::clone(&shutdown);
+        let handle = std::thread::spawn(move || {
+            let (tx, rx) = mpsc::channel();
+            let live = Arc::new(AtomicUsize::new(0));
+            let handler: Arc<dyn EventHandler> = Arc::new(Echo);
+            listener.set_nonblocking(true).unwrap();
+            let accept_shutdown = Arc::clone(&shutdown2);
+            let accept_live = Arc::clone(&live);
+            std::thread::spawn(move || {
+                while !accept_shutdown.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            accept_live.fetch_add(1, Ordering::SeqCst);
+                            let _ = tx.send(stream);
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            });
+            shard_loop(&rx, &handler, &opts, &shutdown2, &live);
+        });
+        (addr, shutdown, handle)
+    }
+
+    fn opts(limits: ConnLimits) -> EventLoopOptions {
+        EventLoopOptions {
+            limits,
+            max_inflight_per_conn: 32,
+        }
+    }
+
+    #[test]
+    fn pipelined_pings_come_back_in_order() {
+        use std::io::{BufRead, BufReader};
+        let (addr, shutdown, handle) = harness(opts(ConnLimits {
+            max_requests_per_conn: 1000,
+            max_line_bytes: 1 << 20,
+            idle_timeout: Duration::from_secs(30),
+        }));
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let burst = "{\"op\":\"ping\"}\n".repeat(50);
+        stream.write_all(burst.as_bytes()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        for _ in 0..50 {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.contains("pong"), "got {line:?}");
+        }
+        drop(reader);
+        drop(stream);
+        shutdown.store(true, Ordering::SeqCst);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn oversize_mid_pipeline_answers_pending_then_errors() {
+        use std::io::{BufRead, BufReader};
+        let (addr, shutdown, handle) = harness(opts(ConnLimits {
+            max_requests_per_conn: 1000,
+            max_line_bytes: 64,
+            idle_timeout: Duration::from_secs(30),
+        }));
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut burst = String::from("{\"op\":\"ping\"}\n");
+        burst.push_str(&"x".repeat(200));
+        burst.push('\n');
+        stream.write_all(burst.as_bytes()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("pong"), "got {line:?}");
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("exceeds 64 bytes"), "got {line:?}");
+        line.clear();
+        assert_eq!(reader.read_line(&mut line).unwrap(), 0, "closed after");
+        shutdown.store(true, Ordering::SeqCst);
+        handle.join().unwrap();
+    }
+}

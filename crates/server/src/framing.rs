@@ -29,7 +29,8 @@ pub struct ConnLimits {
     pub max_requests_per_conn: usize,
     /// Longest request line the daemon will buffer.
     pub max_line_bytes: usize,
-    /// Close a connection after this long without a completed request.
+    /// Close a connection after this long without any activity — a
+    /// completed request *or* partial bytes of an in-progress frame.
     pub idle_timeout: Duration,
 }
 
@@ -41,7 +42,8 @@ pub enum ConnEvent {
     TruncatedFrame,
     /// A request line exceeded [`ConnLimits::max_line_bytes`].
     OversizeClose,
-    /// No completed request within [`ConnLimits::idle_timeout`].
+    /// No activity (completed request or partial bytes) within
+    /// [`ConnLimits::idle_timeout`].
     IdleClose,
     /// The connection exceeded its request budget.
     OverLimitClose,
@@ -57,7 +59,7 @@ enum Framing {
     Truncated,
     /// The frame exceeded [`ConnLimits::max_line_bytes`].
     Oversize,
-    /// No completed request within [`ConnLimits::idle_timeout`].
+    /// No activity within [`ConnLimits::idle_timeout`].
     Idle,
 }
 
@@ -96,10 +98,13 @@ pub fn serve_framed(
     let mut last_activity = Instant::now();
     loop {
         line.clear();
+        let mut seen_len = 0usize;
         // Poll for a full line, re-checking the shutdown flag whenever
-        // the read times out. Partial reads accumulate in `line`, so
-        // both the oversize check and the idle clock see a slow-loris
-        // peer trickling bytes without ever sending a newline.
+        // the read times out. Partial reads accumulate in `line` and
+        // count as activity — a peer slowly streaming one legitimate
+        // large frame must not be killed as idle mid-upload. The
+        // defense against a slow-loris peer trickling bytes forever is
+        // the oversize cap, not the idle clock.
         let framing = loop {
             if shutdown.load(Ordering::SeqCst) {
                 let _ = write_response(
@@ -138,6 +143,13 @@ pub fn serve_framed(
                 {
                     if line.len() > limits.max_line_bytes {
                         break Framing::Oversize;
+                    }
+                    if line.len() > seen_len {
+                        // Bytes arrived since the last poll: the peer is
+                        // alive, just slow. Partial progress resets the
+                        // idle clock.
+                        seen_len = line.len();
+                        last_activity = Instant::now();
                     }
                     if last_activity.elapsed() >= limits.idle_timeout {
                         break Framing::Idle;

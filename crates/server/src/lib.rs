@@ -7,7 +7,12 @@
 //! * [`proto`] — wire format: framing, the [`proto::Json`] value type,
 //!   request/response envelopes, FNV-1a content hashing;
 //! * [`server`] — the daemon: structure registry, bounded worker pool
-//!   dispatch, LRU result cache, metrics, graceful shutdown;
+//!   dispatch, sharded LRU result cache, metrics, graceful shutdown,
+//!   with two service cores (nonblocking event loop by default, the
+//!   thread-per-connection baseline behind [`server::CoreMode`]);
+//! * [`event_loop`] — the nonblocking readiness shards: per-connection
+//!   read/write buffers, pipelined frame decoding, ordered response
+//!   slots completed from worker-pool callbacks;
 //! * [`client`] — a blocking typed client, with optional deadlines
 //!   ([`client::ClientConfig`]) and a retrying wrapper
 //!   ([`client::RetryingClient`]) that reconnects and re-sends under a
@@ -36,6 +41,7 @@
 pub mod cache;
 pub mod chaos;
 pub mod client;
+pub mod event_loop;
 pub mod framing;
 pub mod loadgen;
 pub mod metrics;
@@ -52,4 +58,4 @@ pub use proto::{
     fnv1a64, hex64, parse_hex64, Json, ProtoError, Request, Response, SolveOutcome, SolverSpec,
     TraceContext, WireExample, WireHypothesis, WireProvenance,
 };
-pub use server::{start, ServerConfig, ServerHandle};
+pub use server::{start, CoreMode, ServerConfig, ServerHandle};

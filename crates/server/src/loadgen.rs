@@ -9,15 +9,28 @@
 //! (drawn from a small pool of distinct samples, so repeats hit the
 //! result cache), `evaluate` on the hypotheses those solves return,
 //! `modelcheck`, and `stats`.
+//!
+//! With [`LoadgenConfig::pipeline`] ≥ 2 each worker switches to the
+//! pipelined wire protocol the event core is built for: the whole
+//! request schedule is encoded up front (the structure hash is computed
+//! client-side from the canonical graph text, so nothing depends on a
+//! reply), up to `pipeline` requests ride in flight per connection, and
+//! the worker's *schedule position survives reconnects* — a `bye`
+//! (request budget, shutdown) or transport failure re-sends only the
+//! unanswered window on a fresh connection, so every run completes
+//! exactly `requests_per_conn` requests per worker and the per-target
+//! rows of the report stay exact.
 
-use std::net::SocketAddr;
-use std::time::Instant;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::client::{ClientApi, ClientConfig, ClientError, RetryPolicy, RetryingClient};
-use crate::proto::{Json, SolverSpec, WireExample};
+use crate::proto::{fnv1a64, Json, Request, Response, SolverSpec, WireExample};
 
 /// Shape of a load-generation run.
 #[derive(Clone, Debug)]
@@ -40,6 +53,11 @@ pub struct LoadgenConfig {
     /// Retry policy for each worker; worker `i` jitters from
     /// `retry.seed + i` so concurrent workers don't sleep in lockstep.
     pub retry: RetryPolicy,
+    /// Pipelined requests in flight per connection. `0` or `1` keeps
+    /// the strict request/reply loop; ≥ 2 switches to the pipelined
+    /// driver (no `evaluate` calls — those need a reply before the next
+    /// request, which is exactly what pipelining avoids).
+    pub pipeline: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -53,6 +71,7 @@ impl Default for LoadgenConfig {
             q: 1,
             client: ClientConfig::default(),
             retry: RetryPolicy::none(),
+            pipeline: 0,
         }
     }
 }
@@ -250,6 +269,9 @@ fn worker_run(
     config: &LoadgenConfig,
     worker: usize,
 ) -> (LoadReport, Option<String>) {
+    if config.pipeline >= 2 {
+        return worker_run_pipelined(addr, graph_text, config, worker);
+    }
     let mut report = LoadReport::default();
     let mut policy = config.retry.clone();
     policy.seed = policy.seed.wrapping_add(worker as u64);
@@ -365,6 +387,239 @@ fn worker_drive(
 
 fn us_since(t: Instant) -> u64 {
     t.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+}
+
+/// Consecutive transport failures a pipelined worker tolerates before
+/// giving up (any successful reply resets the count).
+const PIPELINE_MAX_FAILURES: u32 = 8;
+
+/// Connect one pipelined socket with the configured deadlines.
+fn pipe_connect(
+    addr: SocketAddr,
+    config: &ClientConfig,
+) -> std::io::Result<(TcpStream, BufReader<TcpStream>)> {
+    let stream = match config.connect_timeout {
+        Some(t) => TcpStream::connect_timeout(&addr, t)?,
+        None => TcpStream::connect(addr)?,
+    };
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(config.read_timeout)?;
+    stream.set_write_timeout(config.write_timeout)?;
+    let reader = BufReader::new(stream.try_clone()?);
+    Ok((stream, reader))
+}
+
+/// The pipelined worker: encode the full schedule up front, keep up to
+/// `pipeline` requests in flight, and resume the schedule — never reset
+/// it — across reconnects. Every request is answered exactly once in
+/// the report, however many `bye`s or transport failures interrupt the
+/// run, so per-target totals are exact.
+fn worker_run_pipelined(
+    addr: SocketAddr,
+    graph_text: &str,
+    config: &LoadgenConfig,
+    worker: usize,
+) -> (LoadReport, Option<String>) {
+    let mut report = LoadReport::default();
+    let window = config.pipeline.max(2);
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(worker as u64));
+
+    // The structure hash is the FNV-1a of the *canonical* text (what
+    // `register` returns), computable client-side — so solve frames can
+    // be encoded before any reply has arrived.
+    let g = match folearn_graph::io::parse_graph(graph_text) {
+        Ok(g) => g,
+        Err(e) => return (report, Some(format!("parse graph: {e}"))),
+    };
+    let n = (g.num_vertices().max(1)) as u32;
+    let structure = fnv1a64(folearn_graph::io::to_text(&g).as_bytes());
+
+    let sample_pool: Vec<Vec<WireExample>> = (0..config.sample_pool.max(1))
+        .map(|_| {
+            let m = rng.random_range(4..=8usize);
+            (0..m)
+                .map(|_| WireExample {
+                    tuple: vec![rng.random_range(0..n)],
+                    label: rng.random_bool(0.5),
+                })
+                .collect()
+        })
+        .collect();
+
+    // The deterministic schedule: register first (idempotent — it must
+    // land before any solve, and the strict ordering of pipelined
+    // replies guarantees that), then the weighted mix. `evaluate` is
+    // omitted: it needs a hypothesis id from an earlier reply, which is
+    // exactly the dependency pipelining removes.
+    let mut schedule: Vec<(&'static str, String)> = Vec::with_capacity(config.requests_per_conn + 1);
+    schedule.push((
+        "register",
+        Request::Register {
+            graph_text: graph_text.to_string(),
+        }
+        .encode(),
+    ));
+    for _ in 0..config.requests_per_conn {
+        let roll = rng.random_range(0..100u32);
+        let planned = if roll < 25 {
+            ("ping", Request::Ping.encode())
+        } else if roll < 80 {
+            (
+                "solve",
+                Request::Solve {
+                    structure,
+                    examples: sample_pool[rng.random_range(0..sample_pool.len())].clone(),
+                    ell: config.ell,
+                    q: config.q,
+                    epsilon: 0.0,
+                    solver: SolverSpec::default_brute(),
+                    trace: None,
+                }
+                .encode(),
+            )
+        } else if roll < 90 {
+            (
+                "modelcheck",
+                Request::ModelCheck {
+                    structure,
+                    formula: "exists x0. exists x1. E(x0, x1)".to_string(),
+                    engine: Default::default(),
+                    trace: None,
+                }
+                .encode(),
+            )
+        } else {
+            ("stats", Request::Stats.encode())
+        };
+        schedule.push(planned);
+    }
+
+    // `queue` holds schedule indices not yet sent (or needing re-send);
+    // `pending` holds sent-but-unanswered ones, in wire order.
+    let mut queue: VecDeque<usize> = (0..schedule.len()).collect();
+    let mut pending: VecDeque<(usize, Instant)> = VecDeque::new();
+    let mut failures = 0u32;
+    let mut first_conn = true;
+    let mut line = String::new();
+
+    'reconnect: while !queue.is_empty() || !pending.is_empty() {
+        if failures >= PIPELINE_MAX_FAILURES {
+            return (
+                report,
+                Some(format!("{failures} consecutive transport failures")),
+            );
+        }
+        if !first_conn {
+            report.reconnects += 1;
+            // Brief deterministic backoff so a restarting daemon isn't
+            // hammered in a tight loop.
+            std::thread::sleep(Duration::from_millis(u64::from(failures.min(5)) * 5));
+        }
+        let (mut stream, mut reader) = match pipe_connect(addr, &config.client) {
+            Ok(pair) => pair,
+            Err(_) => {
+                failures += 1;
+                first_conn = false;
+                continue 'reconnect;
+            }
+        };
+        first_conn = false;
+
+        loop {
+            // Top up the in-flight window from the schedule.
+            let mut batch = String::new();
+            while pending.len() < window {
+                let Some(idx) = queue.pop_front() else { break };
+                batch.push_str(&schedule[idx].1);
+                batch.push('\n');
+                pending.push_back((idx, Instant::now()));
+            }
+            if !batch.is_empty() && stream.write_all(batch.as_bytes()).is_err() {
+                failures += 1;
+                requeue(&mut queue, &mut pending);
+                continue 'reconnect;
+            }
+            if pending.is_empty() {
+                break 'reconnect; // schedule complete
+            }
+
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) => {
+                    // Server closed (its request budget, most likely):
+                    // everything unanswered moves to a fresh connection.
+                    failures += 1;
+                    requeue(&mut queue, &mut pending);
+                    continue 'reconnect;
+                }
+                Ok(_) => match Response::decode(line.trim_end()) {
+                    Ok(Response::Bye { .. }) => {
+                        // Request budget / idle / shutdown: the front
+                        // request was *not* served. Re-send the whole
+                        // window; the schedule position is untouched.
+                        requeue(&mut queue, &mut pending);
+                        continue 'reconnect;
+                    }
+                    Ok(response) => {
+                        let (idx, sent) = pending.pop_front().expect("reply implies pending");
+                        failures = 0;
+                        let op = schedule[idx].0;
+                        match response {
+                            Response::Error { message, .. }
+                                if message.starts_with("malformed request") =>
+                            {
+                                // The frame was well-formed when sent, so
+                                // this proves in-flight corruption: safe
+                                // to re-send (same contract as
+                                // `RetryPolicy::is_retryable`).
+                                report.retries += 1;
+                                queue.push_front(idx);
+                            }
+                            Response::Error { .. } => {
+                                report.requests += 1;
+                                report.errors += 1;
+                            }
+                            Response::Solved(outcome) => {
+                                report.requests += 1;
+                                if outcome.cached {
+                                    report.cached_solves += 1;
+                                } else {
+                                    report.fresh_solves += 1;
+                                }
+                                report.op_mut(op).record(us_since(sent));
+                            }
+                            _ => {
+                                report.requests += 1;
+                                report.op_mut(op).record(us_since(sent));
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        // Garbage on the wire: abandon the connection,
+                        // nothing was answered.
+                        failures += 1;
+                        requeue(&mut queue, &mut pending);
+                        continue 'reconnect;
+                    }
+                },
+                Err(_) => {
+                    failures += 1;
+                    requeue(&mut queue, &mut pending);
+                    continue 'reconnect;
+                }
+            }
+        }
+    }
+    report.targets = vec![(addr.to_string(), report.requests, report.errors)];
+    (report, None)
+}
+
+/// Move every sent-but-unanswered request back to the front of the
+/// send queue, preserving schedule order.
+fn requeue(queue: &mut VecDeque<usize>, pending: &mut VecDeque<(usize, Instant)>) {
+    while let Some((idx, _)) = pending.pop_back() {
+        queue.push_front(idx);
+    }
 }
 
 /// Drive `config.connections` concurrent workers against the daemon at

@@ -96,6 +96,9 @@ struct Inner {
     truncated_frames: u64,
     rejected_connections: u64,
     worker_panics: u64,
+    core: &'static str,
+    event_loops: u64,
+    cache_shards: u64,
     series: TimeSeries,
 }
 
@@ -133,6 +136,9 @@ impl Metrics {
                 truncated_frames: 0,
                 rejected_connections: 0,
                 worker_panics: 0,
+                core: "thread",
+                event_loops: 0,
+                cache_shards: 1,
                 series: TimeSeries::new(),
             }),
             start: Instant::now(),
@@ -222,6 +228,16 @@ impl Metrics {
         self.inner.lock().worker_panics = panics;
     }
 
+    /// Record which service core is driving connections (`"thread"` or
+    /// `"event"`), its readiness-loop count (0 for the threaded core),
+    /// and the cache/registry shard count.
+    pub fn set_core_info(&self, core: &'static str, event_loops: usize, cache_shards: usize) {
+        let mut inner = self.inner.lock();
+        inner.core = core;
+        inner.event_loops = event_loops as u64;
+        inner.cache_shards = cache_shards as u64;
+    }
+
     /// Update the registry/hypothesis-store gauges.
     pub fn set_store_sizes(&self, structures: usize, hypotheses: usize) {
         let mut inner = self.inner.lock();
@@ -285,6 +301,8 @@ impl Metrics {
                 Json::Num(inner.rejected_connections as f64),
             ),
             ("worker_panics", Json::Num(inner.worker_panics as f64)),
+            ("core", Json::str(inner.core)),
+            ("event_loops", Json::Num(inner.event_loops as f64)),
             ("structures", Json::Num(inner.structures as f64)),
             ("hypotheses", Json::Num(inner.hypotheses as f64)),
             (
@@ -294,6 +312,7 @@ impl Metrics {
                     ("misses", Json::Num(inner.cache_misses as f64)),
                     ("evictions", Json::Num(inner.cache_evictions as f64)),
                     ("entries", Json::Num(inner.cache_len as f64)),
+                    ("shards", Json::Num(inner.cache_shards as f64)),
                     ("hit_rate", Json::Num(hit_rate)),
                 ]),
             ),

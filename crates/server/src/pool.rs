@@ -26,6 +26,14 @@ use parking_lot::Mutex;
 /// channel the closure captured.
 pub type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Why [`WorkerPool::try_submit`] could not take a job.
+pub enum TrySubmit {
+    /// The queue is full; the job is returned so the caller can retry.
+    Full(Job),
+    /// The pool has shut down; the job was dropped.
+    Closed,
+}
+
 /// Fixed-size worker pool with a bounded job queue.
 ///
 /// Jobs run under `catch_unwind`: a panicking job is counted (see
@@ -93,6 +101,31 @@ impl WorkerPool {
             Some(s) => s.send(job).is_ok(),
             None => false,
         }
+    }
+
+    /// Submit a job without blocking. A full queue hands the job back
+    /// so the caller can park it and re-offer later — the event loop
+    /// uses this to defer work per connection instead of stalling a
+    /// whole readiness shard on one busy queue.
+    pub fn try_submit(&self, job: Job) -> Result<(), TrySubmit> {
+        use std::sync::mpsc::TrySendError;
+        match &self.sender {
+            Some(s) => match s.try_send(job) {
+                Ok(()) => Ok(()),
+                Err(TrySendError::Full(job)) => Err(TrySubmit::Full(job)),
+                Err(TrySendError::Disconnected(_)) => Err(TrySubmit::Closed),
+            },
+            None => Err(TrySubmit::Closed),
+        }
+    }
+
+    /// A clone of the panic counter, safe to capture inside submitted
+    /// jobs. Jobs must never hold an `Arc<WorkerPool>` (the pool's own
+    /// `Drop` joins the workers, so a job owning the last reference
+    /// would join its own thread); the bare counter carries no such
+    /// hazard.
+    pub fn panic_cell(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.panics)
     }
 
     /// Drain the queue and join all workers. Idempotent.
@@ -192,6 +225,48 @@ mod tests {
         );
         assert_eq!(pool.panic_count(), 2);
         assert_eq!(pool.num_workers(), 1);
+    }
+
+    #[test]
+    fn try_submit_hands_a_full_queue_back() {
+        // One worker parked on a gate; the queue (depth 1) fills behind
+        // it and try_submit must return the overflow job intact.
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let pool = WorkerPool::new(1, 1);
+        let g = Arc::clone(&gate);
+        assert!(pool.submit(Box::new(move || {
+            g.wait();
+        })));
+        // Fill the single queue slot (poll until the worker has picked
+        // up the gated job and the slot is genuinely the queue).
+        let filled = Arc::new(AtomicUsize::new(0));
+        let f = Arc::clone(&filled);
+        while pool
+            .try_submit({
+                let f = Arc::clone(&f);
+                Box::new(move || {
+                    f.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .is_err()
+        {
+            std::thread::yield_now();
+        }
+        // Now the queue may briefly still drain; keep offering until a
+        // Full comes back, then prove the returned job still runs.
+        let returned = loop {
+            let f = Arc::clone(&filled);
+            match pool.try_submit(Box::new(move || {
+                f.fetch_add(1, Ordering::SeqCst);
+            })) {
+                Ok(()) => std::thread::yield_now(),
+                Err(TrySubmit::Full(job)) => break job,
+                Err(TrySubmit::Closed) => panic!("pool is live"),
+            }
+        };
+        gate.wait(); // release the worker
+        returned(); // the handed-back job is intact and runnable
+        assert!(filled.load(Ordering::SeqCst) >= 1);
     }
 
     #[test]

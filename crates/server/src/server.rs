@@ -1,30 +1,53 @@
 //! The daemon: TCP listener, structure registry, solve dispatch, and
 //! graceful shutdown.
 //!
-//! One thread per connection does the cheap work — line framing,
-//! request parsing, registry lookups, cache hits — and forwards
-//! compute-shaped requests (`solve`, `evaluate`, `modelcheck`) to the
-//! bounded [`WorkerPool`], then blocks on the reply. Backpressure is
-//! therefore structural: a connection can have at most one compute
-//! request in flight, the pool queue is bounded, and each connection is
-//! closed after [`ServerConfig::max_requests_per_conn`] requests.
+//! Two service cores share all of the dispatch logic:
+//!
+//! * [`CoreMode::EventLoop`] (the default) — the nonblocking readiness
+//!   shards of [`crate::event_loop`]: a fixed set of loop threads
+//!   drives every connection with per-connection read/write buffers,
+//!   decodes many pipelined frames per wakeup, answers cheap requests
+//!   (ping, stats, register, cache hits, validation errors) inline on
+//!   the loop thread, and offloads compute-shaped work (`solve`,
+//!   `evaluate`, `modelcheck`) to the bounded [`WorkerPool`], whose
+//!   callbacks complete the connection's ordered response slots.
+//!   Duplicate solves planned before their twin's result reaches the
+//!   cache — routine inside a pipelined window — coalesce onto the one
+//!   in-flight computation ([`State::inflight`]) and are replayed to
+//!   every waiter as cache hits when it lands.
+//! * [`CoreMode::Threaded`] — the original thread-per-connection front
+//!   door over [`crate::framing::serve_framed`], kept as the measurable
+//!   baseline (experiment E23 compares the two) and for callers that
+//!   prefer one blocking thread per peer at small connection counts.
+//!
+//! Backpressure is structural in both cores: the pool queue is
+//! bounded, a connection may have at most `max_inflight_per_conn`
+//! requests in flight (one, in the threaded core), and each connection
+//! is closed after [`ServerConfig::max_requests_per_conn`] requests.
+//! Resource exhaustion degrades instead of panicking: past the
+//! connection cap (or on a failed `thread::spawn`) a fresh connection
+//! gets one reply and a close, counted as `rejected_connections`.
 //!
 //! # Registry and arenas
 //!
 //! Structures are parsed once at `register` and addressed by the FNV-1a
 //! hash of their *canonical* serialisation (`io::to_text` of the parsed
-//! graph), so textual variants of the same structure dedupe. Type
-//! arenas are shared per vocabulary colour count — the same discipline
-//! as `folearn_hardness::oracle::BruteForceOracle` — which makes type
-//! ids (and hence the `types` lists in `solved` responses) comparable
+//! graph), so textual variants of the same structure dedupe. The
+//! registry, the hypothesis store, and the LRU result cache are
+//! sharded by a splitmix64 finalizer over those content hashes
+//! ([`crate::cache::ShardedMap`] / [`crate::cache::ShardedCache`]), so
+//! concurrent requests stop serializing on one lock. Type arenas are
+//! shared per vocabulary colour count — the same discipline as
+//! `folearn_hardness::oracle::BruteForceOracle` — which makes type ids
+//! (and hence the `types` lists in `solved` responses) comparable
 //! across calls for the lifetime of the daemon. That is what lets a
-//! remote client group equal oracle answers exactly like the in-process
-//! oracle does.
+//! remote client group equal oracle answers exactly like the
+//! in-process oracle does.
 
 use std::collections::HashMap;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -35,15 +58,16 @@ use folearn::ndlearner::NdConfig;
 use folearn::problem::{ErmInstance, TrainingSequence};
 use folearn::{solve_fo_erm_with_engine, Hypothesis, SharedArena, Solver};
 use folearn_graph::{io, Graph, V};
-use folearn_logic::vm::EvalEngine;
 use folearn_logic::parser;
+use folearn_logic::vm::EvalEngine;
 use folearn_types::TypeArena;
 use parking_lot::Mutex;
 
-use crate::cache::LruCache;
+use crate::cache::{ShardedCache, ShardedMap};
+use crate::event_loop::{self, Dispatch, EventHandler, EventLoopOptions, Responder};
 use crate::framing::{self, ConnEvent, ConnLimits};
 use crate::metrics::Metrics;
-use crate::pool::WorkerPool;
+use crate::pool::{Job, TrySubmit, WorkerPool};
 use crate::proto::{
     fnv1a64, hex64, Json, Request, Response, SolveOutcome, SolverSpec, TraceContext, WireExample,
     WireHypothesis,
@@ -54,6 +78,27 @@ use crate::proto::{
 /// daemon trying to spawn a million OS threads.
 pub const MAX_SOLVER_THREADS: usize = 256;
 
+/// Which service core drives connections.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoreMode {
+    /// One blocking OS thread per connection (the pre-event-loop
+    /// design; kept as the E23 baseline).
+    Threaded,
+    /// Nonblocking readiness shards with pipelining (the default).
+    EventLoop,
+}
+
+impl std::str::FromStr for CoreMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "thread" | "threaded" => Ok(CoreMode::Threaded),
+            "event" | "event-loop" => Ok(CoreMode::EventLoop),
+            other => Err(format!("unknown core {other:?} (use thread|event)")),
+        }
+    }
+}
+
 /// Daemon configuration.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
@@ -61,7 +106,8 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker threads for compute requests (`0` = one per core).
     pub workers: usize,
-    /// Pending compute jobs before submitters block.
+    /// Pending compute jobs before submitters block (threaded core) or
+    /// defer per connection (event core).
     pub queue_depth: usize,
     /// Result-cache entries (`0` disables caching).
     pub cache_capacity: usize,
@@ -74,18 +120,30 @@ pub struct ServerConfig {
     pub trace: bool,
     /// Longest request line the daemon will buffer. A peer that exceeds
     /// it (oversized frame, or a byte stream with no newline at all)
-    /// gets one `error` response and the connection is closed — `line`
+    /// gets one `error` response and the connection is closed — buffer
     /// growth is bounded no matter what arrives.
     pub max_line_bytes: usize,
-    /// Close a connection after this long without a completed request.
-    /// Bounds both abandoned sockets and slow-loris peers trickling a
-    /// frame forever. Detection granularity is the read-poll interval.
+    /// Close a connection after this long without activity (a completed
+    /// request or partial bytes of an in-progress frame). Bounds
+    /// abandoned sockets; the oversize cap bounds slow-loris peers.
+    /// Detection granularity is the read-poll interval.
     pub idle_timeout: Duration,
     /// Concurrent connections the daemon accepts; above the cap a fresh
-    /// connection is greeted with `bye` and closed. Finished connection
-    /// handles are reaped on every accept, so the tracked set stays
-    /// bounded on a long-running daemon.
+    /// connection is greeted with `bye` and closed (counted under
+    /// `rejected_connections`).
     pub max_connections: usize,
+    /// Which service core to run (default: the event loop).
+    pub core: CoreMode,
+    /// Readiness-loop shard threads for the event core (`0` = one per
+    /// host core, capped at 4 — the loops are I/O-bound).
+    pub event_loops: usize,
+    /// Pipelined requests one connection may have in flight before the
+    /// event core stops reading from it (ignored by the threaded core,
+    /// which is strictly request/reply).
+    pub max_inflight_per_conn: usize,
+    /// Lock shards for the result cache, the structure registry, and
+    /// the hypothesis store.
+    pub cache_shards: usize,
 }
 
 impl Default for ServerConfig {
@@ -100,6 +158,10 @@ impl Default for ServerConfig {
             max_line_bytes: 4 << 20,
             idle_timeout: Duration::from_secs(300),
             max_connections: 256,
+            core: CoreMode::EventLoop,
+            event_loops: 0,
+            max_inflight_per_conn: 32,
+            cache_shards: 8,
         }
     }
 }
@@ -112,13 +174,19 @@ struct StoredHypothesis {
 }
 
 struct State {
-    graphs: Mutex<HashMap<u64, Arc<Graph>>>,
+    graphs: ShardedMap<Arc<Graph>>,
     arenas: Mutex<HashMap<usize, SharedArena>>,
-    hypotheses: Mutex<HashMap<u64, StoredHypothesis>>,
+    hypotheses: ShardedMap<Arc<StoredHypothesis>>,
     next_hypothesis: AtomicU64,
     /// Solve results plus the instant each entry was captured, so a
     /// replayed trace can be stamped with its age.
-    cache: Mutex<LruCache<(SolveOutcome, Instant)>>,
+    cache: ShardedCache<(SolveOutcome, Instant)>,
+    /// Solve computations currently running on the pool, keyed like the
+    /// result cache (event core only). A pipelined duplicate of a solve
+    /// whose twin has been planned but not yet cached attaches its
+    /// responder here instead of recomputing; the running job fans its
+    /// outcome out to every waiter when it completes.
+    inflight: Mutex<HashMap<(u64, u64, u64), Vec<Responder>>>,
     metrics: Metrics,
     shutdown: AtomicBool,
     addr: SocketAddr,
@@ -130,9 +198,7 @@ struct State {
 impl State {
     fn graph(&self, hash: u64) -> Result<Arc<Graph>, String> {
         self.graphs
-            .lock()
-            .get(&hash)
-            .cloned()
+            .get(hash)
             .ok_or_else(|| format!("unknown structure {}", crate::proto::hex64(hash)))
     }
 
@@ -150,14 +216,19 @@ impl State {
     }
 
     fn sync_gauges(&self) {
-        let (hits, misses, evictions, len) = {
-            let cache = self.cache.lock();
-            let (h, m, e) = cache.counters();
-            (h, m, e, cache.len())
-        };
-        self.metrics.set_cache_counters(hits, misses, evictions, len);
+        let (hits, misses, evictions) = self.cache.counters();
         self.metrics
-            .set_store_sizes(self.graphs.lock().len(), self.hypotheses.lock().len());
+            .set_cache_counters(hits, misses, evictions, self.cache.len());
+        self.metrics
+            .set_store_sizes(self.graphs.len(), self.hypotheses.len());
+    }
+
+    fn limits(&self) -> ConnLimits {
+        ConnLimits {
+            max_requests_per_conn: self.max_requests_per_conn,
+            max_line_bytes: self.max_line_bytes,
+            idle_timeout: self.idle_timeout,
+        }
     }
 
     fn request_shutdown(&self) {
@@ -167,6 +238,19 @@ impl State {
     }
 }
 
+/// Per-core bookkeeping inside a [`ServerHandle`].
+enum CoreHandles {
+    Threaded {
+        connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+        pool: Arc<WorkerPool>,
+    },
+    Event {
+        loops: Vec<JoinHandle<()>>,
+        live: Arc<AtomicUsize>,
+        pool: Arc<WorkerPool>,
+    },
+}
+
 /// A running daemon. Dropping the handle without calling
 /// [`ServerHandle::shutdown`] or [`ServerHandle::wait`] aborts less
 /// gracefully (threads are detached), so call one of them.
@@ -174,8 +258,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<State>,
     acceptor: Option<JoinHandle<()>>,
-    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    pool: Arc<WorkerPool>,
+    core: CoreHandles,
 }
 
 impl ServerHandle {
@@ -184,12 +267,15 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Connection handles currently tracked (live ones plus any finished
-    /// since the last accept — the acceptor reaps on every accept, so
+    /// Live connections currently tracked. Threaded core: connection
+    /// handles not yet reaped (the acceptor reaps on every accept, so
     /// this stays bounded however many connections the daemon has ever
-    /// served).
+    /// served). Event core: connections currently owned by the shards.
     pub fn tracked_connections(&self) -> usize {
-        self.connections.lock().len()
+        match &self.core {
+            CoreHandles::Threaded { connections, .. } => connections.lock().len(),
+            CoreHandles::Event { live, .. } => live.load(Ordering::SeqCst),
+        }
     }
 
     /// Ask the daemon to stop, then wait for all threads.
@@ -207,23 +293,41 @@ impl ServerHandle {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
-        // Acceptor has exited, so no new connections appear; join the
-        // existing ones (they exit within one poll interval of the
-        // shutdown flag, or as soon as their client hangs up).
-        loop {
-            let handle = self.connections.lock().pop();
-            match handle {
-                Some(h) => {
+        match &mut self.core {
+            CoreHandles::Threaded { connections, pool } => {
+                // Acceptor has exited, so no new connections appear;
+                // join the existing ones (they exit within one poll
+                // interval of the shutdown flag, or as soon as their
+                // client hangs up).
+                loop {
+                    let handle = connections.lock().pop();
+                    match handle {
+                        Some(h) => {
+                            let _ = h.join();
+                        }
+                        None => break,
+                    }
+                }
+                // Workers drain their queue and exit when the pool
+                // drops its sender. `Arc::get_mut` succeeds because
+                // every clone lived in a connection thread we just
+                // joined.
+                if let Some(pool) = Arc::get_mut(pool) {
+                    pool.shutdown();
+                }
+            }
+            CoreHandles::Event { loops, pool, .. } => {
+                // Shards flush in-flight responses (bounded by the
+                // shutdown grace) and exit; their handler clones — the
+                // only other pool references — drop with them. Jobs
+                // never capture the pool (see `WorkerPool::panic_cell`).
+                for h in loops.drain(..) {
                     let _ = h.join();
                 }
-                None => break,
+                if let Some(pool) = Arc::get_mut(pool) {
+                    pool.shutdown();
+                }
             }
-        }
-        // Workers drain their queue and exit when the pool drops its
-        // sender. `Arc::get_mut` succeeds because every clone lived in
-        // a connection thread we just joined.
-        if let Some(pool) = Arc::get_mut(&mut self.pool) {
-            pool.shutdown();
         }
     }
 }
@@ -235,12 +339,14 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
     }
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+    let shards = config.cache_shards.max(1);
     let state = Arc::new(State {
-        graphs: Mutex::new(HashMap::new()),
+        graphs: ShardedMap::new(shards),
         arenas: Mutex::new(HashMap::new()),
-        hypotheses: Mutex::new(HashMap::new()),
+        hypotheses: ShardedMap::new(shards),
         next_hypothesis: AtomicU64::new(1),
-        cache: Mutex::new(LruCache::new(config.cache_capacity)),
+        cache: ShardedCache::new(config.cache_capacity, shards),
+        inflight: Mutex::new(HashMap::new()),
         metrics: Metrics::new(),
         shutdown: AtomicBool::new(false),
         addr,
@@ -249,9 +355,25 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
         idle_timeout: config.idle_timeout,
     });
     let pool = Arc::new(WorkerPool::new(config.workers, config.queue_depth));
-    let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-
     let max_connections = config.max_connections.max(1);
+    match config.core {
+        CoreMode::Threaded => {
+            state.metrics.set_core_info("thread", 0, state.cache.num_shards());
+            start_threaded(listener, state, pool, max_connections)
+        }
+        CoreMode::EventLoop => start_event(config, listener, state, pool, max_connections),
+    }
+}
+
+/// The thread-per-connection core: the E23 baseline.
+fn start_threaded(
+    listener: TcpListener,
+    state: Arc<State>,
+    pool: Arc<WorkerPool>,
+    max_connections: usize,
+) -> std::io::Result<ServerHandle> {
+    let addr = state.addr;
+    let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
     let acceptor = {
         let state = Arc::clone(&state);
         let pool = Arc::clone(&pool);
@@ -283,13 +405,31 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
                         continue;
                     }
                     state.metrics.record_connection();
-                    let state = Arc::clone(&state);
-                    let pool = Arc::clone(&pool);
-                    let handle = std::thread::Builder::new()
+                    let conn_state = Arc::clone(&state);
+                    let conn_pool = Arc::clone(&pool);
+                    // Keep a reply handle: if the spawn below fails
+                    // (thread limit, OOM) the stream has been moved
+                    // into the dropped closure, and this clone is what
+                    // lets the daemon degrade with an error reply
+                    // instead of panicking.
+                    let reply = stream.try_clone().ok();
+                    let spawned = std::thread::Builder::new()
                         .name("folearn-conn".to_string())
-                        .spawn(move || serve_connection(&state, &pool, stream))
-                        .expect("spawn connection thread");
-                    connections.lock().push(handle);
+                        .spawn(move || serve_connection(&conn_state, &conn_pool, stream));
+                    match spawned {
+                        Ok(handle) => connections.lock().push(handle),
+                        Err(_) => {
+                            state.metrics.record_rejected_connection();
+                            if let Some(mut s) = reply {
+                                let _ = framing::write_response(
+                                    &mut s,
+                                    &Response::error(
+                                        "server overloaded: cannot spawn connection thread",
+                                    ),
+                                );
+                            }
+                        }
+                    }
                 }
             })?
     };
@@ -298,17 +438,107 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
         addr,
         state,
         acceptor: Some(acceptor),
-        connections,
-        pool,
+        core: CoreHandles::Threaded { connections, pool },
+    })
+}
+
+/// The nonblocking event core: readiness shards plus a round-robin
+/// acceptor that only counts and hands off.
+fn start_event(
+    config: &ServerConfig,
+    listener: TcpListener,
+    state: Arc<State>,
+    pool: Arc<WorkerPool>,
+    max_connections: usize,
+) -> std::io::Result<ServerHandle> {
+    let addr = state.addr;
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let num_loops = if config.event_loops == 0 {
+        cores.min(4)
+    } else {
+        config.event_loops
+    };
+    state
+        .metrics
+        .set_core_info("event", num_loops, state.cache.num_shards());
+    let opts = EventLoopOptions {
+        limits: state.limits(),
+        max_inflight_per_conn: config.max_inflight_per_conn.max(1),
+    };
+    let live = Arc::new(AtomicUsize::new(0));
+    let handler: Arc<dyn EventHandler> = Arc::new(ServerDispatch {
+        state: Arc::clone(&state),
+        pool: Arc::clone(&pool),
+    });
+
+    let mut senders = Vec::with_capacity(num_loops);
+    let mut loops = Vec::with_capacity(num_loops);
+    for i in 0..num_loops {
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        senders.push(tx);
+        let handler = Arc::clone(&handler);
+        let live = Arc::clone(&live);
+        let state = Arc::clone(&state);
+        loops.push(
+            std::thread::Builder::new()
+                .name(format!("folearn-loop-{i}"))
+                .spawn(move || {
+                    event_loop::shard_loop(&rx, &handler, &opts, &state.shutdown, &live)
+                })?,
+        );
+    }
+
+    let acceptor = {
+        let state = Arc::clone(&state);
+        let live = Arc::clone(&live);
+        std::thread::Builder::new()
+            .name("folearn-acceptor".to_string())
+            .spawn(move || {
+                let mut next = 0usize;
+                for incoming in listener.incoming() {
+                    if state.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(mut stream) = incoming else { continue };
+                    if live.load(Ordering::SeqCst) >= max_connections {
+                        state.metrics.record_rejected_connection();
+                        let _ = framing::write_response(
+                            &mut stream,
+                            &Response::Bye {
+                                reason: "connection limit".to_string(),
+                            },
+                        );
+                        continue;
+                    }
+                    state.metrics.record_connection();
+                    live.fetch_add(1, Ordering::SeqCst);
+                    let shard = next % senders.len();
+                    next = next.wrapping_add(1);
+                    if let Err(back) = senders[shard].send(stream) {
+                        // The shard is gone (only plausible during
+                        // shutdown): degrade with a reply, not a panic.
+                        live.fetch_sub(1, Ordering::SeqCst);
+                        state.metrics.record_rejected_connection();
+                        let mut stream = back.0;
+                        let _ = framing::write_response(
+                            &mut stream,
+                            &Response::error("server overloaded: event loop unavailable"),
+                        );
+                    }
+                }
+            })?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        state,
+        acceptor: Some(acceptor),
+        core: CoreHandles::Event { loops, live, pool },
     })
 }
 
 fn serve_connection(state: &Arc<State>, pool: &Arc<WorkerPool>, stream: TcpStream) {
-    let limits = ConnLimits {
-        max_requests_per_conn: state.max_requests_per_conn,
-        max_line_bytes: state.max_line_bytes,
-        idle_timeout: state.idle_timeout,
-    };
+    let limits = state.limits();
     // The framing loop (shared with the cluster router) owns the wire;
     // this daemon plugs in its dispatch and metrics.
     let wants_shutdown = framing::serve_framed(
@@ -317,51 +547,243 @@ fn serve_connection(state: &Arc<State>, pool: &Arc<WorkerPool>, stream: TcpStrea
         &state.shutdown,
         |req| handle_request(state, pool, req),
         |op, us, ok| state.metrics.record_request(op, us, ok),
-        |ev| match ev {
-            ConnEvent::TruncatedFrame => state.metrics.record_truncated_frame(),
-            ConnEvent::OversizeClose => state.metrics.record_oversize_close(),
-            ConnEvent::IdleClose => state.metrics.record_idle_close(),
-            ConnEvent::OverLimitClose => state.metrics.record_over_limit(),
-        },
+        |ev| record_conn_event(state, ev),
     );
     if wants_shutdown {
         state.request_shutdown();
     }
 }
 
+fn record_conn_event(state: &State, ev: ConnEvent) {
+    match ev {
+        ConnEvent::TruncatedFrame => state.metrics.record_truncated_frame(),
+        ConnEvent::OversizeClose => state.metrics.record_oversize_close(),
+        ConnEvent::IdleClose => state.metrics.record_idle_close(),
+        ConnEvent::OverLimitClose => state.metrics.record_over_limit(),
+    }
+}
+
+/// The event core's dispatcher: cheap requests answered inline on the
+/// loop thread, compute-shaped ones packaged into pool jobs that
+/// complete the ordered response slot when they run.
+struct ServerDispatch {
+    state: Arc<State>,
+    pool: Arc<WorkerPool>,
+}
+
+/// Owns an entry in [`State::inflight`] for the lifetime of one solve
+/// job. Dropping it removes the entry and with it any still-attached
+/// waiter responders — so even if the job panics on a worker, or is
+/// dropped unrun (pool closed, owning connection gone while the job was
+/// parked), every coalesced duplicate gets its slot answered (by the
+/// responder's own drop reply) instead of hanging on a dead entry.
+struct InflightGuard {
+    state: Arc<State>,
+    key: (u64, u64, u64),
+}
+
+impl InflightGuard {
+    /// Detach and return the waiters accumulated so far.
+    fn take_waiters(&self) -> Vec<Responder> {
+        self.state
+            .inflight
+            .lock()
+            .remove(&self.key)
+            .unwrap_or_default()
+    }
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        drop(self.take_waiters());
+    }
+}
+
+impl ServerDispatch {
+    /// Package `run` into a pool job that completes `responder`,
+    /// catching panics into an error reply (the worker thread survives
+    /// either way; see the pool's own `catch_unwind` backstop).
+    fn offload(
+        &self,
+        prefix: &'static str,
+        responder: Responder,
+        run: impl FnOnce(&Arc<State>) -> Response + Send + 'static,
+    ) -> Dispatch {
+        let state = Arc::clone(&self.state);
+        let panics = self.pool.panic_cell();
+        let job: Job = Box::new(move || {
+            let response = match catch_unwind(AssertUnwindSafe(|| run(&state))) {
+                Ok(response) => response,
+                Err(payload) => {
+                    panics.fetch_add(1, Ordering::Relaxed);
+                    folearn_obs::count(folearn_obs::Counter::WorkerPanics, 1);
+                    let message = panic_message(&payload);
+                    Response::error(format!("{prefix}: worker panicked: {message}"))
+                }
+            };
+            responder.complete(response);
+        });
+        match self.pool.try_submit(job) {
+            Ok(()) => Dispatch::Accepted,
+            Err(TrySubmit::Full(job)) => Dispatch::Busy(job),
+            // Pool is shutting down: the dropped job's responder has
+            // already answered the slot with an error.
+            Err(TrySubmit::Closed) => Dispatch::Accepted,
+        }
+    }
+}
+
+impl EventHandler for ServerDispatch {
+    fn dispatch(&self, req: Request, responder: Responder) -> Dispatch {
+        match req {
+            Request::Ping => {
+                responder.complete(Response::Pong);
+                Dispatch::Accepted
+            }
+            Request::Shutdown => {
+                responder.complete(Response::Bye {
+                    reason: "shutdown".to_string(),
+                });
+                Dispatch::Accepted
+            }
+            Request::Stats => {
+                responder.complete(handle_stats(&self.state, &self.pool));
+                Dispatch::Accepted
+            }
+            Request::Register { graph_text } => {
+                responder.complete(handle_register(&self.state, &graph_text));
+                Dispatch::Accepted
+            }
+            Request::Solve {
+                structure,
+                examples,
+                ell,
+                q,
+                epsilon,
+                solver,
+                trace,
+            } => match plan_solve(
+                &self.state, structure, &examples, ell, q, epsilon, &solver, trace,
+            ) {
+                Err(response) => {
+                    responder.complete(response);
+                    Dispatch::Accepted
+                }
+                Ok(job) => {
+                    // Coalesce a duplicate of an in-flight solve: the
+                    // pipelined window lets identical solves be planned
+                    // before the first result reaches the cache, and
+                    // recomputing each would collapse exactly the way
+                    // this core exists to fix. Attach the responder to
+                    // the running job; it replays the outcome to every
+                    // waiter on completion.
+                    let key = job.cache_key;
+                    {
+                        let mut inflight = self.state.inflight.lock();
+                        if let Some(waiters) = inflight.get_mut(&key) {
+                            waiters.push(responder);
+                            self.state.metrics.record_cache_event(true);
+                            return Dispatch::Accepted;
+                        }
+                        inflight.insert(key, Vec::new());
+                    }
+                    self.state.metrics.record_cache_event(false);
+                    let guard = InflightGuard {
+                        state: Arc::clone(&self.state),
+                        key,
+                    };
+                    self.offload("solve", responder, move |state| {
+                        let response = run_solve(state, job);
+                        let waiters = guard.take_waiters();
+                        if let Response::Solved(outcome) = &response {
+                            for waiter in waiters {
+                                let mut replay = outcome.clone();
+                                replay.cached = true;
+                                replay.trace =
+                                    replay.trace.map(|t| stamp_replay(t, Duration::ZERO));
+                                state.metrics.record_cache_event(true);
+                                waiter.complete(Response::Solved(replay));
+                            }
+                        } else {
+                            for waiter in waiters {
+                                waiter.complete(response.clone());
+                            }
+                        }
+                        response
+                    })
+                }
+            },
+            Request::Evaluate {
+                structure,
+                hypothesis,
+                tuples,
+                labels,
+            } => match plan_evaluate(&self.state, structure, hypothesis, tuples, labels) {
+                Err(response) => {
+                    responder.complete(response);
+                    Dispatch::Accepted
+                }
+                Ok(job) => {
+                    self.offload("evaluate", responder, move |_| run_evaluate(job))
+                }
+            },
+            Request::ModelCheck {
+                structure,
+                formula,
+                engine,
+                trace,
+            } => match plan_modelcheck(&self.state, structure, &formula, engine, trace) {
+                Err(response) => {
+                    responder.complete(response);
+                    Dispatch::Accepted
+                }
+                Ok(job) => self.offload("modelcheck", responder, move |state| {
+                    run_modelcheck(state, job)
+                }),
+            },
+        }
+    }
+
+    fn retry(&self, job: Job) -> Result<(), Job> {
+        match self.pool.try_submit(job) {
+            Ok(()) => Ok(()),
+            Err(TrySubmit::Full(job)) => Err(job),
+            // Dropped job: its responder answered the slot already.
+            Err(TrySubmit::Closed) => Ok(()),
+        }
+    }
+
+    fn observe(&self, op: &'static str, us: u64, ok: bool) {
+        self.state.metrics.record_request(op, us, ok);
+    }
+
+    fn conn_event(&self, ev: ConnEvent) {
+        record_conn_event(&self.state, ev);
+    }
+
+    fn wants_shutdown(&self) {
+        self.state.request_shutdown();
+    }
+}
+
+fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
+}
+
+/// The threaded core's dispatcher (blocking: compute requests submit to
+/// the pool and wait for the reply on the connection thread).
 fn handle_request(state: &Arc<State>, pool: &Arc<WorkerPool>, req: Request) -> Response {
     match req {
         Request::Ping => Response::Pong,
         Request::Shutdown => Response::Bye {
             reason: "shutdown".to_string(),
         },
-        Request::Stats => {
-            state.sync_gauges();
-            state.metrics.set_worker_panics(pool.panic_count());
-            Response::Stats {
-                data: state.metrics.snapshot(),
-            }
-        }
-        Request::Register { graph_text } => match io::parse_graph(&graph_text) {
-            Ok(g) => {
-                let canonical = io::to_text(&g);
-                let hash = fnv1a64(canonical.as_bytes());
-                let (vertices, edges) = (g.num_vertices(), g.num_edges());
-                let fresh = state
-                    .graphs
-                    .lock()
-                    .insert(hash, Arc::new(g))
-                    .is_none();
-                Response::Registered {
-                    structure: hash,
-                    vertices,
-                    edges,
-                    fresh,
-                    replicas: None,
-                }
-            }
-            Err(e) => Response::error(format!("register: {e}")),
-        },
+        Request::Stats => handle_stats(state, pool),
+        Request::Register { graph_text } => handle_register(state, &graph_text),
         Request::Solve {
             structure,
             examples,
@@ -370,19 +792,71 @@ fn handle_request(state: &Arc<State>, pool: &Arc<WorkerPool>, req: Request) -> R
             epsilon,
             solver,
             trace,
-        } => handle_solve(state, pool, structure, &examples, ell, q, epsilon, &solver, trace),
+        } => match plan_solve(state, structure, &examples, ell, q, epsilon, &solver, trace) {
+            Err(response) => response,
+            Ok(job) => {
+                state.metrics.record_cache_event(false);
+                let state = Arc::clone(state);
+                match on_pool(pool, move || run_solve(&state, job)) {
+                    Ok(response) => response,
+                    Err(e) => Response::error(format!("solve: {e}")),
+                }
+            }
+        },
         Request::Evaluate {
             structure,
             hypothesis,
             tuples,
             labels,
-        } => handle_evaluate(state, pool, structure, hypothesis, tuples, labels),
+        } => match plan_evaluate(state, structure, hypothesis, tuples, labels) {
+            Err(response) => response,
+            Ok(job) => match on_pool(pool, move || run_evaluate(job)) {
+                Ok(response) => response,
+                Err(e) => Response::error(format!("evaluate: {e}")),
+            },
+        },
         Request::ModelCheck {
             structure,
             formula,
             engine,
             trace,
-        } => handle_modelcheck(state, pool, structure, formula, engine, trace),
+        } => match plan_modelcheck(state, structure, &formula, engine, trace) {
+            Err(response) => response,
+            Ok(job) => {
+                let state = Arc::clone(state);
+                match on_pool(pool, move || run_modelcheck(&state, job)) {
+                    Ok(response) => response,
+                    Err(e) => Response::error(format!("modelcheck: {e}")),
+                }
+            }
+        },
+    }
+}
+
+fn handle_stats(state: &Arc<State>, pool: &Arc<WorkerPool>) -> Response {
+    state.sync_gauges();
+    state.metrics.set_worker_panics(pool.panic_count());
+    Response::Stats {
+        data: state.metrics.snapshot(),
+    }
+}
+
+fn handle_register(state: &Arc<State>, graph_text: &str) -> Response {
+    match io::parse_graph(graph_text) {
+        Ok(g) => {
+            let canonical = io::to_text(&g);
+            let hash = fnv1a64(canonical.as_bytes());
+            let (vertices, edges) = (g.num_vertices(), g.num_edges());
+            let fresh = state.graphs.insert(hash, Arc::new(g));
+            Response::Registered {
+                structure: hash,
+                vertices,
+                edges,
+                fresh,
+                replicas: None,
+            }
+        }
+        Err(e) => Response::error(format!("register: {e}")),
     }
 }
 
@@ -396,20 +870,16 @@ fn on_pool<T: Send + 'static>(
     job: impl FnOnce() -> T + Send + 'static,
 ) -> Result<T, String> {
     let (tx, rx) = mpsc::channel();
-    let pool_for_job = Arc::clone(pool);
+    let panics = pool.panic_cell();
     let submitted = pool.submit(Box::new(move || {
         match catch_unwind(AssertUnwindSafe(job)) {
             Ok(value) => {
                 let _ = tx.send(Ok(value));
             }
             Err(payload) => {
-                pool_for_job.note_panic();
+                panics.fetch_add(1, Ordering::Relaxed);
                 folearn_obs::count(folearn_obs::Counter::WorkerPanics, 1);
-                let message = payload
-                    .downcast_ref::<&str>()
-                    .copied()
-                    .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
-                    .unwrap_or("non-string panic payload");
+                let message = panic_message(&payload);
                 let _ = tx.send(Err(format!("worker panicked: {message}")));
             }
         }
@@ -440,10 +910,30 @@ fn stamp_replay(trace: Json, age: Duration) -> Json {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn handle_solve(
+/// A validated solve, ready to run on a worker thread.
+struct SolveJob {
+    g: Arc<Graph>,
+    seq: TrainingSequence,
+    arena: SharedArena,
+    k: usize,
+    ell: usize,
+    q: usize,
+    epsilon: f64,
+    rust_solver: Solver,
+    engine: EvalEngine,
+    structure: u64,
+    cache_key: (u64, u64, u64),
+    trace_ctx: Option<TraceContext>,
+}
+
+/// Validate a solve request and check the result cache. `Err` is the
+/// immediate response (validation error or cache replay), answered
+/// inline; `Ok` is the prepared compute job.
+// A large Err is fine here: Err *is* the wire reply (cache replay or
+// validation error), built once and moved straight to the responder.
+#[allow(clippy::too_many_arguments, clippy::result_large_err)]
+fn plan_solve(
     state: &Arc<State>,
-    pool: &Arc<WorkerPool>,
     structure: u64,
     examples: &[WireExample],
     ell: usize,
@@ -451,11 +941,16 @@ fn handle_solve(
     epsilon: f64,
     solver: &SolverSpec,
     trace_ctx: Option<TraceContext>,
-) -> Response {
-    let fail = Response::error;
+) -> Result<SolveJob, Response> {
+    let fail = |m: String| Err(Response::error(m));
     let g = match state.graph(structure) {
         Ok(g) => g,
-        Err(e) => return Response::error_coded("unknown_structure", format!("solve: {e}")),
+        Err(e) => {
+            return Err(Response::error_coded(
+                "unknown_structure",
+                format!("solve: {e}"),
+            ))
+        }
     };
     if examples.is_empty() {
         return fail("solve: examples must be non-empty".to_string());
@@ -505,16 +1000,17 @@ fn handle_solve(
     let config_key = fnv1a64(solver.to_json().render().as_bytes());
     let cache_key = (structure, sample_key, config_key);
 
-    let replay = state.cache.lock().get(&cache_key).cloned();
-    if let Some((mut outcome, captured_at)) = replay {
+    if let Some((mut outcome, captured_at)) = state.cache.get(&cache_key) {
         outcome.cached = true;
         outcome.trace = outcome
             .trace
             .map(|t| stamp_replay(t, captured_at.elapsed()));
         state.metrics.record_cache_event(true);
-        return Response::Solved(outcome);
+        return Err(Response::Solved(outcome));
     }
-    state.metrics.record_cache_event(false);
+    // The miss is recorded by the caller: the event core first checks
+    // the in-flight table, where a coalesced duplicate still counts as
+    // a hit.
 
     let (rust_solver, engine) = match solver {
         SolverSpec::Brute {
@@ -544,108 +1040,126 @@ fn handle_solve(
             .map(|e| (e.tuple.iter().map(|&v| V(v)).collect::<Vec<_>>(), e.label)),
     );
     let arena = state.arena_for(&g);
-    let state_for_job = Arc::clone(state);
-    let outcome = on_pool(pool, move || {
-        // The span closes on this pool worker thread; its record rides
-        // back in the outcome (and into the metrics rollup) rather than
-        // through the thread-local root buffer.
-        let sp = folearn_obs::span("server.solve");
-        if let Some(ctx) = trace_ctx {
-            // Bind this span under the propagated parent so a router (or
-            // any other caller) can stitch it into its own span tree.
-            folearn_obs::meta("trace_id", Json::str(hex64(ctx.trace_id)));
-            folearn_obs::meta("parent", Json::str(hex64(ctx.parent)));
-        }
-        let inst = ErmInstance::new(&g, seq, k, ell, q, epsilon);
-        let report = solve_fo_erm_with_engine(&inst, &rust_solver, &arena, engine);
-        let id = state_for_job.next_hypothesis.fetch_add(1, Ordering::SeqCst);
-        let h = &report.hypothesis;
-        // Canonical keys make the hypothesis recognisable across
-        // backends: arena-relative `types` differ between servers, the
-        // content hashes do not.
-        let type_keys = {
-            let arena = h.arena().lock();
-            let mut ck = folearn_types::canon::CanonKeys::new();
-            ck.key_set(&arena, h.positive_types().iter().copied())
-        };
-        let wire = WireHypothesis {
-            id,
-            params: h.params().iter().map(|v| v.0).collect(),
-            q: h.q,
-            mode: h.mode.to_string(),
-            types: h.positive_types().iter().map(|t| t.0).collect(),
-            type_keys,
-            describe: h.describe(),
-        };
-        state_for_job.hypotheses.lock().insert(
-            id,
-            StoredHypothesis {
-                hypothesis: report.hypothesis.clone(),
-                structure,
-            },
-        );
-        state_for_job
-            .metrics
-            .record_solver_work(report.evaluated_params, report.pruned_params);
-        let trace = sp.finish().map(|rec| {
-            state_for_job.metrics.absorb_span(&rec);
-            folearn_obs::export::span_to_json(&rec)
-        });
-        SolveOutcome {
-            cached: false,
-            error: report.error,
-            work: report.work,
-            evaluated: report.evaluated_params,
-            pruned: report.pruned_params,
-            solver: report.solver_name.to_string(),
-            hypothesis: wire,
-            trace,
-            provenance: None,
-        }
-    });
-    match outcome {
-        Ok(outcome) => {
-            state
-                .cache
-                .lock()
-                .insert(cache_key, (outcome.clone(), Instant::now()));
-            Response::Solved(outcome)
-        }
-        Err(e) => Response::error(format!("solve: {e}")),
-    }
+    Ok(SolveJob {
+        g,
+        seq,
+        arena,
+        k,
+        ell,
+        q,
+        epsilon,
+        rust_solver,
+        engine,
+        structure,
+        cache_key,
+        trace_ctx,
+    })
 }
 
-fn handle_evaluate(
+/// Run a prepared solve on a worker thread: learn, store the
+/// hypothesis, cache the outcome.
+fn run_solve(state: &Arc<State>, job: SolveJob) -> Response {
+    // The span closes on this pool worker thread; its record rides
+    // back in the outcome (and into the metrics rollup) rather than
+    // through the thread-local root buffer.
+    let sp = folearn_obs::span("server.solve");
+    if let Some(ctx) = job.trace_ctx {
+        // Bind this span under the propagated parent so a router (or
+        // any other caller) can stitch it into its own span tree.
+        folearn_obs::meta("trace_id", Json::str(hex64(ctx.trace_id)));
+        folearn_obs::meta("parent", Json::str(hex64(ctx.parent)));
+    }
+    let inst = ErmInstance::new(&job.g, job.seq, job.k, job.ell, job.q, job.epsilon);
+    let report = solve_fo_erm_with_engine(&inst, &job.rust_solver, &job.arena, job.engine);
+    let id = state.next_hypothesis.fetch_add(1, Ordering::SeqCst);
+    let h = &report.hypothesis;
+    // Canonical keys make the hypothesis recognisable across
+    // backends: arena-relative `types` differ between servers, the
+    // content hashes do not.
+    let type_keys = {
+        let arena = h.arena().lock();
+        let mut ck = folearn_types::canon::CanonKeys::new();
+        ck.key_set(&arena, h.positive_types().iter().copied())
+    };
+    let wire = WireHypothesis {
+        id,
+        params: h.params().iter().map(|v| v.0).collect(),
+        q: h.q,
+        mode: h.mode.to_string(),
+        types: h.positive_types().iter().map(|t| t.0).collect(),
+        type_keys,
+        describe: h.describe(),
+    };
+    state.hypotheses.insert(
+        id,
+        Arc::new(StoredHypothesis {
+            hypothesis: report.hypothesis.clone(),
+            structure: job.structure,
+        }),
+    );
+    state
+        .metrics
+        .record_solver_work(report.evaluated_params, report.pruned_params);
+    let trace = sp.finish().map(|rec| {
+        state.metrics.absorb_span(&rec);
+        folearn_obs::export::span_to_json(&rec)
+    });
+    let outcome = SolveOutcome {
+        cached: false,
+        error: report.error,
+        work: report.work,
+        evaluated: report.evaluated_params,
+        pruned: report.pruned_params,
+        solver: report.solver_name.to_string(),
+        hypothesis: wire,
+        trace,
+        provenance: None,
+    };
+    state
+        .cache
+        .insert(job.cache_key, (outcome.clone(), Instant::now()));
+    Response::Solved(outcome)
+}
+
+/// A validated evaluate, ready to run on a worker thread.
+struct EvalJob {
+    g: Arc<Graph>,
+    hypothesis: Hypothesis,
+    tuples: Vec<Vec<u32>>,
+    labels: Option<Vec<bool>>,
+}
+
+#[allow(clippy::result_large_err)] // Err is the wire reply, moved once.
+fn plan_evaluate(
     state: &Arc<State>,
-    pool: &Arc<WorkerPool>,
     structure: u64,
     hypothesis: u64,
     tuples: Vec<Vec<u32>>,
     labels: Option<Vec<bool>>,
-) -> Response {
-    let fail = Response::error;
+) -> Result<EvalJob, Response> {
+    let fail = |m: String| Err(Response::error(m));
     let g = match state.graph(structure) {
         Ok(g) => g,
-        Err(e) => return Response::error_coded("unknown_structure", format!("evaluate: {e}")),
+        Err(e) => {
+            return Err(Response::error_coded(
+                "unknown_structure",
+                format!("evaluate: {e}"),
+            ))
+        }
     };
-    let h = {
-        let store = state.hypotheses.lock();
-        match store.get(&hypothesis) {
-            Some(s) if s.structure == structure => s.hypothesis.clone(),
-            Some(_) => {
-                return fail(
-                    "evaluate: hypothesis was learned on a different structure".to_string(),
-                )
-            }
-            None => {
-                return Response::error_coded(
-                    "unknown_hypothesis",
-                    format!(
-                        "evaluate: unknown hypothesis {}",
-                        crate::proto::hex64(hypothesis)
-                    ),
-                )
-            }
+    let h = match state.hypotheses.get(hypothesis) {
+        Some(s) if s.structure == structure => s.hypothesis.clone(),
+        Some(_) => {
+            return fail("evaluate: hypothesis was learned on a different structure".to_string())
+        }
+        None => {
+            return Err(Response::error_coded(
+                "unknown_hypothesis",
+                format!(
+                    "evaluate: unknown hypothesis {}",
+                    crate::proto::hex64(hypothesis)
+                ),
+            ))
         }
     };
     for t in &tuples {
@@ -658,79 +1172,95 @@ fn handle_evaluate(
             return fail("evaluate: labels must be parallel to tuples".to_string());
         }
     }
-    let result = on_pool(pool, move || {
-        let predictions: Vec<bool> = tuples
-            .iter()
-            .map(|t| {
-                let tuple: Vec<V> = t.iter().map(|&v| V(v)).collect();
-                h.predict(&g, &tuple)
-            })
-            .collect();
-        let error = labels.map(|ls| {
-            if predictions.is_empty() {
-                0.0
-            } else {
-                let wrong = predictions
-                    .iter()
-                    .zip(&ls)
-                    .filter(|(p, l)| p != l)
-                    .count();
-                wrong as f64 / predictions.len() as f64
-            }
-        });
-        (predictions, error)
+    Ok(EvalJob {
+        g,
+        hypothesis: h,
+        tuples,
+        labels,
+    })
+}
+
+fn run_evaluate(job: EvalJob) -> Response {
+    let predictions: Vec<bool> = job
+        .tuples
+        .iter()
+        .map(|t| {
+            let tuple: Vec<V> = t.iter().map(|&v| V(v)).collect();
+            job.hypothesis.predict(&job.g, &tuple)
+        })
+        .collect();
+    let error = job.labels.map(|ls| {
+        if predictions.is_empty() {
+            0.0
+        } else {
+            let wrong = predictions.iter().zip(&ls).filter(|(p, l)| p != l).count();
+            wrong as f64 / predictions.len() as f64
+        }
     });
-    match result {
-        Ok((labels, error)) => Response::Predictions {
-            labels,
-            error,
-            provenance: None,
-        },
-        Err(e) => Response::error(format!("evaluate: {e}")),
+    Response::Predictions {
+        labels: predictions,
+        error,
+        provenance: None,
     }
 }
 
-fn handle_modelcheck(
-    state: &Arc<State>,
-    pool: &Arc<WorkerPool>,
-    structure: u64,
-    formula: String,
+/// A validated model check, ready to run on a worker thread.
+struct McJob {
+    g: Arc<Graph>,
+    phi: folearn_logic::Formula,
     engine: EvalEngine,
     trace_ctx: Option<TraceContext>,
-) -> Response {
+}
+
+#[allow(clippy::result_large_err)] // Err is the wire reply, moved once.
+fn plan_modelcheck(
+    state: &Arc<State>,
+    structure: u64,
+    formula: &str,
+    engine: EvalEngine,
+    trace_ctx: Option<TraceContext>,
+) -> Result<McJob, Response> {
     let g = match state.graph(structure) {
         Ok(g) => g,
         Err(e) => {
-            return Response::error_coded("unknown_structure", format!("modelcheck: {e}"))
+            return Err(Response::error_coded(
+                "unknown_structure",
+                format!("modelcheck: {e}"),
+            ))
         }
     };
-    let phi = match parser::parse(&formula, g.vocab()) {
+    let phi = match parser::parse(formula, g.vocab()) {
         Ok(phi) => phi,
-        Err(e) => return Response::error(format!("modelcheck: {e}")),
+        Err(e) => return Err(Response::error(format!("modelcheck: {e}"))),
     };
     if !phi.is_sentence() {
-        return Response::error("modelcheck: formula must be a sentence (no free variables)");
+        return Err(Response::error(
+            "modelcheck: formula must be a sentence (no free variables)",
+        ));
     }
-    // The span ensures the VM's vm_* counters land in the metrics rollup
-    // even for standalone model checks.
-    let state_for_job = Arc::clone(state);
-    match on_pool(pool, move || {
-        let sp = folearn_obs::span("server.modelcheck");
-        if let Some(ctx) = trace_ctx {
-            folearn_obs::meta("trace_id", Json::str(hex64(ctx.trace_id)));
-            folearn_obs::meta("parent", Json::str(hex64(ctx.parent)));
-        }
-        let holds = engine.models(&g, &phi);
-        if let Some(rec) = sp.finish() {
-            state_for_job.metrics.absorb_span(&rec);
-        }
-        holds
-    }) {
-        Ok(holds) => Response::Truth {
-            holds,
-            provenance: None,
-        },
-        Err(e) => Response::error(format!("modelcheck: {e}")),
+    Ok(McJob {
+        g,
+        phi,
+        engine,
+        trace_ctx,
+    })
+}
+
+fn run_modelcheck(state: &Arc<State>, job: McJob) -> Response {
+    // The span ensures the VM's vm_* counters land in the metrics
+    // rollup even for standalone model checks.
+    let sp = folearn_obs::span("server.modelcheck");
+    if let Some(ctx) = job.trace_ctx {
+        folearn_obs::meta("trace_id", Json::str(hex64(ctx.trace_id)));
+        folearn_obs::meta("parent", Json::str(hex64(ctx.parent)));
+    }
+    let holds = job.engine.models(&job.g, &job.phi);
+    if let Some(rec) = sp.finish() {
+        state.metrics.absorb_span(&rec);
+    }
+    Response::Truth {
+        holds,
+        provenance: None,
     }
 }
 
@@ -749,5 +1279,17 @@ mod tests {
         // The single worker survived and still serves (a handler would
         // turn the Err above into a `Response::Error` for the client).
         assert_eq!(on_pool(&pool, || 6 * 7).unwrap(), 42);
+    }
+
+    #[test]
+    fn core_mode_parses_both_spellings() {
+        assert_eq!("thread".parse::<CoreMode>().unwrap(), CoreMode::Threaded);
+        assert_eq!("threaded".parse::<CoreMode>().unwrap(), CoreMode::Threaded);
+        assert_eq!("event".parse::<CoreMode>().unwrap(), CoreMode::EventLoop);
+        assert_eq!(
+            "event-loop".parse::<CoreMode>().unwrap(),
+            CoreMode::EventLoop
+        );
+        assert!("epoll".parse::<CoreMode>().is_err());
     }
 }

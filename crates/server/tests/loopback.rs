@@ -477,6 +477,194 @@ fn connection_cap_turns_new_connections_away() {
 }
 
 #[test]
+fn flood_past_the_cap_is_rejected_gracefully_and_the_daemon_survives() {
+    // The crash this PR fixes: a connection flood used to hit
+    // `.expect("spawn connection thread")` (threaded core) or pile up
+    // unboundedly. Now every connection past the cap gets one `bye` and
+    // a close, the flood is counted, and the daemon keeps serving.
+    for core in [folearn_server::CoreMode::EventLoop, folearn_server::CoreMode::Threaded] {
+        let config = ServerConfig {
+            max_connections: 8,
+            core,
+            ..ServerConfig::default()
+        };
+        let handle = start(&config).expect("server starts");
+        let addr = handle.addr();
+        // Hold the cap's worth of live connections...
+        let held: Vec<Client> = (0..8)
+            .map(|i| {
+                let mut c = Client::connect(addr).unwrap_or_else(|e| panic!("held conn {i}: {e}"));
+                c.ping().expect("held conn serves");
+                c
+            })
+            .collect();
+        // ...then flood well past it. Every extra connection must be
+        // answered (bye) — never ignored, never a daemon panic.
+        let mut rejected = 0usize;
+        for _ in 0..60 {
+            let s = TcpStream::connect(addr).expect("tcp connect");
+            s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            match read_reply(s) {
+                Response::Bye { reason } => {
+                    assert_eq!(reason, "connection limit");
+                    rejected += 1;
+                }
+                other => panic!("expected bye, got {other:?}"),
+            }
+        }
+        assert_eq!(rejected, 60, "every flooded connection was answered");
+        // The held connections still serve, and the flood is visible in
+        // the stats.
+        let mut held = held;
+        for c in &mut held {
+            c.ping().expect("survivors still served");
+        }
+        let stats = held[0].stats().expect("stats");
+        let rejected_stat = stats
+            .get("rejected_connections")
+            .and_then(Json::as_usize)
+            .expect("rejected_connections gauge");
+        assert!(rejected_stat >= 60, "counted {rejected_stat}");
+        drop(held);
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn slow_writer_is_served_not_idle_closed() {
+    // Satellite fix: the idle clock must count partial bytes of an
+    // in-progress frame as activity. A peer trickling one legitimate
+    // frame slower than the idle timeout is slow, not idle.
+    for core in [folearn_server::CoreMode::EventLoop, folearn_server::CoreMode::Threaded] {
+        let config = ServerConfig {
+            idle_timeout: Duration::from_millis(300),
+            core,
+            ..ServerConfig::default()
+        };
+        let handle = start(&config).expect("server starts");
+        let mut s = TcpStream::connect(handle.addr()).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        s.set_nodelay(true).unwrap();
+        let frame = format!("{}\n", Request::Ping.encode());
+        // Drip the frame over ~1s — more than 3× the idle timeout — in
+        // chunks spaced under the timeout.
+        for chunk in frame.as_bytes().chunks(2) {
+            s.write_all(chunk).expect("slow write");
+            std::thread::sleep(Duration::from_millis(150));
+        }
+        match read_reply(s) {
+            Response::Pong => {}
+            other => panic!("slow writer must be served, got {other:?}"),
+        }
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn pipelined_loadgen_keeps_per_target_totals_exact_across_reconnects() {
+    // Satellite fix: a reconnect (here forced by a tiny per-connection
+    // request budget) must resume the schedule, not reset it — so every
+    // worker completes exactly requests_per_conn + 1 requests and the
+    // per-target rows add up precisely.
+    let config = ServerConfig {
+        max_requests_per_conn: 7,
+        ..ServerConfig::default()
+    };
+    let h1 = start(&config).expect("daemon 1");
+    let h2 = start(&config).expect("daemon 2");
+    let load = LoadgenConfig {
+        connections: 2,
+        requests_per_conn: 30,
+        seed: 23,
+        sample_pool: 3,
+        ell: 1,
+        q: 1,
+        pipeline: 4,
+        client: folearn_server::ClientConfig::with_deadline(Duration::from_secs(20)),
+        ..LoadgenConfig::default()
+    };
+    let report =
+        folearn_server::loadgen::run_load_multi(&[h1.addr(), h2.addr()], GRAPH, &load);
+    assert!(report.worker_errors.is_empty(), "{:?}", report.worker_errors);
+    assert_eq!(report.errors, 0, "no unrecovered errors");
+    assert_eq!(
+        report.requests,
+        2 * (30 + 1),
+        "schedule position survives reconnects: nothing lost, nothing double-counted"
+    );
+    assert!(
+        report.reconnects >= 2,
+        "the 7-request budget must have forced reconnects, got {}",
+        report.reconnects
+    );
+    assert_eq!(report.targets.len(), 2, "{:?}", report.targets);
+    for (addr, requests, errors) in &report.targets {
+        assert_eq!(*requests, 31, "target {addr} row is exact");
+        assert_eq!(*errors, 0);
+    }
+    assert!(report.cached_solves > 0, "repeat solves hit the cache");
+    h1.shutdown();
+    h2.shutdown();
+}
+
+/// A pipelined burst of identical solves lands before the first result
+/// can reach the cache; the event core must coalesce the duplicates
+/// onto the one in-flight computation — one fresh solve, every
+/// duplicate replayed as a cache hit with the same hypothesis id —
+/// instead of recomputing each copy.
+#[test]
+fn duplicate_pipelined_solves_coalesce_onto_one_computation() {
+    let handle = start(&ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let structure = client.register(GRAPH).expect("register");
+
+    const BURST: usize = 12;
+    let line = Request::Solve {
+        structure,
+        examples: sample(),
+        ell: 1,
+        q: 1,
+        epsilon: 0.0,
+        solver: SolverSpec::default_brute(),
+        trace: None,
+    }
+    .encode();
+    let blob: String = (0..BURST).map(|_| format!("{line}\n")).collect();
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(blob.as_bytes()).expect("burst write");
+
+    let mut reader = BufReader::new(stream);
+    let mut fresh = 0usize;
+    let mut ids = Vec::new();
+    for i in 0..BURST {
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("reply");
+        match Response::decode(reply.trim_end()).expect("decodes") {
+            Response::Solved(outcome) => {
+                if !outcome.cached {
+                    fresh += 1;
+                }
+                ids.push(outcome.hypothesis.id);
+            }
+            other => panic!("reply {i}: expected solved, got {other:?}"),
+        }
+    }
+    assert_eq!(fresh, 1, "exactly one copy is computed");
+    assert!(
+        ids.iter().all(|&id| id == ids[0]),
+        "every duplicate sees the same stored hypothesis: {ids:?}"
+    );
+    handle.shutdown();
+}
+
+#[test]
 fn connection_handles_are_reaped_not_leaked() {
     let handle = start(&ServerConfig::default()).expect("server starts");
     // Many short-lived sequential connections: without reaping, the

@@ -40,6 +40,22 @@ grep -q 'cached:          no' "$SMOKE/cold.txt"
 grep -q 'cached:          yes' "$SMOKE/warm.txt"
 # Identical solve answers modulo the cached flag.
 diff <(grep -v cached "$SMOKE/cold.txt") <(grep -v cached "$SMOKE/warm.txt")
+
+# --- event-core pipelined smoke (hermetic: loopback only) -----------------
+# The default (event-loop) core must absorb 200+ concurrent pipelined
+# clients on this one daemon: every request answered (224 conns × 20
+# requests + 224 registers = 4704), zero errors, no worker deaths.
+"$FOLEARN" loadgen --addr "$ADDR" --graph "$SMOKE/graph.txt" \
+    --connections 224 --requests 20 --pipeline 8 --pool 1 --seed 23 \
+    --timeout-ms 60000 > "$SMOKE/loadgen.txt"
+grep -q '^4704 requests over 224 connections' "$SMOKE/loadgen.txt"
+grep -q ', 0 errors' "$SMOKE/loadgen.txt"
+if grep -q 'failed' "$SMOKE/loadgen.txt"; then
+    echo "tier1: pipelined loadgen smoke had worker failures" >&2
+    cat "$SMOKE/loadgen.txt" >&2
+    exit 1
+fi
+
 "$FOLEARN" client --addr "$ADDR" --action shutdown
 wait "$SERVER_PID"
 SERVER_PID=

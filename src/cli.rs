@@ -11,10 +11,10 @@
 //! * `types      --graph G.txt [--q N] [--k N]`
 //! * `dot        --graph G.txt`
 //! * `trace      --file T.jsonl`
-//! * `serve      [--addr H:P] [--workers N] [--queue N] [--cache N] [--max-requests N] [--max-line BYTES] [--idle-ms N] [--max-conns N] [--addr-file PATH] [--trace on|off]`
+//! * `serve      [--addr H:P] [--core thread|event] [--loops N] [--inflight N] [--cache-shards N] [--workers N] [--queue N] [--cache N] [--max-requests N] [--max-line BYTES] [--idle-ms N] [--max-conns N] [--addr-file PATH] [--trace on|off]`
 //! * `route      --backends H:P,H:P,… [--replicas R] [--hedge-ms N] [--vnodes N] [--eject-after N] [--addr H:P] [--addr-file PATH] [--timeout-ms N] [--retries N] [--retry-seed N] [--trace on|off]`
 //! * `client     --addr H:P --action ping|register|solve|evaluate|modelcheck|stats|shutdown [--timeout-ms N] [--retries N] [--retry-seed N] [--trace-out T.jsonl] …`
-//! * `loadgen    --addr H:P[,H:P…] --graph G.txt [--connections N] [--requests N] [--seed N] [--pool N] [--timeout-ms N] [--retries N] [--retry-seed N]`
+//! * `loadgen    --addr H:P[,H:P…] --graph G.txt [--connections N] [--requests N] [--pipeline N] [--seed N] [--pool N] [--timeout-ms N] [--retries N] [--retry-seed N]`
 //! * `top        --addr H:P [--once] [--interval-ms N] [--iterations N]`
 //!
 //! Graphs use the `folearn_graph::io` exchange format; example files have
@@ -376,6 +376,14 @@ fn cmd_serve(opts: &Options) -> Result<String, CliError> {
             opts.get_usize("idle-ms", defaults.idle_timeout.as_millis() as usize)? as u64,
         ),
         max_connections: opts.get_usize("max-conns", defaults.max_connections)?,
+        core: opts
+            .get("core")
+            .unwrap_or("event")
+            .parse()
+            .map_err(err)?,
+        event_loops: opts.get_usize("loops", defaults.event_loops)?,
+        max_inflight_per_conn: opts.get_usize("inflight", defaults.max_inflight_per_conn)?,
+        cache_shards: opts.get_usize("cache-shards", defaults.cache_shards)?,
     };
     let handle = folearn_server::start(&config)
         .map_err(|e| err(format!("cannot bind {}: {e}", config.addr)))?;
@@ -683,6 +691,7 @@ fn cmd_loadgen(opts: &Options) -> Result<String, CliError> {
         q: opts.get_usize("q", 1)?,
         client,
         retry,
+        pipeline: opts.get_usize("pipeline", 0)?,
     };
     let report = folearn_server::loadgen::run_load_multi(&addrs, &io::to_text(&g), &config);
     let mut out = String::new();

@@ -278,3 +278,66 @@ fn the_cluster_obs_artifact_records_complete_traces_within_budget() {
         "{name}: the merged solve histogram is missing"
     );
 }
+
+#[test]
+fn the_event_loop_artifact_records_the_scaling_win() {
+    let (name, text) = bench_files()
+        .into_iter()
+        .find(|(n, _)| n == "BENCH_event_loop.json")
+        .expect("the E23 connection-scaling artifact must be committed");
+    let v = Json::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+    assert_eq!(v.get("experiment").and_then(Json::as_str), Some("E23"));
+    // The scaling claim is only meaningful at real concurrency.
+    let high = v
+        .get("high_concurrency")
+        .and_then(Json::as_usize)
+        .unwrap_or_else(|| panic!("{name}: missing high_concurrency"));
+    assert!(high >= 1000, "{name}: judged at only {high} connections");
+    // Zero unrecovered errors across every run — the crash class this
+    // rewrite exists to fix. A nonzero count is a broken build, not a
+    // data point.
+    let unrecovered = v
+        .get("unrecovered_errors")
+        .and_then(Json::as_usize)
+        .unwrap_or_else(|| panic!("{name}: missing unrecovered_errors"));
+    assert_eq!(unrecovered, 0, "{name}: errors went unrecovered");
+    assert_eq!(
+        v.get("sustained_all_requests").and_then(Json::as_bool),
+        Some(true),
+        "{name}: the high-concurrency runs dropped requests"
+    );
+    // The headline: the event core strictly out-throughputs the
+    // thread-per-connection baseline at high concurrency.
+    let event = v
+        .get("event_rps_high")
+        .and_then(Json::as_num)
+        .unwrap_or_else(|| panic!("{name}: missing event_rps_high"));
+    let threaded = v
+        .get("threaded_rps_high")
+        .and_then(Json::as_num)
+        .unwrap_or_else(|| panic!("{name}: missing threaded_rps_high"));
+    assert!(
+        event > threaded && threaded > 0.0,
+        "{name}: event core {event} req/s does not beat threaded {threaded} req/s"
+    );
+    // Both cores must appear in the per-run rows, each error-free.
+    let Some(Json::Arr(runs)) = v.get("runs") else {
+        panic!("{name}: missing runs array")
+    };
+    let mut cores_at_high = Vec::new();
+    for row in runs {
+        assert_eq!(
+            row.get("unrecovered_errors").and_then(Json::as_usize),
+            Some(0)
+        );
+        if row.get("connections").and_then(Json::as_usize) == Some(high) {
+            cores_at_high.extend(row.get("core").and_then(Json::as_str).map(str::to_string));
+        }
+    }
+    cores_at_high.sort();
+    assert_eq!(
+        cores_at_high,
+        ["event", "thread"],
+        "{name}: both cores must be measured at {high} connections"
+    );
+}
