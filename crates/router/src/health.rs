@@ -1,15 +1,24 @@
-//! Backend health: consecutive-failure ejection with occasional
-//! re-probes.
+//! Backend health: consecutive-failure ejection, traffic-driven
+//! re-probes, and the cadence of the background anti-entropy pass.
 //!
-//! The router does not run a background health checker; health is
-//! piggybacked on real traffic. Every backend call reports its outcome
-//! here. A backend that fails [`Health::eject_after`] times in a row is
-//! *ejected*: the replica selector skips it, so requests stop paying
-//! its connect timeout. Ejected backends are still probed — every
-//! [`PROBE_PERIOD`]th selection includes one ejected backend at the
-//! tail of the candidate list — and a single success restores them.
+//! Health is primarily piggybacked on real traffic: every backend call
+//! reports its outcome here. A backend that fails
+//! [`Health::eject_after`] times in a row is *ejected*: the replica
+//! selector skips it, so requests stop paying its connect timeout.
+//! Ejected backends are still probed — every [`PROBE_PERIOD`]th
+//! selection includes one ejected backend at the tail of the candidate
+//! list — and a single success restores them.
+//!
+//! On top of that, the router runs one background maintenance thread
+//! driven by [`run_probe_loop`]: each tick it sweeps every backend's
+//! `inventory` and repairs the diff against the router's placement
+//! tables (anti-entropy; the sweep itself lives in `router.rs`). The
+//! sweep doubles as an active health probe — a successful exchange
+//! restores an ejected backend even with zero client traffic, and a
+//! dead one takes its strikes here instead of on a client's request.
 
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Include an ejected backend as a tail candidate once per this many
 /// selections, so a recovered node rejoins without operator action.
@@ -71,6 +80,30 @@ impl Health {
     }
 }
 
+/// Run `pass` every `interval` until `shutdown` flips, sleeping in
+/// short slices (≤50ms) so shutdown latency stays bounded no matter how
+/// long the interval is. The first pass runs one full interval after
+/// start — a freshly booted router has nothing to repair yet.
+pub fn run_probe_loop(shutdown: &AtomicBool, interval: Duration, mut pass: impl FnMut()) {
+    let slice = if interval < Duration::from_millis(50) {
+        interval.max(Duration::from_millis(1))
+    } else {
+        Duration::from_millis(50)
+    };
+    let mut since_pass = Duration::ZERO;
+    while !shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(slice);
+        since_pass += slice;
+        if since_pass >= interval {
+            since_pass = Duration::ZERO;
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            pass();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,6 +121,41 @@ mod tests {
         h.record_ok();
         assert!(h.is_live());
         assert_eq!(h.consecutive_failures(), 0);
+    }
+
+    #[test]
+    fn probe_loop_fires_and_stops_on_shutdown() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let ticks = Arc::new(AtomicUsize::new(0));
+        let handle = {
+            let shutdown = Arc::clone(&shutdown);
+            let ticks = Arc::clone(&ticks);
+            std::thread::spawn(move || {
+                run_probe_loop(&shutdown, Duration::from_millis(5), || {
+                    ticks.fetch_add(1, Ordering::SeqCst);
+                });
+            })
+        };
+        for _ in 0..200 {
+            if ticks.load(Ordering::SeqCst) > 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(ticks.load(Ordering::SeqCst) > 0, "the pass never fired");
+        shutdown.store(true, Ordering::SeqCst);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn probe_loop_exits_immediately_when_already_shut_down() {
+        let shutdown = AtomicBool::new(true);
+        let mut fired = false;
+        run_probe_loop(&shutdown, Duration::from_millis(1), || fired = true);
+        assert!(!fired);
     }
 
     #[test]

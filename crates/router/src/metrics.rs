@@ -5,8 +5,10 @@
 //! histograms of [`folearn_obs::PowHistogram`] (same resolution story as
 //! the backend daemon's metrics). On top, the router tracks what no
 //! single backend can see: hedges fired and won, replica retries,
-//! failovers, and a per-backend request/error/ejection table. The
-//! snapshot is the payload of the front-door `stats` op.
+//! failovers, anti-entropy repairs (structures re-seeded, hypothesis
+//! bindings replicated ahead of need), and a per-backend
+//! request/error/ejection table. The snapshot is the payload of the
+//! front-door `stats` op.
 
 use std::time::Instant;
 
@@ -49,6 +51,8 @@ struct Inner {
     hedges_won: u64,
     replica_retries: u64,
     failovers: u64,
+    repairs_performed: u64,
+    rebinds_avoided: u64,
     rejected_connections: u64,
     structures: u64,
     hypotheses: u64,
@@ -87,6 +91,8 @@ impl RouterMetrics {
                 hedges_won: 0,
                 replica_retries: 0,
                 failovers: 0,
+                repairs_performed: 0,
+                rebinds_avoided: 0,
                 rejected_connections: 0,
                 structures: 0,
                 hypotheses: 0,
@@ -192,6 +198,25 @@ impl RouterMetrics {
         folearn_obs::count(folearn_obs::Counter::ReplicaRetries, 1);
     }
 
+    /// Record one anti-entropy repair: a structure re-seeded onto a
+    /// backend whose inventory had lost it.
+    pub fn record_repair(&self) {
+        self.inner.lock().repairs_performed += 1;
+    }
+
+    /// Record one hypothesis binding replicated ahead of need by the
+    /// anti-entropy pass — an evaluate-time re-solve that will now
+    /// never happen.
+    pub fn record_rebind_avoided(&self) {
+        self.inner.lock().rebinds_avoided += 1;
+    }
+
+    /// `(repairs_performed, rebinds_avoided)` so far.
+    pub fn repair_counters(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        (inner.repairs_performed, inner.rebinds_avoided)
+    }
+
     /// Update the placement/hypothesis-table gauges.
     pub fn set_store_sizes(&self, structures: usize, hypotheses: usize) {
         let mut inner = self.inner.lock();
@@ -229,6 +254,14 @@ impl RouterMetrics {
                 Json::Num(inner.replica_retries as f64),
             ),
             ("failovers", Json::Num(inner.failovers as f64)),
+            (
+                "repairs_performed",
+                Json::Num(inner.repairs_performed as f64),
+            ),
+            (
+                "rebinds_avoided",
+                Json::Num(inner.rebinds_avoided as f64),
+            ),
             (
                 "rejected_connections",
                 Json::Num(inner.rejected_connections as f64),
@@ -354,12 +387,22 @@ pub fn aggregate_cluster(nodes: &[NodeStats]) -> Json {
             ];
             match &n.stats {
                 Ok(snap) => {
-                    for key in ["role", "version"] {
+                    // `durable` rides along verbatim so `folearn top`
+                    // can tell a WAL-backed node from a volatile one.
+                    for key in ["role", "version", "durable"] {
                         if let Some(v) = snap.get(key) {
                             pairs.push((key.to_string(), v.clone()));
                         }
                     }
-                    for key in ["uptime_ms", "requests", "worker_panics"] {
+                    for key in [
+                        "uptime_ms",
+                        "requests",
+                        "worker_panics",
+                        "wal_records_replayed",
+                        "snapshot_loads",
+                        "torn_tail_truncations",
+                        "recovery_ms",
+                    ] {
                         pairs.push((key.to_string(), Json::Num(num_at(snap, &[key]))));
                     }
                     pairs.push((
@@ -447,12 +490,18 @@ mod tests {
         m.record_hedge_fired();
         m.record_hedge_won();
         m.record_replica_retry();
+        m.record_repair();
+        m.record_repair();
+        m.record_rebind_avoided();
         let snap = m.snapshot();
         assert_eq!(snap.get("requests").unwrap().as_usize(), Some(2));
         assert_eq!(snap.get("hedges_fired").unwrap().as_usize(), Some(1));
         assert_eq!(snap.get("hedges_won").unwrap().as_usize(), Some(1));
         assert_eq!(snap.get("replica_retries").unwrap().as_usize(), Some(1));
         assert_eq!(snap.get("failovers").unwrap().as_usize(), Some(1));
+        assert_eq!(snap.get("repairs_performed").unwrap().as_usize(), Some(2));
+        assert_eq!(snap.get("rebinds_avoided").unwrap().as_usize(), Some(1));
+        assert_eq!(m.repair_counters(), (2, 1));
         let solve = snap.get("endpoints").unwrap().get("solve").unwrap();
         assert_eq!(solve.get("errors").unwrap().as_usize(), Some(1));
         let rows = snap.get("backends").unwrap().as_arr().unwrap();
@@ -590,6 +639,16 @@ mod tests {
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[0].get("role").and_then(Json::as_str), Some("server"));
         assert_eq!(rows[0].get("uptime_ms").and_then(Json::as_num), Some(1234.0));
+        // Recovery counters default to zero for backends that predate
+        // them (absent key → 0, never a hole in the row).
+        assert_eq!(
+            rows[0].get("wal_records_replayed").and_then(Json::as_num),
+            Some(0.0)
+        );
+        assert_eq!(
+            rows[0].get("torn_tail_truncations").and_then(Json::as_num),
+            Some(0.0)
+        );
         assert_eq!(rows[1].get("ejections").and_then(Json::as_usize), Some(1));
         assert_eq!(
             rows[2].get("error").and_then(Json::as_str),

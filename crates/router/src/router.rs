@@ -26,8 +26,14 @@
 //!   router placed (i.e. it restarted and lost its registry) is
 //!   re-seeded from the router's stored canonical text and the call is
 //!   retried on the spot.
+//! * A background anti-entropy pass (every
+//!   [`RouterConfig::repair_interval`]) sweeps each backend's
+//!   `inventory`, re-seeds structures a replica has lost, and
+//!   replicates hypothesis bindings ahead of need — so a restarted
+//!   backend is repaired before traffic finds the hole, instead of
+//!   every evaluate paying a lazy re-solve.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -38,10 +44,12 @@ use std::time::{Duration, Instant};
 use folearn_graph::io;
 use folearn_server::client::{ClientApi, ClientConfig, ClientError, RetryPolicy, RetryingClient};
 use folearn_server::framing::{self, ConnEvent, ConnLimits};
-use folearn_server::proto::{fnv1a64, hex64, Json, Request, Response, TraceContext, WireProvenance};
+use folearn_server::proto::{
+    fnv1a64, hex64, Json, Request, Response, TraceContext, WireBinding, WireProvenance,
+};
 use parking_lot::Mutex;
 
-use crate::health::{Health, PROBE_PERIOD};
+use crate::health::{run_probe_loop, Health, PROBE_PERIOD};
 use crate::metrics::{aggregate_cluster, NodeStats, RouterMetrics};
 use crate::ring::{HashRing, DEFAULT_VNODES};
 
@@ -81,6 +89,12 @@ pub struct RouterConfig {
     pub idle_timeout: Duration,
     /// Concurrent front-door connections accepted.
     pub max_connections: usize,
+    /// Period of the background anti-entropy pass: the router sweeps
+    /// every backend's `inventory`, re-seeds structures a replica has
+    /// lost, and replicates hypothesis bindings ahead of need. `None`
+    /// disables the pass (repair then happens only lazily, on the
+    /// request path).
+    pub repair_interval: Option<Duration>,
     /// Allow per-solve trace stitching (router spans wrapping each
     /// backend's span subtree). Stitching is on demand: it runs only
     /// for solves whose request carries a trace context, so untraced
@@ -104,6 +118,7 @@ impl Default for RouterConfig {
             max_line_bytes: 4 << 20,
             idle_timeout: Duration::from_secs(300),
             max_connections: 256,
+            repair_interval: Some(Duration::from_secs(1)),
             trace: true,
         }
     }
@@ -239,6 +254,7 @@ pub struct RouterHandle {
     addr: SocketAddr,
     state: Arc<RouterState>,
     acceptor: Option<JoinHandle<()>>,
+    repair: Option<JoinHandle<()>>,
     connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
@@ -263,6 +279,11 @@ impl RouterHandle {
     fn join_all(&mut self) {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
+        }
+        // The acceptor only exits once shutdown is flagged, so the
+        // repair loop is already on its way out (≤50ms poll).
+        if let Some(repair) = self.repair.take() {
+            let _ = repair.join();
         }
         loop {
             let handle = self.connections.lock().pop();
@@ -373,10 +394,25 @@ pub fn start(config: &RouterConfig) -> std::io::Result<RouterHandle> {
             })?
     };
 
+    let repair = match config.repair_interval {
+        Some(interval) => {
+            let state = Arc::clone(&state);
+            Some(
+                std::thread::Builder::new()
+                    .name("folearn-router-repair".to_string())
+                    .spawn(move || {
+                        run_probe_loop(&state.shutdown, interval, || repair_pass(&state));
+                    })?,
+            )
+        }
+        None => None,
+    };
+
     Ok(RouterHandle {
         addr,
         state,
         acceptor: Some(acceptor),
+        repair,
         connections,
     })
 }
@@ -411,6 +447,28 @@ fn handle_request(state: &Arc<RouterState>, req: Request) -> Response {
                 pairs.push(("cluster".to_string(), cluster));
             }
             Response::Stats { data }
+        }
+        // The router's own inventory: its placement table and
+        // router-assigned hypothesis ids. Lets an operator (or an outer
+        // router tier) diff the front door the same way the front door
+        // diffs its backends.
+        Request::Inventory => {
+            let mut structures: Vec<u64> = state.structures.lock().keys().copied().collect();
+            structures.sort_unstable();
+            let mut hypotheses: Vec<WireBinding> = state
+                .hyps
+                .lock()
+                .iter()
+                .map(|(&id, b)| WireBinding {
+                    id,
+                    structure: b.structure,
+                })
+                .collect();
+            hypotheses.sort_unstable_by_key(|b| b.id);
+            Response::Inventory {
+                structures,
+                hypotheses,
+            }
         }
         Request::Register { graph_text } => handle_register(state, &graph_text),
         req @ Request::Solve { .. } => handle_solve(state, req),
@@ -1093,4 +1151,141 @@ fn rebind(
             other.encode()
         ))),
     }
+}
+
+// ---------------------------------------------------------------------
+// anti-entropy: inventory diff and repair
+// ---------------------------------------------------------------------
+
+/// One anti-entropy sweep over every backend: fetch its `inventory`,
+/// diff it against the router's placement tables, and close the gap.
+///
+/// * A structure placed on the backend but missing from its inventory
+///   (it restarted without durable state) is re-seeded from the stored
+///   canonical text — counted as `repairs_performed`.
+/// * A hypothesis whose structure is placed on the backend but which is
+///   unbound there — or bound to a local id the backend no longer
+///   knows — is re-solved proactively, counted as `rebinds_avoided`:
+///   each binding replicated here is one lazy evaluate-time re-solve
+///   that will now never happen.
+///
+/// The sweep doubles as an active health probe: transport failures
+/// strike the backend's health, and a successful exchange restores an
+/// ejected backend without waiting for client traffic. A backend too
+/// old to speak `inventory` answers with a server-side error; it is
+/// skipped without a strike — alive, just not repairable.
+fn repair_pass(state: &Arc<RouterState>) {
+    // Snapshot the tables outside any backend I/O so a slow backend
+    // never holds the request path's locks.
+    let structures: Vec<(u64, StructureEntry)> = state
+        .structures
+        .lock()
+        .iter()
+        .map(|(&h, e)| (h, e.clone()))
+        .collect();
+    let hyps: Vec<(u64, u64, Request)> = state
+        .hyps
+        .lock()
+        .iter()
+        .map(|(&id, b)| (id, b.structure, b.solve.clone()))
+        .collect();
+    for bi in 0..state.backends.len() {
+        repair_backend(state, bi, &structures, &hyps);
+    }
+}
+
+/// Diff-and-repair one backend; see [`repair_pass`]. Stops at the first
+/// transport failure — the connection's state is unknown past it, and
+/// the next sweep picks up where this one left off.
+fn repair_backend(
+    state: &Arc<RouterState>,
+    bi: usize,
+    structures: &[(u64, StructureEntry)],
+    hyps: &[(u64, u64, Request)],
+) {
+    let mut client = match state.checkout(bi) {
+        Ok(c) => c,
+        Err(_) => {
+            state.note_result(bi, false);
+            return;
+        }
+    };
+    let (have_structures, have_hyps) = match client.inventory() {
+        Ok(inv) => inv,
+        Err(ClientError::Server { .. }) => {
+            // Pre-inventory backend: a clean protocol exchange, so it
+            // is alive — no strike, nothing to diff.
+            state.note_result(bi, true);
+            state.checkin(bi, client);
+            return;
+        }
+        Err(_) => {
+            state.note_result(bi, false);
+            return;
+        }
+    };
+    state.note_result(bi, true);
+    let have_structures: HashSet<u64> = have_structures.into_iter().collect();
+    let have_ids: HashSet<u64> = have_hyps.iter().map(|b| b.id).collect();
+
+    for (hash, entry) in structures {
+        if !entry.replicas.contains(&bi) || have_structures.contains(hash) {
+            continue;
+        }
+        match client.register(&entry.graph_text) {
+            Ok(_) => {
+                state.metrics.record_repair();
+                state.note_result(bi, true);
+            }
+            Err(e) => {
+                state.note_result(bi, !is_transport(&e));
+                return;
+            }
+        }
+    }
+
+    let events: EventLog = Arc::new(Mutex::new(Vec::new()));
+    for (router_id, structure, solve_req) in hyps {
+        let Some(entry) = structures
+            .iter()
+            .find(|(h, _)| h == structure)
+            .map(|(_, e)| e)
+        else {
+            continue;
+        };
+        if !entry.replicas.contains(&bi) {
+            continue;
+        }
+        let bound = {
+            let tables = state.hyps.lock();
+            tables
+                .get(router_id)
+                .and_then(|b| b.bindings.get(&bi).copied())
+        };
+        // A binding to a local id the backend still knows is healthy —
+        // notably a durable backend that replayed its WAL keeps its
+        // ids, so its bindings survive a restart untouched.
+        if bound.is_some_and(|id| have_ids.contains(&id)) {
+            continue;
+        }
+        match rebind(
+            state,
+            &mut client,
+            bi,
+            *router_id,
+            solve_req,
+            &entry.graph_text,
+            &events,
+        ) {
+            Ok(_) => {
+                state.metrics.record_rebind_avoided();
+                state.note_result(bi, true);
+            }
+            Err(e) => {
+                state.note_result(bi, !is_transport(&e));
+                return;
+            }
+        }
+    }
+    state.checkin(bi, client);
 }

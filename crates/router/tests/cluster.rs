@@ -341,6 +341,96 @@ fn front_door_speaks_the_protocol_with_cluster_extensions() {
 }
 
 #[test]
+fn anti_entropy_repairs_a_restarted_backend() {
+    // Two live backends plus one address that is down from the start —
+    // the "restarted empty" backend. Reserving the port with a listener
+    // that never accepts leaves no TIME_WAIT behind, so the real daemon
+    // can bind it later.
+    let (mut addrs, by_addr) = spawn_backends(2);
+    let reserved = std::net::TcpListener::bind("127.0.0.1:0").expect("reserve port");
+    let late_addr = reserved.local_addr().unwrap().to_string();
+    drop(reserved);
+    addrs.push(late_addr.clone());
+
+    // R=3: everything is placed everywhere, including on the dead node.
+    let router = start_router(&RouterConfig {
+        backends: addrs,
+        replicas: 3,
+        client: ClientConfig::with_deadline(Duration::from_secs(5)),
+        repair_interval: Some(Duration::from_millis(50)),
+        ..RouterConfig::default()
+    })
+    .expect("router starts");
+
+    let mut c = Client::connect(router.addr()).expect("client connects");
+    let g = colored_path(8, 4);
+    let structure = c.register(&io::to_text(&g)).expect("register");
+    let examples = vec![
+        WireExample {
+            tuple: vec![0],
+            label: false,
+        },
+        WireExample {
+            tuple: vec![1],
+            label: true,
+        },
+    ];
+    let outcome = c
+        .solve(structure, examples, 1, 0, 0.25, SolverSpec::default_brute())
+        .expect("solve");
+    let tuples: Vec<Vec<u32>> = (0..8).map(|v| vec![v]).collect();
+    let (before, _) = c
+        .evaluate(structure, outcome.hypothesis.id, tuples.clone(), None)
+        .expect("evaluate");
+
+    // The dead replica comes up empty. The router's anti-entropy pass
+    // must notice, re-seed the structure, and replicate the hypothesis
+    // binding — all without any client traffic demanding it.
+    let late = start_server(&ServerConfig {
+        addr: late_addr.clone(),
+        ..ServerConfig::default()
+    })
+    .expect("late backend binds the reserved address");
+
+    let (mut repairs, mut avoided) = (0, 0);
+    for _ in 0..100 {
+        let stats = c.stats().expect("router stats");
+        repairs = stats.get("repairs_performed").unwrap().as_usize().unwrap();
+        avoided = stats.get("rebinds_avoided").unwrap().as_usize().unwrap();
+        if repairs >= 1 && avoided >= 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(repairs >= 1, "the lost structure was never re-seeded");
+    assert!(avoided >= 1, "the hypothesis binding was never replicated");
+
+    // The repaired backend really holds the state: ask it directly.
+    let mut direct = Client::connect(late.addr()).expect("connect to repaired backend");
+    let (structures, hyps) = direct.inventory().expect("inventory");
+    assert!(
+        structures.contains(&structure),
+        "repaired backend lacks the structure"
+    );
+    assert!(
+        hyps.iter().any(|b| b.structure == structure),
+        "repaired backend lacks the replicated hypothesis"
+    );
+
+    // And the cluster still answers identically through the front door.
+    let (after, _) = c
+        .evaluate(structure, outcome.hypothesis.id, tuples, None)
+        .expect("evaluate after repair");
+    assert_eq!(before, after);
+
+    router.shutdown();
+    late.shutdown();
+    for (_, h) in by_addr {
+        h.shutdown();
+    }
+}
+
+#[test]
 fn evaluate_rebinds_after_the_learning_backend_dies() {
     let (addrs, mut by_addr) = spawn_backends(3);
     let router = router_over(addrs, 2);

@@ -232,6 +232,22 @@ impl<V: Clone> ShardedMap<V> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Clone every `(key, value)` pair out, shard by shard (each shard
+    /// lock is held only while that shard is copied). Order is
+    /// unspecified — callers wanting a canonical listing (the
+    /// `inventory` op) sort the result.
+    pub fn entries(&self) -> Vec<(u64, V)> {
+        self.shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .iter()
+                    .map(|(&k, v)| (k, v.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -332,6 +348,20 @@ mod tests {
             .filter(|&s| !sharded.shards[s].lock().is_empty())
             .count();
         assert!(used >= 6, "only {used}/8 shards used");
+    }
+
+    #[test]
+    fn sharded_map_entries_lists_everything_once() {
+        let map = ShardedMap::new(8);
+        for i in 0..50u64 {
+            map.insert(i, i * 2);
+        }
+        let mut entries = map.entries();
+        entries.sort_unstable();
+        assert_eq!(entries.len(), 50);
+        for (i, &(k, v)) in entries.iter().enumerate() {
+            assert_eq!((k, v), (i as u64, i as u64 * 2));
+        }
     }
 
     #[test]

@@ -29,6 +29,13 @@
 //!   — corruption is always detectable, never a silently different
 //!   request. The server replies `malformed request: …` (retryable by
 //!   construction); a client gets a protocol error and retries.
+//! * [`FaultKind::Reset`] — the first half of the frame is forwarded,
+//!   then the connection is aborted RST-style: `SO_LINGER(0)` on both
+//!   sockets and no FIN handshake (on Linux; elsewhere the abort
+//!   degrades to the truncate-style teardown). The peer sees the
+//!   connection *reset* mid-frame — the "process yanked out from under
+//!   the socket" shape, which is exactly what a SIGKILL'd backend looks
+//!   like to its clients (experiment E24's network half).
 //!
 //! Frames are decided independently with probability
 //! [`ChaosConfig::rate`], per direction, from a per-connection stream
@@ -57,6 +64,9 @@ pub enum FaultKind {
     Truncate,
     /// Overwrite one payload byte with `0x01` (guaranteed parse error).
     Garble,
+    /// Forward half the frame, then abort the connection without a FIN
+    /// (`SO_LINGER(0)`, so the peer observes an RST).
+    Reset,
 }
 
 impl FaultKind {
@@ -67,6 +77,7 @@ impl FaultKind {
             FaultKind::Delay => "delay",
             FaultKind::Truncate => "truncate",
             FaultKind::Garble => "garble",
+            FaultKind::Reset => "reset",
         }
     }
 }
@@ -163,6 +174,10 @@ impl ChaosProxy {
                         };
                         let mut handles = pumps.lock();
                         handles.retain(|h| !h.is_finished());
+                        // Shared by this connection's two pumps: a reset
+                        // fault on one half tells the sibling to drop
+                        // its sockets *without* a FIN-sending shutdown.
+                        let abort = Arc::new(AtomicBool::new(false));
                         for to_server in [true, false] {
                             let (from, to) = if to_server {
                                 (client.try_clone(), server.try_clone())
@@ -178,11 +193,15 @@ impl ChaosProxy {
                                 .wrapping_add(u64::from(!to_server));
                             let shutdown = Arc::clone(&shutdown);
                             let faults = Arc::clone(&faults);
+                            let abort = Arc::clone(&abort);
                             let config = config.clone();
                             let handle = std::thread::Builder::new()
                                 .name("chaos-pump".to_string())
                                 .spawn(move || {
-                                    pump(&from, &to, to_server, half_seed, &config, &shutdown, &faults)
+                                    pump(
+                                        &from, &to, to_server, half_seed, &config, &shutdown,
+                                        &abort, &faults,
+                                    )
                                 })
                                 .expect("spawn chaos pump thread");
                             handles.push(handle);
@@ -243,7 +262,9 @@ impl Drop for ChaosProxy {
 /// Relay frames `from → to`, injecting faults on this half if the
 /// configured direction covers it. Returns (tearing both streams down)
 /// on EOF, on a hard I/O error, on a truncate fault, or on proxy
-/// shutdown.
+/// shutdown; a reset fault (here or on the sibling half, via `abort`)
+/// instead returns *without* the teardown so no FIN precedes the RST.
+#[allow(clippy::too_many_arguments)]
 fn pump(
     from: &TcpStream,
     to: &TcpStream,
@@ -251,6 +272,7 @@ fn pump(
     seed: u64,
     config: &ChaosConfig,
     shutdown: &AtomicBool,
+    abort: &AtomicBool,
     faults: &AtomicU64,
 ) {
     let _ = from.set_read_timeout(Some(POLL_INTERVAL));
@@ -266,6 +288,12 @@ fn pump(
         let complete = loop {
             if shutdown.load(Ordering::SeqCst) {
                 return teardown(from, to);
+            }
+            if abort.load(Ordering::SeqCst) {
+                // The sibling half injected a reset: drop our socket
+                // handles without shutdown() so the linger(0) close
+                // emits an RST, not a FIN.
+                return;
             }
             match reader.read_until(b'\n', &mut frame) {
                 Ok(0) => break false,
@@ -304,6 +332,18 @@ fn pump(
                         frame[i] = 0x01;
                     }
                 }
+                FaultKind::Reset => {
+                    let mut w = to;
+                    let _ = w.write_all(&frame[..frame.len() / 2]).and_then(|()| w.flush());
+                    set_linger_zero(from);
+                    set_linger_zero(to);
+                    abort.store(true, Ordering::SeqCst);
+                    // No teardown: shutdown() would send a FIN first.
+                    // Dropping the linger(0) sockets — ours now, the
+                    // sibling's within one poll interval — makes the
+                    // kernel discard pending data and send an RST.
+                    return;
+                }
             }
         }
         let mut writer = to;
@@ -322,6 +362,50 @@ fn teardown(from: &TcpStream, to: &TcpStream) {
     let _ = from.shutdown(Shutdown::Both);
     let _ = to.shutdown(Shutdown::Both);
 }
+
+/// Arm an abortive close: `SO_LINGER{on, 0s}`, so the socket's final
+/// close discards queued data and answers with an RST instead of the
+/// FIN handshake. Options are per-socket, not per-fd, so setting it on
+/// this pump's handle covers the sibling's duplicate too.
+#[cfg(target_os = "linux")]
+fn set_linger_zero(stream: &TcpStream) {
+    use std::os::fd::AsRawFd;
+    #[repr(C)]
+    struct Linger {
+        l_onoff: i32,
+        l_linger: i32,
+    }
+    const SOL_SOCKET: i32 = 1;
+    const SO_LINGER: i32 = 13;
+    extern "C" {
+        fn setsockopt(
+            fd: i32,
+            level: i32,
+            optname: i32,
+            optval: *const core::ffi::c_void,
+            optlen: u32,
+        ) -> i32;
+    }
+    let linger = Linger {
+        l_onoff: 1,
+        l_linger: 0,
+    };
+    let rc = unsafe {
+        setsockopt(
+            stream.as_raw_fd(),
+            SOL_SOCKET,
+            SO_LINGER,
+            (&linger as *const Linger).cast(),
+            std::mem::size_of::<Linger>() as u32,
+        )
+    };
+    debug_assert_eq!(rc, 0, "SO_LINGER on a live TCP socket cannot fail");
+}
+
+/// Off Linux the reset degrades to a plain abortive-ish close (the
+/// partial write and missing newline still reach the peer).
+#[cfg(not(target_os = "linux"))]
+fn set_linger_zero(_stream: &TcpStream) {}
 
 #[cfg(test)]
 mod tests {
@@ -450,6 +534,71 @@ mod tests {
         assert!(!buf.contains(&b'\n'));
         assert_eq!(proxy.faults_injected(), 1);
         proxy.shutdown();
+    }
+
+    #[test]
+    fn reset_aborts_the_connection_mid_frame() {
+        let (upstream, _h) = echo_upstream();
+        let proxy = ChaosProxy::start(
+            upstream,
+            ChaosConfig {
+                kind: FaultKind::Reset,
+                rate: 1.0,
+                direction: Direction::ToClient,
+                ..ChaosConfig::default()
+            },
+        )
+        .unwrap();
+        let mut s = TcpStream::connect(proxy.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        s.write_all(b"0123456789\n").unwrap();
+        // The echo is cut in half and the connection aborted: some
+        // prefix may arrive, then ECONNRESET (or EOF, depending on the
+        // kernel's delivery order) — never a complete frame.
+        let mut buf = Vec::new();
+        let mut reader = BufReader::new(s);
+        let _ = reader.read_to_end(&mut buf);
+        assert!(!buf.contains(&b'\n'), "no complete frame, got {buf:?}");
+        assert!(
+            buf.len() < "0123456789\n".len(),
+            "at most a partial frame, got {buf:?}"
+        );
+        assert_eq!(proxy.faults_injected(), 1);
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn same_seed_same_reset_pattern() {
+        // Reset kills the connection, so the pattern unit is one
+        // connection per frame: connection order is what makes the
+        // per-half RNG streams reproducible.
+        let run = |seed: u64| -> Vec<bool> {
+            let (upstream, _h) = echo_upstream();
+            let proxy = ChaosProxy::start(
+                upstream,
+                ChaosConfig {
+                    kind: FaultKind::Reset,
+                    rate: 0.5,
+                    direction: Direction::ToServer,
+                    seed,
+                    ..ChaosConfig::default()
+                },
+            )
+            .unwrap();
+            let mut outcomes = Vec::new();
+            for i in 0..8 {
+                let msg = format!("conn-{i}\n");
+                outcomes.push(matches!(roundtrip(proxy.addr(), &msg), Ok(line) if line == msg));
+            }
+            proxy.shutdown();
+            outcomes
+        };
+        let a = run(0xE24);
+        let b = run(0xE24);
+        let c = run(0xE25);
+        assert_eq!(a, b, "same seed, same pattern");
+        assert!(a.iter().any(|&x| x) && a.iter().any(|&x| !x));
+        assert_ne!(a, c, "different seed, different pattern");
     }
 
     #[test]

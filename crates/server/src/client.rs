@@ -286,6 +286,21 @@ pub trait ClientApi {
         }
     }
 
+    /// Fetch the daemon's content inventory: sorted structure hashes
+    /// plus sorted `(hypothesis id, structure)` bindings. The router's
+    /// anti-entropy pass diffs this against expected placement.
+    fn inventory(
+        &mut self,
+    ) -> Result<(Vec<u64>, Vec<crate::proto::WireBinding>), ClientError> {
+        match self.call(&Request::Inventory)? {
+            Response::Inventory {
+                structures,
+                hypotheses,
+            } => Ok((structures, hypotheses)),
+            other => Err(unexpected("inventory", &other)),
+        }
+    }
+
     /// Fetch the server's metrics snapshot as JSON.
     fn stats(&mut self) -> Result<crate::proto::Json, ClientError> {
         match self.call(&Request::Stats)? {

@@ -17,8 +17,13 @@
 //!   ([`client::ClientConfig`]) and a retrying wrapper
 //!   ([`client::RetryingClient`]) that reconnects and re-sends under a
 //!   deterministic backoff policy;
+//! * [`wal`] / [`snapshot`] — durable state behind `serve --data-dir`:
+//!   an append-only fsync'd write-ahead log of registry/hypothesis
+//!   mutations with periodic compacted snapshots, replayed on startup
+//!   into bit-identical pre-crash state;
 //! * [`chaos`] — a deterministic fault-injection proxy (drop / delay /
-//!   truncate / garble frames under a seeded RNG; experiment E19);
+//!   truncate / garble / reset frames under a seeded RNG; experiment
+//!   E19);
 //! * [`cache`], [`metrics`], [`pool`] — the daemon's moving parts,
 //!   exposed for reuse and testing;
 //! * [`loadgen`] — a deterministic load generator (experiment E17 and
@@ -48,6 +53,8 @@ pub mod metrics;
 pub mod pool;
 pub mod proto;
 pub mod server;
+pub mod snapshot;
+pub mod wal;
 
 pub use chaos::{ChaosConfig, ChaosProxy, Direction, FaultKind};
 pub use client::{
@@ -56,6 +63,6 @@ pub use client::{
 pub use loadgen::{run_load, run_load_multi, LoadgenConfig, LoadReport};
 pub use proto::{
     fnv1a64, hex64, parse_hex64, Json, ProtoError, Request, Response, SolveOutcome, SolverSpec,
-    TraceContext, WireExample, WireHypothesis, WireProvenance,
+    TraceContext, WireBinding, WireExample, WireHypothesis, WireProvenance,
 };
 pub use server::{start, CoreMode, ServerConfig, ServerHandle};

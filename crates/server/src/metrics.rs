@@ -99,6 +99,12 @@ struct Inner {
     core: &'static str,
     event_loops: u64,
     cache_shards: u64,
+    durable: bool,
+    wal_records_written: u64,
+    wal_records_replayed: u64,
+    snapshot_loads: u64,
+    torn_tail_truncations: u64,
+    recovery_ms: u64,
     series: TimeSeries,
 }
 
@@ -139,6 +145,12 @@ impl Metrics {
                 core: "thread",
                 event_loops: 0,
                 cache_shards: 1,
+                durable: false,
+                wal_records_written: 0,
+                wal_records_replayed: 0,
+                snapshot_loads: 0,
+                torn_tail_truncations: 0,
+                recovery_ms: 0,
                 series: TimeSeries::new(),
             }),
             start: Instant::now(),
@@ -238,6 +250,32 @@ impl Metrics {
         inner.cache_shards = cache_shards as u64;
     }
 
+    /// Record one mutation appended (and fsync'd) to the WAL.
+    pub fn record_wal_append(&self) {
+        self.inner.lock().wal_records_written += 1;
+    }
+
+    /// Record the outcome of a startup replay: how many records were
+    /// replayed, whether a snapshot was loaded, how many torn tails
+    /// were truncated, and how long the whole replay took. Marks the
+    /// daemon durable — the counters (and the flag) surface in `stats`
+    /// immediately, so a freshly restarted backend reports a useful
+    /// story before its first request.
+    pub fn set_recovery(
+        &self,
+        records_replayed: u64,
+        snapshot_loads: u64,
+        torn_tail_truncations: u64,
+        recovery_ms: u64,
+    ) {
+        let mut inner = self.inner.lock();
+        inner.durable = true;
+        inner.wal_records_replayed = records_replayed;
+        inner.snapshot_loads = snapshot_loads;
+        inner.torn_tail_truncations = torn_tail_truncations;
+        inner.recovery_ms = recovery_ms;
+    }
+
     /// Update the registry/hypothesis-store gauges.
     pub fn set_store_sizes(&self, structures: usize, hypotheses: usize) {
         let mut inner = self.inner.lock();
@@ -305,6 +343,21 @@ impl Metrics {
             ("event_loops", Json::Num(inner.event_loops as f64)),
             ("structures", Json::Num(inner.structures as f64)),
             ("hypotheses", Json::Num(inner.hypotheses as f64)),
+            ("durable", Json::Bool(inner.durable)),
+            (
+                "wal_records_written",
+                Json::Num(inner.wal_records_written as f64),
+            ),
+            (
+                "wal_records_replayed",
+                Json::Num(inner.wal_records_replayed as f64),
+            ),
+            ("snapshot_loads", Json::Num(inner.snapshot_loads as f64)),
+            (
+                "torn_tail_truncations",
+                Json::Num(inner.torn_tail_truncations as f64),
+            ),
+            ("recovery_ms", Json::Num(inner.recovery_ms as f64)),
             (
                 "cache",
                 Json::obj([
@@ -458,6 +511,36 @@ mod tests {
         let cache = snap.get("cache").unwrap();
         assert_eq!(cache.get("hit_rate").unwrap().as_num(), Some(0.75));
         assert_eq!(m.cache_hit_miss(), (3, 1));
+    }
+
+    #[test]
+    fn recovery_counters_surface_flat_in_the_snapshot() {
+        let m = Metrics::new();
+        let snap = m.snapshot();
+        assert_eq!(snap.get("durable").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            snap.get("wal_records_replayed").and_then(Json::as_usize),
+            Some(0)
+        );
+        m.set_recovery(7, 1, 2, 34);
+        m.record_wal_append();
+        m.record_wal_append();
+        let snap = m.snapshot();
+        assert_eq!(snap.get("durable").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            snap.get("wal_records_replayed").and_then(Json::as_usize),
+            Some(7)
+        );
+        assert_eq!(snap.get("snapshot_loads").and_then(Json::as_usize), Some(1));
+        assert_eq!(
+            snap.get("torn_tail_truncations").and_then(Json::as_usize),
+            Some(2)
+        );
+        assert_eq!(snap.get("recovery_ms").and_then(Json::as_usize), Some(34));
+        assert_eq!(
+            snap.get("wal_records_written").and_then(Json::as_usize),
+            Some(2)
+        );
     }
 
     #[test]

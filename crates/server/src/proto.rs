@@ -276,6 +276,11 @@ pub enum Request {
     },
     /// Fetch the metrics snapshot.
     Stats,
+    /// Fetch the daemon's content inventory: which structures it holds
+    /// and which hypotheses it has bound to them. The anti-entropy
+    /// repair pass diffs this against the router's placement to re-seed
+    /// only what a crashed-and-restarted backend actually lost.
+    Inventory,
     /// Ask the daemon to shut down gracefully.
     Shutdown,
 }
@@ -300,6 +305,7 @@ impl Request {
             Request::Evaluate { .. } => "evaluate",
             Request::ModelCheck { .. } => "modelcheck",
             Request::Stats => "stats",
+            Request::Inventory => "inventory",
             Request::Shutdown => "shutdown",
         }
     }
@@ -394,6 +400,7 @@ impl Request {
                 ("trace", trace_json(trace)),
             ]),
             Request::Stats => Json::obj([("op", Json::str("stats"))]),
+            Request::Inventory => Json::obj([("op", Json::str("inventory"))]),
             Request::Shutdown => Json::obj([("op", Json::str("shutdown"))]),
         }
     }
@@ -472,6 +479,7 @@ impl Request {
                 trace: get_trace(v)?,
             }),
             "stats" => Ok(Request::Stats),
+            "inventory" => Ok(Request::Inventory),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(ProtoError::new(format!("unknown op {other:?}"))),
         }
@@ -598,6 +606,32 @@ impl WireProvenance {
     }
 }
 
+/// One hypothesis binding in an `inventory` reply: the server-assigned
+/// id and the content hash of the structure it was learned on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireBinding {
+    /// Server-assigned hypothesis id.
+    pub id: u64,
+    /// Content hash of the structure the hypothesis lives on.
+    pub structure: u64,
+}
+
+impl WireBinding {
+    fn to_json(self) -> Json {
+        Json::obj([
+            ("id", Json::str(hex64(self.id))),
+            ("structure", Json::str(hex64(self.structure))),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, ProtoError> {
+        Ok(WireBinding {
+            id: get_hex(v, "id")?,
+            structure: get_hex(v, "structure")?,
+        })
+    }
+}
+
 /// Decode an optional provenance field (absent/null from plain servers).
 fn get_provenance(v: &Json) -> Result<Option<WireProvenance>, ProtoError> {
     match v.get("provenance") {
@@ -651,6 +685,15 @@ pub enum Response {
     Stats {
         /// The metrics snapshot.
         data: Json,
+    },
+    /// Reply to `inventory`: everything this daemon is holding, by
+    /// content hash. Both lists are sorted so two inventories compare
+    /// byte-for-byte.
+    Inventory {
+        /// Content hashes of registered structures, sorted.
+        structures: Vec<u64>,
+        /// Hypothesis bindings `(id, structure)`, sorted by id.
+        hypotheses: Vec<WireBinding>,
     },
     /// Any request-level failure.
     Error {
@@ -755,6 +798,20 @@ impl Response {
                 ("resp", Json::str("stats")),
                 ("data", data.clone()),
             ]),
+            Response::Inventory {
+                structures,
+                hypotheses,
+            } => Json::obj([
+                ("resp", Json::str("inventory")),
+                (
+                    "structures",
+                    Json::Arr(structures.iter().map(|&s| Json::str(hex64(s))).collect()),
+                ),
+                (
+                    "hypotheses",
+                    Json::Arr(hypotheses.iter().map(|b| b.to_json()).collect()),
+                ),
+            ]),
             Response::Error { message, code } => Json::obj([
                 ("resp", Json::str("error")),
                 ("message", Json::str(message.clone())),
@@ -845,6 +902,16 @@ impl Response {
                     .get("data")
                     .cloned()
                     .ok_or_else(|| ProtoError::new("stats.data missing"))?,
+            }),
+            "inventory" => Ok(Response::Inventory {
+                structures: get_hex_arr_opt(v, "structures")?,
+                hypotheses: v
+                    .get("hypotheses")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| ProtoError::new("inventory.hypotheses must be an array"))?
+                    .iter()
+                    .map(WireBinding::from_json)
+                    .collect::<Result<Vec<_>, ProtoError>>()?,
             }),
             "error" => Ok(Response::Error {
                 message: get_str(v, "message")?.to_string(),
@@ -1014,6 +1081,7 @@ mod tests {
                 }),
             },
             Request::Stats,
+            Request::Inventory,
             Request::Shutdown,
         ]
     }
@@ -1110,6 +1178,23 @@ mod tests {
                     ("requests", Json::int(12)),
                     ("hit_rate", Json::Num(0.75)),
                 ]),
+            },
+            Response::Inventory {
+                structures: vec![7, 0xdead_beef_0000_0001, u64::MAX],
+                hypotheses: vec![
+                    WireBinding {
+                        id: 1,
+                        structure: 7,
+                    },
+                    WireBinding {
+                        id: 2,
+                        structure: u64::MAX,
+                    },
+                ],
+            },
+            Response::Inventory {
+                structures: vec![],
+                hypotheses: vec![],
             },
             Response::Error {
                 message: "line 2: unknown colour \"Grün\"\nsecond line".to_string(),

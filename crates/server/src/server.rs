@@ -69,9 +69,10 @@ use crate::framing::{self, ConnEvent, ConnLimits};
 use crate::metrics::Metrics;
 use crate::pool::{Job, TrySubmit, WorkerPool};
 use crate::proto::{
-    fnv1a64, hex64, Json, Request, Response, SolveOutcome, SolverSpec, TraceContext, WireExample,
-    WireHypothesis,
+    fnv1a64, hex64, Json, Request, Response, SolveOutcome, SolverSpec, TraceContext, WireBinding,
+    WireExample, WireHypothesis,
 };
+use crate::snapshot::{Durability, DurableRecord, DEFAULT_SNAPSHOT_EVERY};
 
 /// Hard ceiling on per-request solver threads: a typo like
 /// `--threads 999999` must fail with a protocol error, not abort the
@@ -144,6 +145,16 @@ pub struct ServerConfig {
     /// Lock shards for the result cache, the structure registry, and
     /// the hypothesis store.
     pub cache_shards: usize,
+    /// Durable-state directory. When set, every registry/hypothesis
+    /// mutation is fsync'd into a write-ahead log there before the
+    /// response is sent, periodic compacted snapshots bound replay
+    /// time, and startup replays the log into bit-identical pre-crash
+    /// state. `None` (the default) keeps today's in-memory behaviour,
+    /// byte-for-byte.
+    pub data_dir: Option<std::path::PathBuf>,
+    /// WAL appends between snapshot compactions (`0` = the default,
+    /// [`crate::snapshot::DEFAULT_SNAPSHOT_EVERY`]).
+    pub snapshot_every: usize,
 }
 
 impl Default for ServerConfig {
@@ -162,6 +173,8 @@ impl Default for ServerConfig {
             event_loops: 0,
             max_inflight_per_conn: 32,
             cache_shards: 8,
+            data_dir: None,
+            snapshot_every: 0,
         }
     }
 }
@@ -193,6 +206,10 @@ struct State {
     max_requests_per_conn: usize,
     max_line_bytes: usize,
     idle_timeout: Duration,
+    /// The open durability layer, present only under `--data-dir`.
+    /// `None` throughout startup replay, so replayed mutations are
+    /// never re-appended to the log they came from.
+    durable: Mutex<Option<Durability>>,
 }
 
 impl State {
@@ -235,6 +252,21 @@ impl State {
         self.shutdown.store(true, Ordering::SeqCst);
         // Poke the acceptor so a blocking accept() observes the flag.
         let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Append one mutation to the WAL, if durability is active. The
+    /// append fsyncs before returning, so by the time the caller sends
+    /// its response the mutation survives `kill -9`. An I/O failure is
+    /// surfaced loudly but does not fail the request: the in-memory
+    /// state is still correct, only its durability is degraded.
+    fn persist(&self, record: &DurableRecord) {
+        let mut durable = self.durable.lock();
+        if let Some(d) = durable.as_mut() {
+            match d.append(record) {
+                Ok(_compacted) => self.metrics.record_wal_append(),
+                Err(e) => eprintln!("folearn-server: WAL append failed: {e}"),
+            }
+        }
     }
 }
 
@@ -353,7 +385,16 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
         max_requests_per_conn: config.max_requests_per_conn.max(1),
         max_line_bytes: config.max_line_bytes.max(1),
         idle_timeout: config.idle_timeout,
+        durable: Mutex::new(None),
     });
+    if let Some(dir) = &config.data_dir {
+        let every = if config.snapshot_every == 0 {
+            DEFAULT_SNAPSHOT_EVERY
+        } else {
+            config.snapshot_every
+        };
+        recover(&state, dir, every)?;
+    }
     let pool = Arc::new(WorkerPool::new(config.workers, config.queue_depth));
     let max_connections = config.max_connections.max(1);
     match config.core {
@@ -363,6 +404,73 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
         }
         CoreMode::EventLoop => start_event(config, listener, state, pool, max_connections),
     }
+}
+
+/// Replay the durable history of `dir` into a freshly built state,
+/// then activate the WAL for new mutations.
+///
+/// Replay runs single-threaded before any core thread exists, which is
+/// what makes id forcing sound: each logged solve stores its recorded
+/// id into `next_hypothesis` so the `fetch_add` inside [`run_solve`]
+/// hands back exactly the pre-crash id, even though concurrent solves
+/// may have been *logged* in completion order rather than id order.
+/// Replayed solves run through the same [`plan_solve`]/[`run_solve`]
+/// path as live traffic (minus the cache short-circuit, so a re-logged
+/// key after an LRU eviction still reconstructs both store entries),
+/// so arenas, type keys, and the result cache warm exactly as they
+/// stood — recovered state is bit-identical, not merely equivalent.
+fn recover(state: &Arc<State>, dir: &std::path::Path, snapshot_every: usize) -> std::io::Result<()> {
+    let started = Instant::now();
+    let bad = |m: String| std::io::Error::new(std::io::ErrorKind::InvalidData, m);
+    let (durability, records, stats) = Durability::open(dir, snapshot_every)?;
+    let mut max_id = 0u64;
+    for record in &records {
+        match record {
+            DurableRecord::Register { graph_text } => {
+                if let Response::Error { message, .. } = handle_register(state, graph_text) {
+                    return Err(bad(format!("replay: register failed: {message}")));
+                }
+            }
+            DurableRecord::Solve { id, request } => {
+                let Request::Solve {
+                    structure,
+                    examples,
+                    ell,
+                    q,
+                    epsilon,
+                    solver,
+                    ..
+                } = request
+                else {
+                    return Err(bad("replay: solve record without solve request".into()));
+                };
+                state.next_hypothesis.store(*id, Ordering::SeqCst);
+                max_id = max_id.max(*id);
+                let planned = plan_solve(
+                    state, *structure, examples, *ell, *q, *epsilon, solver, None, false,
+                );
+                let response = match planned {
+                    Ok(job) => run_solve(state, job),
+                    Err(response) => response,
+                };
+                if let Response::Error { message, .. } = response {
+                    return Err(bad(format!("replay: solve failed: {message}")));
+                }
+            }
+        }
+    }
+    state
+        .next_hypothesis
+        .store(max_id.saturating_add(1).max(1), Ordering::SeqCst);
+    state.metrics.set_recovery(
+        stats.records_replayed(),
+        stats.snapshot_loads,
+        stats.torn_tail_truncations,
+        started.elapsed().as_millis() as u64,
+    );
+    state.sync_gauges();
+    *state.durable.lock() = Some(durability);
+    Ok(())
 }
 
 /// The thread-per-connection core: the E23 baseline.
@@ -650,6 +758,10 @@ impl EventHandler for ServerDispatch {
                 responder.complete(handle_stats(&self.state, &self.pool));
                 Dispatch::Accepted
             }
+            Request::Inventory => {
+                responder.complete(handle_inventory(&self.state));
+                Dispatch::Accepted
+            }
             Request::Register { graph_text } => {
                 responder.complete(handle_register(&self.state, &graph_text));
                 Dispatch::Accepted
@@ -663,7 +775,7 @@ impl EventHandler for ServerDispatch {
                 solver,
                 trace,
             } => match plan_solve(
-                &self.state, structure, &examples, ell, q, epsilon, &solver, trace,
+                &self.state, structure, &examples, ell, q, epsilon, &solver, trace, true,
             ) {
                 Err(response) => {
                     responder.complete(response);
@@ -783,6 +895,7 @@ fn handle_request(state: &Arc<State>, pool: &Arc<WorkerPool>, req: Request) -> R
             reason: "shutdown".to_string(),
         },
         Request::Stats => handle_stats(state, pool),
+        Request::Inventory => handle_inventory(state),
         Request::Register { graph_text } => handle_register(state, &graph_text),
         Request::Solve {
             structure,
@@ -792,7 +905,7 @@ fn handle_request(state: &Arc<State>, pool: &Arc<WorkerPool>, req: Request) -> R
             epsilon,
             solver,
             trace,
-        } => match plan_solve(state, structure, &examples, ell, q, epsilon, &solver, trace) {
+        } => match plan_solve(state, structure, &examples, ell, q, epsilon, &solver, trace, true) {
             Err(response) => response,
             Ok(job) => {
                 state.metrics.record_cache_event(false);
@@ -848,6 +961,14 @@ fn handle_register(state: &Arc<State>, graph_text: &str) -> Response {
             let hash = fnv1a64(canonical.as_bytes());
             let (vertices, edges) = (g.num_vertices(), g.num_edges());
             let fresh = state.graphs.insert(hash, Arc::new(g));
+            if fresh {
+                // Log the canonical text (whose hash is the address),
+                // not the client's spelling: replay re-derives the
+                // identical content hash.
+                state.persist(&DurableRecord::Register {
+                    graph_text: canonical,
+                });
+            }
             Response::Registered {
                 structure: hash,
                 vertices,
@@ -857,6 +978,29 @@ fn handle_register(state: &Arc<State>, graph_text: &str) -> Response {
             }
         }
         Err(e) => Response::error(format!("register: {e}")),
+    }
+}
+
+/// Answer `inventory`: sorted structure hashes plus sorted hypothesis
+/// bindings, cheap enough to serve inline on a loop thread. Sorting
+/// makes two inventories comparable byte-for-byte, which is all the
+/// router's anti-entropy diff needs.
+fn handle_inventory(state: &Arc<State>) -> Response {
+    let mut structures: Vec<u64> = state.graphs.entries().into_iter().map(|(k, _)| k).collect();
+    structures.sort_unstable();
+    let mut hypotheses: Vec<WireBinding> = state
+        .hypotheses
+        .entries()
+        .into_iter()
+        .map(|(id, h)| WireBinding {
+            id,
+            structure: h.structure,
+        })
+        .collect();
+    hypotheses.sort_unstable_by_key(|b| b.id);
+    Response::Inventory {
+        structures,
+        hypotheses,
     }
 }
 
@@ -924,11 +1068,20 @@ struct SolveJob {
     structure: u64,
     cache_key: (u64, u64, u64),
     trace_ctx: Option<TraceContext>,
+    /// The wire-form `(sample, config)` pair, carried so the completed
+    /// solve can be WAL-logged as a replayable request. The hypothesis
+    /// itself is never persisted — it is derivable from this triple.
+    wire_examples: Vec<WireExample>,
+    solver_spec: SolverSpec,
 }
 
 /// Validate a solve request and check the result cache. `Err` is the
 /// immediate response (validation error or cache replay), answered
-/// inline; `Ok` is the prepared compute job.
+/// inline; `Ok` is the prepared compute job. Startup replay passes
+/// `check_cache: false`: a key logged twice (LRU eviction between two
+/// live solves of the same instance) must re-run so the store entry
+/// for the second id is reconstructed, not answered from the cache the
+/// first replay warmed.
 // A large Err is fine here: Err *is* the wire reply (cache replay or
 // validation error), built once and moved straight to the responder.
 #[allow(clippy::too_many_arguments, clippy::result_large_err)]
@@ -941,6 +1094,7 @@ fn plan_solve(
     epsilon: f64,
     solver: &SolverSpec,
     trace_ctx: Option<TraceContext>,
+    check_cache: bool,
 ) -> Result<SolveJob, Response> {
     let fail = |m: String| Err(Response::error(m));
     let g = match state.graph(structure) {
@@ -1000,13 +1154,15 @@ fn plan_solve(
     let config_key = fnv1a64(solver.to_json().render().as_bytes());
     let cache_key = (structure, sample_key, config_key);
 
-    if let Some((mut outcome, captured_at)) = state.cache.get(&cache_key) {
-        outcome.cached = true;
-        outcome.trace = outcome
-            .trace
-            .map(|t| stamp_replay(t, captured_at.elapsed()));
-        state.metrics.record_cache_event(true);
-        return Err(Response::Solved(outcome));
+    if check_cache {
+        if let Some((mut outcome, captured_at)) = state.cache.get(&cache_key) {
+            outcome.cached = true;
+            outcome.trace = outcome
+                .trace
+                .map(|t| stamp_replay(t, captured_at.elapsed()));
+            state.metrics.record_cache_event(true);
+            return Err(Response::Solved(outcome));
+        }
     }
     // The miss is recorded by the caller: the event core first checks
     // the in-flight table, where a coalesced duplicate still counts as
@@ -1053,6 +1209,8 @@ fn plan_solve(
         structure,
         cache_key,
         trace_ctx,
+        wire_examples: examples.to_vec(),
+        solver_spec: solver.clone(),
     })
 }
 
@@ -1097,6 +1255,20 @@ fn run_solve(state: &Arc<State>, job: SolveJob) -> Response {
             structure: job.structure,
         }),
     );
+    // WAL the derivation triple before the response can be sent: once a
+    // client sees this id, the id survives `kill -9`.
+    state.persist(&DurableRecord::Solve {
+        id,
+        request: Request::Solve {
+            structure: job.structure,
+            examples: job.wire_examples,
+            ell: job.ell,
+            q: job.q,
+            epsilon: job.epsilon,
+            solver: job.solver_spec,
+            trace: None,
+        },
+    });
     state
         .metrics
         .record_solver_work(report.evaluated_params, report.pruned_params);

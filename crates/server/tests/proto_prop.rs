@@ -180,13 +180,28 @@ proptest! {
     }
 
     #[test]
-    fn bare_requests_round_trip(kind in 0usize..3) {
+    fn bare_requests_round_trip(kind in 0usize..4) {
         let req = match kind {
             0 => Request::Ping,
             1 => Request::Stats,
+            2 => Request::Inventory,
             _ => Request::Shutdown,
         };
         assert_request_round_trip(&req)?;
+    }
+
+    #[test]
+    fn inventory_round_trips(
+        structures in collection::vec(0u64..=u64::MAX, 0..8),
+        bindings in collection::vec((0u64..=u64::MAX, 0u64..=u64::MAX), 0..8),
+    ) {
+        assert_response_round_trip(&Response::Inventory {
+            structures,
+            hypotheses: bindings
+                .into_iter()
+                .map(|(id, structure)| folearn_server::proto::WireBinding { id, structure })
+                .collect(),
+        })?;
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! Crash-recovery loopback tests: a daemon with `--data-dir` must come
+//! back from a restart with bit-identical state — same structure
+//! registry, same hypothesis ids and predictions — without any client
+//! re-registering, including after a torn WAL tail and across snapshot
+//! compactions.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use folearn_server::proto::Json;
+use folearn_server::{
+    start, Client, ClientApi, ServerConfig, SolverSpec, WireExample,
+};
+
+const GRAPH: &str = "colors Red Blue\nvertices 6\nedge 0 1\nedge 1 2\nedge 2 3\nedge 3 4\nedge 4 5\ncolor 0 Red\ncolor 2 Red\ncolor 4 Red\ncolor 1 Blue\ncolor 3 Blue\ncolor 5 Blue\n";
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "folearn-recovery-{tag}-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sample() -> Vec<WireExample> {
+    (0..6u32)
+        .map(|v| WireExample {
+            tuple: vec![v],
+            label: v % 2 == 0,
+        })
+        .collect()
+}
+
+fn durable_config(dir: &std::path::Path, snapshot_every: usize) -> ServerConfig {
+    ServerConfig {
+        data_dir: Some(dir.to_path_buf()),
+        snapshot_every,
+        ..ServerConfig::default()
+    }
+}
+
+fn stat_num(stats: &Json, key: &str) -> f64 {
+    stats
+        .get(key)
+        .and_then(Json::as_num)
+        .unwrap_or_else(|| panic!("stats key {key} missing or non-numeric"))
+}
+
+#[test]
+fn restart_replays_registry_and_hypotheses_bit_identically() {
+    let dir = fresh_dir("replay");
+
+    // Session 1: register, learn under two configs, remember everything
+    // a client could later depend on.
+    let (structure, pre_inventory, outcome_a, outcome_b, predictions) = {
+        let handle = start(&durable_config(&dir, 0)).expect("durable server starts");
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        let structure = client.register(GRAPH).expect("register");
+        let outcome_a = client
+            .solve(structure, sample(), 1, 1, 0.0, SolverSpec::default_brute())
+            .expect("solve brute");
+        let outcome_b = client
+            .solve(structure, sample(), 1, 1, 0.0, SolverSpec::Nd)
+            .expect("solve nd");
+        assert_ne!(outcome_a.hypothesis.id, outcome_b.hypothesis.id);
+        let tuples: Vec<Vec<u32>> = (0..6u32).map(|v| vec![v]).collect();
+        let (predictions, _) = client
+            .evaluate(structure, outcome_a.hypothesis.id, tuples, None)
+            .expect("evaluate");
+        let inventory = client.inventory().expect("inventory");
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.get("durable").and_then(Json::as_bool), Some(true));
+        assert_eq!(stat_num(&stats, "wal_records_replayed"), 0.0);
+        assert!(
+            stat_num(&stats, "wal_records_written") >= 3.0,
+            "register + two solves hit the WAL"
+        );
+        handle.shutdown();
+        (structure, inventory, outcome_a, outcome_b, predictions)
+    };
+
+    // Session 2: same data dir, nobody re-registers anything.
+    let handle = start(&durable_config(&dir, 0)).expect("restart replays");
+    let mut client = Client::connect(handle.addr()).expect("reconnect");
+
+    let post_inventory = client.inventory().expect("inventory after restart");
+    assert_eq!(
+        post_inventory, pre_inventory,
+        "registry and hypothesis store survive the restart as-is"
+    );
+
+    // The pre-crash hypothesis id answers evaluate directly…
+    let tuples: Vec<Vec<u32>> = (0..6u32).map(|v| vec![v]).collect();
+    let (replayed_predictions, _) = client
+        .evaluate(structure, outcome_a.hypothesis.id, tuples, None)
+        .expect("evaluate pre-crash id after restart");
+    assert_eq!(replayed_predictions, predictions, "bit-identical answers");
+
+    // …and a repeated solve reconstructs the same hypothesis under the
+    // same id, for both solver configs.
+    for (spec, pre) in [
+        (SolverSpec::default_brute(), &outcome_a),
+        (SolverSpec::Nd, &outcome_b),
+    ] {
+        let again = client
+            .solve(structure, sample(), 1, 1, 0.0, spec)
+            .expect("re-solve after restart");
+        assert_eq!(again.hypothesis.id, pre.hypothesis.id, "id survives");
+        assert_eq!(again.hypothesis.params, pre.hypothesis.params);
+        assert_eq!(again.hypothesis.types, pre.hypothesis.types);
+        assert_eq!(again.hypothesis.type_keys, pre.hypothesis.type_keys);
+        assert_eq!(again.error, pre.error);
+    }
+
+    // Fresh ids allocated after the restart never collide with replayed
+    // ones.
+    let fresh = client
+        .solve(structure, sample(), 1, 2, 0.0, SolverSpec::default_brute())
+        .expect("fresh solve after restart");
+    assert!(
+        fresh.hypothesis.id > outcome_b.hypothesis.id,
+        "id allocation resumes past the replayed maximum"
+    );
+
+    let stats = client.stats().expect("stats after restart");
+    assert_eq!(stats.get("durable").and_then(Json::as_bool), Some(true));
+    assert!(
+        stat_num(&stats, "wal_records_replayed") >= 3.0,
+        "register + two solves replayed"
+    );
+    assert_eq!(stat_num(&stats, "torn_tail_truncations"), 0.0);
+    assert!(stats.get("recovery_ms").and_then(Json::as_num).is_some());
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_wal_tail_is_truncated_and_counted() {
+    let dir = fresh_dir("torn");
+    let pre_inventory = {
+        let handle = start(&durable_config(&dir, 0)).expect("durable server starts");
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        let structure = client.register(GRAPH).expect("register");
+        client
+            .solve(structure, sample(), 1, 1, 0.0, SolverSpec::default_brute())
+            .expect("solve");
+        let inventory = client.inventory().expect("inventory");
+        handle.shutdown();
+        inventory
+    };
+
+    // A crash mid-append: garbage half-frame at the WAL tail.
+    let wal_path = dir.join("wal.log");
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&wal_path)
+            .expect("open wal");
+        f.write_all(&[0x99, 0x12, 0x34]).expect("append torn tail");
+    }
+    let torn_len = std::fs::metadata(&wal_path).unwrap().len();
+
+    let handle = start(&durable_config(&dir, 0)).expect("restart tolerates the tear");
+    let mut client = Client::connect(handle.addr()).expect("reconnect");
+    assert_eq!(client.inventory().expect("inventory"), pre_inventory);
+    let stats = client.stats().expect("stats");
+    assert_eq!(stat_num(&stats, "torn_tail_truncations"), 1.0);
+    assert!(stat_num(&stats, "wal_records_replayed") >= 2.0);
+    assert!(
+        std::fs::metadata(&wal_path).unwrap().len() < torn_len,
+        "the tear was physically truncated"
+    );
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshot_compaction_survives_restart_and_empties_the_wal() {
+    let dir = fresh_dir("compact");
+    let pre_inventory = {
+        // snapshot_every = 2: the register + first solve trigger a
+        // compaction, the second solve lands in the fresh WAL.
+        let handle = start(&durable_config(&dir, 2)).expect("durable server starts");
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        let structure = client.register(GRAPH).expect("register");
+        client
+            .solve(structure, sample(), 1, 1, 0.0, SolverSpec::default_brute())
+            .expect("solve 1");
+        client
+            .solve(structure, sample(), 1, 1, 0.0, SolverSpec::Nd)
+            .expect("solve 2");
+        let inventory = client.inventory().expect("inventory");
+        handle.shutdown();
+        inventory
+    };
+    assert!(
+        std::fs::metadata(dir.join("snapshot.log")).unwrap().len() > 0,
+        "compaction produced a snapshot"
+    );
+
+    let handle = start(&durable_config(&dir, 2)).expect("restart loads the snapshot");
+    let mut client = Client::connect(handle.addr()).expect("reconnect");
+    assert_eq!(client.inventory().expect("inventory"), pre_inventory);
+    let stats = client.stats().expect("stats");
+    assert_eq!(stat_num(&stats, "snapshot_loads"), 1.0);
+    assert!(stat_num(&stats, "wal_records_replayed") >= 3.0);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn data_dir_less_serving_stays_volatile() {
+    // No data dir: nothing is written anywhere, and stats say so.
+    let handle = start(&ServerConfig::default()).expect("volatile server starts");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let structure = client.register(GRAPH).expect("register");
+    client
+        .solve(structure, sample(), 1, 1, 0.0, SolverSpec::default_brute())
+        .expect("solve");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.get("durable").and_then(Json::as_bool), Some(false));
+    assert_eq!(stat_num(&stats, "wal_records_written"), 0.0);
+    assert_eq!(stat_num(&stats, "wal_records_replayed"), 0.0);
+    handle.shutdown();
+}

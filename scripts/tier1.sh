@@ -20,7 +20,7 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 # identical hypothesis), and shuts the daemon down cleanly.
 FOLEARN=target/release/folearn
 SMOKE=$(mktemp -d)
-trap 'rm -rf "$SMOKE"; for P in ${SERVER_PID:-} ${ROUTER_PID:-} ${B1_PID:-} ${B2_PID:-} ${B3_PID:-}; do kill "$P" 2>/dev/null || true; done' EXIT
+trap 'rm -rf "$SMOKE"; for P in ${SERVER_PID:-} ${ROUTER_PID:-} ${B1_PID:-} ${B2_PID:-} ${B3_PID:-} ${DUR_PID:-}; do kill "$P" 2>/dev/null || true; done' EXIT
 
 printf 'colors Red\nvertices 6\nedge 0 1\nedge 1 2\nedge 2 3\nedge 3 4\nedge 4 5\ncolor 0 Red\ncolor 3 Red\n' > "$SMOKE/graph.txt"
 printf '+ 0\n- 1\n- 2\n+ 3\n- 4\n' > "$SMOKE/sample.txt"
@@ -60,6 +60,41 @@ fi
 wait "$SERVER_PID"
 SERVER_PID=
 grep -q 'shut down cleanly' "$SMOKE/server.log"
+
+# --- durability crash smoke (hermetic: loopback + a scratch data dir) -----
+# Boot a durable daemon, learn, SIGKILL it, and restart it on the same data
+# dir: the pre-crash hypothesis id must answer evaluate with nobody
+# re-registering or re-solving — a volatile restart would answer
+# unknown_hypothesis here — and stats must show the WAL replay behind it.
+"$FOLEARN" serve --addr 127.0.0.1:0 --addr-file "$SMOKE/dur.addr" --workers 1 \
+    --data-dir "$SMOKE/durable" > "$SMOKE/dur.log" &
+DUR_PID=$!
+for _ in $(seq 1 50); do [ -s "$SMOKE/dur.addr" ] && break; sleep 0.1; done
+[ -s "$SMOKE/dur.addr" ] || { echo "tier1: durable server never published its address" >&2; exit 1; }
+DADDR=$(cat "$SMOKE/dur.addr")
+"$FOLEARN" client --addr "$DADDR" --action solve --graph "$SMOKE/graph.txt" \
+    --examples "$SMOKE/sample.txt" --ell 1 --q 1 > "$SMOKE/dur-solve.txt"
+HYP=$(sed -n 's/^hypothesis id:   //p' "$SMOKE/dur-solve.txt")
+[ -n "$HYP" ] || { echo "tier1: durable solve printed no hypothesis id" >&2; exit 1; }
+
+kill -9 "$DUR_PID"; wait "$DUR_PID" 2>/dev/null || true
+DUR_PID=
+rm -f "$SMOKE/dur.addr"
+"$FOLEARN" serve --addr 127.0.0.1:0 --addr-file "$SMOKE/dur.addr" --workers 1 \
+    --data-dir "$SMOKE/durable" > "$SMOKE/dur2.log" &
+DUR_PID=$!
+for _ in $(seq 1 50); do [ -s "$SMOKE/dur.addr" ] && break; sleep 0.1; done
+[ -s "$SMOKE/dur.addr" ] || { echo "tier1: durable server never came back" >&2; exit 1; }
+DADDR=$(cat "$SMOKE/dur.addr")
+"$FOLEARN" client --addr "$DADDR" --action evaluate --graph "$SMOKE/graph.txt" \
+    --examples "$SMOKE/sample.txt" --hypothesis "$HYP" > "$SMOKE/dur-eval.txt"
+grep -q 'error vs labels: 0.0000' "$SMOKE/dur-eval.txt"
+"$FOLEARN" client --addr "$DADDR" --action stats > "$SMOKE/dur-stats.txt"
+grep -q '"durable": true' "$SMOKE/dur-stats.txt"
+grep -Eq '"wal_records_replayed": [1-9]' "$SMOKE/dur-stats.txt"
+"$FOLEARN" client --addr "$DADDR" --action shutdown
+wait "$DUR_PID"
+DUR_PID=
 
 # --- cluster smoke test (hermetic: loopback only, ephemeral ports) --------
 # Boots three backend daemons and the consistent-hash router through the

@@ -11,8 +11,8 @@
 //! * `types      --graph G.txt [--q N] [--k N]`
 //! * `dot        --graph G.txt`
 //! * `trace      --file T.jsonl`
-//! * `serve      [--addr H:P] [--core thread|event] [--loops N] [--inflight N] [--cache-shards N] [--workers N] [--queue N] [--cache N] [--max-requests N] [--max-line BYTES] [--idle-ms N] [--max-conns N] [--addr-file PATH] [--trace on|off]`
-//! * `route      --backends H:P,H:P,… [--replicas R] [--hedge-ms N] [--vnodes N] [--eject-after N] [--addr H:P] [--addr-file PATH] [--timeout-ms N] [--retries N] [--retry-seed N] [--trace on|off]`
+//! * `serve      [--addr H:P] [--data-dir DIR] [--snapshot-every N] [--core thread|event] [--loops N] [--inflight N] [--cache-shards N] [--workers N] [--queue N] [--cache N] [--max-requests N] [--max-line BYTES] [--idle-ms N] [--max-conns N] [--addr-file PATH] [--trace on|off]`
+//! * `route      --backends H:P,H:P,… [--replicas R] [--hedge-ms N] [--repair-ms N] [--vnodes N] [--eject-after N] [--addr H:P] [--addr-file PATH] [--timeout-ms N] [--retries N] [--retry-seed N] [--trace on|off]`
 //! * `client     --addr H:P --action ping|register|solve|evaluate|modelcheck|stats|shutdown [--timeout-ms N] [--retries N] [--retry-seed N] [--trace-out T.jsonl] …`
 //! * `loadgen    --addr H:P[,H:P…] --graph G.txt [--connections N] [--requests N] [--pipeline N] [--seed N] [--pool N] [--timeout-ms N] [--retries N] [--retry-seed N]`
 //! * `top        --addr H:P [--once] [--interval-ms N] [--iterations N]`
@@ -384,6 +384,8 @@ fn cmd_serve(opts: &Options) -> Result<String, CliError> {
         event_loops: opts.get_usize("loops", defaults.event_loops)?,
         max_inflight_per_conn: opts.get_usize("inflight", defaults.max_inflight_per_conn)?,
         cache_shards: opts.get_usize("cache-shards", defaults.cache_shards)?,
+        data_dir: opts.get("data-dir").map(std::path::PathBuf::from),
+        snapshot_every: opts.get_usize("snapshot-every", defaults.snapshot_every)?,
     };
     let handle = folearn_server::start(&config)
         .map_err(|e| err(format!("cannot bind {}: {e}", config.addr)))?;
@@ -437,6 +439,10 @@ fn cmd_route(opts: &Options) -> Result<String, CliError> {
         "hedge-ms",
         defaults.hedge_delay.map_or(0, |d| d.as_millis() as usize),
     )?;
+    let repair_ms = opts.get_usize(
+        "repair-ms",
+        defaults.repair_interval.map_or(0, |d| d.as_millis() as usize),
+    )?;
     let config = folearn_cluster::RouterConfig {
         addr: opts.get("addr").unwrap_or("127.0.0.1:0").to_string(),
         backends,
@@ -444,6 +450,8 @@ fn cmd_route(opts: &Options) -> Result<String, CliError> {
         vnodes: opts.get_usize("vnodes", defaults.vnodes)?.max(1),
         hedge_delay: (hedge_ms > 0)
             .then(|| std::time::Duration::from_millis(hedge_ms as u64)),
+        repair_interval: (repair_ms > 0)
+            .then(|| std::time::Duration::from_millis(repair_ms as u64)),
         client,
         retry,
         eject_after: opts.get_usize("eject-after", defaults.eject_after as usize)? as u32,
@@ -806,6 +814,16 @@ fn render_top(addr: &str, stats: &Json) -> String {
             jnum(stats, "replica_retries") as u64,
             jnum(stats, "failovers") as u64,
         );
+        let (repairs, rebinds) = (
+            jnum(stats, "repairs_performed") as u64,
+            jnum(stats, "rebinds_avoided") as u64,
+        );
+        if repairs + rebinds > 0 {
+            let _ = writeln!(
+                out,
+                "repair:    {repairs} structures re-seeded, {rebinds} rebinds avoided",
+            );
+        }
     } else {
         let _ = writeln!(
             out,
@@ -813,6 +831,17 @@ fn render_top(addr: &str, stats: &Json) -> String {
             jnum(stats, "connections") as u64,
             jnum(stats, "worker_panics") as u64,
         );
+        if stats.get("durable").and_then(Json::as_bool) == Some(true) {
+            let _ = writeln!(
+                out,
+                "durable:   {} WAL records written, {} replayed at boot ({} snapshot loads, {} torn tails), recovery {}ms",
+                jnum(stats, "wal_records_written") as u64,
+                jnum(stats, "wal_records_replayed") as u64,
+                jnum(stats, "snapshot_loads") as u64,
+                jnum(stats, "torn_tail_truncations") as u64,
+                jnum(stats, "recovery_ms") as u64,
+            );
+        }
         if let Some(cache) = stats.get("cache") {
             let _ = writeln!(
                 out,
@@ -861,9 +890,20 @@ fn render_top(addr: &str, stats: &Json) -> String {
                         let _ = writeln!(out, "  {node_addr:<21} DOWN  {e}");
                     }
                     None => {
+                        // A freshly restarted durable backend announces its
+                        // recovery right in the row: tiny uptime plus how
+                        // many WAL records it replayed to get back.
+                        let mut recovery = String::new();
+                        if n.get("durable").and_then(Json::as_bool) == Some(true) {
+                            let _ = write!(
+                                recovery,
+                                ", durable ({} replayed)",
+                                jnum(n, "wal_records_replayed") as u64,
+                            );
+                        }
                         let _ = writeln!(
                             out,
-                            "  {node_addr:<21} {}  {} v{}, up {}s, {} requests",
+                            "  {node_addr:<21} {}  {} v{}, up {}s, {} requests{recovery}",
                             if n.get("live").and_then(Json::as_bool) == Some(true) {
                                 "live"
                             } else {
@@ -1396,6 +1436,35 @@ mod tests {
         assert!(routed.contains("shut down cleanly"), "{routed}");
         b0.shutdown();
         b1.shutdown();
+    }
+
+    #[test]
+    fn top_renders_durability_and_repair_counters() {
+        let server = Json::parse(
+            r#"{"role":"server","version":"0.1","uptime_ms":1200,"requests":7,"connections":1,"worker_panics":0,"durable":true,"wal_records_written":5,"wal_records_replayed":3,"snapshot_loads":1,"torn_tail_truncations":1,"recovery_ms":12}"#,
+        )
+        .unwrap();
+        let frame = render_top("127.0.0.1:1", &server);
+        assert!(
+            frame.contains(
+                "durable:   5 WAL records written, 3 replayed at boot (1 snapshot loads, 1 torn tails), recovery 12ms"
+            ),
+            "{frame}"
+        );
+        // A volatile server gets no durability line at all.
+        let volatile = Json::parse(r#"{"role":"server","version":"0.1","durable":false}"#).unwrap();
+        assert!(!render_top("127.0.0.1:1", &volatile).contains("durable:"));
+
+        let router = Json::parse(
+            r#"{"role":"router","version":"0.1","uptime_ms":500,"requests":9,"failovers":1,"repairs_performed":2,"rebinds_avoided":1,"cluster":{"backends_total":1,"backends_live":1,"backends_reporting":1,"requests":7,"nodes":[{"addr":"127.0.0.1:2","live":true,"role":"server","version":"0.1","uptime_ms":900,"requests":7,"durable":true,"wal_records_replayed":3}]}}"#,
+        )
+        .unwrap();
+        let frame = render_top("127.0.0.1:1", &router);
+        assert!(
+            frame.contains("repair:    2 structures re-seeded, 1 rebinds avoided"),
+            "{frame}"
+        );
+        assert!(frame.contains(", durable (3 replayed)"), "{frame}");
     }
 
     #[test]

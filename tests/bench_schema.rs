@@ -280,6 +280,82 @@ fn the_cluster_obs_artifact_records_complete_traces_within_budget() {
 }
 
 #[test]
+fn the_crash_artifact_records_durable_recovery_without_reseeds() {
+    let (name, text) = bench_files()
+        .into_iter()
+        .find(|(n, _)| n == "BENCH_crash.json")
+        .expect("the E24 crash-recovery artifact must be committed");
+    let v = Json::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+    assert_eq!(v.get("experiment").and_then(Json::as_str), Some("E24"));
+    // The headline claim: the reduction matched the in-process oracle
+    // bit for bit through a mid-reduction SIGKILL + restart, in both the
+    // durable and the volatile cell.
+    assert_eq!(
+        v.get("all_bit_identical").and_then(Json::as_bool),
+        Some(true),
+        "{name}: the reduction diverged through the crash"
+    );
+    let unrecovered = v
+        .get("unrecovered_errors")
+        .and_then(Json::as_usize)
+        .unwrap_or_else(|| panic!("{name}: missing unrecovered_errors"));
+    assert_eq!(unrecovered, 0, "{name}: crash errors went unrecovered");
+    // The replay-vs-reseed timing comparison is the artifact's point.
+    for key in ["durable_recovery_ms", "cold_reseed_ms"] {
+        assert!(
+            v.get(key).and_then(Json::as_usize).is_some(),
+            "{name}: missing {key}"
+        );
+    }
+    let Some(Json::Arr(cell_rows)) = v.get("cells") else {
+        panic!("{name}: missing cells array")
+    };
+    let cell = |which: &str| {
+        cell_rows
+            .iter()
+            .find(|c| c.get("cell").and_then(Json::as_str) == Some(which))
+            .unwrap_or_else(|| panic!("{name}: missing {which} cell"))
+    };
+    // Durable restart: state came back from the WAL — records actually
+    // replayed, and the router's anti-entropy sweep had *nothing* to
+    // re-seed. A nonzero reseed count here means recovery leaned on
+    // re-registration, which is exactly what --data-dir must prevent.
+    let durable = cell("durable");
+    assert_eq!(durable.get("bit_identical").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        durable.get("reseeds").and_then(Json::as_usize),
+        Some(0),
+        "{name}: the durable restart needed router reseeds"
+    );
+    assert!(
+        durable
+            .get("wal_records_replayed")
+            .and_then(Json::as_usize)
+            .unwrap_or(0)
+            > 0,
+        "{name}: the durable restart replayed nothing"
+    );
+    // Volatile restart: the control cell must really have come back
+    // empty, or the comparison proves nothing.
+    let volatile = cell("volatile");
+    assert_eq!(volatile.get("bit_identical").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        volatile.get("wal_records_replayed").and_then(Json::as_usize),
+        Some(0),
+        "{name}: the volatile cell replayed a WAL"
+    );
+    // Both cells report the restart clock that feeds the headline
+    // timings.
+    for c in [durable, volatile] {
+        assert!(
+            c.get("restart_ms").and_then(Json::as_usize).is_some()
+                && c.get("converge_ms").and_then(Json::as_usize).is_some(),
+            "{name}: a cell is missing its restart/converge timings"
+        );
+    }
+}
+
+#[test]
 fn the_event_loop_artifact_records_the_scaling_win() {
     let (name, text) = bench_files()
         .into_iter()
